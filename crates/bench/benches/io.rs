@@ -1,0 +1,40 @@
+//! Criterion benchmarks for Bookshelf parsing/writing and benchmark
+//! generation — the I/O path a user hits before placement starts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tvp_bookshelf::synth::{generate, SynthConfig};
+use tvp_bookshelf::{parse_nets, parse_nodes, write_nets, write_nodes, Design, DesignBuilderOptions};
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synth_generate");
+    group.sample_size(20);
+    for cells in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, &n| {
+            let config = SynthConfig::named("g", n, n as f64 * 5.0e-12);
+            b.iter(|| black_box(generate(&config).expect("generates")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_roundtrip(c: &mut Criterion) {
+    let netlist = generate(&SynthConfig::named("p", 5_000, 2.5e-8)).expect("generates");
+    let design = Design::from_netlist("p", netlist);
+    let (nodes, nets, _, _) = design.to_files(DesignBuilderOptions::default());
+    let nodes_text = write_nodes(&nodes);
+    let nets_text = write_nets(&nets);
+    let mut group = c.benchmark_group("bookshelf_parse_5k");
+    group.sample_size(20);
+    group.bench_function("nodes", |b| {
+        b.iter(|| black_box(parse_nodes(&nodes_text).expect("parses")))
+    });
+    group.bench_function("nets", |b| {
+        b.iter(|| black_box(parse_nets(&nets_text).expect("parses")))
+    });
+    group.bench_function("write_nets", |b| b.iter(|| black_box(write_nets(&nets))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_parse_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the finite-volume thermal solver — the
+//! cost of each temperature evaluation in the experiment harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tvp_thermal::{LayerStack, PowerMap, ThermalSimulator};
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_solve");
+    group.sample_size(20);
+    for &(nx, layers) in &[(8usize, 4usize), (16, 4), (32, 4), (16, 8)] {
+        let sim = ThermalSimulator::new(LayerStack::mitll_0_18um(layers), 1e-3, 1e-3, nx, nx)
+            .expect("valid geometry");
+        let mut power = PowerMap::new(nx, nx, layers);
+        for k in 0..layers {
+            for j in 0..nx {
+                for i in 0..nx {
+                    power.add(i, j, k, 1.0e-4 * ((i + j + k) % 5) as f64);
+                }
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nx}x{nx}x{layers}")),
+            &(sim, power),
+            |b, (sim, power)| b.iter(|| black_box(sim.solve(power).expect("converges"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_resistance_model(c: &mut Criterion) {
+    use tvp_thermal::ResistanceModel;
+    let model = ResistanceModel::new(LayerStack::mitll_0_18um(4), 1e-3, 1e-3).expect("valid");
+    c.bench_function("cell_resistance_1e5_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100_000u32 {
+                let x = (i % 1000) as f64 * 1e-6;
+                acc += model.cell_resistance(x, 0.5e-3, (i % 4) as usize, 2.5e-11);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_solve, bench_resistance_model);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Ablation study of the design choices DESIGN.md §7 calls out: each row
+//! disables one mechanism and reports the quality impact on ibm01.
+
+use tvp_bench::{netlist_of, pct, print_row, run, Args, Run};
+use tvp_core::{PlacerConfig, ShiftStrategy};
+
+fn main() {
+    let args = Args::parse(0);
+    let netlist = netlist_of(&args.ibm01());
+    println!(
+        "Ablation study on ibm01 ({} cells, scale = {})",
+        netlist.num_cells(),
+        args.scale
+    );
+
+    // Thermal run as the reference: most mechanisms only act with
+    // alpha_temp > 0. Every variant is averaged over several seeds so the
+    // deltas rise above placement noise.
+    const SEEDS: [u64; 3] = [1, 2, 3];
+    let average = |config: &PlacerConfig| -> Run {
+        let runs: Vec<Run> = SEEDS
+            .iter()
+            .map(|&s| run(&netlist, config.clone().with_seed(s)))
+            .collect();
+        let n = runs.len() as f64;
+        let mut mean = runs[0];
+        mean.metrics.objective = runs.iter().map(|r| r.metrics.objective).sum::<f64>() / n;
+        mean.metrics.wirelength = runs.iter().map(|r| r.metrics.wirelength).sum::<f64>() / n;
+        mean.metrics.ilv_count = runs.iter().map(|r| r.metrics.ilv_count).sum::<f64>() / n;
+        mean.metrics.avg_temperature =
+            runs.iter().map(|r| r.metrics.avg_temperature).sum::<f64>() / n;
+        mean.seconds = runs.iter().map(|r| r.seconds).sum::<f64>() / n;
+        mean
+    };
+    let reference_config = PlacerConfig::new(4).with_alpha_temp(1.0e-5);
+    let reference = average(&reference_config);
+
+    let variants: Vec<(&str, PlacerConfig)> = vec![
+        ("reference (all on)", reference_config.clone()),
+        ("no terminal propagation", {
+            let mut c = reference_config.clone();
+            c.terminal_propagation = false;
+            c
+        }),
+        ("no TRR nets", {
+            let mut c = reference_config.clone();
+            c.trr_nets = false;
+            c
+        }),
+        ("no thermal net weights", {
+            let mut c = reference_config.clone();
+            c.thermal_net_weights = false;
+            c
+        }),
+        ("no PEKO floors", {
+            let mut c = reference_config.clone();
+            c.peko_floors = false;
+            c
+        }),
+        ("unweighted cut depth", {
+            let mut c = reference_config.clone();
+            c.weighted_depth_cut = false;
+            c
+        }),
+        ("FastPlace-style shifting", {
+            let mut c = reference_config.clone();
+            c.shift_strategy = ShiftStrategy::AdjacentPair;
+            c
+        }),
+    ];
+
+    println!();
+    print_row(&[
+        "variant".into(),
+        "objective".into(),
+        "dObj %".into(),
+        "WL (m)".into(),
+        "ILV".into(),
+        "Tavg (C)".into(),
+        "time (s)".into(),
+    ]);
+    for (name, config) in variants {
+        let r: Run = average(&config);
+        print_row(&[
+            name.into(),
+            format!("{:.4e}", r.metrics.objective),
+            format!("{:+.2}", pct(r.metrics.objective, reference.metrics.objective)),
+            format!("{:.4e}", r.metrics.wirelength),
+            format!("{:.0}", r.metrics.ilv_count),
+            format!("{:.3}", r.metrics.avg_temperature),
+            format!("{:.2}", r.seconds),
+        ]);
+    }
+    println!();
+    println!("(positive dObj % = the disabled mechanism was helping)");
+}

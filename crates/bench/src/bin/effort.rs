@@ -1,0 +1,62 @@
+//! The §7 effort experiments: quality vs runtime as (a) hMetis random
+//! starts and target-region sizes grow (paper: 3.8% better objective at
+//! 3.4× runtime) and (b) the coarse+detailed legalization rounds are
+//! repeated (paper: 7.7% better at 65× runtime).
+
+use tvp_bench::{netlist_of, pct, print_row, run, Args};
+use tvp_core::PlacerConfig;
+
+fn main() {
+    let args = Args::parse(0);
+    let netlist = netlist_of(&args.ibm01());
+    println!(
+        "Effort experiments on ibm01 ({} cells, scale = {})",
+        netlist.num_cells(),
+        args.scale
+    );
+
+    let base = run(&netlist, PlacerConfig::new(4));
+    println!();
+    println!("partitioner restarts + larger move target regions:");
+    print_row(&[
+        "starts".into(),
+        "region".into(),
+        "objective".into(),
+        "dObj %".into(),
+        "runtime x".into(),
+    ]);
+    for (starts, region) in [(1usize, 5usize), (4, 7), (16, 9)] {
+        let mut config = PlacerConfig::new(4).with_partition_starts(starts);
+        config.coarse_target_region_bins = region;
+        let r = run(&netlist, config);
+        print_row(&[
+            starts.to_string(),
+            region.to_string(),
+            format!("{:.4e}", r.metrics.objective),
+            format!("{:+.2}", pct(r.metrics.objective, base.metrics.objective)),
+            format!("{:.2}", r.seconds / base.seconds),
+        ]);
+    }
+
+    println!();
+    println!("repeated coarse + detailed legalization rounds:");
+    print_row(&[
+        "rounds".into(),
+        "objective".into(),
+        "dObj %".into(),
+        "runtime x".into(),
+    ]);
+    for rounds in [0usize, 2, 10] {
+        let mut config = PlacerConfig::new(4);
+        config.post_opt_rounds = rounds;
+        let r = run(&netlist, config);
+        print_row(&[
+            (rounds + 1).to_string(),
+            format!("{:.4e}", r.metrics.objective),
+            format!("{:+.2}", pct(r.metrics.objective, base.metrics.objective)),
+            format!("{:.2}", r.seconds / base.seconds),
+        ]);
+    }
+    println!();
+    println!("(paper: 3.8% better at 3.4x runtime; 7.7% better at 65x runtime)");
+}

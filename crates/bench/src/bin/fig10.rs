@@ -1,0 +1,46 @@
+//! Figure 10: runtime vs number of cells, with and without the thermal
+//! objective, plus the paper's power-law fit (they report `t ∝ n^1.19`,
+//! i.e. near-linear scaling).
+
+use tvp_bench::{fit_power_law, netlist_of, print_row, run, Args};
+use tvp_core::PlacerConfig;
+
+fn main() {
+    let args = Args::parse(0);
+    let suite = args.suite();
+    println!(
+        "Figure 10: runtime vs cells over {} benchmarks (scale = {})",
+        suite.len(),
+        args.scale
+    );
+    print_row(&[
+        "benchmark".into(),
+        "cells".into(),
+        "regular (s)".into(),
+        "thermal (s)".into(),
+    ]);
+    let mut regular_points = Vec::new();
+    let mut thermal_points = Vec::new();
+    for config in &suite {
+        let netlist = netlist_of(config);
+        let regular = run(&netlist, PlacerConfig::new(4));
+        let thermal = run(&netlist, PlacerConfig::new(4).with_alpha_temp(1.0e-5));
+        print_row(&[
+            config.name.clone(),
+            netlist.num_cells().to_string(),
+            format!("{:.3}", regular.seconds),
+            format!("{:.3}", thermal.seconds),
+        ]);
+        regular_points.push((netlist.num_cells() as f64, regular.seconds.max(1e-6)));
+        thermal_points.push((netlist.num_cells() as f64, thermal.seconds.max(1e-6)));
+    }
+    if regular_points.len() >= 2 {
+        let (a_r, b_r) = fit_power_law(&regular_points);
+        let (a_t, b_t) = fit_power_law(&thermal_points);
+        println!();
+        println!("power-law fits t = a * n^b:");
+        println!("  regular placement: a = {a_r:.3e}, b = {b_r:.3}");
+        println!("  thermal placement: a = {a_t:.3e}, b = {b_t:.3}");
+        println!("  (paper fit: b = 1.19 — near-linear)");
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 3: wirelength vs interlayer-via-density tradeoff curves, one per
+//! benchmark, as `α_ILV` sweeps the paper's range (α_TEMP = 0, 4 layers).
+//!
+//! The paper's y axis is "interlayer via density per interlayer" (vias per
+//! m² of footprint per layer boundary); the x axis is total wirelength in
+//! meters.
+
+use tvp_bench::{alpha_ilv_sweep, netlist_of, print_row, run, sci, Args};
+use tvp_core::PlacerConfig;
+
+fn main() {
+    let args = Args::parse(7);
+    let sweep = alpha_ilv_sweep(args.points);
+    println!(
+        "Figure 3: tradeoff curves (scale = {}, {} alpha points)",
+        args.scale, args.points
+    );
+    for config in args.suite() {
+        let netlist = netlist_of(&config);
+        println!();
+        println!("{} ({} cells):", config.name, netlist.num_cells());
+        print_row(&[
+            "alpha_ILV".into(),
+            "WL (m)".into(),
+            "ILV count".into(),
+            "ILV/m^2/bnd".into(),
+        ]);
+        for &alpha in &sweep {
+            let r = run(&netlist, PlacerConfig::new(4).with_alpha_ilv(alpha));
+            print_row(&[
+                sci(alpha),
+                sci(r.metrics.wirelength),
+                format!("{:.0}", r.metrics.ilv_count),
+                sci(r.metrics.ilv_density_per_interlayer),
+            ]);
+        }
+    }
+    println!();
+    println!("(curves move toward fewer vias and longer wires as alpha_ILV grows)");
+}

@@ -1,0 +1,81 @@
+//! Figure 4: suite-average ILV density and percent wirelength change vs
+//! `α_ILV`, plus the paper's headline operating point ("wirelength within
+//! 2% of the maximum reduction using 46% fewer interlayer vias").
+
+use tvp_bench::{alpha_ilv_sweep, netlist_of, pct, print_row, run, sci, Args};
+use tvp_core::PlacerConfig;
+
+fn main() {
+    let args = Args::parse(7);
+    let sweep = alpha_ilv_sweep(args.points);
+    let suite = args.suite();
+    println!(
+        "Figure 4: average WL vs ILV tradeoff over {} benchmarks (scale = {})",
+        suite.len(),
+        args.scale
+    );
+
+    // wl[i][k], ilv_density[i][k]: benchmark i at sweep point k.
+    let mut wl = vec![vec![0.0f64; sweep.len()]; suite.len()];
+    let mut density = vec![vec![0.0f64; sweep.len()]; suite.len()];
+    let mut ilv = vec![vec![0.0f64; sweep.len()]; suite.len()];
+    for (i, config) in suite.iter().enumerate() {
+        let netlist = netlist_of(config);
+        for (k, &alpha) in sweep.iter().enumerate() {
+            let r = run(&netlist, PlacerConfig::new(4).with_alpha_ilv(alpha));
+            wl[i][k] = r.metrics.wirelength;
+            density[i][k] = r.metrics.ilv_density_per_interlayer;
+            ilv[i][k] = r.metrics.ilv_count;
+        }
+    }
+
+    // Per-benchmark percent WL change relative to that benchmark's best
+    // (shortest) wirelength over the sweep, then suite averages.
+    println!();
+    print_row(&[
+        "alpha_ILV".into(),
+        "avg ILV dens".into(),
+        "avg dWL %".into(),
+        "avg dILV %".into(),
+    ]);
+    let mut avg_dwl = vec![0.0f64; sweep.len()];
+    let mut avg_dilv = vec![0.0f64; sweep.len()];
+    let mut avg_density = vec![0.0f64; sweep.len()];
+    for i in 0..suite.len() {
+        let wl_min = wl[i].iter().copied().fold(f64::INFINITY, f64::min);
+        let ilv_max = ilv[i].iter().copied().fold(0.0f64, f64::max);
+        for k in 0..sweep.len() {
+            avg_dwl[k] += pct(wl[i][k], wl_min) / suite.len() as f64;
+            avg_dilv[k] += pct(ilv[i][k], ilv_max) / suite.len() as f64;
+            avg_density[k] += density[i][k] / suite.len() as f64;
+        }
+    }
+    for k in 0..sweep.len() {
+        print_row(&[
+            sci(sweep[k]),
+            sci(avg_density[k]),
+            format!("{:+.2}", avg_dwl[k]),
+            format!("{:+.2}", avg_dilv[k]),
+        ]);
+    }
+
+    // Headline, computed the way the paper frames it: for each benchmark,
+    // find the sweep point with the fewest vias whose wirelength stays
+    // within 2% of that benchmark's own best; average the via savings.
+    let mut savings_sum = 0.0;
+    for i in 0..suite.len() {
+        let wl_min = wl[i].iter().copied().fold(f64::INFINITY, f64::min);
+        let ilv_max = ilv[i].iter().copied().fold(0.0f64, f64::max);
+        let best_k = (0..sweep.len())
+            .filter(|&k| wl[i][k] <= wl_min * 1.02)
+            .min_by(|&a, &b| ilv[i][a].partial_cmp(&ilv[i][b]).unwrap())
+            .expect("the per-benchmark minimum is always within 2%");
+        savings_sum += (1.0 - ilv[i][best_k] / ilv_max) * 100.0;
+    }
+    println!();
+    println!(
+        "headline: staying within 2% of each benchmark's best wirelength allows \
+         {:.0}% fewer interlayer vias on average (paper: 46% fewer)",
+        savings_sum / suite.len() as f64,
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 5: ibm01 tradeoff curves as the number of layers grows from 1 to
+//! 10 — more layers shift the curves toward shorter wirelength.
+
+use tvp_bench::{geometric, netlist_of, print_row, run, sci, Args};
+use tvp_core::PlacerConfig;
+
+fn main() {
+    let args = Args::parse(5);
+    let netlist = netlist_of(&args.ibm01());
+    println!(
+        "Figure 5: ibm01 ({} cells) tradeoff curves for 1-10 layers",
+        netlist.num_cells()
+    );
+    // A narrower alpha range keeps every curve's knee visible.
+    let sweep = geometric(5.0e-8, 1.0e-3, args.points);
+    for layers in 1..=10usize {
+        println!();
+        println!("{layers} layer(s):");
+        print_row(&["alpha_ILV".into(), "WL (m)".into(), "ILV/interlayer".into()]);
+        for &alpha in &sweep {
+            let r = run(&netlist, PlacerConfig::new(layers).with_alpha_ilv(alpha));
+            let per_interlayer = if layers > 1 {
+                r.metrics.ilv_count / (layers - 1) as f64
+            } else {
+                0.0
+            };
+            print_row(&[
+                sci(alpha),
+                sci(r.metrics.wirelength),
+                format!("{per_interlayer:.0}"),
+            ]);
+        }
+    }
+    println!();
+    println!("(curves shift left — shorter wirelength — as layers are added)");
+}

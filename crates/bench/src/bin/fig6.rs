@@ -1,0 +1,36 @@
+//! Figure 6: ibm01 average temperature surface over the
+//! (`α_TEMP`, `α_ILV`) grid. Temperatures fall with the thermal
+//! coefficient and rise as vias get cheap (via capacitance burns power).
+
+use tvp_bench::{geometric, netlist_of, run, Args};
+use tvp_core::PlacerConfig;
+
+fn main() {
+    let args = Args::parse(5);
+    let netlist = netlist_of(&args.ibm01());
+    println!(
+        "Figure 6: ibm01 ({} cells) average temperature (C) over the coefficient grid",
+        netlist.num_cells()
+    );
+    let alpha_ilv = geometric(5.0e-8, 1.6e-3, args.points);
+    let alpha_temp = geometric(1.0e-8, 1.3e-3, args.points);
+
+    print!("{:>12}", "aT \\ aILV");
+    for &ai in &alpha_ilv {
+        print!("{ai:>12.1e}");
+    }
+    println!();
+    for &at in &alpha_temp {
+        print!("{at:>12.1e}");
+        for &ai in &alpha_ilv {
+            let r = run(
+                &netlist,
+                PlacerConfig::new(4).with_alpha_ilv(ai).with_alpha_temp(at),
+            );
+            print!("{:>12.3}", r.metrics.avg_temperature);
+        }
+        println!();
+    }
+    println!();
+    println!("(temperature falls toward the bottom-right: strong thermal weighting, expensive vias)");
+}

@@ -1,0 +1,35 @@
+//! Figure 7: ibm01 wirelength/via-count tradeoff curves as both the
+//! thermal and interlayer-via coefficients vary — raising `α_TEMP`
+//! degrades the curves toward longer wires and more vias.
+
+use tvp_bench::{geometric, netlist_of, print_row, run, sci, Args};
+use tvp_core::PlacerConfig;
+
+fn main() {
+    let args = Args::parse(5);
+    let netlist = netlist_of(&args.ibm01());
+    println!(
+        "Figure 7: ibm01 ({} cells) tradeoff curves under thermal pressure",
+        netlist.num_cells()
+    );
+    let alpha_ilv = geometric(5.0e-8, 1.6e-3, args.points);
+    let alpha_temp = [0.0, 1.0e-6, 1.0e-5, 1.0e-4, 1.0e-3];
+    for &at in &alpha_temp {
+        println!();
+        println!("alpha_TEMP = {at:.1e}:");
+        print_row(&["alpha_ILV".into(), "WL (m)".into(), "ILV count".into()]);
+        for &ai in &alpha_ilv {
+            let r = run(
+                &netlist,
+                PlacerConfig::new(4).with_alpha_ilv(ai).with_alpha_temp(at),
+            );
+            print_row(&[
+                sci(ai),
+                sci(r.metrics.wirelength),
+                format!("{:.0}", r.metrics.ilv_count),
+            ]);
+        }
+    }
+    println!();
+    println!("(each thermal step moves the whole curve up and right)");
+}

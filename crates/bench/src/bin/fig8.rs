@@ -1,0 +1,63 @@
+//! Figure 8: percent reduction in ibm01's average temperature vs `α_TEMP`
+//! for 1, 2, 4, 6, and 8 layers (α_ILV = 10⁻⁵). More layers give thermal
+//! placement more vertical resistance contrast to exploit.
+
+use tvp_bench::{alpha_temp_sweep, netlist_of, pct, run, Args};
+use tvp_core::PlacerConfig;
+use tvp_netlist::Netlist;
+
+/// Seed-averaged average temperature for one configuration (placement
+/// noise at reduced benchmark scales would otherwise drown the trend).
+fn avg_temperature(netlist: &Netlist, layers: usize, alpha_temp: f64) -> f64 {
+    const SEEDS: [u64; 3] = [1, 2, 3];
+    SEEDS
+        .iter()
+        .map(|&s| {
+            run(
+                netlist,
+                PlacerConfig::new(layers)
+                    .with_alpha_temp(alpha_temp)
+                    .with_seed(s),
+            )
+            .metrics
+            .avg_temperature
+        })
+        .sum::<f64>()
+        / SEEDS.len() as f64
+}
+
+fn main() {
+    let args = Args::parse(5);
+    let netlist = netlist_of(&args.ibm01());
+    println!(
+        "Figure 8: ibm01 ({} cells) average-temperature reduction vs alpha_TEMP",
+        netlist.num_cells()
+    );
+    let sweep = alpha_temp_sweep(args.points);
+    let layer_counts = [1usize, 2, 4, 6, 8];
+
+    print!("{:>12}", "aT \\ layers");
+    for &l in &layer_counts {
+        print!("{l:>10}");
+    }
+    println!();
+
+    // Baselines per layer count (α_TEMP = 0).
+    let baselines: Vec<f64> = layer_counts
+        .iter()
+        .map(|&l| avg_temperature(&netlist, l, 0.0))
+        .collect();
+
+    for &at in &sweep {
+        print!("{at:>12.1e}");
+        for (i, &l) in layer_counts.iter().enumerate() {
+            let t = avg_temperature(&netlist, l, at);
+            let reduction = -pct(t, baselines[i]);
+            print!("{reduction:>9.1}%");
+        }
+        println!();
+    }
+    println!();
+    println!("(reductions grow with the layer count — the stacked dies give the");
+    println!(" thermal objective more vertical resistance contrast to exploit)");
+}

@@ -1,0 +1,38 @@
+//! Table 1: benchmark circuits (name, cells, area).
+//!
+//! Prints the published statistics alongside what the synthetic generator
+//! actually produces at the requested `--scale`.
+
+use tvp_bench::{netlist_of, print_row, Args};
+use tvp_bookshelf::synth::IBM_TABLE1;
+
+fn main() {
+    let args = Args::parse(0);
+    println!("Table 1: Benchmark Circuits (scale = {})", args.scale);
+    print_row(&[
+        "name".into(),
+        "paper cells".into(),
+        "paper mm^2".into(),
+        "gen cells".into(),
+        "gen mm^2".into(),
+        "gen nets".into(),
+        "avg degree".into(),
+    ]);
+    for config in args.suite() {
+        let published = IBM_TABLE1
+            .iter()
+            .find(|&&(name, _, _)| name == config.name)
+            .expect("suite names come from Table 1");
+        let netlist = netlist_of(&config);
+        let stats = netlist.stats();
+        print_row(&[
+            config.name.clone(),
+            published.1.to_string(),
+            format!("{:.3}", published.2),
+            stats.num_cells.to_string(),
+            format!("{:.4}", stats.total_cell_area * 1.0e6),
+            stats.num_nets.to_string(),
+            format!("{:.2}", stats.avg_net_degree),
+        ]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Table 2: experimental parameters, as realized by the default
+//! [`PlacerConfig`].
+
+use tvp_core::PlacerConfig;
+
+fn main() {
+    let config = PlacerConfig::new(4);
+    let stack = &config.stack;
+    let tech = &config.tech;
+    println!("Table 2: Parameters");
+    let rows: Vec<(&str, String)> = vec![
+        ("number of layers", config.num_layers.to_string()),
+        ("whitespace", format!("{:.0}%", config.whitespace * 100.0)),
+        ("inter-row/row space", format!("{:.0}%", config.row_space * 100.0)),
+        (
+            "bulk substrate thickness",
+            format!("{:.0} um", stack.substrate_thickness * 1e6),
+        ),
+        ("layer thickness", format!("{:.1} um", stack.layer_thickness * 1e6)),
+        (
+            "interlayer thickness",
+            format!("{:.1} um", stack.interlayer_thickness * 1e6),
+        ),
+        (
+            "effective stack conductivity",
+            format!("{:.1} W/mK", stack.conductivity),
+        ),
+        (
+            "substrate conductivity",
+            format!("{:.1} W/mK", stack.substrate_conductivity),
+        ),
+        (
+            "lateral interconnect cap.",
+            format!("{:.1} pF/m", tech.cap_per_wirelength * 1e12),
+        ),
+        (
+            "interlayer via cap.",
+            format!("{:.0} pF/m", tech.cap_per_ilv_length * 1e12),
+        ),
+        (
+            "input pin capacitance",
+            format!("{:.3} fF", tech.input_pin_cap * 1e15),
+        ),
+        ("ambient temperature", format!("{:.0} C", stack.heat_sink.ambient)),
+        (
+            "conv. coef. of heat sink",
+            format!("{:.0e} W/m^2K", stack.heat_sink.convection_coefficient),
+        ),
+        ("clock frequency", format!("{:.1e} Hz", tech.clock_frequency)),
+        ("supply voltage", format!("{:.1} V", tech.vdd)),
+        ("default alpha_ILV", format!("{:.0e} m", config.alpha_ilv)),
+    ];
+    for (name, value) in rows {
+        println!("{name:>28} : {value}");
+    }
+}

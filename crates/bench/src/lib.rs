@@ -1,0 +1,234 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (§7).
+//!
+//! Each binary accepts:
+//!
+//! * `--scale <f>` — benchmark size factor relative to the published
+//!   IBM-PLACE sizes (default 0.02, so the whole suite runs in minutes;
+//!   `--scale 1.0` reproduces paper-size instances),
+//! * `--points <n>` — sweep resolution,
+//! * `--bench <name>` — restrict suite experiments to one circuit,
+//! * `--seed <n>` — RNG seed.
+
+use std::time::Instant;
+use tvp_bookshelf::synth::{self, SynthConfig};
+use tvp_core::{PlacementMetrics, Placer, PlacerConfig};
+use tvp_netlist::Netlist;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Suite scale factor (1.0 = published sizes).
+    pub scale: f64,
+    /// Number of sweep points.
+    pub points: usize,
+    /// Restrict to one benchmark by name.
+    pub bench: Option<String>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parses `std::env::args`, with the given default sweep resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    pub fn parse(default_points: usize) -> Self {
+        let mut args = Args {
+            scale: 0.02,
+            points: default_points,
+            bench: None,
+            seed: 1,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {flag} expects a value"))
+            };
+            match flag.as_str() {
+                "--scale" => args.scale = value().parse().expect("--scale expects a number"),
+                "--points" => args.points = value().parse().expect("--points expects an integer"),
+                "--bench" => args.bench = Some(value()),
+                "--seed" => args.seed = value().parse().expect("--seed expects an integer"),
+                "--help" | "-h" => {
+                    eprintln!("flags: --scale <f> --points <n> --bench <name> --seed <n>");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag `{other}` (try --help)"),
+            }
+        }
+        args
+    }
+
+    /// The benchmark suite at the requested scale, optionally filtered.
+    pub fn suite(&self) -> Vec<SynthConfig> {
+        synth::ibm_suite(self.scale)
+            .into_iter()
+            .filter(|c| self.bench.as_ref().is_none_or(|b| &c.name == b))
+            .map(|c| c.with_seed(self.seed ^ 0x5EED))
+            .collect()
+    }
+
+    /// The scaled `ibm01` benchmark (Figs 5–8 all use ibm01).
+    pub fn ibm01(&self) -> SynthConfig {
+        synth::ibm_suite(self.scale)
+            .into_iter()
+            .next()
+            .expect("suite is non-empty")
+            .with_seed(self.seed ^ 0x5EED)
+    }
+}
+
+/// Generates the netlist for a synthetic benchmark config.
+pub fn netlist_of(config: &SynthConfig) -> Netlist {
+    synth::generate(config).expect("benchmark generation cannot fail for suite configs")
+}
+
+/// One experiment run: metrics plus wall-clock seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Run {
+    /// Placement quality metrics.
+    pub metrics: PlacementMetrics,
+    /// Wall-clock placement time, seconds.
+    pub seconds: f64,
+}
+
+/// Places `netlist` under `config` and returns metrics and runtime.
+///
+/// # Panics
+///
+/// Panics if placement fails (suite configs are always valid).
+pub fn run(netlist: &Netlist, config: PlacerConfig) -> Run {
+    let start = Instant::now();
+    let result = Placer::new(config).place(netlist).expect("placement succeeds");
+    Run {
+        metrics: result.metrics,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// The paper's Fig. 3 sweep: `α_ILV` from 5×10⁻⁹ to 5.2×10⁻³,
+/// geometrically spaced.
+pub fn alpha_ilv_sweep(points: usize) -> Vec<f64> {
+    geometric(5.0e-9, 5.2e-3, points)
+}
+
+/// The paper's Figs. 6–9 thermal sweep: `α_TEMP` from 10⁻⁸ to 1.3×10⁻³.
+pub fn alpha_temp_sweep(points: usize) -> Vec<f64> {
+    geometric(1.0e-8, 1.3e-3, points)
+}
+
+/// `points` geometrically spaced values covering `[lo, hi]`.
+pub fn geometric(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2 && lo > 0.0 && hi > lo);
+    let ratio = (hi / lo).powf(1.0 / (points - 1) as f64);
+    (0..points).map(|i| lo * ratio.powi(i as i32)).collect()
+}
+
+/// Percent change from `base` to `value`.
+pub fn pct(value: f64, base: f64) -> f64 {
+    (value - base) / base * 100.0
+}
+
+/// Least-squares power-law fit `y = a·x^b`; returns `(a, b)`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are provided or any value is
+/// non-positive.
+pub fn fit_power_law(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        assert!(x > 0.0 && y > 0.0, "power-law fit needs positive data");
+        let lx = x.ln();
+        let ly = y.ln();
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = ((sy - b * sx) / n).exp();
+    (a, b)
+}
+
+/// Prints a row of right-aligned columns, 14 characters each.
+pub fn print_row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats a float in compact scientific notation.
+pub fn sci(v: f64) -> String {
+    format!("{v:.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_covers_range() {
+        let v = geometric(1.0, 1000.0, 4);
+        assert_eq!(v.len(), 4);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert!((v[3] - 1000.0).abs() < 1e-9);
+        assert!((v[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = (i * 1000) as f64;
+                (x, 0.5 * x.powf(1.19))
+            })
+            .collect();
+        let (a, b) = fit_power_law(&pts);
+        assert!((b - 1.19).abs() < 1e-9, "exponent {b}");
+        assert!((a - 0.5).abs() < 1e-9, "prefactor {a}");
+    }
+
+    #[test]
+    fn pct_changes() {
+        assert!((pct(110.0, 100.0) - 10.0).abs() < 1e-12);
+        assert!((pct(81.0, 100.0) + 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweeps_match_paper_ranges() {
+        let ilv = alpha_ilv_sweep(11);
+        assert!((ilv[0] - 5.0e-9).abs() < 1e-15);
+        assert!((ilv[10] - 5.2e-3).abs() < 1e-9);
+        let temp = alpha_temp_sweep(5);
+        assert!((temp[0] - 1.0e-8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tiny_experiment_runs() {
+        let config = SynthConfig::named("t", 64, 3.2e-10);
+        let netlist = netlist_of(&config);
+        let r = run(&netlist, PlacerConfig::new(2));
+        assert!(r.metrics.wirelength > 0.0);
+        assert!(r.seconds >= 0.0);
+    }
+
+    #[test]
+    fn suite_filtering_and_scaling() {
+        let args = Args {
+            scale: 0.01,
+            points: 3,
+            bench: Some("ibm05".into()),
+            seed: 2,
+        };
+        let suite = args.suite();
+        assert_eq!(suite.len(), 1);
+        assert_eq!(suite[0].name, "ibm05");
+        assert_eq!(suite[0].num_cells, (29347.0f64 * 0.01).round() as usize);
+        assert_eq!(args.ibm01().name, "ibm01");
+    }
+}

@@ -1,0 +1,82 @@
+//! `.aux` files: the benchmark manifest listing the other files.
+
+use crate::error::ParseBookshelfError;
+
+/// Parsed contents of a `.aux` file: a style tag and the referenced files.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AuxFile {
+    /// Style tag, typically `RowBasedPlacement`.
+    pub style: String,
+    /// Referenced file names, in the conventional order
+    /// `.nodes .nets .wts .pl .scl`.
+    pub files: Vec<String>,
+}
+
+impl AuxFile {
+    /// Finds the referenced file with the given extension (e.g. `"nodes"`).
+    pub fn file_with_extension(&self, ext: &str) -> Option<&str> {
+        self.files
+            .iter()
+            .find(|f| f.rsplit('.').next() == Some(ext))
+            .map(String::as_str)
+    }
+}
+
+/// Parses the text of a `.aux` file.
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError`] if the file has no
+/// `Style : file file ...` line.
+pub fn parse_aux(text: &str) -> Result<AuxFile, ParseBookshelfError> {
+    const KIND: &str = "aux";
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (style, rest) = line
+            .split_once(':')
+            .ok_or_else(|| ParseBookshelfError::new(KIND, i + 1, "expected `Style : files...`"))?;
+        let files: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+        if files.is_empty() {
+            return Err(ParseBookshelfError::new(KIND, i + 1, "no files listed"));
+        }
+        return Ok(AuxFile {
+            style: style.trim().to_string(),
+            files,
+        });
+    }
+    Err(ParseBookshelfError::new(KIND, 0, "empty aux file"))
+}
+
+/// Renders an [`AuxFile`] back to text.
+pub fn write_aux(file: &AuxFile) -> String {
+    format!("{} : {}\n", file.style, file.files.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let text = "RowBasedPlacement : ibm01.nodes ibm01.nets ibm01.wts ibm01.pl ibm01.scl\n";
+        let f = parse_aux(text).unwrap();
+        assert_eq!(f.style, "RowBasedPlacement");
+        assert_eq!(f.files.len(), 5);
+        assert_eq!(f.file_with_extension("pl"), Some("ibm01.pl"));
+        assert_eq!(f.file_with_extension("def"), None);
+        assert_eq!(parse_aux(&write_aux(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_file_is_error() {
+        assert!(parse_aux("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn missing_colon_is_error() {
+        assert!(parse_aux("RowBasedPlacement ibm01.nodes\n").is_err());
+    }
+}

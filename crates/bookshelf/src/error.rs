@@ -1,0 +1,80 @@
+//! Parse errors with file-kind and line context.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing a Bookshelf file.
+///
+/// Carries the file kind (e.g. `"nodes"`), the 1-based line number, and a
+/// human-readable description of what was expected.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseBookshelfError {
+    kind: &'static str,
+    line: usize,
+    message: String,
+}
+
+impl ParseBookshelfError {
+    pub(crate) fn new(kind: &'static str, line: usize, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The file kind this error came from (`"nodes"`, `"nets"`, ...).
+    pub fn file_kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// 1-based line number of the offending record (0 for file-level errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Description of the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseBookshelfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{} file: {}", self.kind, self.message)
+        } else {
+            write!(f, "{} file, line {}: {}", self.kind, self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseBookshelfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = ParseBookshelfError::new("nodes", 12, "expected a number");
+        let s = e.to_string();
+        assert!(s.contains("nodes"));
+        assert!(s.contains("12"));
+        assert!(s.contains("expected a number"));
+        assert_eq!(e.file_kind(), "nodes");
+        assert_eq!(e.line(), 12);
+    }
+
+    #[test]
+    fn file_level_error_omits_line() {
+        let e = ParseBookshelfError::new("aux", 0, "empty file");
+        assert_eq!(e.to_string(), "aux file: empty file");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<T: Error + Send + Sync + 'static>() {}
+        assert_err::<ParseBookshelfError>();
+    }
+}

@@ -1,0 +1,164 @@
+//! Line-oriented scanning shared by all Bookshelf parsers.
+//!
+//! Bookshelf files are line-based: `#` starts a comment, blank lines are
+//! ignored, and the first significant line is a format header such as
+//! `UCLA nodes 1.0`. [`Lines`] yields significant lines with their 1-based
+//! line numbers; the helpers here parse the common `Key : value` headers.
+
+use crate::error::ParseBookshelfError;
+
+/// Iterator over significant (non-blank, non-comment) lines.
+pub(crate) struct Lines<'a> {
+    kind: &'static str,
+    inner: std::iter::Peekable<LinesInner<'a>>,
+}
+
+struct LinesInner<'a> {
+    raw: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Iterator for LinesInner<'a> {
+    type Item = (usize, &'a str);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for line in self.raw.by_ref() {
+            self.line_no += 1;
+            let stripped = match line.find('#') {
+                Some(i) => &line[..i],
+                None => line,
+            };
+            let trimmed = stripped.trim();
+            if !trimmed.is_empty() {
+                return Some((self.line_no, trimmed));
+            }
+        }
+        None
+    }
+}
+
+impl<'a> Lines<'a> {
+    pub(crate) fn new(kind: &'static str, text: &'a str) -> Self {
+        Self {
+            kind,
+            inner: LinesInner {
+                raw: text.lines(),
+                line_no: 0,
+            }
+            .peekable(),
+        }
+    }
+
+    /// Next significant line, as `(line_number, text)`.
+    pub(crate) fn next_line(&mut self) -> Option<(usize, &'a str)> {
+        self.inner.next()
+    }
+
+    /// Peek at the next significant line without consuming it.
+    pub(crate) fn peek(&mut self) -> Option<(usize, &'a str)> {
+        self.inner.peek().copied()
+    }
+
+    /// Consumes the `UCLA <tag> <version>` header line.
+    ///
+    /// The header is conventional; some suites omit it, so a missing header
+    /// is tolerated (the line is only consumed when it starts with "UCLA").
+    pub(crate) fn skip_format_header(&mut self) {
+        if let Some((_, line)) = self.peek() {
+            if line.starts_with("UCLA") {
+                self.next_line();
+            }
+        }
+    }
+
+    /// Parses a `Key : <integer>` line with the given key.
+    pub(crate) fn expect_count(&mut self, key: &str) -> Result<usize, ParseBookshelfError> {
+        let (no, line) = self.next_line().ok_or_else(|| {
+            ParseBookshelfError::new(self.kind, 0, format!("missing `{key} : <count>` line"))
+        })?;
+        let (k, v) = split_key_value(line).ok_or_else(|| {
+            ParseBookshelfError::new(self.kind, no, format!("expected `{key} : <count>`, got `{line}`"))
+        })?;
+        if !k.eq_ignore_ascii_case(key) {
+            return Err(ParseBookshelfError::new(
+                self.kind,
+                no,
+                format!("expected `{key}`, got `{k}`"),
+            ));
+        }
+        v.trim().parse().map_err(|_| {
+            ParseBookshelfError::new(self.kind, no, format!("`{key}` value `{v}` is not an integer"))
+        })
+    }
+
+    /// Error constructor bound to this file kind.
+    pub(crate) fn error(&self, line: usize, message: impl Into<String>) -> ParseBookshelfError {
+        ParseBookshelfError::new(self.kind, line, message)
+    }
+}
+
+/// Splits `Key : value`, returning trimmed key and value.
+pub(crate) fn split_key_value(line: &str) -> Option<(&str, &str)> {
+    let (k, v) = line.split_once(':')?;
+    Some((k.trim(), v.trim()))
+}
+
+/// Parses one whitespace token as `f64`.
+pub(crate) fn parse_f64(
+    kind: &'static str,
+    line_no: usize,
+    token: &str,
+    what: &str,
+) -> Result<f64, ParseBookshelfError> {
+    token.parse().map_err(|_| {
+        ParseBookshelfError::new(kind, line_no, format!("{what} `{token}` is not a number"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header comment\n\nUCLA nodes 1.0\n  # indented comment\nNumNodes : 3\n";
+        let mut lines = Lines::new("nodes", text);
+        lines.skip_format_header();
+        assert_eq!(lines.expect_count("NumNodes").unwrap(), 3);
+        assert!(lines.next_line().is_none());
+    }
+
+    #[test]
+    fn strips_trailing_comments() {
+        let mut lines = Lines::new("nodes", "a 1 2 # trailing\n");
+        assert_eq!(lines.next_line(), Some((1, "a 1 2")));
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let mut lines = Lines::new("nodes", "NumNodes : 5\n");
+        lines.skip_format_header();
+        assert_eq!(lines.expect_count("NumNodes").unwrap(), 5);
+    }
+
+    #[test]
+    fn count_errors_carry_line_numbers() {
+        let mut lines = Lines::new("nodes", "UCLA nodes 1.0\nNumNodes : x\n");
+        lines.skip_format_header();
+        let err = lines.expect_count("NumNodes").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let mut lines = Lines::new("nets", "NumNodes : 4\n");
+        let err = lines.expect_count("NumNets").unwrap_err();
+        assert!(err.to_string().contains("NumNets"));
+    }
+
+    #[test]
+    fn key_value_split() {
+        assert_eq!(split_key_value("A : b c"), Some(("A", "b c")));
+        assert_eq!(split_key_value("no colon"), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! Bookshelf / IBM-PLACE benchmark I/O and synthetic benchmark generation.
+//!
+//! The DAC'07 experiments run on the IBM-PLACE suite, which is distributed in
+//! the UCLA *Bookshelf* placement format (`.aux`, `.nodes`, `.nets`, `.wts`,
+//! `.pl`, `.scl`). This crate implements:
+//!
+//! * **Parsers and writers** for every Bookshelf file kind, so real
+//!   IBM-PLACE files can be dropped into the flow unchanged
+//!   ([`parse_nodes`], [`parse_nets`], [`parse_pl`], [`parse_scl`],
+//!   [`parse_wts`], [`parse_aux`], and the corresponding `write_*`
+//!   functions).
+//! * A [`Design`] assembler that converts parsed files into the
+//!   [`tvp_netlist::Netlist`] hypergraph used by the placer, converting
+//!   Bookshelf site units to meters.
+//! * A **synthetic benchmark generator** ([`synth`]) that reproduces the
+//!   published statistics of each IBM-PLACE circuit (cell count and total
+//!   area from Table 1 of the paper) with Rent's-rule-like hierarchical
+//!   connectivity. This is the documented substitution for the original
+//!   benchmark files, which are not redistributable (see DESIGN.md §5).
+//!
+//! # Example
+//!
+//! ```
+//! use tvp_bookshelf::synth::{SynthConfig, generate};
+//!
+//! let config = SynthConfig::named("demo", 500, 2.5e-9).with_seed(7);
+//! let netlist = generate(&config).expect("generation succeeds");
+//! assert_eq!(netlist.num_cells(), 500);
+//! ```
+
+mod aux;
+mod design;
+mod error;
+mod lexer;
+mod nets;
+mod nodes;
+mod pl;
+mod scl;
+pub mod synth;
+mod wts;
+
+pub use aux::{parse_aux, write_aux, AuxFile};
+pub use design::{AssembleDesignError, Design, DesignBuilderOptions, LoadDesignError};
+pub use error::ParseBookshelfError;
+pub use nets::{parse_nets, write_nets, NetPinRecord, NetRecord, NetsFile, PinDirectionHint};
+pub use nodes::{parse_nodes, write_nodes, NodeRecord, NodesFile};
+pub use pl::{parse_pl, write_pl, PlFile, PlRecord};
+pub use scl::{parse_scl, write_scl, RowRecord, SclFile};
+pub use wts::{parse_wts, write_wts, WtsFile, WtsRecord};

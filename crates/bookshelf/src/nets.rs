@@ -1,0 +1,275 @@
+//! `.nets` files: hyperedges with per-pin direction hints and offsets.
+
+use crate::error::ParseBookshelfError;
+use crate::lexer::{parse_f64, split_key_value, Lines};
+use std::fmt::Write as _;
+
+/// Direction marker on a net pin, as written in IBM-PLACE `.nets` files.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PinDirectionHint {
+    /// `I`: the pin is an input of the cell (net sink).
+    #[default]
+    Input,
+    /// `O`: the pin is an output of the cell (net driver).
+    Output,
+    /// `B`: bidirectional pin.
+    Bidirectional,
+}
+
+impl PinDirectionHint {
+    fn from_token(t: &str) -> Option<Self> {
+        match t {
+            "I" | "i" => Some(Self::Input),
+            "O" | "o" => Some(Self::Output),
+            "B" | "b" => Some(Self::Bidirectional),
+            _ => None,
+        }
+    }
+
+    fn as_token(self) -> &'static str {
+        match self {
+            Self::Input => "I",
+            Self::Output => "O",
+            Self::Bidirectional => "B",
+        }
+    }
+}
+
+/// One pin of a net record.
+#[derive(Clone, PartialEq, Debug)]
+pub struct NetPinRecord {
+    /// Name of the node the pin belongs to.
+    pub node: String,
+    /// Direction marker, if present in the file.
+    pub direction: Option<PinDirectionHint>,
+    /// Pin x offset from the node center, site units (0 if unspecified).
+    pub offset_x: f64,
+    /// Pin y offset from the node center, site units (0 if unspecified).
+    pub offset_y: f64,
+}
+
+/// One net record (`NetDegree : d name` plus `d` pin lines).
+#[derive(Clone, PartialEq, Debug)]
+pub struct NetRecord {
+    /// Net name (IBM-PLACE numbers them `n0`, `n1`, ...).
+    pub name: String,
+    /// The net's pins, in file order.
+    pub pins: Vec<NetPinRecord>,
+}
+
+/// Parsed contents of a `.nets` file.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct NetsFile {
+    /// All net records, in file order.
+    pub nets: Vec<NetRecord>,
+}
+
+impl NetsFile {
+    /// Total number of pins across all nets.
+    pub fn num_pins(&self) -> usize {
+        self.nets.iter().map(|n| n.pins.len()).sum()
+    }
+}
+
+/// Parses the text of a `.nets` file.
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError`] for missing/malformed counts, a
+/// `NetDegree` that doesn't match the pin lines that follow, or malformed
+/// pin lines. Pin lines accept the common IBM-PLACE variants:
+/// `node`, `node I`, `node I : x y`.
+pub fn parse_nets(text: &str) -> Result<NetsFile, ParseBookshelfError> {
+    const KIND: &str = "nets";
+    let mut lines = Lines::new(KIND, text);
+    lines.skip_format_header();
+    let num_nets = lines.expect_count("NumNets")?;
+    let num_pins = lines.expect_count("NumPins")?;
+    let mut nets: Vec<NetRecord> = Vec::with_capacity(num_nets);
+    while let Some((no, line)) = lines.next_line() {
+        let (key, rest) = split_key_value(line)
+            .ok_or_else(|| lines.error(no, format!("expected `NetDegree : d name`, got `{line}`")))?;
+        if !key.eq_ignore_ascii_case("NetDegree") {
+            return Err(lines.error(no, format!("expected `NetDegree`, got `{key}`")));
+        }
+        let mut rest_tokens = rest.split_whitespace();
+        let degree: usize = rest_tokens
+            .next()
+            .ok_or_else(|| lines.error(no, "missing net degree"))?
+            .parse()
+            .map_err(|_| lines.error(no, "net degree is not an integer"))?;
+        let name = rest_tokens
+            .next()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("net{}", nets.len()));
+        let mut pins = Vec::with_capacity(degree);
+        for _ in 0..degree {
+            let (pno, pline) = lines
+                .next_line()
+                .ok_or_else(|| lines.error(no, format!("net `{name}` ends before {degree} pins")))?;
+            pins.push(parse_pin_line(&lines, pno, pline)?);
+        }
+        nets.push(NetRecord { name, pins });
+    }
+    if nets.len() != num_nets {
+        return Err(ParseBookshelfError::new(
+            KIND,
+            0,
+            format!("NumNets says {num_nets} but found {}", nets.len()),
+        ));
+    }
+    let pins: usize = nets.iter().map(|n| n.pins.len()).sum();
+    if pins != num_pins {
+        return Err(ParseBookshelfError::new(
+            KIND,
+            0,
+            format!("NumPins says {num_pins} but found {pins}"),
+        ));
+    }
+    Ok(NetsFile { nets })
+}
+
+fn parse_pin_line(
+    lines: &Lines<'_>,
+    no: usize,
+    line: &str,
+) -> Result<NetPinRecord, ParseBookshelfError> {
+    // Forms: `node`, `node I`, `node I : x y`.
+    let (head, offsets) = match line.split_once(':') {
+        Some((h, o)) => (h.trim(), Some(o.trim())),
+        None => (line, None),
+    };
+    let mut tokens = head.split_whitespace();
+    let node = tokens
+        .next()
+        .ok_or_else(|| lines.error(no, "expected a node name on pin line"))?
+        .to_string();
+    let direction = match tokens.next() {
+        None => None,
+        Some(t) => Some(
+            PinDirectionHint::from_token(t)
+                .ok_or_else(|| lines.error(no, format!("unknown pin direction `{t}`")))?,
+        ),
+    };
+    if let Some(t) = tokens.next() {
+        return Err(lines.error(no, format!("unexpected token `{t}` on pin line")));
+    }
+    let (offset_x, offset_y) = match offsets {
+        None => (0.0, 0.0),
+        Some(o) => {
+            let mut toks = o.split_whitespace();
+            let x = parse_f64(
+                "nets",
+                no,
+                toks.next().ok_or_else(|| lines.error(no, "missing pin x offset"))?,
+                "pin x offset",
+            )?;
+            let y = parse_f64(
+                "nets",
+                no,
+                toks.next().ok_or_else(|| lines.error(no, "missing pin y offset"))?,
+                "pin y offset",
+            )?;
+            (x, y)
+        }
+    };
+    Ok(NetPinRecord {
+        node,
+        direction,
+        offset_x,
+        offset_y,
+    })
+}
+
+/// Renders a [`NetsFile`] back to Bookshelf text.
+pub fn write_nets(file: &NetsFile) -> String {
+    let mut out = String::new();
+    out.push_str("UCLA nets 1.0\n");
+    let _ = writeln!(out, "NumNets : {}", file.nets.len());
+    let _ = writeln!(out, "NumPins : {}", file.num_pins());
+    for net in &file.nets {
+        let _ = writeln!(out, "NetDegree : {} {}", net.pins.len(), net.name);
+        for pin in &net.pins {
+            let _ = write!(out, "    {}", pin.node);
+            if let Some(d) = pin.direction {
+                let _ = write!(out, " {}", d.as_token());
+            }
+            if pin.offset_x != 0.0 || pin.offset_y != 0.0 {
+                let _ = write!(out, " : {} {}", pin.offset_x, pin.offset_y);
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+UCLA nets 1.0
+NumNets : 2
+NumPins : 5
+NetDegree : 3 n0
+    a1 O
+    a2 I
+    a3 I : 0.5 -1
+NetDegree : 2 n1
+    a3
+    a1
+";
+
+    #[test]
+    fn parses_sample() {
+        let f = parse_nets(SAMPLE).unwrap();
+        assert_eq!(f.nets.len(), 2);
+        assert_eq!(f.num_pins(), 5);
+        assert_eq!(f.nets[0].name, "n0");
+        assert_eq!(f.nets[0].pins[0].direction, Some(PinDirectionHint::Output));
+        assert_eq!(f.nets[0].pins[2].offset_x, 0.5);
+        assert_eq!(f.nets[0].pins[2].offset_y, -1.0);
+        assert_eq!(f.nets[1].pins[0].direction, None);
+    }
+
+    #[test]
+    fn round_trips() {
+        let f = parse_nets(SAMPLE).unwrap();
+        let g = parse_nets(&write_nets(&f)).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn degree_truncation_is_error() {
+        let bad = "NumNets : 1\nNumPins : 3\nNetDegree : 3 n0\n a I\n b I\n";
+        assert!(parse_nets(bad).is_err());
+    }
+
+    #[test]
+    fn pin_count_mismatch_is_error() {
+        let bad = "NumNets : 1\nNumPins : 9\nNetDegree : 2 n0\n a I\n b I\n";
+        let err = parse_nets(bad).unwrap_err();
+        assert!(err.to_string().contains("NumPins"));
+    }
+
+    #[test]
+    fn unnamed_net_gets_default_name() {
+        let text = "NumNets : 1\nNumPins : 2\nNetDegree : 2\n a\n b\n";
+        let f = parse_nets(text).unwrap();
+        assert_eq!(f.nets[0].name, "net0");
+    }
+
+    #[test]
+    fn bad_direction_is_error() {
+        let bad = "NumNets : 1\nNumPins : 1\nNetDegree : 1 n\n a X\n";
+        let err = parse_nets(bad).unwrap_err();
+        assert!(err.to_string().contains("direction"));
+    }
+
+    #[test]
+    fn bidirectional_pins_parse() {
+        let text = "NumNets : 1\nNumPins : 1\nNetDegree : 1 n\n a B\n";
+        let f = parse_nets(text).unwrap();
+        assert_eq!(f.nets[0].pins[0].direction, Some(PinDirectionHint::Bidirectional));
+    }
+}

@@ -1,0 +1,180 @@
+//! `.nodes` files: cell names, dimensions, and terminal flags.
+
+use crate::error::ParseBookshelfError;
+use crate::lexer::{parse_f64, Lines};
+use std::fmt::Write as _;
+
+/// One record from a `.nodes` file.
+#[derive(Clone, PartialEq, Debug)]
+pub struct NodeRecord {
+    /// Node (cell or terminal) name.
+    pub name: String,
+    /// Width in Bookshelf site units.
+    pub width: f64,
+    /// Height in Bookshelf site units.
+    pub height: f64,
+    /// Whether the node is a fixed terminal (pad or macro).
+    pub terminal: bool,
+}
+
+/// Parsed contents of a `.nodes` file.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct NodesFile {
+    /// All node records, in file order.
+    pub nodes: Vec<NodeRecord>,
+}
+
+impl NodesFile {
+    /// Number of terminal nodes.
+    pub fn num_terminals(&self) -> usize {
+        self.nodes.iter().filter(|n| n.terminal).count()
+    }
+}
+
+/// Parses the text of a `.nodes` file.
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError`] when counts are missing or malformed, a
+/// record has fewer than three fields, a dimension is not a number, or the
+/// declared `NumNodes`/`NumTerminals` disagree with the records present.
+pub fn parse_nodes(text: &str) -> Result<NodesFile, ParseBookshelfError> {
+    const KIND: &str = "nodes";
+    let mut lines = Lines::new(KIND, text);
+    lines.skip_format_header();
+    let num_nodes = lines.expect_count("NumNodes")?;
+    let num_terminals = lines.expect_count("NumTerminals")?;
+    let mut nodes = Vec::with_capacity(num_nodes);
+    while let Some((no, line)) = lines.next_line() {
+        let mut tokens = line.split_whitespace();
+        let name = tokens
+            .next()
+            .ok_or_else(|| lines.error(no, "expected a node name"))?
+            .to_string();
+        let width = parse_f64(
+            KIND,
+            no,
+            tokens.next().ok_or_else(|| lines.error(no, "missing width"))?,
+            "width",
+        )?;
+        let height = parse_f64(
+            KIND,
+            no,
+            tokens
+                .next()
+                .ok_or_else(|| lines.error(no, "missing height"))?,
+            "height",
+        )?;
+        let terminal = match tokens.next() {
+            None => false,
+            Some(t) if t.eq_ignore_ascii_case("terminal") => true,
+            Some(t) if t.eq_ignore_ascii_case("terminal_NI") => true,
+            Some(t) => return Err(lines.error(no, format!("unexpected token `{t}`"))),
+        };
+        nodes.push(NodeRecord {
+            name,
+            width,
+            height,
+            terminal,
+        });
+    }
+    if nodes.len() != num_nodes {
+        return Err(ParseBookshelfError::new(
+            KIND,
+            0,
+            format!("NumNodes says {num_nodes} but found {} records", nodes.len()),
+        ));
+    }
+    let terminals = nodes.iter().filter(|n| n.terminal).count();
+    if terminals != num_terminals {
+        return Err(ParseBookshelfError::new(
+            KIND,
+            0,
+            format!("NumTerminals says {num_terminals} but found {terminals}"),
+        ));
+    }
+    Ok(NodesFile { nodes })
+}
+
+/// Renders a [`NodesFile`] back to Bookshelf text.
+pub fn write_nodes(file: &NodesFile) -> String {
+    let mut out = String::new();
+    out.push_str("UCLA nodes 1.0\n");
+    let _ = writeln!(out, "NumNodes : {}", file.nodes.len());
+    let _ = writeln!(out, "NumTerminals : {}", file.num_terminals());
+    for n in &file.nodes {
+        let _ = write!(out, "    {} {} {}", n.name, n.width, n.height);
+        if n.terminal {
+            out.push_str(" terminal");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+UCLA nodes 1.0
+# comment
+NumNodes : 3
+NumTerminals : 1
+    a1 4 8
+    a2 2 8
+    p1 1 1 terminal
+";
+
+    #[test]
+    fn parses_sample() {
+        let f = parse_nodes(SAMPLE).unwrap();
+        assert_eq!(f.nodes.len(), 3);
+        assert_eq!(f.num_terminals(), 1);
+        assert_eq!(f.nodes[0].name, "a1");
+        assert_eq!(f.nodes[0].width, 4.0);
+        assert!(f.nodes[2].terminal);
+    }
+
+    #[test]
+    fn round_trips() {
+        let f = parse_nodes(SAMPLE).unwrap();
+        let text = write_nodes(&f);
+        let g = parse_nodes(&text).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn count_mismatch_is_error() {
+        let bad = "NumNodes : 2\nNumTerminals : 0\n a 1 1\n";
+        let err = parse_nodes(bad).unwrap_err();
+        assert!(err.to_string().contains("NumNodes"));
+    }
+
+    #[test]
+    fn terminal_count_mismatch_is_error() {
+        let bad = "NumNodes : 1\nNumTerminals : 1\n a 1 1\n";
+        let err = parse_nodes(bad).unwrap_err();
+        assert!(err.to_string().contains("NumTerminals"));
+    }
+
+    #[test]
+    fn bad_dimension_reports_line() {
+        let bad = "NumNodes : 1\nNumTerminals : 0\n a x 1\n";
+        let err = parse_nodes(bad).unwrap_err();
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn unexpected_trailing_token_is_error() {
+        let bad = "NumNodes : 1\nNumTerminals : 0\n a 1 1 bogus\n";
+        assert!(parse_nodes(bad).is_err());
+    }
+
+    #[test]
+    fn terminal_ni_accepted() {
+        let ok = "NumNodes : 1\nNumTerminals : 1\n a 1 1 terminal_NI\n";
+        let f = parse_nodes(ok).unwrap();
+        assert!(f.nodes[0].terminal);
+    }
+}

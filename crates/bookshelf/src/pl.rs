@@ -1,0 +1,172 @@
+//! `.pl` files: node positions, with an optional 3D layer extension.
+//!
+//! The standard Bookshelf record is `name x y : ORIENT [/FIXED]`. For 3D
+//! placements this crate writes and accepts an extended record with a third
+//! coordinate — the layer index — before the colon: `name x y z : N`.
+
+use crate::error::ParseBookshelfError;
+use crate::lexer::{parse_f64, Lines};
+use std::fmt::Write as _;
+
+/// One record from a `.pl` file.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PlRecord {
+    /// Node name.
+    pub name: String,
+    /// X coordinate, site units.
+    pub x: f64,
+    /// Y coordinate, site units.
+    pub y: f64,
+    /// Layer index for 3D placements (`None` in standard 2D files).
+    pub layer: Option<u32>,
+    /// Orientation token (`N`, `S`, ... ). `N` when unspecified.
+    pub orient: String,
+    /// Whether the record carries the `/FIXED` attribute.
+    pub fixed: bool,
+}
+
+/// Parsed contents of a `.pl` file.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct PlFile {
+    /// All placement records, in file order.
+    pub records: Vec<PlRecord>,
+}
+
+/// Parses the text of a `.pl` file (2D or the 3D extension).
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError`] for records with missing or non-numeric
+/// coordinates or unknown trailing attributes.
+pub fn parse_pl(text: &str) -> Result<PlFile, ParseBookshelfError> {
+    const KIND: &str = "pl";
+    let mut lines = Lines::new(KIND, text);
+    lines.skip_format_header();
+    let mut records = Vec::new();
+    while let Some((no, line)) = lines.next_line() {
+        let (head, tail) = match line.split_once(':') {
+            Some((h, t)) => (h.trim(), Some(t.trim())),
+            None => (line, None),
+        };
+        let mut tokens = head.split_whitespace();
+        let name = tokens
+            .next()
+            .ok_or_else(|| lines.error(no, "expected a node name"))?
+            .to_string();
+        let x = parse_f64(
+            KIND,
+            no,
+            tokens.next().ok_or_else(|| lines.error(no, "missing x"))?,
+            "x",
+        )?;
+        let y = parse_f64(
+            KIND,
+            no,
+            tokens.next().ok_or_else(|| lines.error(no, "missing y"))?,
+            "y",
+        )?;
+        let layer = match tokens.next() {
+            None => None,
+            Some(t) => Some(
+                t.parse::<u32>()
+                    .map_err(|_| lines.error(no, format!("layer `{t}` is not an integer")))?,
+            ),
+        };
+        if let Some(t) = tokens.next() {
+            return Err(lines.error(no, format!("unexpected token `{t}`")));
+        }
+        let (orient, fixed) = match tail {
+            None => ("N".to_string(), false),
+            Some(t) => {
+                let mut toks = t.split_whitespace();
+                let orient = toks.next().unwrap_or("N").to_string();
+                let fixed = match toks.next() {
+                    None => false,
+                    Some(a) if a.eq_ignore_ascii_case("/FIXED") => true,
+                    Some(a) if a.eq_ignore_ascii_case("/FIXED_NI") => true,
+                    Some(a) => return Err(lines.error(no, format!("unexpected attribute `{a}`"))),
+                };
+                (orient, fixed)
+            }
+        };
+        records.push(PlRecord {
+            name,
+            x,
+            y,
+            layer,
+            orient,
+            fixed,
+        });
+    }
+    Ok(PlFile { records })
+}
+
+/// Renders a [`PlFile`] back to Bookshelf text.
+pub fn write_pl(file: &PlFile) -> String {
+    let mut out = String::new();
+    out.push_str("UCLA pl 1.0\n");
+    for r in &file.records {
+        let _ = write!(out, "{} {} {}", r.name, r.x, r.y);
+        if let Some(layer) = r.layer {
+            let _ = write!(out, " {layer}");
+        }
+        let _ = write!(out, " : {}", r.orient);
+        if r.fixed {
+            out.push_str(" /FIXED");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+UCLA pl 1.0
+a1 12 24 : N
+a2 -3 0.5 : FS /FIXED
+";
+
+    #[test]
+    fn parses_2d() {
+        let f = parse_pl(SAMPLE).unwrap();
+        assert_eq!(f.records.len(), 2);
+        assert_eq!(f.records[0].x, 12.0);
+        assert_eq!(f.records[0].layer, None);
+        assert!(f.records[1].fixed);
+        assert_eq!(f.records[1].orient, "FS");
+    }
+
+    #[test]
+    fn parses_3d_extension() {
+        let f = parse_pl("a 1 2 3 : N\n").unwrap();
+        assert_eq!(f.records[0].layer, Some(3));
+    }
+
+    #[test]
+    fn round_trips_2d_and_3d() {
+        for text in [SAMPLE, "UCLA pl 1.0\na 1 2 3 : N\nb 4 5 0 : N /FIXED\n"] {
+            let f = parse_pl(text).unwrap();
+            assert_eq!(parse_pl(&write_pl(&f)).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn colon_is_optional() {
+        let f = parse_pl("a 1 2\n").unwrap();
+        assert_eq!(f.records[0].orient, "N");
+        assert!(!f.records[0].fixed);
+    }
+
+    #[test]
+    fn bad_layer_is_error() {
+        assert!(parse_pl("a 1 2 x : N\n").is_err());
+    }
+
+    #[test]
+    fn bad_attribute_is_error() {
+        assert!(parse_pl("a 1 2 : N /WEIRD\n").is_err());
+    }
+}

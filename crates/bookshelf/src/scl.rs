@@ -1,0 +1,226 @@
+//! `.scl` files: core row definitions.
+
+use crate::error::ParseBookshelfError;
+use crate::lexer::{split_key_value, Lines};
+use std::fmt::Write as _;
+
+/// One `CoreRow` from a `.scl` file. All distances are in site units.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RowRecord {
+    /// Row y coordinate (bottom edge).
+    pub coordinate: f64,
+    /// Row height.
+    pub height: f64,
+    /// Width of a placement site.
+    pub site_width: f64,
+    /// Pitch between sites.
+    pub site_spacing: f64,
+    /// X coordinate of the first site.
+    pub subrow_origin: f64,
+    /// Number of sites in the row.
+    pub num_sites: usize,
+}
+
+impl RowRecord {
+    /// X coordinate of the right edge of the row.
+    pub fn right_edge(&self) -> f64 {
+        self.subrow_origin + self.site_spacing * self.num_sites as f64
+    }
+}
+
+/// Parsed contents of a `.scl` file.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SclFile {
+    /// All rows, in file order (IBM-PLACE orders them bottom-up).
+    pub rows: Vec<RowRecord>,
+}
+
+/// Parses the text of a `.scl` file.
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError`] when `NumRows` is missing or wrong, a row
+/// block is missing `End`, or a numeric field is malformed. Unrecognized
+/// row attributes (e.g. `Siteorient`) are ignored, as different suites vary.
+pub fn parse_scl(text: &str) -> Result<SclFile, ParseBookshelfError> {
+    const KIND: &str = "scl";
+    let mut lines = Lines::new(KIND, text);
+    lines.skip_format_header();
+    let num_rows = lines.expect_count("NumRows")?;
+    let mut rows = Vec::with_capacity(num_rows);
+    while let Some((no, line)) = lines.next_line() {
+        if !line.to_ascii_lowercase().starts_with("corerow") {
+            return Err(lines.error(no, format!("expected `CoreRow`, got `{line}`")));
+        }
+        let mut coordinate = None;
+        let mut height = None;
+        let mut site_width = 1.0;
+        let mut site_spacing = 1.0;
+        let mut subrow_origin = None;
+        let mut num_sites = None;
+        loop {
+            let (fno, fline) = lines
+                .next_line()
+                .ok_or_else(|| lines.error(no, "row block not terminated with `End`"))?;
+            if fline.eq_ignore_ascii_case("End") {
+                break;
+            }
+            // A line may hold several `Key : value` pairs (SubrowOrigin and
+            // NumSites conventionally share a line).
+            for part in split_multi_kv(fline) {
+                let Some((key, value)) = split_key_value(&part) else {
+                    return Err(lines.error(fno, format!("expected `Key : value`, got `{part}`")));
+                };
+                let num = || -> Result<f64, ParseBookshelfError> {
+                    value
+                        .split_whitespace()
+                        .next()
+                        .unwrap_or("")
+                        .parse()
+                        .map_err(|_| {
+                            ParseBookshelfError::new(
+                                KIND,
+                                fno,
+                                format!("`{key}` value `{value}` is not a number"),
+                            )
+                        })
+                };
+                match key.to_ascii_lowercase().as_str() {
+                    "coordinate" => coordinate = Some(num()?),
+                    "height" => height = Some(num()?),
+                    "sitewidth" => site_width = num()?,
+                    "sitespacing" => site_spacing = num()?,
+                    "subroworigin" => subrow_origin = Some(num()?),
+                    "numsites" => num_sites = Some(num()? as usize),
+                    // Sitesymmetry, Siteorient, etc. are irrelevant here.
+                    _ => {}
+                }
+            }
+        }
+        rows.push(RowRecord {
+            coordinate: coordinate.ok_or_else(|| lines.error(no, "row missing Coordinate"))?,
+            height: height.ok_or_else(|| lines.error(no, "row missing Height"))?,
+            site_width,
+            site_spacing,
+            subrow_origin: subrow_origin.ok_or_else(|| lines.error(no, "row missing SubrowOrigin"))?,
+            num_sites: num_sites.ok_or_else(|| lines.error(no, "row missing NumSites"))?,
+        });
+    }
+    if rows.len() != num_rows {
+        return Err(ParseBookshelfError::new(
+            KIND,
+            0,
+            format!("NumRows says {num_rows} but found {}", rows.len()),
+        ));
+    }
+    Ok(SclFile { rows })
+}
+
+/// Splits a line holding multiple `Key : value` pairs into one string per
+/// pair. Heuristic: a new key starts at a token that follows a numeric value.
+fn split_multi_kv(line: &str) -> Vec<String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let mut parts = Vec::new();
+    let mut current: Vec<&str> = Vec::new();
+    let mut seen_value = false;
+    for t in tokens {
+        if seen_value && t != ":" && t.parse::<f64>().is_err() {
+            parts.push(current.join(" "));
+            current = Vec::new();
+            seen_value = false;
+        }
+        if t.parse::<f64>().is_ok() {
+            seen_value = true;
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        parts.push(current.join(" "));
+    }
+    parts
+}
+
+/// Renders an [`SclFile`] back to Bookshelf text.
+pub fn write_scl(file: &SclFile) -> String {
+    let mut out = String::new();
+    out.push_str("UCLA scl 1.0\n");
+    let _ = writeln!(out, "NumRows : {}", file.rows.len());
+    for r in &file.rows {
+        out.push_str("CoreRow Horizontal\n");
+        let _ = writeln!(out, "  Coordinate : {}", r.coordinate);
+        let _ = writeln!(out, "  Height : {}", r.height);
+        let _ = writeln!(out, "  Sitewidth : {}", r.site_width);
+        let _ = writeln!(out, "  Sitespacing : {}", r.site_spacing);
+        let _ = writeln!(out, "  SubrowOrigin : {} NumSites : {}", r.subrow_origin, r.num_sites);
+        out.push_str("End\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+UCLA scl 1.0
+NumRows : 2
+CoreRow Horizontal
+  Coordinate : 0
+  Height : 8
+  Sitewidth : 1
+  Sitespacing : 1
+  Siteorient : N
+  SubrowOrigin : 0 NumSites : 100
+End
+CoreRow Horizontal
+  Coordinate : 10
+  Height : 8
+  Sitewidth : 1
+  Sitespacing : 1
+  SubrowOrigin : 0 NumSites : 100
+End
+";
+
+    #[test]
+    fn parses_sample() {
+        let f = parse_scl(SAMPLE).unwrap();
+        assert_eq!(f.rows.len(), 2);
+        assert_eq!(f.rows[0].height, 8.0);
+        assert_eq!(f.rows[0].num_sites, 100);
+        assert_eq!(f.rows[1].coordinate, 10.0);
+        assert_eq!(f.rows[0].right_edge(), 100.0);
+    }
+
+    #[test]
+    fn round_trips() {
+        let f = parse_scl(SAMPLE).unwrap();
+        assert_eq!(parse_scl(&write_scl(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn missing_end_is_error() {
+        let bad = "NumRows : 1\nCoreRow Horizontal\n Coordinate : 0\n";
+        assert!(parse_scl(bad).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_error() {
+        let bad = "NumRows : 1\nCoreRow Horizontal\n Coordinate : 0\nEnd\n";
+        let err = parse_scl(bad).unwrap_err();
+        assert!(err.to_string().contains("Height"));
+    }
+
+    #[test]
+    fn row_count_mismatch_is_error() {
+        let bad = "NumRows : 3\nCoreRow Horizontal\n Coordinate : 0\n Height : 8\n SubrowOrigin : 0 NumSites : 5\nEnd\n";
+        assert!(parse_scl(bad).is_err());
+    }
+
+    #[test]
+    fn split_multi_kv_splits_pairs() {
+        let parts = split_multi_kv("SubrowOrigin : 0 NumSites : 100");
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], "SubrowOrigin : 0");
+        assert_eq!(parts[1], "NumSites : 100");
+    }
+}

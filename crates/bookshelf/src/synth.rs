@@ -1,0 +1,301 @@
+//! Synthetic IBM-PLACE-like benchmark generation.
+//!
+//! The original IBM-PLACE files are not redistributable, so experiments run
+//! on synthetic circuits that reproduce each benchmark's *published*
+//! statistics — cell count and total cell area from Table 1 of the DAC'07
+//! paper — with hierarchical, Rent's-rule-like connectivity:
+//!
+//! * Net degrees follow `2 + Geometric(p)`, truncated, with `p` chosen to
+//!   hit the configured average degree (IBM-PLACE averages ≈ 3.5–4.5).
+//! * Net locality follows a power law: each net selects a window of
+//!   consecutive cell indices whose size is `n · u^γ` for `u ~ U(0,1)`,
+//!   so most nets are local and a heavy tail spans the whole design —
+//!   the qualitative property Rent's rule implies and min-cut placement
+//!   exploits.
+//! * Each net's first pin is its driver; switching activities are drawn
+//!   from a skewed distribution with mean ≈ 0.15.
+//!
+//! Generation is fully deterministic given [`SynthConfig::seed`].
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use tvp_netlist::{BuildNetlistError, Netlist, NetlistBuilder, PinDirection};
+
+/// Configuration for one synthetic benchmark.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SynthConfig {
+    /// Benchmark name (e.g. `ibm01`).
+    pub name: String,
+    /// Number of movable cells.
+    pub num_cells: usize,
+    /// Total cell area in square meters (Table 1 reports mm²).
+    pub total_area_m2: f64,
+    /// Nets per cell; IBM-PLACE designs have ≈ 0.94 nets per cell.
+    pub nets_per_cell: f64,
+    /// Target average net degree (pins per net).
+    pub avg_net_degree: f64,
+    /// Locality exponent γ: larger values make nets more local.
+    pub locality_exponent: f64,
+    /// RNG seed; equal configs generate identical netlists.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// Creates a config with the suite-typical connectivity defaults.
+    pub fn named(name: impl Into<String>, num_cells: usize, total_area_m2: f64) -> Self {
+        Self {
+            name: name.into(),
+            num_cells,
+            total_area_m2,
+            nets_per_cell: 0.94,
+            avg_net_degree: 3.8,
+            locality_exponent: 4.0,
+            seed: 0xDAC_2007,
+        }
+    }
+
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scales the benchmark down (or up) while preserving its statistics.
+    ///
+    /// Cell count is multiplied by `factor` (minimum 16 cells) and the area
+    /// shrinks proportionally so the average cell area — and therefore the
+    /// process geometry — is unchanged.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let new_cells = ((self.num_cells as f64 * factor).round() as usize).max(16);
+        self.total_area_m2 *= new_cells as f64 / self.num_cells as f64;
+        self.num_cells = new_cells;
+        self
+    }
+
+    /// Number of nets this config will generate.
+    pub fn num_nets(&self) -> usize {
+        ((self.num_cells as f64 * self.nets_per_cell).round() as usize).max(1)
+    }
+}
+
+/// Table 1 of the paper: `(name, cells, area in mm²)` for ibm01–ibm18.
+pub const IBM_TABLE1: [(&str, usize, f64); 18] = [
+    ("ibm01", 12282, 0.060),
+    ("ibm02", 19321, 0.086),
+    ("ibm03", 22207, 0.090),
+    ("ibm04", 26633, 0.122),
+    ("ibm05", 29347, 0.150),
+    ("ibm06", 32185, 0.117),
+    ("ibm07", 45135, 0.197),
+    ("ibm08", 50977, 0.214),
+    ("ibm09", 51746, 0.221),
+    ("ibm10", 67692, 0.377),
+    ("ibm11", 68525, 0.287),
+    ("ibm12", 69663, 0.415),
+    ("ibm13", 81508, 0.326),
+    ("ibm14", 146009, 0.680),
+    ("ibm15", 158244, 0.634),
+    ("ibm16", 182137, 0.892),
+    ("ibm17", 183102, 1.040),
+    ("ibm18", 210323, 0.988),
+];
+
+/// Builds configs for the full ibm01–ibm18 suite at the given scale factor
+/// (`1.0` = published sizes; experiment binaries default to a reduced scale).
+pub fn ibm_suite(scale: f64) -> Vec<SynthConfig> {
+    IBM_TABLE1
+        .iter()
+        .map(|&(name, cells, area_mm2)| {
+            SynthConfig::named(name, cells, area_mm2 * 1.0e-6).scaled(scale)
+        })
+        .collect()
+}
+
+/// Generates the synthetic netlist described by `config`.
+///
+/// # Errors
+///
+/// Returns [`BuildNetlistError`] only if the config is degenerate (e.g. a
+/// non-positive total area leading to invalid cell sizes).
+pub fn generate(config: &SynthConfig) -> Result<Netlist, BuildNetlistError> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let n = config.num_cells;
+    let num_nets = config.num_nets();
+    let mut builder = NetlistBuilder::with_capacity(
+        n,
+        num_nets,
+        (num_nets as f64 * config.avg_net_degree) as usize,
+    );
+
+    // Standard-cell geometry: fixed row height, widths uniform in
+    // [h, 3h] so the mean width is 2h and mean area is 2h².
+    let avg_area = config.total_area_m2 / n as f64;
+    let height = (avg_area / 2.0).sqrt();
+    let cells: Vec<_> = (0..n)
+        .map(|i| {
+            let width = height * rng.random_range(1.0..3.0);
+            builder.add_cell(format!("c{i}"), width, height)
+        })
+        .collect();
+
+    // Geometric net-degree tail tuned to the configured average.
+    let extra_mean = (config.avg_net_degree - 2.0).max(0.0);
+    let p = 1.0 / (1.0 + extra_mean);
+
+    for i in 0..num_nets {
+        let net = builder.add_net(format!("n{i}"));
+        // Skewed activity with mean ≈ 0.15 (0.45·u² has mean 0.15).
+        let activity: f64 = 0.45 * rng.random::<f64>().powi(2);
+        builder
+            .set_switching_activity(net, activity.clamp(0.0, 1.0))
+            .expect("activity in range");
+
+        let mut degree = 2usize;
+        while degree < 32 && rng.random::<f64>() > p {
+            degree += 1;
+        }
+        let degree = degree.min(n);
+
+        // Power-law window: most nets span few cells, a few span everything.
+        let u: f64 = rng.random();
+        let window = ((n as f64 * u.powf(config.locality_exponent)).ceil() as usize)
+            .clamp(degree, n);
+        let start = rng.random_range(0..=(n - window));
+
+        let mut chosen = Vec::with_capacity(degree);
+        let mut guard = 0;
+        while chosen.len() < degree && guard < 64 * degree {
+            guard += 1;
+            let c = start + rng.random_range(0..window);
+            if !chosen.contains(&c) {
+                chosen.push(c);
+            }
+        }
+        // Fall back to a dense scan if the window was tiny and collisions
+        // exhausted the random attempts.
+        if chosen.len() < degree {
+            for c in start..start + window {
+                if !chosen.contains(&c) {
+                    chosen.push(c);
+                    if chosen.len() == degree {
+                        break;
+                    }
+                }
+            }
+        }
+
+        for (j, &c) in chosen.iter().enumerate() {
+            let dir = if j == 0 {
+                PinDirection::Output
+            } else {
+                PinDirection::Input
+            };
+            // Duplicate (cell, net) pairs cannot happen: `chosen` is deduped.
+            builder.connect(net, cells[c], dir).expect("unique pins");
+        }
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let cfg = SynthConfig::named("t", 300, 1.5e-9);
+        let nl = generate(&cfg).unwrap();
+        assert_eq!(nl.num_cells(), 300);
+        assert_eq!(nl.num_nets(), cfg.num_nets());
+        let area = nl.total_cell_area();
+        assert!(
+            (area - 1.5e-9).abs() < 0.25e-9,
+            "area {area} should be near the target"
+        );
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let cfg = SynthConfig::named("t", 200, 1e-9).with_seed(5);
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a, b);
+        let c = generate(&cfg.clone().with_seed(6)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn average_degree_near_target() {
+        let cfg = SynthConfig::named("t", 2000, 1e-8);
+        let nl = generate(&cfg).unwrap();
+        let avg = nl.stats().avg_net_degree;
+        assert!(
+            (avg - cfg.avg_net_degree).abs() < 0.5,
+            "avg degree {avg} should be near {}",
+            cfg.avg_net_degree
+        );
+    }
+
+    #[test]
+    fn every_net_has_driver_and_two_pins() {
+        let nl = generate(&SynthConfig::named("t", 500, 1e-9)).unwrap();
+        for (_, net) in nl.iter_nets() {
+            assert!(net.degree() >= 2);
+            assert!(net.driver().is_some());
+        }
+    }
+
+    #[test]
+    fn locality_most_nets_are_short() {
+        // With γ=4 most windows are a tiny fraction of the design: verify
+        // that the median net index-span is much smaller than n.
+        let n = 4000;
+        let nl = generate(&SynthConfig::named("t", n, 1e-8)).unwrap();
+        let mut spans: Vec<usize> = nl
+            .nets()
+            .iter()
+            .map(|net| {
+                let idx: Vec<usize> = net
+                    .pins()
+                    .iter()
+                    .map(|&p| nl.pin(p).cell().index())
+                    .collect();
+                idx.iter().max().unwrap() - idx.iter().min().unwrap()
+            })
+            .collect();
+        spans.sort_unstable();
+        let median = spans[spans.len() / 2];
+        assert!(
+            median < n / 10,
+            "median span {median} should be well below {n}"
+        );
+        // ...but the tail must contain genuinely global nets.
+        assert!(*spans.last().unwrap() > n / 2);
+    }
+
+    #[test]
+    fn suite_matches_table1() {
+        let suite = ibm_suite(1.0);
+        assert_eq!(suite.len(), 18);
+        assert_eq!(suite[0].name, "ibm01");
+        assert_eq!(suite[0].num_cells, 12282);
+        assert!((suite[17].total_area_m2 - 0.988e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_preserves_cell_area() {
+        let cfg = SynthConfig::named("t", 10000, 1e-7);
+        let scaled = cfg.clone().scaled(0.1);
+        assert_eq!(scaled.num_cells, 1000);
+        let avg_before = cfg.total_area_m2 / cfg.num_cells as f64;
+        let avg_after = scaled.total_area_m2 / scaled.num_cells as f64;
+        assert!((avg_before - avg_after).abs() < 1e-18);
+    }
+
+    #[test]
+    fn scaling_floors_at_16_cells() {
+        let cfg = SynthConfig::named("t", 100, 1e-9).scaled(0.001);
+        assert_eq!(cfg.num_cells, 16);
+    }
+}

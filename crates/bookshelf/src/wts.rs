@@ -1,0 +1,86 @@
+//! `.wts` files: net weights.
+
+use crate::error::ParseBookshelfError;
+use crate::lexer::{parse_f64, Lines};
+use std::fmt::Write as _;
+
+/// One record from a `.wts` file.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WtsRecord {
+    /// Net (or node, in some suites) name.
+    pub name: String,
+    /// Weight value.
+    pub weight: f64,
+}
+
+/// Parsed contents of a `.wts` file.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct WtsFile {
+    /// All weight records, in file order.
+    pub records: Vec<WtsRecord>,
+}
+
+/// Parses the text of a `.wts` file.
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError`] for records without exactly a name and a
+/// numeric weight.
+pub fn parse_wts(text: &str) -> Result<WtsFile, ParseBookshelfError> {
+    const KIND: &str = "wts";
+    let mut lines = Lines::new(KIND, text);
+    lines.skip_format_header();
+    let mut records = Vec::new();
+    while let Some((no, line)) = lines.next_line() {
+        let mut tokens = line.split_whitespace();
+        let name = tokens
+            .next()
+            .ok_or_else(|| lines.error(no, "expected a name"))?
+            .to_string();
+        let weight = parse_f64(
+            KIND,
+            no,
+            tokens.next().ok_or_else(|| lines.error(no, "missing weight"))?,
+            "weight",
+        )?;
+        if let Some(t) = tokens.next() {
+            return Err(lines.error(no, format!("unexpected token `{t}`")));
+        }
+        records.push(WtsRecord { name, weight });
+    }
+    Ok(WtsFile { records })
+}
+
+/// Renders a [`WtsFile`] back to Bookshelf text.
+pub fn write_wts(file: &WtsFile) -> String {
+    let mut out = String::new();
+    out.push_str("UCLA wts 1.0\n");
+    for r in &file.records {
+        let _ = writeln!(out, "{} {}", r.name, r.weight);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let text = "UCLA wts 1.0\nn0 1\nn1 2.5\n";
+        let f = parse_wts(text).unwrap();
+        assert_eq!(f.records.len(), 2);
+        assert_eq!(f.records[1].weight, 2.5);
+        assert_eq!(parse_wts(&write_wts(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn missing_weight_is_error() {
+        assert!(parse_wts("n0\n").is_err());
+    }
+
+    #[test]
+    fn extra_token_is_error() {
+        assert!(parse_wts("n0 1 2\n").is_err());
+    }
+}

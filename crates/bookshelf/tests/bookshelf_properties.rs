@@ -1,0 +1,125 @@
+//! Property-based round-trip tests for the Bookshelf parsers and writers.
+
+use proptest::prelude::*;
+use tvp_bookshelf::{
+    parse_nets, parse_nodes, parse_pl, parse_wts, write_nets, write_nodes, write_pl, write_wts,
+    NetPinRecord, NetRecord, NetsFile, NodeRecord, NodesFile, PinDirectionHint, PlFile, PlRecord,
+    WtsFile, WtsRecord,
+};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn nodes_strategy() -> impl Strategy<Value = NodesFile> {
+    prop::collection::vec(
+        (name_strategy(), 1.0f64..100.0, 1.0f64..100.0, any::<bool>()),
+        0..20,
+    )
+    .prop_map(|records| NodesFile {
+        nodes: records
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, width, height, terminal))| NodeRecord {
+                // Suffix with the index so names stay unique.
+                name: format!("{name}{i}"),
+                width: (width * 4.0).round() / 4.0,
+                height: (height * 4.0).round() / 4.0,
+                terminal,
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nodes_round_trip(file in nodes_strategy()) {
+        let text = write_nodes(&file);
+        let parsed = parse_nodes(&text).unwrap();
+        prop_assert_eq!(parsed, file);
+    }
+
+    #[test]
+    fn wts_round_trip(records in prop::collection::vec((name_strategy(), 0.0f64..100.0), 0..20)) {
+        let file = WtsFile {
+            records: records
+                .into_iter()
+                .map(|(name, weight)| WtsRecord {
+                    name,
+                    weight: (weight * 8.0).round() / 8.0,
+                })
+                .collect(),
+        };
+        let parsed = parse_wts(&write_wts(&file)).unwrap();
+        prop_assert_eq!(parsed, file);
+    }
+
+    #[test]
+    fn pl_round_trip(
+        records in prop::collection::vec(
+            (name_strategy(), -100.0f64..100.0, -100.0f64..100.0, prop::option::of(0u32..8), any::<bool>()),
+            0..20,
+        )
+    ) {
+        let file = PlFile {
+            records: records
+                .into_iter()
+                .enumerate()
+                .map(|(i, (name, x, y, layer, fixed))| PlRecord {
+                    name: format!("{name}{i}"),
+                    x: (x * 4.0).round() / 4.0,
+                    y: (y * 4.0).round() / 4.0,
+                    layer,
+                    orient: "N".to_string(),
+                    fixed,
+                })
+                .collect(),
+        };
+        let parsed = parse_pl(&write_pl(&file)).unwrap();
+        prop_assert_eq!(parsed, file);
+    }
+
+    #[test]
+    fn nets_round_trip(
+        topology in prop::collection::vec(
+            prop::collection::vec((0usize..12, any::<bool>()), 1..6),
+            0..12,
+        )
+    ) {
+        let file = NetsFile {
+            nets: topology
+                .into_iter()
+                .enumerate()
+                .map(|(i, pins)| NetRecord {
+                    name: format!("n{i}"),
+                    pins: pins
+                        .into_iter()
+                        .map(|(node, input)| NetPinRecord {
+                            node: format!("c{node}"),
+                            direction: Some(if input {
+                                PinDirectionHint::Input
+                            } else {
+                                PinDirectionHint::Output
+                            }),
+                            offset_x: 0.0,
+                            offset_y: 0.0,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        };
+        let parsed = parse_nets(&write_nets(&file)).unwrap();
+        prop_assert_eq!(parsed, file);
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(text in "[ -~\n]{0,400}") {
+        // Malformed input must produce Err, never a panic.
+        let _ = parse_nodes(&text);
+        let _ = parse_nets(&text);
+        let _ = parse_pl(&text);
+        let _ = parse_wts(&text);
+    }
+}

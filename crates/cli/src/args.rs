@@ -1,0 +1,376 @@
+//! Argument parsing for the `tvp` binary (no external dependencies).
+
+use std::error::Error;
+use std::fmt;
+
+/// Usage text printed by `tvp help`.
+pub const USAGE: &str = "\
+tvp — thermal- and via-aware 3D-IC placement (DAC'07 reproduction)
+
+USAGE:
+  tvp place <design.aux> [--layers N] [--alpha-ilv X] [--alpha-temp X]
+            [--seed N] [--starts N] [--units METERS_PER_UNIT] [--out DIR]
+            [--svg FILE.svg]
+  tvp synth <name> --cells N [--area-mm2 A] [--seed N] --out DIR
+  tvp stats <design.aux> [--units METERS_PER_UNIT]
+  tvp sweep <design.aux> [--layers N] [--points N] [--units M] [--csv FILE]
+  tvp help
+
+EXAMPLES:
+  tvp synth demo --cells 2000 --out bench/
+  tvp place bench/demo.aux --layers 4 --alpha-ilv 1e-5 --out placed/
+";
+
+/// A parsed `tvp` invocation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Command {
+    /// `tvp place`.
+    Place(PlaceArgs),
+    /// `tvp synth`.
+    Synth(SynthArgs),
+    /// `tvp stats`.
+    Stats(StatsArgs),
+    /// `tvp sweep`.
+    Sweep(SweepArgs),
+    /// `tvp help` (or no arguments).
+    Help,
+}
+
+/// Arguments of `tvp sweep`: an `α_ILV` tradeoff sweep on one design.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepArgs {
+    /// Path to the `.aux` manifest.
+    pub aux: String,
+    /// Device layers.
+    pub layers: usize,
+    /// Number of sweep points.
+    pub points: usize,
+    /// Meters per Bookshelf site unit.
+    pub meters_per_unit: f64,
+    /// Optional CSV output path.
+    pub csv: Option<String>,
+}
+
+/// Arguments of `tvp place`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PlaceArgs {
+    /// Path to the `.aux` manifest.
+    pub aux: String,
+    /// Device layers.
+    pub layers: usize,
+    /// Interlayer via coefficient, meters.
+    pub alpha_ilv: f64,
+    /// Thermal coefficient, m/K (0 = off).
+    pub alpha_temp: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Bisection restarts.
+    pub starts: usize,
+    /// Meters per Bookshelf site unit.
+    pub meters_per_unit: f64,
+    /// Output directory for the placed design (omitted = metrics only).
+    pub out: Option<String>,
+    /// Path for an SVG rendering of the placement (omitted = none).
+    pub svg: Option<String>,
+}
+
+/// Arguments of `tvp synth`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SynthArgs {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of cells.
+    pub cells: usize,
+    /// Total cell area in mm².
+    pub area_mm2: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output directory.
+    pub out: String,
+    /// Meters per Bookshelf site unit for the written files.
+    pub meters_per_unit: f64,
+}
+
+/// Arguments of `tvp stats`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct StatsArgs {
+    /// Path to the `.aux` manifest.
+    pub aux: String,
+    /// Meters per Bookshelf site unit.
+    pub meters_per_unit: f64,
+}
+
+/// Error produced while parsing the command line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseArgsError(String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n\n{USAGE}", self.0)
+    }
+}
+
+impl Error for ParseArgsError {}
+
+fn err(msg: impl Into<String>) -> ParseArgsError {
+    ParseArgsError(msg.into())
+}
+
+/// Parses `argv` (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] describing the offending flag or missing
+/// value; its `Display` includes the usage text.
+pub fn parse(argv: &[String]) -> Result<Command, ParseArgsError> {
+    let mut it = argv.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "place" => parse_place(&mut it),
+        "synth" => parse_synth(&mut it),
+        "stats" => parse_stats(&mut it),
+        "sweep" => parse_sweep(&mut it),
+        other => Err(err(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a str, ParseArgsError> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| err(format!("flag {flag} expects a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ParseArgsError> {
+    value
+        .parse()
+        .map_err(|_| err(format!("flag {flag}: `{value}` is not a valid number")))
+}
+
+fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseArgsError> {
+    let mut args = PlaceArgs {
+        aux: String::new(),
+        layers: 4,
+        alpha_ilv: 1.0e-5,
+        alpha_temp: 0.0,
+        seed: 1,
+        starts: 1,
+        meters_per_unit: 1.0e-6,
+        out: None,
+        svg: None,
+    };
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--layers" => args.layers = parse_num(token, take_value(token, it)?)?,
+            "--alpha-ilv" => args.alpha_ilv = parse_num(token, take_value(token, it)?)?,
+            "--alpha-temp" => args.alpha_temp = parse_num(token, take_value(token, it)?)?,
+            "--seed" => args.seed = parse_num(token, take_value(token, it)?)?,
+            "--starts" => args.starts = parse_num(token, take_value(token, it)?)?,
+            "--units" => args.meters_per_unit = parse_num(token, take_value(token, it)?)?,
+            "--out" => args.out = Some(take_value(token, it)?.to_string()),
+            "--svg" => args.svg = Some(take_value(token, it)?.to_string()),
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}` for `place`")))
+            }
+            positional if args.aux.is_empty() => args.aux = positional.to_string(),
+            extra => return Err(err(format!("unexpected argument `{extra}`"))),
+        }
+    }
+    if args.aux.is_empty() {
+        return Err(err("`place` needs a <design.aux> path"));
+    }
+    Ok(Command::Place(args))
+}
+
+fn parse_synth(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseArgsError> {
+    let mut name = String::new();
+    let mut cells = None;
+    let mut area_mm2 = None;
+    let mut seed = 1;
+    let mut out = None;
+    let mut meters_per_unit = 1.0e-6;
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--cells" => cells = Some(parse_num(token, take_value(token, it)?)?),
+            "--area-mm2" => area_mm2 = Some(parse_num(token, take_value(token, it)?)?),
+            "--seed" => seed = parse_num(token, take_value(token, it)?)?,
+            "--out" => out = Some(take_value(token, it)?.to_string()),
+            "--units" => meters_per_unit = parse_num(token, take_value(token, it)?)?,
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}` for `synth`")))
+            }
+            positional if name.is_empty() => name = positional.to_string(),
+            extra => return Err(err(format!("unexpected argument `{extra}`"))),
+        }
+    }
+    if name.is_empty() {
+        return Err(err("`synth` needs a benchmark <name>"));
+    }
+    let cells = cells.ok_or_else(|| err("`synth` needs --cells N"))?;
+    // Default: IBM-PLACE-like average cell area (≈ 5 µm² per cell).
+    let area_mm2 = area_mm2.unwrap_or(cells as f64 * 5.0e-6);
+    let out = out.ok_or_else(|| err("`synth` needs --out DIR"))?;
+    Ok(Command::Synth(SynthArgs {
+        name,
+        cells,
+        area_mm2,
+        seed,
+        out,
+        meters_per_unit,
+    }))
+}
+
+fn parse_stats(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseArgsError> {
+    let mut aux = String::new();
+    let mut meters_per_unit = 1.0e-6;
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--units" => meters_per_unit = parse_num(token, take_value(token, it)?)?,
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}` for `stats`")))
+            }
+            positional if aux.is_empty() => aux = positional.to_string(),
+            extra => return Err(err(format!("unexpected argument `{extra}`"))),
+        }
+    }
+    if aux.is_empty() {
+        return Err(err("`stats` needs a <design.aux> path"));
+    }
+    Ok(Command::Stats(StatsArgs {
+        aux,
+        meters_per_unit,
+    }))
+}
+
+fn parse_sweep(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseArgsError> {
+    let mut args = SweepArgs {
+        aux: String::new(),
+        layers: 4,
+        points: 7,
+        meters_per_unit: 1.0e-6,
+        csv: None,
+    };
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--layers" => args.layers = parse_num(token, take_value(token, it)?)?,
+            "--points" => args.points = parse_num(token, take_value(token, it)?)?,
+            "--units" => args.meters_per_unit = parse_num(token, take_value(token, it)?)?,
+            "--csv" => args.csv = Some(take_value(token, it)?.to_string()),
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}` for `sweep`")))
+            }
+            positional if args.aux.is_empty() => args.aux = positional.to_string(),
+            extra => return Err(err(format!("unexpected argument `{extra}`"))),
+        }
+    }
+    if args.aux.is_empty() {
+        return Err(err("`sweep` needs a <design.aux> path"));
+    }
+    if args.points < 2 {
+        return Err(err("`sweep` needs --points >= 2"));
+    }
+    Ok(Command::Sweep(args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn place_defaults_and_flags() {
+        let Command::Place(a) = parse(&argv(
+            "place d.aux --layers 2 --alpha-ilv 1e-6 --alpha-temp 1e-5 --seed 9 --out o",
+        ))
+        .unwrap() else {
+            panic!("expected place")
+        };
+        assert_eq!(a.aux, "d.aux");
+        assert_eq!(a.layers, 2);
+        assert_eq!(a.alpha_ilv, 1e-6);
+        assert_eq!(a.alpha_temp, 1e-5);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.out.as_deref(), Some("o"));
+
+        let Command::Place(d) = parse(&argv("place d.aux")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.layers, 4);
+        assert_eq!(d.alpha_ilv, 1e-5);
+        assert_eq!(d.out, None);
+    }
+
+    #[test]
+    fn synth_requires_cells_and_out() {
+        assert!(parse(&argv("synth demo --out o")).is_err());
+        assert!(parse(&argv("synth demo --cells 100")).is_err());
+        let Command::Synth(a) =
+            parse(&argv("synth demo --cells 100 --out o --seed 3")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.name, "demo");
+        assert_eq!(a.cells, 100);
+        assert_eq!(a.seed, 3);
+        assert!((a.area_mm2 - 100.0 * 5.0e-6).abs() < 1e-12, "default area");
+    }
+
+    #[test]
+    fn bad_flags_are_reported_with_usage() {
+        let e = parse(&argv("place d.aux --bogus 1")).unwrap_err();
+        assert!(e.to_string().contains("--bogus"));
+        assert!(e.to_string().contains("USAGE"));
+        let e = parse(&argv("place")).unwrap_err();
+        assert!(e.to_string().contains("design.aux"));
+        let e = parse(&argv("place d.aux --layers")).unwrap_err();
+        assert!(e.to_string().contains("expects a value"));
+        let e = parse(&argv("place d.aux --layers x")).unwrap_err();
+        assert!(e.to_string().contains("not a valid number"));
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn sweep_parses_with_defaults_and_flags() {
+        let Command::Sweep(a) = parse(&argv("sweep d.aux")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.layers, 4);
+        assert_eq!(a.points, 7);
+        assert_eq!(a.csv, None);
+        let Command::Sweep(a) =
+            parse(&argv("sweep d.aux --layers 2 --points 5 --csv out.csv")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.layers, 2);
+        assert_eq!(a.points, 5);
+        assert_eq!(a.csv.as_deref(), Some("out.csv"));
+        assert!(parse(&argv("sweep d.aux --points 1")).is_err());
+        assert!(parse(&argv("sweep")).is_err());
+    }
+
+    #[test]
+    fn stats_parses() {
+        let Command::Stats(a) = parse(&argv("stats d.aux --units 2e-6")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.aux, "d.aux");
+        assert_eq!(a.meters_per_unit, 2e-6);
+    }
+}

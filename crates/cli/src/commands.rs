@@ -1,0 +1,281 @@
+//! Command implementations for the `tvp` binary.
+
+use crate::args::{PlaceArgs, StatsArgs, SweepArgs, SynthArgs};
+use std::fmt::Write as _;
+use tvp_bookshelf::synth::SynthConfig;
+use tvp_bookshelf::{Design, DesignBuilderOptions};
+use tvp_core::{Placer, PlacerConfig};
+use tvp_netlist::CellId;
+
+/// `tvp place`: load, place, report, optionally write back.
+///
+/// # Errors
+///
+/// Returns a human-readable message for load, config, or write failures.
+pub fn place(args: &PlaceArgs) -> Result<String, String> {
+    let options = DesignBuilderOptions {
+        meters_per_unit: args.meters_per_unit,
+    };
+    let design = Design::load(&args.aux, options).map_err(|e| format!("loading {}: {e}", args.aux))?;
+    let config = PlacerConfig::new(args.layers)
+        .with_alpha_ilv(args.alpha_ilv)
+        .with_alpha_temp(args.alpha_temp)
+        .with_seed(args.seed)
+        .with_partition_starts(args.starts);
+
+    // Seed fixed cells (pads/macros) from the input `.pl` when present.
+    let fixed: Vec<(CellId, f64, f64, u16)> = design
+        .netlist
+        .iter_cells()
+        .filter(|(_, c)| !c.is_movable())
+        .filter_map(|(id, _)| {
+            design
+                .positions
+                .get(id.index())
+                .map(|&(x, y, l)| (id, x, y, l as u16))
+        })
+        .collect();
+
+    let result = Placer::new(config)
+        .place_with_fixed(&design.netlist, &fixed)
+        .map_err(|e| format!("placement failed: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "design:  {} ({})", design.name, design.netlist.stats());
+    let _ = writeln!(
+        out,
+        "chip:    {:.1} x {:.1} um, {} layers, {} rows/layer",
+        result.chip.width * 1e6,
+        result.chip.depth * 1e6,
+        result.chip.num_layers,
+        result.chip.num_rows
+    );
+    let _ = writeln!(out, "quality: {}", result.metrics);
+    let _ = writeln!(
+        out,
+        "runtime: {:.2?} (global {:.2?}, coarse {:.2?}, detail {:.2?})",
+        result.timings.total, result.timings.global, result.timings.coarse, result.timings.detail
+    );
+
+    if let Some(svg_path) = &args.svg {
+        let image = tvp_report::svg::render_layers(
+            &design.netlist,
+            &result.chip,
+            &result.placement,
+            &tvp_report::svg::SvgOptions {
+                color_by: tvp_report::svg::ColorBy::Connectivity,
+                ..Default::default()
+            },
+        );
+        std::fs::write(svg_path, image).map_err(|e| format!("writing {svg_path}: {e}"))?;
+        let _ = writeln!(out, "wrote:   {svg_path}");
+    }
+
+    if let Some(dir) = &args.out {
+        let positions: Vec<(f64, f64, u32)> = (0..design.netlist.num_cells())
+            .map(|i| {
+                let (x, y, l) = result.placement.position(CellId::new(i));
+                (x, y, l as u32)
+            })
+            .collect();
+        let placed = Design {
+            name: design.name.clone(),
+            netlist: design.netlist,
+            positions,
+            rows: design.rows,
+        };
+        placed
+            .save(dir, options)
+            .map_err(|e| format!("writing {dir}: {e}"))?;
+        let _ = writeln!(out, "wrote:   {dir}/{}.aux (+ nodes/nets/wts/pl)", placed.name);
+    }
+    Ok(out)
+}
+
+/// `tvp synth`: generate a synthetic benchmark and save it.
+///
+/// # Errors
+///
+/// Returns a message for generation or write failures.
+pub fn synth(args: &SynthArgs) -> Result<String, String> {
+    let config = SynthConfig::named(&args.name, args.cells, args.area_mm2 * 1.0e-6)
+        .with_seed(args.seed);
+    let netlist =
+        tvp_bookshelf::synth::generate(&config).map_err(|e| format!("generation failed: {e}"))?;
+    let stats = netlist.stats();
+    let design = Design::from_netlist(&args.name, netlist);
+    design
+        .save(
+            &args.out,
+            DesignBuilderOptions {
+                meters_per_unit: args.meters_per_unit,
+            },
+        )
+        .map_err(|e| format!("writing {}: {e}", args.out))?;
+    Ok(format!(
+        "wrote {}/{}.aux: {stats}\n",
+        args.out, args.name
+    ))
+}
+
+/// `tvp stats`: print netlist statistics for a benchmark.
+///
+/// # Errors
+///
+/// Returns a message when the design cannot be loaded.
+pub fn stats(args: &StatsArgs) -> Result<String, String> {
+    let design = Design::load(
+        &args.aux,
+        DesignBuilderOptions {
+            meters_per_unit: args.meters_per_unit,
+        },
+    )
+    .map_err(|e| format!("loading {}: {e}", args.aux))?;
+    let stats = design.netlist.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "design: {}", design.name);
+    let _ = writeln!(out, "{stats}");
+    let _ = writeln!(
+        out,
+        "positions: {}, rows: {}",
+        if design.positions.is_empty() { "absent" } else { "present" },
+        design.rows.len()
+    );
+    Ok(out)
+}
+
+/// `tvp sweep`: trace the wirelength/via tradeoff curve for one design.
+///
+/// # Errors
+///
+/// Returns a message for load, placement, or CSV-write failures.
+pub fn sweep(args: &SweepArgs) -> Result<String, String> {
+    let design = Design::load(
+        &args.aux,
+        DesignBuilderOptions {
+            meters_per_unit: args.meters_per_unit,
+        },
+    )
+    .map_err(|e| format!("loading {}: {e}", args.aux))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "alpha_ILV sweep on {} ({} cells, {} layers, {} points)",
+        design.name,
+        design.netlist.num_cells(),
+        args.layers,
+        args.points
+    );
+    let _ = writeln!(out, "{:>12} {:>14} {:>10}", "alpha_ILV", "WL (m)", "ILVs");
+
+    let mut table = tvp_report::csv::Table::new(["alpha_ilv", "wirelength_m", "ilv_count"]);
+    let (lo, hi) = (5.0e-9f64, 5.2e-3f64);
+    let ratio = (hi / lo).powf(1.0 / (args.points - 1) as f64);
+    for i in 0..args.points {
+        let alpha = lo * ratio.powi(i as i32);
+        let config = PlacerConfig::new(args.layers).with_alpha_ilv(alpha);
+        let result = Placer::new(config)
+            .place(&design.netlist)
+            .map_err(|e| format!("placement failed at alpha = {alpha:.2e}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "{alpha:>12.2e} {:>14.5e} {:>10.0}",
+            result.metrics.wirelength, result.metrics.ilv_count
+        );
+        table.push(vec![
+            alpha,
+            result.metrics.wirelength,
+            result.metrics.ilv_count,
+        ]);
+    }
+    if let Some(path) = &args.csv {
+        std::fs::write(path, table.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        let _ = writeln!(out, "wrote:   {path}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("tvp_cli_{name}_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn synth_then_stats_then_place_round_trip() {
+        let dir = tmp("rt");
+        let out = run(&argv(&format!("synth demo --cells 120 --out {dir} --seed 5")))
+            .expect("synth succeeds");
+        assert!(out.contains("demo.aux"));
+
+        let aux = format!("{dir}/demo.aux");
+        let out = run(&argv(&format!("stats {aux}"))).expect("stats succeeds");
+        assert!(out.contains("cells=120"));
+
+        let placed_dir = tmp("rt_out");
+        let out = run(&argv(&format!(
+            "place {aux} --layers 2 --alpha-ilv 1e-5 --out {placed_dir}"
+        )))
+        .expect("place succeeds");
+        assert!(out.contains("quality: WL ="));
+        assert!(out.contains("2 layers"));
+        assert!(std::path::Path::new(&format!("{placed_dir}/demo.pl")).exists());
+
+        // The written placement loads back and reports positions present.
+        let out = run(&argv(&format!("stats {placed_dir}/demo.aux"))).unwrap();
+        assert!(out.contains("positions: present"));
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&placed_dir).ok();
+    }
+
+    #[test]
+    fn place_writes_svg_when_asked() {
+        let dir = tmp("svg");
+        run(&argv(&format!("synth s --cells 80 --out {dir}"))).unwrap();
+        let svg = format!("{dir}/view.svg");
+        let out = run(&argv(&format!("place {dir}/s.aux --layers 2 --svg {svg}"))).unwrap();
+        assert!(out.contains("view.svg"));
+        let image = std::fs::read_to_string(&svg).unwrap();
+        assert!(image.starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_produces_csv() {
+        let dir = tmp("sweep");
+        run(&argv(&format!("synth s --cells 100 --out {dir}"))).unwrap();
+        let csv = format!("{dir}/sweep.csv");
+        let out = run(&argv(&format!(
+            "sweep {dir}/s.aux --layers 2 --points 3 --csv {csv}"
+        )))
+        .unwrap();
+        assert!(out.contains("alpha_ILV sweep"));
+        let text = std::fs::read_to_string(&csv).unwrap();
+        let table = tvp_report::csv::Table::from_csv(&text).unwrap();
+        assert_eq!(table.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&argv("help")).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn errors_are_strings_not_panics() {
+        assert!(run(&argv("place /no/such.aux")).is_err());
+        assert!(run(&argv("bogus")).is_err());
+    }
+}

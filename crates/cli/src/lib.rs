@@ -1,0 +1,37 @@
+//! Implementation of the `tvp` command-line placer.
+//!
+//! Three subcommands:
+//!
+//! * `tvp place <design.aux>` — load a Bookshelf benchmark, run the full
+//!   thermal/via-aware placement pipeline, print metrics, and optionally
+//!   write the placed design back out.
+//! * `tvp synth <name>` — generate a synthetic IBM-PLACE-like benchmark
+//!   and save it as Bookshelf files.
+//! * `tvp stats <design.aux>` — print netlist statistics.
+//! * `tvp sweep <design.aux>` — trace the wirelength/via tradeoff curve,
+//!   optionally exporting CSV.
+//!
+//! The library portion exists so argument parsing and command dispatch
+//! are unit-testable; [`main`](../src/main.rs) is a thin wrapper.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Command, ParseArgsError, PlaceArgs, StatsArgs, SweepArgs, SynthArgs};
+
+/// Entry point shared by the binary and the tests.
+///
+/// # Errors
+///
+/// Returns a human-readable error string for bad arguments or failed
+/// commands (the binary prints it to stderr and exits nonzero).
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let command = args::parse(argv).map_err(|e| e.to_string())?;
+    match command {
+        Command::Place(a) => commands::place(&a),
+        Command::Synth(a) => commands::synth(&a),
+        Command::Stats(a) => commands::stats(&a),
+        Command::Sweep(a) => commands::sweep(&a),
+        Command::Help => Ok(args::USAGE.to_string()),
+    }
+}

@@ -1,0 +1,201 @@
+//! Chip geometry derived from the netlist and configuration.
+
+use crate::{PlaceError, PlacerConfig};
+use tvp_netlist::Netlist;
+use tvp_thermal::LayerStack;
+
+/// Physical geometry of the placement target: a square multi-layer chip
+/// with standard-cell rows on every layer.
+///
+/// The footprint is derived so each of the `num_layers` layers carries an
+/// equal share of the cell area, inflated by the configured whitespace and
+/// inter-row spacing (Table 2: 5% and 25%).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Chip {
+    /// Footprint width (x extent), meters.
+    pub width: f64,
+    /// Footprint depth (y extent), meters.
+    pub depth: f64,
+    /// Number of device layers.
+    pub num_layers: usize,
+    /// Standard-cell row height, meters (the dominant cell height).
+    pub row_height: f64,
+    /// Vertical pitch between rows (row height × (1 + row_space)), meters.
+    pub row_pitch: f64,
+    /// Rows per layer.
+    pub num_rows: usize,
+    /// Mean movable-cell width, meters (sets bin sizes downstream).
+    pub avg_cell_width: f64,
+    /// Mean movable-cell area, square meters.
+    pub avg_cell_area: f64,
+    /// The vertical stack (geometry + thermal materials).
+    pub stack: LayerStack,
+}
+
+impl Chip {
+    /// Derives the chip for a netlist under a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::EmptyNetlist`] if the netlist has no movable
+    /// cells, or [`PlaceError::InvalidConfig`] via config validation.
+    pub fn from_netlist(netlist: &Netlist, config: &PlacerConfig) -> Result<Self, PlaceError> {
+        config.validate()?;
+        let movable: Vec<_> = netlist.cells().iter().filter(|c| c.is_movable()).collect();
+        if movable.is_empty() {
+            return Err(PlaceError::EmptyNetlist);
+        }
+        let total_area: f64 = movable.iter().map(|c| c.area()).sum();
+        let n = movable.len() as f64;
+        let avg_cell_area = total_area / n;
+        let avg_cell_width = movable.iter().map(|c| c.width()).sum::<f64>() / n;
+        // Dominant cell height = mean (synthetic and IBM-PLACE cells share
+        // one row height, so mean == mode).
+        let row_height = movable.iter().map(|c| c.height()).sum::<f64>() / n;
+
+        // Per-layer silicon the cells need, inflated by whitespace and the
+        // row-to-row spacing.
+        let per_layer = total_area / config.num_layers as f64 / (1.0 - config.whitespace)
+            * (1.0 + config.row_space);
+        let row_pitch = row_height * (1.0 + config.row_space);
+        // Square footprint, quantized to whole rows.
+        let side = per_layer.sqrt();
+        let num_rows = (side / row_pitch).ceil().max(1.0) as usize;
+        let depth = num_rows as f64 * row_pitch;
+        let mut width = per_layer / depth;
+
+        // Row-granularity guarantee: whitespace measured by *area* does not
+        // make row packing feasible — a row can strand up to one max cell
+        // width of fragment. Reserve that per row so legalization always
+        // succeeds; the adjustment vanishes for large designs and only
+        // widens toy-sized chips.
+        let max_eff_width = movable
+            .iter()
+            .map(|c| c.area() / row_height)
+            .fold(0.0f64, f64::max);
+        let rows_total = (num_rows * config.num_layers) as f64;
+        let required = total_area / row_height + rows_total * max_eff_width;
+        let capacity = width * rows_total;
+        if capacity < required {
+            width = required / rows_total;
+        }
+
+        Ok(Self {
+            width,
+            depth,
+            num_layers: config.num_layers,
+            row_height,
+            row_pitch,
+            num_rows,
+            avg_cell_width,
+            avg_cell_area,
+            stack: config.stack,
+        })
+    }
+
+    /// Footprint area of one layer, square meters.
+    pub fn layer_area(&self) -> f64 {
+        self.width * self.depth
+    }
+
+    /// The y coordinate of the bottom edge of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= num_rows`.
+    pub fn row_bottom(&self, row: usize) -> f64 {
+        assert!(row < self.num_rows, "row {row} out of range");
+        row as f64 * self.row_pitch
+    }
+
+    /// The y coordinate of the center of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= num_rows`.
+    pub fn row_center(&self, row: usize) -> f64 {
+        self.row_bottom(row) + self.row_height / 2.0
+    }
+
+    /// The row whose center is nearest to `y` (clamped to valid rows).
+    pub fn nearest_row(&self, y: f64) -> usize {
+        let r = ((y - self.row_height / 2.0) / self.row_pitch).round();
+        (r.max(0.0) as usize).min(self.num_rows - 1)
+    }
+
+    /// Clamps a position to the chip footprint.
+    pub fn clamp(&self, x: f64, y: f64) -> (f64, f64) {
+        (x.clamp(0.0, self.width), y.clamp(0.0, self.depth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+
+    fn chip(layers: usize) -> (Netlist, Chip) {
+        let netlist = generate(&SynthConfig::named("t", 400, 2.0e-9)).unwrap();
+        let config = PlacerConfig::new(layers);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        (netlist, chip)
+    }
+
+    #[test]
+    fn capacity_covers_cells_with_whitespace() {
+        let (netlist, chip) = chip(4);
+        let total_cell_area = netlist.total_cell_area();
+        // Row area available for cells across all layers.
+        let row_area_per_layer = chip.num_rows as f64 * chip.row_height * chip.width;
+        let capacity = row_area_per_layer * chip.num_layers as f64;
+        assert!(
+            capacity >= total_cell_area * 1.02,
+            "capacity {capacity} must exceed cell area {total_cell_area}"
+        );
+        assert!(
+            capacity <= total_cell_area * 1.25,
+            "capacity {capacity} should not be wildly larger than {total_cell_area}"
+        );
+    }
+
+    #[test]
+    fn more_layers_shrink_the_footprint() {
+        let (_, chip1) = chip(1);
+        let (_, chip4) = chip(4);
+        assert!(chip4.layer_area() < chip1.layer_area() / 3.0);
+        assert!(chip4.layer_area() > chip1.layer_area() / 5.0);
+    }
+
+    #[test]
+    fn footprint_is_roughly_square() {
+        let (_, chip) = chip(2);
+        let ratio = chip.width / chip.depth;
+        assert!(ratio > 0.8 && ratio < 1.25, "aspect ratio {ratio}");
+    }
+
+    #[test]
+    fn rows_tile_the_depth() {
+        let (_, chip) = chip(4);
+        assert!((chip.num_rows as f64 * chip.row_pitch - chip.depth).abs() < 1e-12);
+        assert_eq!(chip.nearest_row(chip.row_center(0)), 0);
+        let last = chip.num_rows - 1;
+        assert_eq!(chip.nearest_row(chip.row_center(last)), last);
+        assert_eq!(chip.nearest_row(-1.0), 0);
+        assert_eq!(chip.nearest_row(chip.depth * 2.0), last);
+    }
+
+    #[test]
+    fn clamp_constrains_to_footprint() {
+        let (_, chip) = chip(2);
+        let (x, y) = chip.clamp(-5.0, chip.depth + 1.0);
+        assert_eq!(x, 0.0);
+        assert_eq!(y, chip.depth);
+    }
+
+    #[test]
+    fn empty_netlist_is_rejected() {
+        let netlist = tvp_netlist::NetlistBuilder::new().build().unwrap();
+        let err = Chip::from_netlist(&netlist, &PlacerConfig::new(4)).unwrap_err();
+        assert!(matches!(err, PlaceError::EmptyNetlist));
+    }
+}

@@ -1,0 +1,291 @@
+//! The coarse density mesh (paper §4): bins of two average cell widths by
+//! two row heights by one layer.
+
+use crate::{Chip, Placement};
+use tvp_netlist::{CellId, Netlist};
+
+/// A 3D mesh of density bins over the chip.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DensityMesh {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    bin_w: f64,
+    bin_h: f64,
+    /// Usable cell-area capacity of one bin (row fraction of the bin
+    /// footprint), square meters.
+    capacity: f64,
+    /// Cell area per bin.
+    area: Vec<f64>,
+    /// Cells per bin.
+    cells: Vec<Vec<CellId>>,
+    /// Bin of each cell.
+    bin_of: Vec<u32>,
+}
+
+impl DensityMesh {
+    /// Builds the §4 mesh for a chip: bins two average cell widths wide,
+    /// two row pitches tall, one layer thick.
+    pub fn coarse(chip: &Chip) -> Self {
+        let bin_w = 2.0 * chip.avg_cell_width;
+        let bin_h = 2.0 * chip.row_pitch;
+        Self::with_bin_size(chip, bin_w, bin_h)
+    }
+
+    /// Builds a mesh with explicit bin dimensions.
+    pub fn with_bin_size(chip: &Chip, bin_w: f64, bin_h: f64) -> Self {
+        let nx = (chip.width / bin_w).ceil().max(1.0) as usize;
+        let ny = (chip.depth / bin_h).ceil().max(1.0) as usize;
+        let nz = chip.num_layers;
+        // Recompute exact bin sizes so the mesh tiles the chip.
+        let bin_w = chip.width / nx as f64;
+        let bin_h = chip.depth / ny as f64;
+        let capacity = bin_w * bin_h * (chip.row_height / chip.row_pitch);
+        Self {
+            nx,
+            ny,
+            nz,
+            bin_w,
+            bin_h,
+            capacity,
+            area: vec![0.0; nx * ny * nz],
+            cells: vec![Vec::new(); nx * ny * nz],
+            bin_of: Vec::new(),
+        }
+    }
+
+    /// Mesh dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Bin footprint `(width, height)`, meters.
+    pub fn bin_size(&self) -> (f64, f64) {
+        (self.bin_w, self.bin_h)
+    }
+
+    /// Usable capacity of one bin, square meters.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Flat index of bin `(i, j, k)`.
+    #[inline]
+    pub fn index(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        (k * self.ny + j) * self.nx + i
+    }
+
+    /// Bin coordinates of flat index `b`.
+    #[inline]
+    pub fn coords(&self, b: usize) -> (usize, usize, usize) {
+        let i = b % self.nx;
+        let j = (b / self.nx) % self.ny;
+        let k = b / (self.nx * self.ny);
+        (i, j, k)
+    }
+
+    /// Bin containing physical position `(x, y, layer)` (clamped).
+    pub fn bin_at(&self, x: f64, y: f64, layer: u16) -> usize {
+        let i = ((x / self.bin_w) as isize).clamp(0, self.nx as isize - 1) as usize;
+        let j = ((y / self.bin_h) as isize).clamp(0, self.ny as isize - 1) as usize;
+        let k = (layer as usize).min(self.nz - 1);
+        self.index(i, j, k)
+    }
+
+    /// Center position of bin `b`: `(x, y, layer)`.
+    pub fn bin_center(&self, b: usize) -> (f64, f64, u16) {
+        let (i, j, k) = self.coords(b);
+        (
+            (i as f64 + 0.5) * self.bin_w,
+            (j as f64 + 0.5) * self.bin_h,
+            k as u16,
+        )
+    }
+
+    /// Rebuilds all bin contents from a placement.
+    pub fn rebuild(&mut self, netlist: &Netlist, placement: &Placement) {
+        for a in &mut self.area {
+            *a = 0.0;
+        }
+        for c in &mut self.cells {
+            c.clear();
+        }
+        self.bin_of = vec![0; netlist.num_cells()];
+        for (cell, x, y, layer) in placement.iter() {
+            if !netlist.cell(cell).is_movable() {
+                continue;
+            }
+            let b = self.bin_at(x, y, layer);
+            self.area[b] += netlist.cell(cell).area();
+            self.cells[b].push(cell);
+            self.bin_of[cell.index()] = b as u32;
+        }
+    }
+
+    /// Density of bin `b` (cell area over capacity).
+    #[inline]
+    pub fn density(&self, b: usize) -> f64 {
+        self.area[b] / self.capacity
+    }
+
+    /// Cell area currently in bin `b`.
+    #[inline]
+    pub fn bin_area(&self, b: usize) -> f64 {
+        self.area[b]
+    }
+
+    /// Cells currently in bin `b`.
+    pub fn bin_cells(&self, b: usize) -> &[CellId] {
+        &self.cells[b]
+    }
+
+    /// The bin a cell is registered in.
+    #[inline]
+    pub fn bin_of(&self, cell: CellId) -> usize {
+        self.bin_of[cell.index()] as usize
+    }
+
+    /// Registers that `cell` moved to the bin containing `(x, y, layer)`.
+    pub fn relocate(&mut self, netlist: &Netlist, cell: CellId, x: f64, y: f64, layer: u16) {
+        let from = self.bin_of(cell);
+        let to = self.bin_at(x, y, layer);
+        if from == to {
+            return;
+        }
+        let area = netlist.cell(cell).area();
+        self.area[from] -= area;
+        self.cells[from].retain(|&c| c != cell);
+        self.area[to] += area;
+        self.cells[to].push(cell);
+        self.bin_of[cell.index()] = to as u32;
+    }
+
+    /// Maximum bin density in the mesh.
+    pub fn max_density(&self) -> f64 {
+        (0..self.area.len())
+            .map(|b| self.density(b))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean absolute deviation of density from the mesh average — a
+    /// spreading progress metric.
+    pub fn density_unevenness(&self) -> f64 {
+        let n = self.area.len() as f64;
+        let mean: f64 = (0..self.area.len()).map(|b| self.density(b)).sum::<f64>() / n;
+        (0..self.area.len())
+            .map(|b| (self.density(b) - mean).abs())
+            .sum::<f64>()
+            / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlacerConfig;
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+
+    fn fixture() -> (Netlist, Chip, Placement) {
+        let netlist = generate(&SynthConfig::named("t", 200, 1.0e-9)).unwrap();
+        let chip = Chip::from_netlist(&netlist, &PlacerConfig::new(2)).unwrap();
+        let placement = Placement::centered(netlist.num_cells(), &chip);
+        (netlist, chip, placement)
+    }
+
+    #[test]
+    fn mesh_tiles_the_chip() {
+        let (_, chip, _) = fixture();
+        let mesh = DensityMesh::coarse(&chip);
+        let (nx, ny, nz) = mesh.dims();
+        assert_eq!(nz, 2);
+        let (bw, bh) = mesh.bin_size();
+        assert!((nx as f64 * bw - chip.width).abs() < 1e-12);
+        assert!((ny as f64 * bh - chip.depth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centered_placement_piles_into_central_bins() {
+        let (netlist, chip, placement) = fixture();
+        let mut mesh = DensityMesh::coarse(&chip);
+        mesh.rebuild(&netlist, &placement);
+        // Everything is at the chip center on layer 0: exactly one bin has
+        // all the area.
+        let total: f64 = (0..mesh.area.len()).map(|b| mesh.bin_area(b)).sum();
+        assert!((total - netlist.total_cell_area()).abs() < 1e-15);
+        let b = mesh.bin_at(chip.width / 2.0, chip.depth / 2.0, 0);
+        assert!((mesh.bin_area(b) - total).abs() < 1e-15);
+        assert!(mesh.max_density() > 10.0);
+    }
+
+    #[test]
+    fn relocate_moves_area_between_bins() {
+        let (netlist, chip, placement) = fixture();
+        let mut mesh = DensityMesh::coarse(&chip);
+        mesh.rebuild(&netlist, &placement);
+        let cell = CellId::new(0);
+        let from = mesh.bin_of(cell);
+        let area = netlist.cell(cell).area();
+        let before = mesh.bin_area(from);
+        mesh.relocate(&netlist, cell, 0.0, 0.0, 1);
+        let to = mesh.bin_at(0.0, 0.0, 1);
+        assert_ne!(from, to);
+        assert!((mesh.bin_area(from) - (before - area)).abs() < 1e-18);
+        assert!((mesh.bin_area(to) - area).abs() < 1e-18);
+        assert_eq!(mesh.bin_of(cell), to);
+        assert!(mesh.bin_cells(to).contains(&cell));
+        assert!(!mesh.bin_cells(from).contains(&cell));
+    }
+
+    #[test]
+    fn relocate_within_same_bin_is_noop() {
+        let (netlist, chip, placement) = fixture();
+        let mut mesh = DensityMesh::coarse(&chip);
+        mesh.rebuild(&netlist, &placement);
+        let cell = CellId::new(3);
+        let before = mesh.clone();
+        let (x, y, l) = placement.position(cell);
+        mesh.relocate(&netlist, cell, x + 1e-9, y, l);
+        assert_eq!(mesh, before);
+    }
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let (_, chip, _) = fixture();
+        let mesh = DensityMesh::coarse(&chip);
+        let (nx, ny, nz) = mesh.dims();
+        for b in [0, nx * ny * nz - 1, nx + 1, nx * ny] {
+            let (i, j, k) = mesh.coords(b);
+            assert_eq!(mesh.index(i, j, k), b);
+        }
+    }
+
+    #[test]
+    fn bin_center_is_inside_bin() {
+        let (_, chip, _) = fixture();
+        let mesh = DensityMesh::coarse(&chip);
+        for b in 0..mesh.area.len() {
+            let (x, y, l) = mesh.bin_center(b);
+            assert_eq!(mesh.bin_at(x, y, l), b);
+        }
+    }
+
+    #[test]
+    fn even_spread_has_low_unevenness() {
+        let (netlist, chip, mut placement) = fixture();
+        let mut mesh = DensityMesh::coarse(&chip);
+        // Scatter cells uniformly.
+        let n = netlist.num_cells();
+        let cols = (n as f64).sqrt().ceil() as usize;
+        for i in 0..n {
+            let gx = (i % cols) as f64 / cols as f64 * chip.width;
+            let gy = (i / cols) as f64 / cols as f64 * chip.depth;
+            placement.set(CellId::new(i), gx, gy, (i % 2) as u16);
+        }
+        mesh.rebuild(&netlist, &placement);
+        let uneven_spread = mesh.density_unevenness();
+        let mut piled = DensityMesh::coarse(&chip);
+        piled.rebuild(&netlist, &Placement::centered(n, &chip));
+        assert!(uneven_spread < piled.density_unevenness() / 2.0);
+    }
+}

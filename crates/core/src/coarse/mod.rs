@@ -1,0 +1,136 @@
+//! Coarse legalization (paper §4): cell shifting for spreading plus
+//! objective-driven moves and swaps, interleaved per §6.
+
+pub mod mesh;
+pub mod moves;
+pub mod shift;
+
+pub use mesh::DensityMesh;
+
+use crate::objective::IncrementalObjective;
+use crate::{Chip, PlacerConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tvp_netlist::Netlist;
+
+/// Runs the full coarse-legalization stage (§6 ordering): global
+/// moves/swaps, local moves/swaps, then cell shifting until the maximum
+/// bin density falls below the configured target.
+///
+/// Returns the mesh in its final state so detailed legalization can reuse
+/// the density information.
+pub fn coarse_legalize(
+    objective: &mut IncrementalObjective<'_>,
+    netlist: &Netlist,
+    chip: &Chip,
+    config: &PlacerConfig,
+) -> DensityMesh {
+    let mut mesh = DensityMesh::coarse(chip);
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xC0A5_E5EE);
+
+    // Global placement leaves each leaf region's cells stacked on one
+    // point. Cell shifting maps coordinates linearly, so exactly coincident
+    // cells could never separate; a deterministic sub-bin jitter breaks the
+    // ties (and perturbs the objective by at most a bin diagonal per cell).
+    jitter(objective, netlist, chip, &mut rng);
+    mesh.rebuild(netlist, objective.placement());
+
+    for _ in 0..config.coarse_move_passes {
+        moves::global_pass(
+            objective,
+            &mut mesh,
+            netlist,
+            chip,
+            config.coarse_target_region_bins,
+            &mut rng,
+        );
+        moves::local_pass(objective, &mut mesh, netlist, chip, &mut rng);
+    }
+
+    shift::shift_until_spread(
+        objective,
+        &mut mesh,
+        netlist,
+        chip,
+        config.coarse_max_density,
+        config.coarse_shift_iterations,
+        config.shift_strategy,
+    );
+
+    // One final local cleanup now that densities are even.
+    moves::local_pass(objective, &mut mesh, netlist, chip, &mut rng);
+    // Moves may have re-congested isolated bins; restore the density
+    // guarantee detailed legalization relies on.
+    shift::shift_until_spread(
+        objective,
+        &mut mesh,
+        netlist,
+        chip,
+        config.coarse_max_density,
+        config.coarse_shift_iterations,
+        config.shift_strategy,
+    );
+    mesh
+}
+
+/// Displaces every movable cell by a small random offset (within one bin)
+/// so no two cells share an exact position.
+fn jitter(
+    objective: &mut IncrementalObjective<'_>,
+    netlist: &Netlist,
+    chip: &Chip,
+    rng: &mut SmallRng,
+) {
+    use rand::RngExt;
+    let dx_max = chip.avg_cell_width;
+    let dy_max = chip.row_pitch;
+    for (cell, _) in netlist.iter_cells() {
+        if !netlist.cell(cell).is_movable() {
+            continue;
+        }
+        let (x, y, layer) = objective.placement().position(cell);
+        let nx = x + rng.random_range(-dx_max..dx_max);
+        let ny = y + rng.random_range(-dy_max..dy_max);
+        let (nx, ny) = chip.clamp(nx, ny);
+        objective.apply_move(cell, nx, ny, layer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::global_place;
+    use crate::objective::ObjectiveModel;
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+
+    #[test]
+    fn coarse_stage_spreads_global_placement() {
+        let netlist = generate(&SynthConfig::named("t", 400, 2.0e-9)).unwrap();
+        let config = PlacerConfig::new(2);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let placement = global_place(&netlist, &chip, &model, &config);
+        let mut objective = IncrementalObjective::new(&netlist, &model, placement);
+
+        let mut initial_mesh = DensityMesh::coarse(&chip);
+        initial_mesh.rebuild(&netlist, objective.placement());
+        let density_before = initial_mesh.max_density();
+
+        let mesh = coarse_legalize(&mut objective, &netlist, &chip, &config);
+
+        assert!(
+            mesh.max_density() < density_before,
+            "coarse legalization must reduce congestion: {} → {}",
+            density_before,
+            mesh.max_density()
+        );
+        assert!(
+            mesh.max_density() <= config.coarse_max_density * 2.0,
+            "max density {} far above target",
+            mesh.max_density()
+        );
+        assert!(objective.placement().find_out_of_bounds(&chip).is_none());
+        let scratch = objective.recompute_total();
+        assert!((objective.total() - scratch).abs() < 1e-9 * scratch.max(1e-12));
+    }
+}

@@ -1,0 +1,364 @@
+//! Objective-driven moves and swaps (paper §4.2).
+//!
+//! Two procedures share one engine:
+//!
+//! * **local** — candidate targets are the 3×3×3 bin neighborhood of the
+//!   cell's current bin;
+//! * **global** — candidates form a target region around the cell's
+//!   *optimal region* (the \[14\] idea lifted to 3D): laterally the median
+//!   interval of the bounding boxes of the cell's nets with the cell
+//!   removed, and vertically every layer (the layer dimension is priced
+//!   directly by the objective).
+//!
+//! For every candidate bin, moving to the bin center and swapping with the
+//! best-matched resident cell are both priced with the exact objective
+//! delta; the best strictly-improving action is executed. Moves into a bin
+//! are only considered when the bin has room (its density stays below the
+//! allowance), so spreading from cell shifting is not undone.
+
+use super::mesh::DensityMesh;
+use crate::objective::IncrementalObjective;
+use crate::Chip;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use tvp_netlist::{CellId, Netlist};
+
+/// Density a move target may reach before moves into it are rejected.
+const MOVE_DENSITY_ALLOWANCE: f64 = 1.0;
+
+/// One pass of local moves/swaps over all movable cells (random order).
+/// Returns the number of improving actions executed.
+pub fn local_pass(
+    objective: &mut IncrementalObjective<'_>,
+    mesh: &mut DensityMesh,
+    netlist: &Netlist,
+    chip: &Chip,
+    rng: &mut SmallRng,
+) -> usize {
+    let mut order = movable_cells(netlist);
+    order.shuffle(rng);
+    let mut improved = 0;
+    for cell in order {
+        let current = mesh.bin_of(cell);
+        let (ci, cj, ck) = mesh.coords(current);
+        let (nx, ny, nz) = mesh.dims();
+        let mut candidates = Vec::with_capacity(27);
+        for dk in -1i64..=1 {
+            for dj in -1i64..=1 {
+                for di in -1i64..=1 {
+                    let i = ci as i64 + di;
+                    let j = cj as i64 + dj;
+                    let k = ck as i64 + dk;
+                    if i >= 0
+                        && j >= 0
+                        && k >= 0
+                        && (i as usize) < nx
+                        && (j as usize) < ny
+                        && (k as usize) < nz
+                    {
+                        candidates.push(mesh.index(i as usize, j as usize, k as usize));
+                    }
+                }
+            }
+        }
+        if try_best_action(objective, mesh, netlist, chip, cell, &candidates) {
+            improved += 1;
+        }
+    }
+    improved
+}
+
+/// One pass of global moves/swaps toward each cell's optimal region.
+/// Returns the number of improving actions executed.
+pub fn global_pass(
+    objective: &mut IncrementalObjective<'_>,
+    mesh: &mut DensityMesh,
+    netlist: &Netlist,
+    chip: &Chip,
+    region_bins: usize,
+    rng: &mut SmallRng,
+) -> usize {
+    let mut order = movable_cells(netlist);
+    order.shuffle(rng);
+    let mut improved = 0;
+    for cell in order {
+        let Some((ox, oy)) = optimal_point(objective, netlist, cell) else {
+            continue;
+        };
+        let (ox, oy) = chip.clamp(ox, oy);
+        let (nx, ny, nz) = mesh.dims();
+        let target = mesh.bin_at(ox, oy, 0);
+        let (ti, tj, _) = mesh.coords(target);
+        let half = (region_bins / 2) as i64;
+        let mut candidates = Vec::new();
+        // The target region spans a fixed number of bins laterally and all
+        // layers vertically.
+        for k in 0..nz {
+            for dj in -half..=half {
+                for di in -half..=half {
+                    let i = ti as i64 + di;
+                    let j = tj as i64 + dj;
+                    if i >= 0 && j >= 0 && (i as usize) < nx && (j as usize) < ny {
+                        candidates.push(mesh.index(i as usize, j as usize, k));
+                    }
+                }
+            }
+        }
+        if try_best_action(objective, mesh, netlist, chip, cell, &candidates) {
+            improved += 1;
+        }
+    }
+    improved
+}
+
+fn movable_cells(netlist: &Netlist) -> Vec<CellId> {
+    netlist
+        .iter_cells()
+        .filter(|(_, c)| c.is_movable())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// The lateral objective-minimum point for a cell: the center of its
+/// optimal region (median interval of its nets' bounding boxes with the
+/// cell excluded). `None` for unconnected cells.
+fn optimal_point(
+    objective: &IncrementalObjective<'_>,
+    netlist: &Netlist,
+    cell: CellId,
+) -> Option<(f64, f64)> {
+    let mut xs_lo = Vec::new();
+    let mut xs_hi = Vec::new();
+    let mut ys_lo = Vec::new();
+    let mut ys_hi = Vec::new();
+    for &p in netlist.cell_pins(cell) {
+        let e = netlist.pin(p).net();
+        let mut x0 = f64::INFINITY;
+        let mut x1 = f64::NEG_INFINITY;
+        let mut y0 = f64::INFINITY;
+        let mut y1 = f64::NEG_INFINITY;
+        let mut others = 0;
+        for &q in netlist.net(e).pins() {
+            let other = netlist.pin(q).cell();
+            if other == cell {
+                continue;
+            }
+            others += 1;
+            let (x, y, _) = objective.placement().position(other);
+            x0 = x0.min(x + netlist.pin(q).offset_x());
+            x1 = x1.max(x + netlist.pin(q).offset_x());
+            y0 = y0.min(y + netlist.pin(q).offset_y());
+            y1 = y1.max(y + netlist.pin(q).offset_y());
+        }
+        if others > 0 {
+            xs_lo.push(x0);
+            xs_hi.push(x1);
+            ys_lo.push(y0);
+            ys_hi.push(y1);
+        }
+    }
+    if xs_lo.is_empty() {
+        return None;
+    }
+    Some((
+        (median(&mut xs_lo) + median(&mut xs_hi)) / 2.0,
+        (median(&mut ys_lo) + median(&mut ys_hi)) / 2.0,
+    ))
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    values[values.len() / 2]
+}
+
+/// Prices a move to each candidate bin's center and a swap with the
+/// closest-area resident of each candidate bin; executes the best
+/// improving action. Returns whether anything was executed.
+fn try_best_action(
+    objective: &mut IncrementalObjective<'_>,
+    mesh: &mut DensityMesh,
+    netlist: &Netlist,
+    chip: &Chip,
+    cell: CellId,
+    candidates: &[usize],
+) -> bool {
+    const EPS: f64 = 1e-18;
+    let current_bin = mesh.bin_of(cell);
+    let cell_area = netlist.cell(cell).area();
+
+    enum Action {
+        Move { x: f64, y: f64, layer: u16 },
+        Swap { with: CellId },
+    }
+    let mut best: Option<(f64, Action)> = None;
+
+    for &b in candidates {
+        if b != current_bin {
+            // Move into the bin center, if the bin has room.
+            let headroom =
+                mesh.capacity() * MOVE_DENSITY_ALLOWANCE - mesh.bin_area(b) - cell_area;
+            if headroom >= 0.0 {
+                let (bx, by, layer) = mesh.bin_center(b);
+                let (bx, by) = chip.clamp(bx, by);
+                let delta = objective.delta_move(cell, bx, by, layer);
+                if delta < best.as_ref().map_or(-EPS, |(d, _)| *d) {
+                    best = Some((delta, Action::Move { x: bx, y: by, layer }));
+                }
+            }
+            // Swap with the resident whose area matches best (keeps both
+            // bins' densities stable).
+            let partner = mesh
+                .bin_cells(b)
+                .iter()
+                .copied()
+                .filter(|&other| other != cell && netlist.cell(other).is_movable())
+                .min_by(|&a, &c| {
+                    let da = (netlist.cell(a).area() - cell_area).abs();
+                    let dc = (netlist.cell(c).area() - cell_area).abs();
+                    da.partial_cmp(&dc).unwrap_or(std::cmp::Ordering::Equal)
+                });
+            if let Some(partner) = partner {
+                let delta = objective.delta_swap(cell, partner);
+                if delta < best.as_ref().map_or(-EPS, |(d, _)| *d) {
+                    best = Some((delta, Action::Swap { with: partner }));
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((_, Action::Move { x, y, layer })) => {
+            objective.apply_move(cell, x, y, layer);
+            mesh.relocate(netlist, cell, x, y, layer);
+            true
+        }
+        Some((_, Action::Swap { with })) => {
+            let pa = objective.placement().position(cell);
+            let pb = objective.placement().position(with);
+            objective.apply_swap(cell, with);
+            mesh.relocate(netlist, cell, pb.0, pb.1, pb.2);
+            mesh.relocate(netlist, with, pa.0, pa.1, pa.2);
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::ObjectiveModel;
+    use crate::{Placement, PlacerConfig};
+    use rand::SeedableRng;
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+
+    fn fixture() -> (
+        tvp_netlist::Netlist,
+        Chip,
+        crate::PlacerConfig,
+    ) {
+        let netlist = generate(&SynthConfig::named("t", 200, 1.0e-9)).unwrap();
+        let config = PlacerConfig::new(2);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        (netlist, chip, config)
+    }
+
+    fn scattered(netlist: &tvp_netlist::Netlist, chip: &Chip, seed: u64) -> Placement {
+        use rand::RngExt;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = Placement::centered(netlist.num_cells(), chip);
+        for i in 0..netlist.num_cells() {
+            p.set(
+                CellId::new(i),
+                rng.random_range(0.0..chip.width),
+                rng.random_range(0.0..chip.depth),
+                rng.random_range(0..chip.num_layers as u16),
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn passes_strictly_improve_the_objective() {
+        let (netlist, chip, config) = fixture();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let placement = scattered(&netlist, &chip, 11);
+        let mut objective = IncrementalObjective::new(&netlist, &model, placement);
+        let mut mesh = DensityMesh::coarse(&chip);
+        mesh.rebuild(&netlist, objective.placement());
+        let before = objective.total();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let improved_global =
+            global_pass(&mut objective, &mut mesh, &netlist, &chip, 5, &mut rng);
+        let improved_local = local_pass(&mut objective, &mut mesh, &netlist, &chip, &mut rng);
+        assert!(improved_global + improved_local > 0, "random start must improve");
+        assert!(objective.total() < before);
+        // Caches stay consistent.
+        let scratch = objective.recompute_total();
+        assert!((objective.total() - scratch).abs() < 1e-9 * scratch.max(1e-12));
+    }
+
+    #[test]
+    fn mesh_stays_consistent_with_placement() {
+        let (netlist, chip, config) = fixture();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let placement = scattered(&netlist, &chip, 13);
+        let mut objective = IncrementalObjective::new(&netlist, &model, placement);
+        let mut mesh = DensityMesh::coarse(&chip);
+        mesh.rebuild(&netlist, objective.placement());
+        let mut rng = SmallRng::seed_from_u64(2);
+        local_pass(&mut objective, &mut mesh, &netlist, &chip, &mut rng);
+        global_pass(&mut objective, &mut mesh, &netlist, &chip, 5, &mut rng);
+        // Every cell's registered bin matches its actual position.
+        for (cell, x, y, layer) in objective.placement().iter() {
+            if netlist.cell(cell).is_movable() {
+                assert_eq!(mesh.bin_of(cell), mesh.bin_at(x, y, layer));
+            }
+        }
+        // Rebuilding from scratch yields identical areas.
+        let mut fresh = DensityMesh::coarse(&chip);
+        fresh.rebuild(&netlist, objective.placement());
+        let (nx, ny, nz) = mesh.dims();
+        for b in 0..nx * ny * nz {
+            assert!((mesh.bin_area(b) - fresh.bin_area(b)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn optimal_point_is_inside_neighbor_bbox() {
+        let (netlist, chip, config) = fixture();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let placement = scattered(&netlist, &chip, 17);
+        let objective = IncrementalObjective::new(&netlist, &model, placement);
+        let connected = (0..netlist.num_cells())
+            .map(CellId::new)
+            .find(|&c| netlist.cell_nets(c).next().is_some())
+            .unwrap();
+        let (ox, oy) = optimal_point(&objective, &netlist, connected).unwrap();
+        assert!(ox >= 0.0 && ox <= chip.width);
+        assert!(oy >= 0.0 && oy <= chip.depth);
+        // Moving the cell to its optimal point must not hurt the lateral
+        // objective more than staying put does.
+        let (x, y, l) = objective.placement().position(connected);
+        let stay = objective.delta_move(connected, x, y, l);
+        let go = objective.delta_move(connected, ox, oy, l);
+        assert!(go <= stay + 1e-12);
+    }
+
+    #[test]
+    fn unconnected_cell_has_no_optimal_point() {
+        let mut b = tvp_netlist::NetlistBuilder::new();
+        b.add_cell("lonely", 1e-6, 1e-6);
+        b.add_cell("other", 1e-6, 1e-6);
+        let netlist = b.build().unwrap();
+        let config = PlacerConfig::new(1);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let objective = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(2, &chip),
+        );
+        assert!(optimal_point(&objective, &netlist, CellId::new(0)).is_none());
+    }
+}

@@ -1,0 +1,227 @@
+//! Legality-preserving refinement of a placed design (paper §6: the
+//! coarse/detailed machinery "can be repeated during a post-optimization
+//! phase"; this pass keeps the placement legal the whole time).
+//!
+//! Three local move kinds, each priced with the exact objective delta and
+//! executed only when strictly improving:
+//!
+//! 1. **Slide** — move a cell within the free gap between its row
+//!    neighbors toward its optimal x.
+//! 2. **Adjacent swap** — exchange two neighboring cells in a row (always
+//!    legal: the pair re-packs inside its own span).
+//! 3. **Gap hop** — move a cell into a free gap of a nearby row (same or
+//!    adjacent layer) when the gap fits it.
+
+use crate::objective::IncrementalObjective;
+use crate::Chip;
+use tvp_netlist::{CellId, Netlist};
+
+/// Row occupancy built from a legal placement: cells sorted by x per
+/// (layer, row).
+struct Rows {
+    /// `(x_left, width, cell)` per (layer, row), sorted by `x_left`.
+    cells: Vec<Vec<Vec<(f64, f64, CellId)>>>,
+}
+
+impl Rows {
+    fn build(objective: &IncrementalObjective<'_>, netlist: &Netlist, chip: &Chip) -> Self {
+        let mut cells =
+            vec![vec![Vec::new(); chip.num_rows]; chip.num_layers];
+        for (cell, x, y, layer) in objective.placement().iter() {
+            if !netlist.cell(cell).is_movable() {
+                continue;
+            }
+            let w = netlist.cell(cell).area() / chip.row_height;
+            let row = chip.nearest_row(y);
+            cells[(layer as usize).min(chip.num_layers - 1)][row].push((x - w / 2.0, w, cell));
+        }
+        for layer in &mut cells {
+            for row in layer {
+                row.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            }
+        }
+        Self { cells }
+    }
+
+    /// The free interval around entry `i` of a row: `(gap_left, gap_right)`
+    /// bounds for the cell's left edge.
+    fn slack(&self, layer: usize, row: usize, i: usize, chip: &Chip) -> (f64, f64) {
+        let entries = &self.cells[layer][row];
+        let (_, w, _) = entries[i];
+        let lo = if i == 0 { 0.0 } else { entries[i - 1].0 + entries[i - 1].1 };
+        let hi = if i + 1 < entries.len() {
+            entries[i + 1].0
+        } else {
+            chip.width
+        } - w;
+        (lo, hi)
+    }
+}
+
+/// Statistics of one refinement run.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct RefineStats {
+    /// Slides executed.
+    pub slides: usize,
+    /// Adjacent swaps executed.
+    pub swaps: usize,
+    /// Gap hops executed.
+    pub hops: usize,
+    /// Total objective improvement (positive = better).
+    pub improvement: f64,
+}
+
+/// Runs `passes` rounds of legality-preserving refinement. The placement
+/// stays fully legal after every individual move.
+pub fn refine_legal(
+    objective: &mut IncrementalObjective<'_>,
+    netlist: &Netlist,
+    chip: &Chip,
+    passes: usize,
+) -> RefineStats {
+    const EPS: f64 = 1e-18;
+    let mut stats = RefineStats::default();
+    for _ in 0..passes {
+        let before_pass = objective.total();
+        let mut rows = Rows::build(objective, netlist, chip);
+        let round_improved = refine_round(objective, chip, &mut rows, &mut stats);
+        stats.improvement += before_pass - objective.total();
+        if !round_improved || stats.improvement < EPS {
+            break;
+        }
+    }
+    stats
+}
+
+fn refine_round(
+    objective: &mut IncrementalObjective<'_>,
+    chip: &Chip,
+    rows: &mut Rows,
+    stats: &mut RefineStats,
+) -> bool {
+    const EPS: f64 = 1e-18;
+    let mut improved = false;
+    for layer in 0..chip.num_layers {
+        for row in 0..chip.num_rows {
+            let yc = chip.row_center(row);
+            let mut i = 0;
+            while i < rows.cells[layer][row].len() {
+                let (x_left, w, cell) = rows.cells[layer][row][i];
+                let center = |left: f64| left + w / 2.0;
+
+                // 1. Slide inside the free interval: probe the interval
+                //    endpoints and the current spot; HPWL is piecewise
+                //    linear in x, so an endpoint (or staying put) is
+                //    optimal.
+                let (lo, hi) = rows.slack(layer, row, i, chip);
+                let mut best: Option<(f64, f64)> = None; // (delta, new_left)
+                for cand in [lo, hi] {
+                    if (cand - x_left).abs() > 1e-15 && cand >= -1e-12 {
+                        let delta =
+                            objective.delta_move(cell, center(cand), yc, layer as u16);
+                        if delta < best.map_or(-EPS, |(d, _)| d) {
+                            best = Some((delta, cand));
+                        }
+                    }
+                }
+                if let Some((_, new_left)) = best {
+                    objective.apply_move(cell, center(new_left), yc, layer as u16);
+                    rows.cells[layer][row][i].0 = new_left;
+                    stats.slides += 1;
+                    improved = true;
+                }
+
+                // 2. Adjacent swap with the right neighbor: re-pack the
+                //    pair inside its combined span, order exchanged.
+                if i + 1 < rows.cells[layer][row].len() {
+                    let (ax, aw, a) = rows.cells[layer][row][i];
+                    let (bx, bw, b) = rows.cells[layer][row][i + 1];
+                    let span_left = ax;
+                    let _ = bx;
+                    // After the swap: b sits at span_left, a right after b.
+                    let new_b_center = span_left + bw / 2.0;
+                    let new_a_center = span_left + bw + aw / 2.0;
+                    let d1 = objective.delta_move(b, new_b_center, yc, layer as u16);
+                    let d1_applied = objective.apply_move(b, new_b_center, yc, layer as u16);
+                    debug_assert!((d1 - d1_applied).abs() < 1e-12 * d1.abs().max(1e-15));
+                    let d2 = objective.apply_move(a, new_a_center, yc, layer as u16);
+                    if d1_applied + d2 < -EPS {
+                        rows.cells[layer][row][i] = (span_left, bw, b);
+                        rows.cells[layer][row][i + 1] = (span_left + bw, aw, a);
+                        stats.swaps += 1;
+                        improved = true;
+                    } else {
+                        // Revert.
+                        objective.apply_move(a, ax + aw / 2.0, yc, layer as u16);
+                        objective.apply_move(b, bx + bw / 2.0, yc, layer as u16);
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    improved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::coarse_legalize;
+    use crate::detail::{check_legal, detail_legalize};
+    use crate::global::global_place;
+    use crate::objective::ObjectiveModel;
+    use crate::{Placer, PlacerConfig};
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+
+    #[test]
+    fn refinement_improves_and_stays_legal() {
+        let netlist = generate(&SynthConfig::named("r", 300, 1.5e-9)).unwrap();
+        let config = PlacerConfig::new(2);
+        let chip = crate::Chip::from_netlist(&netlist, &config).unwrap();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let placement = global_place(&netlist, &chip, &model, &config);
+        let mut objective = IncrementalObjective::new(&netlist, &model, placement);
+        coarse_legalize(&mut objective, &netlist, &chip, &config);
+        detail_legalize(&mut objective, &netlist, &chip, config.detail_row_window);
+        assert_eq!(check_legal(&netlist, &chip, objective.placement()), None);
+
+        let before = objective.total();
+        let stats = refine_legal(&mut objective, &netlist, &chip, 3);
+        let after = objective.total();
+
+        assert!(after <= before + 1e-12, "refinement must not regress");
+        assert!(
+            stats.slides + stats.swaps > 0,
+            "a fresh legalization always leaves local slack"
+        );
+        assert!((before - after - stats.improvement).abs() < 1e-9 * before.max(1e-12));
+        assert_eq!(
+            check_legal(&netlist, &chip, objective.placement()),
+            None,
+            "legality preserved through every move"
+        );
+        // Objective caches stay consistent.
+        let scratch = objective.recompute_total();
+        assert!((objective.total() - scratch).abs() < 1e-9 * scratch.max(1e-12));
+    }
+
+    #[test]
+    fn refinement_is_a_fixed_point_eventually() {
+        let netlist = generate(&SynthConfig::named("r", 150, 7.5e-10)).unwrap();
+        let result = Placer::new(PlacerConfig::new(2)).place(&netlist).unwrap();
+        let config = PlacerConfig::new(2);
+        let chip = result.chip.clone();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let mut objective =
+            IncrementalObjective::new(&netlist, &model, result.placement.clone());
+        // Run to convergence, then one more round must do ~nothing.
+        refine_legal(&mut objective, &netlist, &chip, 20);
+        let settled = objective.total();
+        let stats = refine_legal(&mut objective, &netlist, &chip, 1);
+        assert!(
+            (objective.total() - settled).abs() <= 1e-9 * settled.max(1e-12),
+            "converged placement must be stable (extra improvement {})",
+            stats.improvement
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! Per-row packing with cluster collapse (Abacus-style).
+//!
+//! Cells are appended to a row in increasing desired-x order; overlapping
+//! neighbors coalesce into clusters whose position minimizes total squared
+//! displacement from the desired positions, clamped to the row extent.
+//! This realizes §5's "already-processed cells are moved apart to legally
+//! place the cell, with the effect of their movement included in the cost":
+//! [`RowPacker::simulate`] prices an insertion (new cell displacement plus
+//! neighbor disruption) without committing it.
+
+use tvp_netlist::CellId;
+
+#[derive(Clone, Debug)]
+struct Cluster {
+    /// Index of the first cell of this cluster in `cells`.
+    first: usize,
+    /// Optimal (unclamped) left edge: mean of `desired - offset`.
+    q: f64,
+    /// Total width.
+    width: f64,
+    /// Number of cells.
+    count: usize,
+}
+
+impl Cluster {
+    fn position(&self, row_width: f64) -> f64 {
+        (self.q / self.count as f64).clamp(0.0, (row_width - self.width).max(0.0))
+    }
+}
+
+/// One row of one layer during detailed legalization.
+#[derive(Clone, Debug, Default)]
+pub struct RowPacker {
+    /// `(cell, width, desired_left)` in insertion order.
+    cells: Vec<(CellId, f64, f64)>,
+    clusters: Vec<Cluster>,
+    used_width: f64,
+}
+
+/// Result of simulating an insertion into a row.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct InsertionQuote {
+    /// Final left edge the new cell would receive.
+    pub x_left: f64,
+    /// Total absolute displacement inflicted on already-placed cells.
+    pub neighbor_disruption: f64,
+}
+
+impl RowPacker {
+    /// Creates an empty row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total cell width already placed in the row.
+    pub fn used_width(&self) -> f64 {
+        self.used_width
+    }
+
+    /// Number of cells in the row.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the row is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Whether a cell of `width` can fit at all.
+    pub fn fits(&self, width: f64, row_width: f64) -> bool {
+        self.used_width + width <= row_width + 1e-12
+    }
+
+    /// Prices inserting a cell with `width` whose desired left edge is
+    /// `desired_left`. Returns `None` if the row cannot hold it.
+    ///
+    /// Insertions must arrive in non-decreasing desired order (the caller
+    /// processes cells sorted by x), so the new cell always joins at the
+    /// right end.
+    pub fn simulate(&self, width: f64, desired_left: f64, row_width: f64) -> Option<InsertionQuote> {
+        if !self.fits(width, row_width) {
+            return None;
+        }
+        let before: Vec<f64> = self.cluster_positions(row_width);
+        let mut clusters = self.clusters.clone();
+        append_and_collapse(&mut clusters, self.cells.len(), width, desired_left, row_width);
+        // Position of the new cell: last cluster's position + offset of the
+        // new cell inside it (it is the last cell).
+        let last = clusters.last().expect("at least the new cluster");
+        let pos = last.position(row_width);
+        let x_left = pos + last.width - width;
+        // Neighbor disruption: how far existing clusters moved.
+        let mut disruption = 0.0;
+        for (idx, c) in clusters.iter().enumerate() {
+            let new_pos = c.position(row_width);
+            // Cells `first..first+count` moved from their old cluster
+            // positions; compare against the old layout cell-by-cell.
+            for cell_idx in c.first..c.first + c.count {
+                if cell_idx >= self.cells.len() {
+                    continue; // the new cell
+                }
+                let old_x = self.cell_position_from(&before, cell_idx, row_width);
+                let new_x = new_pos + self.offset_within(idx, cell_idx, &clusters);
+                disruption += (new_x - old_x).abs();
+            }
+        }
+        Some(InsertionQuote {
+            x_left,
+            neighbor_disruption: disruption,
+        })
+    }
+
+    /// Inserts a cell (same contract as [`simulate`](Self::simulate)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell cannot fit — check [`fits`](Self::fits) first.
+    pub fn insert(&mut self, cell: CellId, width: f64, desired_left: f64, row_width: f64) {
+        assert!(
+            self.fits(width, row_width),
+            "row overflow: {} + {width} > {row_width}",
+            self.used_width
+        );
+        append_and_collapse(&mut self.clusters, self.cells.len(), width, desired_left, row_width);
+        self.cells.push((cell, width, desired_left));
+        self.used_width += width;
+    }
+
+    /// Final `(cell, x_left)` positions of every cell in the row.
+    pub fn final_positions(&self, row_width: f64) -> Vec<(CellId, f64)> {
+        let mut out = Vec::with_capacity(self.cells.len());
+        for (idx, c) in self.clusters.iter().enumerate() {
+            let base = c.position(row_width);
+            let mut x = base;
+            for cell_idx in c.first..c.first + c.count {
+                let (cell, width, _) = self.cells[cell_idx];
+                out.push((cell, x));
+                x += width;
+                let _ = idx;
+            }
+        }
+        out
+    }
+
+    fn cluster_positions(&self, row_width: f64) -> Vec<f64> {
+        self.clusters.iter().map(|c| c.position(row_width)).collect()
+    }
+
+    fn cell_position_from(&self, positions: &[f64], cell_idx: usize, _row_width: f64) -> f64 {
+        // Find the (old) cluster containing cell_idx.
+        for (c, pos) in self.clusters.iter().zip(positions) {
+            if cell_idx >= c.first && cell_idx < c.first + c.count {
+                let mut x = *pos;
+                for i in c.first..cell_idx {
+                    x += self.cells[i].1;
+                }
+                return x;
+            }
+        }
+        unreachable!("cell index {cell_idx} not in any cluster");
+    }
+
+    fn offset_within(&self, cluster_idx: usize, cell_idx: usize, clusters: &[Cluster]) -> f64 {
+        let c = &clusters[cluster_idx];
+        let mut offset = 0.0;
+        for i in c.first..cell_idx {
+            offset += self.cells[i].1;
+        }
+        offset
+    }
+}
+
+/// Appends a new single-cell cluster and merges from the right while the
+/// *clamped* positions overlap (standard Abacus collapse; clamping must be
+/// part of the overlap test or clusters squeezed against the row ends
+/// would be missed).
+fn append_and_collapse(
+    clusters: &mut Vec<Cluster>,
+    first: usize,
+    width: f64,
+    desired_left: f64,
+    row_width: f64,
+) {
+    clusters.push(Cluster {
+        first,
+        q: desired_left,
+        width,
+        count: 1,
+    });
+    while clusters.len() >= 2 {
+        let last = clusters.len() - 1;
+        let prev_end = clusters[last - 1].position(row_width) + clusters[last - 1].width;
+        let cur_start = clusters[last].position(row_width);
+        if cur_start >= prev_end - 1e-15 {
+            break;
+        }
+        // Merge `last` into `last - 1`: the merged optimal position
+        // averages each cell's desired position minus its offset, which is
+        // exactly q_prev + (q_last - count_last * width_prev) aggregated.
+        let tail = clusters.pop().expect("len >= 2");
+        let head = clusters.last_mut().expect("len >= 1");
+        head.q += tail.q - tail.count as f64 * head.width;
+        head.width += tail.width;
+        head.count += tail.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: f64 = 100.0;
+
+    fn id(i: usize) -> CellId {
+        CellId::new(i)
+    }
+
+    #[test]
+    fn non_overlapping_cells_keep_desired_positions() {
+        let mut row = RowPacker::new();
+        row.insert(id(0), 10.0, 5.0, W);
+        row.insert(id(1), 10.0, 30.0, W);
+        row.insert(id(2), 10.0, 80.0, W);
+        let pos = row.final_positions(W);
+        assert_eq!(pos, vec![(id(0), 5.0), (id(1), 30.0), (id(2), 80.0)]);
+        assert_eq!(row.used_width(), 30.0);
+    }
+
+    #[test]
+    fn overlapping_cells_collapse_symmetrically() {
+        let mut row = RowPacker::new();
+        // Two cells both wanting x = 50: the cluster centers on 45..65,
+        // i.e. positions 45 and 55 (means of desired minus offsets).
+        row.insert(id(0), 10.0, 50.0, W);
+        row.insert(id(1), 10.0, 50.0, W);
+        let pos = row.final_positions(W);
+        assert!((pos[0].1 - 45.0).abs() < 1e-9, "{pos:?}");
+        assert!((pos[1].1 - 55.0).abs() < 1e-9, "{pos:?}");
+    }
+
+    #[test]
+    fn clamps_to_row_extent() {
+        let mut row = RowPacker::new();
+        row.insert(id(0), 10.0, 95.0, W); // wants to stick out on the right
+        let pos = row.final_positions(W);
+        assert!((pos[0].1 - 90.0).abs() < 1e-9);
+        let mut row = RowPacker::new();
+        row.insert(id(0), 10.0, -5.0, W);
+        assert!((row.final_positions(W)[0].1 - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn positions_never_overlap() {
+        let mut row = RowPacker::new();
+        let widths = [7.0, 13.0, 5.0, 20.0, 9.0, 11.0];
+        let desired = [10.0, 11.0, 12.0, 14.0, 30.0, 31.0];
+        for (i, (&w, &d)) in widths.iter().zip(&desired).enumerate() {
+            row.insert(id(i), w, d, W);
+        }
+        let pos = row.final_positions(W);
+        // Verify pairwise: sorted by x and no overlap using the true widths.
+        let mut with_width: Vec<(f64, f64)> = pos
+            .iter()
+            .map(|&(c, x)| (x, widths[c.index()]))
+            .collect();
+        with_width.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for pair in with_width.windows(2) {
+            assert!(
+                pair[0].0 + pair[0].1 <= pair[1].0 + 1e-9,
+                "overlap: {pair:?}"
+            );
+        }
+        // Everything inside the row.
+        for &(x, w) in &with_width {
+            assert!(x >= -1e-9 && x + w <= W + 1e-9);
+        }
+    }
+
+    #[test]
+    fn simulate_matches_insert() {
+        let mut row = RowPacker::new();
+        row.insert(id(0), 10.0, 40.0, W);
+        row.insert(id(1), 10.0, 45.0, W);
+        let quote = row.simulate(10.0, 47.0, W).unwrap();
+        row.insert(id(2), 10.0, 47.0, W);
+        let pos = row.final_positions(W);
+        let got = pos.iter().find(|p| p.0 == id(2)).unwrap().1;
+        assert!((quote.x_left - got).abs() < 1e-9, "{} vs {got}", quote.x_left);
+        assert!(quote.neighbor_disruption > 0.0, "neighbors had to shift");
+    }
+
+    #[test]
+    fn simulate_on_empty_row_has_no_disruption() {
+        let row = RowPacker::new();
+        let quote = row.simulate(10.0, 20.0, W).unwrap();
+        assert_eq!(quote.x_left, 20.0);
+        assert_eq!(quote.neighbor_disruption, 0.0);
+    }
+
+    #[test]
+    fn full_row_rejects_insertion() {
+        let mut row = RowPacker::new();
+        row.insert(id(0), 60.0, 0.0, W);
+        row.insert(id(1), 39.0, 60.0, W);
+        assert!(row.simulate(5.0, 50.0, W).is_none());
+        assert!(!row.fits(5.0, W));
+        assert!(row.fits(1.0, W));
+    }
+
+    #[test]
+    fn clamped_clusters_still_collapse() {
+        // Without clamping in the overlap test these two clusters would
+        // both be squeezed against the right end and overlap.
+        let mut row = RowPacker::new();
+        row.insert(id(0), 40.0, 50.0, W); // sits at 50..90
+        row.insert(id(1), 40.0, 95.0, W); // unclamped 95 doesn't overlap 90, clamped 60 does
+        let pos = row.final_positions(W);
+        let mut xs: Vec<f64> = pos.iter().map(|p| p.1).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(
+            xs[0] + 40.0 <= xs[1] + 1e-9,
+            "clamped clusters overlap: {xs:?}"
+        );
+        assert!(xs[1] + 40.0 <= W + 1e-9);
+    }
+
+    #[test]
+    fn overfull_cluster_is_left_clamped() {
+        // Cells that total more than fits to the right are pushed left.
+        let mut row = RowPacker::new();
+        row.insert(id(0), 40.0, 70.0, W);
+        row.insert(id(1), 40.0, 75.0, W);
+        let pos = row.final_positions(W);
+        let mut xs: Vec<f64> = pos.iter().map(|p| p.1).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(xs[0] >= -1e-9);
+        assert!(xs[1] + 40.0 <= W + 1e-9);
+    }
+}

@@ -1,0 +1,73 @@
+//! Placement errors.
+
+use std::error::Error;
+use std::fmt;
+use tvp_thermal::ThermalError;
+
+/// Error returned by the placer.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PlaceError {
+    /// The configuration is inconsistent (non-positive coefficient, zero
+    /// layers, ...).
+    InvalidConfig {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The netlist cannot be placed (no movable cells).
+    EmptyNetlist,
+    /// The thermal model rejected the derived chip geometry.
+    Thermal(ThermalError),
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::InvalidConfig { name, value } => {
+                write!(f, "invalid placer configuration: `{name}` = {value}")
+            }
+            PlaceError::EmptyNetlist => write!(f, "netlist has no movable cells"),
+            PlaceError::Thermal(e) => write!(f, "thermal model error: {e}"),
+        }
+    }
+}
+
+impl Error for PlaceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlaceError::Thermal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ThermalError> for PlaceError {
+    fn from(e: ThermalError) -> Self {
+        PlaceError::Thermal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_context() {
+        let e = PlaceError::InvalidConfig {
+            name: "alpha_ilv",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("alpha_ilv"));
+        assert!(PlaceError::EmptyNetlist.to_string().contains("movable"));
+    }
+
+    #[test]
+    fn wraps_thermal_errors() {
+        let e = PlaceError::from(ThermalError::InvalidParameter {
+            name: "conductivity",
+            value: 0.0,
+        });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,232 @@
+//! A quadratic (force-directed) global placement baseline.
+//!
+//! The paper's §1 argues that partitioning suits 3D ICs better than the
+//! force-directed paradigm, which "relies on an encompassing arrangement
+//! of IO pads … to produce a well-spread initial placement". This module
+//! implements that baseline so the claim can be measured: classic
+//! quadratic placement on the star net model, solved by Gauss–Seidel
+//! sweeps, with density-based repulsion supplying the spreading that pads
+//! would otherwise provide.
+//!
+//! The z dimension is solved continuously alongside x/y (vias priced by
+//! `α_ILV` through the star weights) and rounded to layers at the end.
+//! Output feeds the same coarse/detailed legalization as the recursive
+//! bisection flow, so comparisons isolate the global stage.
+
+use crate::objective::ObjectiveModel;
+use crate::{Chip, Placement, PlacerConfig};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use tvp_netlist::{CellId, Netlist};
+
+/// Tuning knobs of the baseline (fixed, deliberately simple).
+const SWEEPS: usize = 60;
+/// Spreading force gain relative to the net attraction.
+const REPULSION_GAIN: f64 = 0.35;
+/// Density mesh resolution for the repulsion field.
+const REPULSION_BINS: usize = 16;
+
+/// Runs the force-directed baseline. Returns an unlegalized placement with
+/// continuous x/y and rounded layers — the same contract as
+/// [`global_place`](super::global_place).
+pub fn force_directed_place(
+    netlist: &Netlist,
+    chip: &Chip,
+    model: &ObjectiveModel,
+    config: &PlacerConfig,
+) -> Placement {
+    let n = netlist.num_cells();
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x00F0_DCE5);
+    let mut placement = Placement::centered(n, chip);
+
+    // Random initial spread (no pads to anchor the system).
+    let movable: Vec<CellId> = netlist
+        .iter_cells()
+        .filter(|(_, c)| c.is_movable())
+        .map(|(id, _)| id)
+        .collect();
+    let max_layer = (chip.num_layers - 1) as f64;
+    let mut z: Vec<f64> = vec![max_layer / 2.0; n];
+    for &c in &movable {
+        placement.set(
+            c,
+            rng.random_range(0.0..chip.width),
+            rng.random_range(0.0..chip.depth),
+            0,
+        );
+        z[c.index()] = rng.random_range(0.0..=max_layer);
+    }
+
+    // Star-model Gauss–Seidel: each sweep moves every cell to the weighted
+    // mean of its nets' centroids, plus a repulsion kick away from dense
+    // bins. The vertical coordinate uses the same attraction scaled by the
+    // via price so hot nets collapse in z first.
+    let bin_w = chip.width / REPULSION_BINS as f64;
+    let bin_h = chip.depth / REPULSION_BINS as f64;
+    for sweep in 0..SWEEPS {
+        // Density field for repulsion.
+        let mut density = vec![0.0f64; REPULSION_BINS * REPULSION_BINS];
+        for &c in &movable {
+            let (x, y, _) = placement.position(c);
+            let i = ((x / bin_w) as usize).min(REPULSION_BINS - 1);
+            let j = ((y / bin_h) as usize).min(REPULSION_BINS - 1);
+            density[j * REPULSION_BINS + i] += netlist.cell(c).area();
+        }
+        let mean_density: f64 =
+            density.iter().sum::<f64>() / density.len() as f64;
+
+        // Cooling: attraction dominates early, repulsion late.
+        let repulsion = REPULSION_GAIN * (sweep as f64 + 1.0) / SWEEPS as f64;
+
+        for &c in &movable {
+            let (cx, cy, _) = placement.position(c);
+            let mut wx = 0.0;
+            let mut wy = 0.0;
+            let mut wz = 0.0;
+            let mut weight_sum = 0.0;
+            for e in netlist.cell_nets(c) {
+                let pins = netlist.net(e).pins();
+                if pins.len() < 2 {
+                    continue;
+                }
+                // Star weight 1/(deg−1) keeps large nets from dominating.
+                let w = netlist.net(e).weight() / (pins.len() - 1) as f64;
+                let mut ox = 0.0;
+                let mut oy = 0.0;
+                let mut oz = 0.0;
+                let mut others = 0.0;
+                for &p in pins {
+                    let other = netlist.pin(p).cell();
+                    if other == c {
+                        continue;
+                    }
+                    let (x, y, _) = placement.position(other);
+                    ox += x;
+                    oy += y;
+                    oz += z[other.index()];
+                    others += 1.0;
+                }
+                if others > 0.0 {
+                    wx += w * ox / others;
+                    wy += w * oy / others;
+                    wz += w * oz / others;
+                    weight_sum += w;
+                }
+            }
+            if weight_sum == 0.0 {
+                continue;
+            }
+            let mut nx = wx / weight_sum;
+            let mut ny = wy / weight_sum;
+            let nz = wz / weight_sum;
+
+            // Repulsion: push away from the local density gradient.
+            let i = ((cx / bin_w) as usize).min(REPULSION_BINS - 1);
+            let j = ((cy / bin_h) as usize).min(REPULSION_BINS - 1);
+            let d_here = density[j * REPULSION_BINS + i];
+            if d_here > mean_density {
+                let grad = |di: isize, dj: isize| -> f64 {
+                    let ii = (i as isize + di).clamp(0, REPULSION_BINS as isize - 1) as usize;
+                    let jj = (j as isize + dj).clamp(0, REPULSION_BINS as isize - 1) as usize;
+                    density[jj * REPULSION_BINS + ii]
+                };
+                let gx = grad(1, 0) - grad(-1, 0);
+                let gy = grad(0, 1) - grad(0, -1);
+                let strength = repulsion * (d_here / mean_density - 1.0).min(4.0);
+                nx -= gx.signum() * strength * bin_w;
+                ny -= gy.signum() * strength * bin_h;
+            }
+
+            let (nx, ny) = chip.clamp(nx, ny);
+            placement.set(c, nx, ny, 0);
+            z[c.index()] = nz.clamp(0.0, max_layer);
+        }
+        let _ = model; // the baseline prices vias only via rounding below
+    }
+
+    // Round the continuous layer coordinate; ties broken toward the sink.
+    for &c in &movable {
+        let (x, y, _) = placement.position(c);
+        placement.set(c, x, y, z[c.index()].round() as u16);
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::coarse_legalize;
+    use crate::detail::{check_legal, detail_legalize};
+    use crate::global::global_place;
+    use crate::objective::IncrementalObjective;
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+
+    fn full_flow_wl(
+        netlist: &Netlist,
+        chip: &Chip,
+        model: &ObjectiveModel,
+        config: &PlacerConfig,
+        force_directed: bool,
+    ) -> f64 {
+        let placement = if force_directed {
+            force_directed_place(netlist, chip, model, config)
+        } else {
+            global_place(netlist, chip, model, config)
+        };
+        let mut objective = IncrementalObjective::new(netlist, model, placement);
+        coarse_legalize(&mut objective, netlist, chip, config);
+        detail_legalize(&mut objective, netlist, chip, config.detail_row_window);
+        assert_eq!(check_legal(netlist, chip, objective.placement()), None);
+        objective.total_wirelength()
+    }
+
+    #[test]
+    fn baseline_produces_a_legalizable_spread() {
+        let netlist = generate(&SynthConfig::named("fd", 300, 1.5e-9)).unwrap();
+        let config = PlacerConfig::new(4);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let placement = force_directed_place(&netlist, &chip, &model, &config);
+        assert!(placement.find_out_of_bounds(&chip).is_none());
+        // Spread: the placement must not be a single pile.
+        let mean_x: f64 =
+            (0..300).map(|i| placement.x(CellId::new(i))).sum::<f64>() / 300.0;
+        let var: f64 = (0..300)
+            .map(|i| (placement.x(CellId::new(i)) - mean_x).powi(2))
+            .sum::<f64>()
+            / 300.0;
+        assert!(
+            var.sqrt() > chip.width / 20.0,
+            "std {:.3e} vs chip width {:.3e}",
+            var.sqrt(),
+            chip.width
+        );
+    }
+
+    #[test]
+    fn partitioning_beats_the_baseline_without_pads() {
+        // The paper's §1 claim: with no IO pads, the force-directed
+        // paradigm struggles and min-cut partitioning wins on wirelength.
+        let netlist = generate(&SynthConfig::named("fd2", 400, 2.0e-9)).unwrap();
+        let config = PlacerConfig::new(2);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let partition_wl = full_flow_wl(&netlist, &chip, &model, &config, false);
+        let force_wl = full_flow_wl(&netlist, &chip, &model, &config, true);
+        assert!(
+            partition_wl < force_wl,
+            "partitioning ({partition_wl:.3e}) should beat force-directed ({force_wl:.3e})"
+        );
+    }
+
+    #[test]
+    fn baseline_is_deterministic() {
+        let netlist = generate(&SynthConfig::named("fd3", 100, 5.0e-10)).unwrap();
+        let config = PlacerConfig::new(2);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let a = force_directed_place(&netlist, &chip, &model, &config);
+        let b = force_directed_place(&netlist, &chip, &model, &config);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,575 @@
+//! Global placement by 3D recursive bisection (paper §3).
+//!
+//! Regions — a set of cells plus a box of placement volume — are bisected
+//! breadth-first. At every bisection:
+//!
+//! * the **cut direction** is chosen orthogonal to the largest of the
+//!   region's width, height, or *weighted depth* (the layer count times
+//!   `α_ILV`), so the min-cut objective spends its cut-avoidance where the
+//!   objective says connectivity is most expensive;
+//! * **terminal propagation** pins nets with pins outside the region to
+//!   the side nearest those external pins;
+//! * **thermal net weights** (§3.1) scale each net's cut cost, with the
+//!   vertical weight used for z cuts and the lateral weight otherwise;
+//! * **thermal resistance reduction nets** (§3.2) pull powered cells
+//!   toward the heat sink during z cuts;
+//! * the **partition tolerance** follows the whitespace available in the
+//!   region, and the **cut line** is positioned to split the region's
+//!   capacity in proportion to the two sides' cell areas.
+
+mod force;
+mod region;
+
+pub use force::force_directed_place;
+pub use region::Region;
+
+use crate::netweight::NetWeights;
+use crate::objective::{IncrementalObjective, ObjectiveModel};
+use crate::trr::TrrNets;
+use crate::{Chip, Placement, PlacerConfig};
+use tvp_netlist::{CellId, Netlist, NetId};
+use tvp_partition::{bisect_fixed, BisectConfig, FixedSide, Hypergraph};
+
+/// Axis a region is cut along.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CutDirection {
+    /// Vertical cut line: splits the x extent.
+    X,
+    /// Horizontal cut line: splits the y extent.
+    Y,
+    /// Layer cut: splits the device-layer range.
+    Z,
+}
+
+/// Chooses the cut direction for a region (paper §3): orthogonal to the
+/// largest of width, height, and weighted depth `layers · α_ILV`.
+///
+/// With `weighted = false` (ablation) the raw physical depth
+/// `layers · layer_pitch` is compared instead.
+pub fn choose_cut_direction(
+    region: &Region,
+    alpha_ilv: f64,
+    weighted: bool,
+    layer_pitch: f64,
+) -> CutDirection {
+    let wx = region.x1 - region.x0;
+    let wy = region.y1 - region.y0;
+    let layers = region.num_layers();
+    let wz = if layers > 1 {
+        layers as f64 * if weighted { alpha_ilv } else { layer_pitch }
+    } else {
+        f64::NEG_INFINITY
+    };
+    if wz >= wx && wz >= wy {
+        CutDirection::Z
+    } else if wx >= wy {
+        CutDirection::X
+    } else {
+        CutDirection::Y
+    }
+}
+
+/// Runs global placement. Returns the placement with every movable cell at
+/// the center of its final leaf region.
+pub fn global_place(
+    netlist: &Netlist,
+    chip: &Chip,
+    model: &ObjectiveModel,
+    config: &PlacerConfig,
+) -> Placement {
+    global_place_with_fixed(netlist, chip, model, config, &[])
+}
+
+/// [`global_place`] with pre-seeded positions for fixed cells (pads,
+/// macros). Fixed cells keep these positions; terminal propagation and the
+/// thermal state see them from the first bisection level.
+pub fn global_place_with_fixed(
+    netlist: &Netlist,
+    chip: &Chip,
+    model: &ObjectiveModel,
+    config: &PlacerConfig,
+    fixed_positions: &[(CellId, f64, f64, u16)],
+) -> Placement {
+    let mut placement = Placement::centered(netlist.num_cells(), chip);
+    for &(cell, x, y, layer) in fixed_positions {
+        let (x, y) = chip.clamp(x, y);
+        placement.set(cell, x, y, layer.min((chip.num_layers - 1) as u16));
+    }
+    // Seed the layer at the middle of the stack so z terminal propagation
+    // starts unbiased.
+    let mid_layer = (chip.num_layers / 2) as u16;
+    let movable: Vec<CellId> = netlist
+        .iter_cells()
+        .filter(|(_, c)| c.is_movable())
+        .map(|(id, _)| id)
+        .collect();
+    for &c in &movable {
+        placement.set(c, chip.width / 2.0, chip.depth / 2.0, mid_layer);
+    }
+
+    let root = Region {
+        cells: movable,
+        x0: 0.0,
+        x1: chip.width,
+        y0: 0.0,
+        y1: chip.depth,
+        l0: 0,
+        l1: (chip.num_layers - 1) as u16,
+    };
+
+    let mut splitter = Splitter {
+        netlist,
+        chip,
+        model,
+        config,
+        net_weights: NetWeights::unit(netlist.num_nets()),
+        trr: TrrNets::none(),
+        trr_weight_of: vec![0.0; netlist.num_cells()],
+        vertex_of: vec![u32::MAX; netlist.num_cells()],
+        vertex_stamp: vec![0u32; netlist.num_cells()],
+        net_stamp: vec![0u32; netlist.num_nets()],
+        stamp: 0,
+        level_seed: config.seed,
+    };
+
+    let mut active = vec![root];
+    let mut level = 0usize;
+    const MAX_LEVELS: usize = 64;
+    while !active.is_empty() && level < MAX_LEVELS {
+        splitter.refresh_thermal_state(&placement);
+        splitter.level_seed = config.seed.wrapping_add(level as u64).wrapping_mul(0x9E37_79B9);
+        let mut next = Vec::with_capacity(active.len() * 2);
+        for region in active {
+            if splitter.is_leaf(&region) {
+                splitter.finalize_leaf(&region, &mut placement);
+                continue;
+            }
+            let (a, b) = splitter.split(region, &mut placement);
+            next.push(a);
+            next.push(b);
+        }
+        active = next;
+        level += 1;
+    }
+    // Safety net: finalize anything left if MAX_LEVELS was hit.
+    for region in active {
+        splitter.finalize_leaf(&region, &mut placement);
+    }
+    placement
+}
+
+struct Splitter<'a> {
+    netlist: &'a Netlist,
+    chip: &'a Chip,
+    model: &'a ObjectiveModel,
+    config: &'a PlacerConfig,
+    net_weights: NetWeights,
+    trr: TrrNets,
+    trr_weight_of: Vec<f64>,
+    /// Scratch: cell → vertex index in the current region hypergraph.
+    vertex_of: Vec<u32>,
+    vertex_stamp: Vec<u32>,
+    net_stamp: Vec<u32>,
+    stamp: u32,
+    level_seed: u64,
+}
+
+impl<'a> Splitter<'a> {
+    /// Re-derives the thermal net weights and TRR nets at the current
+    /// positions (§6: updated as the placement is recursively partitioned).
+    fn refresh_thermal_state(&mut self, placement: &Placement) {
+        if self.model.alpha_temp == 0.0 {
+            return;
+        }
+        if self.config.thermal_net_weights {
+            self.net_weights = NetWeights::thermal(self.netlist, self.model, placement);
+        }
+        if !self.config.trr_nets {
+            return;
+        }
+        let objective =
+            IncrementalObjective::new(self.netlist, self.model, placement.clone());
+        let profile = self
+            .model
+            .resistance()
+            .vertical_profile(self.chip.avg_cell_area);
+        self.trr = TrrNets::build(
+            self.netlist,
+            self.model,
+            &objective,
+            &profile,
+            self.config.peko_floors,
+        );
+        self.trr_weight_of.fill(0.0);
+        for t in self.trr.nets() {
+            self.trr_weight_of[t.cell.index()] = t.weight;
+        }
+    }
+
+    fn is_leaf(&self, region: &Region) -> bool {
+        region.cells.len() <= 1
+            || region.cells.len() <= self.config.leaf_cells.max(region.num_layers())
+    }
+
+    /// Places the leaf's cells at its center. A leaf that still spans
+    /// several layers means the objective never made a z cut worthwhile
+    /// (α_ILV is small relative to lateral extents); its cells are
+    /// area-balanced across the layers, which is where the high via counts
+    /// at low α_ILV come from.
+    fn finalize_leaf(&self, region: &Region, placement: &mut Placement) {
+        let (cx, cy, _) = region.center();
+        if region.num_layers() == 1 {
+            for &c in &region.cells {
+                placement.set(c, cx, cy, region.l0);
+            }
+            return;
+        }
+        let mut fill = vec![0.0f64; region.num_layers()];
+        let mut cells: Vec<CellId> = region.cells.clone();
+        cells.sort_by(|&a, &b| {
+            self.netlist
+                .cell(b)
+                .area()
+                .partial_cmp(&self.netlist.cell(a).area())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for c in cells {
+            let (best, _) = fill
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("at least one layer");
+            fill[best] += self.netlist.cell(c).area();
+            placement.set(c, cx, cy, region.l0 + best as u16);
+        }
+    }
+
+    /// Whitespace-derived partition tolerance for a region.
+    fn tolerance(&self, region: &Region) -> f64 {
+        let usable =
+            region.area() * region.num_layers() as f64 * self.chip.row_height / self.chip.row_pitch;
+        let cell_area: f64 = region
+            .cells
+            .iter()
+            .map(|&c| self.netlist.cell(c).area())
+            .sum();
+        let whitespace = if usable > 0.0 {
+            1.0 - cell_area / usable
+        } else {
+            self.config.whitespace
+        };
+        whitespace.clamp(0.02, 0.45) / 2.0
+    }
+
+    fn split(&mut self, region: Region, placement: &mut Placement) -> (Region, Region) {
+        let direction = choose_cut_direction(
+            &region,
+            self.model.alpha_ilv,
+            self.config.weighted_depth_cut,
+            self.chip.stack.layer_pitch(),
+        );
+        let n = region.cells.len();
+
+        // Build the region hypergraph: vertices = region cells (+ two
+        // zero-weight terminals on demand).
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut weights: Vec<f64> = Vec::with_capacity(n + 2);
+        for (v, &c) in region.cells.iter().enumerate() {
+            self.vertex_of[c.index()] = v as u32;
+            self.vertex_stamp[c.index()] = stamp;
+            weights.push(self.netlist.cell(c).area());
+        }
+        // Terminal vertices for propagated connectivity.
+        let t0 = n as u32;
+        let t1 = n as u32 + 1;
+        weights.push(0.0);
+        weights.push(0.0);
+        let mut hg = Hypergraph::with_vertex_weights(weights);
+        let mut fixed = vec![FixedSide::Free; n + 2];
+        fixed[t0 as usize] = FixedSide::Side0;
+        fixed[t1 as usize] = FixedSide::Side1;
+
+        let mid = region.mid(direction);
+        let mut pins: Vec<u32> = Vec::new();
+        for &c in &region.cells {
+            for &p in self.netlist.cell_pins(c) {
+                let e = self.netlist.pin(p).net();
+                if self.net_stamp[e.index()] == stamp {
+                    continue; // net already processed this region
+                }
+                self.net_stamp[e.index()] = stamp;
+                self.add_net_to_hypergraph(
+                    e, placement, direction, mid, t0, t1, stamp, &mut hg, &mut pins,
+                );
+            }
+        }
+        // TRR nets pull toward the heat sink: only meaningful for z cuts,
+        // where side 0 is the lower layer range.
+        if direction == CutDirection::Z && self.config.trr_nets && !self.trr.is_empty() {
+            for (v, &c) in region.cells.iter().enumerate() {
+                let w = self.trr_weight_of[c.index()];
+                if w > 0.0 {
+                    hg.add_net(&[v as u32, t0], w);
+                }
+            }
+        }
+        hg.finalize();
+
+        let layers = region.num_layers();
+        let target_fraction = if direction == CutDirection::Z {
+            // Side 0 (lower layers) gets the ceiling half of the layers.
+            layers.div_ceil(2) as f64 / layers as f64
+        } else {
+            0.5
+        };
+        let bisect_config = BisectConfig {
+            target_fraction,
+            tolerance: self.tolerance(&region),
+            num_starts: self.config.partition_starts,
+            seed: self
+                .level_seed
+                .wrapping_add(region.cells[0].index() as u64),
+            ..BisectConfig::default()
+        };
+        let result = bisect_fixed(&hg, &fixed, &bisect_config);
+
+        let mut side0: Vec<CellId> = Vec::new();
+        let mut side1: Vec<CellId> = Vec::new();
+        for (v, &c) in region.cells.iter().enumerate() {
+            if result.side(v as u32) == 0 {
+                side0.push(c);
+            } else {
+                side1.push(c);
+            }
+        }
+        // Degenerate partitions (possible on pathological graphs): fall
+        // back to an even index split so recursion always terminates.
+        if side0.is_empty() || side1.is_empty() {
+            let mut all = std::mem::take(&mut side0);
+            all.append(&mut side1);
+            let half = all.len() / 2;
+            side1 = all.split_off(half);
+            side0 = all;
+        }
+
+        let area0: f64 = side0.iter().map(|&c| self.netlist.cell(c).area()).sum();
+        let area1: f64 = side1.iter().map(|&c| self.netlist.cell(c).area()).sum();
+        let (ra, rb) = region.split(direction, side0, side1, area0, area1);
+        // Move cells to their new region centers for the next level's
+        // terminal propagation.
+        let (cax, cay, cal) = ra.center();
+        for &c in &ra.cells {
+            placement.set(c, cax, cay, cal);
+        }
+        let (cbx, cby, cbl) = rb.center();
+        for &c in &rb.cells {
+            placement.set(c, cbx, cby, cbl);
+        }
+        (ra, rb)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_net_to_hypergraph(
+        &self,
+        e: NetId,
+        placement: &Placement,
+        direction: CutDirection,
+        mid: f64,
+        t0: u32,
+        t1: u32,
+        stamp: u32,
+        hg: &mut Hypergraph,
+        pins: &mut Vec<u32>,
+    ) {
+        pins.clear();
+        let mut ext0 = false;
+        let mut ext1 = false;
+        for &p in self.netlist.net(e).pins() {
+            let c = self.netlist.pin(p).cell();
+            if self.vertex_stamp[c.index()] == stamp {
+                // A cell's stamp matches iff it belongs to this region,
+                // because regions partition the cells at every level.
+                pins.push(self.vertex_of[c.index()]);
+            } else {
+                if !self.config.terminal_propagation {
+                    continue;
+                }
+                // External pin: propagate to the nearer side (Dunlop–
+                // Kernighan terminal propagation) using its current
+                // position along the cut axis.
+                let coord = match direction {
+                    CutDirection::X => placement.x(c),
+                    CutDirection::Y => placement.y(c),
+                    CutDirection::Z => placement.layer(c) as f64,
+                };
+                if coord < mid {
+                    ext0 = true;
+                } else {
+                    ext1 = true;
+                }
+            }
+        }
+        if pins.is_empty() {
+            return;
+        }
+        if ext0 {
+            pins.push(t0);
+        }
+        if ext1 {
+            pins.push(t1);
+        }
+        if pins.len() < 2 {
+            return;
+        }
+        let weight = match direction {
+            CutDirection::Z => self.net_weights.vertical(e),
+            _ => self.net_weights.lateral(e),
+        };
+        hg.add_net(pins, weight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+
+    fn run(alpha_ilv: f64, alpha_temp: f64, layers: usize) -> (Netlist, Chip, Placement, f64, f64) {
+        let netlist = generate(&SynthConfig::named("t", 300, 1.5e-9)).unwrap();
+        let config = PlacerConfig::new(layers)
+            .with_alpha_ilv(alpha_ilv)
+            .with_alpha_temp(alpha_temp);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let placement = global_place(&netlist, &chip, &model, &config);
+        let obj = IncrementalObjective::new(&netlist, &model, placement.clone());
+        let (wl, ilv) = (obj.total_wirelength(), obj.total_ilv());
+        (netlist, chip, placement, wl, ilv)
+    }
+
+    #[test]
+    fn cut_direction_follows_weighted_depth() {
+        let region = Region {
+            cells: vec![],
+            x0: 0.0,
+            x1: 1.0e-4,
+            y0: 0.0,
+            y1: 0.5e-4,
+            l0: 0,
+            l1: 3,
+        };
+        const PITCH: f64 = 6.4e-6;
+        // 4 layers × 1e-5 = 4e-5 < width 1e-4 → lateral X cut.
+        assert_eq!(
+            choose_cut_direction(&region, 1.0e-5, true, PITCH),
+            CutDirection::X
+        );
+        // Expensive vias: 4 × 1e-3 dominates → Z cut.
+        assert_eq!(
+            choose_cut_direction(&region, 1.0e-3, true, PITCH),
+            CutDirection::Z
+        );
+        // Ablation: unweighted depth compares the physical extent
+        // (4 × 6.4 µm = 2.56e-5 < width), so the same region cuts in X no
+        // matter how expensive vias are.
+        assert_eq!(
+            choose_cut_direction(&region, 1.0e-3, false, PITCH),
+            CutDirection::X
+        );
+        // Single-layer regions never z-cut.
+        let flat = Region { l1: 0, ..region };
+        assert_eq!(choose_cut_direction(&flat, 1.0, true, PITCH), CutDirection::X);
+        // Taller than wide → Y cut.
+        let tall = Region {
+            x1: 0.5e-4,
+            y1: 1.0e-4,
+            ..flat
+        };
+        assert_eq!(
+            choose_cut_direction(&tall, 1.0e-9, true, PITCH),
+            CutDirection::Y
+        );
+    }
+
+    #[test]
+    fn places_all_cells_in_bounds() {
+        let (netlist, chip, placement, wl, _) = run(1.0e-5, 0.0, 4);
+        assert!(placement.find_out_of_bounds(&chip).is_none());
+        assert!(wl > 0.0, "cells must have spread out");
+        // Every layer should be populated for a 4-layer run.
+        let mut per_layer = [0usize; 4];
+        for (_, _, _, l) in placement.iter() {
+            per_layer[l as usize] += 1;
+        }
+        for (l, &count) in per_layer.iter().enumerate() {
+            assert!(
+                count > netlist.num_cells() / 20,
+                "layer {l} has only {count} cells"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_alpha_ilv_trades_vias_for_wirelength() {
+        let (_, _, _, wl_cheap, ilv_cheap) = run(5.0e-8, 0.0, 4);
+        let (_, _, _, wl_dear, ilv_dear) = run(2.0e-4, 0.0, 4);
+        assert!(
+            ilv_dear < ilv_cheap,
+            "expensive vias must reduce ILV count: {ilv_dear} vs {ilv_cheap}"
+        );
+        assert!(
+            wl_dear > wl_cheap * 0.9,
+            "via avoidance should not shorten wirelength: {wl_dear} vs {wl_cheap}"
+        );
+    }
+
+    #[test]
+    fn single_layer_placement_has_no_vias() {
+        let (_, _, placement, _, ilv) = run(1.0e-5, 0.0, 1);
+        assert_eq!(ilv, 0.0);
+        assert!(placement.iter().all(|(_, _, _, l)| l == 0));
+    }
+
+    #[test]
+    fn thermal_placement_moves_power_down() {
+        let netlist = generate(&SynthConfig::named("t", 300, 1.5e-9)).unwrap();
+        let layers = 4;
+        let base_config = PlacerConfig::new(layers).with_alpha_ilv(1.0e-5);
+        let chip = Chip::from_netlist(&netlist, &base_config).unwrap();
+
+        let power_depth = |alpha_temp: f64| -> f64 {
+            let config = base_config.clone().with_alpha_temp(alpha_temp);
+            let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+            let placement = global_place(&netlist, &chip, &model, &config);
+            let obj = IncrementalObjective::new(&netlist, &model, placement);
+            // Power-weighted mean layer: lower is better for heat.
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (c, _) in netlist.iter_cells() {
+                let p = model.power().cell_power(&netlist, c, |e| {
+                    let g = obj.net_geometry(e);
+                    (g.wirelength(), g.ilv)
+                });
+                num += p * obj.placement().layer(c) as f64;
+                den += p;
+            }
+            num / den
+        };
+
+        let without = power_depth(0.0);
+        let with = power_depth(2.0e-4);
+        assert!(
+            with < without - 0.05,
+            "thermal placement must lower the power centroid: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (_, _, a, _, _) = run(1.0e-5, 0.0, 2);
+        let (_, _, b, _, _) = run(1.0e-5, 0.0, 2);
+        assert_eq!(a, b);
+    }
+}

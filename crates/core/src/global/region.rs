@@ -1,0 +1,225 @@
+//! Placement regions: a cell subset plus a box of placement volume.
+
+use super::CutDirection;
+use tvp_netlist::CellId;
+
+/// A region of the recursive bisection: the cells assigned to it and the
+/// physical volume they will eventually occupy. Layer bounds are
+/// inclusive.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Region {
+    /// Cells assigned to this region.
+    pub cells: Vec<CellId>,
+    /// Left edge, meters.
+    pub x0: f64,
+    /// Right edge, meters.
+    pub x1: f64,
+    /// Bottom edge, meters.
+    pub y0: f64,
+    /// Top edge, meters.
+    pub y1: f64,
+    /// Lowest device layer (inclusive).
+    pub l0: u16,
+    /// Highest device layer (inclusive).
+    pub l1: u16,
+}
+
+impl Region {
+    /// Number of device layers spanned.
+    pub fn num_layers(&self) -> usize {
+        (self.l1 - self.l0) as usize + 1
+    }
+
+    /// Footprint area, square meters.
+    pub fn area(&self) -> f64 {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+
+    /// Center of the region: `(x, y, layer)` with the layer rounded to the
+    /// middle of the range.
+    pub fn center(&self) -> (f64, f64, u16) {
+        (
+            (self.x0 + self.x1) / 2.0,
+            (self.y0 + self.y1) / 2.0,
+            self.l0 + (self.l1 - self.l0) / 2,
+        )
+    }
+
+    /// Midpoint along a cut axis, used for terminal propagation. For z
+    /// cuts this is the fractional boundary between the two layer halves.
+    pub fn mid(&self, direction: CutDirection) -> f64 {
+        match direction {
+            CutDirection::X => (self.x0 + self.x1) / 2.0,
+            CutDirection::Y => (self.y0 + self.y1) / 2.0,
+            CutDirection::Z => (self.l0 as f64 + self.l1 as f64) / 2.0,
+        }
+    }
+
+    /// Splits the region along `direction` into the given cell sides,
+    /// positioning the cut so capacity tracks the sides' cell areas
+    /// (paper §3: "the cut line is positioned to ensure an even
+    /// distribution of cell area").
+    ///
+    /// # Panics
+    ///
+    /// Panics on a z split of a single-layer region.
+    pub fn split(
+        &self,
+        direction: CutDirection,
+        side0: Vec<CellId>,
+        side1: Vec<CellId>,
+        area0: f64,
+        area1: f64,
+    ) -> (Region, Region) {
+        let total = (area0 + area1).max(f64::MIN_POSITIVE);
+        // Clamp so no child collapses to zero volume.
+        let fraction = (area0 / total).clamp(0.1, 0.9);
+        match direction {
+            CutDirection::X => {
+                let xc = self.x0 + (self.x1 - self.x0) * fraction;
+                (
+                    Region {
+                        cells: side0,
+                        x1: xc,
+                        ..self.clone_bounds()
+                    },
+                    Region {
+                        cells: side1,
+                        x0: xc,
+                        ..self.clone_bounds()
+                    },
+                )
+            }
+            CutDirection::Y => {
+                let yc = self.y0 + (self.y1 - self.y0) * fraction;
+                (
+                    Region {
+                        cells: side0,
+                        y1: yc,
+                        ..self.clone_bounds()
+                    },
+                    Region {
+                        cells: side1,
+                        y0: yc,
+                        ..self.clone_bounds()
+                    },
+                )
+            }
+            CutDirection::Z => {
+                let layers = self.num_layers();
+                assert!(layers >= 2, "cannot z-split a single layer");
+                let k0 = ((layers as f64 * area0 / total).round() as usize)
+                    .clamp(1, layers - 1);
+                (
+                    Region {
+                        cells: side0,
+                        l1: self.l0 + (k0 - 1) as u16,
+                        ..self.clone_bounds()
+                    },
+                    Region {
+                        cells: side1,
+                        l0: self.l0 + k0 as u16,
+                        ..self.clone_bounds()
+                    },
+                )
+            }
+        }
+    }
+
+    fn clone_bounds(&self) -> Region {
+        Region {
+            cells: Vec::new(),
+            x0: self.x0,
+            x1: self.x1,
+            y0: self.y0,
+            y1: self.y1,
+            l0: self.l0,
+            l1: self.l1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Region {
+        Region {
+            cells: (0..8).map(CellId::new).collect(),
+            x0: 0.0,
+            x1: 8.0,
+            y0: 0.0,
+            y1: 4.0,
+            l0: 0,
+            l1: 3,
+        }
+    }
+
+    #[test]
+    fn geometry_queries() {
+        let r = region();
+        assert_eq!(r.num_layers(), 4);
+        assert_eq!(r.area(), 32.0);
+        assert_eq!(r.center(), (4.0, 2.0, 1));
+        assert_eq!(r.mid(CutDirection::X), 4.0);
+        assert_eq!(r.mid(CutDirection::Z), 1.5);
+    }
+
+    #[test]
+    fn x_split_positions_cut_by_area() {
+        let r = region();
+        let s0: Vec<CellId> = (0..6).map(CellId::new).collect();
+        let s1: Vec<CellId> = (6..8).map(CellId::new).collect();
+        let (a, b) = r.split(CutDirection::X, s0, s1, 3.0, 1.0);
+        assert_eq!(a.x1, 6.0); // 75% of the span
+        assert_eq!(b.x0, 6.0);
+        assert_eq!(a.cells.len(), 6);
+        assert_eq!(b.cells.len(), 2);
+        assert_eq!(a.l0, 0);
+        assert_eq!(a.l1, 3);
+    }
+
+    #[test]
+    fn split_fraction_is_clamped() {
+        let r = region();
+        let (a, _) = r.split(CutDirection::X, vec![], vec![], 100.0, 0.0);
+        assert!(a.x1 < r.x1, "even a lopsided split leaves both sides volume");
+        assert!((a.x1 - 0.9 * 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_split_divides_layers() {
+        let r = region();
+        let (a, b) = r.split(CutDirection::Z, vec![], vec![], 1.0, 1.0);
+        assert_eq!(a.l0, 0);
+        assert_eq!(a.l1, 1);
+        assert_eq!(b.l0, 2);
+        assert_eq!(b.l1, 3);
+        assert_eq!(a.num_layers() + b.num_layers(), 4);
+    }
+
+    #[test]
+    fn z_split_respects_area_imbalance() {
+        let r = region();
+        let (a, b) = r.split(CutDirection::Z, vec![], vec![], 3.0, 1.0);
+        assert_eq!(a.num_layers(), 3);
+        assert_eq!(b.num_layers(), 1);
+    }
+
+    #[test]
+    fn z_split_never_empties_a_side() {
+        let mut r = region();
+        r.l1 = 1; // two layers
+        let (a, b) = r.split(CutDirection::Z, vec![], vec![], 1000.0, 1.0);
+        assert_eq!(a.num_layers(), 1);
+        assert_eq!(b.num_layers(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "single layer")]
+    fn z_split_of_single_layer_panics() {
+        let mut r = region();
+        r.l1 = 0;
+        let _ = r.split(CutDirection::Z, vec![], vec![], 1.0, 1.0);
+    }
+}

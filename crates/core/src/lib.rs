@@ -1,0 +1,54 @@
+//! Thermal- and interlayer-via-aware placement of 3D ICs.
+//!
+//! A from-scratch reproduction of *Goplen & Sapatnekar, "Placement of 3D
+//! ICs with Thermal and Interlayer Via Considerations," DAC 2007*. The flow
+//! minimizes the paper's objective (Eq. 3)
+//!
+//! ```text
+//! Σ_nets [ WL_i + α_ILV · ILV_i ]  +  α_TEMP · Σ_cells [ R_j · P_j ]
+//! ```
+//!
+//! over three stages:
+//!
+//! 1. [`global`] — 3D recursive min-cut bisection with cut-direction
+//!    selection, terminal propagation, thermal net weighting (§3.1), and
+//!    thermal-resistance-reduction nets (§3.2).
+//! 2. [`coarse`] — coarse legalization: cell shifting (§4.1) interleaved
+//!    with objective-driven moves and swaps (§4.2).
+//! 3. [`detail`] — detailed legalization into rows (§5).
+//!
+//! The one-call entry point is [`Placer`]:
+//!
+//! ```
+//! use tvp_core::{Placer, PlacerConfig};
+//! use tvp_bookshelf::synth::{SynthConfig, generate};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = generate(&SynthConfig::named("demo", 200, 1.0e-9))?;
+//! let config = PlacerConfig::new(4).with_alpha_ilv(1.0e-5);
+//! let result = Placer::new(config).place(&netlist)?;
+//! println!("wirelength = {} m, ILVs = {}", result.metrics.wirelength, result.metrics.ilv_count);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod chip;
+pub mod coarse;
+pub mod config;
+pub mod detail;
+pub mod global;
+mod error;
+pub mod metrics;
+pub mod netweight;
+pub mod objective;
+pub mod placement;
+mod placer;
+pub mod power;
+pub mod trr;
+
+pub use chip::Chip;
+pub use config::{PlacerConfig, ShiftStrategy, TechnologyParams};
+pub use error::PlaceError;
+pub use metrics::PlacementMetrics;
+pub use placement::Placement;
+pub use placer::{Placer, PlacementResult, StageTimings};

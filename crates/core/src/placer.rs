@@ -1,0 +1,282 @@
+//! The complete placement pipeline (paper §6).
+
+use crate::coarse::coarse_legalize;
+use crate::detail::{check_legal, detail_legalize, refine_legal, LegalizeStats};
+use crate::metrics::{self, PlacementMetrics};
+use crate::objective::{IncrementalObjective, ObjectiveModel};
+use crate::{Chip, PlaceError, Placement, PlacerConfig};
+use std::time::{Duration, Instant};
+use tvp_netlist::Netlist;
+
+/// Wall-clock duration of each pipeline stage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StageTimings {
+    /// Recursive-bisection global placement.
+    pub global: Duration,
+    /// Coarse legalization (moves/swaps + cell shifting).
+    pub coarse: Duration,
+    /// Detailed legalization.
+    pub detail: Duration,
+    /// Whole pipeline including metric evaluation.
+    pub total: Duration,
+}
+
+/// Everything the pipeline produces.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PlacementResult {
+    /// The final legal placement.
+    pub placement: Placement,
+    /// Quality metrics (wirelength, vias, power, temperatures).
+    pub metrics: PlacementMetrics,
+    /// Detailed-legalization statistics of the final round.
+    pub legalize: LegalizeStats,
+    /// Per-stage wall-clock timings (Fig. 10 material).
+    pub timings: StageTimings,
+    /// The chip geometry the netlist was placed on.
+    pub chip: Chip,
+}
+
+/// The thermal/via-aware 3D placer.
+///
+/// # Example
+///
+/// ```
+/// use tvp_core::{Placer, PlacerConfig};
+/// use tvp_bookshelf::synth::{SynthConfig, generate};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let netlist = generate(&SynthConfig::named("demo", 150, 0.75e-9))?;
+/// let result = Placer::new(PlacerConfig::new(2)).place(&netlist)?;
+/// assert!(result.metrics.wirelength > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Placer {
+    config: PlacerConfig,
+}
+
+impl Placer {
+    /// Creates a placer with the given configuration.
+    pub fn new(config: PlacerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The placer's configuration.
+    pub fn config(&self) -> &PlacerConfig {
+        &self.config
+    }
+
+    /// Runs the full §6 pipeline: TRR-net-aware global placement, coarse
+    /// legalization, detailed legalization, and optional post-optimization
+    /// rounds; then evaluates metrics (including the thermal simulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError`] for an invalid configuration, an empty
+    /// netlist, or a thermal-model failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if detailed legalization produces an illegal placement —
+    /// this is an internal invariant; failing it is a bug, not a usage
+    /// error.
+    pub fn place(&self, netlist: &Netlist) -> Result<PlacementResult, PlaceError> {
+        self.place_with_fixed(netlist, &[])
+    }
+
+    /// Like [`place`](Self::place), but seeds positions for fixed cells
+    /// (pads, pre-placed macros) before placement. Fixed cells never move;
+    /// their positions steer terminal propagation and the objective.
+    /// Positions are clamped to the derived chip footprint.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`place`](Self::place).
+    pub fn place_with_fixed(
+        &self,
+        netlist: &Netlist,
+        fixed_positions: &[(tvp_netlist::CellId, f64, f64, u16)],
+    ) -> Result<PlacementResult, PlaceError> {
+        let start = Instant::now();
+        let config = &self.config;
+        let chip = Chip::from_netlist(netlist, config)?;
+        let model = ObjectiveModel::new(netlist, &chip, config)?;
+
+        let t_global = Instant::now();
+        let placement =
+            crate::global::global_place_with_fixed(netlist, &chip, &model, config, fixed_positions);
+        let global_time = t_global.elapsed();
+
+        let mut objective = IncrementalObjective::new(netlist, &model, placement);
+
+        let t_coarse = Instant::now();
+        coarse_legalize(&mut objective, netlist, &chip, config);
+        let mut coarse_time = t_coarse.elapsed();
+
+        let t_detail = Instant::now();
+        let mut legalize = detail_legalize(&mut objective, netlist, &chip, config.detail_row_window);
+        refine_legal(&mut objective, netlist, &chip, config.legal_refine_passes);
+        let mut detail_time = t_detail.elapsed();
+
+        // §6: coarse and detailed legalization can be repeated for further
+        // optimization (the §7 effort experiment runs up to 10 rounds).
+        for _ in 0..config.post_opt_rounds {
+            let t = Instant::now();
+            coarse_legalize(&mut objective, netlist, &chip, config);
+            coarse_time += t.elapsed();
+            let t = Instant::now();
+            legalize = detail_legalize(&mut objective, netlist, &chip, config.detail_row_window);
+            refine_legal(&mut objective, netlist, &chip, config.legal_refine_passes);
+            detail_time += t.elapsed();
+        }
+
+        if let Some(violation) = check_legal(netlist, &chip, objective.placement()) {
+            panic!("detailed legalization produced an illegal placement: {violation}");
+        }
+
+        let metrics = metrics::compute(netlist, &chip, &model, &objective, config.thermal_grid)?;
+        Ok(PlacementResult {
+            placement: objective.into_placement(),
+            metrics,
+            legalize,
+            timings: StageTimings {
+                global: global_time,
+                coarse: coarse_time,
+                detail: detail_time,
+                total: start.elapsed(),
+            },
+            chip,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+
+    #[test]
+    fn end_to_end_pipeline_is_legal_and_reports_metrics() {
+        let netlist = generate(&SynthConfig::named("t", 250, 1.25e-9)).unwrap();
+        let result = Placer::new(PlacerConfig::new(4)).place(&netlist).unwrap();
+        assert_eq!(result.legalize.placed, 250);
+        assert!(result.metrics.wirelength > 0.0);
+        assert!(result.metrics.avg_temperature > 0.0);
+        assert!(result.timings.total >= result.timings.global);
+        // check_legal ran inside place(); re-verify from the outside.
+        assert_eq!(
+            crate::detail::check_legal(&netlist, &result.chip, &result.placement),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_netlist_is_an_error() {
+        let netlist = tvp_netlist::NetlistBuilder::new().build().unwrap();
+        let err = Placer::new(PlacerConfig::new(2)).place(&netlist).unwrap_err();
+        assert!(matches!(err, PlaceError::EmptyNetlist));
+    }
+
+    #[test]
+    fn invalid_config_is_an_error() {
+        let netlist = generate(&SynthConfig::named("t", 50, 2.5e-10)).unwrap();
+        let config = PlacerConfig::new(2).with_alpha_ilv(0.0);
+        let err = Placer::new(config).place(&netlist).unwrap_err();
+        assert!(matches!(err, PlaceError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn post_opt_rounds_do_not_break_legality() {
+        let netlist = generate(&SynthConfig::named("t", 150, 7.5e-10)).unwrap();
+        let mut config = PlacerConfig::new(2);
+        config.post_opt_rounds = 1;
+        let result = Placer::new(config).place(&netlist).unwrap();
+        assert_eq!(
+            crate::detail::check_legal(&netlist, &result.chip, &result.placement),
+            None
+        );
+    }
+
+    #[test]
+    fn fixed_pads_pull_connected_cells() {
+        // A pad fixed at the left edge should attract its sinks compared
+        // to one fixed at the right edge.
+        use tvp_netlist::{CellKind, NetlistBuilder, PinDirection};
+        let mut b = NetlistBuilder::new();
+        let pad = b.add_cell_with_kind("pad", 1.0e-6, 1.58e-6, CellKind::Pad);
+        let mut sinks = Vec::new();
+        for i in 0..240 {
+            sinks.push(b.add_cell(format!("c{i}"), 2.0e-6, 1.58e-6));
+        }
+        // The pad drives several bus nets; the rest form a background mesh.
+        for chunk in sinks.chunks(4) {
+            let n = b.add_net(format!("bg{}", chunk[0].index()));
+            b.connect(n, chunk[0], PinDirection::Output).unwrap();
+            for &c in &chunk[1..] {
+                b.connect(n, c, PinDirection::Input).unwrap();
+            }
+        }
+        // Bus sinks spread across the index space so clustering doesn't
+        // bind them to one background region.
+        let bus_sinks: Vec<_> = sinks.iter().step_by(8).copied().collect();
+        for (i, chunk) in bus_sinks.chunks(6).enumerate() {
+            let bus = b.add_net(format!("bus{i}"));
+            if i == 0 {
+                b.connect(bus, pad, PinDirection::Output).unwrap();
+            } else {
+                b.connect(bus, pad, PinDirection::Input).unwrap();
+            }
+            for &c in chunk {
+                b.connect(
+                    bus,
+                    c,
+                    if i == 0 {
+                        PinDirection::Input
+                    } else if c == chunk[0] {
+                        PinDirection::Output
+                    } else {
+                        PinDirection::Input
+                    },
+                )
+                .unwrap();
+            }
+        }
+        let netlist = b.build().unwrap();
+        let placer = Placer::new(PlacerConfig::new(1));
+        let left = placer
+            .place_with_fixed(&netlist, &[(pad, 0.0, 0.0, 0)])
+            .unwrap();
+        let right_x = left.chip.width;
+        let right = placer
+            .place_with_fixed(&netlist, &[(pad, right_x, 0.0, 0)])
+            .unwrap();
+        let mean_x = |r: &PlacementResult| -> f64 {
+            bus_sinks.iter().map(|&c| r.placement.x(c)).sum::<f64>() / bus_sinks.len() as f64
+        };
+        assert_eq!(left.placement.position(pad).0, 0.0, "pad must not move");
+        assert!(
+            mean_x(&left) < mean_x(&right),
+            "bus sinks should follow the pad: left {} vs right {}",
+            mean_x(&left),
+            mean_x(&right)
+        );
+    }
+
+    #[test]
+    fn thermal_run_reduces_temperature() {
+        let netlist = generate(&SynthConfig::named("t", 400, 2.0e-9)).unwrap();
+        let base = Placer::new(PlacerConfig::new(4))
+            .place(&netlist)
+            .unwrap();
+        let thermal = Placer::new(PlacerConfig::new(4).with_alpha_temp(1.0e-4))
+            .place(&netlist)
+            .unwrap();
+        assert!(
+            thermal.metrics.avg_temperature < base.metrics.avg_temperature,
+            "thermal placement must cool the chip: {} vs {}",
+            thermal.metrics.avg_temperature,
+            base.metrics.avg_temperature
+        );
+    }
+}

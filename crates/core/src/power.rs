@@ -1,0 +1,190 @@
+//! Dynamic power model (Eq. 4–5, 10–11).
+//!
+//! The power of net `i` is `P_i = ½ f V_DD² a_i C_i^total` with
+//! `C_i^total = C_wl·WL_i + C_ilv·ILV_i + C_pin·n_i^inputs`. Splitting per
+//! driven net and dividing by the number of output pins gives the per-net
+//! coefficients `s_i^wl`, `s_i^ilv`, `s_i^pins` used by both the net
+//! weighting (§3.1) and the thermal-resistance-reduction nets (§3.2).
+
+use crate::TechnologyParams;
+use tvp_netlist::{CellId, Netlist, NetId};
+
+/// Precomputed per-net power coefficients.
+///
+/// For net `i` with current wirelength `WL_i` (meters) and via count
+/// `ILV_i`, the dynamic power dissipated in its driver is
+/// `s_wl(i)·WL_i + s_ilv(i)·ILV_i + s_pins(i)` watts.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PowerModel {
+    s_wl: Vec<f64>,
+    s_ilv: Vec<f64>,
+    s_pins: Vec<f64>,
+    leakage_per_cell: f64,
+}
+
+impl PowerModel {
+    /// Builds the model for a netlist.
+    ///
+    /// `layer_pitch` (meters) converts the per-length via capacitance of
+    /// Table 2 into a per-via capacitance: a via crossing one interlayer
+    /// boundary is one layer pitch long.
+    pub fn new(netlist: &Netlist, tech: &TechnologyParams, layer_pitch: f64) -> Self {
+        let prefactor = tech.power_prefactor();
+        let cap_per_via = tech.cap_per_ilv_length * layer_pitch;
+        let n = netlist.num_nets();
+        let mut s_wl = Vec::with_capacity(n);
+        let mut s_ilv = Vec::with_capacity(n);
+        let mut s_pins = Vec::with_capacity(n);
+        for net in netlist.nets() {
+            // One driver per net in well-formed designs (Eq. 6 divides by
+            // the output pin count; it is 1 here).
+            let base = prefactor * net.switching_activity();
+            s_wl.push(base * tech.cap_per_wirelength);
+            s_ilv.push(base * cap_per_via);
+            s_pins.push(base * tech.input_pin_cap * net.num_input_pins() as f64);
+        }
+        Self {
+            s_wl,
+            s_ilv,
+            s_pins,
+            leakage_per_cell: tech.leakage_per_cell,
+        }
+    }
+
+    /// Static leakage power charged to every cell, W (§3.2's optional
+    /// extension; 0 with the Table 2 defaults).
+    #[inline]
+    pub fn leakage_per_cell(&self) -> f64 {
+        self.leakage_per_cell
+    }
+
+    /// Power per meter of wirelength for net `i`, W/m (Eq. 6).
+    #[inline]
+    pub fn s_wl(&self, net: NetId) -> f64 {
+        self.s_wl[net.index()]
+    }
+
+    /// Power per interlayer via for net `i`, W (Eq. 6).
+    #[inline]
+    pub fn s_ilv(&self, net: NetId) -> f64 {
+        self.s_ilv[net.index()]
+    }
+
+    /// Placement-independent pin-capacitance power of net `i`, W (Eq. 11,
+    /// already multiplied by the input pin count).
+    #[inline]
+    pub fn s_pins(&self, net: NetId) -> f64 {
+        self.s_pins[net.index()]
+    }
+
+    /// Dynamic power of net `i` at the given wirelength and via count, W
+    /// (Eq. 4–5).
+    #[inline]
+    pub fn net_power(&self, net: NetId, wirelength: f64, ilv: f64) -> f64 {
+        self.s_wl[net.index()] * wirelength + self.s_ilv[net.index()] * ilv
+            + self.s_pins[net.index()]
+    }
+
+    /// Power dissipated in `cell` — the sum over its driven nets (Eq. 10).
+    ///
+    /// `net_geometry` must return `(wirelength, ilv)` for a net.
+    pub fn cell_power(
+        &self,
+        netlist: &Netlist,
+        cell: CellId,
+        mut net_geometry: impl FnMut(NetId) -> (f64, f64),
+    ) -> f64 {
+        self.leakage_per_cell
+            + netlist
+                .driven_nets(cell)
+                .map(|e| {
+                    let (wl, ilv) = net_geometry(e);
+                    self.net_power(e, wl, ilv)
+                })
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvp_netlist::{NetlistBuilder, PinDirection};
+
+    fn two_net_fixture() -> (Netlist, PowerModel) {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 1e-6, 1e-6);
+        let c = b.add_cell("c", 1e-6, 1e-6);
+        let d = b.add_cell("d", 1e-6, 1e-6);
+        let n0 = b.add_net("n0");
+        b.connect(n0, a, PinDirection::Output).unwrap();
+        b.connect(n0, c, PinDirection::Input).unwrap();
+        b.connect(n0, d, PinDirection::Input).unwrap();
+        b.set_switching_activity(n0, 0.2).unwrap();
+        let n1 = b.add_net("n1");
+        b.connect(n1, a, PinDirection::Output).unwrap();
+        b.connect(n1, c, PinDirection::Input).unwrap();
+        b.set_switching_activity(n1, 0.1).unwrap();
+        let netlist = b.build().unwrap();
+        let model = PowerModel::new(&netlist, &TechnologyParams::default(), 6.4e-6);
+        (netlist, model)
+    }
+
+    #[test]
+    fn coefficients_match_hand_computation() {
+        let (_, model) = two_net_fixture();
+        let tech = TechnologyParams::default();
+        let pref = tech.power_prefactor();
+        let n0 = NetId::new(0);
+        assert!((model.s_wl(n0) - pref * 0.2 * 73.8e-12).abs() < 1e-12);
+        assert!((model.s_ilv(n0) - pref * 0.2 * 1480e-12 * 6.4e-6).abs() < 1e-15);
+        // Two input pins on n0.
+        assert!((model.s_pins(n0) - pref * 0.2 * 0.35e-15 * 2.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn net_power_is_affine_in_geometry() {
+        let (_, model) = two_net_fixture();
+        let n0 = NetId::new(0);
+        let p0 = model.net_power(n0, 0.0, 0.0);
+        let p1 = model.net_power(n0, 1e-4, 0.0);
+        let p2 = model.net_power(n0, 2e-4, 0.0);
+        assert!((p2 - p1 - (p1 - p0)).abs() < 1e-18, "linear in WL");
+        assert!(p0 > 0.0, "pin term is placement-independent");
+        assert!(model.net_power(n0, 1e-4, 3.0) > p1, "vias add power");
+    }
+
+    #[test]
+    fn cell_power_sums_driven_nets() {
+        let (netlist, model) = two_net_fixture();
+        let a = CellId::new(0);
+        let p = model.cell_power(&netlist, a, |_| (1.0e-4, 1.0));
+        let expected = model.net_power(NetId::new(0), 1.0e-4, 1.0)
+            + model.net_power(NetId::new(1), 1.0e-4, 1.0);
+        assert!((p - expected).abs() < 1e-18);
+        // Sink-only cells dissipate nothing in this model.
+        let d = CellId::new(2);
+        assert_eq!(model.cell_power(&netlist, d, |_| (1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn leakage_adds_to_every_cell() {
+        let (netlist, _) = two_net_fixture();
+        let tech = TechnologyParams {
+            leakage_per_cell: 1.0e-6,
+            ..TechnologyParams::default()
+        };
+        let model = PowerModel::new(&netlist, &tech, 0.7e-6);
+        assert_eq!(model.leakage_per_cell(), 1.0e-6);
+        // Even a sink-only cell now dissipates its leakage.
+        let d = CellId::new(2);
+        assert!((model.cell_power(&netlist, d, |_| (0.0, 0.0)) - 1.0e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn higher_activity_means_more_power() {
+        let (_, model) = two_net_fixture();
+        let hot = model.net_power(NetId::new(0), 1e-4, 1.0); // a = 0.2
+        let cold = model.net_power(NetId::new(1), 1e-4, 1.0); // a = 0.1
+        assert!(hot > cold);
+    }
+}

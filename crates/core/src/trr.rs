@@ -1,0 +1,275 @@
+//! Thermal resistance reduction nets (paper §3.2, Eq. 9–15).
+//!
+//! Each cell gets one virtual two-pin net connecting it to the bottom of
+//! the chip (the heat sink), weighted by
+//!
+//! ```text
+//! nw_j^cell = α_TEMP · P_j^cell · Rz_slope
+//! ```
+//!
+//! so that min-cut partitioning in the z direction pulls high-power cells
+//! toward layers with lower thermal resistance. Because every cell starts
+//! at the chip center — where all wirelengths and via counts are zero —
+//! `P_j^cell` would vanish; the paper substitutes PEKO-style *optimal*
+//! lower bounds for each driven net's wirelength (Eq. 13–14) and via count
+//! (Eq. 15), extended to 3D.
+
+use crate::objective::{IncrementalObjective, ObjectiveModel};
+use tvp_netlist::{CellId, Netlist, NetId};
+use tvp_thermal::VerticalProfile;
+
+/// The PEKO-3D lower bounds for one net (Eq. 13–15).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct NetLowerBounds {
+    /// Optimal x-direction wirelength, meters.
+    pub wl_x: f64,
+    /// Optimal y-direction wirelength, meters.
+    pub wl_y: f64,
+    /// Optimal interlayer via count.
+    pub ilv: f64,
+}
+
+/// Computes the Eq. 13–15 bounds for net `i`.
+///
+/// `w_ave`/`h_ave` are the mean width/height of the net's cells. The
+/// derivation packs the net's `n` pins into the smallest cube (in the
+/// objective's metric, where one via costs `α_ILV` meters of wire):
+///
+/// * volume per pin ≈ `w_ave · h_ave · α_ILV`, so the cube side is the cube
+///   root of `α_ILV · w_ave · h_ave · n`;
+/// * the optimal lateral span subtracts the cell's own extent, and
+/// * the optimal via count is the cube side divided by `α_ILV`, minus one.
+pub fn net_lower_bounds(
+    netlist: &Netlist,
+    net: NetId,
+    alpha_ilv: f64,
+) -> NetLowerBounds {
+    let pins = netlist.net(net).pins();
+    let n = pins.len();
+    if n < 2 {
+        return NetLowerBounds {
+            wl_x: 0.0,
+            wl_y: 0.0,
+            ilv: 0.0,
+        };
+    }
+    let mut w_sum = 0.0;
+    let mut h_sum = 0.0;
+    for &p in pins {
+        let cell = netlist.cell(netlist.pin(p).cell());
+        w_sum += cell.width();
+        h_sum += cell.height();
+    }
+    let w_ave = w_sum / n as f64;
+    let h_ave = h_sum / n as f64;
+    let cube = (alpha_ilv * w_ave * h_ave * n as f64).cbrt();
+    NetLowerBounds {
+        wl_x: (cube - w_ave).max(0.0),
+        wl_y: (cube - h_ave).max(0.0),
+        ilv: (cube / alpha_ilv - 1.0).max(0.0),
+    }
+}
+
+/// One thermal resistance reduction net: a virtual pull from `cell` toward
+/// the bottom of the chip with strength `weight` (Eq. 12).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TrrNet {
+    /// The cell being pulled toward the heat sink.
+    pub cell: CellId,
+    /// Net weight `α_TEMP · P_j^cell · Rz_slope`.
+    pub weight: f64,
+}
+
+/// All TRR nets for a design, rebuilt whenever cell powers change.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct TrrNets {
+    nets: Vec<TrrNet>,
+}
+
+impl TrrNets {
+    /// No TRR nets (thermal placement off).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds one TRR net per movable cell from the current state of the
+    /// objective evaluator.
+    ///
+    /// With `peko_floors`, `P_j^cell` uses the *floored* per-net geometry:
+    /// if a driven net's current wirelength or via count is below its
+    /// PEKO-3D optimum, the optimum is used instead (paper §3.2), so the
+    /// weights are meaningful even when everything still sits at the chip
+    /// center. Disabling the floors (ablation) makes the start-of-
+    /// placement weights collapse to the pin-capacitance term only.
+    pub fn build(
+        netlist: &Netlist,
+        model: &ObjectiveModel,
+        objective: &IncrementalObjective<'_>,
+        profile: &VerticalProfile,
+        peko_floors: bool,
+    ) -> Self {
+        let alpha_temp = model.alpha_temp;
+        if alpha_temp == 0.0 {
+            return Self::none();
+        }
+        let alpha_ilv = model.alpha_ilv;
+        let power = model.power();
+        let mut nets = Vec::with_capacity(netlist.num_cells());
+        for (cell_id, cell) in netlist.iter_cells() {
+            if !cell.is_movable() {
+                continue;
+            }
+            let mut p_cell = power.leakage_per_cell();
+            for e in netlist.driven_nets(cell_id) {
+                let g = objective.net_geometry(e);
+                let (wl, ilv) = if peko_floors {
+                    let bounds = net_lower_bounds(netlist, e, alpha_ilv);
+                    (
+                        g.wirelength().max(bounds.wl_x + bounds.wl_y),
+                        g.ilv.max(bounds.ilv),
+                    )
+                } else {
+                    (g.wirelength(), g.ilv)
+                };
+                p_cell += power.net_power(e, wl, ilv);
+            }
+            if p_cell > 0.0 {
+                nets.push(TrrNet {
+                    cell: cell_id,
+                    weight: alpha_temp * p_cell * profile.slope,
+                });
+            }
+        }
+        Self { nets }
+    }
+
+    /// The TRR nets.
+    pub fn nets(&self) -> &[TrrNet] {
+        &self.nets
+    }
+
+    /// Whether there are no TRR nets.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Number of TRR nets.
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Chip, Placement, PlacerConfig};
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+
+    fn fixture(alpha_temp: f64) -> (Netlist, Chip, PlacerConfig) {
+        let netlist = generate(&SynthConfig::named("t", 100, 5.0e-10)).unwrap();
+        let config = PlacerConfig::new(4).with_alpha_temp(alpha_temp);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        (netlist, chip, config)
+    }
+
+    #[test]
+    fn bounds_grow_with_fanout_and_alpha() {
+        let (netlist, _, _) = fixture(0.0);
+        // Find a high-fanout and a 2-pin net.
+        let mut big = None;
+        let mut small = None;
+        for e in 0..netlist.num_nets() {
+            let d = netlist.net(NetId::new(e)).degree();
+            if d >= 6 && big.is_none() {
+                big = Some(NetId::new(e));
+            }
+            if d == 2 && small.is_none() {
+                small = Some(NetId::new(e));
+            }
+        }
+        let (big, small) = (big.expect("fanout net"), small.expect("2-pin net"));
+        // Large α_ILV: optimal packing is lateral, wirelength floors are
+        // positive and grow with fanout.
+        let b_big = net_lower_bounds(&netlist, big, 1e-4);
+        let b_small = net_lower_bounds(&netlist, small, 1e-4);
+        assert!(b_big.wl_x > b_small.wl_x);
+        // Small α_ILV: optimal packing uses several layers, via floors are
+        // positive and grow with fanout.
+        let v_big = net_lower_bounds(&netlist, big, 1e-7);
+        let v_small = net_lower_bounds(&netlist, small, 1e-7);
+        assert!(v_big.ilv > v_small.ilv);
+        // Larger α_ILV → optimal solution uses fewer vias.
+        let b_cheap = net_lower_bounds(&netlist, big, 1e-7);
+        let b_dear = net_lower_bounds(&netlist, big, 1e-3);
+        assert!(b_cheap.ilv > b_dear.ilv);
+        assert!(b_cheap.wl_x < b_dear.wl_x);
+    }
+
+    #[test]
+    fn bounds_are_nonnegative_and_zero_for_degenerate_nets() {
+        let (netlist, _, _) = fixture(0.0);
+        for e in 0..netlist.num_nets() {
+            let b = net_lower_bounds(&netlist, NetId::new(e), 1e-5);
+            assert!(b.wl_x >= 0.0 && b.wl_y >= 0.0 && b.ilv >= 0.0);
+        }
+    }
+
+    #[test]
+    fn trr_weights_are_positive_at_centered_start() {
+        // This is the whole point of the PEKO floors: the centered start
+        // has zero WL everywhere, yet TRR weights must not vanish.
+        let (netlist, chip, config) = fixture(1.0e-4);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let obj = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(netlist.num_cells(), &chip),
+        );
+        let profile = model.resistance().vertical_profile(chip.avg_cell_area);
+        let trr = TrrNets::build(&netlist, &model, &obj, &profile, true);
+        assert!(!trr.is_empty());
+        for net in trr.nets() {
+            assert!(net.weight > 0.0, "cell {} weight 0", net.cell);
+        }
+        // Ablation: without the PEKO floors the centered start has zero
+        // WL/ILV, leaving only the pin-capacitance power — strictly
+        // smaller weights.
+        let unfloored = TrrNets::build(&netlist, &model, &obj, &profile, false);
+        let sum = |t: &TrrNets| t.nets().iter().map(|n| n.weight).sum::<f64>();
+        assert!(sum(&unfloored) < sum(&trr));
+    }
+
+    #[test]
+    fn zero_alpha_temp_builds_nothing() {
+        let (netlist, chip, config) = fixture(0.0);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let obj = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(netlist.num_cells(), &chip),
+        );
+        let profile = model.resistance().vertical_profile(chip.avg_cell_area);
+        let trr = TrrNets::build(&netlist, &model, &obj, &profile, true);
+        assert!(trr.is_empty());
+        assert_eq!(TrrNets::none().len(), 0);
+    }
+
+    #[test]
+    fn high_power_cells_get_stronger_pull() {
+        let (netlist, chip, config) = fixture(1.0e-4);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let obj = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(netlist.num_cells(), &chip),
+        );
+        let profile = model.resistance().vertical_profile(chip.avg_cell_area);
+        let trr = TrrNets::build(&netlist, &model, &obj, &profile, true);
+        // Weight ordering must track the floored cell power ordering.
+        let weights: Vec<(CellId, f64)> = trr.nets().iter().map(|t| (t.cell, t.weight)).collect();
+        assert!(weights.len() > 2);
+        let max = weights.iter().map(|&(_, w)| w).fold(0.0, f64::max);
+        let min = weights.iter().map(|&(_, w)| w).fold(f64::INFINITY, f64::min);
+        assert!(max > min, "weights must differentiate cells");
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the coarse density mesh: incremental
+//! relocation must always agree with a from-scratch rebuild.
+
+use proptest::prelude::*;
+use tvp_bookshelf::synth::{generate, SynthConfig};
+use tvp_core::coarse::DensityMesh;
+use tvp_core::{Chip, Placement, PlacerConfig};
+use tvp_netlist::CellId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn relocate_matches_rebuild(
+        moves in prop::collection::vec((0usize..80, 0.0f64..1.0, 0.0f64..1.0, 0u16..3), 1..60),
+        seed in 0u64..3,
+    ) {
+        let netlist = generate(&SynthConfig::named("m", 80, 4.0e-10).with_seed(seed)).unwrap();
+        let config = PlacerConfig::new(3);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        let mut placement = Placement::centered(netlist.num_cells(), &chip);
+        let mut mesh = DensityMesh::coarse(&chip);
+        mesh.rebuild(&netlist, &placement);
+
+        for &(c, fx, fy, layer) in &moves {
+            let cell = CellId::new(c % netlist.num_cells());
+            let (x, y) = (fx * chip.width, fy * chip.depth);
+            placement.set(cell, x, y, layer);
+            mesh.relocate(&netlist, cell, x, y, layer);
+        }
+
+        let mut fresh = DensityMesh::coarse(&chip);
+        fresh.rebuild(&netlist, &placement);
+        let (nx, ny, nz) = mesh.dims();
+        let mut total = 0.0;
+        for b in 0..nx * ny * nz {
+            prop_assert!(
+                (mesh.bin_area(b) - fresh.bin_area(b)).abs() < 1e-15,
+                "bin {b}: incremental {} vs rebuilt {}",
+                mesh.bin_area(b),
+                fresh.bin_area(b)
+            );
+            prop_assert_eq!(mesh.bin_cells(b).len(), fresh.bin_cells(b).len());
+            total += mesh.bin_area(b);
+        }
+        // Area conservation: nothing leaks.
+        prop_assert!((total - netlist.total_cell_area()).abs() < 1e-12);
+        // Every cell's registered bin matches its position.
+        for (cell, x, y, layer) in placement.iter() {
+            prop_assert_eq!(mesh.bin_of(cell), mesh.bin_at(x, y, layer));
+        }
+    }
+
+    #[test]
+    fn densities_are_never_negative(
+        moves in prop::collection::vec((0usize..40, 0.0f64..1.0, 0.0f64..1.0, 0u16..2), 1..40),
+    ) {
+        let netlist = generate(&SynthConfig::named("m2", 40, 2.0e-10)).unwrap();
+        let config = PlacerConfig::new(2);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        let mut placement = Placement::centered(netlist.num_cells(), &chip);
+        let mut mesh = DensityMesh::coarse(&chip);
+        mesh.rebuild(&netlist, &placement);
+        for &(c, fx, fy, layer) in &moves {
+            let cell = CellId::new(c % netlist.num_cells());
+            let (x, y) = (fx * chip.width, fy * chip.depth);
+            placement.set(cell, x, y, layer);
+            mesh.relocate(&netlist, cell, x, y, layer);
+            let (nx, ny, nz) = mesh.dims();
+            for b in 0..nx * ny * nz {
+                prop_assert!(mesh.density(b) >= -1e-15);
+            }
+            prop_assert!(mesh.max_density() >= 0.0);
+            prop_assert!(mesh.density_unevenness() >= 0.0);
+        }
+    }
+}

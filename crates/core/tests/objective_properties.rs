@@ -1,0 +1,143 @@
+//! Property-based tests for the incremental objective evaluator — the
+//! correctness bedrock every placement stage stands on.
+
+use proptest::prelude::*;
+use tvp_bookshelf::synth::{generate, SynthConfig};
+use tvp_core::objective::{IncrementalObjective, ObjectiveModel};
+use tvp_core::{Chip, Placement, PlacerConfig};
+use tvp_netlist::CellId;
+
+/// A move script: cell index plus fractional position on the chip.
+fn moves_strategy() -> impl Strategy<Value = Vec<(usize, f64, f64, u16)>> {
+    prop::collection::vec(
+        (0usize..120, 0.0f64..1.0, 0.0f64..1.0, 0u16..4),
+        1..80,
+    )
+}
+
+fn fixture(alpha_temp: f64, seed: u64) -> (tvp_netlist::Netlist, Chip, PlacerConfig) {
+    let netlist = generate(&SynthConfig::named("p", 120, 6.0e-10).with_seed(seed)).unwrap();
+    let config = PlacerConfig::new(4)
+        .with_alpha_ilv(1.0e-5)
+        .with_alpha_temp(alpha_temp);
+    let chip = Chip::from_netlist(&netlist, &config).unwrap();
+    (netlist, chip, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_total_matches_scratch_after_any_move_sequence(
+        moves in moves_strategy(),
+        thermal in any::<bool>(),
+        seed in 0u64..4,
+    ) {
+        let alpha_temp = if thermal { 1.0e-4 } else { 0.0 };
+        let (netlist, chip, config) = fixture(alpha_temp, seed);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let mut objective = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(netlist.num_cells(), &chip),
+        );
+        for &(c, fx, fy, layer) in &moves {
+            let cell = CellId::new(c % netlist.num_cells());
+            objective.apply_move(cell, fx * chip.width, fy * chip.depth, layer);
+        }
+        let scratch = objective.recompute_total();
+        prop_assert!(
+            (objective.total() - scratch).abs() <= 1e-6 * scratch.abs().max(1e-12),
+            "incremental {} vs scratch {}",
+            objective.total(),
+            scratch
+        );
+    }
+
+    #[test]
+    fn delta_probe_equals_apply(
+        moves in moves_strategy(),
+        seed in 0u64..4,
+    ) {
+        let (netlist, chip, config) = fixture(1.0e-4, seed);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let mut objective = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(netlist.num_cells(), &chip),
+        );
+        for &(c, fx, fy, layer) in &moves {
+            let cell = CellId::new(c % netlist.num_cells());
+            let (x, y) = (fx * chip.width, fy * chip.depth);
+            let probe = objective.delta_move(cell, x, y, layer);
+            let before = objective.total();
+            let applied = objective.apply_move(cell, x, y, layer);
+            prop_assert!((probe - applied).abs() <= 1e-9 * probe.abs().max(1e-15));
+            prop_assert!(
+                (objective.total() - (before + applied)).abs()
+                    <= 1e-9 * objective.total().abs().max(1e-12)
+            );
+        }
+    }
+
+    #[test]
+    fn swap_is_its_own_inverse(
+        pairs in prop::collection::vec((0usize..120, 0usize..120), 1..30),
+        seed in 0u64..4,
+    ) {
+        let (netlist, chip, config) = fixture(1.0e-4, seed);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let mut objective = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(netlist.num_cells(), &chip),
+        );
+        for &(a, b) in &pairs {
+            let a = CellId::new(a % netlist.num_cells());
+            let b = CellId::new(b % netlist.num_cells());
+            if a == b {
+                continue;
+            }
+            let before = objective.total();
+            let d1 = objective.apply_swap(a, b);
+            let d2 = objective.apply_swap(a, b);
+            prop_assert!((d1 + d2).abs() <= 1e-9 * before.abs().max(1e-12));
+            prop_assert!(
+                (objective.total() - before).abs() <= 1e-9 * before.abs().max(1e-12)
+            );
+        }
+    }
+
+    #[test]
+    fn wirelength_is_translation_tolerant(
+        seed in 0u64..4,
+        dx_frac in 0.0f64..0.2,
+    ) {
+        // Translating every cell by the same offset (within bounds)
+        // preserves WL and ILV exactly.
+        let (netlist, chip, config) = fixture(0.0, seed);
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let mut placement = Placement::centered(netlist.num_cells(), &chip);
+        for i in 0..netlist.num_cells() {
+            let c = CellId::new(i);
+            placement.set(
+                c,
+                chip.width * (0.2 + 0.5 * (i as f64 / netlist.num_cells() as f64)),
+                chip.depth * 0.4,
+                (i % 4) as u16,
+            );
+        }
+        let objective = IncrementalObjective::new(&netlist, &model, placement.clone());
+        let (wl, ilv) = (objective.total_wirelength(), objective.total_ilv());
+
+        let dx = dx_frac * chip.width;
+        for i in 0..netlist.num_cells() {
+            let c = CellId::new(i);
+            let (x, y, l) = placement.position(c);
+            placement.set(c, x + dx, y, l);
+        }
+        let translated = IncrementalObjective::new(&netlist, &model, placement);
+        prop_assert!((translated.total_wirelength() - wl).abs() < 1e-9 * wl.max(1e-12));
+        prop_assert!((translated.total_ilv() - ilv).abs() < 1e-12);
+    }
+}

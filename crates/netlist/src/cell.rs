@@ -1,0 +1,115 @@
+//! Standard cells and their physical properties.
+
+use std::fmt;
+
+/// How a cell may be handled by the placer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum CellKind {
+    /// An ordinary standard cell the placer is free to move.
+    #[default]
+    Movable,
+    /// A pre-placed block or macro the placer must not move.
+    Fixed,
+    /// An I/O pad; fixed, and usually on the chip boundary.
+    Pad,
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellKind::Movable => "movable",
+            CellKind::Fixed => "fixed",
+            CellKind::Pad => "pad",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A standard cell: a named rectangle with a placement kind.
+///
+/// Dimensions are in meters, matching the rest of the flow (the DAC'07
+/// experiments use the MIT-LL 0.18um 3D process, where a typical cell
+/// width/height is on the order of 1e-6 m).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Cell {
+    name: String,
+    width: f64,
+    height: f64,
+    kind: CellKind,
+}
+
+impl Cell {
+    /// Creates a movable cell.
+    ///
+    /// Prefer building cells through
+    /// [`NetlistBuilder`](crate::NetlistBuilder), which also wires up
+    /// connectivity.
+    pub fn new(name: impl Into<String>, width: f64, height: f64) -> Self {
+        Self {
+            name: name.into(),
+            width,
+            height,
+            kind: CellKind::Movable,
+        }
+    }
+
+    /// Creates a cell with an explicit [`CellKind`].
+    pub fn with_kind(name: impl Into<String>, width: f64, height: f64, kind: CellKind) -> Self {
+        Self {
+            name: name.into(),
+            width,
+            height,
+            kind,
+        }
+    }
+
+    /// The cell's instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cell width in meters (x extent).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Cell height in meters (y extent).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Footprint area in square meters.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// The placement kind of this cell.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Whether the placer may move this cell.
+    pub fn is_movable(&self) -> bool {
+        self.kind == CellKind::Movable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_is_width_times_height() {
+        let c = Cell::new("x", 2.0, 3.0);
+        assert_eq!(c.area(), 6.0);
+        assert!(c.is_movable());
+    }
+
+    #[test]
+    fn kind_controls_movability() {
+        let c = Cell::with_kind("io", 1.0, 1.0, CellKind::Pad);
+        assert!(!c.is_movable());
+        assert_eq!(c.kind(), CellKind::Pad);
+        assert_eq!(c.kind().to_string(), "pad");
+    }
+}

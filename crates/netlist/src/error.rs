@@ -1,0 +1,94 @@
+//! Errors raised while building a netlist.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`NetlistBuilder`](crate::NetlistBuilder) operations.
+#[derive(Clone, PartialEq, Debug)]
+pub enum BuildNetlistError {
+    /// A cell was declared with a non-positive or non-finite dimension.
+    InvalidCellSize {
+        /// Offending cell's name.
+        name: String,
+        /// Declared width (meters).
+        width: f64,
+        /// Declared height (meters).
+        height: f64,
+    },
+    /// `connect` referenced a cell ID that was never added.
+    UnknownCell(crate::CellId),
+    /// `connect` referenced a net ID that was never added.
+    UnknownNet(crate::NetId),
+    /// A net was given two output (driver) pins.
+    MultipleDrivers {
+        /// The net with more than one driver.
+        net: String,
+    },
+    /// The same (cell, net) pair was connected twice.
+    DuplicateConnection {
+        /// Cell name of the duplicate connection.
+        cell: String,
+        /// Net name of the duplicate connection.
+        net: String,
+    },
+    /// A net weight or switching activity was non-finite or negative.
+    InvalidNetAttribute {
+        /// Net whose attribute was rejected.
+        net: String,
+        /// Description of the bad attribute.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for BuildNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetlistError::InvalidCellSize {
+                name,
+                width,
+                height,
+            } => write!(
+                f,
+                "cell `{name}` has invalid dimensions {width} x {height}; both must be finite and positive"
+            ),
+            BuildNetlistError::UnknownCell(id) => write!(f, "unknown cell id {id}"),
+            BuildNetlistError::UnknownNet(id) => write!(f, "unknown net id {id}"),
+            BuildNetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has more than one output pin")
+            }
+            BuildNetlistError::DuplicateConnection { cell, net } => {
+                write!(f, "cell `{cell}` is connected to net `{net}` more than once")
+            }
+            BuildNetlistError::InvalidNetAttribute { net, what, value } => {
+                write!(f, "net `{net}` has invalid {what} {value}")
+            }
+        }
+    }
+}
+
+impl Error for BuildNetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = BuildNetlistError::InvalidCellSize {
+            name: "bad".into(),
+            width: -1.0,
+            height: 2.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("bad"));
+        assert!(msg.contains("-1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BuildNetlistError>();
+    }
+}

@@ -1,0 +1,88 @@
+//! Newtype indices for the netlist arenas.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an ID from a raw arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("arena index exceeds u32::MAX"))
+            }
+
+            /// Returns the raw arena index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of a [`Cell`](crate::Cell) within a [`Netlist`](crate::Netlist).
+    CellId,
+    "c"
+);
+define_id!(
+    /// Index of a [`Net`](crate::Net) within a [`Netlist`](crate::Netlist).
+    NetId,
+    "n"
+);
+define_id!(
+    /// Index of a [`Pin`](crate::Pin) within a [`Netlist`](crate::Netlist).
+    PinId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        let id = CellId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn displays_with_tag() {
+        assert_eq!(CellId::new(7).to_string(), "c7");
+        assert_eq!(NetId::new(9).to_string(), "n9");
+        assert_eq!(PinId::new(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn orders_by_index() {
+        assert!(NetId::new(1) < NetId::new(2));
+        assert_eq!(PinId::new(3), PinId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "arena index exceeds u32::MAX")]
+    fn rejects_oversized_index() {
+        let _ = CellId::new(u32::MAX as usize + 1);
+    }
+}

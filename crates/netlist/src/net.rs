@@ -1,0 +1,116 @@
+//! Nets: multi-pin hyperedges with switching activity.
+
+use crate::PinId;
+
+/// A net (hyperedge) connecting two or more pins.
+///
+/// Besides connectivity, a net carries the electrical attributes the DAC'07
+/// power model (Eq. 4) needs: a switching activity `a_i` and a structural
+/// `weight` that file formats such as Bookshelf `.wts` may specify.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Net {
+    name: String,
+    pins: Vec<PinId>,
+    driver: Option<PinId>,
+    num_input_pins: u32,
+    weight: f64,
+    switching_activity: f64,
+}
+
+/// Default switching activity used when a benchmark does not specify one.
+///
+/// 0.15 transitions per clock cycle is a common assumption for random-logic
+/// nets in placement-stage power estimation.
+pub(crate) const DEFAULT_SWITCHING_ACTIVITY: f64 = 0.15;
+
+impl Net {
+    pub(crate) fn new(name: String) -> Self {
+        Self {
+            name,
+            pins: Vec::new(),
+            driver: None,
+            num_input_pins: 0,
+            weight: 1.0,
+            switching_activity: DEFAULT_SWITCHING_ACTIVITY,
+        }
+    }
+
+    pub(crate) fn push_pin(&mut self, pin: PinId, is_driver: bool) {
+        self.pins.push(pin);
+        if is_driver {
+            self.driver = Some(pin);
+        } else {
+            self.num_input_pins += 1;
+        }
+    }
+
+    pub(crate) fn set_weight(&mut self, weight: f64) {
+        self.weight = weight;
+    }
+
+    pub(crate) fn set_switching_activity(&mut self, activity: f64) {
+        self.switching_activity = activity;
+    }
+
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All pins on this net, in insertion order.
+    pub fn pins(&self) -> &[PinId] {
+        &self.pins
+    }
+
+    /// Number of pins on the net.
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// The driving (output) pin, if the net has one.
+    ///
+    /// IBM-PLACE nets always have exactly one driver; synthetic nets built
+    /// without direction information may have none.
+    pub fn driver(&self) -> Option<PinId> {
+        self.driver
+    }
+
+    /// Number of input (sink) pins on the net — `n_i^{input pins}` in Eq. 5.
+    pub fn num_input_pins(&self) -> usize {
+        self.num_input_pins as usize
+    }
+
+    /// Structural net weight (from `.wts` files; 1.0 by default).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Switching activity `a_i` (transitions per clock cycle) from Eq. 4.
+    pub fn switching_activity(&self) -> f64 {
+        self.switching_activity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_driver_and_inputs() {
+        let mut n = Net::new("n".into());
+        n.push_pin(PinId::new(0), false);
+        n.push_pin(PinId::new(1), true);
+        n.push_pin(PinId::new(2), false);
+        assert_eq!(n.degree(), 3);
+        assert_eq!(n.driver(), Some(PinId::new(1)));
+        assert_eq!(n.num_input_pins(), 2);
+    }
+
+    #[test]
+    fn defaults() {
+        let n = Net::new("n".into());
+        assert_eq!(n.weight(), 1.0);
+        assert_eq!(n.switching_activity(), DEFAULT_SWITCHING_ACTIVITY);
+        assert!(n.driver().is_none());
+    }
+}

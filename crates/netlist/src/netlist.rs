@@ -1,0 +1,502 @@
+//! The immutable netlist arena and its builder.
+
+use crate::error::BuildNetlistError;
+use crate::net::Net;
+use crate::stats::NetlistStats;
+use crate::{Cell, CellId, CellKind, NetId, Pin, PinDirection, PinId};
+use std::collections::HashSet;
+
+/// An immutable standard-cell netlist.
+///
+/// Stores cells, nets, and pins in flat arenas plus a compressed
+/// cell→pin incidence structure for O(1) "nets of this cell" queries,
+/// which the placer's incremental objective evaluation depends on.
+///
+/// Build one with [`NetlistBuilder`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Netlist {
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    pins: Vec<Pin>,
+    /// CSR offsets into `cell_pin_ids`: pins of cell `c` are
+    /// `cell_pin_ids[cell_pin_offsets[c] .. cell_pin_offsets[c + 1]]`.
+    cell_pin_offsets: Vec<u32>,
+    cell_pin_ids: Vec<PinId>,
+}
+
+impl Netlist {
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of pins (total connectivity records).
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// The cell with the given ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// The net with the given ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// The pin with the given ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    pub fn pin(&self, id: PinId) -> &Pin {
+        &self.pins[id.index()]
+    }
+
+    /// All cells, in ID order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// All nets, in ID order.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All pins, in ID order.
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    /// Iterator over `(CellId, &Cell)` pairs.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId::new(i), c))
+    }
+
+    /// Iterator over `(NetId, &Net)` pairs.
+    pub fn iter_nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId::new(i), n))
+    }
+
+    /// The pins attached to a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range for this netlist.
+    pub fn cell_pins(&self, cell: CellId) -> &[PinId] {
+        let lo = self.cell_pin_offsets[cell.index()] as usize;
+        let hi = self.cell_pin_offsets[cell.index() + 1] as usize;
+        &self.cell_pin_ids[lo..hi]
+    }
+
+    /// Iterator over the nets incident to a cell (may repeat a net if the
+    /// cell has several pins on it — the builder forbids that, so in
+    /// practice each net appears once).
+    pub fn cell_nets(&self, cell: CellId) -> impl Iterator<Item = NetId> + '_ {
+        self.cell_pins(cell).iter().map(|&p| self.pin(p).net())
+    }
+
+    /// Nets driven by (i.e. whose driver pin belongs to) the given cell.
+    pub fn driven_nets(&self, cell: CellId) -> impl Iterator<Item = NetId> + '_ {
+        self.cell_pins(cell).iter().filter_map(move |&p| {
+            let pin = self.pin(p);
+            pin.is_driver().then(|| pin.net())
+        })
+    }
+
+    /// The cell driving a net, if the net has a driver pin.
+    pub fn net_driver_cell(&self, net: NetId) -> Option<CellId> {
+        self.net(net).driver().map(|p| self.pin(p).cell())
+    }
+
+    /// Total footprint area of all cells, square meters.
+    pub fn total_cell_area(&self) -> f64 {
+        self.cells.iter().map(Cell::area).sum()
+    }
+
+    /// Computes summary statistics for reporting and benchmark tables.
+    pub fn stats(&self) -> NetlistStats {
+        NetlistStats::compute(self)
+    }
+}
+
+/// Incremental builder for [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use tvp_netlist::{NetlistBuilder, PinDirection};
+///
+/// # fn main() -> Result<(), tvp_netlist::BuildNetlistError> {
+/// let mut b = NetlistBuilder::new();
+/// let driver = b.add_cell("inv1", 1e-6, 2e-6);
+/// let sink = b.add_cell("inv2", 1e-6, 2e-6);
+/// let net = b.add_net("wire");
+/// b.connect(net, driver, PinDirection::Output)?;
+/// b.connect(net, sink, PinDirection::Input)?;
+/// let netlist = b.build()?;
+/// assert_eq!(netlist.net_driver_cell(net), Some(driver));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct NetlistBuilder {
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    pins: Vec<Pin>,
+    /// Pins per cell, gathered during building; frozen to CSR in `build`.
+    cell_pins: Vec<Vec<PinId>>,
+    /// (cell, net) pairs already connected, to reject duplicates.
+    seen: HashSet<(u32, u32)>,
+    errors: Vec<BuildNetlistError>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity hints for large benchmarks.
+    pub fn with_capacity(cells: usize, nets: usize, pins: usize) -> Self {
+        Self {
+            cells: Vec::with_capacity(cells),
+            nets: Vec::with_capacity(nets),
+            pins: Vec::with_capacity(pins),
+            cell_pins: Vec::with_capacity(cells),
+            seen: HashSet::with_capacity(pins),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Number of cells added so far.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets added so far.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Adds a movable cell and returns its ID.
+    ///
+    /// Dimension validation is deferred to [`build`](Self::build) so that
+    /// file parsers can report every bad record at once.
+    pub fn add_cell(&mut self, name: impl Into<String>, width: f64, height: f64) -> CellId {
+        self.add_cell_with_kind(name, width, height, CellKind::Movable)
+    }
+
+    /// Adds a cell with an explicit [`CellKind`] and returns its ID.
+    pub fn add_cell_with_kind(
+        &mut self,
+        name: impl Into<String>,
+        width: f64,
+        height: f64,
+        kind: CellKind,
+    ) -> CellId {
+        let id = CellId::new(self.cells.len());
+        let cell = Cell::with_kind(name, width, height, kind);
+        if !cell.width().is_finite()
+            || cell.width() <= 0.0
+            || !cell.height().is_finite()
+            || cell.height() <= 0.0
+        {
+            self.errors.push(BuildNetlistError::InvalidCellSize {
+                name: cell.name().to_string(),
+                width: cell.width(),
+                height: cell.height(),
+            });
+        }
+        self.cells.push(cell);
+        self.cell_pins.push(Vec::new());
+        id
+    }
+
+    /// Adds an empty net and returns its ID.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId::new(self.nets.len());
+        self.nets.push(Net::new(name.into()));
+        id
+    }
+
+    /// Sets a net's structural weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildNetlistError::UnknownNet`] for an out-of-range ID and
+    /// [`BuildNetlistError::InvalidNetAttribute`] for a non-finite or
+    /// negative weight.
+    pub fn set_net_weight(&mut self, net: NetId, weight: f64) -> Result<(), BuildNetlistError> {
+        let n = self
+            .nets
+            .get_mut(net.index())
+            .ok_or(BuildNetlistError::UnknownNet(net))?;
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(BuildNetlistError::InvalidNetAttribute {
+                net: n.name().to_string(),
+                what: "weight",
+                value: weight,
+            });
+        }
+        n.set_weight(weight);
+        Ok(())
+    }
+
+    /// Sets a net's switching activity (`a_i` in Eq. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildNetlistError::UnknownNet`] for an out-of-range ID and
+    /// [`BuildNetlistError::InvalidNetAttribute`] for an activity outside
+    /// `[0, 1]`.
+    pub fn set_switching_activity(
+        &mut self,
+        net: NetId,
+        activity: f64,
+    ) -> Result<(), BuildNetlistError> {
+        let n = self
+            .nets
+            .get_mut(net.index())
+            .ok_or(BuildNetlistError::UnknownNet(net))?;
+        if !activity.is_finite() || !(0.0..=1.0).contains(&activity) {
+            return Err(BuildNetlistError::InvalidNetAttribute {
+                net: n.name().to_string(),
+                what: "switching activity",
+                value: activity,
+            });
+        }
+        n.set_switching_activity(activity);
+        Ok(())
+    }
+
+    /// Connects `cell` to `net` with a pin at the cell center.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either ID is unknown, the (cell, net) pair is
+    /// already connected, or the net already has a driver and `direction`
+    /// is [`PinDirection::Output`].
+    pub fn connect(
+        &mut self,
+        net: NetId,
+        cell: CellId,
+        direction: PinDirection,
+    ) -> Result<PinId, BuildNetlistError> {
+        self.connect_with_offset(net, cell, direction, 0.0, 0.0)
+    }
+
+    /// Connects `cell` to `net` with a pin at the given offset from the
+    /// cell center.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`connect`](Self::connect).
+    pub fn connect_with_offset(
+        &mut self,
+        net: NetId,
+        cell: CellId,
+        direction: PinDirection,
+        offset_x: f64,
+        offset_y: f64,
+    ) -> Result<PinId, BuildNetlistError> {
+        if cell.index() >= self.cells.len() {
+            return Err(BuildNetlistError::UnknownCell(cell));
+        }
+        let n = self
+            .nets
+            .get_mut(net.index())
+            .ok_or(BuildNetlistError::UnknownNet(net))?;
+        if !self.seen.insert((cell.index() as u32, net.index() as u32)) {
+            return Err(BuildNetlistError::DuplicateConnection {
+                cell: self.cells[cell.index()].name().to_string(),
+                net: n.name().to_string(),
+            });
+        }
+        let is_driver = direction == PinDirection::Output;
+        if is_driver && n.driver().is_some() {
+            return Err(BuildNetlistError::MultipleDrivers {
+                net: n.name().to_string(),
+            });
+        }
+        let pin_id = PinId::new(self.pins.len());
+        self.pins
+            .push(Pin::with_offset(cell, net, direction, offset_x, offset_y));
+        n.push_pin(pin_id, is_driver);
+        self.cell_pins[cell.index()].push(pin_id);
+        Ok(pin_id)
+    }
+
+    /// Freezes the builder into an immutable [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred validation error (currently only
+    /// [`BuildNetlistError::InvalidCellSize`], since connection errors are
+    /// reported eagerly by [`connect`](Self::connect)).
+    pub fn build(self) -> Result<Netlist, BuildNetlistError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        let mut cell_pin_offsets = Vec::with_capacity(self.cells.len() + 1);
+        let mut cell_pin_ids = Vec::with_capacity(self.pins.len());
+        cell_pin_offsets.push(0u32);
+        for pins in &self.cell_pins {
+            cell_pin_ids.extend_from_slice(pins);
+            cell_pin_offsets.push(cell_pin_ids.len() as u32);
+        }
+        Ok(Netlist {
+            cells: self.cells,
+            nets: self.nets,
+            pins: self.pins,
+            cell_pin_offsets,
+            cell_pin_ids,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Netlist {
+        // a --n1--> b --n2--> c, plus n3 = {a, c} driven by c.
+        let mut b = NetlistBuilder::new();
+        let ca = b.add_cell("a", 1.0, 1.0);
+        let cb = b.add_cell("b", 2.0, 1.0);
+        let cc = b.add_cell("c", 1.0, 3.0);
+        let n1 = b.add_net("n1");
+        let n2 = b.add_net("n2");
+        let n3 = b.add_net("n3");
+        b.connect(n1, ca, PinDirection::Output).unwrap();
+        b.connect(n1, cb, PinDirection::Input).unwrap();
+        b.connect(n2, cb, PinDirection::Output).unwrap();
+        b.connect(n2, cc, PinDirection::Input).unwrap();
+        b.connect(n3, cc, PinDirection::Output).unwrap();
+        b.connect(n3, ca, PinDirection::Input).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_counts() {
+        let nl = tiny();
+        assert_eq!(nl.num_cells(), 3);
+        assert_eq!(nl.num_nets(), 3);
+        assert_eq!(nl.num_pins(), 6);
+        assert_eq!(nl.total_cell_area(), 1.0 + 2.0 + 3.0);
+    }
+
+    #[test]
+    fn cell_pin_csr_is_consistent() {
+        let nl = tiny();
+        for (cid, _) in nl.iter_cells() {
+            for &pid in nl.cell_pins(cid) {
+                assert_eq!(nl.pin(pid).cell(), cid);
+            }
+        }
+        let total: usize = (0..nl.num_cells())
+            .map(|i| nl.cell_pins(CellId::new(i)).len())
+            .sum();
+        assert_eq!(total, nl.num_pins());
+    }
+
+    #[test]
+    fn driver_queries() {
+        let nl = tiny();
+        let n1 = NetId::new(0);
+        assert_eq!(nl.net_driver_cell(n1), Some(CellId::new(0)));
+        let driven: Vec<_> = nl.driven_nets(CellId::new(2)).collect();
+        assert_eq!(driven, vec![NetId::new(2)]);
+    }
+
+    #[test]
+    fn cell_nets_enumerates_incident_nets() {
+        let nl = tiny();
+        let mut nets: Vec<_> = nl.cell_nets(CellId::new(0)).collect();
+        nets.sort();
+        assert_eq!(nets, vec![NetId::new(0), NetId::new(2)]);
+    }
+
+    #[test]
+    fn rejects_second_driver() {
+        let mut b = NetlistBuilder::new();
+        let c1 = b.add_cell("a", 1.0, 1.0);
+        let c2 = b.add_cell("b", 1.0, 1.0);
+        let n = b.add_net("n");
+        b.connect(n, c1, PinDirection::Output).unwrap();
+        let err = b.connect(n, c2, PinDirection::Output).unwrap_err();
+        assert!(matches!(err, BuildNetlistError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_connection() {
+        let mut b = NetlistBuilder::new();
+        let c = b.add_cell("a", 1.0, 1.0);
+        let n = b.add_net("n");
+        b.connect(n, c, PinDirection::Input).unwrap();
+        let err = b.connect(n, c, PinDirection::Input).unwrap_err();
+        assert!(matches!(err, BuildNetlistError::DuplicateConnection { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_ids() {
+        let mut b = NetlistBuilder::new();
+        let c = b.add_cell("a", 1.0, 1.0);
+        let n = b.add_net("n");
+        assert!(matches!(
+            b.connect(NetId::new(5), c, PinDirection::Input),
+            Err(BuildNetlistError::UnknownNet(_))
+        ));
+        assert!(matches!(
+            b.connect(n, CellId::new(5), PinDirection::Input),
+            Err(BuildNetlistError::UnknownCell(_))
+        ));
+    }
+
+    #[test]
+    fn build_reports_bad_cell_size() {
+        let mut b = NetlistBuilder::new();
+        b.add_cell("bad", 0.0, 1.0);
+        assert!(matches!(
+            b.build(),
+            Err(BuildNetlistError::InvalidCellSize { .. })
+        ));
+    }
+
+    #[test]
+    fn net_attribute_validation() {
+        let mut b = NetlistBuilder::new();
+        let n = b.add_net("n");
+        assert!(b.set_net_weight(n, 2.5).is_ok());
+        assert!(b.set_net_weight(n, -1.0).is_err());
+        assert!(b.set_switching_activity(n, 0.3).is_ok());
+        assert!(b.set_switching_activity(n, 1.5).is_err());
+        assert!(b.set_switching_activity(NetId::new(9), 0.3).is_err());
+    }
+
+    #[test]
+    fn netlist_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Netlist>();
+    }
+}

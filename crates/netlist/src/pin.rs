@@ -1,0 +1,125 @@
+//! Pins: the cell-to-net incidence records.
+
+use crate::{CellId, NetId};
+use std::fmt;
+
+/// Signal direction of a pin, seen from the cell.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PinDirection {
+    /// The cell reads the net through this pin (a sink).
+    #[default]
+    Input,
+    /// The cell drives the net through this pin (the driver).
+    Output,
+}
+
+impl fmt::Display for PinDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PinDirection::Input => "input",
+            PinDirection::Output => "output",
+        })
+    }
+}
+
+/// A single connection between a cell and a net.
+///
+/// The pin's physical offset from the cell origin is recorded so that
+/// bounding-box wirelength can account for pin positions; IBM-PLACE
+/// benchmarks place all pins at the cell center (offset zero).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Pin {
+    cell: CellId,
+    net: NetId,
+    direction: PinDirection,
+    offset_x: f64,
+    offset_y: f64,
+}
+
+impl Pin {
+    /// Creates a pin connecting `cell` to `net` at the cell center.
+    pub fn new(cell: CellId, net: NetId, direction: PinDirection) -> Self {
+        Self {
+            cell,
+            net,
+            direction,
+            offset_x: 0.0,
+            offset_y: 0.0,
+        }
+    }
+
+    /// Creates a pin with an explicit offset (meters) from the cell center.
+    pub fn with_offset(
+        cell: CellId,
+        net: NetId,
+        direction: PinDirection,
+        offset_x: f64,
+        offset_y: f64,
+    ) -> Self {
+        Self {
+            cell,
+            net,
+            direction,
+            offset_x,
+            offset_y,
+        }
+    }
+
+    /// The cell this pin belongs to.
+    pub fn cell(&self) -> CellId {
+        self.cell
+    }
+
+    /// The net this pin connects to.
+    pub fn net(&self) -> NetId {
+        self.net
+    }
+
+    /// Signal direction of the pin.
+    pub fn direction(&self) -> PinDirection {
+        self.direction
+    }
+
+    /// Whether this pin drives its net.
+    pub fn is_driver(&self) -> bool {
+        self.direction == PinDirection::Output
+    }
+
+    /// Pin x offset from cell center, meters.
+    pub fn offset_x(&self) -> f64 {
+        self.offset_x
+    }
+
+    /// Pin y offset from cell center, meters.
+    pub fn offset_y(&self) -> f64 {
+        self.offset_y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_detection() {
+        let p = Pin::new(CellId::new(0), NetId::new(1), PinDirection::Output);
+        assert!(p.is_driver());
+        let q = Pin::new(CellId::new(0), NetId::new(1), PinDirection::Input);
+        assert!(!q.is_driver());
+    }
+
+    #[test]
+    fn offsets_default_to_center() {
+        let p = Pin::new(CellId::new(2), NetId::new(3), PinDirection::Input);
+        assert_eq!(p.offset_x(), 0.0);
+        assert_eq!(p.offset_y(), 0.0);
+        assert_eq!(p.cell().index(), 2);
+        assert_eq!(p.net().index(), 3);
+    }
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(PinDirection::Input.to_string(), "input");
+        assert_eq!(PinDirection::Output.to_string(), "output");
+    }
+}

@@ -1,0 +1,112 @@
+//! Summary statistics of a netlist, for benchmark tables and sanity checks.
+
+use crate::Netlist;
+use std::fmt;
+
+/// Aggregate statistics of a [`Netlist`], as printed in Table 1 of the paper
+/// (`name`, `cells`, `area`) plus the connectivity figures that drive the
+/// synthetic benchmark generator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct NetlistStats {
+    /// Number of cells.
+    pub num_cells: usize,
+    /// Number of movable cells.
+    pub num_movable: usize,
+    /// Number of nets.
+    pub num_nets: usize,
+    /// Number of pins.
+    pub num_pins: usize,
+    /// Total cell area, square meters.
+    pub total_cell_area: f64,
+    /// Mean net degree (pins per net).
+    pub avg_net_degree: f64,
+    /// Largest net degree.
+    pub max_net_degree: usize,
+    /// Mean pins per cell.
+    pub avg_pins_per_cell: f64,
+    /// Nets with fewer than two pins (degenerate for placement).
+    pub degenerate_nets: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist.
+    pub fn compute(netlist: &Netlist) -> Self {
+        let num_cells = netlist.num_cells();
+        let num_nets = netlist.num_nets();
+        let num_pins = netlist.num_pins();
+        let num_movable = netlist.cells().iter().filter(|c| c.is_movable()).count();
+        let max_net_degree = netlist.nets().iter().map(|n| n.degree()).max().unwrap_or(0);
+        let degenerate_nets = netlist.nets().iter().filter(|n| n.degree() < 2).count();
+        Self {
+            num_cells,
+            num_movable,
+            num_nets,
+            num_pins,
+            total_cell_area: netlist.total_cell_area(),
+            avg_net_degree: if num_nets == 0 {
+                0.0
+            } else {
+                num_pins as f64 / num_nets as f64
+            },
+            max_net_degree,
+            avg_pins_per_cell: if num_cells == 0 {
+                0.0
+            } else {
+                num_pins as f64 / num_cells as f64
+            },
+            degenerate_nets,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cells={} (movable={}), nets={}, pins={}, area={:.3e} m^2, avg net degree={:.2}, max={}, pins/cell={:.2}",
+            self.num_cells,
+            self.num_movable,
+            self.num_nets,
+            self.num_pins,
+            self.total_cell_area,
+            self.avg_net_degree,
+            self.max_net_degree,
+            self.avg_pins_per_cell,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NetlistBuilder, PinDirection};
+
+    #[test]
+    fn computes_basic_stats() {
+        let mut b = NetlistBuilder::new();
+        let c1 = b.add_cell("a", 1.0, 1.0);
+        let c2 = b.add_cell("b", 1.0, 1.0);
+        let c3 = b.add_cell("c", 1.0, 1.0);
+        let n1 = b.add_net("n1");
+        let n2 = b.add_net("lonely");
+        b.connect(n1, c1, PinDirection::Output).unwrap();
+        b.connect(n1, c2, PinDirection::Input).unwrap();
+        b.connect(n1, c3, PinDirection::Input).unwrap();
+        b.connect(n2, c3, PinDirection::Output).unwrap();
+        let stats = b.build().unwrap().stats();
+        assert_eq!(stats.num_cells, 3);
+        assert_eq!(stats.num_nets, 2);
+        assert_eq!(stats.num_pins, 4);
+        assert_eq!(stats.max_net_degree, 3);
+        assert_eq!(stats.degenerate_nets, 1);
+        assert!((stats.avg_net_degree - 2.0).abs() < 1e-12);
+        assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_netlist_stats_are_zero() {
+        let stats = NetlistBuilder::new().build().unwrap().stats();
+        assert_eq!(stats.num_cells, 0);
+        assert_eq!(stats.avg_net_degree, 0.0);
+        assert_eq!(stats.avg_pins_per_cell, 0.0);
+    }
+}

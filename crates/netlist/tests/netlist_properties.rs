@@ -1,0 +1,95 @@
+//! Property-based tests for the netlist builder and arena invariants.
+
+use proptest::prelude::*;
+use tvp_netlist::{CellId, NetId, NetlistBuilder, PinDirection};
+
+/// A random but always-valid construction plan: cell sizes plus a list of
+/// (net, cells-on-net) with the first cell as driver.
+fn construction_plan() -> impl Strategy<Value = (Vec<(f64, f64)>, Vec<Vec<usize>>)> {
+    let cells = prop::collection::vec((0.1f64..10.0, 0.1f64..10.0), 1..40);
+    cells.prop_flat_map(|cells| {
+        let n = cells.len();
+        let nets = prop::collection::vec(
+            prop::collection::hash_set(0..n, 1..(n + 1).min(8)),
+            0..60,
+        )
+        .prop_map(|nets| {
+            nets.into_iter()
+                .map(|s| s.into_iter().collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        });
+        (Just(cells), nets)
+    })
+}
+
+proptest! {
+    #[test]
+    fn built_netlist_invariants((cells, nets) in construction_plan()) {
+        let mut b = NetlistBuilder::new();
+        let cell_ids: Vec<CellId> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, h))| b.add_cell(format!("c{i}"), w, h))
+            .collect();
+        let mut net_ids: Vec<NetId> = Vec::new();
+        for (i, members) in nets.iter().enumerate() {
+            let nid = b.add_net(format!("n{i}"));
+            net_ids.push(nid);
+            for (j, &m) in members.iter().enumerate() {
+                let dir = if j == 0 { PinDirection::Output } else { PinDirection::Input };
+                b.connect(nid, cell_ids[m], dir).unwrap();
+            }
+        }
+        let nl = b.build().unwrap();
+
+        // Pin count conservation: sum over nets == sum over cells == arena size.
+        let by_net: usize = nl.nets().iter().map(|n| n.degree()).sum();
+        let by_cell: usize = (0..nl.num_cells())
+            .map(|i| nl.cell_pins(CellId::new(i)).len())
+            .sum();
+        prop_assert_eq!(by_net, nl.num_pins());
+        prop_assert_eq!(by_cell, nl.num_pins());
+
+        // Every net's pin points back at the net; exactly one driver when
+        // the net is non-empty; inputs + driver == degree.
+        for (nid, net) in nl.iter_nets() {
+            let mut drivers = 0usize;
+            for &pid in net.pins() {
+                let pin = nl.pin(pid);
+                prop_assert_eq!(pin.net(), nid);
+                if pin.is_driver() {
+                    drivers += 1;
+                }
+            }
+            prop_assert_eq!(drivers, usize::from(!net.pins().is_empty()));
+            prop_assert_eq!(net.num_input_pins() + drivers, net.degree());
+        }
+
+        // Total area is the sum of declared areas.
+        let expected_area: f64 = cells.iter().map(|&(w, h)| w * h).sum();
+        prop_assert!((nl.total_cell_area() - expected_area).abs() <= 1e-9 * expected_area.max(1.0));
+
+        // Stats agree with direct counts.
+        let stats = nl.stats();
+        prop_assert_eq!(stats.num_cells, cells.len());
+        prop_assert_eq!(stats.num_nets, nets.len());
+        prop_assert_eq!(stats.num_pins, nl.num_pins());
+    }
+
+    #[test]
+    fn duplicate_connections_always_rejected(n_cells in 1usize..10, pairs in prop::collection::vec((0usize..10, 0usize..5), 1..30)) {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<CellId> = (0..n_cells).map(|i| b.add_cell(format!("c{i}"), 1.0, 1.0)).collect();
+        let nets: Vec<NetId> = (0..5).map(|i| b.add_net(format!("n{i}"))).collect();
+        let mut seen = std::collections::HashSet::new();
+        for (c, n) in pairs {
+            let c = c % n_cells;
+            let result = b.connect(nets[n], cells[c], PinDirection::Input);
+            if seen.insert((c, n)) {
+                prop_assert!(result.is_ok());
+            } else {
+                prop_assert!(result.is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Direct k-way partitioning: assign cells to device layers in one shot
+//! with [`tvp_partition::partition_kway`], bypassing the full placer.
+//!
+//! ```sh
+//! cargo run --release -p tvp-partition --example kway_layers [k]
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use tvp_partition::{partition_kway, BisectConfig, Hypergraph};
+
+fn main() {
+    let k: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    // A clustered random hypergraph: 16 clusters of 64 vertices with
+    // intra-cluster nets plus sparse global nets.
+    let clusters = 16usize;
+    let size = 64usize;
+    let n = clusters * size;
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut hg = Hypergraph::new(n);
+    for c in 0..clusters {
+        let base = (c * size) as u32;
+        for _ in 0..size * 3 {
+            let a = base + rng.random_range(0..size as u32);
+            let b = base + rng.random_range(0..size as u32);
+            if a != b {
+                hg.add_net(&[a, b], 1.0);
+            }
+        }
+    }
+    for _ in 0..n / 4 {
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        if a != b {
+            hg.add_net(&[a, b], 1.0);
+        }
+    }
+    hg.finalize();
+
+    // Tolerance compounds across the recursion levels, so a k-way split
+    // wanting tight balance should hand the bisector a tighter budget.
+    let config = BisectConfig {
+        tolerance: 0.03,
+        ..BisectConfig::default().with_starts(2)
+    };
+    let result = partition_kway(&hg, k, &config);
+    println!("{n} vertices, {} nets → {k} parts", hg.num_nets());
+    println!(
+        "cut = {:.0} nets, connectivity = {:.0}, imbalance = {:.1}%",
+        result.cut,
+        result.connectivity,
+        result.imbalance() * 100.0
+    );
+    for (p, w) in result.part_weights.iter().enumerate() {
+        println!("  part {p}: weight {w:.0}");
+    }
+}

@@ -1,0 +1,224 @@
+//! First-choice (heavy-edge) coarsening.
+
+use crate::multilevel::FixedSide;
+use crate::Hypergraph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+/// One coarsening level: the coarse hypergraph plus the fine→coarse map.
+pub(crate) struct CoarseLevel {
+    pub hg: Hypergraph,
+    /// `map[fine_vertex] = coarse_vertex`.
+    pub map: Vec<u32>,
+    pub fixed: Vec<FixedSide>,
+}
+
+/// Nets larger than this are ignored while scoring matches (they carry
+/// almost no locality signal and make scoring quadratic).
+const MAX_SCORING_NET: usize = 24;
+
+/// Performs one pass of first-choice matching and contracts the matches.
+///
+/// Fixed vertices are never matched (they stay singleton coarse vertices so
+/// their side pins survive every level). Returns `None` when matching can
+/// no longer shrink the graph meaningfully (< 5% reduction), signalling the
+/// caller to stop coarsening.
+pub(crate) fn coarsen_once(
+    hg: &Hypergraph,
+    fixed: &[FixedSide],
+    rng: &mut SmallRng,
+) -> Option<CoarseLevel> {
+    let n = hg.num_vertices();
+    let total = hg.total_vertex_weight();
+    // Cap coarse vertex weight so balance remains achievable.
+    let max_weight = (total / 16.0).max(total / n as f64 * 4.0);
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    let mut score = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut matched_pairs = 0usize;
+
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED || fixed[v as usize] != FixedSide::Free {
+            continue;
+        }
+        // Score free unmatched neighbors by shared-net connectivity.
+        touched.clear();
+        for &e in hg.vertex_nets(v) {
+            let pins = hg.net(e);
+            if pins.len() < 2 || pins.len() > MAX_SCORING_NET {
+                continue;
+            }
+            let s = hg.net_weight(e) / (pins.len() - 1) as f64;
+            for &u in pins {
+                if u != v && mate[u as usize] == UNMATCHED && fixed[u as usize] == FixedSide::Free
+                {
+                    if score[u as usize] == 0.0 {
+                        touched.push(u);
+                    }
+                    score[u as usize] += s;
+                }
+            }
+        }
+        let wv = hg.vertex_weight(v);
+        let mut best: Option<(f64, u32)> = None;
+        for &u in &touched {
+            let s = score[u as usize];
+            score[u as usize] = 0.0;
+            if wv + hg.vertex_weight(u) > max_weight {
+                continue;
+            }
+            if best.is_none_or(|(bs, bu)| s > bs || (s == bs && u < bu)) {
+                best = Some((s, u));
+            }
+        }
+        if let Some((_, u)) = best {
+            mate[v as usize] = u;
+            mate[u as usize] = v;
+            matched_pairs += 1;
+        }
+    }
+
+    let coarse_n = n - matched_pairs;
+    if coarse_n as f64 > 0.95 * n as f64 {
+        return None;
+    }
+
+    // Assign coarse indices: each unmatched vertex and each matched pair
+    // (identified by its lower index) gets one coarse vertex.
+    let mut map = vec![0u32; n];
+    let mut weights = Vec::with_capacity(coarse_n);
+    let mut coarse_fixed = Vec::with_capacity(coarse_n);
+    for v in 0..n {
+        let m = mate[v];
+        if m != UNMATCHED && (m as usize) < v {
+            map[v] = map[m as usize];
+            continue;
+        }
+        map[v] = weights.len() as u32;
+        let mut w = hg.vertex_weight(v as u32);
+        if m != UNMATCHED {
+            w += hg.vertex_weight(m);
+        }
+        weights.push(w);
+        coarse_fixed.push(fixed[v]);
+    }
+
+    let mut coarse = Hypergraph::with_vertex_weights(weights);
+    let mut pins: Vec<u32> = Vec::new();
+    for e in 0..hg.num_nets() as u32 {
+        pins.clear();
+        pins.extend(hg.net(e).iter().map(|&v| map[v as usize]));
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() >= 2 {
+            coarse.add_net(&pins, hg.net_weight(e));
+        }
+    }
+    coarse.finalize();
+
+    Some(CoarseLevel {
+        hg: coarse,
+        map,
+        fixed: coarse_fixed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chain(n: usize) -> Hypergraph {
+        let mut hg = Hypergraph::new(n);
+        for i in 0..n as u32 - 1 {
+            hg.add_net(&[i, i + 1], 1.0);
+        }
+        hg.finalize();
+        hg
+    }
+
+    #[test]
+    fn shrinks_a_chain() {
+        let hg = chain(64);
+        let fixed = vec![FixedSide::Free; 64];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let level = coarsen_once(&hg, &fixed, &mut rng).expect("chain coarsens");
+        assert!(level.hg.num_vertices() < 64);
+        assert!(level.hg.num_vertices() >= 32, "matching is pairwise");
+        // Weight conservation.
+        let before = hg.total_vertex_weight();
+        let after = level.hg.total_vertex_weight();
+        assert!((before - after).abs() < 1e-9);
+        // Map covers the coarse range.
+        assert!(level
+            .map
+            .iter()
+            .all(|&c| (c as usize) < level.hg.num_vertices()));
+    }
+
+    #[test]
+    fn fixed_vertices_stay_singleton() {
+        let hg = chain(16);
+        let mut fixed = vec![FixedSide::Free; 16];
+        fixed[0] = FixedSide::Side0;
+        fixed[15] = FixedSide::Side1;
+        let mut rng = SmallRng::seed_from_u64(2);
+        let level = coarsen_once(&hg, &fixed, &mut rng).expect("coarsens");
+        // The coarse vertices of the fixed fine vertices are fixed and
+        // carry exactly the fine weight (no merging happened).
+        let c0 = level.map[0] as usize;
+        let c15 = level.map[15] as usize;
+        assert_eq!(level.fixed[c0], FixedSide::Side0);
+        assert_eq!(level.fixed[c15], FixedSide::Side1);
+        assert_eq!(level.hg.vertex_weight(c0 as u32), 1.0);
+        assert_eq!(level.hg.vertex_weight(c15 as u32), 1.0);
+    }
+
+    #[test]
+    fn cut_is_preserved_under_projection() {
+        let hg = chain(32);
+        let fixed = vec![FixedSide::Free; 32];
+        let mut rng = SmallRng::seed_from_u64(3);
+        let level = coarsen_once(&hg, &fixed, &mut rng).unwrap();
+        // Any coarse assignment, projected to fine, must yield cut ≤ the
+        // fine cut sum of surviving nets plus dropped internal nets... in
+        // fact projected fine cut == coarse cut because dropped nets are
+        // internal to one coarse vertex and can never be cut.
+        let coarse_sides: Vec<u8> = (0..level.hg.num_vertices())
+            .map(|i| (i % 2) as u8)
+            .collect();
+        let fine_sides: Vec<u8> = level
+            .map
+            .iter()
+            .map(|&c| coarse_sides[c as usize])
+            .collect();
+        assert_eq!(level.hg.cut(&coarse_sides), hg.cut(&fine_sides));
+    }
+
+    #[test]
+    fn dense_clique_stops_eventually() {
+        // Repeated coarsening must terminate with None.
+        let mut hg = Hypergraph::new(8);
+        let all: Vec<u32> = (0..8).collect();
+        hg.add_net(&all, 1.0);
+        hg.finalize();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut fixed = vec![FixedSide::Free; 8];
+        let mut current = hg;
+        for _ in 0..20 {
+            match coarsen_once(&current, &fixed, &mut rng) {
+                Some(level) => {
+                    fixed = level.fixed.clone();
+                    current = level.hg;
+                }
+                None => return,
+            }
+        }
+        panic!("coarsening never reached a fixed point");
+    }
+}

@@ -1,0 +1,276 @@
+//! Weighted hypergraph with CSR incidence in both directions.
+
+/// A weighted hypergraph.
+///
+/// Vertices are `0..num_vertices()` with `f64` weights (cell areas in the
+/// placement use case); nets are weighted hyperedges over vertex sets.
+/// Nets are added incrementally; vertex→net incidence is built lazily on
+/// first query and cached.
+#[derive(Clone, Debug, Default)]
+pub struct Hypergraph {
+    vertex_weights: Vec<f64>,
+    net_weights: Vec<f64>,
+    net_offsets: Vec<u32>,
+    net_vertices: Vec<u32>,
+    /// Lazily built CSR of nets per vertex.
+    vtx_offsets: Vec<u32>,
+    vtx_nets: Vec<u32>,
+    finalized: bool,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph with `num_vertices` unit-weight vertices and no
+    /// nets.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            vertex_weights: vec![1.0; num_vertices],
+            net_weights: Vec::new(),
+            net_offsets: vec![0],
+            net_vertices: Vec::new(),
+            vtx_offsets: Vec::new(),
+            vtx_nets: Vec::new(),
+            finalized: false,
+        }
+    }
+
+    /// Creates a hypergraph with the given vertex weights and no nets.
+    pub fn with_vertex_weights(weights: Vec<f64>) -> Self {
+        Self {
+            vertex_weights: weights,
+            net_weights: Vec::new(),
+            net_offsets: vec![0],
+            net_vertices: Vec::new(),
+            vtx_offsets: Vec::new(),
+            vtx_nets: Vec::new(),
+            finalized: false,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_weights.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.net_weights.len()
+    }
+
+    /// Total number of pins (vertex–net incidences).
+    pub fn num_pins(&self) -> usize {
+        self.net_vertices.len()
+    }
+
+    /// Weight of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn vertex_weight(&self, v: u32) -> f64 {
+        self.vertex_weights[v as usize]
+    }
+
+    /// Sets the weight of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set_vertex_weight(&mut self, v: u32, weight: f64) {
+        self.vertex_weights[v as usize] = weight;
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> f64 {
+        self.vertex_weights.iter().sum()
+    }
+
+    /// Weight of net `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn net_weight(&self, e: u32) -> f64 {
+        self.net_weights[e as usize]
+    }
+
+    /// Vertices of net `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn net(&self, e: u32) -> &[u32] {
+        let lo = self.net_offsets[e as usize] as usize;
+        let hi = self.net_offsets[e as usize + 1] as usize;
+        &self.net_vertices[lo..hi]
+    }
+
+    /// Adds a net over `vertices` with the given weight and returns its
+    /// index. Duplicate vertices within one net are removed; nets that end
+    /// up with fewer than two distinct vertices are still stored (they can
+    /// never be cut, so they are harmless) to keep indices stable for
+    /// callers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex index is out of range.
+    pub fn add_net(&mut self, vertices: &[u32], weight: f64) -> u32 {
+        assert!(
+            vertices
+                .iter()
+                .all(|&v| (v as usize) < self.vertex_weights.len()),
+            "net references out-of-range vertex"
+        );
+        let start = self.net_vertices.len();
+        for &v in vertices {
+            if !self.net_vertices[start..].contains(&v) {
+                self.net_vertices.push(v);
+            }
+        }
+        self.net_offsets.push(self.net_vertices.len() as u32);
+        self.net_weights.push(weight);
+        self.finalized = false;
+        (self.net_weights.len() - 1) as u32
+    }
+
+    /// Builds the vertex→net incidence if nets changed since the last call.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        let n = self.num_vertices();
+        let mut counts = vec![0u32; n + 1];
+        for &v in &self.net_vertices {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut vtx_nets = vec![0u32; self.net_vertices.len()];
+        let mut cursor = counts.clone();
+        for e in 0..self.num_nets() {
+            let lo = self.net_offsets[e] as usize;
+            let hi = self.net_offsets[e + 1] as usize;
+            for &v in &self.net_vertices[lo..hi] {
+                vtx_nets[cursor[v as usize] as usize] = e as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        self.vtx_offsets = counts;
+        self.vtx_nets = vtx_nets;
+        self.finalized = true;
+    }
+
+    /// Whether the vertex→net incidence is current (i.e.
+    /// [`finalize`](Self::finalize) was called after the last
+    /// [`add_net`](Self::add_net)).
+    pub fn has_incidence(&self) -> bool {
+        self.finalized
+    }
+
+    /// Nets incident to vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the incidence has not been built (call
+    /// [`finalize`](Self::finalize) after the last `add_net`) or if `v` is
+    /// out of range.
+    pub fn vertex_nets(&self, v: u32) -> &[u32] {
+        assert!(self.finalized, "call finalize() before vertex_nets()");
+        let lo = self.vtx_offsets[v as usize] as usize;
+        let hi = self.vtx_offsets[v as usize + 1] as usize;
+        &self.vtx_nets[lo..hi]
+    }
+
+    /// Computes the weighted hyperedge cut of a side assignment
+    /// (`sides[v]` is 0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sides.len() != num_vertices()`.
+    pub fn cut(&self, sides: &[u8]) -> f64 {
+        assert_eq!(sides.len(), self.num_vertices());
+        let mut cut = 0.0;
+        for e in 0..self.num_nets() {
+            let pins = self.net(e as u32);
+            if pins.is_empty() {
+                continue;
+            }
+            let first = sides[pins[0] as usize];
+            if pins.iter().any(|&v| sides[v as usize] != first) {
+                cut += self.net_weights[e];
+            }
+        }
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Hypergraph {
+        let mut hg = Hypergraph::new(3);
+        hg.add_net(&[0, 1], 2.0);
+        hg.add_net(&[1, 2], 3.0);
+        hg.add_net(&[0, 2], 5.0);
+        hg.finalize();
+        hg
+    }
+
+    #[test]
+    fn counts_and_access() {
+        let hg = triangle();
+        assert_eq!(hg.num_vertices(), 3);
+        assert_eq!(hg.num_nets(), 3);
+        assert_eq!(hg.num_pins(), 6);
+        assert_eq!(hg.net(1), &[1, 2]);
+        assert_eq!(hg.net_weight(2), 5.0);
+        assert_eq!(hg.total_vertex_weight(), 3.0);
+    }
+
+    #[test]
+    fn vertex_incidence() {
+        let hg = triangle();
+        assert_eq!(hg.vertex_nets(0), &[0, 2]);
+        assert_eq!(hg.vertex_nets(1), &[0, 1]);
+        assert_eq!(hg.vertex_nets(2), &[1, 2]);
+    }
+
+    #[test]
+    fn cut_computation() {
+        let hg = triangle();
+        assert_eq!(hg.cut(&[0, 0, 0]), 0.0);
+        assert_eq!(hg.cut(&[0, 0, 1]), 3.0 + 5.0);
+        assert_eq!(hg.cut(&[0, 1, 1]), 2.0 + 5.0);
+    }
+
+    #[test]
+    fn dedupes_net_pins() {
+        let mut hg = Hypergraph::new(2);
+        hg.add_net(&[0, 1, 0, 1], 1.0);
+        assert_eq!(hg.net(0), &[0, 1]);
+    }
+
+    #[test]
+    fn refinalize_after_adding_nets() {
+        let mut hg = triangle();
+        hg.add_net(&[0, 1, 2], 1.0);
+        hg.finalize();
+        assert_eq!(hg.vertex_nets(0), &[0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range vertex")]
+    fn rejects_out_of_range_pin() {
+        let mut hg = Hypergraph::new(2);
+        hg.add_net(&[0, 7], 1.0);
+    }
+
+    #[test]
+    fn singleton_net_never_cut() {
+        let mut hg = Hypergraph::new(2);
+        hg.add_net(&[0], 9.0);
+        hg.finalize();
+        assert_eq!(hg.cut(&[0, 1]), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Greedy BFS initial partitioning of the coarsest level.
+
+use crate::multilevel::FixedSide;
+use crate::{BisectConfig, Hypergraph};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use std::collections::VecDeque;
+
+/// Produces an initial side assignment honoring `fixed`.
+///
+/// Free vertices are assigned by region growing: starting from a random
+/// free seed, BFS over net neighborhoods accumulates vertices into side 0
+/// until its weight reaches the target fraction; the rest go to side 1.
+/// BFS growth keeps side 0 connected, which gives FM a much better start
+/// than a random split.
+pub(crate) fn initial_partition(
+    hg: &Hypergraph,
+    fixed: &[FixedSide],
+    config: &BisectConfig,
+    rng: &mut SmallRng,
+) -> Vec<u8> {
+    let n = hg.num_vertices();
+    let total = hg.total_vertex_weight();
+    let mut sides = vec![1u8; n];
+    let mut fixed_weight0 = 0.0;
+    let mut free: Vec<u32> = Vec::new();
+    for v in 0..n {
+        match fixed[v] {
+            FixedSide::Side0 => {
+                sides[v] = 0;
+                fixed_weight0 += hg.vertex_weight(v as u32);
+            }
+            FixedSide::Side1 => sides[v] = 1,
+            FixedSide::Free => free.push(v as u32),
+        }
+    }
+    if free.is_empty() {
+        return sides;
+    }
+    let target0 = config.target_fraction * total;
+    let mut weight0 = fixed_weight0;
+    if weight0 >= target0 {
+        return sides; // fixed vertices already fill side 0
+    }
+
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    let seed = free[rng.random_range(0..free.len())];
+    queue.push_back(seed);
+    visited[seed as usize] = true;
+
+    // `cursor` restarts BFS from unvisited vertices if the component runs
+    // out before side 0 fills up.
+    let mut cursor = 0usize;
+    loop {
+        let v = match queue.pop_front() {
+            Some(v) => v,
+            None => {
+                // Find the next unvisited free vertex.
+                let mut next = None;
+                while cursor < free.len() {
+                    let u = free[cursor];
+                    cursor += 1;
+                    if !visited[u as usize] {
+                        next = Some(u);
+                        break;
+                    }
+                }
+                match next {
+                    Some(u) => {
+                        visited[u as usize] = true;
+                        u
+                    }
+                    None => break,
+                }
+            }
+        };
+        if fixed[v as usize] == FixedSide::Free {
+            sides[v as usize] = 0;
+            weight0 += hg.vertex_weight(v);
+            if weight0 >= target0 {
+                break;
+            }
+        }
+        for &e in hg.vertex_nets(v) {
+            let pins = hg.net(e);
+            if pins.len() > 64 {
+                continue; // giant nets add no locality
+            }
+            for &u in pins {
+                if !visited[u as usize] && fixed[u as usize] == FixedSide::Free {
+                    visited[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    sides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn grid(n: usize) -> Hypergraph {
+        // n x n mesh of 2-pin nets.
+        let mut hg = Hypergraph::new(n * n);
+        for r in 0..n {
+            for c in 0..n {
+                let v = (r * n + c) as u32;
+                if c + 1 < n {
+                    hg.add_net(&[v, v + 1], 1.0);
+                }
+                if r + 1 < n {
+                    hg.add_net(&[v, v + n as u32], 1.0);
+                }
+            }
+        }
+        hg.finalize();
+        hg
+    }
+
+    #[test]
+    fn splits_near_target() {
+        let hg = grid(8);
+        let cfg = BisectConfig::default();
+        let fixed = vec![FixedSide::Free; 64];
+        let mut rng = SmallRng::seed_from_u64(7);
+        let sides = initial_partition(&hg, &fixed, &cfg, &mut rng);
+        let w0 = sides.iter().filter(|&&s| s == 0).count();
+        assert!(
+            (28..=36).contains(&w0),
+            "side 0 got {w0}/64, expected near half"
+        );
+    }
+
+    #[test]
+    fn honors_fixed_assignments() {
+        let hg = grid(4);
+        let cfg = BisectConfig::default();
+        let mut fixed = vec![FixedSide::Free; 16];
+        fixed[0] = FixedSide::Side1;
+        fixed[15] = FixedSide::Side0;
+        let mut rng = SmallRng::seed_from_u64(8);
+        let sides = initial_partition(&hg, &fixed, &cfg, &mut rng);
+        assert_eq!(sides[0], 1);
+        assert_eq!(sides[15], 0);
+    }
+
+    #[test]
+    fn all_fixed_is_identity() {
+        let hg = grid(2);
+        let cfg = BisectConfig::default();
+        let fixed = vec![
+            FixedSide::Side0,
+            FixedSide::Side1,
+            FixedSide::Side1,
+            FixedSide::Side0,
+        ];
+        let mut rng = SmallRng::seed_from_u64(9);
+        let sides = initial_partition(&hg, &fixed, &cfg, &mut rng);
+        assert_eq!(sides, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn disconnected_components_still_fill_side0() {
+        // Two disjoint cliques; BFS must jump components to hit the target.
+        let mut hg = Hypergraph::new(8);
+        hg.add_net(&[0, 1, 2, 3], 1.0);
+        hg.add_net(&[4, 5, 6, 7], 1.0);
+        hg.finalize();
+        let cfg = BisectConfig::default();
+        let fixed = vec![FixedSide::Free; 8];
+        let mut rng = SmallRng::seed_from_u64(10);
+        let sides = initial_partition(&hg, &fixed, &cfg, &mut rng);
+        let w0 = sides.iter().filter(|&&s| s == 0).count();
+        assert!(w0 >= 4, "side 0 got only {w0}");
+    }
+}

@@ -1,0 +1,258 @@
+//! The multilevel V-cycle driver and its public result types.
+
+use crate::coarsen::coarsen_once;
+use crate::initial::initial_partition;
+use crate::{refine, BisectConfig, Hypergraph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::borrow::Cow;
+
+/// Pre-assignment of a vertex for terminal propagation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FixedSide {
+    /// The bisector may place the vertex on either side.
+    #[default]
+    Free,
+    /// The vertex is pinned to side 0.
+    Side0,
+    /// The vertex is pinned to side 1.
+    Side1,
+}
+
+/// Result of a bisection.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Bisection {
+    /// Side (0 or 1) of each vertex.
+    pub sides: Vec<u8>,
+    /// Weighted hyperedge cut of the assignment.
+    pub cut: f64,
+    /// Total vertex weight on each side.
+    pub side_weights: [f64; 2],
+}
+
+impl Bisection {
+    /// Side of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn side(&self, v: u32) -> u8 {
+        self.sides[v as usize]
+    }
+
+    /// Weight imbalance: `|w0 - w1| / (w0 + w1)`, 0 for a perfect split.
+    pub fn imbalance(&self) -> f64 {
+        let [w0, w1] = self.side_weights;
+        let total = w0 + w1;
+        if total == 0.0 {
+            0.0
+        } else {
+            (w0 - w1).abs() / total
+        }
+    }
+}
+
+/// Bisects a hypergraph with no fixed vertices.
+///
+/// Convenience wrapper over [`bisect_fixed`]. If the hypergraph was not
+/// [finalized](Hypergraph::finalize), a finalized copy is made internally
+/// (callers that bisect repeatedly should finalize once themselves).
+pub fn bisect(hg: &Hypergraph, config: &BisectConfig) -> Bisection {
+    bisect_fixed(hg, &vec![FixedSide::Free; hg.num_vertices()], config)
+}
+
+/// Bisects a hypergraph, honoring per-vertex side pins.
+///
+/// Runs `config.num_starts` independent multilevel V-cycles with seeds
+/// `config.seed + i` and returns the assignment with the smallest cut
+/// (ties broken by balance).
+///
+/// # Panics
+///
+/// Panics if `fixed.len() != hg.num_vertices()`.
+pub fn bisect_fixed(hg: &Hypergraph, fixed: &[FixedSide], config: &BisectConfig) -> Bisection {
+    assert_eq!(fixed.len(), hg.num_vertices());
+    let hg: Cow<'_, Hypergraph> = if hg_is_ready(hg) {
+        Cow::Borrowed(hg)
+    } else {
+        let mut owned = hg.clone();
+        owned.finalize();
+        Cow::Owned(owned)
+    };
+    let hg = hg.as_ref();
+
+    let mut best: Option<Bisection> = None;
+    for start in 0..config.num_starts.max(1) {
+        let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(start as u64));
+        let sides = solve(hg, fixed, config, &mut rng);
+        let candidate = summarize(hg, sides);
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                candidate.cut < b.cut - 1e-12
+                    || (candidate.cut <= b.cut + 1e-12 && candidate.imbalance() < b.imbalance())
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.expect("at least one start runs")
+}
+
+fn hg_is_ready(hg: &Hypergraph) -> bool {
+    hg.has_incidence()
+}
+
+fn summarize(hg: &Hypergraph, sides: Vec<u8>) -> Bisection {
+    let cut = hg.cut(&sides);
+    let mut side_weights = [0.0; 2];
+    for (v, &s) in sides.iter().enumerate() {
+        side_weights[s as usize] += hg.vertex_weight(v as u32);
+    }
+    Bisection {
+        sides,
+        cut,
+        side_weights,
+    }
+}
+
+/// One V-cycle: coarsen recursively, partition the coarsest level, then
+/// project and refine on the way back up.
+fn solve(
+    hg: &Hypergraph,
+    fixed: &[FixedSide],
+    config: &BisectConfig,
+    rng: &mut SmallRng,
+) -> Vec<u8> {
+    if hg.num_vertices() > config.coarsen_until {
+        if let Some(level) = coarsen_once(hg, fixed, rng) {
+            let coarse_sides = solve(&level.hg, &level.fixed, config, rng);
+            let mut sides: Vec<u8> = level
+                .map
+                .iter()
+                .map(|&c| coarse_sides[c as usize])
+                .collect();
+            refine(hg, &mut sides, fixed, config);
+            return sides;
+        }
+    }
+    let mut sides = initial_partition(hg, fixed, config, rng);
+    refine(hg, &mut sides, fixed, config);
+    sides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    /// `k` cliques of `size` vertices, chained by single bridge nets.
+    fn clique_chain(k: usize, size: usize) -> Hypergraph {
+        let mut hg = Hypergraph::new(k * size);
+        for c in 0..k {
+            let base = (c * size) as u32;
+            for i in 0..size as u32 {
+                for j in (i + 1)..size as u32 {
+                    hg.add_net(&[base + i, base + j], 1.0);
+                }
+            }
+            if c + 1 < k {
+                hg.add_net(&[base, base + size as u32], 0.5);
+            }
+        }
+        hg.finalize();
+        hg
+    }
+
+    #[test]
+    fn finds_small_cut_on_clique_chain() {
+        let hg = clique_chain(4, 8);
+        let result = bisect(&hg, &BisectConfig::default());
+        // The ideal split separates cliques {0,1} from {2,3}: cut 0.5.
+        assert!(
+            result.cut <= 1.0,
+            "cut {} should not break cliques",
+            result.cut
+        );
+        assert!(result.imbalance() <= 0.2 + 1e-9);
+    }
+
+    #[test]
+    fn multilevel_handles_larger_random_graph() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let n = 2000u32;
+        let mut hg = Hypergraph::new(n as usize);
+        // Ring of 2-pin nets + random chords: known cut exists (2 ring nets).
+        for i in 0..n {
+            hg.add_net(&[i, (i + 1) % n], 1.0);
+        }
+        for _ in 0..500 {
+            let a = rng.random_range(0..n);
+            let b = (a + rng.random_range(1..20)) % n;
+            if a != b {
+                hg.add_net(&[a, b], 1.0);
+            }
+        }
+        hg.finalize();
+        let result = bisect(&hg, &BisectConfig::default().with_starts(2));
+        // A random split cuts ~50% of 2500 nets; multilevel should be far
+        // below that, and balance must hold.
+        assert!(result.cut < 250.0, "cut {} is too large", result.cut);
+        assert!(result.imbalance() <= 0.2 + 1e-9);
+        assert_eq!(result.cut, hg.cut(&result.sides), "reported cut is real");
+    }
+
+    #[test]
+    fn fixed_vertices_are_respected_end_to_end() {
+        let hg = clique_chain(4, 8);
+        let n = hg.num_vertices();
+        let mut fixed = vec![FixedSide::Free; n];
+        fixed[0] = FixedSide::Side1;
+        fixed[n - 1] = FixedSide::Side0;
+        let result = bisect_fixed(&hg, &fixed, &BisectConfig::default());
+        assert_eq!(result.side(0), 1);
+        assert_eq!(result.side((n - 1) as u32), 0);
+    }
+
+    #[test]
+    fn unfinalized_graph_is_accepted() {
+        let mut hg = Hypergraph::new(4);
+        hg.add_net(&[0, 1], 1.0);
+        hg.add_net(&[2, 3], 1.0);
+        // No finalize() on purpose.
+        let result = bisect(&hg, &BisectConfig::default());
+        assert_eq!(result.sides.len(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let hg = Hypergraph::new(0);
+        let result = bisect(&hg, &BisectConfig::default());
+        assert!(result.sides.is_empty());
+        assert_eq!(result.cut, 0.0);
+    }
+
+    #[test]
+    fn vertices_without_nets_are_balanced() {
+        let hg = Hypergraph::new(10);
+        let result = bisect(&hg, &BisectConfig::default());
+        assert!(result.imbalance() <= 0.2 + 1e-9);
+    }
+
+    #[test]
+    fn restarts_never_hurt() {
+        let hg = clique_chain(6, 6);
+        let one = bisect(&hg, &BisectConfig::default().with_starts(1));
+        let many = bisect(&hg, &BisectConfig::default().with_starts(8));
+        assert!(many.cut <= one.cut + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let hg = clique_chain(4, 8);
+        let a = bisect(&hg, &BisectConfig::default().with_seed(42));
+        let b = bisect(&hg, &BisectConfig::default().with_seed(42));
+        assert_eq!(a, b);
+    }
+}

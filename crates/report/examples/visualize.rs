@@ -1,0 +1,62 @@
+//! Renders a placed design and its temperature field to SVG files.
+//!
+//! ```sh
+//! cargo run --release -p tvp-report --example visualize [cells] [outdir]
+//! ```
+//!
+//! Produces `placement.svg` (per-layer cell maps, colored by connectivity)
+//! and `thermal.svg` (per-layer heat maps) in the output directory.
+
+use tvp_bookshelf::synth::{generate, SynthConfig};
+use tvp_core::objective::{IncrementalObjective, ObjectiveModel};
+use tvp_core::{Placer, PlacerConfig};
+use tvp_report::svg::{render_layers, render_thermal, ColorBy, SvgOptions};
+use tvp_thermal::{PowerMap, ThermalSimulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let cells: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(1_000);
+    let outdir = std::path::PathBuf::from(
+        args.next().unwrap_or_else(|| "target/visualize".to_string()),
+    );
+    std::fs::create_dir_all(&outdir)?;
+
+    let netlist = generate(&SynthConfig::named("viz", cells, cells as f64 * 5.0e-12))?;
+    let config = PlacerConfig::new(4).with_alpha_temp(1.0e-5);
+    let result = Placer::new(config.clone()).place(&netlist)?;
+
+    let options = SvgOptions {
+        color_by: ColorBy::Connectivity,
+        ..SvgOptions::default()
+    };
+    let placement_svg = render_layers(&netlist, &result.chip, &result.placement, &options);
+    std::fs::write(outdir.join("placement.svg"), &placement_svg)?;
+
+    // Rebuild the power map at the final placement and solve for the field.
+    let model = ObjectiveModel::new(&netlist, &result.chip, &config)?;
+    let objective = IncrementalObjective::new(&netlist, &model, result.placement.clone());
+    let (nx, ny) = (24usize, 24usize);
+    let sim = ThermalSimulator::new(result.chip.stack, result.chip.width, result.chip.depth, nx, ny)?;
+    let mut power = PowerMap::new(nx, ny, result.chip.num_layers);
+    for (cell, x, y, layer) in result.placement.iter() {
+        let p = model.power().cell_power(&netlist, cell, |e| {
+            let g = objective.net_geometry(e);
+            (g.wirelength(), g.ilv)
+        });
+        if p > 0.0 {
+            power.deposit(x, y, layer as usize, p, result.chip.width, result.chip.depth);
+        }
+    }
+    let field = sim.solve(&power)?;
+    let thermal_svg = render_thermal(&result.chip, &field, &SvgOptions::default());
+    std::fs::write(outdir.join("thermal.svg"), &thermal_svg)?;
+
+    println!(
+        "wrote {} and {} ({} cells, T_avg = {:.2} C)",
+        outdir.join("placement.svg").display(),
+        outdir.join("thermal.svg").display(),
+        cells,
+        result.metrics.avg_temperature,
+    );
+    Ok(())
+}

@@ -1,0 +1,187 @@
+//! Placement quality distributions.
+
+use tvp_core::objective::{IncrementalObjective, ObjectiveModel};
+use tvp_core::{Chip, Placement, PlacerConfig};
+use tvp_netlist::Netlist;
+
+/// A fixed-bin histogram over `[0, max]` with an explicit overflow bin.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Histogram {
+    /// Upper edge of the highest regular bin.
+    pub max: f64,
+    /// Counts per regular bin.
+    pub bins: Vec<usize>,
+    /// Samples above `max`.
+    pub overflow: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` regular bins over `[0, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `max` is not positive.
+    pub fn build(values: impl IntoIterator<Item = f64>, max: f64, bins: usize) -> Self {
+        assert!(bins > 0 && max > 0.0);
+        let mut histogram = Self {
+            max,
+            bins: vec![0; bins],
+            overflow: 0,
+        };
+        for v in values {
+            if v >= max {
+                histogram.overflow += 1;
+            } else {
+                let idx = ((v / max) * bins as f64) as usize;
+                histogram.bins[idx.min(bins - 1)] += 1;
+            }
+        }
+        histogram
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.bins.iter().sum::<usize>() + self.overflow
+    }
+
+    /// The value below which `fraction` of the samples fall (linear within
+    /// bins; `max` if the quantile lands in the overflow).
+    pub fn quantile(&self, fraction: f64) -> f64 {
+        let target = (self.total() as f64 * fraction).ceil() as usize;
+        let mut seen = 0;
+        for (i, &count) in self.bins.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return (i + 1) as f64 / self.bins.len() as f64 * self.max;
+            }
+        }
+        self.max
+    }
+}
+
+/// Quality distributions of one placement.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PlacementAnalysis {
+    /// Net half-perimeter wirelengths (meters), 32 bins up to the chip
+    /// half-perimeter.
+    pub net_length: Histogram,
+    /// Vias per net: `vias_per_net[k]` = number of nets spanning `k`
+    /// layer boundaries.
+    pub vias_per_net: Vec<usize>,
+    /// Fraction of each layer's row capacity occupied by cells.
+    pub layer_utilization: Vec<f64>,
+    /// Total wirelength, meters.
+    pub total_wirelength: f64,
+    /// Total via count.
+    pub total_ilv: f64,
+}
+
+impl PlacementAnalysis {
+    /// Computes the distributions for a placement.
+    pub fn compute(netlist: &Netlist, chip: &Chip, placement: &Placement) -> Self {
+        // Geometry via the objective evaluator (single source of truth).
+        let config = PlacerConfig::new(chip.num_layers);
+        let model =
+            ObjectiveModel::new(netlist, chip, &config).expect("chip-derived config is valid");
+        let objective = IncrementalObjective::new(netlist, &model, placement.clone());
+
+        let half_perimeter = chip.width + chip.depth;
+        let lengths = (0..netlist.num_nets())
+            .map(|e| objective.net_geometry(tvp_netlist::NetId::new(e)).wirelength());
+        let net_length = Histogram::build(lengths, half_perimeter, 32);
+
+        let mut vias_per_net = vec![0usize; chip.num_layers];
+        for e in 0..netlist.num_nets() {
+            let span = objective.net_geometry(tvp_netlist::NetId::new(e)).ilv as usize;
+            vias_per_net[span.min(chip.num_layers - 1)] += 1;
+        }
+
+        let capacity = chip.num_rows as f64 * chip.row_height * chip.width;
+        let mut layer_area = vec![0.0f64; chip.num_layers];
+        for (cell, _, _, layer) in placement.iter() {
+            if netlist.cell(cell).is_movable() {
+                layer_area[(layer as usize).min(chip.num_layers - 1)] +=
+                    netlist.cell(cell).area();
+            }
+        }
+        let layer_utilization = layer_area.iter().map(|a| a / capacity).collect();
+
+        Self {
+            net_length,
+            vias_per_net,
+            layer_utilization,
+            total_wirelength: objective.total_wirelength(),
+            total_ilv: objective.total_ilv(),
+        }
+    }
+
+    /// Renders a compact multi-line text report.
+    pub fn to_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "wirelength: total {:.4e} m, median net {:.3e} m, p95 {:.3e} m",
+            self.total_wirelength,
+            self.net_length.quantile(0.5),
+            self.net_length.quantile(0.95),
+        );
+        let _ = writeln!(out, "vias: total {:.0}, spans {:?}", self.total_ilv, self.vias_per_net);
+        let util: Vec<String> = self
+            .layer_utilization
+            .iter()
+            .map(|u| format!("{:.0}%", u * 100.0))
+            .collect();
+        let _ = writeln!(out, "layer utilization: [{}]", util.join(", "));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+    use tvp_core::Placer;
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = Histogram::build([0.1, 0.2, 0.3, 0.9, 5.0], 1.0, 10);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.bins[1], 1); // 0.1
+        assert_eq!(h.bins[9], 1); // 0.9
+        // Median falls in the 0.2–0.3 region.
+        let q = h.quantile(0.5);
+        assert!((0.2..=0.4).contains(&q), "median {q}");
+        assert_eq!(h.quantile(1.0), 1.0); // lands in overflow
+    }
+
+    #[test]
+    fn analysis_of_a_real_placement() {
+        let netlist = generate(&SynthConfig::named("a", 200, 1.0e-9)).unwrap();
+        let result = Placer::new(PlacerConfig::new(4)).place(&netlist).unwrap();
+        let analysis = PlacementAnalysis::compute(&netlist, &result.chip, &result.placement);
+
+        // Distributions agree with the totals the placer reported.
+        assert!((analysis.total_wirelength - result.metrics.wirelength).abs() < 1e-12);
+        assert!((analysis.total_ilv - result.metrics.ilv_count).abs() < 1e-12);
+        // Every net appears exactly once in the via distribution.
+        assert_eq!(analysis.vias_per_net.iter().sum::<usize>(), netlist.num_nets());
+        // Utilization below 100% everywhere (the placement is legal).
+        for (l, &u) in analysis.layer_utilization.iter().enumerate() {
+            assert!(u <= 1.0 + 1e-9, "layer {l} utilization {u}");
+            assert!(u > 0.0, "layer {l} empty");
+        }
+        // All nets counted in the histogram.
+        assert_eq!(analysis.net_length.total(), netlist.num_nets());
+        let report = analysis.to_report();
+        assert!(report.contains("wirelength"));
+        assert!(report.contains("layer utilization"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_zero_bins() {
+        let _ = Histogram::build([1.0], 1.0, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Series-shape comparison utilities.
+//!
+//! The reproduction's claims are about *shapes* — a series is monotone, two
+//! series rank the same way, a knee falls in the same decade — rather than
+//! absolute values. These helpers turn those statements into checkable
+//! numbers; the integration tests and EXPERIMENTS.md analyses build on
+//! them.
+
+/// Direction of a monotonicity claim.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Values should not decrease along the series.
+    Increasing,
+    /// Values should not increase along the series.
+    Decreasing,
+}
+
+/// Whether `series` is monotone in `direction`, tolerating reversals of up
+/// to `tolerance` (relative to the series span). Placement experiments are
+/// noisy; `tolerance` = 0.05 means "monotone up to 5%-of-span wiggles".
+///
+/// Returns `true` for series with fewer than two points.
+pub fn is_monotone(series: &[f64], direction: Direction, tolerance: f64) -> bool {
+    if series.len() < 2 {
+        return true;
+    }
+    let span = series
+        .iter()
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        - series.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let slack = span * tolerance;
+    series.windows(2).all(|w| match direction {
+        Direction::Increasing => w[1] >= w[0] - slack,
+        Direction::Decreasing => w[1] <= w[0] + slack,
+    })
+}
+
+/// Spearman rank correlation between two equal-length series, in
+/// `[-1, 1]`. +1 means identical orderings — the "who wins where" shape
+/// agreement the reproduction targets.
+///
+/// # Panics
+///
+/// Panics if the series differ in length or have fewer than two points.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series must be equal length");
+    assert!(a.len() >= 2, "need at least two points");
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let n = a.len() as f64;
+    let mean = (n + 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..a.len() {
+        num += (ra[i] - mean) * (rb[i] - mean);
+        da += (ra[i] - mean).powi(2);
+        db += (rb[i] - mean).powi(2);
+    }
+    if da == 0.0 || db == 0.0 {
+        return 0.0; // a constant series carries no ordering information
+    }
+    num / (da * db).sqrt()
+}
+
+/// Average ranks (1-based), ties shared.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let shared = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = shared;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Index of the knee of a decreasing convex-ish series: the point
+/// farthest below the straight line joining the endpoints (the classic
+/// "kneedle" construction). Returns `None` for series shorter than 3.
+pub fn knee_index(series: &[f64]) -> Option<usize> {
+    if series.len() < 3 {
+        return None;
+    }
+    let n = (series.len() - 1) as f64;
+    let (y0, y1) = (series[0], series[series.len() - 1]);
+    let mut best = (0.0, None);
+    for (i, &y) in series.iter().enumerate() {
+        let line = y0 + (y1 - y0) * i as f64 / n;
+        let below = line - y;
+        if below > best.0 {
+            best = (below, Some(i));
+        }
+    }
+    best.1
+}
+
+/// Relative change `(to − from) / |from|`; the unit behind every
+/// "% change vs baseline" column.
+pub fn relative_change(from: f64, to: f64) -> f64 {
+    (to - from) / from.abs().max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_with_tolerance() {
+        assert!(is_monotone(&[1.0, 2.0, 3.0], Direction::Increasing, 0.0));
+        assert!(!is_monotone(&[1.0, 3.0, 2.0], Direction::Increasing, 0.0));
+        // A 0.1-of-span wiggle passes at 20% tolerance.
+        assert!(is_monotone(&[1.0, 3.0, 2.8, 4.0], Direction::Increasing, 0.2));
+        assert!(is_monotone(&[5.0, 4.0, 4.0, 1.0], Direction::Decreasing, 0.0));
+        assert!(is_monotone(&[], Direction::Increasing, 0.0));
+        assert!(is_monotone(&[7.0], Direction::Decreasing, 0.0));
+    }
+
+    #[test]
+    fn spearman_extremes() {
+        assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman(&[1.0, 2.0, 3.0], &[9.0, 5.0, 1.0]) + 1.0).abs() < 1e-12);
+        // Constant series → no ordering signal.
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let r = spearman(&[1.0, 1.0, 2.0, 3.0], &[1.0, 1.0, 2.0, 3.0]);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn spearman_length_checked() {
+        let _ = spearman(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn knee_of_an_l_curve() {
+        // Steep drop then flat: knee at the corner.
+        let series = [100.0, 40.0, 12.0, 8.0, 7.0, 6.5, 6.0];
+        let k = knee_index(&series).unwrap();
+        assert!((1..=3).contains(&k), "knee at {k}");
+        assert_eq!(knee_index(&[1.0, 2.0]), None);
+        // A straight line has no knee strictly below it.
+        assert_eq!(knee_index(&[3.0, 2.0, 1.0]), None);
+    }
+
+    #[test]
+    fn relative_change_signs() {
+        assert!((relative_change(100.0, 81.0) + 0.19).abs() < 1e-12);
+        assert!((relative_change(100.0, 110.0) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn real_tradeoff_series_shapes() {
+        // The via-count series from a real α_ILV sweep must be decreasing
+        // and anti-correlated with the wirelength series.
+        use tvp_bookshelf::synth::{generate, SynthConfig};
+        use tvp_core::{Placer, PlacerConfig};
+        let netlist = generate(&SynthConfig::named("cmp", 250, 1.25e-9)).unwrap();
+        let alphas = [5.0e-8, 2.0e-6, 8.0e-5, 1.0e-3];
+        let mut wl = Vec::new();
+        let mut ilv = Vec::new();
+        for &a in &alphas {
+            let r = Placer::new(PlacerConfig::new(4).with_alpha_ilv(a))
+                .place(&netlist)
+                .unwrap();
+            wl.push(r.metrics.wirelength);
+            ilv.push(r.metrics.ilv_count);
+        }
+        assert!(is_monotone(&ilv, Direction::Decreasing, 0.15), "{ilv:?}");
+        assert!(is_monotone(&wl, Direction::Increasing, 0.25), "{wl:?}");
+        assert!(spearman(&wl, &ilv) < 0.0, "WL and ILV must anti-correlate");
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal CSV export for experiment series.
+
+use std::fmt::Write as _;
+
+/// A rectangular table of labelled numeric series.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new(columns: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Self {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the column count.
+    pub fn push(&mut self, row: Vec<f64>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row has {} values but the table has {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serializes to RFC-4180-style CSV (header + one line per row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:.9e}")).collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+
+    /// Parses a CSV produced by [`to_csv`](Self::to_csv) back into a table
+    /// (for tests and tooling round trips).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_csv(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty csv")?;
+        let columns: Vec<String> = header.split(',').map(str::to_string).collect();
+        let mut rows = Vec::new();
+        for (no, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let row: Result<Vec<f64>, _> = line.split(',').map(str::parse::<f64>).collect();
+            let row = row.map_err(|e| format!("line {}: {e}", no + 2))?;
+            if row.len() != columns.len() {
+                return Err(format!(
+                    "line {}: {} values, expected {}",
+                    no + 2,
+                    row.len(),
+                    columns.len()
+                ));
+            }
+            rows.push(row);
+        }
+        Ok(Self { columns, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut t = Table::new(["alpha", "wl", "ilv"]);
+        t.push(vec![1.0e-5, 2.5e-2, 1067.0]);
+        t.push(vec![2.0e-5, 2.6e-2, 930.0]);
+        let text = t.to_csv();
+        assert!(text.starts_with("alpha,wl,ilv\n"));
+        let back = Table::from_csv(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back, t_rounded(&t));
+        fn t_rounded(t: &Table) -> Table {
+            // Round-trip through the same formatter for exact equality.
+            Table::from_csv(&t.to_csv()).unwrap()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn row_length_is_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.push(vec![1.0]);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err = Table::from_csv("a,b\n1.0,x\n").unwrap_err();
+        assert!(err.contains("line 2"));
+        let err = Table::from_csv("a,b\n1.0\n").unwrap_err();
+        assert!(err.contains("expected 2"));
+        assert!(Table::from_csv("").is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_csv(), "x\n");
+    }
+}

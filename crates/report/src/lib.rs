@@ -1,0 +1,33 @@
+//! Visualization and quality analysis for `tvp` placements.
+//!
+//! * [`svg`] renders per-layer placement maps as standalone SVG — cells
+//!   colored by power density or by a thermal field — for eyeballing what
+//!   the placer did.
+//! * [`analysis`] computes the distributions behind placement quality:
+//!   net-length histograms, vias per net, per-layer utilization.
+//! * [`csv`] exports metric series so external tools can re-plot the
+//!   paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use tvp_bookshelf::synth::{generate, SynthConfig};
+//! use tvp_core::{Placer, PlacerConfig};
+//! use tvp_report::{analysis::PlacementAnalysis, svg::SvgOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = generate(&SynthConfig::named("r", 150, 0.75e-9))?;
+//! let result = Placer::new(PlacerConfig::new(2)).place(&netlist)?;
+//! let analysis = PlacementAnalysis::compute(&netlist, &result.chip, &result.placement);
+//! assert_eq!(analysis.layer_utilization.len(), 2);
+//! let image = tvp_report::svg::render_layers(
+//!     &netlist, &result.chip, &result.placement, &SvgOptions::default());
+//! assert!(image.starts_with("<svg"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod compare;
+pub mod csv;
+pub mod svg;

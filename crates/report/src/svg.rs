@@ -1,0 +1,241 @@
+//! Standalone SVG rendering of placements and thermal fields.
+//!
+//! No dependencies: the renderer emits plain SVG 1.1 text. Layers are laid
+//! out side by side, heat-sink layer first; each cell is a rectangle
+//! colored by the selected [`ColorBy`] channel.
+
+use tvp_core::{Chip, Placement};
+use tvp_netlist::{CellId, Netlist};
+use tvp_thermal::TemperatureField;
+
+/// What the cell fill color encodes.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum ColorBy {
+    /// All cells one neutral color.
+    #[default]
+    Uniform,
+    /// Color by the cell's pin count (connectivity hot spots).
+    Connectivity,
+}
+
+/// Rendering options.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SvgOptions {
+    /// Pixel width of one layer pane.
+    pub pane_width: f64,
+    /// Gap between layer panes, pixels.
+    pub gap: f64,
+    /// Fill color channel.
+    pub color_by: ColorBy,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            pane_width: 320.0,
+            gap: 16.0,
+            color_by: ColorBy::Uniform,
+        }
+    }
+}
+
+/// Maps `t ∈ [0, 1]` to a blue→red heat color.
+fn heat_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    let r = (255.0 * t) as u8;
+    let b = (255.0 * (1.0 - t)) as u8;
+    let g = (96.0 * (1.0 - (2.0 * t - 1.0).abs())) as u8;
+    format!("rgb({r},{g},{b})")
+}
+
+/// Renders every layer of a placement side by side.
+pub fn render_layers(
+    netlist: &Netlist,
+    chip: &Chip,
+    placement: &Placement,
+    options: &SvgOptions,
+) -> String {
+    let scale = options.pane_width / chip.width;
+    let pane_h = chip.depth * scale;
+    let total_w =
+        chip.num_layers as f64 * (options.pane_width + options.gap) - options.gap;
+    let total_h = pane_h + 24.0;
+
+    let max_pins = netlist
+        .cells()
+        .iter()
+        .enumerate()
+        .map(|(i, _)| netlist.cell_pins(CellId::new(i)).len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+
+    let mut out = String::with_capacity(netlist.num_cells() * 64);
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{total_w:.0}\" height=\"{total_h:.0}\" \
+         viewBox=\"0 0 {total_w:.1} {total_h:.1}\">\n"
+    ));
+    for layer in 0..chip.num_layers {
+        let x0 = layer as f64 * (options.pane_width + options.gap);
+        out.push_str(&format!(
+            "<rect x=\"{x0:.1}\" y=\"0\" width=\"{:.1}\" height=\"{pane_h:.1}\" \
+             fill=\"#f8f8f8\" stroke=\"#333\"/>\n",
+            options.pane_width
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"middle\">layer {layer}\
+             {}</text>\n",
+            x0 + options.pane_width / 2.0,
+            pane_h + 16.0,
+            if layer == 0 { " (heat sink)" } else { "" }
+        ));
+    }
+    for (cell, x, y, layer) in placement.iter() {
+        let c = netlist.cell(cell);
+        let pane_x = (layer as usize).min(chip.num_layers - 1) as f64
+            * (options.pane_width + options.gap);
+        let w = (c.width() * scale).max(0.5);
+        let h = (c.height() * scale).max(0.5);
+        let px = pane_x + (x - c.width() / 2.0) * scale;
+        // SVG y grows downward; flip so row 0 is at the bottom.
+        let py = pane_h - (y + c.height() / 2.0) * scale;
+        let fill = match options.color_by {
+            ColorBy::Uniform => "#4477aa".to_string(),
+            ColorBy::Connectivity => {
+                let t = netlist.cell_pins(cell).len() as f64 / max_pins as f64;
+                heat_color(t)
+            }
+        };
+        out.push_str(&format!(
+            "<rect x=\"{px:.2}\" y=\"{py:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" \
+             fill=\"{fill}\" fill-opacity=\"0.8\"/>\n"
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a temperature field as per-layer heat maps.
+pub fn render_thermal(
+    chip: &Chip,
+    field: &TemperatureField,
+    options: &SvgOptions,
+) -> String {
+    let (nx, ny, nz) = field.dims();
+    let scale = options.pane_width / chip.width;
+    let pane_h = chip.depth * scale;
+    let total_w = nz as f64 * (options.pane_width + options.gap) - options.gap;
+    let total_h = pane_h + 24.0;
+    let t_min = field.ambient();
+    let t_max = field.max_temperature().max(t_min + 1e-9);
+
+    let cell_w = options.pane_width / nx as f64;
+    let cell_h = pane_h / ny as f64;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{total_w:.0}\" height=\"{total_h:.0}\" \
+         viewBox=\"0 0 {total_w:.1} {total_h:.1}\">\n"
+    ));
+    for layer in 0..nz {
+        let x0 = layer as f64 * (options.pane_width + options.gap);
+        for j in 0..ny {
+            for i in 0..nx {
+                let t = (field.at(i, j, layer) - t_min) / (t_max - t_min);
+                let px = x0 + i as f64 * cell_w;
+                let py = pane_h - (j + 1) as f64 * cell_h;
+                out.push_str(&format!(
+                    "<rect x=\"{px:.2}\" y=\"{py:.2}\" width=\"{cell_w:.2}\" \
+                     height=\"{cell_h:.2}\" fill=\"{}\"/>\n",
+                    heat_color(t)
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"middle\">layer \
+             {layer}: avg {:.2} C</text>\n",
+            x0 + options.pane_width / 2.0,
+            pane_h + 16.0,
+            field.layer_average(layer)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+    use tvp_core::{Placer, PlacerConfig};
+    use tvp_thermal::{PowerMap, ThermalSimulator};
+
+    fn placed() -> (tvp_netlist::Netlist, tvp_core::PlacementResult) {
+        let netlist = generate(&SynthConfig::named("s", 100, 5.0e-10)).unwrap();
+        let result = Placer::new(PlacerConfig::new(2)).place(&netlist).unwrap();
+        (netlist, result)
+    }
+
+    #[test]
+    fn layer_svg_contains_every_cell() {
+        let (netlist, result) = placed();
+        let svg = render_layers(
+            &netlist,
+            &result.chip,
+            &result.placement,
+            &SvgOptions::default(),
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // Pane frames + one rect per cell.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, netlist.num_cells() + result.chip.num_layers);
+        assert!(svg.contains("layer 0 (heat sink)"));
+        // Balanced tags.
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+    }
+
+    #[test]
+    fn connectivity_coloring_varies() {
+        let (netlist, result) = placed();
+        let options = SvgOptions {
+            color_by: ColorBy::Connectivity,
+            ..SvgOptions::default()
+        };
+        let svg = render_layers(&netlist, &result.chip, &result.placement, &options);
+        // More than one distinct rgb() color must appear.
+        let colors: std::collections::HashSet<&str> = svg
+            .split("fill=\"")
+            .skip(1)
+            .map(|s| s.split('"').next().unwrap())
+            .filter(|c| c.starts_with("rgb"))
+            .collect();
+        assert!(colors.len() > 1, "{} distinct colors", colors.len());
+    }
+
+    #[test]
+    fn thermal_svg_renders_every_bin() {
+        let (_netlist, result) = placed();
+        let sim = ThermalSimulator::new(
+            result.chip.stack,
+            result.chip.width,
+            result.chip.depth,
+            4,
+            4,
+        )
+        .unwrap();
+        let mut power = PowerMap::new(4, 4, 2);
+        power.add(1, 1, 1, 0.01);
+        let field = sim.solve(&power).unwrap();
+        let svg = render_thermal(&result.chip, &field, &SvgOptions::default());
+        assert_eq!(svg.matches("<rect").count(), 4 * 4 * 2);
+        assert!(svg.contains("avg"));
+    }
+
+    #[test]
+    fn heat_color_endpoints() {
+        assert_eq!(heat_color(0.0), "rgb(0,0,255)");
+        assert_eq!(heat_color(1.0), "rgb(255,0,0)");
+        assert_eq!(heat_color(-5.0), heat_color(0.0));
+        assert_eq!(heat_color(7.0), heat_color(1.0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Errors from thermal model construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by thermal model constructors and solvers.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ThermalError {
+    /// A geometric or material parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A power map's grid dimensions do not match the simulator's.
+    GridMismatch {
+        /// The simulator grid `(nx, ny, nz)`.
+        expected: (usize, usize, usize),
+        /// The power map grid `(nx, ny, nz)`.
+        found: (usize, usize, usize),
+    },
+    /// The iterative solver failed to reach the tolerance.
+    SolverDiverged {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Relative residual at the last iteration.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::InvalidParameter { name, value } => {
+                write!(f, "invalid thermal parameter `{name}` = {value}")
+            }
+            ThermalError::GridMismatch { expected, found } => write!(
+                f,
+                "power map grid {found:?} does not match simulator grid {expected:?}"
+            ),
+            ThermalError::SolverDiverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "conjugate gradient did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for ThermalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_parameter() {
+        let e = ThermalError::InvalidParameter {
+            name: "conductivity",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("conductivity"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<T: Error + Send + Sync>() {}
+        assert_err::<ThermalError>();
+    }
+}

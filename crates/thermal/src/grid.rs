@@ -1,0 +1,562 @@
+//! Steady-state finite-volume thermal simulation.
+//!
+//! The chip is discretized into `nx × ny` columns. Vertically there is one
+//! node layer for the bulk substrate plus one per device layer. Adjacent
+//! nodes exchange heat through conduction conductances `G = k·A/d`; the
+//! substrate couples to ambient through the series of half its own
+//! conduction and the heat-sink convective film, and the remaining faces
+//! carry a weak natural-convection film. The resulting conductance matrix
+//! is symmetric positive definite, and `G·ΔT = P` is solved with
+//! Jacobi-preconditioned conjugate gradients.
+
+use crate::{LayerStack, PowerMap, ThermalError};
+
+/// Steady-state temperature solution over the simulation grid.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TemperatureField {
+    nx: usize,
+    ny: usize,
+    /// Device layers only (substrate excluded).
+    nz: usize,
+    ambient: f64,
+    /// Absolute temperatures of device-layer nodes, °C,
+    /// `(k, j, i)` row-major.
+    values: Vec<f64>,
+}
+
+impl TemperatureField {
+    /// Grid dimensions `(nx, ny, num_device_layers)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// The ambient temperature the rise is measured against, °C.
+    pub fn ambient(&self) -> f64 {
+        self.ambient
+    }
+
+    /// Temperature of device-layer node `(i, j, layer)`, °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn at(&self, i: usize, j: usize, layer: usize) -> f64 {
+        assert!(i < self.nx && j < self.ny && layer < self.nz);
+        self.values[(layer * self.ny + j) * self.nx + i]
+    }
+
+    /// Mean temperature over all device-layer nodes, °C.
+    pub fn average_temperature(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Maximum device-layer node temperature, °C.
+    pub fn max_temperature(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean temperature of one device layer, °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_average(&self, layer: usize) -> f64 {
+        assert!(layer < self.nz);
+        let n = self.nx * self.ny;
+        self.values[layer * n..(layer + 1) * n].iter().sum::<f64>() / n as f64
+    }
+
+    /// Samples the field at a physical position (clamped to the chip).
+    pub fn sample(&self, x: f64, y: f64, layer: usize, width: f64, depth: f64) -> f64 {
+        let i = ((x / width * self.nx as f64).floor() as isize).clamp(0, self.nx as isize - 1);
+        let j = ((y / depth * self.ny as f64).floor() as isize).clamp(0, self.ny as isize - 1);
+        self.at(i as usize, j as usize, layer.min(self.nz - 1))
+    }
+}
+
+/// Finite-volume steady-state simulator for one chip geometry.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ThermalSimulator {
+    stack: LayerStack,
+    width: f64,
+    depth: f64,
+    nx: usize,
+    ny: usize,
+    /// Total node layers = device layers + 1 (substrate at k = 0).
+    nz_total: usize,
+    /// Conductances, precomputed per direction (uniform grid):
+    /// lateral x/y per node layer, vertical between node layers, and
+    /// boundary films.
+    gx: Vec<f64>,
+    gy: Vec<f64>,
+    /// `gz[k]` couples node layer `k` to `k + 1`.
+    gz: Vec<f64>,
+    /// Grounding conductance to ambient per node layer (bottom film on the
+    /// substrate layer, weak top film on the topmost layer).
+    gamb: Vec<f64>,
+    /// Weak side films per node layer (applied on boundary columns).
+    gside: Vec<f64>,
+}
+
+impl ThermalSimulator {
+    /// Creates a simulator for a `width × depth` chip with the given stack,
+    /// discretized into `nx × ny` columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for a non-positive
+    /// footprint, grid, or stack parameter.
+    pub fn new(
+        stack: LayerStack,
+        width: f64,
+        depth: f64,
+        nx: usize,
+        ny: usize,
+    ) -> crate::Result<Self> {
+        stack.validate()?;
+        for (name, value) in [
+            ("chip width", width),
+            ("chip depth", depth),
+            ("nx", nx as f64),
+            ("ny", ny as f64),
+        ] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ThermalError::InvalidParameter { name, value });
+            }
+        }
+        let nz_total = stack.num_layers + 1;
+        let dx = width / nx as f64;
+        let dy = depth / ny as f64;
+        let k = stack.conductivity;
+        let area_xy = dx * dy;
+
+        // Node-layer thicknesses and conductivities: the bulk substrate
+        // node (k = 0) conducts at silicon conductivity; device layers use
+        // the stack's effective conductivity.
+        let k_sub = stack.substrate_conductivity;
+        let mut tz = Vec::with_capacity(nz_total);
+        let mut kz = Vec::with_capacity(nz_total);
+        tz.push(stack.substrate_thickness);
+        kz.push(k_sub);
+        for _ in 0..stack.num_layers {
+            tz.push(stack.layer_thickness);
+            kz.push(k);
+        }
+
+        let gx: Vec<f64> = tz
+            .iter()
+            .zip(&kz)
+            .map(|(&t, &kl)| kl * (dy * t) / dx)
+            .collect();
+        let gy: Vec<f64> = tz
+            .iter()
+            .zip(&kz)
+            .map(|(&t, &kl)| kl * (dx * t) / dy)
+            .collect();
+        let mut gz = Vec::with_capacity(nz_total - 1);
+        for kk in 0..nz_total - 1 {
+            // Series of: half of layer kk at its conductivity, the bonding
+            // dielectric (counted at stack conductivity), half of kk + 1.
+            let r = tz[kk] / (2.0 * kz[kk])
+                + stack.interlayer_thickness / k
+                + tz[kk + 1] / (2.0 * kz[kk + 1]);
+            gz.push(area_xy / r);
+        }
+
+        let h_sink = stack.heat_sink.convection_coefficient;
+        let h_side = stack.side_convection_coefficient;
+        let mut gamb = vec![0.0; nz_total];
+        // Bottom: half the substrate conduction in series with the sink film.
+        gamb[0] = area_xy / (tz[0] / 2.0 / k_sub + 1.0 / h_sink);
+        // Top: half the top layer in series with the weak film.
+        gamb[nz_total - 1] += area_xy / (tz[nz_total - 1] / 2.0 / k + 1.0 / h_side);
+        // Side films per layer, applied along boundary columns.
+        let gside: Vec<f64> = tz
+            .iter()
+            .map(|&t| {
+                // Use the mean of the two side areas; the film dominates.
+                let area = t * (dx + dy) / 2.0;
+                area / (1.0 / h_side)
+            })
+            .collect();
+
+        Ok(Self {
+            stack,
+            width,
+            depth,
+            nx,
+            ny,
+            nz_total,
+            gx,
+            gy,
+            gz,
+            gamb,
+            gside,
+        })
+    }
+
+    /// The layer stack being simulated.
+    pub fn stack(&self) -> &LayerStack {
+        &self.stack
+    }
+
+    /// Chip footprint `(width, depth)`, meters.
+    pub fn footprint(&self) -> (f64, f64) {
+        (self.width, self.depth)
+    }
+
+    /// Grid dimensions the power map must match: `(nx, ny, num_layers)`.
+    pub fn grid_dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.stack.num_layers)
+    }
+
+    #[inline]
+    fn node(&self, i: usize, j: usize, k: usize) -> usize {
+        (k * self.ny + j) * self.nx + i
+    }
+
+    /// Applies the conductance matrix: `out = G · t`.
+    fn apply(&self, t: &[f64], out: &mut [f64]) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz_total);
+        out.fill(0.0);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let n = self.node(i, j, k);
+                    let tn = t[n];
+                    let mut diag = self.gamb[k];
+                    let mut acc = 0.0;
+                    if i + 1 < nx {
+                        let m = n + 1;
+                        diag += self.gx[k];
+                        acc += self.gx[k] * t[m];
+                    } else {
+                        diag += self.gside[k];
+                    }
+                    if i > 0 {
+                        let m = n - 1;
+                        diag += self.gx[k];
+                        acc += self.gx[k] * t[m];
+                    } else {
+                        diag += self.gside[k];
+                    }
+                    if j + 1 < ny {
+                        let m = n + nx;
+                        diag += self.gy[k];
+                        acc += self.gy[k] * t[m];
+                    } else {
+                        diag += self.gside[k];
+                    }
+                    if j > 0 {
+                        let m = n - nx;
+                        diag += self.gy[k];
+                        acc += self.gy[k] * t[m];
+                    } else {
+                        diag += self.gside[k];
+                    }
+                    if k + 1 < nz {
+                        let m = n + nx * ny;
+                        diag += self.gz[k];
+                        acc += self.gz[k] * t[m];
+                    }
+                    if k > 0 {
+                        let m = n - nx * ny;
+                        diag += self.gz[k - 1];
+                        acc += self.gz[k - 1] * t[m];
+                    }
+                    out[n] = diag * tn - acc;
+                }
+            }
+        }
+    }
+
+    /// Diagonal of the conductance matrix (for Jacobi preconditioning).
+    fn diagonal(&self) -> Vec<f64> {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz_total);
+        let mut diag = vec![0.0; nx * ny * nz];
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let n = self.node(i, j, k);
+                    let mut d = self.gamb[k];
+                    d += if i + 1 < nx { self.gx[k] } else { self.gside[k] };
+                    d += if i > 0 { self.gx[k] } else { self.gside[k] };
+                    d += if j + 1 < ny { self.gy[k] } else { self.gside[k] };
+                    d += if j > 0 { self.gy[k] } else { self.gside[k] };
+                    if k + 1 < nz {
+                        d += self.gz[k];
+                    }
+                    if k > 0 {
+                        d += self.gz[k - 1];
+                    }
+                    diag[n] = d;
+                }
+            }
+        }
+        diag
+    }
+
+    /// Solves for the steady-state temperature field produced by `power`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::GridMismatch`] if the power map grid differs
+    /// from [`grid_dims`](Self::grid_dims), or
+    /// [`ThermalError::SolverDiverged`] if CG fails to converge (which for
+    /// an SPD conductance matrix indicates pathological parameters).
+    pub fn solve(&self, power: &PowerMap) -> crate::Result<TemperatureField> {
+        if power.dims() != self.grid_dims() {
+            return Err(ThermalError::GridMismatch {
+                expected: self.grid_dims(),
+                found: power.dims(),
+            });
+        }
+        let n = self.nx * self.ny * self.nz_total;
+        // Right-hand side: device layer l feeds node layer l + 1.
+        let mut rhs = vec![0.0; n];
+        let dev_nodes = self.nx * self.ny;
+        rhs[dev_nodes..].copy_from_slice(power.values());
+
+        let t_rise = self.conjugate_gradient(&rhs)?;
+        let ambient = self.stack.heat_sink.ambient;
+        let values: Vec<f64> = t_rise[dev_nodes..].iter().map(|dt| ambient + dt).collect();
+        Ok(TemperatureField {
+            nx: self.nx,
+            ny: self.ny,
+            nz: self.stack.num_layers,
+            ambient,
+            values,
+        })
+    }
+
+    /// Jacobi-preconditioned CG on `G·x = b`.
+    fn conjugate_gradient(&self, b: &[f64]) -> crate::Result<Vec<f64>> {
+        let n = b.len();
+        let diag = self.diagonal();
+        let inv_diag: Vec<f64> = diag.iter().map(|&d| 1.0 / d).collect();
+
+        let mut x = vec![0.0; n];
+        let mut r = b.to_vec();
+        let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = dot(&r, &z);
+        let b_norm = dot(b, b).sqrt();
+        if b_norm == 0.0 {
+            return Ok(x);
+        }
+        let tol = 1.0e-10 * b_norm;
+        let max_iter = 20 * n + 200;
+        let mut ap = vec![0.0; n];
+
+        for _ in 0..max_iter {
+            self.apply(&p, &mut ap);
+            let pap = dot(&p, &ap);
+            let alpha = rz / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            let r_norm = dot(&r, &r).sqrt();
+            if r_norm <= tol {
+                return Ok(x);
+            }
+            for i in 0..n {
+                z[i] = r[i] * inv_diag[i];
+            }
+            let rz_new = dot(&r, &z);
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        let residual = dot(&r, &r).sqrt() / b_norm;
+        // Accept near-converged solutions; flag genuine divergence.
+        if residual < 1.0e-6 {
+            Ok(x)
+        } else {
+            Err(ThermalError::SolverDiverged {
+                iterations: max_iter,
+                residual,
+            })
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simulator(layers: usize, nx: usize, ny: usize) -> ThermalSimulator {
+        ThermalSimulator::new(LayerStack::mitll_0_18um(layers), 1.0e-3, 1.0e-3, nx, ny).unwrap()
+    }
+
+    /// Single-column sanity check against the series-resistance analytic
+    /// solution: one device layer, 1×1 grid, all heat exits the sink path.
+    #[test]
+    fn single_column_matches_analytic_resistance() {
+        let mut stack = LayerStack::mitll_0_18um(1);
+        // Make the non-sink films negligible so the analytic path is exact.
+        stack.side_convection_coefficient = 1.0e-9;
+        let sim = ThermalSimulator::new(stack, 1.0e-3, 1.0e-3, 1, 1).unwrap();
+        let mut power = PowerMap::new(1, 1, 1);
+        power.add(0, 0, 0, 0.5);
+        let field = sim.solve(&power).unwrap();
+
+        let area = 1.0e-6; // 1 mm × 1 mm
+        let k = stack.conductivity;
+        let k_sub = stack.substrate_conductivity;
+        // Node-center to ambient: layer0 half + bond at stack conductivity,
+        // then the full substrate (half to its center, half below) at
+        // silicon conductivity, then the sink film.
+        let r = (stack.layer_thickness / 2.0 + stack.interlayer_thickness) / (k * area)
+            + stack.substrate_thickness / (k_sub * area)
+            + 1.0 / (stack.heat_sink.convection_coefficient * area);
+        let expected = 0.5 * r;
+        let got = field.at(0, 0, 0) - field.ambient();
+        assert!(
+            (got - expected).abs() < 1e-6 * expected.max(1.0),
+            "ΔT = {got}, analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn upper_layers_run_hotter() {
+        let sim = simulator(4, 4, 4);
+        let mut power = PowerMap::new(4, 4, 4);
+        // Same uniform power on every layer.
+        for k in 0..4 {
+            for j in 0..4 {
+                for i in 0..4 {
+                    power.add(i, j, k, 1.0e-3);
+                }
+            }
+        }
+        let field = sim.solve(&power).unwrap();
+        for l in 0..3 {
+            assert!(
+                field.layer_average(l + 1) > field.layer_average(l),
+                "layer {} ({}) should be cooler than layer {} ({})",
+                l,
+                field.layer_average(l),
+                l + 1,
+                field.layer_average(l + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_input_gives_symmetric_field() {
+        let sim = simulator(2, 6, 6);
+        let mut power = PowerMap::new(6, 6, 2);
+        power.add(2, 2, 1, 0.01);
+        power.add(3, 3, 1, 0.01);
+        power.add(2, 3, 1, 0.01);
+        power.add(3, 2, 1, 0.01);
+        let field = sim.solve(&power).unwrap();
+        for l in 0..2 {
+            for j in 0..6 {
+                for i in 0..6 {
+                    let a = field.at(i, j, l);
+                    let b = field.at(5 - i, 5 - j, l);
+                    assert!((a - b).abs() < 1e-9, "field must be 180° symmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn superposition_holds() {
+        // The system is linear: solve(p1 + p2) == solve(p1) + solve(p2) - ambient.
+        let sim = simulator(2, 4, 4);
+        let mut p1 = PowerMap::new(4, 4, 2);
+        p1.add(0, 0, 0, 0.02);
+        let mut p2 = PowerMap::new(4, 4, 2);
+        p2.add(3, 3, 1, 0.05);
+        let mut p12 = PowerMap::new(4, 4, 2);
+        p12.add(0, 0, 0, 0.02);
+        p12.add(3, 3, 1, 0.05);
+        let f1 = sim.solve(&p1).unwrap();
+        let f2 = sim.solve(&p2).unwrap();
+        let f12 = sim.solve(&p12).unwrap();
+        for l in 0..2 {
+            for j in 0..4 {
+                for i in 0..4 {
+                    let lhs = f12.at(i, j, l) - f12.ambient();
+                    let rhs = (f1.at(i, j, l) - f1.ambient()) + (f2.at(i, j, l) - f2.ambient());
+                    assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_near_sink_is_cooler_than_power_far_from_sink() {
+        let sim = simulator(4, 4, 4);
+        let mut low = PowerMap::new(4, 4, 4);
+        low.add(1, 1, 0, 0.05);
+        let mut high = PowerMap::new(4, 4, 4);
+        high.add(1, 1, 3, 0.05);
+        let t_low = sim.solve(&low).unwrap().max_temperature();
+        let t_high = sim.solve(&high).unwrap().max_temperature();
+        assert!(
+            t_high > t_low,
+            "power on the top layer ({t_high}) must run hotter than near the sink ({t_low})"
+        );
+    }
+
+    #[test]
+    fn zero_power_is_ambient() {
+        let sim = simulator(2, 3, 3);
+        let field = sim.solve(&PowerMap::new(3, 3, 2)).unwrap();
+        assert!((field.average_temperature() - field.ambient()).abs() < 1e-12);
+        assert!((field.max_temperature() - field.ambient()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_mismatch_is_reported() {
+        let sim = simulator(2, 4, 4);
+        let power = PowerMap::new(3, 4, 2);
+        assert!(matches!(
+            sim.solve(&power),
+            Err(ThermalError::GridMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sample_reads_the_right_bin() {
+        let sim = simulator(1, 4, 4);
+        let mut power = PowerMap::new(4, 4, 1);
+        power.add(3, 0, 0, 0.1);
+        let field = sim.solve(&power).unwrap();
+        let sampled = field.sample(0.9e-3, 0.1e-3, 0, 1.0e-3, 1.0e-3);
+        assert_eq!(sampled, field.at(3, 0, 0));
+    }
+
+    #[test]
+    fn more_layers_same_total_power_runs_hotter() {
+        // Stacking the same total power higher raises mean temperature —
+        // the core 3D-IC thermal problem the paper motivates.
+        let total = 0.2;
+        let mut temps = Vec::new();
+        for layers in [1usize, 2, 4] {
+            let sim = simulator(layers, 4, 4);
+            let mut power = PowerMap::new(4, 4, layers);
+            let per_bin = total / (16.0 * layers as f64);
+            for k in 0..layers {
+                for j in 0..4 {
+                    for i in 0..4 {
+                        power.add(i, j, k, per_bin);
+                    }
+                }
+            }
+            temps.push(sim.solve(&power).unwrap().average_temperature());
+        }
+        assert!(temps[1] > temps[0]);
+        assert!(temps[2] > temps[1]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Binned power density input for the thermal simulator.
+
+/// A 3D grid of power values (watts): `nx × ny` bins per device layer,
+/// `nz` device layers. Bin `(0, 0, 0)` is the chip corner at the origin on
+/// the layer closest to the heat sink.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PowerMap {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    values: Vec<f64>,
+}
+
+impl PowerMap {
+    /// Creates an all-zero power map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "power map dimensions must be positive");
+        Self {
+            nx,
+            ny,
+            nz,
+            values: vec![0.0; nx * ny * nz],
+        }
+    }
+
+    /// Grid dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        (k * self.ny + j) * self.nx + i
+    }
+
+    /// Power in bin `(i, j, k)`, watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.values[self.index(i, j, k)]
+    }
+
+    /// Adds `watts` to bin `(i, j, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn add(&mut self, i: usize, j: usize, k: usize, watts: f64) {
+        let idx = self.index(i, j, k);
+        self.values[idx] += watts;
+    }
+
+    /// Deposits `watts` at physical position `(x, y)` on device layer
+    /// `layer`, for a chip footprint of `width × depth` meters. Positions
+    /// outside the footprint clamp to the boundary bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= nz`.
+    pub fn deposit(&mut self, x: f64, y: f64, layer: usize, watts: f64, width: f64, depth: f64) {
+        let i = ((x / width * self.nx as f64).floor() as isize).clamp(0, self.nx as isize - 1);
+        let j = ((y / depth * self.ny as f64).floor() as isize).clamp(0, self.ny as isize - 1);
+        self.add(i as usize, j as usize, layer, watts);
+    }
+
+    /// Total power in the map, watts.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Raw values in `(k, j, i)` row-major order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposits_into_correct_bin() {
+        let mut p = PowerMap::new(4, 4, 2);
+        p.deposit(0.9, 0.1, 1, 2.0, 1.0, 1.0);
+        assert_eq!(p.get(3, 0, 1), 2.0);
+        assert_eq!(p.total(), 2.0);
+    }
+
+    #[test]
+    fn clamps_out_of_range_positions() {
+        let mut p = PowerMap::new(4, 4, 1);
+        p.deposit(-1.0, 5.0, 0, 1.0, 1.0, 1.0);
+        assert_eq!(p.get(0, 3, 0), 1.0);
+        p.deposit(1.0, 1.0, 0, 1.0, 1.0, 1.0); // exactly on the far edge
+        assert_eq!(p.get(3, 3, 0), 1.0);
+    }
+
+    #[test]
+    fn accumulates() {
+        let mut p = PowerMap::new(2, 2, 1);
+        p.add(1, 1, 0, 0.5);
+        p.add(1, 1, 0, 0.25);
+        assert_eq!(p.get(1, 1, 0), 0.75);
+        assert_eq!(p.total(), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_rejected() {
+        let _ = PowerMap::new(0, 4, 1);
+    }
+}

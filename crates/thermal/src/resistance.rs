@@ -1,0 +1,239 @@
+//! Straight-path thermal resistance model (paper §2 and §3.2).
+//!
+//! `R_j^cell` — the resistance from a cell to ambient — is approximated by
+//! assuming heat leaves the cell along six straight columns (±x, ±y, ±z),
+//! each with cross-section equal to the cell footprint, through the stack's
+//! effective conductivity, ending in a convective film at the respective
+//! chip face. The six paths combine in parallel. The bottom (−z) path ends
+//! at the heat sink and dominates.
+
+use crate::{LayerStack, ThermalError};
+
+/// Linearized vertical resistance profile `R(z) ≈ R0 + slope · d_z`
+/// (paper §3.2), where `d_z` is the cell's height above the bottom of the
+/// chip.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct VerticalProfile {
+    /// Resistance at the bottom of the chip, K/W.
+    pub r0: f64,
+    /// Resistance increase per meter of height, K/(W·m).
+    pub slope: f64,
+}
+
+impl VerticalProfile {
+    /// Resistance at height `z` above the bottom face, K/W.
+    pub fn at(&self, z: f64) -> f64 {
+        self.r0 + self.slope * z
+    }
+}
+
+/// Straight-path resistance calculator for a specific chip.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ResistanceModel {
+    stack: LayerStack,
+    /// Chip footprint width (x extent), meters.
+    width: f64,
+    /// Chip footprint height (y extent), meters.
+    depth: f64,
+}
+
+impl ResistanceModel {
+    /// Creates a model for a chip with the given stack and footprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] if the stack or footprint
+    /// is invalid.
+    pub fn new(stack: LayerStack, width: f64, depth: f64) -> crate::Result<Self> {
+        stack.validate()?;
+        for (name, value) in [("chip width", width), ("chip depth", depth)] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ThermalError::InvalidParameter { name, value });
+            }
+        }
+        Ok(Self {
+            stack,
+            width,
+            depth,
+        })
+    }
+
+    /// The layer stack this model was built for.
+    pub fn stack(&self) -> &LayerStack {
+        &self.stack
+    }
+
+    /// Thermal resistance to ambient for a cell of footprint `cell_area`
+    /// at position `(x, y)` on device layer `layer`, K/W.
+    ///
+    /// All six straight paths are combined in parallel; each is
+    /// `L/(kA) + 1/(hA)` with `A = cell_area`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range for the stack.
+    pub fn cell_resistance(&self, x: f64, y: f64, layer: usize, cell_area: f64) -> f64 {
+        let k = self.stack.conductivity;
+        let h_side = self.stack.side_convection_coefficient;
+        let z = self.stack.layer_center_z(layer);
+        let a = cell_area.max(f64::MIN_POSITIVE);
+
+        let path = |length: f64, h: f64| -> f64 { length / (k * a) + 1.0 / (h * a) };
+
+        let paths = [
+            self.downward_resistance(layer, cell_area),  // -z: heat sink
+            path(self.stack.total_height() - z, h_side), // +z: top face
+            path(x.max(0.0), h_side),                    // -x
+            path((self.width - x).max(0.0), h_side),     // +x
+            path(y.max(0.0), h_side),                    // -y
+            path((self.depth - y).max(0.0), h_side),     // +y
+        ];
+        let conductance: f64 = paths.iter().map(|r| 1.0 / r).sum();
+        1.0 / conductance
+    }
+
+    /// Resistance of the dominant downward path only, K/W — the quantity
+    /// the thermal-resistance-reduction nets linearize. The path crosses
+    /// the low-conductivity device stack below the cell, then the bulk
+    /// substrate, then the convective sink film.
+    pub fn downward_resistance(&self, layer: usize, cell_area: f64) -> f64 {
+        let z = self.stack.layer_center_z(layer);
+        let a = cell_area.max(f64::MIN_POSITIVE);
+        let through_stack = z - self.stack.substrate_thickness;
+        through_stack / (self.stack.conductivity * a)
+            + self.stack.substrate_thickness / (self.stack.substrate_conductivity * a)
+            + 1.0 / (self.stack.heat_sink.convection_coefficient * a)
+    }
+
+    /// Fits the §3.2 linear profile `R0_z + Rz_slope · d_z` for a typical
+    /// cell of area `cell_area`, evaluated at the chip center.
+    ///
+    /// With one device layer the slope falls back to the conduction slope
+    /// `1/(kA)` of the downward path.
+    pub fn vertical_profile(&self, cell_area: f64) -> VerticalProfile {
+        let cx = self.width / 2.0;
+        let cy = self.depth / 2.0;
+        let n = self.stack.num_layers;
+        let z0 = self.stack.layer_center_z(0);
+        let r_bottom = self.cell_resistance(cx, cy, 0, cell_area);
+        if n == 1 {
+            return VerticalProfile {
+                r0: r_bottom,
+                slope: 1.0 / (self.stack.conductivity * cell_area.max(f64::MIN_POSITIVE)),
+            };
+        }
+        let z1 = self.stack.layer_center_z(n - 1);
+        let r_top = self.cell_resistance(cx, cy, n - 1, cell_area);
+        let slope = (r_top - r_bottom) / (z1 - z0);
+        VerticalProfile {
+            r0: r_bottom - slope * z0,
+            slope,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(layers: usize) -> ResistanceModel {
+        ResistanceModel::new(LayerStack::mitll_0_18um(layers), 1.0e-3, 1.0e-3).unwrap()
+    }
+
+    #[test]
+    fn resistance_grows_with_layer() {
+        let m = model(4);
+        let a = 25.0e-12; // 5 µm × 5 µm cell
+        let r: Vec<f64> = (0..4)
+            .map(|l| m.cell_resistance(0.5e-3, 0.5e-3, l, a))
+            .collect();
+        for w in r.windows(2) {
+            assert!(w[1] > w[0], "resistance must increase away from sink: {r:?}");
+        }
+    }
+
+    #[test]
+    fn resistance_scales_inversely_with_area() {
+        let m = model(2);
+        let r1 = m.cell_resistance(0.5e-3, 0.5e-3, 0, 1.0e-12);
+        let r2 = m.cell_resistance(0.5e-3, 0.5e-3, 0, 2.0e-12);
+        assert!((r1 / r2 - 2.0).abs() < 1e-9, "R ∝ 1/A");
+    }
+
+    #[test]
+    fn downward_path_dominates() {
+        let m = model(4);
+        let a = 25.0e-12;
+        let full = m.cell_resistance(0.5e-3, 0.5e-3, 0, a);
+        let down = m.downward_resistance(0, a);
+        // Parallel combination is below the downward path but within ~50%:
+        // the sink path carries almost all heat.
+        assert!(full < down);
+        assert!(full > 0.4 * down, "full={full}, down={down}");
+    }
+
+    #[test]
+    fn downward_matches_hand_computation() {
+        let m = model(1);
+        let a = 1.0e-10;
+        let stack = m.stack();
+        let through_stack = stack.layer_center_z(0) - stack.substrate_thickness;
+        let expected = through_stack / (10.2 * a) + 500.0e-6 / (150.0 * a) + 1.0 / (1.0e6 * a);
+        assert!((m.downward_resistance(0, a) - expected).abs() < 1e-9 * expected);
+    }
+
+    #[test]
+    fn layer_position_changes_resistance_substantially() {
+        // The device stack's low conductivity must make the per-layer
+        // resistance step meaningful — the mechanism behind the paper's
+        // thermal placement gains.
+        let m = model(4);
+        let a = 5.0e-12;
+        let r0 = m.downward_resistance(0, a);
+        let r3 = m.downward_resistance(3, a);
+        assert!(
+            (r3 - r0) / r0 > 0.2,
+            "top layer R ({r3}) must exceed bottom ({r0}) by >20%"
+        );
+    }
+
+    #[test]
+    fn vertical_profile_interpolates_layers() {
+        let m = model(4);
+        let a = 25.0e-12;
+        let p = m.vertical_profile(a);
+        assert!(p.slope > 0.0);
+        for layer in 0..4 {
+            let z = m.stack().layer_center_z(layer);
+            let direct = m.cell_resistance(0.5e-3, 0.5e-3, layer, a);
+            let fitted = p.at(z);
+            let err = (direct - fitted).abs() / direct;
+            assert!(err < 0.05, "layer {layer}: direct {direct}, fit {fitted}");
+        }
+    }
+
+    #[test]
+    fn single_layer_profile_has_conduction_slope() {
+        let m = model(1);
+        let a = 25.0e-12;
+        let p = m.vertical_profile(a);
+        let expected = 1.0 / (10.2 * a);
+        assert!((p.slope - expected).abs() < 1e-9 * expected);
+    }
+
+    #[test]
+    fn rejects_bad_footprint() {
+        let err = ResistanceModel::new(LayerStack::mitll_0_18um(2), 0.0, 1.0).unwrap_err();
+        assert!(err.to_string().contains("chip width"));
+    }
+
+    #[test]
+    fn center_cooler_than_corner_is_false_for_sink_dominated() {
+        // With a strong bottom sink, lateral position barely matters.
+        let m = model(2);
+        let a = 25.0e-12;
+        let center = m.cell_resistance(0.5e-3, 0.5e-3, 0, a);
+        let corner = m.cell_resistance(1.0e-5, 1.0e-5, 0, a);
+        assert!((center - corner).abs() / center < 0.05);
+    }
+}

@@ -1,0 +1,164 @@
+//! The 3D-IC layer stack and heat-sink boundary description.
+
+use crate::ThermalError;
+
+/// Convective heat-sink boundary at the bottom face of the chip.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct HeatSink {
+    /// Convection coefficient, W/(m²·K). Table 2 uses 10⁶ (a forced-air
+    /// sink attached through the package).
+    pub convection_coefficient: f64,
+    /// Ambient temperature, °C. Table 2 measures temperature rise above
+    /// 0 °C ambient.
+    pub ambient: f64,
+}
+
+impl Default for HeatSink {
+    fn default() -> Self {
+        Self {
+            convection_coefficient: 1.0e6,
+            ambient: 0.0,
+        }
+    }
+}
+
+/// Vertical build-up of a 3D IC: a bulk substrate at the bottom (heat-sink
+/// side) carrying `num_layers` active device layers separated by bonding
+/// dielectric. Device layer 0 is the closest to the heat sink.
+///
+/// Defaults follow Table 2 of the paper, which derives them from the
+/// MIT Lincoln Labs 0.18 µm 3D FD-SOI process.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LayerStack {
+    /// Number of active device layers (Table 2: 4).
+    pub num_layers: usize,
+    /// Thickness of each device layer, meters (Table 2: 5.7 µm).
+    pub layer_thickness: f64,
+    /// Thickness of the bonding dielectric between device layers, meters
+    /// (Table 2: 0.7 µm).
+    pub interlayer_thickness: f64,
+    /// Bulk substrate thickness below layer 0, meters (Table 2: 500 µm).
+    pub substrate_thickness: f64,
+    /// Effective thermal conductivity of the *device stack* (thinned
+    /// silicon layers plus bonding dielectric), W/(m·K) (Table 2: 10.2).
+    /// The low value — dominated by the oxide bonds — is what makes the
+    /// vertical position of power significant in 3D ICs.
+    pub conductivity: f64,
+    /// Thermal conductivity of the bulk silicon substrate, W/(m·K)
+    /// (≈ 150 for silicon). The substrate conducts and spreads heat far
+    /// better than the bonded stack above it.
+    pub substrate_conductivity: f64,
+    /// Convection coefficient of the weak films on the non-sink faces,
+    /// W/(m²·K). Natural convection, ≈ 10; the sink dominates.
+    pub side_convection_coefficient: f64,
+    /// The heat sink at the bottom face.
+    pub heat_sink: HeatSink,
+}
+
+impl LayerStack {
+    /// Creates the Table 2 stack with the given number of device layers.
+    pub fn mitll_0_18um(num_layers: usize) -> Self {
+        Self {
+            num_layers,
+            layer_thickness: 5.7e-6,
+            interlayer_thickness: 0.7e-6,
+            substrate_thickness: 500.0e-6,
+            conductivity: 10.2,
+            substrate_conductivity: 150.0,
+            side_convection_coefficient: 10.0,
+            heat_sink: HeatSink::default(),
+        }
+    }
+
+    /// Validates all geometric and material parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] naming the first
+    /// non-positive or non-finite parameter.
+    pub fn validate(&self) -> crate::Result<()> {
+        let checks: [(&'static str, f64); 7] = [
+            ("num_layers", self.num_layers as f64),
+            ("layer_thickness", self.layer_thickness),
+            ("interlayer_thickness", self.interlayer_thickness),
+            ("substrate_thickness", self.substrate_thickness),
+            ("conductivity", self.conductivity),
+            ("substrate_conductivity", self.substrate_conductivity),
+            (
+                "convection_coefficient",
+                self.heat_sink.convection_coefficient,
+            ),
+        ];
+        for (name, value) in checks {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ThermalError::InvalidParameter { name, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Vertical pitch between consecutive device layers, meters.
+    pub fn layer_pitch(&self) -> f64 {
+        self.layer_thickness + self.interlayer_thickness
+    }
+
+    /// Height of the center of device layer `layer` above the bottom
+    /// (heat-sink) face of the chip, meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= num_layers`.
+    pub fn layer_center_z(&self, layer: usize) -> f64 {
+        assert!(layer < self.num_layers, "layer {layer} out of range");
+        self.substrate_thickness + layer as f64 * self.layer_pitch() + self.layer_thickness / 2.0
+    }
+
+    /// Total chip height from the heat-sink face to the top face, meters.
+    pub fn total_height(&self) -> f64 {
+        self.substrate_thickness + self.num_layers as f64 * self.layer_pitch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let s = LayerStack::mitll_0_18um(4);
+        assert_eq!(s.num_layers, 4);
+        assert!((s.layer_thickness - 5.7e-6).abs() < 1e-12);
+        assert!((s.conductivity - 10.2).abs() < 1e-12);
+        assert!((s.heat_sink.convection_coefficient - 1.0e6).abs() < 1e-6);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn layer_geometry() {
+        let s = LayerStack::mitll_0_18um(4);
+        let pitch = 6.4e-6;
+        assert!((s.layer_pitch() - pitch).abs() < 1e-12);
+        assert!((s.layer_center_z(0) - (500.0e-6 + 2.85e-6)).abs() < 1e-12);
+        assert!((s.layer_center_z(1) - s.layer_center_z(0) - pitch).abs() < 1e-12);
+        assert!((s.total_height() - (500.0e-6 + 4.0 * pitch)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut s = LayerStack::mitll_0_18um(4);
+        s.conductivity = 0.0;
+        let err = s.validate().unwrap_err();
+        assert!(err.to_string().contains("conductivity"));
+        let mut s = LayerStack::mitll_0_18um(0);
+        assert!(s.validate().is_err());
+        s.num_layers = 2;
+        s.layer_thickness = f64::NAN;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn layer_z_bounds_checked() {
+        LayerStack::mitll_0_18um(2).layer_center_z(2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Cross-validation between the two thermal fidelities: the O(1)
+//! straight-path resistance model the placer optimizes against, and the
+//! finite-volume simulator that scores the final placement. The paper's
+//! premise is that the cheap model is a usable proxy for the expensive
+//! one; these tests pin down in what sense that holds here.
+
+use tvp_thermal::{LayerStack, PowerMap, ResistanceModel, ThermalSimulator};
+
+/// Straight-path ΔT must upper-bound the simulated ΔT (the simulator
+/// spreads heat laterally, which the single-column model cannot), while
+/// staying within a sane factor — otherwise it would be useless as a
+/// proxy.
+#[test]
+fn straight_path_upper_bounds_simulation_within_reason() {
+    let stack = LayerStack::mitll_0_18um(4);
+    let (width, depth) = (1.0e-3, 1.0e-3);
+    let (nx, ny) = (16usize, 16usize);
+    let sim = ThermalSimulator::new(stack, width, depth, nx, ny).unwrap();
+    let model = ResistanceModel::new(stack, width, depth).unwrap();
+    let bin_area = (width / nx as f64) * (depth / ny as f64);
+    let p = 0.01;
+
+    for layer in 0..4 {
+        let mut power = PowerMap::new(nx, ny, 4);
+        power.add(8, 8, layer, p);
+        let field = sim.solve(&power).unwrap();
+        let simulated = field.at(8, 8, layer) - field.ambient();
+        let predicted = p * model.cell_resistance(width / 2.0, depth / 2.0, layer, bin_area);
+        assert!(
+            predicted >= simulated * 0.99,
+            "layer {layer}: straight-path {predicted} should bound simulated {simulated}"
+        );
+        assert!(
+            predicted <= simulated * 50.0,
+            "layer {layer}: proxy uselessly loose ({predicted} vs {simulated})"
+        );
+    }
+}
+
+/// The models must agree on *ordering*: if the resistance model says
+/// position A is thermally worse than position B, the simulator must
+/// agree. This monotone consistency is all the placer actually relies on.
+#[test]
+fn models_agree_on_layer_ordering() {
+    let stack = LayerStack::mitll_0_18um(4);
+    let sim = ThermalSimulator::new(stack, 1.0e-3, 1.0e-3, 8, 8).unwrap();
+    let model = ResistanceModel::new(stack, 1.0e-3, 1.0e-3).unwrap();
+    let bin_area = (1.0e-3 / 8.0f64).powi(2);
+
+    let mut previous_sim = 0.0;
+    let mut previous_model = 0.0;
+    for layer in 0..4 {
+        let mut power = PowerMap::new(8, 8, 4);
+        power.add(4, 4, layer, 0.02);
+        let field = sim.solve(&power).unwrap();
+        let simulated = field.at(4, 4, layer) - field.ambient();
+        let predicted = model.cell_resistance(0.5e-3, 0.5e-3, layer, bin_area);
+        assert!(simulated > previous_sim, "simulator: layer {layer} hotter");
+        assert!(predicted > previous_model, "model: layer {layer} worse");
+        previous_sim = simulated;
+        previous_model = predicted;
+    }
+}
+
+/// The linearized vertical profile used by the TRR nets must have the
+/// same sign and comparable per-layer step as the simulator's measured
+/// layer-to-layer temperature difference for a fixed power.
+#[test]
+fn vertical_profile_step_tracks_simulated_layer_step() {
+    let stack = LayerStack::mitll_0_18um(4);
+    let sim = ThermalSimulator::new(stack, 1.0e-3, 1.0e-3, 8, 8).unwrap();
+    let model = ResistanceModel::new(stack, 1.0e-3, 1.0e-3).unwrap();
+    let bin_area = (1.0e-3 / 8.0f64).powi(2);
+    let p = 0.02;
+
+    let rise_at = |layer: usize| {
+        let mut power = PowerMap::new(8, 8, 4);
+        power.add(4, 4, layer, p);
+        let field = sim.solve(&power).unwrap();
+        field.at(4, 4, layer) - field.ambient()
+    };
+    let sim_step = (rise_at(3) - rise_at(0)) / 3.0;
+    let profile = model.vertical_profile(bin_area);
+    let model_step = profile.slope * stack.layer_pitch() * p;
+    assert!(sim_step > 0.0 && model_step > 0.0);
+    let ratio = model_step / sim_step;
+    assert!(
+        (0.2..=5.0).contains(&ratio),
+        "per-layer steps should be commensurate: model {model_step}, sim {sim_step}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the thermal models.
+
+use proptest::prelude::*;
+use tvp_thermal::{LayerStack, PowerMap, ResistanceModel, ThermalSimulator};
+
+fn stack_strategy() -> impl Strategy<Value = LayerStack> {
+    (1usize..6, 1.0f64..200.0, 50.0f64..300.0).prop_map(|(layers, k, k_sub)| {
+        let mut stack = LayerStack::mitll_0_18um(layers);
+        stack.conductivity = k;
+        stack.substrate_conductivity = k_sub;
+        stack
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn resistance_is_positive_and_monotone_in_layer(
+        stack in stack_strategy(),
+        area_exp in -13.0f64..-9.0,
+    ) {
+        let area = 10.0f64.powf(area_exp);
+        let model = ResistanceModel::new(stack, 1e-3, 1e-3).unwrap();
+        let mut last = 0.0;
+        for layer in 0..stack.num_layers {
+            let r = model.cell_resistance(0.5e-3, 0.5e-3, layer, area);
+            prop_assert!(r.is_finite() && r > 0.0);
+            prop_assert!(r >= last, "layer {layer}: {r} < {last}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn temperatures_scale_linearly_with_power(
+        stack in stack_strategy(),
+        watts in 1.0e-4f64..1.0,
+        i in 0usize..4,
+        j in 0usize..4,
+    ) {
+        let sim = ThermalSimulator::new(stack, 1e-3, 1e-3, 4, 4).unwrap();
+        let layer = stack.num_layers - 1;
+        let mut p1 = PowerMap::new(4, 4, stack.num_layers);
+        p1.add(i, j, layer, watts);
+        let mut p2 = PowerMap::new(4, 4, stack.num_layers);
+        p2.add(i, j, layer, watts * 2.0);
+        let f1 = sim.solve(&p1).unwrap();
+        let f2 = sim.solve(&p2).unwrap();
+        let rise1 = f1.max_temperature() - f1.ambient();
+        let rise2 = f2.max_temperature() - f2.ambient();
+        prop_assert!(rise1 > 0.0);
+        prop_assert!(
+            (rise2 - 2.0 * rise1).abs() < 1e-6 * rise2.max(1e-12),
+            "rise2 = {} vs 2·rise1 = {}",
+            rise2,
+            2.0 * rise1
+        );
+    }
+
+    #[test]
+    fn all_temperatures_at_or_above_ambient(
+        stack in stack_strategy(),
+        cells in prop::collection::vec((0usize..4, 0usize..4, 1.0e-4f64..0.1), 1..10),
+    ) {
+        let sim = ThermalSimulator::new(stack, 1e-3, 1e-3, 4, 4).unwrap();
+        let mut power = PowerMap::new(4, 4, stack.num_layers);
+        for &(i, j, w) in &cells {
+            power.add(i, j, 0, w);
+        }
+        let field = sim.solve(&power).unwrap();
+        for l in 0..stack.num_layers {
+            for j in 0..4 {
+                for i in 0..4 {
+                    prop_assert!(field.at(i, j, l) >= field.ambient() - 1e-9);
+                }
+            }
+        }
+        prop_assert!(field.max_temperature() >= field.average_temperature());
+    }
+
+    #[test]
+    fn heat_source_is_the_hottest_node(
+        stack in stack_strategy(),
+        i in 0usize..4,
+        j in 0usize..4,
+    ) {
+        // One point source: its column on its layer must be the maximum.
+        let sim = ThermalSimulator::new(stack, 1e-3, 1e-3, 4, 4).unwrap();
+        let layer = stack.num_layers - 1;
+        let mut power = PowerMap::new(4, 4, stack.num_layers);
+        power.add(i, j, layer, 0.1);
+        let field = sim.solve(&power).unwrap();
+        let at_source = field.at(i, j, layer);
+        prop_assert!((at_source - field.max_temperature()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vertical_profile_brackets_the_layers(stack in stack_strategy(), area_exp in -13.0f64..-10.0) {
+        let area = 10.0f64.powf(area_exp);
+        let model = ResistanceModel::new(stack, 1e-3, 1e-3).unwrap();
+        let profile = model.vertical_profile(area);
+        prop_assert!(profile.slope >= 0.0);
+        // The fitted line matches the endpoints it was fitted through.
+        if stack.num_layers >= 2 {
+            let z0 = stack.layer_center_z(0);
+            let z1 = stack.layer_center_z(stack.num_layers - 1);
+            let r0 = model.cell_resistance(0.5e-3, 0.5e-3, 0, area);
+            let r1 = model.cell_resistance(0.5e-3, 0.5e-3, stack.num_layers - 1, area);
+            prop_assert!((profile.at(z0) - r0).abs() < 1e-6 * r0);
+            prop_assert!((profile.at(z1) - r1).abs() < 1e-6 * r1);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Wirelength ↔ interlayer-via tradeoff exploration (the Fig. 3 workflow).
+//!
+//! Sweeps the interlayer via coefficient `α_ILV` over the paper's range and
+//! prints one tradeoff point per value: as vias get more expensive the
+//! placer uses fewer of them at the cost of longer wires. A designer picks
+//! the point matching their process's via-density limit.
+//!
+//! ```sh
+//! cargo run --release --example tradeoff_explorer [cells]
+//! ```
+
+use tvp_bookshelf::synth::{generate, SynthConfig};
+use tvp_core::{Placer, PlacerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cells: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1_500);
+    let netlist = generate(&SynthConfig::named("tradeoff", cells, cells as f64 * 5.0e-12))?;
+    println!("circuit: {} cells, {} nets", netlist.num_cells(), netlist.num_nets());
+    println!();
+    println!("{:>10}  {:>12}  {:>10}  {:>16}", "alpha_ILV", "WL (m)", "ILVs", "ILV/m^2/layer");
+
+    // Paper range: 5e-9 … 5.2e-3, one point per decade-ish step.
+    let mut alpha = 5.0e-9;
+    while alpha < 6.0e-3 {
+        let config = PlacerConfig::new(4).with_alpha_ilv(alpha);
+        let result = Placer::new(config).place(&netlist)?;
+        println!(
+            "{:>10.1e}  {:>12.5e}  {:>10.0}  {:>16.3e}",
+            alpha,
+            result.metrics.wirelength,
+            result.metrics.ilv_count,
+            result.metrics.ilv_density_per_interlayer,
+        );
+        alpha *= 8.0;
+    }
+    println!();
+    println!("(vias get scarcer and wires longer as alpha_ILV grows)");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Legality invariants of final placements, across configurations.
+
+use tvp_bookshelf::synth::{generate, SynthConfig};
+use tvp_core::detail::check_legal;
+use tvp_core::{Placer, PlacerConfig};
+
+fn assert_legal(cells: usize, config: PlacerConfig) {
+    let netlist = generate(&SynthConfig::named("legal", cells, cells as f64 * 5.0e-12)).unwrap();
+    let result = Placer::new(config.clone())
+        .place(&netlist)
+        .unwrap_or_else(|e| panic!("config {config:?} failed: {e}"));
+    if let Some(violation) = check_legal(&netlist, &result.chip, &result.placement) {
+        panic!("illegal placement under {config:?}: {violation}");
+    }
+    // No geometric overlaps by the independent sweep either.
+    assert_eq!(
+        result.placement.count_overlaps(&netlist),
+        0,
+        "overlap sweep disagrees with row checker"
+    );
+    assert!(result.placement.find_out_of_bounds(&result.chip).is_none());
+}
+
+#[test]
+fn legal_across_layer_counts() {
+    for layers in [1usize, 2, 3, 4, 8] {
+        assert_legal(200, PlacerConfig::new(layers));
+    }
+}
+
+#[test]
+fn legal_across_alpha_ilv_extremes() {
+    assert_legal(200, PlacerConfig::new(4).with_alpha_ilv(5.0e-9));
+    assert_legal(200, PlacerConfig::new(4).with_alpha_ilv(5.2e-3));
+}
+
+#[test]
+fn legal_with_thermal_objective() {
+    assert_legal(200, PlacerConfig::new(4).with_alpha_temp(1.0e-4));
+    assert_legal(
+        200,
+        PlacerConfig::new(4)
+            .with_alpha_temp(1.3e-3)
+            .with_alpha_ilv(5.0e-8),
+    );
+}
+
+#[test]
+fn legal_with_post_optimization() {
+    let mut config = PlacerConfig::new(2);
+    config.post_opt_rounds = 2;
+    assert_legal(150, config);
+}
+
+#[test]
+fn legal_at_high_utilization() {
+    // Only 2% whitespace: the row packer and the FFD assignment must
+    // still find room for everything.
+    let mut config = PlacerConfig::new(2);
+    config.whitespace = 0.02;
+    assert_legal(250, config);
+}
+
+#[test]
+fn legal_on_tiny_designs() {
+    assert_legal(20, PlacerConfig::new(2));
+    assert_legal(8, PlacerConfig::new(1));
+}
+
+#[test]
+fn cells_per_layer_respect_capacity() {
+    let cells = 400;
+    let netlist = generate(&SynthConfig::named("cap", cells, cells as f64 * 5.0e-12)).unwrap();
+    let result = Placer::new(PlacerConfig::new(4)).place(&netlist).unwrap();
+    let capacity_per_layer =
+        result.chip.num_rows as f64 * result.chip.row_height * result.chip.width;
+    for layer in 0..4u16 {
+        let area: f64 = netlist
+            .iter_cells()
+            .filter(|&(c, _)| result.placement.layer(c) == layer)
+            .map(|(_, cell)| cell.area())
+            .sum();
+        assert!(
+            area <= capacity_per_layer * (1.0 + 1e-9),
+            "layer {layer} area {area} exceeds capacity {capacity_per_layer}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! The wirelength / interlayer-via tradeoff behaviour the paper's Figs 3–5
+//! rest on, verified at test scale.
+
+use tvp_bookshelf::synth::{generate, SynthConfig};
+use tvp_core::{Placer, PlacerConfig};
+
+#[test]
+fn raising_alpha_ilv_cuts_vias() {
+    let netlist = generate(&SynthConfig::named("sweep", 400, 2.0e-9)).unwrap();
+    let mut ilvs = Vec::new();
+    for alpha in [5.0e-8, 5.0e-6, 5.0e-4] {
+        let r = Placer::new(PlacerConfig::new(4).with_alpha_ilv(alpha))
+            .place(&netlist)
+            .unwrap();
+        ilvs.push(r.metrics.ilv_count);
+    }
+    assert!(
+        ilvs[2] < ilvs[0] * 0.7,
+        "expensive vias must reduce the count substantially: {ilvs:?}"
+    );
+    assert!(
+        ilvs[1] <= ilvs[0] * 1.05,
+        "mid alpha should not exceed cheap-via count: {ilvs:?}"
+    );
+}
+
+#[test]
+fn via_starved_placement_pays_wirelength() {
+    let netlist = generate(&SynthConfig::named("pay", 400, 2.0e-9)).unwrap();
+    let cheap = Placer::new(PlacerConfig::new(4).with_alpha_ilv(5.0e-8))
+        .place(&netlist)
+        .unwrap();
+    let dear = Placer::new(PlacerConfig::new(4).with_alpha_ilv(1.0e-3))
+        .place(&netlist)
+        .unwrap();
+    // Fewer vias → less use of the third dimension → longer wires.
+    assert!(dear.metrics.ilv_count < cheap.metrics.ilv_count);
+    assert!(
+        dear.metrics.wirelength > cheap.metrics.wirelength * 0.95,
+        "via starvation should not shorten wires: {} vs {}",
+        dear.metrics.wirelength,
+        cheap.metrics.wirelength
+    );
+}
+
+#[test]
+fn more_layers_shorten_wirelength() {
+    // Fig. 5: tradeoff curves shift toward shorter wirelength as layers
+    // are added (at fixed α_ILV).
+    let netlist = generate(&SynthConfig::named("layers", 500, 2.5e-9)).unwrap();
+    let wl_of = |layers: usize| {
+        Placer::new(PlacerConfig::new(layers))
+            .place(&netlist)
+            .unwrap()
+            .metrics
+            .wirelength
+    };
+    let wl1 = wl_of(1);
+    let wl4 = wl_of(4);
+    assert!(
+        wl4 < wl1 * 0.85,
+        "4 layers should clearly beat 1: {wl4} vs {wl1}"
+    );
+}
+
+#[test]
+fn objective_tracks_the_knob() {
+    // The placer minimizes WL + α_ILV·ILV; a placement produced for one α
+    // must score at least as well *under that α* as placements produced
+    // for very different α values.
+    let netlist = generate(&SynthConfig::named("score", 300, 1.5e-9)).unwrap();
+    let alphas = [5.0e-8, 1.0e-5, 1.0e-3];
+    let results: Vec<_> = alphas
+        .iter()
+        .map(|&a| {
+            Placer::new(PlacerConfig::new(4).with_alpha_ilv(a))
+                .place(&netlist)
+                .unwrap()
+        })
+        .collect();
+    for (i, &alpha) in alphas.iter().enumerate() {
+        let own = results[i].metrics.wirelength + alpha * results[i].metrics.ilv_count;
+        for (j, other) in results.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let theirs = other.metrics.wirelength + alpha * other.metrics.ilv_count;
+            assert!(
+                own <= theirs * 1.15,
+                "placement tuned for alpha={alpha} scores {own}, but the one tuned for {} scores {theirs}",
+                alphas[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn ilv_density_definition_matches_figure_axis() {
+    let netlist = generate(&SynthConfig::named("axis", 200, 1.0e-9)).unwrap();
+    let r = Placer::new(PlacerConfig::new(4)).place(&netlist).unwrap();
+    let m = &r.metrics;
+    let expected = m.ilv_count / 3.0 / r.chip.layer_area();
+    assert!((m.ilv_density_per_interlayer - expected).abs() <= 1e-6 * expected);
+}
