@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tvp_bookshelf::synth::{generate, SynthConfig};
-use tvp_bookshelf::{parse_nets, parse_nodes, write_nets, write_nodes, Design, DesignBuilderOptions};
+use tvp_bookshelf::{
+    parse_nets, parse_nodes, write_nets, write_nodes, Design, DesignBuilderOptions,
+};
 
 fn bench_generate(c: &mut Criterion) {
     let mut group = c.benchmark_group("synth_generate");

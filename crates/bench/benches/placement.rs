@@ -56,10 +56,40 @@ fn bench_thermal_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// The full pipeline at a few worker-thread counts. The placement is
+/// identical at every count (see DESIGN.md, threading model); only the
+/// wall clock changes, and only on multi-core hardware.
+fn bench_pipeline_threads(c: &mut Criterion) {
+    let netlist = netlist_of(&SynthConfig::named("b", 1_000, 5.0e-9));
+    let mut group = c.benchmark_group("place_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        Placer::new(
+                            PlacerConfig::new(4)
+                                .with_partition_starts(4)
+                                .with_threads(threads),
+                        )
+                        .place(&netlist)
+                        .expect("places"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_full_pipeline,
     bench_global_stage,
-    bench_thermal_pipeline
+    bench_thermal_pipeline,
+    bench_pipeline_threads
 );
 criterion_main!(benches);

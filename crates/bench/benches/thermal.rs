@@ -28,6 +28,71 @@ fn bench_solve(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cold starts vs. warm starts on a slowly-drifting power map — the
+/// access pattern of the placement pipeline's stage-boundary solves.
+fn bench_warm_start(c: &mut Criterion) {
+    let (nx, layers) = (32usize, 4usize);
+    let sim = ThermalSimulator::new(LayerStack::mitll_0_18um(layers), 1e-3, 1e-3, nx, nx)
+        .expect("valid geometry");
+    let make_power = |scale: f64| {
+        let mut power = PowerMap::new(nx, nx, layers);
+        for k in 0..layers {
+            for j in 0..nx {
+                for i in 0..nx {
+                    power.add(i, j, k, scale * 1.0e-4 * (1 + (i + j + k) % 5) as f64);
+                }
+            }
+        }
+        power
+    };
+    let base = make_power(1.0);
+    let drifted = make_power(1.02);
+    let mut group = c.benchmark_group("thermal_warm_start");
+    group.sample_size(20);
+    group.bench_function("cold", |b| {
+        b.iter(|| black_box(sim.solve(&base).expect("converges")))
+    });
+    group.bench_function("warm_2pct_drift", |b| {
+        let mut ctx = sim.context();
+        sim.solve_with(&base, &mut ctx).expect("converges");
+        b.iter(|| black_box(sim.solve_with(&drifted, &mut ctx).expect("converges")))
+    });
+    group.finish();
+}
+
+/// The parallel stencil/CG paths at a few thread counts. On a single
+/// hardware thread extra workers only add scheduling overhead; this
+/// group exists to quantify that overhead honestly.
+fn bench_solve_threads(c: &mut Criterion) {
+    let (nx, layers) = (32usize, 4usize);
+    let sim = ThermalSimulator::new(LayerStack::mitll_0_18um(layers), 1e-3, 1e-3, nx, nx)
+        .expect("valid geometry");
+    let mut power = PowerMap::new(nx, nx, layers);
+    for k in 0..layers {
+        for j in 0..nx {
+            for i in 0..nx {
+                power.add(i, j, k, 1.0e-4 * (1 + (i + j + k) % 5) as f64);
+            }
+        }
+    }
+    let mut group = c.benchmark_group("thermal_solve_threads");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    tvp_parallel::with_threads(threads, || {
+                        black_box(sim.solve(&power).expect("converges"))
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_resistance_model(c: &mut Criterion) {
     use tvp_thermal::ResistanceModel;
     let model = ResistanceModel::new(LayerStack::mitll_0_18um(4), 1e-3, 1e-3).expect("valid");
@@ -43,5 +108,11 @@ fn bench_resistance_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_solve, bench_resistance_model);
+criterion_group!(
+    benches,
+    bench_solve,
+    bench_warm_start,
+    bench_solve_threads,
+    bench_resistance_model
+);
 criterion_main!(benches);

@@ -84,7 +84,10 @@ fn main() {
         print_row(&[
             name.into(),
             format!("{:.4e}", r.metrics.objective),
-            format!("{:+.2}", pct(r.metrics.objective, reference.metrics.objective)),
+            format!(
+                "{:+.2}",
+                pct(r.metrics.objective, reference.metrics.objective)
+            ),
             format!("{:.4e}", r.metrics.wirelength),
             format!("{:.0}", r.metrics.ilv_count),
             format!("{:.3}", r.metrics.avg_temperature),

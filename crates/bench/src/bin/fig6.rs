@@ -32,5 +32,7 @@ fn main() {
         println!();
     }
     println!();
-    println!("(temperature falls toward the bottom-right: strong thermal weighting, expensive vias)");
+    println!(
+        "(temperature falls toward the bottom-right: strong thermal weighting, expensive vias)"
+    );
 }

@@ -11,12 +11,18 @@ fn main() {
     let rows: Vec<(&str, String)> = vec![
         ("number of layers", config.num_layers.to_string()),
         ("whitespace", format!("{:.0}%", config.whitespace * 100.0)),
-        ("inter-row/row space", format!("{:.0}%", config.row_space * 100.0)),
+        (
+            "inter-row/row space",
+            format!("{:.0}%", config.row_space * 100.0),
+        ),
         (
             "bulk substrate thickness",
             format!("{:.0} um", stack.substrate_thickness * 1e6),
         ),
-        ("layer thickness", format!("{:.1} um", stack.layer_thickness * 1e6)),
+        (
+            "layer thickness",
+            format!("{:.1} um", stack.layer_thickness * 1e6),
+        ),
         (
             "interlayer thickness",
             format!("{:.1} um", stack.interlayer_thickness * 1e6),
@@ -41,12 +47,18 @@ fn main() {
             "input pin capacitance",
             format!("{:.3} fF", tech.input_pin_cap * 1e15),
         ),
-        ("ambient temperature", format!("{:.0} C", stack.heat_sink.ambient)),
+        (
+            "ambient temperature",
+            format!("{:.0} C", stack.heat_sink.ambient),
+        ),
         (
             "conv. coef. of heat sink",
             format!("{:.0e} W/m^2K", stack.heat_sink.convection_coefficient),
         ),
-        ("clock frequency", format!("{:.1e} Hz", tech.clock_frequency)),
+        (
+            "clock frequency",
+            format!("{:.1e} Hz", tech.clock_frequency),
+        ),
         ("supply voltage", format!("{:.1} V", tech.vdd)),
         ("default alpha_ILV", format!("{:.0e} m", config.alpha_ilv)),
     ];

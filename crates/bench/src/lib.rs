@@ -102,7 +102,9 @@ pub struct Run {
 /// Panics if placement fails (suite configs are always valid).
 pub fn run(netlist: &Netlist, config: PlacerConfig) -> Run {
     let start = Instant::now();
-    let result = Placer::new(config).place(netlist).expect("placement succeeds");
+    let result = Placer::new(config)
+        .place(netlist)
+        .expect("placement succeeds");
     Run {
         metrics: result.metrics,
         seconds: start.elapsed().as_secs_f64(),

@@ -264,7 +264,9 @@ impl Design {
     ) -> Result<Self, LoadDesignError> {
         let aux_path = aux_path.as_ref();
         let aux = crate::parse_aux(&std::fs::read_to_string(aux_path)?)?;
-        let dir = aux_path.parent().unwrap_or_else(|| std::path::Path::new("."));
+        let dir = aux_path
+            .parent()
+            .unwrap_or_else(|| std::path::Path::new("."));
         let read = |name: &str| std::fs::read_to_string(dir.join(name));
 
         let nodes_name = aux
@@ -277,21 +279,27 @@ impl Design {
         let nets = crate::parse_nets(&read(nets_name)?)?;
         let wts = aux
             .file_with_extension("wts")
-            .map(|n| read(n).map_err(LoadDesignError::from).and_then(|t| {
-                crate::parse_wts(&t).map_err(LoadDesignError::from)
-            }))
+            .map(|n| {
+                read(n)
+                    .map_err(LoadDesignError::from)
+                    .and_then(|t| crate::parse_wts(&t).map_err(LoadDesignError::from))
+            })
             .transpose()?;
         let pl = aux
             .file_with_extension("pl")
-            .map(|n| read(n).map_err(LoadDesignError::from).and_then(|t| {
-                crate::parse_pl(&t).map_err(LoadDesignError::from)
-            }))
+            .map(|n| {
+                read(n)
+                    .map_err(LoadDesignError::from)
+                    .and_then(|t| crate::parse_pl(&t).map_err(LoadDesignError::from))
+            })
             .transpose()?;
         let scl = aux
             .file_with_extension("scl")
-            .map(|n| read(n).map_err(LoadDesignError::from).and_then(|t| {
-                crate::parse_scl(&t).map_err(LoadDesignError::from)
-            }))
+            .map(|n| {
+                read(n)
+                    .map_err(LoadDesignError::from)
+                    .and_then(|t| crate::parse_scl(&t).map_err(LoadDesignError::from))
+            })
             .transpose()?;
 
         let name = aux_path
@@ -324,7 +332,10 @@ impl Design {
         std::fs::create_dir_all(dir)?;
         let (nodes, nets, wts, pl) = self.to_files(options);
         let base = &self.name;
-        std::fs::write(dir.join(format!("{base}.nodes")), crate::write_nodes(&nodes))?;
+        std::fs::write(
+            dir.join(format!("{base}.nodes")),
+            crate::write_nodes(&nodes),
+        )?;
         std::fs::write(dir.join(format!("{base}.nets")), crate::write_nets(&nets))?;
         std::fs::write(dir.join(format!("{base}.wts")), crate::write_wts(&wts))?;
         let mut files = vec![
@@ -447,10 +458,9 @@ mod tests {
     use crate::{parse_nets, parse_nodes, parse_pl, parse_scl, parse_wts};
 
     fn sample() -> Design {
-        let nodes = parse_nodes(
-            "NumNodes : 3\nNumTerminals : 1\n a 4 8\n b 2 8\n p 1 1 terminal\n",
-        )
-        .unwrap();
+        let nodes =
+            parse_nodes("NumNodes : 3\nNumTerminals : 1\n a 4 8\n b 2 8\n p 1 1 terminal\n")
+                .unwrap();
         let nets = parse_nets(
             "NumNets : 2\nNumPins : 4\nNetDegree : 2 n0\n a O\n b I\nNetDegree : 2 n1\n b O\n p I\n",
         )
@@ -552,8 +562,7 @@ mod tests {
 
     #[test]
     fn load_reports_missing_aux() {
-        let err = Design::load("/nonexistent/x.aux", DesignBuilderOptions::default())
-            .unwrap_err();
+        let err = Design::load("/nonexistent/x.aux", DesignBuilderOptions::default()).unwrap_err();
         assert!(matches!(err, LoadDesignError::Io(_)));
         assert!(err.to_string().contains("i/o"));
     }
@@ -563,8 +572,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("tvp_bs_aux_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("x.aux"), "RowBasedPlacement : x.nets\n").unwrap();
-        let err = Design::load(dir.join("x.aux"), DesignBuilderOptions::default())
-            .unwrap_err();
+        let err = Design::load(dir.join("x.aux"), DesignBuilderOptions::default()).unwrap_err();
         assert!(matches!(err, LoadDesignError::MissingFile("nodes")));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -581,8 +589,7 @@ mod tests {
     #[test]
     fn unknown_node_in_nets_is_error() {
         let nodes = parse_nodes("NumNodes : 1\nNumTerminals : 0\n a 1 1\n").unwrap();
-        let nets =
-            parse_nets("NumNets : 1\nNumPins : 1\nNetDegree : 1 n0\n ghost I\n").unwrap();
+        let nets = parse_nets("NumNets : 1\nNumPins : 1\nNetDegree : 1 n0\n ghost I\n").unwrap();
         let err = Design::assemble(
             "x",
             &nodes,
@@ -600,8 +607,7 @@ mod tests {
     #[test]
     fn duplicate_output_pins_demoted() {
         let nodes = parse_nodes("NumNodes : 2\nNumTerminals : 0\n a 1 1\n b 1 1\n").unwrap();
-        let nets =
-            parse_nets("NumNets : 1\nNumPins : 2\nNetDegree : 2 n0\n a O\n b O\n").unwrap();
+        let nets = parse_nets("NumNets : 1\nNumPins : 2\nNetDegree : 2 n0\n a O\n b O\n").unwrap();
         let d = Design::assemble(
             "x",
             &nodes,

@@ -44,7 +44,11 @@ impl fmt::Display for ParseBookshelfError {
         if self.line == 0 {
             write!(f, "{} file: {}", self.kind, self.message)
         } else {
-            write!(f, "{} file, line {}: {}", self.kind, self.line, self.message)
+            write!(
+                f,
+                "{} file, line {}: {}",
+                self.kind, self.line, self.message
+            )
         }
     }
 }

@@ -77,7 +77,11 @@ impl<'a> Lines<'a> {
             ParseBookshelfError::new(self.kind, 0, format!("missing `{key} : <count>` line"))
         })?;
         let (k, v) = split_key_value(line).ok_or_else(|| {
-            ParseBookshelfError::new(self.kind, no, format!("expected `{key} : <count>`, got `{line}`"))
+            ParseBookshelfError::new(
+                self.kind,
+                no,
+                format!("expected `{key} : <count>`, got `{line}`"),
+            )
         })?;
         if !k.eq_ignore_ascii_case(key) {
             return Err(ParseBookshelfError::new(
@@ -87,7 +91,11 @@ impl<'a> Lines<'a> {
             ));
         }
         v.trim().parse().map_err(|_| {
-            ParseBookshelfError::new(self.kind, no, format!("`{key}` value `{v}` is not an integer"))
+            ParseBookshelfError::new(
+                self.kind,
+                no,
+                format!("`{key}` value `{v}` is not an integer"),
+            )
         })
     }
 

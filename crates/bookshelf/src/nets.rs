@@ -87,8 +87,9 @@ pub fn parse_nets(text: &str) -> Result<NetsFile, ParseBookshelfError> {
     let num_pins = lines.expect_count("NumPins")?;
     let mut nets: Vec<NetRecord> = Vec::with_capacity(num_nets);
     while let Some((no, line)) = lines.next_line() {
-        let (key, rest) = split_key_value(line)
-            .ok_or_else(|| lines.error(no, format!("expected `NetDegree : d name`, got `{line}`")))?;
+        let (key, rest) = split_key_value(line).ok_or_else(|| {
+            lines.error(no, format!("expected `NetDegree : d name`, got `{line}`"))
+        })?;
         if !key.eq_ignore_ascii_case("NetDegree") {
             return Err(lines.error(no, format!("expected `NetDegree`, got `{key}`")));
         }
@@ -104,9 +105,9 @@ pub fn parse_nets(text: &str) -> Result<NetsFile, ParseBookshelfError> {
             .unwrap_or_else(|| format!("net{}", nets.len()));
         let mut pins = Vec::with_capacity(degree);
         for _ in 0..degree {
-            let (pno, pline) = lines
-                .next_line()
-                .ok_or_else(|| lines.error(no, format!("net `{name}` ends before {degree} pins")))?;
+            let (pno, pline) = lines.next_line().ok_or_else(|| {
+                lines.error(no, format!("net `{name}` ends before {degree} pins"))
+            })?;
             pins.push(parse_pin_line(&lines, pno, pline)?);
         }
         nets.push(NetRecord { name, pins });
@@ -161,13 +162,15 @@ fn parse_pin_line(
             let x = parse_f64(
                 "nets",
                 no,
-                toks.next().ok_or_else(|| lines.error(no, "missing pin x offset"))?,
+                toks.next()
+                    .ok_or_else(|| lines.error(no, "missing pin x offset"))?,
                 "pin x offset",
             )?;
             let y = parse_f64(
                 "nets",
                 no,
-                toks.next().ok_or_else(|| lines.error(no, "missing pin y offset"))?,
+                toks.next()
+                    .ok_or_else(|| lines.error(no, "missing pin y offset"))?,
                 "pin y offset",
             )?;
             (x, y)
@@ -270,6 +273,9 @@ NetDegree : 2 n1
     fn bidirectional_pins_parse() {
         let text = "NumNets : 1\nNumPins : 1\nNetDegree : 1 n\n a B\n";
         let f = parse_nets(text).unwrap();
-        assert_eq!(f.nets[0].pins[0].direction, Some(PinDirectionHint::Bidirectional));
+        assert_eq!(
+            f.nets[0].pins[0].direction,
+            Some(PinDirectionHint::Bidirectional)
+        );
     }
 }

@@ -54,7 +54,9 @@ pub fn parse_nodes(text: &str) -> Result<NodesFile, ParseBookshelfError> {
         let width = parse_f64(
             KIND,
             no,
-            tokens.next().ok_or_else(|| lines.error(no, "missing width"))?,
+            tokens
+                .next()
+                .ok_or_else(|| lines.error(no, "missing width"))?,
             "width",
         )?;
         let height = parse_f64(
@@ -82,7 +84,10 @@ pub fn parse_nodes(text: &str) -> Result<NodesFile, ParseBookshelfError> {
         return Err(ParseBookshelfError::new(
             KIND,
             0,
-            format!("NumNodes says {num_nodes} but found {} records", nodes.len()),
+            format!(
+                "NumNodes says {num_nodes} but found {} records",
+                nodes.len()
+            ),
         ));
     }
     let terminals = nodes.iter().filter(|n| n.terminal).count();

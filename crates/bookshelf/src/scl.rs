@@ -102,7 +102,8 @@ pub fn parse_scl(text: &str) -> Result<SclFile, ParseBookshelfError> {
             height: height.ok_or_else(|| lines.error(no, "row missing Height"))?,
             site_width,
             site_spacing,
-            subrow_origin: subrow_origin.ok_or_else(|| lines.error(no, "row missing SubrowOrigin"))?,
+            subrow_origin: subrow_origin
+                .ok_or_else(|| lines.error(no, "row missing SubrowOrigin"))?,
             num_sites: num_sites.ok_or_else(|| lines.error(no, "row missing NumSites"))?,
         });
     }
@@ -151,7 +152,11 @@ pub fn write_scl(file: &SclFile) -> String {
         let _ = writeln!(out, "  Height : {}", r.height);
         let _ = writeln!(out, "  Sitewidth : {}", r.site_width);
         let _ = writeln!(out, "  Sitespacing : {}", r.site_spacing);
-        let _ = writeln!(out, "  SubrowOrigin : {} NumSites : {}", r.subrow_origin, r.num_sites);
+        let _ = writeln!(
+            out,
+            "  SubrowOrigin : {} NumSites : {}",
+            r.subrow_origin, r.num_sites
+        );
         out.push_str("End\n");
     }
     out

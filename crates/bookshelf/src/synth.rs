@@ -158,8 +158,8 @@ pub fn generate(config: &SynthConfig) -> Result<Netlist, BuildNetlistError> {
 
         // Power-law window: most nets span few cells, a few span everything.
         let u: f64 = rng.random();
-        let window = ((n as f64 * u.powf(config.locality_exponent)).ceil() as usize)
-            .clamp(degree, n);
+        let window =
+            ((n as f64 * u.powf(config.locality_exponent)).ceil() as usize).clamp(degree, n);
         let start = rng.random_range(0..=(n - window));
 
         let mut chosen = Vec::with_capacity(degree);

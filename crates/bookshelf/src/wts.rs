@@ -40,7 +40,9 @@ pub fn parse_wts(text: &str) -> Result<WtsFile, ParseBookshelfError> {
         let weight = parse_f64(
             KIND,
             no,
-            tokens.next().ok_or_else(|| lines.error(no, "missing weight"))?,
+            tokens
+                .next()
+                .ok_or_else(|| lines.error(no, "missing weight"))?,
             "weight",
         )?;
         if let Some(t) = tokens.next() {

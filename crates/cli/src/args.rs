@@ -9,12 +9,16 @@ tvp — thermal- and via-aware 3D-IC placement (DAC'07 reproduction)
 
 USAGE:
   tvp place <design.aux> [--layers N] [--alpha-ilv X] [--alpha-temp X]
-            [--seed N] [--starts N] [--units METERS_PER_UNIT] [--out DIR]
-            [--svg FILE.svg]
+            [--seed N] [--starts N] [--threads N] [--units METERS_PER_UNIT]
+            [--out DIR] [--svg FILE.svg]
   tvp synth <name> --cells N [--area-mm2 A] [--seed N] --out DIR
   tvp stats <design.aux> [--units METERS_PER_UNIT]
-  tvp sweep <design.aux> [--layers N] [--points N] [--units M] [--csv FILE]
+  tvp sweep <design.aux> [--layers N] [--points N] [--threads N] [--units M]
+            [--csv FILE]
   tvp help
+
+  --threads N   worker threads for the parallel hot paths (0 = all cores,
+                the default; 1 = fully serial; same result either way)
 
 EXAMPLES:
   tvp synth demo --cells 2000 --out bench/
@@ -45,6 +49,8 @@ pub struct SweepArgs {
     pub layers: usize,
     /// Number of sweep points.
     pub points: usize,
+    /// Worker threads (0 = all hardware threads).
+    pub threads: usize,
     /// Meters per Bookshelf site unit.
     pub meters_per_unit: f64,
     /// Optional CSV output path.
@@ -66,6 +72,8 @@ pub struct PlaceArgs {
     pub seed: u64,
     /// Bisection restarts.
     pub starts: usize,
+    /// Worker threads (0 = all hardware threads).
+    pub threads: usize,
     /// Meters per Bookshelf site unit.
     pub meters_per_unit: f64,
     /// Output directory for the placed design (omitted = metrics only).
@@ -161,6 +169,7 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
         alpha_temp: 0.0,
         seed: 1,
         starts: 1,
+        threads: 0,
         meters_per_unit: 1.0e-6,
         out: None,
         svg: None,
@@ -172,6 +181,7 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
             "--alpha-temp" => args.alpha_temp = parse_num(token, take_value(token, it)?)?,
             "--seed" => args.seed = parse_num(token, take_value(token, it)?)?,
             "--starts" => args.starts = parse_num(token, take_value(token, it)?)?,
+            "--threads" => args.threads = parse_num(token, take_value(token, it)?)?,
             "--units" => args.meters_per_unit = parse_num(token, take_value(token, it)?)?,
             "--out" => args.out = Some(take_value(token, it)?.to_string()),
             "--svg" => args.svg = Some(take_value(token, it)?.to_string()),
@@ -253,6 +263,7 @@ fn parse_sweep(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
         aux: String::new(),
         layers: 4,
         points: 7,
+        threads: 0,
         meters_per_unit: 1.0e-6,
         csv: None,
     };
@@ -260,6 +271,7 @@ fn parse_sweep(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
         match token.as_str() {
             "--layers" => args.layers = parse_num(token, take_value(token, it)?)?,
             "--points" => args.points = parse_num(token, take_value(token, it)?)?,
+            "--threads" => args.threads = parse_num(token, take_value(token, it)?)?,
             "--units" => args.meters_per_unit = parse_num(token, take_value(token, it)?)?,
             "--csv" => args.csv = Some(take_value(token, it)?.to_string()),
             flag if flag.starts_with("--") => {
@@ -296,7 +308,7 @@ mod tests {
     #[test]
     fn place_defaults_and_flags() {
         let Command::Place(a) = parse(&argv(
-            "place d.aux --layers 2 --alpha-ilv 1e-6 --alpha-temp 1e-5 --seed 9 --out o",
+            "place d.aux --layers 2 --alpha-ilv 1e-6 --alpha-temp 1e-5 --seed 9 --threads 8 --out o",
         ))
         .unwrap() else {
             panic!("expected place")
@@ -306,6 +318,7 @@ mod tests {
         assert_eq!(a.alpha_ilv, 1e-6);
         assert_eq!(a.alpha_temp, 1e-5);
         assert_eq!(a.seed, 9);
+        assert_eq!(a.threads, 8);
         assert_eq!(a.out.as_deref(), Some("o"));
 
         let Command::Place(d) = parse(&argv("place d.aux")).unwrap() else {
@@ -313,6 +326,7 @@ mod tests {
         };
         assert_eq!(d.layers, 4);
         assert_eq!(d.alpha_ilv, 1e-5);
+        assert_eq!(d.threads, 0, "default = all hardware threads");
         assert_eq!(d.out, None);
     }
 
@@ -320,8 +334,7 @@ mod tests {
     fn synth_requires_cells_and_out() {
         assert!(parse(&argv("synth demo --out o")).is_err());
         assert!(parse(&argv("synth demo --cells 100")).is_err());
-        let Command::Synth(a) =
-            parse(&argv("synth demo --cells 100 --out o --seed 3")).unwrap()
+        let Command::Synth(a) = parse(&argv("synth demo --cells 100 --out o --seed 3")).unwrap()
         else {
             panic!()
         };
@@ -353,13 +366,15 @@ mod tests {
         assert_eq!(a.layers, 4);
         assert_eq!(a.points, 7);
         assert_eq!(a.csv, None);
-        let Command::Sweep(a) =
-            parse(&argv("sweep d.aux --layers 2 --points 5 --csv out.csv")).unwrap()
-        else {
+        let Command::Sweep(a) = parse(&argv(
+            "sweep d.aux --layers 2 --points 5 --threads 2 --csv out.csv",
+        ))
+        .unwrap() else {
             panic!()
         };
         assert_eq!(a.layers, 2);
         assert_eq!(a.points, 5);
+        assert_eq!(a.threads, 2);
         assert_eq!(a.csv.as_deref(), Some("out.csv"));
         assert!(parse(&argv("sweep d.aux --points 1")).is_err());
         assert!(parse(&argv("sweep")).is_err());

@@ -16,12 +16,14 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
     let options = DesignBuilderOptions {
         meters_per_unit: args.meters_per_unit,
     };
-    let design = Design::load(&args.aux, options).map_err(|e| format!("loading {}: {e}", args.aux))?;
+    let design =
+        Design::load(&args.aux, options).map_err(|e| format!("loading {}: {e}", args.aux))?;
     let config = PlacerConfig::new(args.layers)
         .with_alpha_ilv(args.alpha_ilv)
         .with_alpha_temp(args.alpha_temp)
         .with_seed(args.seed)
-        .with_partition_starts(args.starts);
+        .with_partition_starts(args.starts)
+        .with_threads(args.threads);
 
     // Seed fixed cells (pads/macros) from the input `.pl` when present.
     let fixed: Vec<(CellId, f64, f64, u16)> = design
@@ -87,7 +89,11 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
         placed
             .save(dir, options)
             .map_err(|e| format!("writing {dir}: {e}"))?;
-        let _ = writeln!(out, "wrote:   {dir}/{}.aux (+ nodes/nets/wts/pl)", placed.name);
+        let _ = writeln!(
+            out,
+            "wrote:   {dir}/{}.aux (+ nodes/nets/wts/pl)",
+            placed.name
+        );
     }
     Ok(out)
 }
@@ -98,8 +104,8 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
 ///
 /// Returns a message for generation or write failures.
 pub fn synth(args: &SynthArgs) -> Result<String, String> {
-    let config = SynthConfig::named(&args.name, args.cells, args.area_mm2 * 1.0e-6)
-        .with_seed(args.seed);
+    let config =
+        SynthConfig::named(&args.name, args.cells, args.area_mm2 * 1.0e-6).with_seed(args.seed);
     let netlist =
         tvp_bookshelf::synth::generate(&config).map_err(|e| format!("generation failed: {e}"))?;
     let stats = netlist.stats();
@@ -112,10 +118,7 @@ pub fn synth(args: &SynthArgs) -> Result<String, String> {
             },
         )
         .map_err(|e| format!("writing {}: {e}", args.out))?;
-    Ok(format!(
-        "wrote {}/{}.aux: {stats}\n",
-        args.out, args.name
-    ))
+    Ok(format!("wrote {}/{}.aux: {stats}\n", args.out, args.name))
 }
 
 /// `tvp stats`: print netlist statistics for a benchmark.
@@ -138,7 +141,11 @@ pub fn stats(args: &StatsArgs) -> Result<String, String> {
     let _ = writeln!(
         out,
         "positions: {}, rows: {}",
-        if design.positions.is_empty() { "absent" } else { "present" },
+        if design.positions.is_empty() {
+            "absent"
+        } else {
+            "present"
+        },
         design.rows.len()
     );
     Ok(out)
@@ -174,7 +181,9 @@ pub fn sweep(args: &SweepArgs) -> Result<String, String> {
     let ratio = (hi / lo).powf(1.0 / (args.points - 1) as f64);
     for i in 0..args.points {
         let alpha = lo * ratio.powi(i as i32);
-        let config = PlacerConfig::new(args.layers).with_alpha_ilv(alpha);
+        let config = PlacerConfig::new(args.layers)
+            .with_alpha_ilv(alpha)
+            .with_threads(args.threads);
         let result = Placer::new(config)
             .place(&design.netlist)
             .map_err(|e| format!("placement failed at alpha = {alpha:.2e}: {e}"))?;
@@ -214,8 +223,10 @@ mod tests {
     #[test]
     fn synth_then_stats_then_place_round_trip() {
         let dir = tmp("rt");
-        let out = run(&argv(&format!("synth demo --cells 120 --out {dir} --seed 5")))
-            .expect("synth succeeds");
+        let out = run(&argv(&format!(
+            "synth demo --cells 120 --out {dir} --seed 5"
+        )))
+        .expect("synth succeeds");
         assert!(out.contains("demo.aux"));
 
         let aux = format!("{dir}/demo.aux");

@@ -195,14 +195,20 @@ fn try_best_action(
     for &b in candidates {
         if b != current_bin {
             // Move into the bin center, if the bin has room.
-            let headroom =
-                mesh.capacity() * MOVE_DENSITY_ALLOWANCE - mesh.bin_area(b) - cell_area;
+            let headroom = mesh.capacity() * MOVE_DENSITY_ALLOWANCE - mesh.bin_area(b) - cell_area;
             if headroom >= 0.0 {
                 let (bx, by, layer) = mesh.bin_center(b);
                 let (bx, by) = chip.clamp(bx, by);
                 let delta = objective.delta_move(cell, bx, by, layer);
                 if delta < best.as_ref().map_or(-EPS, |(d, _)| *d) {
-                    best = Some((delta, Action::Move { x: bx, y: by, layer }));
+                    best = Some((
+                        delta,
+                        Action::Move {
+                            x: bx,
+                            y: by,
+                            layer,
+                        },
+                    ));
                 }
             }
             // Swap with the resident whose area matches best (keeps both
@@ -252,11 +258,7 @@ mod tests {
     use rand::SeedableRng;
     use tvp_bookshelf::synth::{generate, SynthConfig};
 
-    fn fixture() -> (
-        tvp_netlist::Netlist,
-        Chip,
-        crate::PlacerConfig,
-    ) {
+    fn fixture() -> (tvp_netlist::Netlist, Chip, crate::PlacerConfig) {
         let netlist = generate(&SynthConfig::named("t", 200, 1.0e-9)).unwrap();
         let config = PlacerConfig::new(2);
         let chip = Chip::from_netlist(&netlist, &config).unwrap();
@@ -288,10 +290,12 @@ mod tests {
         mesh.rebuild(&netlist, objective.placement());
         let before = objective.total();
         let mut rng = SmallRng::seed_from_u64(1);
-        let improved_global =
-            global_pass(&mut objective, &mut mesh, &netlist, &chip, 5, &mut rng);
+        let improved_global = global_pass(&mut objective, &mut mesh, &netlist, &chip, 5, &mut rng);
         let improved_local = local_pass(&mut objective, &mut mesh, &netlist, &chip, &mut rng);
-        assert!(improved_global + improved_local > 0, "random start must improve");
+        assert!(
+            improved_global + improved_local > 0,
+            "random start must improve"
+        );
         assert!(objective.total() < before);
         // Caches stay consistent.
         let scratch = objective.recompute_total();
@@ -354,11 +358,7 @@ mod tests {
         let config = PlacerConfig::new(1);
         let chip = Chip::from_netlist(&netlist, &config).unwrap();
         let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
-        let objective = IncrementalObjective::new(
-            &netlist,
-            &model,
-            Placement::centered(2, &chip),
-        );
+        let objective = IncrementalObjective::new(&netlist, &model, Placement::centered(2, &chip));
         assert!(optimal_point(&objective, &netlist, CellId::new(0)).is_none());
     }
 }

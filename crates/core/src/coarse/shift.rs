@@ -30,7 +30,14 @@ pub fn shift_pass(
         for j in 0..ny {
             let bins: Vec<usize> = (0..nx).map(|i| mesh.index(i, j, k)).collect();
             moved += shift_row(
-                objective, mesh, netlist, chip, &bins, Axis::X, target_density, strategy,
+                objective,
+                mesh,
+                netlist,
+                chip,
+                &bins,
+                Axis::X,
+                target_density,
+                strategy,
             );
         }
     }
@@ -39,7 +46,14 @@ pub fn shift_pass(
         for i in 0..nx {
             let bins: Vec<usize> = (0..ny).map(|j| mesh.index(i, j, k)).collect();
             moved += shift_row(
-                objective, mesh, netlist, chip, &bins, Axis::Y, target_density, strategy,
+                objective,
+                mesh,
+                netlist,
+                chip,
+                &bins,
+                Axis::Y,
+                target_density,
+                strategy,
             );
         }
     }
@@ -419,7 +433,13 @@ mod tests {
             let mut mesh = DensityMesh::coarse(&chip);
             mesh.rebuild(&netlist, objective.placement());
             let iters = shift_until_spread(
-                &mut objective, &mut mesh, &netlist, &chip, 1.10, 60, strategy,
+                &mut objective,
+                &mut mesh,
+                &netlist,
+                &chip,
+                1.10,
+                60,
+                strategy,
             );
             (mesh.max_density(), iters)
         };
@@ -462,7 +482,12 @@ mod tests {
             .map(|b| mesh.bin_area(b))
             .sum();
         shift_until_spread(
-            &mut objective, &mut mesh, &netlist, &chip, 1.10, 40,
+            &mut objective,
+            &mut mesh,
+            &netlist,
+            &chip,
+            1.10,
+            40,
             ShiftStrategy::WholeRow,
         );
         let (nx, ny, _) = mesh.dims();
@@ -500,8 +525,15 @@ mod tests {
         let mut mesh = DensityMesh::coarse(&chip);
         mesh.rebuild(&netlist, objective.placement());
         let before = mesh.max_density();
-        let iterations =
-            shift_until_spread(&mut objective, &mut mesh, &netlist, &chip, 1.10, 100, ShiftStrategy::WholeRow);
+        let iterations = shift_until_spread(
+            &mut objective,
+            &mut mesh,
+            &netlist,
+            &chip,
+            1.10,
+            100,
+            ShiftStrategy::WholeRow,
+        );
         let after = mesh.max_density();
         assert!(iterations > 0);
         assert!(
@@ -533,7 +565,14 @@ mod tests {
         let mut mesh = DensityMesh::coarse(&chip);
         mesh.rebuild(&netlist, objective.placement());
         if mesh.max_density() <= 1.10 {
-            let moved = shift_pass(&mut objective, &mut mesh, &netlist, &chip, 1.10, ShiftStrategy::WholeRow);
+            let moved = shift_pass(
+                &mut objective,
+                &mut mesh,
+                &netlist,
+                &chip,
+                1.10,
+                ShiftStrategy::WholeRow,
+            );
             assert_eq!(moved, 0, "a spread placement must not be disturbed");
         }
     }

@@ -113,6 +113,11 @@ pub struct PlacerConfig {
     /// solve by default; [`ShiftStrategy::AdjacentPair`] reproduces the
     /// FastPlace-style rule the paper improves upon.
     pub shift_strategy: ShiftStrategy,
+    /// Worker threads for the parallel hot paths (thermal solve,
+    /// objective rebuild, recursive bisection). `0` means "all hardware
+    /// threads". `1` runs the legacy serial code paths; any value
+    /// produces the same placement (DESIGN.md, threading model).
+    pub threads: usize,
 }
 
 /// Cell-shifting bin-boundary rule (§4.1 ablation).
@@ -157,6 +162,7 @@ impl PlacerConfig {
             peko_floors: true,
             weighted_depth_cut: true,
             shift_strategy: ShiftStrategy::WholeRow,
+            threads: 0,
         }
     }
 
@@ -181,6 +187,12 @@ impl PlacerConfig {
     /// Sets the number of bisection restarts (quality/effort knob).
     pub fn with_partition_starts(mut self, starts: usize) -> Self {
         self.partition_starts = starts.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = all hardware threads).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -261,12 +273,19 @@ mod tests {
             .with_alpha_ilv(5.0e-7)
             .with_alpha_temp(1.0e-6)
             .with_seed(3)
-            .with_partition_starts(4);
+            .with_partition_starts(4)
+            .with_threads(2);
         assert_eq!(c.alpha_ilv, 5.0e-7);
         assert_eq!(c.alpha_temp, 1.0e-6);
         assert_eq!(c.seed, 3);
         assert_eq!(c.partition_starts, 4);
+        assert_eq!(c.threads, 2);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn threads_default_to_all_hardware() {
+        assert_eq!(PlacerConfig::new(4).threads, 0);
     }
 
     #[test]

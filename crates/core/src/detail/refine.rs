@@ -25,8 +25,7 @@ struct Rows {
 
 impl Rows {
     fn build(objective: &IncrementalObjective<'_>, netlist: &Netlist, chip: &Chip) -> Self {
-        let mut cells =
-            vec![vec![Vec::new(); chip.num_rows]; chip.num_layers];
+        let mut cells = vec![vec![Vec::new(); chip.num_rows]; chip.num_layers];
         for (cell, x, y, layer) in objective.placement().iter() {
             if !netlist.cell(cell).is_movable() {
                 continue;
@@ -48,7 +47,11 @@ impl Rows {
     fn slack(&self, layer: usize, row: usize, i: usize, chip: &Chip) -> (f64, f64) {
         let entries = &self.cells[layer][row];
         let (_, w, _) = entries[i];
-        let lo = if i == 0 { 0.0 } else { entries[i - 1].0 + entries[i - 1].1 };
+        let lo = if i == 0 {
+            0.0
+        } else {
+            entries[i - 1].0 + entries[i - 1].1
+        };
         let hi = if i + 1 < entries.len() {
             entries[i + 1].0
         } else {
@@ -117,8 +120,7 @@ fn refine_round(
                 let mut best: Option<(f64, f64)> = None; // (delta, new_left)
                 for cand in [lo, hi] {
                     if (cand - x_left).abs() > 1e-15 && cand >= -1e-12 {
-                        let delta =
-                            objective.delta_move(cell, center(cand), yc, layer as u16);
+                        let delta = objective.delta_move(cell, center(cand), yc, layer as u16);
                         if delta < best.map_or(-EPS, |(d, _)| d) {
                             best = Some((delta, cand));
                         }
@@ -212,8 +214,7 @@ mod tests {
         let config = PlacerConfig::new(2);
         let chip = result.chip.clone();
         let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
-        let mut objective =
-            IncrementalObjective::new(&netlist, &model, result.placement.clone());
+        let mut objective = IncrementalObjective::new(&netlist, &model, result.placement.clone());
         // Run to convergence, then one more round must do ~nothing.
         refine_legal(&mut objective, &netlist, &chip, 20);
         let settled = objective.total();

@@ -78,13 +78,24 @@ impl RowPacker {
     /// Insertions must arrive in non-decreasing desired order (the caller
     /// processes cells sorted by x), so the new cell always joins at the
     /// right end.
-    pub fn simulate(&self, width: f64, desired_left: f64, row_width: f64) -> Option<InsertionQuote> {
+    pub fn simulate(
+        &self,
+        width: f64,
+        desired_left: f64,
+        row_width: f64,
+    ) -> Option<InsertionQuote> {
         if !self.fits(width, row_width) {
             return None;
         }
         let before: Vec<f64> = self.cluster_positions(row_width);
         let mut clusters = self.clusters.clone();
-        append_and_collapse(&mut clusters, self.cells.len(), width, desired_left, row_width);
+        append_and_collapse(
+            &mut clusters,
+            self.cells.len(),
+            width,
+            desired_left,
+            row_width,
+        );
         // Position of the new cell: last cluster's position + offset of the
         // new cell inside it (it is the last cell).
         let last = clusters.last().expect("at least the new cluster");
@@ -122,7 +133,13 @@ impl RowPacker {
             "row overflow: {} + {width} > {row_width}",
             self.used_width
         );
-        append_and_collapse(&mut self.clusters, self.cells.len(), width, desired_left, row_width);
+        append_and_collapse(
+            &mut self.clusters,
+            self.cells.len(),
+            width,
+            desired_left,
+            row_width,
+        );
         self.cells.push((cell, width, desired_left));
         self.used_width += width;
     }
@@ -144,7 +161,10 @@ impl RowPacker {
     }
 
     fn cluster_positions(&self, row_width: f64) -> Vec<f64> {
-        self.clusters.iter().map(|c| c.position(row_width)).collect()
+        self.clusters
+            .iter()
+            .map(|c| c.position(row_width))
+            .collect()
     }
 
     fn cell_position_from(&self, positions: &[f64], cell_idx: usize, _row_width: f64) -> f64 {
@@ -260,10 +280,8 @@ mod tests {
         }
         let pos = row.final_positions(W);
         // Verify pairwise: sorted by x and no overlap using the true widths.
-        let mut with_width: Vec<(f64, f64)> = pos
-            .iter()
-            .map(|&(c, x)| (x, widths[c.index()]))
-            .collect();
+        let mut with_width: Vec<(f64, f64)> =
+            pos.iter().map(|&(c, x)| (x, widths[c.index()])).collect();
         with_width.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for pair in with_width.windows(2) {
             assert!(
@@ -286,7 +304,11 @@ mod tests {
         row.insert(id(2), 10.0, 47.0, W);
         let pos = row.final_positions(W);
         let got = pos.iter().find(|p| p.0 == id(2)).unwrap().1;
-        assert!((quote.x_left - got).abs() < 1e-9, "{} vs {got}", quote.x_left);
+        assert!(
+            (quote.x_left - got).abs() < 1e-9,
+            "{} vs {got}",
+            quote.x_left
+        );
         assert!(quote.neighbor_disruption > 0.0, "neighbors had to shift");
     }
 

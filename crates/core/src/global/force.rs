@@ -72,8 +72,7 @@ pub fn force_directed_place(
             let j = ((y / bin_h) as usize).min(REPULSION_BINS - 1);
             density[j * REPULSION_BINS + i] += netlist.cell(c).area();
         }
-        let mean_density: f64 =
-            density.iter().sum::<f64>() / density.len() as f64;
+        let mean_density: f64 = density.iter().sum::<f64>() / density.len() as f64;
 
         // Cooling: attraction dominates early, repulsion late.
         let repulsion = REPULSION_GAIN * (sweep as f64 + 1.0) / SWEEPS as f64;
@@ -189,8 +188,7 @@ mod tests {
         let placement = force_directed_place(&netlist, &chip, &model, &config);
         assert!(placement.find_out_of_bounds(&chip).is_none());
         // Spread: the placement must not be a single pile.
-        let mean_x: f64 =
-            (0..300).map(|i| placement.x(CellId::new(i))).sum::<f64>() / 300.0;
+        let mean_x: f64 = (0..300).map(|i| placement.x(CellId::new(i))).sum::<f64>() / 300.0;
         let var: f64 = (0..300)
             .map(|i| (placement.x(CellId::new(i)) - mean_x).powi(2))
             .sum::<f64>()
@@ -207,15 +205,26 @@ mod tests {
     fn partitioning_beats_the_baseline_without_pads() {
         // The paper's §1 claim: with no IO pads, the force-directed
         // paradigm struggles and min-cut partitioning wins on wirelength.
-        let netlist = generate(&SynthConfig::named("fd2", 400, 2.0e-9)).unwrap();
-        let config = PlacerConfig::new(2);
-        let chip = Chip::from_netlist(&netlist, &config).unwrap();
-        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
-        let partition_wl = full_flow_wl(&netlist, &chip, &model, &config, false);
-        let force_wl = full_flow_wl(&netlist, &chip, &model, &config, true);
+        // The claim is statistical, so it is measured in aggregate over
+        // several instances (a single instance is a near coin flip at one
+        // partitioning start), with the multi-start bisection the
+        // parallel engine makes cheap.
+        let mut partition_total = 0.0;
+        let mut force_total = 0.0;
+        for seed in 0..4u64 {
+            let netlist =
+                generate(&SynthConfig::named("fd2", 400, 2.0e-9).with_seed(0xDAC_2007 + seed))
+                    .unwrap();
+            let config = PlacerConfig::new(2).with_partition_starts(4);
+            let chip = Chip::from_netlist(&netlist, &config).unwrap();
+            let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+            partition_total += full_flow_wl(&netlist, &chip, &model, &config, false);
+            force_total += full_flow_wl(&netlist, &chip, &model, &config, true);
+        }
         assert!(
-            partition_wl < force_wl,
-            "partitioning ({partition_wl:.3e}) should beat force-directed ({force_wl:.3e})"
+            partition_total < force_total,
+            "partitioning ({partition_total:.3e}) should beat force-directed \
+             ({force_total:.3e}) in aggregate"
         );
     }
 

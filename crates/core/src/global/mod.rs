@@ -27,7 +27,8 @@ use crate::netweight::NetWeights;
 use crate::objective::{IncrementalObjective, ObjectiveModel};
 use crate::trr::TrrNets;
 use crate::{Chip, Placement, PlacerConfig};
-use tvp_netlist::{CellId, Netlist, NetId};
+use tvp_netlist::{CellId, NetId, Netlist};
+use tvp_parallel as parallel;
 use tvp_partition::{bisect_fixed, BisectConfig, FixedSide, Hypergraph};
 
 /// Axis a region is cut along.
@@ -125,37 +126,94 @@ pub fn global_place_with_fixed(
         net_weights: NetWeights::unit(netlist.num_nets()),
         trr: TrrNets::none(),
         trr_weight_of: vec![0.0; netlist.num_cells()],
-        vertex_of: vec![u32::MAX; netlist.num_cells()],
-        vertex_stamp: vec![0u32; netlist.num_cells()],
-        net_stamp: vec![0u32; netlist.num_nets()],
-        stamp: 0,
         level_seed: config.seed,
     };
+    let mut scratch = SplitScratch::new(netlist.num_cells(), netlist.num_nets());
 
     let mut active = vec![root];
     let mut level = 0usize;
     const MAX_LEVELS: usize = 64;
     while !active.is_empty() && level < MAX_LEVELS {
         splitter.refresh_thermal_state(&placement);
-        splitter.level_seed = config.seed.wrapping_add(level as u64).wrapping_mul(0x9E37_79B9);
+        splitter.level_seed = config
+            .seed
+            .wrapping_add(level as u64)
+            .wrapping_mul(0x9E37_79B9);
+        // Every bisection at this level reads cell positions as of the
+        // level start (a Jacobi-style sweep): terminal propagation sees
+        // the same world no matter which order — or on which thread —
+        // the regions are processed, and each region's bisection seed
+        // depends only on the level and the region's cells. The region
+        // outcomes are therefore order-independent, and the placement
+        // writes below touch disjoint cells (regions partition the
+        // movable cells), so parallel execution is bitwise identical to
+        // serial.
+        let snapshot = placement.clone();
+        let outcomes = splitter.process_level(&active, &snapshot, &mut scratch);
         let mut next = Vec::with_capacity(active.len() * 2);
-        for region in active {
-            if splitter.is_leaf(&region) {
-                splitter.finalize_leaf(&region, &mut placement);
-                continue;
+        for outcome in outcomes {
+            match outcome {
+                RegionOutcome::Leaf(writes) => {
+                    for (c, x, y, l) in writes {
+                        placement.set(c, x, y, l);
+                    }
+                }
+                RegionOutcome::Split(a, b) => {
+                    // Move cells to their new region centers for the next
+                    // level's terminal propagation.
+                    let (ax, ay, al) = a.center();
+                    for &c in &a.cells {
+                        placement.set(c, ax, ay, al);
+                    }
+                    let (bx, by, bl) = b.center();
+                    for &c in &b.cells {
+                        placement.set(c, bx, by, bl);
+                    }
+                    next.push(a);
+                    next.push(b);
+                }
             }
-            let (a, b) = splitter.split(region, &mut placement);
-            next.push(a);
-            next.push(b);
         }
         active = next;
         level += 1;
     }
     // Safety net: finalize anything left if MAX_LEVELS was hit.
     for region in active {
-        splitter.finalize_leaf(&region, &mut placement);
+        for (c, x, y, l) in splitter.finalize_leaf(&region) {
+            placement.set(c, x, y, l);
+        }
     }
     placement
+}
+
+/// Scratch buffers for building one region's hypergraph. Stamps avoid an
+/// O(cells + nets) clear between regions. Each worker chunk owns one
+/// scratch, so regions never contend on these.
+struct SplitScratch {
+    /// Cell → vertex index in the current region hypergraph.
+    vertex_of: Vec<u32>,
+    vertex_stamp: Vec<u32>,
+    net_stamp: Vec<u32>,
+    stamp: u32,
+}
+
+impl SplitScratch {
+    fn new(num_cells: usize, num_nets: usize) -> Self {
+        Self {
+            vertex_of: vec![u32::MAX; num_cells],
+            vertex_stamp: vec![0u32; num_cells],
+            net_stamp: vec![0u32; num_nets],
+            stamp: 0,
+        }
+    }
+}
+
+/// Result of processing one region at a level.
+enum RegionOutcome {
+    /// Final positions for a leaf region's cells.
+    Leaf(Vec<(CellId, f64, f64, u16)>),
+    /// The two children of a bisected region.
+    Split(Region, Region),
 }
 
 struct Splitter<'a> {
@@ -166,11 +224,6 @@ struct Splitter<'a> {
     net_weights: NetWeights,
     trr: TrrNets,
     trr_weight_of: Vec<f64>,
-    /// Scratch: cell → vertex index in the current region hypergraph.
-    vertex_of: Vec<u32>,
-    vertex_stamp: Vec<u32>,
-    net_stamp: Vec<u32>,
-    stamp: u32,
     level_seed: u64,
 }
 
@@ -187,8 +240,7 @@ impl<'a> Splitter<'a> {
         if !self.config.trr_nets {
             return;
         }
-        let objective =
-            IncrementalObjective::new(self.netlist, self.model, placement.clone());
+        let objective = IncrementalObjective::new(self.netlist, self.model, placement.clone());
         let profile = self
             .model
             .resistance()
@@ -206,6 +258,48 @@ impl<'a> Splitter<'a> {
         }
     }
 
+    /// Processes every region of one level against the level-start
+    /// `snapshot`. Regions are independent given the snapshot, so they
+    /// are chunked across the worker pool; outcomes come back in region
+    /// order and each worker chunk allocates its own scratch.
+    fn process_level(
+        &self,
+        regions: &[Region],
+        snapshot: &Placement,
+        scratch: &mut SplitScratch,
+    ) -> Vec<RegionOutcome> {
+        let workers = parallel::threads().min(regions.len());
+        if workers <= 1 {
+            return regions
+                .iter()
+                .map(|r| self.process_region(r, snapshot, scratch))
+                .collect();
+        }
+        let per_chunk = regions.len().div_ceil(workers);
+        let nested = parallel::map_chunks(regions.len(), per_chunk, |range| {
+            let mut scratch = SplitScratch::new(self.netlist.num_cells(), self.netlist.num_nets());
+            regions[range]
+                .iter()
+                .map(|r| self.process_region(r, snapshot, &mut scratch))
+                .collect::<Vec<_>>()
+        });
+        nested.into_iter().flatten().collect()
+    }
+
+    fn process_region(
+        &self,
+        region: &Region,
+        snapshot: &Placement,
+        scratch: &mut SplitScratch,
+    ) -> RegionOutcome {
+        if self.is_leaf(region) {
+            RegionOutcome::Leaf(self.finalize_leaf(region))
+        } else {
+            let (a, b) = self.split(region, snapshot, scratch);
+            RegionOutcome::Split(a, b)
+        }
+    }
+
     fn is_leaf(&self, region: &Region) -> bool {
         region.cells.len() <= 1
             || region.cells.len() <= self.config.leaf_cells.max(region.num_layers())
@@ -216,13 +310,14 @@ impl<'a> Splitter<'a> {
     /// (α_ILV is small relative to lateral extents); its cells are
     /// area-balanced across the layers, which is where the high via counts
     /// at low α_ILV come from.
-    fn finalize_leaf(&self, region: &Region, placement: &mut Placement) {
+    fn finalize_leaf(&self, region: &Region) -> Vec<(CellId, f64, f64, u16)> {
         let (cx, cy, _) = region.center();
         if region.num_layers() == 1 {
-            for &c in &region.cells {
-                placement.set(c, cx, cy, region.l0);
-            }
-            return;
+            return region
+                .cells
+                .iter()
+                .map(|&c| (c, cx, cy, region.l0))
+                .collect();
         }
         let mut fill = vec![0.0f64; region.num_layers()];
         let mut cells: Vec<CellId> = region.cells.clone();
@@ -234,6 +329,7 @@ impl<'a> Splitter<'a> {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
+        let mut writes = Vec::with_capacity(cells.len());
         for c in cells {
             let (best, _) = fill
                 .iter()
@@ -241,8 +337,9 @@ impl<'a> Splitter<'a> {
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .expect("at least one layer");
             fill[best] += self.netlist.cell(c).area();
-            placement.set(c, cx, cy, region.l0 + best as u16);
+            writes.push((c, cx, cy, region.l0 + best as u16));
         }
+        writes
     }
 
     /// Whitespace-derived partition tolerance for a region.
@@ -262,9 +359,14 @@ impl<'a> Splitter<'a> {
         whitespace.clamp(0.02, 0.45) / 2.0
     }
 
-    fn split(&mut self, region: Region, placement: &mut Placement) -> (Region, Region) {
+    fn split(
+        &self,
+        region: &Region,
+        snapshot: &Placement,
+        scratch: &mut SplitScratch,
+    ) -> (Region, Region) {
         let direction = choose_cut_direction(
-            &region,
+            region,
             self.model.alpha_ilv,
             self.config.weighted_depth_cut,
             self.chip.stack.layer_pitch(),
@@ -273,12 +375,12 @@ impl<'a> Splitter<'a> {
 
         // Build the region hypergraph: vertices = region cells (+ two
         // zero-weight terminals on demand).
-        self.stamp += 1;
-        let stamp = self.stamp;
+        scratch.stamp += 1;
+        let stamp = scratch.stamp;
         let mut weights: Vec<f64> = Vec::with_capacity(n + 2);
         for (v, &c) in region.cells.iter().enumerate() {
-            self.vertex_of[c.index()] = v as u32;
-            self.vertex_stamp[c.index()] = stamp;
+            scratch.vertex_of[c.index()] = v as u32;
+            scratch.vertex_stamp[c.index()] = stamp;
             weights.push(self.netlist.cell(c).area());
         }
         // Terminal vertices for propagated connectivity.
@@ -296,12 +398,12 @@ impl<'a> Splitter<'a> {
         for &c in &region.cells {
             for &p in self.netlist.cell_pins(c) {
                 let e = self.netlist.pin(p).net();
-                if self.net_stamp[e.index()] == stamp {
+                if scratch.net_stamp[e.index()] == stamp {
                     continue; // net already processed this region
                 }
-                self.net_stamp[e.index()] = stamp;
+                scratch.net_stamp[e.index()] = stamp;
                 self.add_net_to_hypergraph(
-                    e, placement, direction, mid, t0, t1, stamp, &mut hg, &mut pins,
+                    e, snapshot, scratch, direction, mid, t0, t1, stamp, &mut hg, &mut pins,
                 );
             }
         }
@@ -326,11 +428,9 @@ impl<'a> Splitter<'a> {
         };
         let bisect_config = BisectConfig {
             target_fraction,
-            tolerance: self.tolerance(&region),
+            tolerance: self.tolerance(region),
             num_starts: self.config.partition_starts,
-            seed: self
-                .level_seed
-                .wrapping_add(region.cells[0].index() as u64),
+            seed: self.level_seed.wrapping_add(region.cells[0].index() as u64),
             ..BisectConfig::default()
         };
         let result = bisect_fixed(&hg, &fixed, &bisect_config);
@@ -356,25 +456,15 @@ impl<'a> Splitter<'a> {
 
         let area0: f64 = side0.iter().map(|&c| self.netlist.cell(c).area()).sum();
         let area1: f64 = side1.iter().map(|&c| self.netlist.cell(c).area()).sum();
-        let (ra, rb) = region.split(direction, side0, side1, area0, area1);
-        // Move cells to their new region centers for the next level's
-        // terminal propagation.
-        let (cax, cay, cal) = ra.center();
-        for &c in &ra.cells {
-            placement.set(c, cax, cay, cal);
-        }
-        let (cbx, cby, cbl) = rb.center();
-        for &c in &rb.cells {
-            placement.set(c, cbx, cby, cbl);
-        }
-        (ra, rb)
+        region.split(direction, side0, side1, area0, area1)
     }
 
     #[allow(clippy::too_many_arguments)]
     fn add_net_to_hypergraph(
         &self,
         e: NetId,
-        placement: &Placement,
+        snapshot: &Placement,
+        scratch: &SplitScratch,
         direction: CutDirection,
         mid: f64,
         t0: u32,
@@ -388,21 +478,21 @@ impl<'a> Splitter<'a> {
         let mut ext1 = false;
         for &p in self.netlist.net(e).pins() {
             let c = self.netlist.pin(p).cell();
-            if self.vertex_stamp[c.index()] == stamp {
+            if scratch.vertex_stamp[c.index()] == stamp {
                 // A cell's stamp matches iff it belongs to this region,
                 // because regions partition the cells at every level.
-                pins.push(self.vertex_of[c.index()]);
+                pins.push(scratch.vertex_of[c.index()]);
             } else {
                 if !self.config.terminal_propagation {
                     continue;
                 }
                 // External pin: propagate to the nearer side (Dunlop–
-                // Kernighan terminal propagation) using its current
+                // Kernighan terminal propagation) using its level-start
                 // position along the cut axis.
                 let coord = match direction {
-                    CutDirection::X => placement.x(c),
-                    CutDirection::Y => placement.y(c),
-                    CutDirection::Z => placement.layer(c) as f64,
+                    CutDirection::X => snapshot.x(c),
+                    CutDirection::Y => snapshot.y(c),
+                    CutDirection::Z => snapshot.layer(c) as f64,
                 };
                 if coord < mid {
                     ext0 = true;
@@ -480,7 +570,10 @@ mod tests {
         );
         // Single-layer regions never z-cut.
         let flat = Region { l1: 0, ..region };
-        assert_eq!(choose_cut_direction(&flat, 1.0, true, PITCH), CutDirection::X);
+        assert_eq!(
+            choose_cut_direction(&flat, 1.0, true, PITCH),
+            CutDirection::X
+        );
         // Taller than wide → Y cut.
         let tall = Region {
             x1: 0.5e-4,
@@ -571,5 +664,25 @@ mod tests {
         let (_, _, a, _, _) = run(1.0e-5, 0.0, 2);
         let (_, _, b, _, _) = run(1.0e-5, 0.0, 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_levels_match_serial_bitwise() {
+        // Thermal weighting on, so the snapshot path is exercised with
+        // net weights and TRR state in play.
+        let netlist = generate(&SynthConfig::named("t", 300, 1.5e-9)).unwrap();
+        let config = PlacerConfig::new(4)
+            .with_alpha_ilv(1.0e-5)
+            .with_alpha_temp(1.0e-4);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let serial =
+            tvp_parallel::with_threads(1, || global_place(&netlist, &chip, &model, &config));
+        for threads in [2, 4] {
+            let par = tvp_parallel::with_threads(threads, || {
+                global_place(&netlist, &chip, &model, &config)
+            });
+            assert_eq!(serial, par, "threads = {threads}");
+        }
     }
 }

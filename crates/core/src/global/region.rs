@@ -108,8 +108,7 @@ impl Region {
             CutDirection::Z => {
                 let layers = self.num_layers();
                 assert!(layers >= 2, "cannot z-split a single layer");
-                let k0 = ((layers as f64 * area0 / total).round() as usize)
-                    .clamp(1, layers - 1);
+                let k0 = ((layers as f64 * area0 / total).round() as usize).clamp(1, layers - 1);
                 (
                     Region {
                         cells: side0,
@@ -183,7 +182,10 @@ mod tests {
     fn split_fraction_is_clamped() {
         let r = region();
         let (a, _) = r.split(CutDirection::X, vec![], vec![], 100.0, 0.0);
-        assert!(a.x1 < r.x1, "even a lopsided split leaves both sides volume");
+        assert!(
+            a.x1 < r.x1,
+            "even a lopsided split leaves both sides volume"
+        );
         assert!((a.x1 - 0.9 * 8.0).abs() < 1e-12);
     }
 

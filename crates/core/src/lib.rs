@@ -36,8 +36,8 @@ pub mod chip;
 pub mod coarse;
 pub mod config;
 pub mod detail;
-pub mod global;
 mod error;
+pub mod global;
 pub mod metrics;
 pub mod netweight;
 pub mod objective;
@@ -51,4 +51,4 @@ pub use config::{PlacerConfig, ShiftStrategy, TechnologyParams};
 pub use error::PlaceError;
 pub use metrics::PlacementMetrics;
 pub use placement::Placement;
-pub use placer::{Placer, PlacementResult, StageTimings};
+pub use placer::{PlacementResult, Placer, StageTimings, ThermalSnapshot};

@@ -5,7 +5,7 @@ use crate::objective::{IncrementalObjective, ObjectiveModel};
 use crate::{Chip, PlaceError};
 use std::fmt;
 use tvp_netlist::Netlist;
-use tvp_thermal::{PowerMap, ThermalSimulator};
+use tvp_thermal::{PowerMap, ThermalSimulator, ThermalSolveContext};
 
 /// Quality metrics of one placement.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -59,6 +59,27 @@ pub fn compute(
     objective: &IncrementalObjective<'_>,
     thermal_grid: (usize, usize),
 ) -> Result<PlacementMetrics, PlaceError> {
+    let (nx, ny) = thermal_grid;
+    let sim = ThermalSimulator::new(chip.stack, chip.width, chip.depth, nx, ny)?;
+    let mut context = sim.context();
+    compute_with(netlist, chip, model, objective, &sim, &mut context)
+}
+
+/// [`compute`] on a caller-owned simulator and solve context, so a
+/// placement loop that evaluates temperature repeatedly reuses the
+/// cached preconditioner and warm-starts CG from the previous field.
+///
+/// # Errors
+///
+/// Propagates thermal solve failures.
+pub fn compute_with(
+    netlist: &Netlist,
+    chip: &Chip,
+    model: &ObjectiveModel,
+    objective: &IncrementalObjective<'_>,
+    sim: &ThermalSimulator,
+    context: &mut ThermalSolveContext,
+) -> Result<PlacementMetrics, PlaceError> {
     let wirelength = objective.total_wirelength();
     let ilv_count = objective.total_ilv();
     let total_power = objective.total_power();
@@ -70,8 +91,32 @@ pub fn compute(
         ilv_count / interlayers as f64 / chip.layer_area()
     };
 
-    let (nx, ny) = thermal_grid;
-    let sim = ThermalSimulator::new(chip.stack, chip.width, chip.depth, nx, ny)?;
+    let (avg_temperature, max_temperature) =
+        solve_temperatures(netlist, chip, model, objective, sim, context)?;
+
+    Ok(PlacementMetrics {
+        wirelength,
+        ilv_count,
+        ilv_density_per_interlayer,
+        total_power,
+        avg_temperature,
+        max_temperature,
+        objective: objective.total(),
+    })
+}
+
+/// Solves the thermal field of the current placement through `context`
+/// (warm-starting from its previous solution, if any) and returns the
+/// `(cell-average, max)` temperatures.
+pub(crate) fn solve_temperatures(
+    netlist: &Netlist,
+    chip: &Chip,
+    model: &ObjectiveModel,
+    objective: &IncrementalObjective<'_>,
+    sim: &ThermalSimulator,
+    context: &mut ThermalSolveContext,
+) -> Result<(f64, f64), PlaceError> {
+    let (nx, ny, _) = sim.grid_dims();
     let mut power_map = PowerMap::new(nx, ny, chip.num_layers);
     for (cell, x, y, layer) in objective.placement().iter() {
         let p = model.power().cell_power(netlist, cell, |e| {
@@ -89,7 +134,7 @@ pub fn compute(
             );
         }
     }
-    let field = sim.solve(&power_map)?;
+    let field = sim.solve_with(&power_map, context)?;
 
     let mut t_sum = 0.0;
     let mut n_cells = 0usize;
@@ -102,16 +147,7 @@ pub fn compute(
     } else {
         t_sum / n_cells as f64
     };
-
-    Ok(PlacementMetrics {
-        wirelength,
-        ilv_count,
-        ilv_density_per_interlayer,
-        total_power,
-        avg_temperature,
-        max_temperature: field.max_temperature(),
-        objective: objective.total(),
-    })
+    Ok((avg_temperature, field.max_temperature()))
 }
 
 #[cfg(test)]
@@ -146,10 +182,12 @@ mod tests {
         assert!((metrics.wirelength - objective.total_wirelength()).abs() < 1e-15);
         assert!((metrics.ilv_count - objective.total_ilv()).abs() < 1e-15);
         assert!(metrics.total_power > 0.0);
-        assert!(metrics.avg_temperature > 0.0, "powered chip is above ambient");
+        assert!(
+            metrics.avg_temperature > 0.0,
+            "powered chip is above ambient"
+        );
         assert!(metrics.max_temperature >= metrics.avg_temperature);
-        let expected_density =
-            metrics.ilv_count / 3.0 / chip.layer_area();
+        let expected_density = metrics.ilv_count / 3.0 / chip.layer_area();
         assert!((metrics.ilv_density_per_interlayer - expected_density).abs() < 1e-6);
         assert!(!metrics.to_string().is_empty());
     }

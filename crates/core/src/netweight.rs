@@ -16,7 +16,11 @@
 
 use crate::objective::ObjectiveModel;
 use crate::Placement;
-use tvp_netlist::{Netlist, NetId};
+use tvp_netlist::{NetId, Netlist};
+
+/// Minimum nets per parallel chunk (the per-net work is one resistance
+/// query; smaller batches are not worth scheduling).
+const NETWEIGHT_MIN_CHUNK: usize = 512;
 
 /// Per-net lateral and vertical weights.
 #[derive(Clone, PartialEq, Debug)]
@@ -42,25 +46,36 @@ impl NetWeights {
     /// weight from the benchmark multiplies both components.
     pub fn thermal(netlist: &Netlist, model: &ObjectiveModel, placement: &Placement) -> Self {
         let n = netlist.num_nets();
-        let mut lateral = Vec::with_capacity(n);
-        let mut vertical = Vec::with_capacity(n);
+        let mut lateral = vec![0.0; n];
+        let mut vertical = vec![0.0; n];
         let alpha_temp = model.alpha_temp;
         let alpha_ilv = model.alpha_ilv;
-        for e in 0..n {
-            let net_id = NetId::new(e);
-            let structural = netlist.net(net_id).weight();
-            let (mut lat, mut vert) = (1.0, 1.0);
-            if alpha_temp > 0.0 {
-                if let Some(driver) = netlist.net_driver_cell(net_id) {
-                    let (x, y, layer) = placement.position(driver);
-                    let r_net = model.cell_resistance(x, y, layer, netlist.cell(driver).area());
-                    lat += alpha_temp * r_net * model.power().s_wl(net_id);
-                    vert += alpha_temp * r_net * model.power().s_ilv(net_id) / alpha_ilv;
+        // One weight pair per net, each a pure function of that net's
+        // driver position: chunk-parallel and bitwise identical for any
+        // thread count.
+        tvp_parallel::for_each_chunk_mut2(
+            &mut lateral,
+            &mut vertical,
+            NETWEIGHT_MIN_CHUNK,
+            |start, lats, verts| {
+                for (off, (l, v)) in lats.iter_mut().zip(verts.iter_mut()).enumerate() {
+                    let net_id = NetId::new(start + off);
+                    let structural = netlist.net(net_id).weight();
+                    let (mut lat, mut vert) = (1.0, 1.0);
+                    if alpha_temp > 0.0 {
+                        if let Some(driver) = netlist.net_driver_cell(net_id) {
+                            let (x, y, layer) = placement.position(driver);
+                            let r_net =
+                                model.cell_resistance(x, y, layer, netlist.cell(driver).area());
+                            lat += alpha_temp * r_net * model.power().s_wl(net_id);
+                            vert += alpha_temp * r_net * model.power().s_ilv(net_id) / alpha_ilv;
+                        }
+                    }
+                    *l = structural * lat;
+                    *v = structural * vert;
                 }
-            }
-            lateral.push(structural * lat);
-            vertical.push(structural * vert);
-        }
+            },
+        );
         Self { lateral, vertical }
     }
 
@@ -137,8 +152,7 @@ mod tests {
         let high = NetWeights::thermal(&netlist, &model, &placement);
         for e in 0..netlist.num_nets() {
             let id = NetId::new(e);
-            if netlist.net_driver_cell(id).is_some() && netlist.net(id).switching_activity() > 0.0
-            {
+            if netlist.net_driver_cell(id).is_some() && netlist.net(id).switching_activity() > 0.0 {
                 assert!(
                     high.lateral(id) >= low.lateral(id),
                     "net {e}: {} < {}",
@@ -168,8 +182,7 @@ mod tests {
         let driven = (0..netlist.num_nets())
             .map(NetId::new)
             .find(|&e| {
-                netlist.net_driver_cell(e).is_some()
-                    && netlist.net(e).switching_activity() > 0.0
+                netlist.net_driver_cell(e).is_some() && netlist.net(e).switching_activity() > 0.0
             })
             .unwrap();
         assert!(w_small.vertical(driven) > w_large.vertical(driven));

@@ -12,8 +12,17 @@
 
 use crate::power::PowerModel;
 use crate::{Chip, Placement, PlacerConfig};
-use tvp_netlist::{CellId, Netlist, NetId};
+use tvp_netlist::{CellId, NetId, Netlist};
+use tvp_parallel as parallel;
 use tvp_thermal::ResistanceModel;
+
+/// Minimum nets/cells per parallel chunk when rebuilding caches; smaller
+/// designs run single-chunk (serially) where threading overhead would
+/// dominate.
+const REBUILD_MIN_CHUNK: usize = 512;
+/// Minimum elements per chunk for the scalar reductions in
+/// `compute_total`.
+const SUM_MIN_CHUNK: usize = 4096;
 
 /// Static (placement-independent) parts of the objective.
 #[derive(Clone, Debug)]
@@ -118,30 +127,84 @@ impl<'a> IncrementalObjective<'a> {
 
     /// Recomputes every cache from scratch (used after bulk placement
     /// changes and by consistency tests).
+    ///
+    /// Both passes are elementwise maps, parallelized over chunks of nets
+    /// and cells; each element's arithmetic is independent of the
+    /// chunking, so the rebuilt caches are bitwise identical for every
+    /// thread count. Only the scalar reduction in `compute_total` is
+    /// association-sensitive (see there).
     pub fn rebuild(&mut self) {
-        for e in 0..self.netlist.num_nets() {
-            self.nets[e] = self.compute_net_geometry(NetId::new(e), None);
-        }
-        for c in 0..self.netlist.num_cells() {
-            let cell = CellId::new(c);
-            self.cell_power[c] = self.model.power.cell_power(self.netlist, cell, |e| {
-                let g = self.nets[e.index()];
-                (g.wirelength(), g.ilv)
+        let mut nets = std::mem::take(&mut self.nets);
+        {
+            let this: &Self = self;
+            parallel::for_each_chunk_mut(&mut nets, REBUILD_MIN_CHUNK, |start, chunk| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = this.compute_net_geometry(NetId::new(start + off), None);
+                }
             });
-            self.cell_resistance[c] = self.resistance_at(cell, self.placement.position(cell));
         }
+        self.nets = nets;
+
+        let mut cell_power = std::mem::take(&mut self.cell_power);
+        let mut cell_resistance = std::mem::take(&mut self.cell_resistance);
+        {
+            let this: &Self = self;
+            parallel::for_each_chunk_mut2(
+                &mut cell_power,
+                &mut cell_resistance,
+                REBUILD_MIN_CHUNK,
+                |start, powers, resistances| {
+                    for (off, (p, r)) in powers.iter_mut().zip(resistances.iter_mut()).enumerate() {
+                        let cell = CellId::new(start + off);
+                        *p = this.model.power.cell_power(this.netlist, cell, |e| {
+                            let g = this.nets[e.index()];
+                            (g.wirelength(), g.ilv)
+                        });
+                        *r = this.resistance_at(cell, this.placement.position(cell));
+                    }
+                },
+            );
+        }
+        self.cell_power = cell_power;
+        self.cell_resistance = cell_resistance;
+
         self.total = self.compute_total();
     }
 
+    /// The objective from the current caches. One thread: the historical
+    /// single-accumulator loop, bitwise identical to the serial engine.
+    /// Parallel: chunk partials folded in chunk order — identical across
+    /// all thread counts ≥ 2, and within ~1e-9 relative of the serial
+    /// value (reassociation only).
     fn compute_total(&self) -> f64 {
-        let mut total = 0.0;
-        for g in &self.nets {
-            total += g.wirelength() + self.model.alpha_ilv * g.ilv;
-        }
-        if self.model.alpha_temp > 0.0 {
-            for c in 0..self.netlist.num_cells() {
-                total += self.model.alpha_temp * self.cell_resistance[c] * self.cell_power[c];
+        if parallel::threads() == 1 {
+            let mut total = 0.0;
+            for g in &self.nets {
+                total += g.wirelength() + self.model.alpha_ilv * g.ilv;
             }
+            if self.model.alpha_temp > 0.0 {
+                for c in 0..self.netlist.num_cells() {
+                    total += self.model.alpha_temp * self.cell_resistance[c] * self.cell_power[c];
+                }
+            }
+            return total;
+        }
+        let alpha_ilv = self.model.alpha_ilv;
+        let mut total = parallel::sum_chunks(self.nets.len(), SUM_MIN_CHUNK, |range| {
+            self.nets[range]
+                .iter()
+                .map(|g| g.wirelength() + alpha_ilv * g.ilv)
+                .sum()
+        });
+        if self.model.alpha_temp > 0.0 {
+            let alpha_temp = self.model.alpha_temp;
+            total += parallel::sum_chunks(self.cell_power.len(), SUM_MIN_CHUNK, |range| {
+                self.cell_resistance[range.clone()]
+                    .iter()
+                    .zip(&self.cell_power[range])
+                    .map(|(r, p)| alpha_temp * r * p)
+                    .sum()
+            });
         }
         total
     }
@@ -351,7 +414,9 @@ impl<'a> IncrementalObjective<'a> {
         (0..self.netlist.num_nets())
             .map(|e| {
                 let g = self.nets[e];
-                self.model.power.net_power(NetId::new(e), g.wirelength(), g.ilv)
+                self.model
+                    .power
+                    .net_power(NetId::new(e), g.wirelength(), g.ilv)
             })
             .sum()
     }
@@ -376,9 +441,9 @@ impl<'a> IncrementalObjective<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tvp_bookshelf::synth::{generate, SynthConfig};
     use rand::rngs::SmallRng;
     use rand::{RngExt, SeedableRng};
+    use tvp_bookshelf::synth::{generate, SynthConfig};
 
     fn fixture(alpha_temp: f64) -> (Netlist, Chip, PlacerConfig) {
         let netlist = generate(&SynthConfig::named("t", 120, 6.0e-10)).unwrap();
@@ -389,11 +454,7 @@ mod tests {
         (netlist, chip, config)
     }
 
-    fn random_spread(
-        netlist: &Netlist,
-        chip: &Chip,
-        seed: u64,
-    ) -> Placement {
+    fn random_spread(netlist: &Netlist, chip: &Chip, seed: u64) -> Placement {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut p = Placement::centered(netlist.num_cells(), chip);
         for i in 0..netlist.num_cells() {
@@ -557,10 +618,7 @@ mod tests {
         let d_up = obj.delta_move(driver, x, y, (chip.num_layers - 1) as u16);
         // The pure thermal component favors layer 0; ILV changes can mask
         // it, so compare the thermal residue after removing the ILV part.
-        let g_down: f64 = netlist
-            .cell_nets(driver)
-            .map(|_| 0.0)
-            .sum::<f64>();
+        let g_down: f64 = netlist.cell_nets(driver).map(|_| 0.0).sum::<f64>();
         let _ = g_down;
         assert!(
             d_down - d_up < 0.0 - 1e-18 || obj.cell_power(driver) == 0.0,

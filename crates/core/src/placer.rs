@@ -7,6 +7,7 @@ use crate::objective::{IncrementalObjective, ObjectiveModel};
 use crate::{Chip, PlaceError, Placement, PlacerConfig};
 use std::time::{Duration, Instant};
 use tvp_netlist::Netlist;
+use tvp_thermal::{ThermalSimulator, ThermalSolveContext};
 
 /// Wall-clock duration of each pipeline stage.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -21,6 +22,25 @@ pub struct StageTimings {
     pub total: Duration,
 }
 
+/// Temperatures and thermal-solver effort at one pipeline stage boundary.
+///
+/// The pipeline evaluates the thermal field after every stage through one
+/// shared CG context, so each snapshot after the first warm-starts from
+/// the previous stage's field; `cg_iterations` records what that saved.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ThermalSnapshot {
+    /// Pipeline stage this snapshot was taken after.
+    pub stage: &'static str,
+    /// Mean cell temperature, °C.
+    pub avg_temperature: f64,
+    /// Maximum device temperature, °C.
+    pub max_temperature: f64,
+    /// CG iterations the solve consumed.
+    pub cg_iterations: usize,
+    /// Whether the solve warm-started from the previous stage's field.
+    pub warm_started: bool,
+}
+
 /// Everything the pipeline produces.
 #[derive(Clone, PartialEq, Debug)]
 pub struct PlacementResult {
@@ -32,6 +52,9 @@ pub struct PlacementResult {
     pub legalize: LegalizeStats,
     /// Per-stage wall-clock timings (Fig. 10 material).
     pub timings: StageTimings,
+    /// Thermal field after each pipeline stage, all solved through one
+    /// warm-started CG context (the last entry matches `metrics`).
+    pub thermal_trajectory: Vec<ThermalSnapshot>,
     /// The chip geometry the netlist was placed on.
     pub chip: Chip,
 }
@@ -98,10 +121,31 @@ impl Placer {
         netlist: &Netlist,
         fixed_positions: &[(tvp_netlist::CellId, f64, f64, u16)],
     ) -> Result<PlacementResult, PlaceError> {
+        // All parallel hot paths below (thermal CG, objective rebuilds,
+        // recursive bisection) read the effective thread count from this
+        // scope; `config.threads == 0` means all hardware threads.
+        tvp_parallel::with_threads(self.config.threads, || {
+            self.place_with_fixed_inner(netlist, fixed_positions)
+        })
+    }
+
+    fn place_with_fixed_inner(
+        &self,
+        netlist: &Netlist,
+        fixed_positions: &[(tvp_netlist::CellId, f64, f64, u16)],
+    ) -> Result<PlacementResult, PlaceError> {
         let start = Instant::now();
         let config = &self.config;
         let chip = Chip::from_netlist(netlist, config)?;
         let model = ObjectiveModel::new(netlist, &chip, config)?;
+
+        // One simulator + CG context for every thermal evaluation of this
+        // run: the Jacobi preconditioner is built once, and each stage's
+        // solve warm-starts from the previous stage's field.
+        let (nx, ny) = config.thermal_grid;
+        let sim = ThermalSimulator::new(chip.stack, chip.width, chip.depth, nx, ny)?;
+        let mut thermal_ctx = sim.context();
+        let mut trajectory: Vec<ThermalSnapshot> = Vec::new();
 
         let t_global = Instant::now();
         let placement =
@@ -109,13 +153,34 @@ impl Placer {
         let global_time = t_global.elapsed();
 
         let mut objective = IncrementalObjective::new(netlist, &model, placement);
+        snapshot(
+            "global",
+            netlist,
+            &chip,
+            &model,
+            &objective,
+            &sim,
+            &mut thermal_ctx,
+            &mut trajectory,
+        )?;
 
         let t_coarse = Instant::now();
         coarse_legalize(&mut objective, netlist, &chip, config);
         let mut coarse_time = t_coarse.elapsed();
+        snapshot(
+            "coarse",
+            netlist,
+            &chip,
+            &model,
+            &objective,
+            &sim,
+            &mut thermal_ctx,
+            &mut trajectory,
+        )?;
 
         let t_detail = Instant::now();
-        let mut legalize = detail_legalize(&mut objective, netlist, &chip, config.detail_row_window);
+        let mut legalize =
+            detail_legalize(&mut objective, netlist, &chip, config.detail_row_window);
         refine_legal(&mut objective, netlist, &chip, config.legal_refine_passes);
         let mut detail_time = t_detail.elapsed();
 
@@ -135,7 +200,16 @@ impl Placer {
             panic!("detailed legalization produced an illegal placement: {violation}");
         }
 
-        let metrics = metrics::compute(netlist, &chip, &model, &objective, config.thermal_grid)?;
+        let metrics =
+            metrics::compute_with(netlist, &chip, &model, &objective, &sim, &mut thermal_ctx)?;
+        let stats = thermal_ctx.last_stats().expect("metrics ran a solve");
+        trajectory.push(ThermalSnapshot {
+            stage: "final",
+            avg_temperature: metrics.avg_temperature,
+            max_temperature: metrics.max_temperature,
+            cg_iterations: stats.iterations,
+            warm_started: stats.warm_started,
+        });
         Ok(PlacementResult {
             placement: objective.into_placement(),
             metrics,
@@ -146,9 +220,36 @@ impl Placer {
                 detail: detail_time,
                 total: start.elapsed(),
             },
+            thermal_trajectory: trajectory,
             chip,
         })
     }
+}
+
+/// Solves the thermal field of the current placement through the shared
+/// warm-started context and appends the outcome to the trajectory.
+#[allow(clippy::too_many_arguments)]
+fn snapshot(
+    stage: &'static str,
+    netlist: &Netlist,
+    chip: &Chip,
+    model: &ObjectiveModel,
+    objective: &IncrementalObjective<'_>,
+    sim: &ThermalSimulator,
+    thermal_ctx: &mut ThermalSolveContext,
+    trajectory: &mut Vec<ThermalSnapshot>,
+) -> Result<(), PlaceError> {
+    let (avg, max) =
+        metrics::solve_temperatures(netlist, chip, model, objective, sim, thermal_ctx)?;
+    let stats = thermal_ctx.last_stats().expect("solve just ran");
+    trajectory.push(ThermalSnapshot {
+        stage,
+        avg_temperature: avg,
+        max_temperature: max,
+        cg_iterations: stats.iterations,
+        warm_started: stats.warm_started,
+    });
+    Ok(())
 }
 
 #[cfg(test)]
@@ -174,7 +275,9 @@ mod tests {
     #[test]
     fn empty_netlist_is_an_error() {
         let netlist = tvp_netlist::NetlistBuilder::new().build().unwrap();
-        let err = Placer::new(PlacerConfig::new(2)).place(&netlist).unwrap_err();
+        let err = Placer::new(PlacerConfig::new(2))
+            .place(&netlist)
+            .unwrap_err();
         assert!(matches!(err, PlaceError::EmptyNetlist));
     }
 
@@ -264,11 +367,58 @@ mod tests {
     }
 
     #[test]
-    fn thermal_run_reduces_temperature() {
-        let netlist = generate(&SynthConfig::named("t", 400, 2.0e-9)).unwrap();
-        let base = Placer::new(PlacerConfig::new(4))
+    fn thermal_trajectory_warm_starts_and_saves_iterations() {
+        let netlist = generate(&SynthConfig::named("t", 250, 1.25e-9)).unwrap();
+        let result = Placer::new(PlacerConfig::new(4)).place(&netlist).unwrap();
+        let t = &result.thermal_trajectory;
+        assert_eq!(t.len(), 3, "global, coarse, final");
+        assert_eq!(t[0].stage, "global");
+        assert_eq!(t.last().unwrap().stage, "final");
+        assert!(!t[0].warm_started, "first solve is cold");
+        assert!(t[1..].iter().all(|s| s.warm_started));
+        // Legalization rearranges the whole power map, so stage-boundary
+        // warm starts are not guaranteed to *save* iterations (the small
+        // per-move perturbation case is covered in tvp-thermal); they must
+        // at least never cost materially more than the cold solve.
+        let cold = t[0].cg_iterations;
+        assert!(
+            t[1..].iter().all(|s| s.cg_iterations <= cold + cold / 10),
+            "warm solves should not converge slower: {t:?}"
+        );
+        // The last snapshot is exactly the reported metrics solve.
+        assert_eq!(
+            t.last().unwrap().avg_temperature,
+            result.metrics.avg_temperature
+        );
+        assert_eq!(
+            t.last().unwrap().max_temperature,
+            result.metrics.max_temperature
+        );
+    }
+
+    #[test]
+    fn placement_is_identical_for_any_thread_count() {
+        let netlist = generate(&SynthConfig::named("t", 250, 1.25e-9)).unwrap();
+        let serial = Placer::new(PlacerConfig::new(4).with_threads(1))
             .place(&netlist)
             .unwrap();
+        let parallel = Placer::new(PlacerConfig::new(4).with_threads(4))
+            .place(&netlist)
+            .unwrap();
+        assert_eq!(serial.placement, parallel.placement);
+        assert_eq!(serial.metrics.wirelength, parallel.metrics.wirelength);
+        assert_eq!(serial.metrics.ilv_count, parallel.metrics.ilv_count);
+        // Temperatures go through CG with reordered reductions; they agree
+        // to far better than the solver tolerance.
+        let rel = (serial.metrics.avg_temperature - parallel.metrics.avg_temperature).abs()
+            / serial.metrics.avg_temperature;
+        assert!(rel < 1e-6, "temperature drift {rel}");
+    }
+
+    #[test]
+    fn thermal_run_reduces_temperature() {
+        let netlist = generate(&SynthConfig::named("t", 400, 2.0e-9)).unwrap();
+        let base = Placer::new(PlacerConfig::new(4)).place(&netlist).unwrap();
         let thermal = Placer::new(PlacerConfig::new(4).with_alpha_temp(1.0e-4))
             .place(&netlist)
             .unwrap();

@@ -7,7 +7,7 @@
 //! weighting (§3.1) and the thermal-resistance-reduction nets (§3.2).
 
 use crate::TechnologyParams;
-use tvp_netlist::{CellId, Netlist, NetId};
+use tvp_netlist::{CellId, NetId, Netlist};
 
 /// Precomputed per-net power coefficients.
 ///
@@ -81,7 +81,8 @@ impl PowerModel {
     /// (Eq. 4–5).
     #[inline]
     pub fn net_power(&self, net: NetId, wirelength: f64, ilv: f64) -> f64 {
-        self.s_wl[net.index()] * wirelength + self.s_ilv[net.index()] * ilv
+        self.s_wl[net.index()] * wirelength
+            + self.s_ilv[net.index()] * ilv
             + self.s_pins[net.index()]
     }
 

@@ -15,7 +15,7 @@
 //! (Eq. 15), extended to 3D.
 
 use crate::objective::{IncrementalObjective, ObjectiveModel};
-use tvp_netlist::{CellId, Netlist, NetId};
+use tvp_netlist::{CellId, NetId, Netlist};
 use tvp_thermal::VerticalProfile;
 
 /// The PEKO-3D lower bounds for one net (Eq. 13–15).
@@ -39,11 +39,7 @@ pub struct NetLowerBounds {
 ///   root of `α_ILV · w_ave · h_ave · n`;
 /// * the optimal lateral span subtracts the cell's own extent, and
 /// * the optimal via count is the cube side divided by `α_ILV`, minus one.
-pub fn net_lower_bounds(
-    netlist: &Netlist,
-    net: NetId,
-    alpha_ilv: f64,
-) -> NetLowerBounds {
+pub fn net_lower_bounds(netlist: &Netlist, net: NetId, alpha_ilv: f64) -> NetLowerBounds {
     let pins = netlist.net(net).pins();
     let n = pins.len();
     if n < 2 {
@@ -269,7 +265,10 @@ mod tests {
         let weights: Vec<(CellId, f64)> = trr.nets().iter().map(|t| (t.cell, t.weight)).collect();
         assert!(weights.len() > 2);
         let max = weights.iter().map(|&(_, w)| w).fold(0.0, f64::max);
-        let min = weights.iter().map(|&(_, w)| w).fold(f64::INFINITY, f64::min);
+        let min = weights
+            .iter()
+            .map(|&(_, w)| w)
+            .fold(f64::INFINITY, f64::min);
         assert!(max > min, "weights must differentiate cells");
     }
 }

@@ -9,10 +9,7 @@ use tvp_netlist::CellId;
 
 /// A move script: cell index plus fractional position on the chip.
 fn moves_strategy() -> impl Strategy<Value = Vec<(usize, f64, f64, u16)>> {
-    prop::collection::vec(
-        (0usize..120, 0.0f64..1.0, 0.0f64..1.0, 0u16..4),
-        1..80,
-    )
+    prop::collection::vec((0usize..120, 0.0f64..1.0, 0.0f64..1.0, 0u16..4), 1..80)
 }
 
 fn fixture(alpha_temp: f64, seed: u64) -> (tvp_netlist::Netlist, Chip, PlacerConfig) {

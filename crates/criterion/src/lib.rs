@@ -1,0 +1,296 @@
+//! A vendored, dependency-free subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmarking API.
+//!
+//! The build environment has no crates.io access, so the workspace routes
+//! its `criterion` dev-dependency here (Cargo `package =` renaming) and
+//! the `benches/*.rs` files compile unchanged.
+//!
+//! The statistical machinery is intentionally simple: each benchmark is
+//! warmed up briefly, then timed for `sample_size` samples where every
+//! sample runs enough iterations to cover a minimum measurable window.
+//! Results (mean / median / min per iteration) print to stdout in a
+//! stable, grep-friendly format. There are no HTML reports, baselines, or
+//! outlier analysis.
+//!
+//! Like real criterion harnesses, a positional CLI argument filters
+//! benchmarks by substring, and `--list` prints names without running —
+//! both also swallow the flags `cargo bench`/`cargo test` pass to
+//! `harness = false` targets.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+    list_only: bool,
+    /// Default sample count (overridable per group).
+    sample_size: usize,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        let mut filter = None;
+        let mut list_only = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--list" => list_only = true,
+                // Flags cargo's harness protocol passes; `--exact` and
+                // `--nocapture` arrive from `cargo test --benches`.
+                "--bench" | "--test" | "--exact" | "--nocapture" | "--quiet" | "-q" => {}
+                "--format" | "--logfile" => {
+                    args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        // `cargo test` compiles harness=false bench targets and runs them
+        // with `--test`: keep that invocation fast by only listing.
+        if std::env::args().any(|a| a == "--test") {
+            list_only = true;
+        }
+        Self {
+            filter,
+            list_only,
+            sample_size: 20,
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let name = id.to_string();
+        run_benchmark(self, &name, self.sample_size, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs `f` as the benchmark `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(self.criterion, &name, samples, f);
+        self
+    }
+
+    /// Runs `f(bencher, input)` as the benchmark `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier (`group/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration times, one entry per sample.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value live via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50ms elapse (at least once) to fault in
+        // caches and let the routine reach steady state.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters == 0 || warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        // Each sample runs enough iterations to cover ~5ms so that timer
+        // granularity is negligible; slow routines run once per sample.
+        let iters_per_sample =
+            (Duration::from_millis(5).as_nanos() / per_iter.as_nanos().max(1)) as u64;
+        let iters_per_sample = iters_per_sample.clamp(1, 1_000_000);
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.results.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    name: &str,
+    samples: usize,
+    mut f: F,
+) {
+    if let Some(filter) = &criterion.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if criterion.list_only {
+        println!("{name}: benchmark");
+        return;
+    }
+    let mut bencher = Bencher {
+        samples: samples.max(1),
+        results: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.results.is_empty() {
+        println!("{name:<50} (no measurement: bencher.iter never called)");
+        return;
+    }
+    bencher.results.sort_unstable();
+    let min = bencher.results[0];
+    let median = bencher.results[bencher.results.len() / 2];
+    let mean = bencher.results.iter().sum::<Duration>() / bencher.results.len() as u32;
+    println!(
+        "{name:<50} median {:>12} mean {:>12} min {:>12} ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(min),
+        bencher.results.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::__new_from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+impl Criterion {
+    /// Used by `criterion_main!`; not part of the public criterion API.
+    #[doc(hidden)]
+    pub fn __new_from_args() -> Self {
+        Self::from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("solve", "8x8").to_string(), "solve/8x8");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: 3,
+            results: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.results.len(), 3);
+    }
+
+    #[test]
+    fn fmt_duration_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -9,15 +9,13 @@ fn construction_plan() -> impl Strategy<Value = (Vec<(f64, f64)>, Vec<Vec<usize>
     let cells = prop::collection::vec((0.1f64..10.0, 0.1f64..10.0), 1..40);
     cells.prop_flat_map(|cells| {
         let n = cells.len();
-        let nets = prop::collection::vec(
-            prop::collection::hash_set(0..n, 1..(n + 1).min(8)),
-            0..60,
-        )
-        .prop_map(|nets| {
-            nets.into_iter()
-                .map(|s| s.into_iter().collect::<Vec<_>>())
-                .collect::<Vec<_>>()
-        });
+        let nets =
+            prop::collection::vec(prop::collection::hash_set(0..n, 1..(n + 1).min(8)), 0..60)
+                .prop_map(|nets| {
+                    nets.into_iter()
+                        .map(|s| s.into_iter().collect::<Vec<_>>())
+                        .collect::<Vec<_>>()
+                });
         (Just(cells), nets)
     })
 }

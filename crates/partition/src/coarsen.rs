@@ -55,8 +55,7 @@ pub(crate) fn coarsen_once(
             }
             let s = hg.net_weight(e) / (pins.len() - 1) as f64;
             for &u in pins {
-                if u != v && mate[u as usize] == UNMATCHED && fixed[u as usize] == FixedSide::Free
-                {
+                if u != v && mate[u as usize] == UNMATCHED && fixed[u as usize] == FixedSide::Free {
                     if score[u as usize] == 0.0 {
                         touched.push(u);
                     }

@@ -57,7 +57,9 @@ pub(crate) fn refine(
         .map(|v| hg.vertex_weight(v))
         .fold(0.0f64, f64::max);
     let max_side = [
-        config.max_side0(total).max(config.target_fraction * total + wmax),
+        config
+            .max_side0(total)
+            .max(config.target_fraction * total + wmax),
         config
             .max_side1(total)
             .max((1.0 - config.target_fraction) * total + wmax),
@@ -259,7 +261,12 @@ mod tests {
         let hg = clustered();
         let mut sides = vec![0, 0, 0, 0, 1, 1, 1, 1]; // already optimal
         let before = hg.cut(&sides);
-        let gain = refine(&hg, &mut sides, &[FixedSide::Free; 8], &BisectConfig::default());
+        let gain = refine(
+            &hg,
+            &mut sides,
+            &[FixedSide::Free; 8],
+            &BisectConfig::default(),
+        );
         assert!(gain >= 0.0);
         assert!(hg.cut(&sides) <= before);
     }

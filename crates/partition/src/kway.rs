@@ -6,6 +6,13 @@
 //! (e.g. one part per device layer).
 
 use crate::{bisect_fixed, BisectConfig, FixedSide, Hypergraph};
+use tvp_parallel as parallel;
+
+/// Below this many vertices a subtree is recursed serially: the bisection
+/// itself is microseconds, so handing both halves to the worker pool
+/// costs more than it saves. Results are identical either way — sibling
+/// subtrees share no state and their seeds derive from tree depth alone.
+const KWAY_PARALLEL_MIN_VERTICES: usize = 256;
 
 /// Result of a k-way partition.
 #[derive(Clone, PartialEq, Debug)]
@@ -49,9 +56,10 @@ impl KwayPartition {
 pub fn partition_kway(hg: &Hypergraph, k: u32, config: &BisectConfig) -> KwayPartition {
     assert!(k >= 1, "k must be at least 1");
     let n = hg.num_vertices();
-    let mut parts = vec![0u32; n];
     let all: Vec<u32> = (0..n as u32).collect();
-    split_recursive(hg, &all, 0, k, config, &mut parts, 0);
+    // `all` is the identity ordering, so the returned slice-aligned parts
+    // are already indexed by vertex.
+    let parts = split_recursive(hg, &all, 0, k, config, 0);
 
     // Metrics.
     let mut cut = 0.0;
@@ -83,20 +91,22 @@ pub fn partition_kway(hg: &Hypergraph, k: u32, config: &BisectConfig) -> KwayPar
     }
 }
 
+/// Recursively partitions `vertices` into parts `first_part..first_part+k`
+/// and returns the part of each vertex, aligned with the `vertices` slice.
+///
+/// Returning assignments (instead of scattering into a shared array)
+/// keeps the two sibling recursions free of shared mutable state, so
+/// large subtrees run concurrently via [`parallel::join`].
 fn split_recursive(
     hg: &Hypergraph,
     vertices: &[u32],
     first_part: u32,
     k: u32,
     config: &BisectConfig,
-    parts: &mut [u32],
     depth: u64,
-) {
+) -> Vec<u32> {
     if k == 1 || vertices.is_empty() {
-        for &v in vertices {
-            parts[v as usize] = first_part;
-        }
-        return;
+        return vec![first_part; vertices.len()];
     }
     let k0 = k.div_ceil(2);
     let k1 = k - k0;
@@ -132,25 +142,53 @@ fn split_recursive(
     let fixed = vec![FixedSide::Free; vertices.len()];
     let result = bisect_fixed(&sub, &fixed, &sub_config);
 
+    // Split into sides, remembering each vertex's position in `vertices`
+    // so the children's results can be scattered back into alignment.
     let mut side0 = Vec::new();
     let mut side1 = Vec::new();
+    let mut idx0 = Vec::new();
+    let mut idx1 = Vec::new();
     for (i, &v) in vertices.iter().enumerate() {
         if result.side(i as u32) == 0 {
             side0.push(v);
+            idx0.push(i);
         } else {
             side1.push(v);
+            idx1.push(i);
         }
     }
     // Degenerate guard: force an even split so recursion terminates.
     if side0.is_empty() || side1.is_empty() {
         let mut merged = side0;
         merged.append(&mut side1);
+        let mut merged_idx = idx0;
+        merged_idx.append(&mut idx1);
         let half = merged.len() * k0 as usize / k as usize;
-        side1 = merged.split_off(half.max(1).min(merged.len().saturating_sub(1)).max(1));
+        let half = half.max(1).min(merged.len().saturating_sub(1)).max(1);
+        side1 = merged.split_off(half);
         side0 = merged;
+        idx1 = merged_idx.split_off(half);
+        idx0 = merged_idx;
     }
-    split_recursive(hg, &side0, first_part, k0, config, parts, depth * 2 + 1);
-    split_recursive(hg, &side1, first_part + k0, k1, config, parts, depth * 2 + 2);
+    let (r0, r1) = if vertices.len() >= KWAY_PARALLEL_MIN_VERTICES {
+        parallel::join(
+            || split_recursive(hg, &side0, first_part, k0, config, depth * 2 + 1),
+            || split_recursive(hg, &side1, first_part + k0, k1, config, depth * 2 + 2),
+        )
+    } else {
+        (
+            split_recursive(hg, &side0, first_part, k0, config, depth * 2 + 1),
+            split_recursive(hg, &side1, first_part + k0, k1, config, depth * 2 + 2),
+        )
+    };
+    let mut out = vec![0u32; vertices.len()];
+    for (j, &i) in idx0.iter().enumerate() {
+        out[i] = r0[j];
+    }
+    for (j, &i) in idx1.iter().enumerate() {
+        out[i] = r1[j];
+    }
+    out
 }
 
 #[cfg(test)]
@@ -192,7 +230,10 @@ mod tests {
         }
         // Cut = the 3 bridges only.
         assert!((result.cut - 0.3).abs() < 1e-9, "cut {}", result.cut);
-        assert!(result.imbalance() < 1e-9, "perfectly balanced by construction");
+        assert!(
+            result.imbalance() < 1e-9,
+            "perfectly balanced by construction"
+        );
     }
 
     #[test]
@@ -250,5 +291,32 @@ mod tests {
     fn zero_parts_rejected() {
         let hg = Hypergraph::new(4);
         let _ = partition_kway(&hg, 0, &BisectConfig::default());
+    }
+
+    #[test]
+    fn parallel_recursion_matches_serial_bitwise() {
+        // Large enough that the sibling recursion crosses
+        // KWAY_PARALLEL_MIN_VERTICES and actually forks.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 600u32;
+        let mut hg = Hypergraph::new(n as usize);
+        for i in 0..n {
+            hg.add_net(&[i, (i + 1) % n], 1.0);
+        }
+        for _ in 0..300 {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if a != b {
+                hg.add_net(&[a, b], 1.0);
+            }
+        }
+        hg.finalize();
+        let serial = parallel::with_threads(1, || partition_kway(&hg, 5, &BisectConfig::default()));
+        for threads in [2, 4] {
+            let par = parallel::with_threads(threads, || {
+                partition_kway(&hg, 5, &BisectConfig::default())
+            });
+            assert_eq!(serial, par, "threads = {threads}");
+        }
     }
 }

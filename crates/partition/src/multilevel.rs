@@ -6,6 +6,7 @@ use crate::{refine, BisectConfig, Hypergraph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::borrow::Cow;
+use tvp_parallel as parallel;
 
 /// Pre-assignment of a vertex for terminal propagation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
@@ -67,6 +68,12 @@ pub fn bisect(hg: &Hypergraph, config: &BisectConfig) -> Bisection {
 /// `config.seed + i` and returns the assignment with the smallest cut
 /// (ties broken by balance).
 ///
+/// The starts are embarrassingly parallel: each V-cycle owns its RNG and
+/// touches no shared state, so they run through the worker pool and the
+/// winner is picked by folding the candidates **in start order** — the
+/// exact comparison sequence of the serial loop, so the result is bitwise
+/// identical for every thread count.
+///
 /// # Panics
 ///
 /// Panics if `fixed.len() != hg.num_vertices()`.
@@ -81,11 +88,13 @@ pub fn bisect_fixed(hg: &Hypergraph, fixed: &[FixedSide], config: &BisectConfig)
     };
     let hg = hg.as_ref();
 
-    let mut best: Option<Bisection> = None;
-    for start in 0..config.num_starts.max(1) {
+    let candidates = parallel::map_indexed(config.num_starts.max(1), |start| {
         let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(start as u64));
         let sides = solve(hg, fixed, config, &mut rng);
-        let candidate = summarize(hg, sides);
+        summarize(hg, sides)
+    });
+    let mut best: Option<Bisection> = None;
+    for candidate in candidates {
         let better = match &best {
             None => true,
             Some(b) => {
@@ -254,5 +263,16 @@ mod tests {
         let a = bisect(&hg, &BisectConfig::default().with_seed(42));
         let b = bisect(&hg, &BisectConfig::default().with_seed(42));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_starts_match_serial_bitwise() {
+        let hg = clique_chain(6, 6);
+        let config = BisectConfig::default().with_starts(8);
+        let serial = parallel::with_threads(1, || bisect(&hg, &config));
+        for threads in [2, 4] {
+            let par = parallel::with_threads(threads, || bisect(&hg, &config));
+            assert_eq!(serial, par, "threads = {threads}");
+        }
     }
 }

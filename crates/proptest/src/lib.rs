@@ -1,0 +1,309 @@
+//! A vendored, dependency-free subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API.
+//!
+//! The build environment has no crates.io access, so the workspace routes
+//! its `proptest` dev-dependency here (Cargo `package =` renaming); the
+//! property tests compile unchanged.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed and case number;
+//!   re-running is fully deterministic (seeds derive from the test's
+//!   module path and name), so failures reproduce exactly.
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
+//!   returning a `TestCaseError`.
+//! * Regex string strategies support the subset actually used here:
+//!   character classes, literals, escapes, and `{m,n}`/`{m}`/`*`/`+`/`?`
+//!   repetition.
+//! * The default case count is 64 (vs 256) to keep tier-1 CI fast.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.random_range(0..2u32) == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng.random_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The canonical strategy for `T` (`any::<bool>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(core::marker::PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary + core::fmt::Debug> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The `prop` namespace (`prop::collection::vec`, `prop::option::of`, …).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy};
+        use crate::test_runner::TestRng;
+        use std::collections::HashSet;
+        use std::hash::Hash;
+
+        /// `Vec` of values from `element`, length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.draw(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `HashSet` of values from `element`, cardinality drawn from
+        /// `size`. Duplicates are redrawn (bounded); if the value space is
+        /// too small the set may come up short of the minimum, like
+        /// proptest under exhausted rejections.
+        pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            HashSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy returned by [`hash_set`].
+        #[derive(Clone, Debug)]
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            type Value = HashSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.draw(rng);
+                let mut out = HashSet::with_capacity(target);
+                let mut attempts = 0usize;
+                while out.len() < target && attempts < 64 * (target + 1) {
+                    out.insert(self.element.generate(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+    }
+
+    pub mod option {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::RngExt;
+
+        /// `Option` that is `Some` with probability one half.
+        pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+            OptionStrategy { element }
+        }
+
+        /// Strategy returned by [`of`].
+        #[derive(Clone, Debug)]
+        pub struct OptionStrategy<S> {
+            element: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.rng.random_range(0..2u32) == 1 {
+                    Some(self.element.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case if the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests: each function runs its body once per case with
+/// fresh strategy draws.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0usize..10, v in prop::collection::vec(0.0f64..1.0, 1..5)) {
+///         prop_assert!(x < 10 && !v.is_empty());
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategies = ( $( $strat, )+ );
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let ( $( $pat, )+ ) =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                // Allow prop_assume! to skip the case via `continue`.
+                #[allow(clippy::redundant_closure_call)]
+                { $body }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_collections(
+            x in 1usize..10,
+            f in -1.0f64..1.0,
+            v in prop::collection::vec((0u32..5, any::<bool>()), 2..6),
+            s in prop::collection::hash_set(0usize..20, 1..8),
+            o in prop::option::of(3u16..9),
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&(a, _)| a < 5));
+            prop_assert!(!s.is_empty() && s.len() < 8);
+            if let Some(y) = o {
+                prop_assert!((3..9).contains(&y));
+            }
+        }
+
+        #[test]
+        fn flat_map_and_just(
+            (n, picks) in (2usize..10).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0..n, 1..4))
+            })
+        ) {
+            prop_assert!(picks.iter().all(|&p| p < n));
+        }
+
+        #[test]
+        fn regex_strings(name in "[a-z][a-z0-9_]{0,8}", noise in "[ -~\n]{0,40}") {
+            prop_assert!(!name.is_empty() && name.len() <= 9);
+            let first = name.chars().next().unwrap();
+            prop_assert!(first.is_ascii_lowercase());
+            prop_assert!(noise.len() <= 40);
+            prop_assert!(noise.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::prop::collection::vec(0u32..1000, 5..20);
+        let a = strat.generate(&mut TestRng::for_case("x", 3));
+        let b = strat.generate(&mut TestRng::for_case("x", 3));
+        let c = strat.generate(&mut TestRng::for_case("x", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,332 @@
+//! The [`Strategy`] trait and combinators.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates with `self`, then generates from the strategy `f` builds
+    /// out of that value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values passing `f` (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted 1000 rejections: {}", self.whence);
+    }
+}
+
+/// Always generates a clone of the held value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// A collection-size specification: an exact count or a half-open range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive.
+    hi: usize,
+}
+
+impl SizeRange {
+    pub(crate) fn draw(&self, rng: &mut TestRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.rng.random_range(self.lo..self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// String strategies from a regex-like pattern (`&str` literals).
+///
+/// Supported: literals, `\n`/`\t`/`\\`-style escapes, character classes
+/// with ranges (`[a-z0-9_]`, `[ -~\n]`), and postfix `{m}`, `{m,n}`, `*`,
+/// `+`, `?` (star/plus cap at 8 repetitions). This covers every pattern in
+/// the workspace's tests; unsupported syntax panics loudly.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = if lo == hi {
+                *lo
+            } else {
+                rng.rng.random_range(*lo..=*hi)
+            };
+            for _ in 0..n {
+                out.push(chars[rng.rng.random_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses the mini-regex into `(alternatives, min_reps, max_reps)` atoms.
+fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alternatives = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"));
+                let class: Vec<char> = chars[i + 1..i + close].to_vec();
+                i += close + 1;
+                expand_class(&class, pattern)
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars.get(i).copied(), pattern);
+                i += 1;
+                vec![c]
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '.' | '^' | '$'),
+                    "unsupported regex syntax {c:?} in pattern {pattern:?}"
+                );
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional repetition postfix.
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"));
+                let spec: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repetition lower bound"),
+                        hi.trim().parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push((alternatives, lo, hi));
+    }
+    atoms
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        class.first() != Some(&'^'),
+        "negated classes unsupported in pattern {pattern:?}"
+    );
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        let c = if class[i] == '\\' {
+            i += 1;
+            unescape(class.get(i).copied(), pattern)
+        } else {
+            class[i]
+        };
+        // `a-z` range (a `-` in the last position is a literal).
+        if class.get(i + 1) == Some(&'-') && i + 2 < class.len() {
+            let end = if class[i + 2] == '\\' {
+                i += 1;
+                unescape(class.get(i + 2).copied(), pattern)
+            } else {
+                class[i + 2]
+            };
+            assert!(c <= end, "reversed class range in pattern {pattern:?}");
+            for v in c..=end {
+                out.push(v);
+            }
+            i += 3;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    assert!(
+        !out.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    out
+}
+
+fn unescape(c: Option<char>, pattern: &str) -> char {
+    match c {
+        Some('n') => '\n',
+        Some('t') => '\t',
+        Some('r') => '\r',
+        Some('0') => '\0',
+        Some(c) => c,
+        None => panic!("dangling escape in pattern {pattern:?}"),
+    }
+}

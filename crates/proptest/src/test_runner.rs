@@ -1,0 +1,77 @@
+//! Test-runner configuration and the deterministic per-case RNG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than real proptest's 256 to keep tier-1 fast.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies.
+///
+/// Seeding is a pure function of the fully qualified test name and the
+/// case index, so every failure reproduces exactly on re-run — the
+/// replacement for proptest's persistence file.
+pub struct TestRng {
+    /// The underlying generator (strategies sample through this).
+    pub rng: SmallRng,
+}
+
+impl TestRng {
+    /// The RNG for case `case` of the test named `test_name`.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h = fnv1a(test_name.as_bytes());
+        h ^= u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+}
+
+/// FNV-1a: tiny, stable across platforms and compiler versions.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn case_seeds_are_distinct_and_stable() {
+        let mut a = TestRng::for_case("mod::test", 0);
+        let mut a2 = TestRng::for_case("mod::test", 0);
+        let mut b = TestRng::for_case("mod::test", 1);
+        let mut c = TestRng::for_case("mod::other", 0);
+        let wa: Vec<u64> = (0..4).map(|_| a.rng.next_u64()).collect();
+        let wa2: Vec<u64> = (0..4).map(|_| a2.rng.next_u64()).collect();
+        let wb: Vec<u64> = (0..4).map(|_| b.rng.next_u64()).collect();
+        let wc: Vec<u64> = (0..4).map(|_| c.rng.next_u64()).collect();
+        assert_eq!(wa, wa2);
+        assert_ne!(wa, wb);
+        assert_ne!(wa, wc);
+    }
+}

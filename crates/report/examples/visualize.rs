@@ -17,7 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let cells: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(1_000);
     let outdir = std::path::PathBuf::from(
-        args.next().unwrap_or_else(|| "target/visualize".to_string()),
+        args.next()
+            .unwrap_or_else(|| "target/visualize".to_string()),
     );
     std::fs::create_dir_all(&outdir)?;
 
@@ -36,7 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ObjectiveModel::new(&netlist, &result.chip, &config)?;
     let objective = IncrementalObjective::new(&netlist, &model, result.placement.clone());
     let (nx, ny) = (24usize, 24usize);
-    let sim = ThermalSimulator::new(result.chip.stack, result.chip.width, result.chip.depth, nx, ny)?;
+    let sim = ThermalSimulator::new(
+        result.chip.stack,
+        result.chip.width,
+        result.chip.depth,
+        nx,
+        ny,
+    )?;
     let mut power = PowerMap::new(nx, ny, result.chip.num_layers);
     for (cell, x, y, layer) in result.placement.iter() {
         let p = model.power().cell_power(&netlist, cell, |e| {
@@ -44,7 +51,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (g.wirelength(), g.ilv)
         });
         if p > 0.0 {
-            power.deposit(x, y, layer as usize, p, result.chip.width, result.chip.depth);
+            power.deposit(
+                x,
+                y,
+                layer as usize,
+                p,
+                result.chip.width,
+                result.chip.depth,
+            );
         }
     }
     let field = sim.solve(&power)?;

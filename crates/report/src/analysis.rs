@@ -86,8 +86,11 @@ impl PlacementAnalysis {
         let objective = IncrementalObjective::new(netlist, &model, placement.clone());
 
         let half_perimeter = chip.width + chip.depth;
-        let lengths = (0..netlist.num_nets())
-            .map(|e| objective.net_geometry(tvp_netlist::NetId::new(e)).wirelength());
+        let lengths = (0..netlist.num_nets()).map(|e| {
+            objective
+                .net_geometry(tvp_netlist::NetId::new(e))
+                .wirelength()
+        });
         let net_length = Histogram::build(lengths, half_perimeter, 32);
 
         let mut vias_per_net = vec![0usize; chip.num_layers];
@@ -100,8 +103,7 @@ impl PlacementAnalysis {
         let mut layer_area = vec![0.0f64; chip.num_layers];
         for (cell, _, _, layer) in placement.iter() {
             if netlist.cell(cell).is_movable() {
-                layer_area[(layer as usize).min(chip.num_layers - 1)] +=
-                    netlist.cell(cell).area();
+                layer_area[(layer as usize).min(chip.num_layers - 1)] += netlist.cell(cell).area();
             }
         }
         let layer_utilization = layer_area.iter().map(|a| a / capacity).collect();
@@ -126,7 +128,11 @@ impl PlacementAnalysis {
             self.net_length.quantile(0.5),
             self.net_length.quantile(0.95),
         );
-        let _ = writeln!(out, "vias: total {:.0}, spans {:?}", self.total_ilv, self.vias_per_net);
+        let _ = writeln!(
+            out,
+            "vias: total {:.0}, spans {:?}",
+            self.total_ilv, self.vias_per_net
+        );
         let util: Vec<String> = self
             .layer_utilization
             .iter()
@@ -150,7 +156,7 @@ mod tests {
         assert_eq!(h.overflow, 1);
         assert_eq!(h.bins[1], 1); // 0.1
         assert_eq!(h.bins[9], 1); // 0.9
-        // Median falls in the 0.2–0.3 region.
+                                  // Median falls in the 0.2–0.3 region.
         let q = h.quantile(0.5);
         assert!((0.2..=0.4).contains(&q), "median {q}");
         assert_eq!(h.quantile(1.0), 1.0); // lands in overflow
@@ -166,7 +172,10 @@ mod tests {
         assert!((analysis.total_wirelength - result.metrics.wirelength).abs() < 1e-12);
         assert!((analysis.total_ilv - result.metrics.ilv_count).abs() < 1e-12);
         // Every net appears exactly once in the via distribution.
-        assert_eq!(analysis.vias_per_net.iter().sum::<usize>(), netlist.num_nets());
+        assert_eq!(
+            analysis.vias_per_net.iter().sum::<usize>(),
+            netlist.num_nets()
+        );
         // Utilization below 100% everywhere (the placement is legal).
         for (l, &u) in analysis.layer_utilization.iter().enumerate() {
             assert!(u <= 1.0 + 1e-9, "layer {l} utilization {u}");

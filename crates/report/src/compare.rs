@@ -24,9 +24,7 @@ pub fn is_monotone(series: &[f64], direction: Direction, tolerance: f64) -> bool
     if series.len() < 2 {
         return true;
     }
-    let span = series
-        .iter()
-        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+    let span = series.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
         - series.iter().fold(f64::INFINITY, |a, &b| a.min(b));
     let slack = span * tolerance;
     series.windows(2).all(|w| match direction {
@@ -66,7 +64,11 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
 /// Average ranks (1-based), ties shared.
 fn ranks(values: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        values[i]
+            .partial_cmp(&values[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; values.len()];
     let mut i = 0;
     while i < order.len() {
@@ -118,8 +120,16 @@ mod tests {
         assert!(is_monotone(&[1.0, 2.0, 3.0], Direction::Increasing, 0.0));
         assert!(!is_monotone(&[1.0, 3.0, 2.0], Direction::Increasing, 0.0));
         // A 0.1-of-span wiggle passes at 20% tolerance.
-        assert!(is_monotone(&[1.0, 3.0, 2.8, 4.0], Direction::Increasing, 0.2));
-        assert!(is_monotone(&[5.0, 4.0, 4.0, 1.0], Direction::Decreasing, 0.0));
+        assert!(is_monotone(
+            &[1.0, 3.0, 2.8, 4.0],
+            Direction::Increasing,
+            0.2
+        ));
+        assert!(is_monotone(
+            &[5.0, 4.0, 4.0, 1.0],
+            Direction::Decreasing,
+            0.0
+        ));
         assert!(is_monotone(&[], Direction::Increasing, 0.0));
         assert!(is_monotone(&[7.0], Direction::Decreasing, 0.0));
     }

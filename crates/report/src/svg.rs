@@ -57,8 +57,7 @@ pub fn render_layers(
 ) -> String {
     let scale = options.pane_width / chip.width;
     let pane_h = chip.depth * scale;
-    let total_w =
-        chip.num_layers as f64 * (options.pane_width + options.gap) - options.gap;
+    let total_w = chip.num_layers as f64 * (options.pane_width + options.gap) - options.gap;
     let total_h = pane_h + 24.0;
 
     let max_pins = netlist
@@ -92,8 +91,8 @@ pub fn render_layers(
     }
     for (cell, x, y, layer) in placement.iter() {
         let c = netlist.cell(cell);
-        let pane_x = (layer as usize).min(chip.num_layers - 1) as f64
-            * (options.pane_width + options.gap);
+        let pane_x =
+            (layer as usize).min(chip.num_layers - 1) as f64 * (options.pane_width + options.gap);
         let w = (c.width() * scale).max(0.5);
         let h = (c.height() * scale).max(0.5);
         let px = pane_x + (x - c.width() / 2.0) * scale;
@@ -116,11 +115,7 @@ pub fn render_layers(
 }
 
 /// Renders a temperature field as per-layer heat maps.
-pub fn render_thermal(
-    chip: &Chip,
-    field: &TemperatureField,
-    options: &SvgOptions,
-) -> String {
+pub fn render_thermal(chip: &Chip, field: &TemperatureField, options: &SvgOptions) -> String {
     let (nx, ny, nz) = field.dims();
     let scale = options.pane_width / chip.width;
     let pane_h = chip.depth * scale;

@@ -8,8 +8,31 @@
 //! carry a weak natural-convection film. The resulting conductance matrix
 //! is symmetric positive definite, and `G·ΔT = P` is solved with
 //! Jacobi-preconditioned conjugate gradients.
+//!
+//! # Parallelism and warm starting
+//!
+//! The CG kernels (stencil apply, axpy updates, dot products) run on the
+//! `tvp-parallel` pool. Elementwise kernels are bitwise identical for
+//! every thread count; dot products keep the historical single-
+//! accumulator loop when the effective thread count is 1 and switch to a
+//! length-chunked, order-folded reduction otherwise, which is itself
+//! identical across all parallel thread counts (see `tvp-parallel`'s
+//! determinism contract).
+//!
+//! Placement loops solve a slowly-drifting sequence of power maps, so
+//! [`ThermalSolveContext`] carries the previous solution and the cached
+//! Jacobi preconditioner between [`ThermalSimulator::solve_with`] calls:
+//! CG then starts from the old field instead of zero and converges in a
+//! fraction of the iterations.
 
 use crate::{LayerStack, PowerMap, ThermalError};
+use tvp_parallel as parallel;
+
+/// Minimum elements per parallel chunk for elementwise CG kernels; grids
+/// smaller than this run single-chunk (i.e. serially).
+const ELEM_MIN_CHUNK: usize = 2048;
+/// Minimum elements per chunk for chunked dot-product reductions.
+const DOT_MIN_CHUNK: usize = 4096;
 
 /// Steady-state temperature solution over the simulation grid.
 #[derive(Clone, PartialEq, Debug)]
@@ -52,7 +75,10 @@ impl TemperatureField {
 
     /// Maximum device-layer node temperature, °C.
     pub fn max_temperature(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Mean temperature of one device layer, °C.
@@ -210,93 +236,123 @@ impl ThermalSimulator {
         (self.nx, self.ny, self.stack.num_layers)
     }
 
+    /// The stencil at flat node `n`: `(diag, acc)` where the matrix row
+    /// contributes `diag · t[n] − acc`. Terms accumulate in the fixed
+    /// order ±x, ±y, ±z so the arithmetic is identical however the nodes
+    /// are chunked across threads.
     #[inline]
-    fn node(&self, i: usize, j: usize, k: usize) -> usize {
-        (k * self.ny + j) * self.nx + i
+    fn stencil(&self, t: &[f64], n: usize) -> (f64, f64) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz_total);
+        let plane = nx * ny;
+        let k = n / plane;
+        let rem = n % plane;
+        let j = rem / nx;
+        let i = rem % nx;
+        let mut diag = self.gamb[k];
+        let mut acc = 0.0;
+        if i + 1 < nx {
+            diag += self.gx[k];
+            acc += self.gx[k] * t[n + 1];
+        } else {
+            diag += self.gside[k];
+        }
+        if i > 0 {
+            diag += self.gx[k];
+            acc += self.gx[k] * t[n - 1];
+        } else {
+            diag += self.gside[k];
+        }
+        if j + 1 < ny {
+            diag += self.gy[k];
+            acc += self.gy[k] * t[n + nx];
+        } else {
+            diag += self.gside[k];
+        }
+        if j > 0 {
+            diag += self.gy[k];
+            acc += self.gy[k] * t[n - nx];
+        } else {
+            diag += self.gside[k];
+        }
+        if k + 1 < nz {
+            diag += self.gz[k];
+            acc += self.gz[k] * t[n + plane];
+        }
+        if k > 0 {
+            diag += self.gz[k - 1];
+            acc += self.gz[k - 1] * t[n - plane];
+        }
+        (diag, acc)
     }
 
-    /// Applies the conductance matrix: `out = G · t`.
+    /// Applies the conductance matrix: `out = G · t`. Matrix-free and
+    /// embarrassingly parallel: every output node is an independent pure
+    /// function of `t`, so the result is bitwise identical for any thread
+    /// count.
     fn apply(&self, t: &[f64], out: &mut [f64]) {
-        let (nx, ny, nz) = (self.nx, self.ny, self.nz_total);
-        out.fill(0.0);
-        for k in 0..nz {
-            for j in 0..ny {
-                for i in 0..nx {
-                    let n = self.node(i, j, k);
-                    let tn = t[n];
-                    let mut diag = self.gamb[k];
-                    let mut acc = 0.0;
-                    if i + 1 < nx {
-                        let m = n + 1;
-                        diag += self.gx[k];
-                        acc += self.gx[k] * t[m];
-                    } else {
-                        diag += self.gside[k];
-                    }
-                    if i > 0 {
-                        let m = n - 1;
-                        diag += self.gx[k];
-                        acc += self.gx[k] * t[m];
-                    } else {
-                        diag += self.gside[k];
-                    }
-                    if j + 1 < ny {
-                        let m = n + nx;
-                        diag += self.gy[k];
-                        acc += self.gy[k] * t[m];
-                    } else {
-                        diag += self.gside[k];
-                    }
-                    if j > 0 {
-                        let m = n - nx;
-                        diag += self.gy[k];
-                        acc += self.gy[k] * t[m];
-                    } else {
-                        diag += self.gside[k];
-                    }
-                    if k + 1 < nz {
-                        let m = n + nx * ny;
-                        diag += self.gz[k];
-                        acc += self.gz[k] * t[m];
-                    }
-                    if k > 0 {
-                        let m = n - nx * ny;
-                        diag += self.gz[k - 1];
-                        acc += self.gz[k - 1] * t[m];
-                    }
-                    out[n] = diag * tn - acc;
-                }
+        parallel::for_each_chunk_mut(out, ELEM_MIN_CHUNK, |start, chunk| {
+            for (off, o) in chunk.iter_mut().enumerate() {
+                let n = start + off;
+                let (diag, acc) = self.stencil(t, n);
+                *o = diag * t[n] - acc;
             }
-        }
+        });
     }
 
     /// Diagonal of the conductance matrix (for Jacobi preconditioning).
     fn diagonal(&self) -> Vec<f64> {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz_total);
         let mut diag = vec![0.0; nx * ny * nz];
-        for k in 0..nz {
-            for j in 0..ny {
-                for i in 0..nx {
-                    let n = self.node(i, j, k);
-                    let mut d = self.gamb[k];
-                    d += if i + 1 < nx { self.gx[k] } else { self.gside[k] };
-                    d += if i > 0 { self.gx[k] } else { self.gside[k] };
-                    d += if j + 1 < ny { self.gy[k] } else { self.gside[k] };
-                    d += if j > 0 { self.gy[k] } else { self.gside[k] };
-                    if k + 1 < nz {
-                        d += self.gz[k];
-                    }
-                    if k > 0 {
-                        d += self.gz[k - 1];
-                    }
-                    diag[n] = d;
+        parallel::for_each_chunk_mut(&mut diag, ELEM_MIN_CHUNK, |start, chunk| {
+            let plane = nx * ny;
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let n = start + off;
+                let k = n / plane;
+                let rem = n % plane;
+                let j = rem / nx;
+                let i = rem % nx;
+                let mut d = self.gamb[k];
+                d += if i + 1 < nx {
+                    self.gx[k]
+                } else {
+                    self.gside[k]
+                };
+                d += if i > 0 { self.gx[k] } else { self.gside[k] };
+                d += if j + 1 < ny {
+                    self.gy[k]
+                } else {
+                    self.gside[k]
+                };
+                d += if j > 0 { self.gy[k] } else { self.gside[k] };
+                if k + 1 < nz {
+                    d += self.gz[k];
                 }
+                if k > 0 {
+                    d += self.gz[k - 1];
+                }
+                *slot = d;
             }
-        }
+        });
         diag
     }
 
-    /// Solves for the steady-state temperature field produced by `power`.
+    /// Creates a reusable solve context for this simulator: the Jacobi
+    /// preconditioner is computed once, and each [`solve_with`]
+    /// (Self::solve_with) stores its solution for the next call to warm
+    /// start from.
+    pub fn context(&self) -> ThermalSolveContext {
+        let diag = self.diagonal();
+        let inv_diag: Vec<f64> = diag.iter().map(|&d| 1.0 / d).collect();
+        ThermalSolveContext {
+            inv_diag,
+            prev: None,
+            stats: None,
+        }
+    }
+
+    /// Solves for the steady-state temperature field produced by `power`,
+    /// cold-starting from zero. Equivalent to [`solve_with`]
+    /// (Self::solve_with) on a fresh [`context`](Self::context).
     ///
     /// # Errors
     ///
@@ -305,6 +361,28 @@ impl ThermalSimulator {
     /// [`ThermalError::SolverDiverged`] if CG fails to converge (which for
     /// an SPD conductance matrix indicates pathological parameters).
     pub fn solve(&self, power: &PowerMap) -> crate::Result<TemperatureField> {
+        let mut context = self.context();
+        self.solve_with(power, &mut context)
+    }
+
+    /// Solves for the steady-state field, warm-starting CG from the
+    /// previous solution held in `context` (if any) and caching this
+    /// solution there for the next call. For the slowly-drifting power
+    /// maps a placement loop produces, warm starts converge in a fraction
+    /// of the cold iteration count; [`ThermalSolveContext::last_stats`]
+    /// reports what happened.
+    ///
+    /// A context built for a different grid geometry is detected and
+    /// rebuilt (losing the warm-start state) rather than misused.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Self::solve).
+    pub fn solve_with(
+        &self,
+        power: &PowerMap,
+        context: &mut ThermalSolveContext,
+    ) -> crate::Result<TemperatureField> {
         if power.dims() != self.grid_dims() {
             return Err(ThermalError::GridMismatch {
                 expected: self.grid_dims(),
@@ -312,14 +390,20 @@ impl ThermalSimulator {
             });
         }
         let n = self.nx * self.ny * self.nz_total;
+        if context.inv_diag.len() != n {
+            *context = self.context();
+        }
         // Right-hand side: device layer l feeds node layer l + 1.
         let mut rhs = vec![0.0; n];
         let dev_nodes = self.nx * self.ny;
         rhs[dev_nodes..].copy_from_slice(power.values());
 
-        let t_rise = self.conjugate_gradient(&rhs)?;
+        let x0 = context.prev.take();
+        let (t_rise, stats) = self.conjugate_gradient(&rhs, &context.inv_diag, x0)?;
         let ambient = self.stack.heat_sink.ambient;
         let values: Vec<f64> = t_rise[dev_nodes..].iter().map(|dt| ambient + dt).collect();
+        context.stats = Some(stats);
+        context.prev = Some(t_rise);
         Ok(TemperatureField {
             nx: self.nx,
             ny: self.ny,
@@ -329,51 +413,99 @@ impl ThermalSimulator {
         })
     }
 
-    /// Jacobi-preconditioned CG on `G·x = b`.
-    fn conjugate_gradient(&self, b: &[f64]) -> crate::Result<Vec<f64>> {
+    /// Jacobi-preconditioned CG on `G·x = b`, starting from `x0` (or
+    /// zero). The cold path (`x0 = None`, one thread) reproduces the
+    /// historical serial solver bit for bit.
+    fn conjugate_gradient(
+        &self,
+        b: &[f64],
+        inv_diag: &[f64],
+        x0: Option<Vec<f64>>,
+    ) -> crate::Result<(Vec<f64>, CgStats)> {
         let n = b.len();
-        let diag = self.diagonal();
-        let inv_diag: Vec<f64> = diag.iter().map(|&d| 1.0 / d).collect();
-
-        let mut x = vec![0.0; n];
-        let mut r = b.to_vec();
-        let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
-        let mut p = z.clone();
-        let mut rz: f64 = dot(&r, &z);
+        let warm_started = x0.is_some();
         let b_norm = dot(b, b).sqrt();
         if b_norm == 0.0 {
-            return Ok(x);
+            let stats = CgStats {
+                iterations: 0,
+                residual: 0.0,
+                warm_started,
+            };
+            return Ok((vec![0.0; n], stats));
         }
         let tol = 1.0e-10 * b_norm;
         let max_iter = 20 * n + 200;
+
+        let (mut x, mut r) = match x0 {
+            Some(x0) => {
+                // r = b − G·x₀.
+                let mut gx = vec![0.0; n];
+                self.apply(&x0, &mut gx);
+                let r: Vec<f64> = b.iter().zip(&gx).map(|(bi, gi)| bi - gi).collect();
+                (x0, r)
+            }
+            None => (vec![0.0; n], b.to_vec()),
+        };
+        let mut r_norm = dot(&r, &r).sqrt();
+        if r_norm <= tol {
+            // Warm start already at the answer (identical power map).
+            let stats = CgStats {
+                iterations: 0,
+                residual: r_norm / b_norm,
+                warm_started,
+            };
+            return Ok((x, stats));
+        }
+
+        let mut z: Vec<f64> = r.iter().zip(inv_diag).map(|(ri, di)| ri * di).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = dot(&r, &z);
         let mut ap = vec![0.0; n];
 
-        for _ in 0..max_iter {
+        for iteration in 1..=max_iter {
             self.apply(&p, &mut ap);
             let pap = dot(&p, &ap);
             let alpha = rz / pap;
-            for i in 0..n {
-                x[i] += alpha * p[i];
-                r[i] -= alpha * ap[i];
-            }
-            let r_norm = dot(&r, &r).sqrt();
+            parallel::for_each_chunk_mut2(&mut x, &mut r, ELEM_MIN_CHUNK, |start, xs, rs| {
+                for (off, (xi, ri)) in xs.iter_mut().zip(rs.iter_mut()).enumerate() {
+                    let i = start + off;
+                    *xi += alpha * p[i];
+                    *ri -= alpha * ap[i];
+                }
+            });
+            r_norm = dot(&r, &r).sqrt();
             if r_norm <= tol {
-                return Ok(x);
+                let stats = CgStats {
+                    iterations: iteration,
+                    residual: r_norm / b_norm,
+                    warm_started,
+                };
+                return Ok((x, stats));
             }
-            for i in 0..n {
-                z[i] = r[i] * inv_diag[i];
-            }
+            parallel::for_each_chunk_mut(&mut z, ELEM_MIN_CHUNK, |start, zs| {
+                for (off, zi) in zs.iter_mut().enumerate() {
+                    let i = start + off;
+                    *zi = r[i] * inv_diag[i];
+                }
+            });
             let rz_new = dot(&r, &z);
             let beta = rz_new / rz;
             rz = rz_new;
-            for i in 0..n {
-                p[i] = z[i] + beta * p[i];
-            }
+            parallel::for_each_chunk_mut(&mut p, ELEM_MIN_CHUNK, |start, ps| {
+                for (off, pi) in ps.iter_mut().enumerate() {
+                    *pi = z[start + off] + beta * *pi;
+                }
+            });
         }
-        let residual = dot(&r, &r).sqrt() / b_norm;
+        let residual = r_norm / b_norm;
         // Accept near-converged solutions; flag genuine divergence.
         if residual < 1.0e-6 {
-            Ok(x)
+            let stats = CgStats {
+                iterations: max_iter,
+                residual,
+                warm_started,
+            };
+            Ok((x, stats))
         } else {
             Err(ThermalError::SolverDiverged {
                 iterations: max_iter,
@@ -383,8 +515,58 @@ impl ThermalSimulator {
     }
 }
 
+/// Convergence record of one CG solve.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CgStats {
+    /// Iterations consumed (0 = the start vector already satisfied the
+    /// tolerance).
+    pub iterations: usize,
+    /// Final residual norm relative to `‖b‖`.
+    pub residual: f64,
+    /// Whether the solve started from a previous solution.
+    pub warm_started: bool,
+}
+
+/// Reusable state threaded between [`ThermalSimulator::solve_with`]
+/// calls: the cached Jacobi preconditioner, the previous solution vector
+/// (the warm start), and the last solve's [`CgStats`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct ThermalSolveContext {
+    inv_diag: Vec<f64>,
+    /// Previous temperature-rise solution over all node layers.
+    prev: Option<Vec<f64>>,
+    stats: Option<CgStats>,
+}
+
+impl ThermalSolveContext {
+    /// Statistics of the most recent solve through this context.
+    pub fn last_stats(&self) -> Option<CgStats> {
+        self.stats
+    }
+
+    /// Drops the warm-start state (the next solve runs cold).
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+/// Dot product. One thread: the historical single-accumulator loop
+/// (bitwise identical to the original serial solver). Parallel: chunk
+/// partials folded in fixed chunk order, identical for every thread
+/// count ≥ 2 (and for small vectors — a single chunk — identical to the
+/// serial loop too).
 fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    if parallel::threads() == 1 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    } else {
+        parallel::sum_chunks(a.len(), DOT_MIN_CHUNK, |range| {
+            a[range.clone()]
+                .iter()
+                .zip(&b[range])
+                .map(|(x, y)| x * y)
+                .sum()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -535,6 +717,148 @@ mod tests {
         let field = sim.solve(&power).unwrap();
         let sampled = field.sample(0.9e-3, 0.1e-3, 0, 1.0e-3, 1.0e-3);
         assert_eq!(sampled, field.at(3, 0, 0));
+    }
+
+    /// A smooth, asymmetric power map exercising every grid bin.
+    fn dense_power(nx: usize, ny: usize, layers: usize) -> PowerMap {
+        let mut power = PowerMap::new(nx, ny, layers);
+        for k in 0..layers {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let w = 1.0e-3 * (1.0 + i as f64 * 0.37 + j as f64 * 0.11 + k as f64 * 0.53);
+                    power.add(i, j, k, w);
+                }
+            }
+        }
+        power
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solve() {
+        let sim = simulator(4, 8, 8);
+        let power = dense_power(8, 8, 4);
+        let cold = sim.solve(&power).unwrap();
+
+        let mut context = sim.context();
+        sim.solve_with(&power, &mut context).unwrap();
+        let cold_iters = context.last_stats().unwrap().iterations;
+        assert!(cold_iters > 0);
+        assert!(!context.last_stats().unwrap().warm_started);
+
+        // Re-solving the identical map warm must agree with the cold
+        // field to CG tolerance and converge (near-)instantly.
+        let warm = sim.solve_with(&power, &mut context).unwrap();
+        let stats = context.last_stats().unwrap();
+        assert!(stats.warm_started);
+        assert!(
+            stats.iterations < cold_iters / 4,
+            "warm solve of the same map took {} iterations vs {cold_iters} cold",
+            stats.iterations
+        );
+        for l in 0..4 {
+            for j in 0..8 {
+                for i in 0..8 {
+                    let c = cold.at(i, j, l);
+                    let w = warm.at(i, j, l);
+                    assert!(
+                        (c - w).abs() <= 1e-6 * c.abs().max(1.0),
+                        "cold {c} vs warm {w} at ({i},{j},{l})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_saves_iterations_on_perturbed_power() {
+        let sim = simulator(4, 8, 8);
+        let base = dense_power(8, 8, 4);
+        let mut perturbed = dense_power(8, 8, 4);
+        // A small local drift, like one cell moving between solves.
+        perturbed.add(3, 4, 2, 2.0e-4);
+        perturbed.add(5, 1, 0, -1.0e-4);
+
+        let cold_iters = {
+            let mut context = sim.context();
+            sim.solve_with(&perturbed, &mut context).unwrap();
+            context.last_stats().unwrap().iterations
+        };
+
+        let mut context = sim.context();
+        sim.solve_with(&base, &mut context).unwrap();
+        let warm = sim.solve_with(&perturbed, &mut context).unwrap();
+        let warm_stats = context.last_stats().unwrap();
+        assert!(warm_stats.warm_started);
+        assert!(
+            warm_stats.iterations < cold_iters,
+            "warm ({}) must beat cold ({cold_iters}) on a perturbed map",
+            warm_stats.iterations
+        );
+        // And it is still the right answer.
+        let cold = sim.solve(&perturbed).unwrap();
+        for l in 0..4 {
+            for j in 0..8 {
+                for i in 0..8 {
+                    let c = cold.at(i, j, l);
+                    let w = warm.at(i, j, l);
+                    assert!((c - w).abs() <= 1e-6 * c.abs().max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn context_reset_forgets_the_warm_start() {
+        let sim = simulator(2, 4, 4);
+        let power = dense_power(4, 4, 2);
+        let mut context = sim.context();
+        sim.solve_with(&power, &mut context).unwrap();
+        context.reset();
+        sim.solve_with(&power, &mut context).unwrap();
+        assert!(!context.last_stats().unwrap().warm_started);
+    }
+
+    #[test]
+    fn context_from_wrong_geometry_is_rebuilt() {
+        let sim_a = simulator(2, 4, 4);
+        let sim_b = simulator(4, 8, 8);
+        let mut context = sim_a.context();
+        sim_a
+            .solve_with(&dense_power(4, 4, 2), &mut context)
+            .unwrap();
+        // Same context against a different simulator: must not panic or
+        // poison the solve, just run cold.
+        let field = sim_b
+            .solve_with(&dense_power(8, 8, 4), &mut context)
+            .unwrap();
+        assert!(!context.last_stats().unwrap().warm_started);
+        assert!(field.max_temperature() > field.ambient());
+    }
+
+    #[test]
+    fn solve_is_equivalent_across_thread_counts() {
+        // Big enough that dot products span multiple chunks (> 4096
+        // nodes), so the parallel reduction path actually executes.
+        let sim = simulator(4, 32, 32);
+        let power = dense_power(32, 32, 4);
+        let serial = tvp_parallel::with_threads(1, || sim.solve(&power).unwrap());
+        for threads in [2usize, 4] {
+            let parallel_field = tvp_parallel::with_threads(threads, || sim.solve(&power).unwrap());
+            for l in 0..4 {
+                for j in 0..32 {
+                    for i in 0..32 {
+                        let s = serial.at(i, j, l);
+                        let p = parallel_field.at(i, j, l);
+                        // CG amplifies reduction reordering; the fields
+                        // still agree far tighter than the solver tol.
+                        assert!(
+                            (s - p).abs() <= 1e-6 * s.abs().max(1.0),
+                            "serial {s} vs {threads}-thread {p} at ({i},{j},{l})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,10 @@ impl PowerMap {
     ///
     /// Panics if any dimension is zero.
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "power map dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "power map dimensions must be positive"
+        );
         Self {
             nx,
             ny,

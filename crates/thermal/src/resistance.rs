@@ -81,12 +81,12 @@ impl ResistanceModel {
         let path = |length: f64, h: f64| -> f64 { length / (k * a) + 1.0 / (h * a) };
 
         let paths = [
-            self.downward_resistance(layer, cell_area),  // -z: heat sink
+            self.downward_resistance(layer, cell_area), // -z: heat sink
             path(self.stack.total_height() - z, h_side), // +z: top face
-            path(x.max(0.0), h_side),                    // -x
-            path((self.width - x).max(0.0), h_side),     // +x
-            path(y.max(0.0), h_side),                    // -y
-            path((self.depth - y).max(0.0), h_side),     // +y
+            path(x.max(0.0), h_side),                   // -x
+            path((self.width - x).max(0.0), h_side),    // +x
+            path(y.max(0.0), h_side),                   // -y
+            path((self.depth - y).max(0.0), h_side),    // +y
         ];
         let conductance: f64 = paths.iter().map(|r| 1.0 / r).sum();
         1.0 / conductance
@@ -148,7 +148,10 @@ mod tests {
             .map(|l| m.cell_resistance(0.5e-3, 0.5e-3, l, a))
             .collect();
         for w in r.windows(2) {
-            assert!(w[1] > w[0], "resistance must increase away from sink: {r:?}");
+            assert!(
+                w[1] > w[0],
+                "resistance must increase away from sink: {r:?}"
+            );
         }
     }
 

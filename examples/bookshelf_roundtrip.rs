@@ -68,15 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nets2 = parse_nets(&fs::read_to_string(outdir.join("demo.nets"))?)?;
     let wts2 = parse_wts(&fs::read_to_string(outdir.join("demo.wts"))?)?;
     let pl2 = parse_pl(&fs::read_to_string(outdir.join("demo.pl"))?)?;
-    let design2 = Design::assemble(
-        "demo",
-        &nodes2,
-        &nets2,
-        Some(&wts2),
-        Some(&pl2),
-        None,
-        opts,
-    )?;
+    let design2 = Design::assemble("demo", &nodes2, &nets2, Some(&wts2), Some(&pl2), None, opts)?;
 
     assert_eq!(design.netlist.num_cells(), design2.netlist.num_cells());
     assert_eq!(design.netlist.num_nets(), design2.netlist.num_nets());

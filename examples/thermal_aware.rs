@@ -11,7 +11,7 @@
 //! ```
 
 use tvp_bookshelf::synth::{generate, SynthConfig};
-use tvp_core::{Placer, PlacerConfig, PlacementResult};
+use tvp_core::{PlacementResult, Placer, PlacerConfig};
 use tvp_netlist::Netlist;
 
 fn layer_power_profile(netlist: &Netlist, result: &PlacementResult) -> Vec<f64> {
@@ -20,7 +20,10 @@ fn layer_power_profile(netlist: &Netlist, result: &PlacementResult) -> Vec<f64> 
     // not need the internal power model).
     let mut shares = vec![0.0; result.chip.num_layers];
     for (cell, _) in netlist.iter_cells() {
-        let drive: usize = netlist.driven_nets(cell).map(|e| netlist.net(e).degree()).sum();
+        let drive: usize = netlist
+            .driven_nets(cell)
+            .map(|e| netlist.net(e).degree())
+            .sum();
         shares[result.placement.layer(cell) as usize] += drive as f64;
     }
     let total: f64 = shares.iter().sum();
@@ -33,19 +36,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(2_000);
-    let netlist = generate(&SynthConfig::named("thermal", cells, cells as f64 * 5.0e-12))?;
+    let netlist = generate(&SynthConfig::named(
+        "thermal",
+        cells,
+        cells as f64 * 5.0e-12,
+    ))?;
 
     let baseline = Placer::new(PlacerConfig::new(4)).place(&netlist)?;
-    let thermal =
-        Placer::new(PlacerConfig::new(4).with_alpha_temp(1.0e-4)).place(&netlist)?;
+    let thermal = Placer::new(PlacerConfig::new(4).with_alpha_temp(1.0e-4)).place(&netlist)?;
 
-    println!("{:>22}  {:>14}  {:>14}", "", "alpha_TEMP = 0", "alpha_TEMP = 1e-4");
+    println!(
+        "{:>22}  {:>14}  {:>14}",
+        "", "alpha_TEMP = 0", "alpha_TEMP = 1e-4"
+    );
     let rows: [(&str, f64, f64); 5] = [
-        ("wirelength (m)", baseline.metrics.wirelength, thermal.metrics.wirelength),
-        ("interlayer vias", baseline.metrics.ilv_count, thermal.metrics.ilv_count),
-        ("total power (W)", baseline.metrics.total_power, thermal.metrics.total_power),
-        ("avg temperature (C)", baseline.metrics.avg_temperature, thermal.metrics.avg_temperature),
-        ("max temperature (C)", baseline.metrics.max_temperature, thermal.metrics.max_temperature),
+        (
+            "wirelength (m)",
+            baseline.metrics.wirelength,
+            thermal.metrics.wirelength,
+        ),
+        (
+            "interlayer vias",
+            baseline.metrics.ilv_count,
+            thermal.metrics.ilv_count,
+        ),
+        (
+            "total power (W)",
+            baseline.metrics.total_power,
+            thermal.metrics.total_power,
+        ),
+        (
+            "avg temperature (C)",
+            baseline.metrics.avg_temperature,
+            thermal.metrics.avg_temperature,
+        ),
+        (
+            "max temperature (C)",
+            baseline.metrics.max_temperature,
+            thermal.metrics.max_temperature,
+        ),
     ];
     for (name, base, therm) in rows {
         let change = (therm - base) / base * 100.0;
@@ -54,8 +83,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("drive-strength share per layer (layer 0 = heat sink side):");
-    println!("  baseline: {:?}", round(layer_power_profile(&netlist, &baseline)));
-    println!("  thermal:  {:?}", round(layer_power_profile(&netlist, &thermal)));
+    println!(
+        "  baseline: {:?}",
+        round(layer_power_profile(&netlist, &baseline))
+    );
+    println!(
+        "  thermal:  {:?}",
+        round(layer_power_profile(&netlist, &thermal))
+    );
     println!();
     println!("(thermal placement concentrates driving power near the sink)");
     Ok(())

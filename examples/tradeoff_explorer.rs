@@ -18,10 +18,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(1_500);
-    let netlist = generate(&SynthConfig::named("tradeoff", cells, cells as f64 * 5.0e-12))?;
-    println!("circuit: {} cells, {} nets", netlist.num_cells(), netlist.num_nets());
+    let netlist = generate(&SynthConfig::named(
+        "tradeoff",
+        cells,
+        cells as f64 * 5.0e-12,
+    ))?;
+    println!(
+        "circuit: {} cells, {} nets",
+        netlist.num_cells(),
+        netlist.num_nets()
+    );
     println!();
-    println!("{:>10}  {:>12}  {:>10}  {:>16}", "alpha_ILV", "WL (m)", "ILVs", "ILV/m^2/layer");
+    println!(
+        "{:>10}  {:>12}  {:>10}  {:>16}",
+        "alpha_ILV", "WL (m)", "ILVs", "ILV/m^2/layer"
+    );
 
     // Paper range: 5e-9 … 5.2e-3, one point per decade-ish step.
     let mut alpha = 5.0e-9;

@@ -20,7 +20,9 @@ fn place_and_check(netlist: &Netlist, layers: usize) {
 #[test]
 fn one_giant_net_connecting_everything() {
     let mut b = NetlistBuilder::new();
-    let cells: Vec<_> = (0..120).map(|i| b.add_cell(format!("c{i}"), 2e-6, 1.6e-6)).collect();
+    let cells: Vec<_> = (0..120)
+        .map(|i| b.add_cell(format!("c{i}"), 2e-6, 1.6e-6))
+        .collect();
     let net = b.add_net("everything");
     for (i, &c) in cells.iter().enumerate() {
         let dir = if i == 0 {
@@ -56,7 +58,9 @@ fn single_cell_design() {
 fn chain_topology() {
     // A single long chain: pathological for balance-driven bisection.
     let mut b = NetlistBuilder::new();
-    let cells: Vec<_> = (0..150).map(|i| b.add_cell(format!("c{i}"), 2e-6, 1.6e-6)).collect();
+    let cells: Vec<_> = (0..150)
+        .map(|i| b.add_cell(format!("c{i}"), 2e-6, 1.6e-6))
+        .collect();
     for w in cells.windows(2) {
         let n = b.add_net(format!("n{}", w[0].index()));
         b.connect(n, w[0], PinDirection::Output).unwrap();
@@ -92,7 +96,9 @@ fn one_enormous_cell_among_ants() {
 #[test]
 fn nets_with_single_pins_are_harmless() {
     let mut b = NetlistBuilder::new();
-    let cells: Vec<_> = (0..60).map(|i| b.add_cell(format!("c{i}"), 2e-6, 1.6e-6)).collect();
+    let cells: Vec<_> = (0..60)
+        .map(|i| b.add_cell(format!("c{i}"), 2e-6, 1.6e-6))
+        .collect();
     // Half the nets are degenerate single-pin stubs.
     for (i, &c) in cells.iter().enumerate() {
         let n = b.add_net(format!("stub{i}"));
@@ -134,7 +140,9 @@ fn thermal_objective_on_degenerate_designs() {
     // Thermal machinery must survive designs with no switching activity
     // signal (all activities equal) and stub nets.
     let mut b = NetlistBuilder::new();
-    let cells: Vec<_> = (0..80).map(|i| b.add_cell(format!("c{i}"), 2e-6, 1.6e-6)).collect();
+    let cells: Vec<_> = (0..80)
+        .map(|i| b.add_cell(format!("c{i}"), 2e-6, 1.6e-6))
+        .collect();
     for w in cells.windows(2) {
         let n = b.add_net(format!("n{}", w[0].index()));
         b.set_switching_activity(n, 0.15).unwrap();

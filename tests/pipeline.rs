@@ -6,8 +6,7 @@ use tvp_core::{Placer, PlacerConfig};
 #[test]
 fn pipeline_handles_a_range_of_sizes_and_layer_counts() {
     for &(cells, layers) in &[(60usize, 1usize), (200, 2), (350, 4), (150, 6)] {
-        let netlist =
-            generate(&SynthConfig::named("pipe", cells, cells as f64 * 5.0e-12)).unwrap();
+        let netlist = generate(&SynthConfig::named("pipe", cells, cells as f64 * 5.0e-12)).unwrap();
         let result = Placer::new(PlacerConfig::new(layers))
             .place(&netlist)
             .unwrap_or_else(|e| panic!("{cells} cells / {layers} layers failed: {e}"));
@@ -86,8 +85,9 @@ fn more_partition_starts_do_not_hurt_quality_much() {
 fn bookshelf_design_places_like_a_generated_netlist() {
     // Export a synthetic design to Bookshelf text, reassemble it, and
     // verify the placer accepts the reassembled netlist.
-    use tvp_bookshelf::{parse_nets, parse_nodes, write_nets, write_nodes, Design,
-        DesignBuilderOptions};
+    use tvp_bookshelf::{
+        parse_nets, parse_nodes, write_nets, write_nodes, Design, DesignBuilderOptions,
+    };
     let netlist = generate(&SynthConfig::named("bs", 150, 7.5e-10)).unwrap();
     let design = Design::from_netlist("bs", netlist);
     let (nodes, nets, _, _) = design.to_files(DesignBuilderOptions::default());
@@ -103,6 +103,8 @@ fn bookshelf_design_places_like_a_generated_netlist() {
         DesignBuilderOptions::default(),
     )
     .unwrap();
-    let result = Placer::new(PlacerConfig::new(2)).place(&design2.netlist).unwrap();
+    let result = Placer::new(PlacerConfig::new(2))
+        .place(&design2.netlist)
+        .unwrap();
     assert_eq!(result.legalize.placed, 150);
 }

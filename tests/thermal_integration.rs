@@ -2,7 +2,7 @@
 //! paper's Figs 6–9 at test scale.
 
 use tvp_bookshelf::synth::{generate, SynthConfig};
-use tvp_core::{Placer, PlacerConfig, PlacementResult};
+use tvp_core::{PlacementResult, Placer, PlacerConfig};
 use tvp_netlist::Netlist;
 
 fn place(netlist: &Netlist, alpha_temp: f64) -> PlacementResult {
