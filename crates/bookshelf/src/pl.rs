@@ -102,6 +102,12 @@ pub fn parse_pl(text: &str) -> Result<PlFile, ParseBookshelfError> {
 }
 
 /// Renders a [`PlFile`] back to Bookshelf text.
+///
+/// Coordinates are written with Rust's default `f64` formatting, which
+/// produces the shortest decimal string that parses back to the exact
+/// same bits. `parse_pl(write_pl(f))` therefore restores every coordinate
+/// *bitwise* — the property the placer's checkpoint/resume machinery
+/// relies on for deterministic resumption.
 pub fn write_pl(file: &PlFile) -> String {
     let mut out = String::new();
     out.push_str("UCLA pl 1.0\n");
@@ -150,6 +156,39 @@ a2 -3 0.5 : FS /FIXED
         for text in [SAMPLE, "UCLA pl 1.0\na 1 2 3 : N\nb 4 5 0 : N /FIXED\n"] {
             let f = parse_pl(text).unwrap();
             assert_eq!(parse_pl(&write_pl(&f)).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn coordinates_round_trip_f64_bitwise() {
+        // Awkward values with no short decimal representation: round-trip
+        // must restore the exact bits, not an approximation.
+        let values = [
+            1.0 / 3.0,
+            2.0f64.sqrt() * 1.0e-6,
+            f64::MIN_POSITIVE,
+            1.0e300,
+            -7.3e-7,
+            0.1 + 0.2,
+        ];
+        let f = PlFile {
+            records: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| PlRecord {
+                    name: format!("c{i}"),
+                    x: v,
+                    y: -v * 3.0,
+                    layer: Some(i as u32),
+                    orient: "N".to_string(),
+                    fixed: false,
+                })
+                .collect(),
+        };
+        let back = parse_pl(&write_pl(&f)).unwrap();
+        for (a, b) in f.records.iter().zip(&back.records) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits(), "{}", a.name);
+            assert_eq!(a.y.to_bits(), b.y.to_bits(), "{}", a.name);
         }
     }
 

@@ -10,19 +10,31 @@ tvp — thermal- and via-aware 3D-IC placement (DAC'07 reproduction)
 USAGE:
   tvp place <design.aux> [--layers N] [--alpha-ilv X] [--alpha-temp X]
             [--seed N] [--starts N] [--threads N] [--units METERS_PER_UNIT]
-            [--out DIR] [--svg FILE.svg]
+            [--out DIR] [--svg FILE.svg] [--trace-out FILE.jsonl]
+            [--time-budget SECONDS] [--checkpoint-dir DIR]
   tvp synth <name> --cells N [--area-mm2 A] [--seed N] --out DIR
   tvp stats <design.aux> [--units METERS_PER_UNIT]
   tvp sweep <design.aux> [--layers N] [--points N] [--threads N] [--units M]
-            [--csv FILE]
+            [--csv FILE] [--progress]
   tvp help
 
-  --threads N   worker threads for the parallel hot paths (0 = all cores,
-                the default; 1 = fully serial; same result either way)
+  --threads N        worker threads for the parallel hot paths (0 = all
+                     cores, the default; 1 = fully serial; same result
+                     either way)
+  --trace-out FILE   write the stage engine's structured events as JSON
+                     Lines (one event object per line)
+  --time-budget S    stop gracefully after S seconds of wall clock; the
+                     returned placement is still legal
+  --checkpoint-dir D write a checkpoint after every completed stage; when
+                     D already holds a compatible checkpoint, resume from
+                     it (skipping the completed stages)
+  --progress         (sweep) narrate per-stage progress on stderr
 
 EXAMPLES:
   tvp synth demo --cells 2000 --out bench/
   tvp place bench/demo.aux --layers 4 --alpha-ilv 1e-5 --out placed/
+  tvp place bench/demo.aux --trace-out trace.jsonl --time-budget 300 \\
+            --checkpoint-dir ckpt/
 ";
 
 /// A parsed `tvp` invocation.
@@ -55,6 +67,8 @@ pub struct SweepArgs {
     pub meters_per_unit: f64,
     /// Optional CSV output path.
     pub csv: Option<String>,
+    /// Narrate per-stage progress on stderr.
+    pub progress: bool,
 }
 
 /// Arguments of `tvp place`.
@@ -80,6 +94,14 @@ pub struct PlaceArgs {
     pub out: Option<String>,
     /// Path for an SVG rendering of the placement (omitted = none).
     pub svg: Option<String>,
+    /// Path for a JSONL trace of the stage engine's events.
+    pub trace_out: Option<String>,
+    /// Wall-clock budget in seconds; the run stops gracefully when it
+    /// expires.
+    pub time_budget: Option<f64>,
+    /// Checkpoint directory (written after every completed stage; resumed
+    /// from when it already holds a compatible checkpoint).
+    pub checkpoint_dir: Option<String>,
 }
 
 /// Arguments of `tvp synth`.
@@ -173,6 +195,9 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
         meters_per_unit: 1.0e-6,
         out: None,
         svg: None,
+        trace_out: None,
+        time_budget: None,
+        checkpoint_dir: None,
     };
     while let Some(token) = it.next() {
         match token.as_str() {
@@ -185,6 +210,15 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
             "--units" => args.meters_per_unit = parse_num(token, take_value(token, it)?)?,
             "--out" => args.out = Some(take_value(token, it)?.to_string()),
             "--svg" => args.svg = Some(take_value(token, it)?.to_string()),
+            "--trace-out" => args.trace_out = Some(take_value(token, it)?.to_string()),
+            "--time-budget" => {
+                let seconds: f64 = parse_num(token, take_value(token, it)?)?;
+                if !seconds.is_finite() || seconds < 0.0 {
+                    return Err(err("flag --time-budget expects a non-negative number"));
+                }
+                args.time_budget = Some(seconds);
+            }
+            "--checkpoint-dir" => args.checkpoint_dir = Some(take_value(token, it)?.to_string()),
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}` for `place`")))
             }
@@ -266,6 +300,7 @@ fn parse_sweep(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
         threads: 0,
         meters_per_unit: 1.0e-6,
         csv: None,
+        progress: false,
     };
     while let Some(token) = it.next() {
         match token.as_str() {
@@ -274,6 +309,7 @@ fn parse_sweep(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
             "--threads" => args.threads = parse_num(token, take_value(token, it)?)?,
             "--units" => args.meters_per_unit = parse_num(token, take_value(token, it)?)?,
             "--csv" => args.csv = Some(take_value(token, it)?.to_string()),
+            "--progress" => args.progress = true,
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}` for `sweep`")))
             }
@@ -328,6 +364,27 @@ mod tests {
         assert_eq!(d.alpha_ilv, 1e-5);
         assert_eq!(d.threads, 0, "default = all hardware threads");
         assert_eq!(d.out, None);
+        assert_eq!(d.trace_out, None);
+        assert_eq!(d.time_budget, None);
+        assert_eq!(d.checkpoint_dir, None);
+    }
+
+    #[test]
+    fn place_run_control_flags() {
+        let Command::Place(a) = parse(&argv(
+            "place d.aux --trace-out t.jsonl --time-budget 2.5 --checkpoint-dir ck",
+        ))
+        .unwrap() else {
+            panic!("expected place")
+        };
+        assert_eq!(a.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.time_budget, Some(2.5));
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("ck"));
+
+        let e = parse(&argv("place d.aux --time-budget -1")).unwrap_err();
+        assert!(e.to_string().contains("non-negative"));
+        let e = parse(&argv("place d.aux --time-budget nope")).unwrap_err();
+        assert!(e.to_string().contains("not a valid number"));
     }
 
     #[test]
@@ -366,8 +423,9 @@ mod tests {
         assert_eq!(a.layers, 4);
         assert_eq!(a.points, 7);
         assert_eq!(a.csv, None);
+        assert!(!a.progress);
         let Command::Sweep(a) = parse(&argv(
-            "sweep d.aux --layers 2 --points 5 --threads 2 --csv out.csv",
+            "sweep d.aux --layers 2 --points 5 --threads 2 --csv out.csv --progress",
         ))
         .unwrap() else {
             panic!()
@@ -376,6 +434,7 @@ mod tests {
         assert_eq!(a.points, 5);
         assert_eq!(a.threads, 2);
         assert_eq!(a.csv.as_deref(), Some("out.csv"));
+        assert!(a.progress);
         assert!(parse(&argv("sweep d.aux --points 1")).is_err());
         assert!(parse(&argv("sweep")).is_err());
     }

@@ -1,10 +1,11 @@
 //! Command implementations for the `tvp` binary.
 
 use crate::args::{PlaceArgs, StatsArgs, SweepArgs, SynthArgs};
+use crate::progress::StderrProgress;
 use std::fmt::Write as _;
 use tvp_bookshelf::synth::SynthConfig;
 use tvp_bookshelf::{Design, DesignBuilderOptions};
-use tvp_core::{Placer, PlacerConfig};
+use tvp_core::{JsonlObserver, PlaceOptions, Placer, PlacerConfig, PlacerObserver};
 use tvp_netlist::CellId;
 
 /// `tvp place`: load, place, report, optionally write back.
@@ -38,12 +39,32 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
         })
         .collect();
 
+    let mut trace = match &args.trace_out {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            Some(JsonlObserver::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let run_options = PlaceOptions {
+        observer: trace.as_mut().map(|t| t as &mut dyn PlacerObserver),
+        cancel: None,
+        time_budget: args.time_budget.map(std::time::Duration::from_secs_f64),
+        checkpoint_dir: args.checkpoint_dir.as_ref().map(std::path::PathBuf::from),
+    };
     let result = Placer::new(config)
-        .place_with_fixed(&design.netlist, &fixed)
+        .place_with_options(&design.netlist, &fixed, run_options)
         .map_err(|e| format!("placement failed: {e}"))?;
+    if let Some(trace) = trace {
+        let path = args.trace_out.as_deref().unwrap_or_default();
+        trace.finish().map_err(|e| format!("writing {path}: {e}"))?;
+    }
 
     let mut out = String::new();
     let _ = writeln!(out, "design:  {} ({})", design.name, design.netlist.stats());
+    if let Some(stage) = &result.resumed_from {
+        let _ = writeln!(out, "resumed: from checkpoint after {stage}");
+    }
     let _ = writeln!(
         out,
         "chip:    {:.1} x {:.1} um, {} layers, {} rows/layer",
@@ -58,6 +79,24 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
         "runtime: {:.2?} (global {:.2?}, coarse {:.2?}, detail {:.2?})",
         result.timings.total, result.timings.global, result.timings.coarse, result.timings.detail
     );
+    if result.timings.rounds.len() > 1 {
+        for (i, round) in result.timings.rounds.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "         round {i}: coarse {:.2?}, detail {:.2?}",
+                round.coarse, round.detail
+            );
+        }
+    }
+    if result.stopped_early {
+        let _ = writeln!(
+            out,
+            "note:    stopped early (budget/cancellation); placement is legal"
+        );
+    }
+    if let Some(path) = &args.trace_out {
+        let _ = writeln!(out, "wrote:   {path}");
+    }
 
     if let Some(svg_path) = &args.svg {
         let image = tvp_report::svg::render_layers(
@@ -184,8 +223,15 @@ pub fn sweep(args: &SweepArgs) -> Result<String, String> {
         let config = PlacerConfig::new(args.layers)
             .with_alpha_ilv(alpha)
             .with_threads(args.threads);
+        let mut narrator = args.progress.then(|| {
+            StderrProgress::stderr(format!("{}/{} alpha={alpha:.2e}", i + 1, args.points))
+        });
+        let options = PlaceOptions {
+            observer: narrator.as_mut().map(|n| n as &mut dyn PlacerObserver),
+            ..PlaceOptions::default()
+        };
         let result = Placer::new(config)
-            .place(&design.netlist)
+            .place_with_options(&design.netlist, &[], options)
             .map_err(|e| format!("placement failed at alpha = {alpha:.2e}: {e}"))?;
         let _ = writeln!(
             out,
@@ -275,6 +321,52 @@ mod tests {
         let text = std::fs::read_to_string(&csv).unwrap();
         let table = tvp_report::csv::Table::from_csv(&text).unwrap();
         assert_eq!(table.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn place_writes_trace_and_checkpoints_then_resumes() {
+        let dir = tmp("trace");
+        run(&argv(&format!("synth s --cells 100 --out {dir}"))).unwrap();
+        let trace = format!("{dir}/trace.jsonl");
+        let ckpt = format!("{dir}/ckpt");
+        let out = run(&argv(&format!(
+            "place {dir}/s.aux --layers 2 --trace-out {trace} --checkpoint-dir {ckpt}"
+        )))
+        .unwrap();
+        assert!(out.contains("trace.jsonl"));
+
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(text.lines().next().unwrap().contains("run_begin"));
+        assert!(text.lines().last().unwrap().contains("run_end"));
+        assert!(std::path::Path::new(&format!("{ckpt}/manifest.tvp")).exists());
+
+        // A second run over the same checkpoint directory resumes.
+        let out = run(&argv(&format!(
+            "place {dir}/s.aux --layers 2 --checkpoint-dir {ckpt}"
+        )))
+        .unwrap();
+        assert!(
+            out.contains("resumed: from checkpoint after detail[0]"),
+            "{out}"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn place_honors_a_zero_time_budget() {
+        let dir = tmp("budget");
+        run(&argv(&format!("synth s --cells 100 --out {dir}"))).unwrap();
+        let out = run(&argv(&format!(
+            "place {dir}/s.aux --layers 2 --time-budget 0"
+        )))
+        .unwrap();
+        assert!(out.contains("stopped early"), "{out}");
+        assert!(
+            out.contains("quality: WL ="),
+            "still reports a legal result"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

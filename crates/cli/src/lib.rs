@@ -16,8 +16,10 @@
 
 pub mod args;
 pub mod commands;
+pub mod progress;
 
 pub use args::{Command, ParseArgsError, PlaceArgs, StatsArgs, SweepArgs, SynthArgs};
+pub use progress::StderrProgress;
 
 /// Entry point shared by the binary and the tests.
 ///

@@ -1,0 +1,148 @@
+//! Human-readable progress narration for long placements.
+//!
+//! [`StderrProgress`] is a [`PlacerObserver`] that prints one line per
+//! stage boundary to stderr (stdout stays reserved for the command's
+//! actual output). Used by `tvp sweep --progress`.
+
+use std::io::Write;
+use tvp_core::{PlacerEvent, PlacerObserver};
+
+/// Narrates stage-level progress to a writer (stderr in production).
+pub struct StderrProgress<W: Write> {
+    label: String,
+    out: W,
+}
+
+impl StderrProgress<std::io::Stderr> {
+    /// Creates a narrator tagged with `label`, writing to stderr.
+    pub fn stderr(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            out: std::io::stderr(),
+        }
+    }
+}
+
+impl<W: Write> StderrProgress<W> {
+    /// Creates a narrator tagged with `label`, writing to `out` (tests).
+    pub fn new(label: impl Into<String>, out: W) -> Self {
+        Self {
+            label: label.into(),
+            out,
+        }
+    }
+
+    /// Consumes the narrator, returning the writer (tests).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> PlacerObserver for StderrProgress<W> {
+    fn event(&mut self, event: &PlacerEvent) {
+        let label = &self.label;
+        // Progress is best-effort; a broken stderr must not kill the run.
+        let _ = match event {
+            PlacerEvent::RunBegin {
+                stages,
+                resumed_from,
+            } => match resumed_from {
+                Some(i) => writeln!(
+                    self.out,
+                    "[{label}] {} stages (resuming after {})",
+                    stages.len(),
+                    stages[*i]
+                ),
+                None => writeln!(self.out, "[{label}] {} stages", stages.len()),
+            },
+            PlacerEvent::StageEnd {
+                stage,
+                seconds,
+                objective,
+                interrupted,
+                ..
+            } => writeln!(
+                self.out,
+                "[{label}]   {stage}: {seconds:.2}s, objective {objective:.4e}{}",
+                if *interrupted { " (interrupted)" } else { "" }
+            ),
+            PlacerEvent::ThermalSolved { snapshot } => writeln!(
+                self.out,
+                "[{label}]   thermal after {}: avg {:.1} C, max {:.1} C ({} CG iters{})",
+                snapshot.stage,
+                snapshot.avg_temperature,
+                snapshot.max_temperature,
+                snapshot.cg_iterations,
+                if snapshot.warm_started {
+                    ", warm"
+                } else {
+                    ", cold"
+                }
+            ),
+            PlacerEvent::RunEnd {
+                seconds,
+                stopped_early,
+            } => writeln!(
+                self.out,
+                "[{label}] done in {seconds:.2}s{}",
+                if *stopped_early {
+                    " (stopped early)"
+                } else {
+                    ""
+                }
+            ),
+            // Pass-level events are too chatty for a narration stream.
+            _ => Ok(()),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrates_stage_boundaries_only() {
+        let mut p = StderrProgress::new("t", Vec::new());
+        p.event(&PlacerEvent::RunBegin {
+            stages: vec!["global".into(), "coarse[0]".into()],
+            resumed_from: None,
+        });
+        p.event(&PlacerEvent::StageBegin {
+            index: 0,
+            stage: "global".into(),
+        });
+        p.event(&PlacerEvent::StageEnd {
+            index: 0,
+            stage: "global".into(),
+            seconds: 0.25,
+            objective: 1.25e-2,
+            interrupted: false,
+        });
+        p.event(&PlacerEvent::RunEnd {
+            seconds: 1.0,
+            stopped_early: false,
+        });
+        let text = String::from_utf8(p.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 3, "StageBegin stays silent:\n{text}");
+        assert!(text.contains("[t] 2 stages"));
+        assert!(text.contains("global: 0.25s"));
+        assert!(text.contains("done in 1.00s"));
+    }
+
+    #[test]
+    fn marks_resume_and_early_stop() {
+        let mut p = StderrProgress::new("t", Vec::new());
+        p.event(&PlacerEvent::RunBegin {
+            stages: vec!["global".into(), "coarse[0]".into()],
+            resumed_from: Some(0),
+        });
+        p.event(&PlacerEvent::RunEnd {
+            seconds: 0.5,
+            stopped_early: true,
+        });
+        let text = String::from_utf8(p.into_inner()).unwrap();
+        assert!(text.contains("resuming after global"));
+        assert!(text.contains("(stopped early)"));
+    }
+}

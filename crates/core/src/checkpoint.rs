@@ -1,0 +1,341 @@
+//! Stage-boundary checkpoints: Bookshelf `.pl` snapshots plus a manifest.
+//!
+//! When a checkpoint directory is configured
+//! ([`PlaceOptions::checkpoint_dir`](crate::PlaceOptions)), the engine
+//! writes the full placement after every *completed* stage and rewrites
+//! `manifest.tvp` to point at it. A later run with the same directory
+//! resumes from the newest checkpoint, skipping every stage the manifest
+//! covers; because stage boundaries are also RNG boundaries (each stage
+//! reseeds deterministically) and `.pl` coordinates round-trip `f64`
+//! exactly, the resumed run finishes bitwise identical to an
+//! uninterrupted one.
+//!
+//! Manifest format (`manifest.tvp`, one `key value` pair per line):
+//!
+//! ```text
+//! tvp-checkpoint v1
+//! stage_index 1
+//! stage coarse[0]
+//! stages 3
+//! legal false
+//! fingerprint 00a1b2c3d4e5f607
+//! cells 250
+//! placement stage-001.pl
+//! ```
+//!
+//! The fingerprint hashes every placement-relevant configuration field
+//! (thread count excluded — placements are thread-count independent) plus
+//! the netlist shape; a mismatch is reported as
+//! [`PlaceError::Checkpoint`] rather than silently restarting on
+//! incompatible state.
+
+use crate::{Chip, PlaceError, Placement, PlacerConfig};
+use std::collections::HashMap;
+use std::path::Path;
+use tvp_bookshelf::{parse_pl, write_pl, PlFile, PlRecord};
+use tvp_netlist::{CellId, Netlist};
+
+/// Name of the manifest file inside a checkpoint directory.
+pub const MANIFEST_NAME: &str = "manifest.tvp";
+
+/// The state restored from the newest checkpoint of a directory.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ResumePoint {
+    /// Index (in the stage plan) of the last completed stage.
+    pub stage_index: usize,
+    /// Name of that stage.
+    pub stage: String,
+    /// Whether the checkpointed placement is row-legal.
+    pub legal: bool,
+    /// The restored placement.
+    pub placement: Placement,
+}
+
+fn ck_err(path: &Path, reason: impl Into<String>) -> PlaceError {
+    PlaceError::Checkpoint {
+        path: path.display().to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Fingerprint of everything that determines the placement trajectory:
+/// the full configuration (thread count normalized away) and the netlist
+/// shape. FNV-1a over the debug rendering — stability across *builds* is
+/// not required, only agreement between the run that wrote a checkpoint
+/// and the run resuming from it.
+pub fn fingerprint(netlist: &Netlist, config: &PlacerConfig) -> u64 {
+    let mut cfg = config.clone();
+    cfg.threads = 0; // any thread count produces the same placement
+    let text = format!(
+        "{cfg:?}|cells={}|nets={}|pins={}",
+        netlist.num_cells(),
+        netlist.num_nets(),
+        netlist.num_pins()
+    );
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Writes the checkpoint for stage `stage_index` and updates the
+/// manifest. Returns the path of the written `.pl` file.
+///
+/// # Errors
+///
+/// Returns [`PlaceError::Checkpoint`] for any I/O failure.
+#[allow(clippy::too_many_arguments)]
+pub fn write_checkpoint(
+    dir: &Path,
+    stage_index: usize,
+    stage: &str,
+    num_stages: usize,
+    legal: bool,
+    netlist: &Netlist,
+    placement: &Placement,
+    fingerprint: u64,
+) -> Result<String, PlaceError> {
+    std::fs::create_dir_all(dir).map_err(|e| ck_err(dir, e.to_string()))?;
+
+    let pl_name = format!("stage-{stage_index:03}.pl");
+    let mut file = PlFile::default();
+    for (cell, x, y, layer) in placement.iter() {
+        file.records.push(PlRecord {
+            name: netlist.cell(cell).name().to_string(),
+            x,
+            y,
+            layer: Some(layer as u32),
+            orient: "N".to_string(),
+            fixed: !netlist.cell(cell).is_movable(),
+        });
+    }
+    let pl_path = dir.join(&pl_name);
+    std::fs::write(&pl_path, write_pl(&file)).map_err(|e| ck_err(&pl_path, e.to_string()))?;
+
+    // The manifest is written second: a crash between the two writes
+    // leaves the previous manifest intact and still consistent.
+    let manifest = format!(
+        "tvp-checkpoint v1\n\
+         stage_index {stage_index}\n\
+         stage {stage}\n\
+         stages {num_stages}\n\
+         legal {legal}\n\
+         fingerprint {fingerprint:016x}\n\
+         cells {}\n\
+         placement {pl_name}\n",
+        placement.len()
+    );
+    let manifest_path = dir.join(MANIFEST_NAME);
+    std::fs::write(&manifest_path, manifest).map_err(|e| ck_err(&manifest_path, e.to_string()))?;
+    Ok(pl_path.display().to_string())
+}
+
+/// Loads the newest checkpoint of `dir`, if one exists.
+///
+/// Returns `Ok(None)` when the directory has no manifest (a fresh run).
+///
+/// # Errors
+///
+/// Returns [`PlaceError::Checkpoint`] when the manifest is malformed,
+/// was written for a different design/configuration (fingerprint, cell
+/// count, or stage-plan mismatch), or its placement file cannot be
+/// restored onto `netlist`.
+pub fn load_latest(
+    dir: &Path,
+    netlist: &Netlist,
+    expected_fingerprint: u64,
+    num_stages: usize,
+    chip: &Chip,
+) -> Result<Option<ResumePoint>, PlaceError> {
+    let manifest_path = dir.join(MANIFEST_NAME);
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(ck_err(&manifest_path, e.to_string())),
+    };
+
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("tvp-checkpoint v1") => {}
+        other => {
+            return Err(ck_err(
+                &manifest_path,
+                format!("unsupported header {other:?}"),
+            ))
+        }
+    }
+    let mut fields: HashMap<&str, &str> = HashMap::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(' ')
+            .ok_or_else(|| ck_err(&manifest_path, format!("malformed line `{line}`")))?;
+        fields.insert(key, value.trim());
+    }
+    let field = |key: &str| -> Result<&str, PlaceError> {
+        fields
+            .get(key)
+            .copied()
+            .ok_or_else(|| ck_err(&manifest_path, format!("missing field `{key}`")))
+    };
+    let parse_usize = |key: &str| -> Result<usize, PlaceError> {
+        field(key)?
+            .parse()
+            .map_err(|_| ck_err(&manifest_path, format!("field `{key}` is not an integer")))
+    };
+
+    let stage_index = parse_usize("stage_index")?;
+    let stages = parse_usize("stages")?;
+    let cells = parse_usize("cells")?;
+    let legal = field("legal")? == "true";
+    let fp = u64::from_str_radix(field("fingerprint")?, 16)
+        .map_err(|_| ck_err(&manifest_path, "fingerprint is not hex"))?;
+
+    if fp != expected_fingerprint {
+        return Err(ck_err(
+            &manifest_path,
+            "checkpoint was written for a different design or configuration \
+             (fingerprint mismatch)",
+        ));
+    }
+    if cells != netlist.num_cells() {
+        return Err(ck_err(
+            &manifest_path,
+            format!(
+                "checkpoint has {cells} cells, netlist has {}",
+                netlist.num_cells()
+            ),
+        ));
+    }
+    if stages != num_stages || stage_index >= num_stages {
+        return Err(ck_err(
+            &manifest_path,
+            format!("stage plan mismatch: manifest {stage_index}/{stages}, run has {num_stages}"),
+        ));
+    }
+
+    let pl_path = dir.join(field("placement")?);
+    let pl_text = std::fs::read_to_string(&pl_path).map_err(|e| ck_err(&pl_path, e.to_string()))?;
+    let file = parse_pl(&pl_text).map_err(|e| ck_err(&pl_path, e.to_string()))?;
+
+    let by_name: HashMap<&str, CellId> =
+        netlist.iter_cells().map(|(id, c)| (c.name(), id)).collect();
+    let n = netlist.num_cells();
+    let mut placement = Placement::centered(n, chip);
+    let mut seen = vec![false; n];
+    for r in &file.records {
+        let id = *by_name
+            .get(r.name.as_str())
+            .ok_or_else(|| ck_err(&pl_path, format!("unknown cell `{}`", r.name)))?;
+        let layer = r.layer.unwrap_or(0) as u16;
+        placement.set(id, r.x, r.y, layer);
+        seen[id.index()] = true;
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(ck_err(
+            &pl_path,
+            format!(
+                "no position for cell `{}`",
+                netlist.cell(CellId::new(missing)).name()
+            ),
+        ));
+    }
+
+    Ok(Some(ResumePoint {
+        stage_index,
+        stage: field("stage")?.to_string(),
+        legal,
+        placement,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvp_bookshelf::synth::{generate, SynthConfig};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tvp_ck_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fixture() -> (Netlist, Chip, PlacerConfig, Placement) {
+        let netlist = generate(&SynthConfig::named("ck", 60, 3.0e-10)).unwrap();
+        let config = PlacerConfig::new(2);
+        let chip = Chip::from_netlist(&netlist, &config).unwrap();
+        let mut placement = Placement::centered(netlist.num_cells(), &chip);
+        // Awkward, non-round coordinates to exercise exact round-tripping.
+        for i in 0..netlist.num_cells() {
+            placement.set(
+                CellId::new(i),
+                chip.width * (i as f64 + 0.1) / 61.0,
+                chip.depth * (i as f64 + 0.7) / 61.3,
+                (i % 2) as u16,
+            );
+        }
+        (netlist, chip, config, placement)
+    }
+
+    #[test]
+    fn write_then_load_round_trips_bitwise() {
+        let (netlist, chip, config, placement) = fixture();
+        let dir = tmpdir("rt");
+        let fp = fingerprint(&netlist, &config);
+        write_checkpoint(&dir, 1, "coarse[0]", 3, false, &netlist, &placement, fp).unwrap();
+        let resume = load_latest(&dir, &netlist, fp, 3, &chip).unwrap().unwrap();
+        assert_eq!(resume.stage_index, 1);
+        assert_eq!(resume.stage, "coarse[0]");
+        assert!(!resume.legal);
+        assert_eq!(resume.placement, placement, "f64 positions must round-trip");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_a_fresh_run() {
+        let (netlist, chip, config, _) = fixture();
+        let dir = tmpdir("fresh");
+        let fp = fingerprint(&netlist, &config);
+        assert_eq!(load_latest(&dir, &netlist, fp, 3, &chip).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_an_error() {
+        let (netlist, chip, config, placement) = fixture();
+        let dir = tmpdir("fp");
+        let fp = fingerprint(&netlist, &config);
+        write_checkpoint(&dir, 0, "global", 3, false, &netlist, &placement, fp).unwrap();
+        let err = load_latest(&dir, &netlist, fp ^ 1, 3, &chip).unwrap_err();
+        assert!(matches!(err, PlaceError::Checkpoint { .. }), "{err}");
+        assert!(err.to_string().contains("fingerprint"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_but_not_seed() {
+        let (netlist, _, config, _) = fixture();
+        let serial = fingerprint(&netlist, &config.clone().with_threads(1));
+        let parallel = fingerprint(&netlist, &config.clone().with_threads(8));
+        assert_eq!(serial, parallel, "thread count never changes placement");
+        assert_ne!(
+            fingerprint(&netlist, &config.clone().with_seed(1)),
+            fingerprint(&netlist, &config.clone().with_seed(2))
+        );
+    }
+
+    #[test]
+    fn stage_plan_mismatch_is_an_error() {
+        let (netlist, chip, config, placement) = fixture();
+        let dir = tmpdir("plan");
+        let fp = fingerprint(&netlist, &config);
+        write_checkpoint(&dir, 2, "detail[0]", 3, true, &netlist, &placement, fp).unwrap();
+        let err = load_latest(&dir, &netlist, fp, 5, &chip).unwrap_err();
+        assert!(err.to_string().contains("stage plan"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

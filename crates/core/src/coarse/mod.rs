@@ -8,9 +8,11 @@ pub mod shift;
 pub use mesh::DensityMesh;
 
 use crate::objective::IncrementalObjective;
+use crate::observer::PassEvent;
 use crate::{Chip, PlacerConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::ops::ControlFlow;
 use tvp_netlist::Netlist;
 
 /// Runs the full coarse-legalization stage (§6 ordering): global
@@ -25,6 +27,28 @@ pub fn coarse_legalize(
     chip: &Chip,
     config: &PlacerConfig,
 ) -> DensityMesh {
+    let (mesh, _interrupted) =
+        coarse_legalize_observed(objective, netlist, chip, config, &mut |_| {
+            ControlFlow::Continue(())
+        });
+    mesh
+}
+
+/// [`coarse_legalize`] with a pass-boundary probe: after every moves pass
+/// and every shifting phase the probe receives a [`PassEvent`] and may
+/// return [`ControlFlow::Break`] to stop the stage at that boundary.
+///
+/// Returns the mesh plus whether the stage was interrupted. The probe
+/// never changes the moves the stage makes — a probe that always continues
+/// produces bit-identical results to [`coarse_legalize`] (it *is*
+/// [`coarse_legalize`]).
+pub fn coarse_legalize_observed(
+    objective: &mut IncrementalObjective<'_>,
+    netlist: &Netlist,
+    chip: &Chip,
+    config: &PlacerConfig,
+    probe: &mut dyn FnMut(PassEvent) -> ControlFlow<()>,
+) -> (DensityMesh, bool) {
     let mut mesh = DensityMesh::coarse(chip);
     let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xC0A5_E5EE);
 
@@ -35,8 +59,8 @@ pub fn coarse_legalize(
     jitter(objective, netlist, chip, &mut rng);
     mesh.rebuild(netlist, objective.placement());
 
-    for _ in 0..config.coarse_move_passes {
-        moves::global_pass(
+    for pass in 0..config.coarse_move_passes {
+        let mut improved = moves::global_pass(
             objective,
             &mut mesh,
             netlist,
@@ -44,10 +68,19 @@ pub fn coarse_legalize(
             config.coarse_target_region_bins,
             &mut rng,
         );
-        moves::local_pass(objective, &mut mesh, netlist, chip, &mut rng);
+        improved += moves::local_pass(objective, &mut mesh, netlist, chip, &mut rng);
+        if probe(PassEvent::CoarseMoves {
+            pass,
+            improved,
+            objective: objective.total(),
+        })
+        .is_break()
+        {
+            return (mesh, true);
+        }
     }
 
-    shift::shift_until_spread(
+    let iterations = shift::shift_until_spread(
         objective,
         &mut mesh,
         netlist,
@@ -56,12 +89,30 @@ pub fn coarse_legalize(
         config.coarse_shift_iterations,
         config.shift_strategy,
     );
+    if probe(PassEvent::CoarseShift {
+        iterations,
+        max_density: mesh.max_density(),
+        objective: objective.total(),
+    })
+    .is_break()
+    {
+        return (mesh, true);
+    }
 
     // One final local cleanup now that densities are even.
-    moves::local_pass(objective, &mut mesh, netlist, chip, &mut rng);
+    let improved = moves::local_pass(objective, &mut mesh, netlist, chip, &mut rng);
+    if probe(PassEvent::CoarseMoves {
+        pass: config.coarse_move_passes,
+        improved,
+        objective: objective.total(),
+    })
+    .is_break()
+    {
+        return (mesh, true);
+    }
     // Moves may have re-congested isolated bins; restore the density
     // guarantee detailed legalization relies on.
-    shift::shift_until_spread(
+    let iterations = shift::shift_until_spread(
         objective,
         &mut mesh,
         netlist,
@@ -70,7 +121,12 @@ pub fn coarse_legalize(
         config.coarse_shift_iterations,
         config.shift_strategy,
     );
-    mesh
+    let _ = probe(PassEvent::CoarseShift {
+        iterations,
+        max_density: mesh.max_density(),
+        objective: objective.total(),
+    });
+    (mesh, false)
 }
 
 /// Displaces every movable cell by a small random offset (within one bin)

@@ -196,6 +196,12 @@ impl PlacerConfig {
         self
     }
 
+    /// Total coarse+detail optimization rounds the pipeline will run: the
+    /// mandatory first legalization plus `post_opt_rounds`.
+    pub fn rounds(&self) -> usize {
+        1 + self.post_opt_rounds
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

@@ -1,0 +1,114 @@
+//! Run control: cooperative cancellation and wall-clock time budgets.
+//!
+//! Both signals are checked only at stage and pass boundaries (DESIGN.md
+//! §9 lists every point), so stopping is always graceful: the engine
+//! finishes the move it is on, legalizes the best placement it has, and
+//! returns `Ok` with [`stopped_early`](crate::PlacementResult::stopped_early)
+//! set.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation token, cloneable across threads.
+///
+/// Cancelling never aborts mid-move: the pipeline notices the token at
+/// its next stage or pass boundary, legalizes what it has, and returns a
+/// normal result marked `stopped_early`.
+///
+/// # Example
+///
+/// ```
+/// use tvp_core::CancelToken;
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// The engine-side view of one run's stop conditions: the user's token
+/// (if any) plus the deadline derived from the time budget at run start.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct StopCheck {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl StopCheck {
+    /// Resolves the public options into concrete stop conditions, pinning
+    /// the deadline to "now + budget".
+    pub(crate) fn new(cancel: Option<CancelToken>, time_budget: Option<Duration>) -> Self {
+        Self {
+            cancel,
+            deadline: time_budget.map(|b| Instant::now() + b),
+        }
+    }
+
+    /// Whether the pipeline should stop at the next boundary.
+    pub(crate) fn should_stop(&self) -> bool {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrip() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn stop_check_honors_token_and_deadline() {
+        let none = StopCheck::new(None, None);
+        assert!(!none.should_stop());
+
+        let token = CancelToken::new();
+        let check = StopCheck::new(Some(token.clone()), None);
+        assert!(!check.should_stop());
+        token.cancel();
+        assert!(check.should_stop());
+
+        let expired = StopCheck::new(None, Some(Duration::ZERO));
+        assert!(expired.should_stop());
+        let generous = StopCheck::new(None, Some(Duration::from_secs(3600)));
+        assert!(!generous.should_stop());
+    }
+}

@@ -18,11 +18,13 @@
 mod refine;
 mod row;
 
-pub use refine::{refine_legal, RefineStats};
+pub use refine::{refine_legal, refine_legal_observed, RefineStats};
 pub use row::{InsertionQuote, RowPacker};
 
 use crate::objective::IncrementalObjective;
+use crate::observer::PassEvent;
 use crate::Chip;
+use std::ops::ControlFlow;
 use tvp_netlist::{CellId, Netlist};
 
 /// Outcome statistics of detailed legalization.
@@ -48,6 +50,25 @@ pub fn detail_legalize(
     netlist: &Netlist,
     chip: &Chip,
     row_window: usize,
+) -> LegalizeStats {
+    detail_legalize_observed(objective, netlist, chip, row_window, &mut |_| {
+        ControlFlow::Continue(())
+    })
+}
+
+/// [`detail_legalize`] with a probe receiving one
+/// [`PassEvent::DetailRows`] per packed layer.
+///
+/// Unlike the coarse and refinement probes, this one cannot interrupt the
+/// stage: a partially legalized placement is worse than useless, so
+/// legalization always runs to completion and `Break` is ignored. The
+/// probe never changes what the stage does.
+pub fn detail_legalize_observed(
+    objective: &mut IncrementalObjective<'_>,
+    netlist: &Netlist,
+    chip: &Chip,
+    row_window: usize,
+    probe: &mut dyn FnMut(PassEvent) -> ControlFlow<()>,
 ) -> LegalizeStats {
     let num_layers = chip.num_layers;
     let num_rows = chip.num_rows;
@@ -220,10 +241,14 @@ pub fn detail_legalize(
     // in increasing desired-x order (the packer's invariant), then apply
     // the final positions through the objective.
     for (layer, layer_rows) in assigned.iter_mut().enumerate() {
+        let mut layer_rows_used = 0usize;
+        let mut layer_cells = 0usize;
         for (r, cells) in layer_rows.iter_mut().enumerate() {
             if cells.is_empty() {
                 continue;
             }
+            layer_rows_used += 1;
+            layer_cells += cells.len();
             cells.sort_by(|&a, &b| {
                 objective
                     .placement()
@@ -249,6 +274,13 @@ pub fn detail_legalize(
                 stats.max_displacement = stats.max_displacement.max(d);
             }
         }
+        // Legalization must complete whatever the probe answers; a `Break`
+        // here is simply noticed later at the stage boundary.
+        let _ = probe(PassEvent::DetailRows {
+            layer,
+            rows: layer_rows_used,
+            cells: layer_cells,
+        });
     }
     stats
 }

@@ -13,7 +13,9 @@
 //!    adjacent layer) when the gap fits it.
 
 use crate::objective::IncrementalObjective;
+use crate::observer::PassEvent;
 use crate::Chip;
+use std::ops::ControlFlow;
 use tvp_netlist::{CellId, Netlist};
 
 /// Row occupancy built from a legal placement: cells sorted by x per
@@ -82,18 +84,50 @@ pub fn refine_legal(
     chip: &Chip,
     passes: usize,
 ) -> RefineStats {
+    let (stats, _interrupted) =
+        refine_legal_observed(objective, netlist, chip, passes, &mut |_| {
+            ControlFlow::Continue(())
+        });
+    stats
+}
+
+/// [`refine_legal`] with a pass-boundary probe: after every pass the probe
+/// receives a [`PassEvent::RefinePass`] and may return
+/// [`ControlFlow::Break`] to stop refinement there. Every move preserves
+/// legality, so stopping between passes is always safe.
+///
+/// Returns the stats plus whether refinement was interrupted. The probe
+/// never changes the moves made.
+pub fn refine_legal_observed(
+    objective: &mut IncrementalObjective<'_>,
+    netlist: &Netlist,
+    chip: &Chip,
+    passes: usize,
+    probe: &mut dyn FnMut(PassEvent) -> ControlFlow<()>,
+) -> (RefineStats, bool) {
     const EPS: f64 = 1e-18;
     let mut stats = RefineStats::default();
-    for _ in 0..passes {
+    for pass in 0..passes {
         let before_pass = objective.total();
         let mut rows = Rows::build(objective, netlist, chip);
         let round_improved = refine_round(objective, chip, &mut rows, &mut stats);
         stats.improvement += before_pass - objective.total();
-        if !round_improved || stats.improvement < EPS {
+        let converged = !round_improved || stats.improvement < EPS;
+        if probe(PassEvent::RefinePass {
+            pass,
+            improvement: stats.improvement,
+        })
+        .is_break()
+        {
+            // Interruption at convergence is indistinguishable from a
+            // natural finish; only report it when work remained.
+            return (stats, !converged && pass + 1 < passes);
+        }
+        if converged {
             break;
         }
     }
-    stats
+    (stats, false)
 }
 
 fn refine_round(

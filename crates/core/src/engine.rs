@@ -1,0 +1,568 @@
+//! The stage engine: the §6 pipeline as a data-driven stage sequence
+//! executed by an observable, cancellable, resumable driver (DESIGN.md
+//! §9).
+//!
+//! A [`Stage`] transforms the placement held by a shared
+//! [`PlacerContext`]; the driver owns everything cross-cutting: event
+//! emission ([`PlacerObserver`]), stop conditions (cancellation token +
+//! time budget, checked at stage/pass boundaries), per-stage timing
+//! (including per-round breakdown), thermal snapshots through one
+//! warm-started CG context, and stage-boundary checkpoints.
+//!
+//! The default plan is `global`, then `coarse[r]`/`detail[r]` for round
+//! `r` in `0..=post_opt_rounds`. With no observer, budget, or
+//! checkpointing configured, the driver executes exactly the historical
+//! call sequence, so default-path placements are bitwise identical to the
+//! pre-engine pipeline.
+
+use crate::checkpoint;
+use crate::coarse::coarse_legalize_observed;
+use crate::control::StopCheck;
+use crate::detail::{
+    check_legal, detail_legalize, detail_legalize_observed, refine_legal, refine_legal_observed,
+    LegalizeStats,
+};
+use crate::metrics::{self};
+use crate::objective::{IncrementalObjective, ObjectiveModel};
+use crate::observer::{NopObserver, PassEvent, PlacerEvent, PlacerObserver};
+use crate::placer::{PlaceOptions, PlacementResult, RoundTiming, StageTimings, ThermalSnapshot};
+use crate::{Chip, PlaceError, Placement, PlacerConfig};
+use std::ops::ControlFlow;
+use std::time::Instant;
+use tvp_netlist::{CellId, Netlist};
+use tvp_thermal::{ThermalSimulator, ThermalSolveContext};
+
+/// Which part of the §6 pipeline a stage implements. The driver uses the
+/// kind to route timings (totals + per-round) and thermal snapshots.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StageKind {
+    /// Recursive-bisection global placement.
+    Global,
+    /// Coarse legalization round `round`.
+    Coarse {
+        /// Optimization round, from 0.
+        round: usize,
+    },
+    /// Detailed legalization (+ legality-preserving refinement) round
+    /// `round`.
+    Detail {
+        /// Optimization round, from 0.
+        round: usize,
+    },
+}
+
+/// How a stage ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StageStatus {
+    /// The stage ran to completion.
+    Completed,
+    /// The stage stopped early at a cancellation point. The driver stops
+    /// the pipeline (after restoring legality if needed).
+    Interrupted,
+}
+
+/// Everything a stage may read or transform, shared across the pipeline.
+pub struct PlacerContext<'a> {
+    /// The netlist being placed.
+    pub netlist: &'a Netlist,
+    /// Chip geometry derived from the netlist and configuration.
+    pub chip: &'a Chip,
+    /// The run's configuration.
+    pub config: &'a PlacerConfig,
+    /// Static objective model (coefficients, power, resistance).
+    pub model: &'a ObjectiveModel,
+    /// The placement under construction, behind its incremental
+    /// objective evaluator.
+    pub objective: IncrementalObjective<'a>,
+    /// Fixed-cell seeds (pads, macros) for global placement.
+    pub fixed_positions: &'a [(CellId, f64, f64, u16)],
+    /// Statistics of the most recent detailed legalization.
+    pub legalize: LegalizeStats,
+    /// Whether the current placement is row-legal (true right after a
+    /// detail stage).
+    pub legal: bool,
+}
+
+/// The driver-provided handle a stage reports progress through. Each
+/// [`pass`](Self::pass) call is also a cancellation point: a
+/// [`ControlFlow::Break`] return asks the stage to stop at this boundary
+/// and return [`StageStatus::Interrupted`].
+pub struct StageMonitor<'m> {
+    observer: &'m mut (dyn PlacerObserver + 'm),
+    stop: &'m StopCheck,
+    index: usize,
+    stage: &'m str,
+}
+
+impl StageMonitor<'_> {
+    /// Reports one pass-boundary event and polls the stop conditions.
+    pub fn pass(&mut self, pass: PassEvent) -> ControlFlow<()> {
+        if self.observer.enabled() {
+            self.observer.event(&PlacerEvent::Pass {
+                index: self.index,
+                stage: self.stage.to_string(),
+                pass,
+            });
+        }
+        if self.stop.should_stop() {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+}
+
+/// One pipeline stage. Implementations transform `ctx.objective` and
+/// report progress (and honor cancellation) through the monitor.
+pub trait Stage {
+    /// Display name, unique within a plan (e.g. `coarse[1]`).
+    fn name(&self) -> String;
+
+    /// The stage's pipeline role.
+    fn kind(&self) -> StageKind;
+
+    /// Runs the stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError`] only for non-recoverable failures;
+    /// cancellation is *not* an error (return
+    /// [`StageStatus::Interrupted`]).
+    fn run(
+        &self,
+        ctx: &mut PlacerContext<'_>,
+        monitor: &mut StageMonitor<'_>,
+    ) -> Result<StageStatus, PlaceError>;
+}
+
+/// Recursive-bisection global placement (§3).
+struct GlobalStage;
+
+impl Stage for GlobalStage {
+    fn name(&self) -> String {
+        "global".to_string()
+    }
+
+    fn kind(&self) -> StageKind {
+        StageKind::Global
+    }
+
+    fn run(
+        &self,
+        ctx: &mut PlacerContext<'_>,
+        _monitor: &mut StageMonitor<'_>,
+    ) -> Result<StageStatus, PlaceError> {
+        let placement = crate::global::global_place_with_fixed(
+            ctx.netlist,
+            ctx.chip,
+            ctx.model,
+            ctx.config,
+            ctx.fixed_positions,
+        );
+        ctx.objective = IncrementalObjective::new(ctx.netlist, ctx.model, placement);
+        ctx.legal = false;
+        Ok(StageStatus::Completed)
+    }
+}
+
+/// Coarse legalization (§4): moves/swaps + cell shifting.
+struct CoarseStage {
+    round: usize,
+}
+
+impl Stage for CoarseStage {
+    fn name(&self) -> String {
+        format!("coarse[{}]", self.round)
+    }
+
+    fn kind(&self) -> StageKind {
+        StageKind::Coarse { round: self.round }
+    }
+
+    fn run(
+        &self,
+        ctx: &mut PlacerContext<'_>,
+        monitor: &mut StageMonitor<'_>,
+    ) -> Result<StageStatus, PlaceError> {
+        ctx.legal = false;
+        let (_, interrupted) = coarse_legalize_observed(
+            &mut ctx.objective,
+            ctx.netlist,
+            ctx.chip,
+            ctx.config,
+            &mut |p| monitor.pass(p),
+        );
+        Ok(if interrupted {
+            StageStatus::Interrupted
+        } else {
+            StageStatus::Completed
+        })
+    }
+}
+
+/// Detailed legalization (§5) plus legality-preserving refinement.
+struct DetailStage {
+    round: usize,
+}
+
+impl Stage for DetailStage {
+    fn name(&self) -> String {
+        format!("detail[{}]", self.round)
+    }
+
+    fn kind(&self) -> StageKind {
+        StageKind::Detail { round: self.round }
+    }
+
+    fn run(
+        &self,
+        ctx: &mut PlacerContext<'_>,
+        monitor: &mut StageMonitor<'_>,
+    ) -> Result<StageStatus, PlaceError> {
+        // Legalization itself never stops early: it is the step that
+        // *creates* the legality every graceful stop relies on.
+        ctx.legalize = detail_legalize_observed(
+            &mut ctx.objective,
+            ctx.netlist,
+            ctx.chip,
+            ctx.config.detail_row_window,
+            &mut |p| monitor.pass(p),
+        );
+        ctx.legal = true;
+        let (_, interrupted) = refine_legal_observed(
+            &mut ctx.objective,
+            ctx.netlist,
+            ctx.chip,
+            ctx.config.legal_refine_passes,
+            &mut |p| monitor.pass(p),
+        );
+        Ok(if interrupted {
+            StageStatus::Interrupted
+        } else {
+            StageStatus::Completed
+        })
+    }
+}
+
+/// Builds the default §6 stage plan for a configuration: `global`, then
+/// one `coarse`/`detail` pair per optimization round.
+pub fn default_stage_plan(config: &PlacerConfig) -> Vec<Box<dyn Stage>> {
+    let mut stages: Vec<Box<dyn Stage>> = vec![Box::new(GlobalStage)];
+    for round in 0..config.rounds() {
+        stages.push(Box::new(CoarseStage { round }));
+        stages.push(Box::new(DetailStage { round }));
+    }
+    stages
+}
+
+/// Runs the full pipeline for `config` under the given options.
+pub(crate) fn run_pipeline(
+    config: &PlacerConfig,
+    netlist: &Netlist,
+    fixed_positions: &[(CellId, f64, f64, u16)],
+    options: &mut PlaceOptions<'_>,
+) -> Result<PlacementResult, PlaceError> {
+    let start = Instant::now();
+    let chip = Chip::from_netlist(netlist, config)?;
+    let model = ObjectiveModel::new(netlist, &chip, config)?;
+
+    // One simulator + CG context for every thermal evaluation of this
+    // run: the Jacobi preconditioner is built once, and each stage's
+    // solve warm-starts from the previous stage's field.
+    let (nx, ny) = config.thermal_grid;
+    let sim = ThermalSimulator::new(chip.stack, chip.width, chip.depth, nx, ny)?;
+    let mut thermal_ctx = sim.context();
+    let mut trajectory: Vec<ThermalSnapshot> = Vec::new();
+
+    let stages = default_stage_plan(config);
+    let stage_names: Vec<String> = stages.iter().map(|s| s.name()).collect();
+    let stop = StopCheck::new(options.cancel.clone(), options.time_budget);
+
+    let mut nop = NopObserver;
+    let observer: &mut dyn PlacerObserver = match options.observer.as_deref_mut() {
+        Some(o) => o,
+        None => &mut nop,
+    };
+
+    // Resume from the newest checkpoint when a directory is configured.
+    let fp = checkpoint::fingerprint(netlist, config);
+    let resume = match &options.checkpoint_dir {
+        Some(dir) => checkpoint::load_latest(dir, netlist, fp, stages.len(), &chip)?,
+        None => None,
+    };
+    let (initial_placement, resumed_index, mut legal) = match resume {
+        Some(r) => (r.placement, Some(r.stage_index), r.legal),
+        None => (Placement::centered(netlist.num_cells(), &chip), None, false),
+    };
+    let resumed_from = resumed_index.map(|i| stage_names[i].clone());
+
+    let mut ctx = PlacerContext {
+        netlist,
+        chip: &chip,
+        config,
+        model: &model,
+        objective: IncrementalObjective::new(netlist, &model, initial_placement),
+        fixed_positions,
+        legalize: LegalizeStats::default(),
+        legal: false,
+    };
+    ctx.legal = legal;
+
+    if observer.enabled() {
+        observer.event(&PlacerEvent::RunBegin {
+            stages: stage_names.clone(),
+            resumed_from: resumed_index,
+        });
+    }
+
+    let mut timings = StageTimings::default();
+    let mut stopped_early = false;
+
+    for (index, stage) in stages.iter().enumerate() {
+        let name = &stage_names[index];
+        if resumed_index.is_some_and(|r| index <= r) {
+            if observer.enabled() {
+                observer.event(&PlacerEvent::StageSkipped {
+                    index,
+                    stage: name.clone(),
+                });
+            }
+            continue;
+        }
+        if stop.should_stop() {
+            stopped_early = true;
+            break;
+        }
+        if observer.enabled() {
+            observer.event(&PlacerEvent::StageBegin {
+                index,
+                stage: name.clone(),
+            });
+        }
+        let t = Instant::now();
+        let status = {
+            let mut monitor = StageMonitor {
+                observer,
+                stop: &stop,
+                index,
+                stage: name,
+            };
+            stage.run(&mut ctx, &mut monitor)?
+        };
+        let elapsed = t.elapsed();
+        match stage.kind() {
+            StageKind::Global => timings.global += elapsed,
+            StageKind::Coarse { round } => {
+                timings.coarse += elapsed;
+                grow_rounds(&mut timings.rounds, round).coarse += elapsed;
+            }
+            StageKind::Detail { round } => {
+                timings.detail += elapsed;
+                grow_rounds(&mut timings.rounds, round).detail += elapsed;
+            }
+        }
+        if observer.enabled() {
+            observer.event(&PlacerEvent::StageEnd {
+                index,
+                stage: name.clone(),
+                seconds: elapsed.as_secs_f64(),
+                objective: ctx.objective.total(),
+                interrupted: status == StageStatus::Interrupted,
+            });
+        }
+
+        // Thermal snapshots at the historical boundaries: after global
+        // placement and after the first coarse round.
+        let snapshot_label = match stage.kind() {
+            StageKind::Global => Some("global"),
+            StageKind::Coarse { round: 0 } => Some("coarse"),
+            _ => None,
+        };
+        if let Some(label) = snapshot_label {
+            snapshot(
+                label,
+                &ctx,
+                &sim,
+                &mut thermal_ctx,
+                &mut trajectory,
+                observer,
+            )?;
+        }
+
+        if status == StageStatus::Interrupted {
+            stopped_early = true;
+            break;
+        }
+
+        // Checkpoints cover only *completed* stages, so resuming always
+        // restarts from a canonical stage boundary.
+        if let Some(dir) = &options.checkpoint_dir {
+            let path = checkpoint::write_checkpoint(
+                dir,
+                index,
+                name,
+                stages.len(),
+                ctx.legal,
+                netlist,
+                ctx.objective.placement(),
+                fp,
+            )?;
+            if observer.enabled() {
+                observer.event(&PlacerEvent::CheckpointWritten {
+                    index,
+                    stage: name.clone(),
+                    path,
+                });
+            }
+        }
+    }
+    legal = ctx.legal;
+
+    // A graceful stop must still hand back a legal placement: if the
+    // pipeline stopped before (or inside) a legalizing stage, run one
+    // uncancellable detail pass over the best placement we have.
+    if stopped_early && !legal {
+        let index = stages.len();
+        if observer.enabled() {
+            observer.event(&PlacerEvent::StageBegin {
+                index,
+                stage: "finalize".to_string(),
+            });
+        }
+        let t = Instant::now();
+        ctx.legalize =
+            detail_legalize(&mut ctx.objective, netlist, &chip, config.detail_row_window);
+        refine_legal(
+            &mut ctx.objective,
+            netlist,
+            &chip,
+            config.legal_refine_passes,
+        );
+        ctx.legal = true;
+        let elapsed = t.elapsed();
+        timings.detail += elapsed;
+        if observer.enabled() {
+            observer.event(&PlacerEvent::StageEnd {
+                index,
+                stage: "finalize".to_string(),
+                seconds: elapsed.as_secs_f64(),
+                objective: ctx.objective.total(),
+                interrupted: false,
+            });
+        }
+    }
+
+    if let Some(violation) = check_legal(netlist, &chip, ctx.objective.placement()) {
+        return Err(PlaceError::LegalizationFailed { violation });
+    }
+
+    let metrics = metrics::compute_with(
+        netlist,
+        &chip,
+        &model,
+        &ctx.objective,
+        &sim,
+        &mut thermal_ctx,
+    )?;
+    let stats = thermal_ctx.last_stats().expect("metrics ran a solve");
+    let final_snapshot = ThermalSnapshot {
+        stage: "final",
+        avg_temperature: metrics.avg_temperature,
+        max_temperature: metrics.max_temperature,
+        cg_iterations: stats.iterations,
+        warm_started: stats.warm_started,
+    };
+    trajectory.push(final_snapshot);
+    if observer.enabled() {
+        observer.event(&PlacerEvent::ThermalSolved {
+            snapshot: final_snapshot,
+        });
+        observer.event(&PlacerEvent::RunEnd {
+            seconds: start.elapsed().as_secs_f64(),
+            stopped_early,
+        });
+    }
+
+    timings.total = start.elapsed();
+    Ok(PlacementResult {
+        placement: ctx.objective.into_placement(),
+        metrics,
+        legalize: ctx.legalize,
+        timings,
+        thermal_trajectory: trajectory,
+        chip,
+        stopped_early,
+        resumed_from,
+    })
+}
+
+/// Returns the timing slot for `round`, growing the vector as rounds
+/// execute (an interrupted run reports only the rounds that ran).
+fn grow_rounds(rounds: &mut Vec<RoundTiming>, round: usize) -> &mut RoundTiming {
+    while rounds.len() <= round {
+        rounds.push(RoundTiming::default());
+    }
+    &mut rounds[round]
+}
+
+/// Solves the thermal field of the current placement through the shared
+/// warm-started context, appends the outcome to the trajectory, and
+/// reports it.
+fn snapshot(
+    stage: &'static str,
+    ctx: &PlacerContext<'_>,
+    sim: &ThermalSimulator,
+    thermal_ctx: &mut ThermalSolveContext,
+    trajectory: &mut Vec<ThermalSnapshot>,
+    observer: &mut dyn PlacerObserver,
+) -> Result<(), PlaceError> {
+    let (avg, max) = metrics::solve_temperatures(
+        ctx.netlist,
+        ctx.chip,
+        ctx.model,
+        &ctx.objective,
+        sim,
+        thermal_ctx,
+    )?;
+    let stats = thermal_ctx.last_stats().expect("solve just ran");
+    let snap = ThermalSnapshot {
+        stage,
+        avg_temperature: avg,
+        max_temperature: max,
+        cg_iterations: stats.iterations,
+        warm_started: stats.warm_started,
+    };
+    trajectory.push(snap);
+    if observer.enabled() {
+        observer.event(&PlacerEvent::ThermalSolved { snapshot: snap });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_matches_config_rounds() {
+        let plan = default_stage_plan(&PlacerConfig::new(2));
+        let names: Vec<String> = plan.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["global", "coarse[0]", "detail[0]"]);
+
+        let mut config = PlacerConfig::new(2);
+        config.post_opt_rounds = 2;
+        let plan = default_stage_plan(&config);
+        assert_eq!(plan.len(), 7);
+        assert_eq!(plan[5].name(), "coarse[2]");
+        assert_eq!(plan[6].kind(), StageKind::Detail { round: 2 });
+    }
+
+    #[test]
+    fn rounds_vector_grows_on_demand() {
+        let mut rounds = Vec::new();
+        grow_rounds(&mut rounds, 1).coarse = std::time::Duration::from_secs(1);
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0], RoundTiming::default());
+        assert_eq!(rounds[1].coarse, std::time::Duration::from_secs(1));
+    }
+}

@@ -19,6 +19,20 @@ pub enum PlaceError {
     EmptyNetlist,
     /// The thermal model rejected the derived chip geometry.
     Thermal(ThermalError),
+    /// Detailed legalization produced an illegal placement. This indicates
+    /// an internal invariant violation, not bad input; please report it.
+    LegalizationFailed {
+        /// Human-readable description of the first violation found.
+        violation: String,
+    },
+    /// A checkpoint could not be written, read, or matched to this run.
+    Checkpoint {
+        /// The checkpoint directory or file involved.
+        path: String,
+        /// What went wrong (I/O failure, corrupt manifest, or a manifest
+        /// recorded by an incompatible netlist/config/stage plan).
+        reason: String,
+    },
 }
 
 impl fmt::Display for PlaceError {
@@ -29,6 +43,15 @@ impl fmt::Display for PlaceError {
             }
             PlaceError::EmptyNetlist => write!(f, "netlist has no movable cells"),
             PlaceError::Thermal(e) => write!(f, "thermal model error: {e}"),
+            PlaceError::LegalizationFailed { violation } => {
+                write!(
+                    f,
+                    "detailed legalization produced an illegal placement: {violation}"
+                )
+            }
+            PlaceError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint error at `{path}`: {reason}")
+            }
         }
     }
 }
@@ -60,6 +83,20 @@ mod tests {
         };
         assert!(e.to_string().contains("alpha_ilv"));
         assert!(PlaceError::EmptyNetlist.to_string().contains("movable"));
+    }
+
+    #[test]
+    fn legalization_and_checkpoint_errors_carry_context() {
+        let e = PlaceError::LegalizationFailed {
+            violation: "cell c17 overlaps c18 in row 3".into(),
+        };
+        assert!(e.to_string().contains("c17"));
+        let e = PlaceError::Checkpoint {
+            path: "/tmp/ckpt".into(),
+            reason: "fingerprint mismatch".into(),
+        };
+        assert!(e.to_string().contains("/tmp/ckpt"));
+        assert!(e.to_string().contains("fingerprint"));
     }
 
     #[test]

@@ -32,15 +32,25 @@
 //! # }
 //! ```
 
+//! Runs are observable, cancellable, and resumable through the stage
+//! engine (DESIGN.md §9): attach a [`PlacerObserver`] for structured
+//! progress events, a [`CancelToken`] or time budget for graceful early
+//! stops, and a checkpoint directory to resume interrupted runs — all via
+//! [`Placer::place_with_options`].
+
+pub mod checkpoint;
 pub mod chip;
 pub mod coarse;
 pub mod config;
+mod control;
 pub mod detail;
+pub mod engine;
 mod error;
 pub mod global;
 pub mod metrics;
 pub mod netweight;
 pub mod objective;
+pub mod observer;
 pub mod placement;
 mod placer;
 pub mod power;
@@ -48,7 +58,15 @@ pub mod trr;
 
 pub use chip::Chip;
 pub use config::{PlacerConfig, ShiftStrategy, TechnologyParams};
+pub use control::CancelToken;
+pub use engine::{PlacerContext, Stage, StageKind, StageMonitor, StageStatus};
 pub use error::PlaceError;
 pub use metrics::PlacementMetrics;
+pub use observer::{
+    event_to_json, JsonlObserver, NopObserver, PassEvent, PlacerEvent, PlacerObserver,
+    RecordingObserver,
+};
 pub use placement::Placement;
-pub use placer::{PlacementResult, Placer, StageTimings, ThermalSnapshot};
+pub use placer::{
+    PlaceOptions, PlacementResult, Placer, RoundTiming, StageTimings, ThermalSnapshot,
+};

@@ -1,23 +1,46 @@
-//! The complete placement pipeline (paper §6).
+//! The complete placement pipeline (paper §6), run by the stage engine.
+//!
+//! [`Placer::place`] executes the default plan (global → coarse → detail
+//! → post-opt rounds) with nothing attached. [`Placer::place_with_options`]
+//! is the full entry point: attach a [`PlacerObserver`] for structured
+//! progress events, a [`CancelToken`] and/or wall-clock time budget for
+//! graceful early stops, and a checkpoint directory for stage-boundary
+//! snapshots and resume (DESIGN.md §9).
 
-use crate::coarse::coarse_legalize;
-use crate::detail::{check_legal, detail_legalize, refine_legal, LegalizeStats};
-use crate::metrics::{self, PlacementMetrics};
-use crate::objective::{IncrementalObjective, ObjectiveModel};
+use crate::control::CancelToken;
+use crate::detail::LegalizeStats;
+use crate::engine;
+use crate::metrics::PlacementMetrics;
+use crate::observer::PlacerObserver;
 use crate::{Chip, PlaceError, Placement, PlacerConfig};
-use std::time::{Duration, Instant};
-use tvp_netlist::Netlist;
-use tvp_thermal::{ThermalSimulator, ThermalSolveContext};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Wall-clock timing of one coarse+detail optimization round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RoundTiming {
+    /// Coarse legalization (moves/swaps + cell shifting) of this round.
+    pub coarse: Duration,
+    /// Detailed legalization + refinement of this round.
+    pub detail: Duration,
+}
 
 /// Wall-clock duration of each pipeline stage.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+///
+/// `coarse` and `detail` are totals across every optimization round;
+/// `rounds` breaks the same time down per round (round 0 is the first
+/// legalization, rounds 1.. the post-opt rounds; an interrupted run
+/// reports only the rounds that executed).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct StageTimings {
     /// Recursive-bisection global placement.
     pub global: Duration,
-    /// Coarse legalization (moves/swaps + cell shifting).
+    /// Coarse legalization (moves/swaps + cell shifting), all rounds.
     pub coarse: Duration,
-    /// Detailed legalization.
+    /// Detailed legalization, all rounds.
     pub detail: Duration,
+    /// Per-round breakdown of `coarse`/`detail`.
+    pub rounds: Vec<RoundTiming>,
     /// Whole pipeline including metric evaluation.
     pub total: Duration,
 }
@@ -50,13 +73,51 @@ pub struct PlacementResult {
     pub metrics: PlacementMetrics,
     /// Detailed-legalization statistics of the final round.
     pub legalize: LegalizeStats,
-    /// Per-stage wall-clock timings (Fig. 10 material).
+    /// Per-stage wall-clock timings (Fig. 10 material), including the
+    /// per-round breakdown.
     pub timings: StageTimings,
     /// Thermal field after each pipeline stage, all solved through one
     /// warm-started CG context (the last entry matches `metrics`).
     pub thermal_trajectory: Vec<ThermalSnapshot>,
     /// The chip geometry the netlist was placed on.
     pub chip: Chip,
+    /// Whether cancellation or the time budget stopped the pipeline
+    /// before every planned stage ran. The placement is still legal.
+    pub stopped_early: bool,
+    /// Name of the checkpointed stage this run resumed from, if any.
+    pub resumed_from: Option<String>,
+}
+
+/// Per-run options for [`Placer::place_with_options`]: everything that
+/// controls *how* a run executes without changing *what* it computes.
+///
+/// The default options attach nothing; the run then behaves exactly like
+/// [`Placer::place`].
+#[derive(Default)]
+pub struct PlaceOptions<'o> {
+    /// Event sink for structured progress (stage/pass boundaries,
+    /// objective values, CG stats). `None` uses the zero-overhead no-op.
+    pub observer: Option<&'o mut dyn PlacerObserver>,
+    /// Cooperative cancellation token, checked at stage/pass boundaries.
+    pub cancel: Option<CancelToken>,
+    /// Wall-clock budget for the run; when exceeded the pipeline stops at
+    /// the next boundary and returns the legal best-so-far placement.
+    pub time_budget: Option<Duration>,
+    /// Directory for stage-boundary checkpoints. When it already holds a
+    /// compatible manifest, the run resumes from the newest checkpoint,
+    /// skipping completed stages.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for PlaceOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlaceOptions")
+            .field("observer", &self.observer.as_ref().map(|_| "..."))
+            .field("cancel", &self.cancel)
+            .field("time_budget", &self.time_budget)
+            .field("checkpoint_dir", &self.checkpoint_dir)
+            .finish()
+    }
 }
 
 /// The thermal/via-aware 3D placer.
@@ -97,14 +158,9 @@ impl Placer {
     /// # Errors
     ///
     /// Returns [`PlaceError`] for an invalid configuration, an empty
-    /// netlist, or a thermal-model failure.
-    ///
-    /// # Panics
-    ///
-    /// Panics if detailed legalization produces an illegal placement —
-    /// this is an internal invariant; failing it is a bug, not a usage
-    /// error.
-    pub fn place(&self, netlist: &Netlist) -> Result<PlacementResult, PlaceError> {
+    /// netlist, a thermal-model failure, or (never expected in practice)
+    /// an internal legalization failure.
+    pub fn place(&self, netlist: &tvp_netlist::Netlist) -> Result<PlacementResult, PlaceError> {
         self.place_with_fixed(netlist, &[])
     }
 
@@ -118,138 +174,40 @@ impl Placer {
     /// Same conditions as [`place`](Self::place).
     pub fn place_with_fixed(
         &self,
-        netlist: &Netlist,
+        netlist: &tvp_netlist::Netlist,
         fixed_positions: &[(tvp_netlist::CellId, f64, f64, u16)],
     ) -> Result<PlacementResult, PlaceError> {
-        // All parallel hot paths below (thermal CG, objective rebuilds,
+        self.place_with_options(netlist, fixed_positions, PlaceOptions::default())
+    }
+
+    /// The full-control entry point: [`place_with_fixed`] plus per-run
+    /// [`PlaceOptions`] — observer, cancellation, time budget, and
+    /// checkpoint/resume.
+    ///
+    /// Cancellation and budget exhaustion are *not* errors: the run
+    /// returns `Ok` with a legal placement and
+    /// [`stopped_early`](PlacementResult::stopped_early) set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`place`](Self::place), plus
+    /// [`PlaceError::Checkpoint`] for checkpoint I/O or compatibility
+    /// failures.
+    ///
+    /// [`place_with_fixed`]: Self::place_with_fixed
+    pub fn place_with_options(
+        &self,
+        netlist: &tvp_netlist::Netlist,
+        fixed_positions: &[(tvp_netlist::CellId, f64, f64, u16)],
+        mut options: PlaceOptions<'_>,
+    ) -> Result<PlacementResult, PlaceError> {
+        // All parallel hot paths (thermal CG, objective rebuilds,
         // recursive bisection) read the effective thread count from this
         // scope; `config.threads == 0` means all hardware threads.
         tvp_parallel::with_threads(self.config.threads, || {
-            self.place_with_fixed_inner(netlist, fixed_positions)
+            engine::run_pipeline(&self.config, netlist, fixed_positions, &mut options)
         })
     }
-
-    fn place_with_fixed_inner(
-        &self,
-        netlist: &Netlist,
-        fixed_positions: &[(tvp_netlist::CellId, f64, f64, u16)],
-    ) -> Result<PlacementResult, PlaceError> {
-        let start = Instant::now();
-        let config = &self.config;
-        let chip = Chip::from_netlist(netlist, config)?;
-        let model = ObjectiveModel::new(netlist, &chip, config)?;
-
-        // One simulator + CG context for every thermal evaluation of this
-        // run: the Jacobi preconditioner is built once, and each stage's
-        // solve warm-starts from the previous stage's field.
-        let (nx, ny) = config.thermal_grid;
-        let sim = ThermalSimulator::new(chip.stack, chip.width, chip.depth, nx, ny)?;
-        let mut thermal_ctx = sim.context();
-        let mut trajectory: Vec<ThermalSnapshot> = Vec::new();
-
-        let t_global = Instant::now();
-        let placement =
-            crate::global::global_place_with_fixed(netlist, &chip, &model, config, fixed_positions);
-        let global_time = t_global.elapsed();
-
-        let mut objective = IncrementalObjective::new(netlist, &model, placement);
-        snapshot(
-            "global",
-            netlist,
-            &chip,
-            &model,
-            &objective,
-            &sim,
-            &mut thermal_ctx,
-            &mut trajectory,
-        )?;
-
-        let t_coarse = Instant::now();
-        coarse_legalize(&mut objective, netlist, &chip, config);
-        let mut coarse_time = t_coarse.elapsed();
-        snapshot(
-            "coarse",
-            netlist,
-            &chip,
-            &model,
-            &objective,
-            &sim,
-            &mut thermal_ctx,
-            &mut trajectory,
-        )?;
-
-        let t_detail = Instant::now();
-        let mut legalize =
-            detail_legalize(&mut objective, netlist, &chip, config.detail_row_window);
-        refine_legal(&mut objective, netlist, &chip, config.legal_refine_passes);
-        let mut detail_time = t_detail.elapsed();
-
-        // §6: coarse and detailed legalization can be repeated for further
-        // optimization (the §7 effort experiment runs up to 10 rounds).
-        for _ in 0..config.post_opt_rounds {
-            let t = Instant::now();
-            coarse_legalize(&mut objective, netlist, &chip, config);
-            coarse_time += t.elapsed();
-            let t = Instant::now();
-            legalize = detail_legalize(&mut objective, netlist, &chip, config.detail_row_window);
-            refine_legal(&mut objective, netlist, &chip, config.legal_refine_passes);
-            detail_time += t.elapsed();
-        }
-
-        if let Some(violation) = check_legal(netlist, &chip, objective.placement()) {
-            panic!("detailed legalization produced an illegal placement: {violation}");
-        }
-
-        let metrics =
-            metrics::compute_with(netlist, &chip, &model, &objective, &sim, &mut thermal_ctx)?;
-        let stats = thermal_ctx.last_stats().expect("metrics ran a solve");
-        trajectory.push(ThermalSnapshot {
-            stage: "final",
-            avg_temperature: metrics.avg_temperature,
-            max_temperature: metrics.max_temperature,
-            cg_iterations: stats.iterations,
-            warm_started: stats.warm_started,
-        });
-        Ok(PlacementResult {
-            placement: objective.into_placement(),
-            metrics,
-            legalize,
-            timings: StageTimings {
-                global: global_time,
-                coarse: coarse_time,
-                detail: detail_time,
-                total: start.elapsed(),
-            },
-            thermal_trajectory: trajectory,
-            chip,
-        })
-    }
-}
-
-/// Solves the thermal field of the current placement through the shared
-/// warm-started context and appends the outcome to the trajectory.
-#[allow(clippy::too_many_arguments)]
-fn snapshot(
-    stage: &'static str,
-    netlist: &Netlist,
-    chip: &Chip,
-    model: &ObjectiveModel,
-    objective: &IncrementalObjective<'_>,
-    sim: &ThermalSimulator,
-    thermal_ctx: &mut ThermalSolveContext,
-    trajectory: &mut Vec<ThermalSnapshot>,
-) -> Result<(), PlaceError> {
-    let (avg, max) =
-        metrics::solve_temperatures(netlist, chip, model, objective, sim, thermal_ctx)?;
-    let stats = thermal_ctx.last_stats().expect("solve just ran");
-    trajectory.push(ThermalSnapshot {
-        stage,
-        avg_temperature: avg,
-        max_temperature: max,
-        cg_iterations: stats.iterations,
-        warm_started: stats.warm_started,
-    });
-    Ok(())
 }
 
 #[cfg(test)]
@@ -265,11 +223,36 @@ mod tests {
         assert!(result.metrics.wirelength > 0.0);
         assert!(result.metrics.avg_temperature > 0.0);
         assert!(result.timings.total >= result.timings.global);
+        assert!(!result.stopped_early);
+        assert_eq!(result.resumed_from, None);
         // check_legal ran inside place(); re-verify from the outside.
         assert_eq!(
             crate::detail::check_legal(&netlist, &result.chip, &result.placement),
             None
         );
+    }
+
+    #[test]
+    fn timings_report_one_round_by_default() {
+        let netlist = generate(&SynthConfig::named("t", 150, 7.5e-10)).unwrap();
+        let result = Placer::new(PlacerConfig::new(2)).place(&netlist).unwrap();
+        assert_eq!(result.timings.rounds.len(), 1);
+        let r = &result.timings.rounds[0];
+        assert_eq!(r.coarse, result.timings.coarse);
+        assert_eq!(r.detail, result.timings.detail);
+    }
+
+    #[test]
+    fn timings_report_per_round_breakdown_with_post_opt() {
+        let netlist = generate(&SynthConfig::named("t", 150, 7.5e-10)).unwrap();
+        let mut config = PlacerConfig::new(2);
+        config.post_opt_rounds = 2;
+        let result = Placer::new(config).place(&netlist).unwrap();
+        assert_eq!(result.timings.rounds.len(), 3);
+        let coarse_sum: Duration = result.timings.rounds.iter().map(|r| r.coarse).sum();
+        let detail_sum: Duration = result.timings.rounds.iter().map(|r| r.detail).sum();
+        assert_eq!(coarse_sum, result.timings.coarse);
+        assert_eq!(detail_sum, result.timings.detail);
     }
 
     #[test]

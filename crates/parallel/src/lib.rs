@@ -266,7 +266,7 @@ pub fn run_tasks<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
 }
 
 /// Splits `0..len` into contiguous ranges of at least `min_chunk`
-/// elements (bounded by [`MAX_CHUNKS`]). A pure function of `len` and
+/// elements (bounded by `MAX_CHUNKS`). A pure function of `len` and
 /// `min_chunk` — never of the thread count — so chunk boundaries, and
 /// therefore chunked floating-point reductions, are identical for every
 /// parallel configuration.

@@ -81,7 +81,7 @@ pub mod prop {
             }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`](vec()).
         #[derive(Clone, Debug)]
         pub struct VecStrategy<S> {
             element: S,

@@ -337,9 +337,9 @@ impl ThermalSimulator {
     }
 
     /// Creates a reusable solve context for this simulator: the Jacobi
-    /// preconditioner is computed once, and each [`solve_with`]
-    /// (Self::solve_with) stores its solution for the next call to warm
-    /// start from.
+    /// preconditioner is computed once, and each
+    /// [`solve_with`](Self::solve_with) stores its solution for the next
+    /// call to warm start from.
     pub fn context(&self) -> ThermalSolveContext {
         let diag = self.diagonal();
         let inv_diag: Vec<f64> = diag.iter().map(|&d| 1.0 / d).collect();
@@ -351,8 +351,9 @@ impl ThermalSimulator {
     }
 
     /// Solves for the steady-state temperature field produced by `power`,
-    /// cold-starting from zero. Equivalent to [`solve_with`]
-    /// (Self::solve_with) on a fresh [`context`](Self::context).
+    /// cold-starting from zero. Equivalent to
+    /// [`solve_with`](Self::solve_with) on a fresh
+    /// [`context`](Self::context).
     ///
     /// # Errors
     ///

@@ -1,0 +1,81 @@
+//! Stage-engine tour: observe a run's structured events, then stop a run
+//! early with a cancellation token and still get a legal placement.
+//!
+//! ```sh
+//! cargo run --release --example stage_events
+//! ```
+
+use tvp_bookshelf::synth::{generate, SynthConfig};
+use tvp_core::{
+    CancelToken, PlaceOptions, Placer, PlacerConfig, PlacerEvent, PlacerObserver, RecordingObserver,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let netlist = generate(&SynthConfig::named("events", 1_000, 5.0e-9))?;
+    let mut config = PlacerConfig::new(4);
+    config.post_opt_rounds = 1;
+    let placer = Placer::new(config);
+
+    // --- 1. Observe: record every event of a full run.
+    let mut recorder = RecordingObserver::new();
+    let result = placer.place_with_options(
+        &netlist,
+        &[],
+        PlaceOptions {
+            observer: Some(&mut recorder),
+            ..PlaceOptions::default()
+        },
+    )?;
+    println!("full run: {} events, stages:", recorder.events.len());
+    for event in &recorder.events {
+        if let PlacerEvent::StageEnd {
+            stage,
+            seconds,
+            objective,
+            ..
+        } = event
+        {
+            println!("  {stage:<10} {seconds:>7.3}s  objective {objective:.4e}");
+        }
+    }
+    println!(
+        "  per-round: {:?}",
+        result
+            .timings
+            .rounds
+            .iter()
+            .map(|r| (r.coarse, r.detail))
+            .collect::<Vec<_>>()
+    );
+
+    // --- 2. Cancel: stop after global placement; the engine legalizes
+    // what it has and returns a legal (if unrefined) placement.
+    struct CancelAfterGlobal(CancelToken);
+    impl PlacerObserver for CancelAfterGlobal {
+        fn event(&mut self, event: &PlacerEvent) {
+            if let PlacerEvent::StageEnd { stage, .. } = event {
+                if stage == "global" {
+                    self.0.cancel();
+                }
+            }
+        }
+    }
+    let token = CancelToken::new();
+    let mut canceller = CancelAfterGlobal(token.clone());
+    let stopped = placer.place_with_options(
+        &netlist,
+        &[],
+        PlaceOptions {
+            observer: Some(&mut canceller),
+            cancel: Some(token),
+            ..PlaceOptions::default()
+        },
+    )?;
+    assert!(stopped.stopped_early);
+    println!(
+        "cancelled run: stopped_early = {}, still legal, wirelength {:.3e} m \
+         (full run: {:.3e} m)",
+        stopped.stopped_early, stopped.metrics.wirelength, result.metrics.wirelength
+    );
+    Ok(())
+}
