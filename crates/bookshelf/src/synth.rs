@@ -146,9 +146,7 @@ pub fn generate(config: &SynthConfig) -> Result<Netlist, BuildNetlistError> {
         let net = builder.add_net(format!("n{i}"));
         // Skewed activity with mean ≈ 0.15 (0.45·u² has mean 0.15).
         let activity: f64 = 0.45 * rng.random::<f64>().powi(2);
-        builder
-            .set_switching_activity(net, activity.clamp(0.0, 1.0))
-            .expect("activity in range");
+        builder.set_switching_activity(net, activity.clamp(0.0, 1.0))?;
 
         let mut degree = 2usize;
         while degree < 32 && rng.random::<f64>() > p {
@@ -191,7 +189,7 @@ pub fn generate(config: &SynthConfig) -> Result<Netlist, BuildNetlistError> {
                 PinDirection::Input
             };
             // Duplicate (cell, net) pairs cannot happen: `chosen` is deduped.
-            builder.connect(net, cells[c], dir).expect("unique pins");
+            builder.connect(net, cells[c], dir)?;
         }
     }
 

@@ -12,6 +12,9 @@ USAGE:
             [--seed N] [--starts N] [--threads N] [--units METERS_PER_UNIT]
             [--out DIR] [--svg FILE.svg] [--trace-out FILE.jsonl]
             [--time-budget SECONDS] [--checkpoint-dir DIR]
+            [--no-preflight] [--inject-fault KIND[:SITE]]...
+  tvp validate <design.aux> [--layers N] [--units METERS_PER_UNIT]
+            [--repair [--out DIR]]
   tvp synth <name> --cells N [--area-mm2 A] [--seed N] --out DIR
   tvp stats <design.aux> [--units METERS_PER_UNIT]
   tvp sweep <design.aux> [--layers N] [--points N] [--threads N] [--units M]
@@ -29,6 +32,18 @@ USAGE:
                      D already holds a compatible checkpoint, resume from
                      it (skipping the completed stages)
   --progress         (sweep) narrate per-stage progress on stderr
+  --no-preflight     (place) skip the automatic design validation that
+                     otherwise runs before placement
+  --inject-fault F   (place) deterministically inject a fault for
+                     robustness testing; KIND is one of nan-power,
+                     cg-breakdown, partition-imbalance,
+                     corrupt-checkpoint, with an optional :SITE (a stage
+                     name such as global, coarse[0], detail[0], final);
+                     may repeat
+  --repair           (validate) apply safe normalizations (drop
+                     degenerate nets, clamp non-finite dims) and report
+                     every change; with --out DIR the repaired design is
+                     written back as Bookshelf files
 
 EXAMPLES:
   tvp synth demo --cells 2000 --out bench/
@@ -42,6 +57,8 @@ EXAMPLES:
 pub enum Command {
     /// `tvp place`.
     Place(PlaceArgs),
+    /// `tvp validate`.
+    Validate(ValidateArgs),
     /// `tvp synth`.
     Synth(SynthArgs),
     /// `tvp stats`.
@@ -50,6 +67,21 @@ pub enum Command {
     Sweep(SweepArgs),
     /// `tvp help` (or no arguments).
     Help,
+}
+
+/// Arguments of `tvp validate`: preflight diagnostics for one design.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ValidateArgs {
+    /// Path to the `.aux` manifest.
+    pub aux: String,
+    /// Device layers the design would be placed onto.
+    pub layers: usize,
+    /// Meters per Bookshelf site unit.
+    pub meters_per_unit: f64,
+    /// Apply safe normalizations and report them.
+    pub repair: bool,
+    /// Output directory for the repaired design (requires `--repair`).
+    pub out: Option<String>,
 }
 
 /// Arguments of `tvp sweep`: an `α_ILV` tradeoff sweep on one design.
@@ -102,6 +134,10 @@ pub struct PlaceArgs {
     /// Checkpoint directory (written after every completed stage; resumed
     /// from when it already holds a compatible checkpoint).
     pub checkpoint_dir: Option<String>,
+    /// Skip the automatic preflight validation.
+    pub no_preflight: bool,
+    /// Fault specs (`kind` or `kind:site`) to inject deterministically.
+    pub inject_faults: Vec<String>,
 }
 
 /// Arguments of `tvp synth`.
@@ -161,6 +197,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseArgsError> {
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "place" => parse_place(&mut it),
+        "validate" => parse_validate(&mut it),
         "synth" => parse_synth(&mut it),
         "stats" => parse_stats(&mut it),
         "sweep" => parse_sweep(&mut it),
@@ -198,6 +235,8 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
         trace_out: None,
         time_budget: None,
         checkpoint_dir: None,
+        no_preflight: false,
+        inject_faults: Vec::new(),
     };
     while let Some(token) = it.next() {
         match token.as_str() {
@@ -219,6 +258,8 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
                 args.time_budget = Some(seconds);
             }
             "--checkpoint-dir" => args.checkpoint_dir = Some(take_value(token, it)?.to_string()),
+            "--no-preflight" => args.no_preflight = true,
+            "--inject-fault" => args.inject_faults.push(take_value(token, it)?.to_string()),
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}` for `place`")))
             }
@@ -230,6 +271,36 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
         return Err(err("`place` needs a <design.aux> path"));
     }
     Ok(Command::Place(args))
+}
+
+fn parse_validate(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseArgsError> {
+    let mut args = ValidateArgs {
+        aux: String::new(),
+        layers: 4,
+        meters_per_unit: 1.0e-6,
+        repair: false,
+        out: None,
+    };
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--layers" => args.layers = parse_num(token, take_value(token, it)?)?,
+            "--units" => args.meters_per_unit = parse_num(token, take_value(token, it)?)?,
+            "--repair" => args.repair = true,
+            "--out" => args.out = Some(take_value(token, it)?.to_string()),
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}` for `validate`")))
+            }
+            positional if args.aux.is_empty() => args.aux = positional.to_string(),
+            extra => return Err(err(format!("unexpected argument `{extra}`"))),
+        }
+    }
+    if args.aux.is_empty() {
+        return Err(err("`validate` needs a <design.aux> path"));
+    }
+    if args.out.is_some() && !args.repair {
+        return Err(err("`validate --out` requires `--repair`"));
+    }
+    Ok(Command::Validate(args))
 }
 
 fn parse_synth(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseArgsError> {
@@ -385,6 +456,46 @@ mod tests {
         assert!(e.to_string().contains("non-negative"));
         let e = parse(&argv("place d.aux --time-budget nope")).unwrap_err();
         assert!(e.to_string().contains("not a valid number"));
+    }
+
+    #[test]
+    fn place_robustness_flags() {
+        let Command::Place(a) = parse(&argv(
+            "place d.aux --no-preflight --inject-fault nan-power --inject-fault cg-breakdown:final",
+        ))
+        .unwrap() else {
+            panic!("expected place")
+        };
+        assert!(a.no_preflight);
+        assert_eq!(a.inject_faults, ["nan-power", "cg-breakdown:final"]);
+
+        let Command::Place(d) = parse(&argv("place d.aux")).unwrap() else {
+            panic!()
+        };
+        assert!(!d.no_preflight, "preflight is on by default");
+        assert!(d.inject_faults.is_empty());
+    }
+
+    #[test]
+    fn validate_parses() {
+        let Command::Validate(a) = parse(&argv("validate d.aux --layers 2")).unwrap() else {
+            panic!("expected validate")
+        };
+        assert_eq!(a.aux, "d.aux");
+        assert_eq!(a.layers, 2);
+        assert!(!a.repair);
+        assert_eq!(a.out, None);
+
+        let Command::Validate(a) = parse(&argv("validate d.aux --repair --out fixed")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(a.repair);
+        assert_eq!(a.out.as_deref(), Some("fixed"));
+
+        assert!(parse(&argv("validate")).is_err());
+        let e = parse(&argv("validate d.aux --out fixed")).unwrap_err();
+        assert!(e.to_string().contains("--repair"));
     }
 
     #[test]

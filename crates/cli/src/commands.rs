@@ -1,12 +1,41 @@
 //! Command implementations for the `tvp` binary.
 
-use crate::args::{PlaceArgs, StatsArgs, SweepArgs, SynthArgs};
+use crate::args::{PlaceArgs, StatsArgs, SweepArgs, SynthArgs, ValidateArgs};
 use crate::progress::StderrProgress;
 use std::fmt::Write as _;
 use tvp_bookshelf::synth::SynthConfig;
 use tvp_bookshelf::{Design, DesignBuilderOptions};
-use tvp_core::{JsonlObserver, PlaceOptions, Placer, PlacerConfig, PlacerObserver};
+use tvp_core::{
+    FaultKind, FaultPlan, JsonlObserver, PlaceOptions, Placer, PlacerConfig, PlacerObserver,
+    ValidateOptions,
+};
 use tvp_netlist::CellId;
+
+/// Parses one `--inject-fault` spec (`kind` or `kind:site`). Omitted
+/// sites default to the stage where the fault class naturally lands.
+fn parse_fault_spec(spec: &str) -> Result<(FaultKind, String), String> {
+    let (kind_str, site) = match spec.split_once(':') {
+        Some((k, s)) => (k, Some(s)),
+        None => (spec, None),
+    };
+    let kind = match kind_str {
+        "nan-power" => FaultKind::NanPower,
+        "cg-breakdown" => FaultKind::CgBreakdown,
+        "partition-imbalance" => FaultKind::PartitionImbalance,
+        "corrupt-checkpoint" => FaultKind::CorruptCheckpoint,
+        other => {
+            return Err(format!(
+                "unknown fault kind `{other}` (expected nan-power, cg-breakdown, \
+                 partition-imbalance, or corrupt-checkpoint)"
+            ))
+        }
+    };
+    let site = site.map(str::to_string).unwrap_or_else(|| match kind {
+        FaultKind::NanPower | FaultKind::CgBreakdown => "final".to_string(),
+        FaultKind::PartitionImbalance | FaultKind::CorruptCheckpoint => "global".to_string(),
+    });
+    Ok((kind, site))
+}
 
 /// `tvp place`: load, place, report, optionally write back.
 ///
@@ -39,6 +68,48 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
         })
         .collect();
 
+    let mut out = String::new();
+    // Preflight validation (opt out with --no-preflight): warnings are
+    // reported and the run proceeds; errors abort before any placement
+    // work starts.
+    if !args.no_preflight {
+        let report = tvp_core::validate(
+            &design.netlist,
+            &ValidateOptions {
+                fixed_positions: &fixed,
+                rows: (!design.rows.is_empty()).then_some(design.rows.as_slice()),
+                num_layers: args.layers as u16,
+            },
+        );
+        for diag in report.warnings() {
+            let _ = writeln!(out, "preflight: {diag}");
+        }
+        if !report.is_placeable() {
+            let mut msg = String::from("preflight validation failed:\n");
+            for diag in report.errors() {
+                let _ = writeln!(msg, "  {diag}");
+            }
+            let _ = write!(
+                msg,
+                "run `tvp validate {} --repair` to normalize what can be fixed, \
+                 or pass --no-preflight to skip this check",
+                args.aux
+            );
+            return Err(msg);
+        }
+    }
+
+    let faults = if args.inject_faults.is_empty() {
+        None
+    } else {
+        let mut plan = FaultPlan::new(args.seed);
+        for spec in &args.inject_faults {
+            let (kind, site) = parse_fault_spec(spec)?;
+            plan = plan.inject(kind, site);
+        }
+        Some(plan)
+    };
+
     let mut trace = match &args.trace_out {
         Some(path) => {
             let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
@@ -51,6 +122,7 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
         cancel: None,
         time_budget: args.time_budget.map(std::time::Duration::from_secs_f64),
         checkpoint_dir: args.checkpoint_dir.as_ref().map(std::path::PathBuf::from),
+        faults,
     };
     let result = Placer::new(config)
         .place_with_options(&design.netlist, &fixed, run_options)
@@ -60,7 +132,6 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
         trace.finish().map_err(|e| format!("writing {path}: {e}"))?;
     }
 
-    let mut out = String::new();
     let _ = writeln!(out, "design:  {} ({})", design.name, design.netlist.stats());
     if let Some(stage) = &result.resumed_from {
         let _ = writeln!(out, "resumed: from checkpoint after {stage}");
@@ -93,6 +164,9 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
             out,
             "note:    stopped early (budget/cancellation); placement is legal"
         );
+    }
+    for degradation in &result.degradations {
+        let _ = writeln!(out, "degraded: {degradation}");
     }
     if let Some(path) = &args.trace_out {
         let _ = writeln!(out, "wrote:   {path}");
@@ -135,6 +209,100 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
         );
     }
     Ok(out)
+}
+
+/// `tvp validate`: preflight diagnostics (and optional repair) for one
+/// design, without placing it.
+///
+/// # Errors
+///
+/// Returns a message when the design cannot be loaded, when error-level
+/// diagnostics remain (after repair, if `--repair` was given), or when
+/// the repaired design cannot be written.
+pub fn validate(args: &ValidateArgs) -> Result<String, String> {
+    let options = DesignBuilderOptions {
+        meters_per_unit: args.meters_per_unit,
+    };
+    // Permissive load: validate/repair must be able to open exactly the
+    // designs the strict loader rejects (degenerate cell dimensions).
+    let design = Design::load_permissive(&args.aux, options)
+        .map_err(|e| format!("loading {}: {e}", args.aux))?;
+    let fixed: Vec<(CellId, f64, f64, u16)> = design
+        .netlist
+        .iter_cells()
+        .filter(|(_, c)| !c.is_movable())
+        .filter_map(|(id, _)| {
+            design
+                .positions
+                .get(id.index())
+                .map(|&(x, y, l)| (id, x, y, l as u16))
+        })
+        .collect();
+    let validate_options = ValidateOptions {
+        fixed_positions: &fixed,
+        rows: (!design.rows.is_empty()).then_some(design.rows.as_slice()),
+        num_layers: args.layers as u16,
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "design:  {} ({})", design.name, design.netlist.stats());
+    let report = tvp_core::validate(&design.netlist, &validate_options);
+    for diag in &report.diagnostics {
+        let _ = writeln!(out, "{diag}");
+    }
+    let _ = writeln!(
+        out,
+        "summary: {} error(s), {} warning(s)",
+        report.errors().count(),
+        report.warnings().count()
+    );
+
+    if !args.repair {
+        return if report.is_placeable() {
+            Ok(out)
+        } else {
+            Err(out + "validation failed (re-run with --repair to normalize what can be fixed)")
+        };
+    }
+
+    let (repaired, actions) =
+        tvp_core::repair(&design.netlist).map_err(|e| format!("{out}repair failed: {e}"))?;
+    if actions.is_empty() {
+        let _ = writeln!(out, "repair:  nothing to change");
+    }
+    for action in &actions {
+        let _ = writeln!(out, "repair:  {action}");
+    }
+    let after = tvp_core::validate(&repaired, &validate_options);
+    let _ = writeln!(
+        out,
+        "after:   {} error(s), {} warning(s)",
+        after.errors().count(),
+        after.warnings().count()
+    );
+
+    if let Some(dir) = &args.out {
+        let repaired_design = Design {
+            name: design.name.clone(),
+            netlist: repaired,
+            positions: design.positions.clone(),
+            rows: design.rows.clone(),
+        };
+        repaired_design
+            .save(dir, options)
+            .map_err(|e| format!("{out}writing {dir}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "wrote:   {dir}/{}.aux (+ nodes/nets/wts/pl)",
+            design.name
+        );
+    }
+
+    if after.is_placeable() {
+        Ok(out)
+    } else {
+        Err(out + "validation still failing after repair (errors above are not auto-fixable)")
+    }
 }
 
 /// `tvp synth`: generate a synthetic benchmark and save it.
@@ -367,6 +535,43 @@ mod tests {
             out.contains("quality: WL ="),
             "still reports a legal result"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_passes_clean_designs_and_place_reports_injected_degradations() {
+        let dir = tmp("validate");
+        run(&argv(&format!("synth v --cells 80 --out {dir}"))).unwrap();
+
+        let out = run(&argv(&format!("validate {dir}/v.aux --layers 2"))).unwrap();
+        assert!(out.contains("summary: 0 error(s)"), "{out}");
+
+        // --repair on a clean design is a no-op and still succeeds.
+        let out = run(&argv(&format!("validate {dir}/v.aux --repair"))).unwrap();
+        assert!(out.contains("repair:  nothing to change"), "{out}");
+
+        // An injected CG breakdown degrades gracefully and is reported.
+        let out = run(&argv(&format!(
+            "place {dir}/v.aux --layers 2 --inject-fault cg-breakdown"
+        )))
+        .unwrap();
+        assert!(out.contains("degraded: thermal-degraded"), "{out}");
+        assert!(out.contains("quality: WL ="), "placement still completes");
+
+        // Unknown fault kinds are rejected up front.
+        let err = run(&argv(&format!(
+            "place {dir}/v.aux --inject-fault frobnicate"
+        )))
+        .unwrap_err();
+        assert!(err.contains("unknown fault kind"), "{err}");
+
+        // --no-preflight still places.
+        let out = run(&argv(&format!(
+            "place {dir}/v.aux --layers 2 --no-preflight"
+        )))
+        .unwrap();
+        assert!(out.contains("quality: WL ="));
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

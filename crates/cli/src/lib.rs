@@ -4,7 +4,11 @@
 //!
 //! * `tvp place <design.aux>` — load a Bookshelf benchmark, run the full
 //!   thermal/via-aware placement pipeline, print metrics, and optionally
-//!   write the placed design back out.
+//!   write the placed design back out. Validation runs automatically
+//!   before placing (`--no-preflight` skips it) and faults can be
+//!   injected deterministically (`--inject-fault`).
+//! * `tvp validate <design.aux>` — preflight diagnostics without
+//!   placing; `--repair` applies safe normalizations.
 //! * `tvp synth <name>` — generate a synthetic IBM-PLACE-like benchmark
 //!   and save it as Bookshelf files.
 //! * `tvp stats <design.aux>` — print netlist statistics.
@@ -18,7 +22,7 @@ pub mod args;
 pub mod commands;
 pub mod progress;
 
-pub use args::{Command, ParseArgsError, PlaceArgs, StatsArgs, SweepArgs, SynthArgs};
+pub use args::{Command, ParseArgsError, PlaceArgs, StatsArgs, SweepArgs, SynthArgs, ValidateArgs};
 pub use progress::StderrProgress;
 
 /// Entry point shared by the binary and the tests.
@@ -31,6 +35,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     let command = args::parse(argv).map_err(|e| e.to_string())?;
     match command {
         Command::Place(a) => commands::place(&a),
+        Command::Validate(a) => commands::validate(&a),
         Command::Synth(a) => commands::synth(&a),
         Command::Stats(a) => commands::stats(&a),
         Command::Sweep(a) => commands::sweep(&a),

@@ -10,6 +10,17 @@
 //! exactly, the resumed run finishes bitwise identical to an
 //! uninterrupted one.
 //!
+//! Both files are written crash-safely: content goes to a temp file in
+//! the same directory, is fsynced, then renamed over the target, so a
+//! crash mid-write can never leave a half-written checkpoint under the
+//! final name. The manifest additionally records an FNV-1a hash of the
+//! `.pl` bytes, so damage that slips past the atomic write (filesystem
+//! corruption, manual truncation, fault injection) is detected on
+//! resume: [`load_latest`] then *quarantines* the damaged files — renames
+//! them to `*.corrupt` — and reports
+//! [`CheckpointLoad::Quarantined`], letting the run restart fresh instead
+//! of failing or resuming from garbage.
+//!
 //! Manifest format (`manifest.tvp`, one `key value` pair per line):
 //!
 //! ```text
@@ -21,17 +32,20 @@
 //! fingerprint 00a1b2c3d4e5f607
 //! cells 250
 //! placement stage-001.pl
+//! placement_hash 8f1a2b3c4d5e6f70
 //! ```
 //!
 //! The fingerprint hashes every placement-relevant configuration field
 //! (thread count excluded — placements are thread-count independent) plus
-//! the netlist shape; a mismatch is reported as
-//! [`PlaceError::Checkpoint`] rather than silently restarting on
-//! incompatible state.
+//! the netlist shape; a mismatch means the checkpoint belongs to a
+//! *different run* and is reported as [`PlaceError::Checkpoint`] rather
+//! than quarantined or silently restarted — the files are intact and the
+//! user should point the run at the right directory (or clear it).
 
 use crate::{Chip, PlaceError, Placement, PlacerConfig};
 use std::collections::HashMap;
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use tvp_bookshelf::{parse_pl, write_pl, PlFile, PlRecord};
 use tvp_netlist::{CellId, Netlist};
 
@@ -51,11 +65,38 @@ pub struct ResumePoint {
     pub placement: Placement,
 }
 
+/// What [`load_latest`] found in a checkpoint directory.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CheckpointLoad {
+    /// No manifest: a fresh run.
+    Fresh,
+    /// A valid checkpoint to resume from.
+    Resume(ResumePoint),
+    /// The checkpoint was damaged (truncated or corrupted content); the
+    /// offending files were renamed to `*.corrupt` and the run should
+    /// start fresh.
+    Quarantined {
+        /// The `*.corrupt` paths the damaged files now live under.
+        quarantined: Vec<String>,
+        /// What was wrong with the checkpoint.
+        reason: String,
+    },
+}
+
 fn ck_err(path: &Path, reason: impl Into<String>) -> PlaceError {
     PlaceError::Checkpoint {
         path: path.display().to_string(),
         reason: reason.into(),
     }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Fingerprint of everything that determines the placement trajectory:
@@ -72,16 +113,39 @@ pub fn fingerprint(netlist: &Netlist, config: &PlacerConfig) -> u64 {
         netlist.num_nets(),
         netlist.num_pins()
     );
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    fnv1a(text.as_bytes())
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// flushed and fsynced, then renamed over the target. A crash at any
+/// point leaves either the old file or the new one, never a mix.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PlaceError> {
+    let tmp: PathBuf = {
+        let mut name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "checkpoint".into());
+        name.push(".tmp");
+        path.with_file_name(name)
+    };
+    let result = (|| -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
     }
-    hash
+    result.map_err(|e| ck_err(path, e.to_string()))
 }
 
 /// Writes the checkpoint for stage `stage_index` and updates the
-/// manifest. Returns the path of the written `.pl` file.
+/// manifest. Both writes are atomic (temp file + fsync + rename) and the
+/// manifest carries a content hash of the `.pl` bytes, so a later resume
+/// detects any partial or damaged write. Returns the path of the written
+/// `.pl` file.
 ///
 /// # Errors
 ///
@@ -111,8 +175,9 @@ pub fn write_checkpoint(
             fixed: !netlist.cell(cell).is_movable(),
         });
     }
+    let pl_bytes = write_pl(&file).into_bytes();
     let pl_path = dir.join(&pl_name);
-    std::fs::write(&pl_path, write_pl(&file)).map_err(|e| ck_err(&pl_path, e.to_string()))?;
+    write_atomic(&pl_path, &pl_bytes)?;
 
     // The manifest is written second: a crash between the two writes
     // leaves the previous manifest intact and still consistent.
@@ -124,47 +189,208 @@ pub fn write_checkpoint(
          legal {legal}\n\
          fingerprint {fingerprint:016x}\n\
          cells {}\n\
-         placement {pl_name}\n",
-        placement.len()
+         placement {pl_name}\n\
+         placement_hash {:016x}\n",
+        placement.len(),
+        fnv1a(&pl_bytes)
     );
-    let manifest_path = dir.join(MANIFEST_NAME);
-    std::fs::write(&manifest_path, manifest).map_err(|e| ck_err(&manifest_path, e.to_string()))?;
+    write_atomic(&dir.join(MANIFEST_NAME), manifest.as_bytes())?;
     Ok(pl_path.display().to_string())
 }
 
-/// Loads the newest checkpoint of `dir`, if one exists.
-///
-/// Returns `Ok(None)` when the directory has no manifest (a fresh run).
+/// Truncates a checkpoint file to half its length, simulating a partial
+/// write that slipped past the atomic rename (the
+/// [`FaultKind::CorruptCheckpoint`](crate::FaultKind) injection).
 ///
 /// # Errors
 ///
-/// Returns [`PlaceError::Checkpoint`] when the manifest is malformed,
-/// was written for a different design/configuration (fingerprint, cell
-/// count, or stage-plan mismatch), or its placement file cannot be
-/// restored onto `netlist`.
+/// Returns [`PlaceError::Checkpoint`] for any I/O failure.
+pub fn truncate_for_fault(path: &Path) -> Result<(), PlaceError> {
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| ck_err(path, e.to_string()))?;
+    let len = file
+        .metadata()
+        .map_err(|e| ck_err(path, e.to_string()))?
+        .len();
+    file.set_len(len / 2)
+        .map_err(|e| ck_err(path, e.to_string()))?;
+    file.sync_all().map_err(|e| ck_err(path, e.to_string()))?;
+    Ok(())
+}
+
+/// Renames each existing file to `<name>.corrupt` (best effort) and
+/// returns the new paths of those that were moved.
+fn quarantine(paths: &[&Path]) -> Vec<String> {
+    let mut moved = Vec::new();
+    for path in paths {
+        if !path.exists() {
+            continue;
+        }
+        let mut name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "checkpoint".into());
+        name.push(".corrupt");
+        let target = path.with_file_name(name);
+        if std::fs::rename(path, &target).is_ok() {
+            moved.push(target.display().to_string());
+        }
+    }
+    moved
+}
+
+/// Loads the newest checkpoint of `dir`.
+///
+/// Returns [`CheckpointLoad::Fresh`] when the directory has no manifest,
+/// and [`CheckpointLoad::Quarantined`] when the checkpoint content is
+/// damaged — truncated or malformed manifest, placement-hash mismatch,
+/// unreadable or inconsistent `.pl` — in which case the damaged files
+/// have been renamed to `*.corrupt` and the caller should start fresh.
+///
+/// # Errors
+///
+/// Returns [`PlaceError::Checkpoint`] for I/O failures and for *intact*
+/// checkpoints that belong to a different run (fingerprint, cell count,
+/// or stage-plan mismatch): those are caller mistakes, not file damage,
+/// so the files are left in place.
 pub fn load_latest(
     dir: &Path,
     netlist: &Netlist,
     expected_fingerprint: u64,
     num_stages: usize,
     chip: &Chip,
-) -> Result<Option<ResumePoint>, PlaceError> {
+) -> Result<CheckpointLoad, PlaceError> {
     let manifest_path = dir.join(MANIFEST_NAME);
     let text = match std::fs::read_to_string(&manifest_path) {
         Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(CheckpointLoad::Fresh),
         Err(e) => return Err(ck_err(&manifest_path, e.to_string())),
     };
 
+    // Phase 1: parse the manifest. Any failure here means the file is
+    // damaged -> quarantine.
+    let parsed = match parse_manifest(&text) {
+        Ok(p) => p,
+        Err(reason) => {
+            return Ok(CheckpointLoad::Quarantined {
+                quarantined: quarantine(&[&manifest_path]),
+                reason: format!("{}: {reason}", manifest_path.display()),
+            })
+        }
+    };
+
+    // Phase 2: compatibility. The manifest is intact but may describe a
+    // different run -> hard error, leave the files alone.
+    if parsed.fingerprint != expected_fingerprint {
+        return Err(ck_err(
+            &manifest_path,
+            "checkpoint was written for a different design or configuration \
+             (fingerprint mismatch)",
+        ));
+    }
+    if parsed.cells != netlist.num_cells() {
+        return Err(ck_err(
+            &manifest_path,
+            format!(
+                "checkpoint has {} cells, netlist has {}",
+                parsed.cells,
+                netlist.num_cells()
+            ),
+        ));
+    }
+    if parsed.stages != num_stages || parsed.stage_index >= num_stages {
+        return Err(ck_err(
+            &manifest_path,
+            format!(
+                "stage plan mismatch: manifest {}/{}, run has {num_stages}",
+                parsed.stage_index, parsed.stages
+            ),
+        ));
+    }
+
+    // Phase 3: restore the placement. Content damage -> quarantine both
+    // files; genuine I/O failures (permissions, ...) stay hard errors.
+    let pl_path = dir.join(&parsed.pl_name);
+    let damaged = |reason: String| -> Result<CheckpointLoad, PlaceError> {
+        Ok(CheckpointLoad::Quarantined {
+            quarantined: quarantine(&[&manifest_path, &pl_path]),
+            reason,
+        })
+    };
+    let pl_bytes = match std::fs::read(&pl_path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return damaged(format!("{}: placement file is missing", pl_path.display()))
+        }
+        Err(e) => return Err(ck_err(&pl_path, e.to_string())),
+    };
+    if let Some(expected) = parsed.pl_hash {
+        let actual = fnv1a(&pl_bytes);
+        if actual != expected {
+            return damaged(format!(
+                "{}: placement hash mismatch (expected {expected:016x}, got {actual:016x}; \
+                 truncated or partial write)",
+                pl_path.display()
+            ));
+        }
+    }
+    let pl_text = match String::from_utf8(pl_bytes) {
+        Ok(t) => t,
+        Err(_) => return damaged(format!("{}: placement is not UTF-8", pl_path.display())),
+    };
+    let file = match parse_pl(&pl_text) {
+        Ok(f) => f,
+        Err(e) => return damaged(format!("{}: {e}", pl_path.display())),
+    };
+
+    let by_name: HashMap<&str, CellId> =
+        netlist.iter_cells().map(|(id, c)| (c.name(), id)).collect();
+    let n = netlist.num_cells();
+    let mut placement = Placement::centered(n, chip);
+    let mut seen = vec![false; n];
+    for r in &file.records {
+        let Some(&id) = by_name.get(r.name.as_str()) else {
+            return damaged(format!("{}: unknown cell `{}`", pl_path.display(), r.name));
+        };
+        let layer = r.layer.unwrap_or(0) as u16;
+        placement.set(id, r.x, r.y, layer);
+        seen[id.index()] = true;
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return damaged(format!(
+            "{}: no position for cell `{}`",
+            pl_path.display(),
+            netlist.cell(CellId::new(missing)).name()
+        ));
+    }
+
+    Ok(CheckpointLoad::Resume(ResumePoint {
+        stage_index: parsed.stage_index,
+        stage: parsed.stage,
+        legal: parsed.legal,
+        placement,
+    }))
+}
+
+struct ParsedManifest {
+    stage_index: usize,
+    stage: String,
+    stages: usize,
+    legal: bool,
+    fingerprint: u64,
+    cells: usize,
+    pl_name: String,
+    /// Absent in manifests written before the hash was introduced.
+    pl_hash: Option<u64>,
+}
+
+fn parse_manifest(text: &str) -> Result<ParsedManifest, String> {
     let mut lines = text.lines();
     match lines.next() {
         Some("tvp-checkpoint v1") => {}
-        other => {
-            return Err(ck_err(
-                &manifest_path,
-                format!("unsupported header {other:?}"),
-            ))
-        }
+        other => return Err(format!("unsupported header {other:?}")),
     }
     let mut fields: HashMap<&str, &str> = HashMap::new();
     for line in lines {
@@ -173,84 +399,36 @@ pub fn load_latest(
         }
         let (key, value) = line
             .split_once(' ')
-            .ok_or_else(|| ck_err(&manifest_path, format!("malformed line `{line}`")))?;
+            .ok_or_else(|| format!("malformed line `{line}`"))?;
         fields.insert(key, value.trim());
     }
-    let field = |key: &str| -> Result<&str, PlaceError> {
+    let field = |key: &str| -> Result<&str, String> {
         fields
             .get(key)
             .copied()
-            .ok_or_else(|| ck_err(&manifest_path, format!("missing field `{key}`")))
+            .ok_or_else(|| format!("missing field `{key}`"))
     };
-    let parse_usize = |key: &str| -> Result<usize, PlaceError> {
+    let parse_usize = |key: &str| -> Result<usize, String> {
         field(key)?
             .parse()
-            .map_err(|_| ck_err(&manifest_path, format!("field `{key}` is not an integer")))
+            .map_err(|_| format!("field `{key}` is not an integer"))
     };
-
-    let stage_index = parse_usize("stage_index")?;
-    let stages = parse_usize("stages")?;
-    let cells = parse_usize("cells")?;
-    let legal = field("legal")? == "true";
-    let fp = u64::from_str_radix(field("fingerprint")?, 16)
-        .map_err(|_| ck_err(&manifest_path, "fingerprint is not hex"))?;
-
-    if fp != expected_fingerprint {
-        return Err(ck_err(
-            &manifest_path,
-            "checkpoint was written for a different design or configuration \
-             (fingerprint mismatch)",
-        ));
-    }
-    if cells != netlist.num_cells() {
-        return Err(ck_err(
-            &manifest_path,
-            format!(
-                "checkpoint has {cells} cells, netlist has {}",
-                netlist.num_cells()
-            ),
-        ));
-    }
-    if stages != num_stages || stage_index >= num_stages {
-        return Err(ck_err(
-            &manifest_path,
-            format!("stage plan mismatch: manifest {stage_index}/{stages}, run has {num_stages}"),
-        ));
-    }
-
-    let pl_path = dir.join(field("placement")?);
-    let pl_text = std::fs::read_to_string(&pl_path).map_err(|e| ck_err(&pl_path, e.to_string()))?;
-    let file = parse_pl(&pl_text).map_err(|e| ck_err(&pl_path, e.to_string()))?;
-
-    let by_name: HashMap<&str, CellId> =
-        netlist.iter_cells().map(|(id, c)| (c.name(), id)).collect();
-    let n = netlist.num_cells();
-    let mut placement = Placement::centered(n, chip);
-    let mut seen = vec![false; n];
-    for r in &file.records {
-        let id = *by_name
-            .get(r.name.as_str())
-            .ok_or_else(|| ck_err(&pl_path, format!("unknown cell `{}`", r.name)))?;
-        let layer = r.layer.unwrap_or(0) as u16;
-        placement.set(id, r.x, r.y, layer);
-        seen[id.index()] = true;
-    }
-    if let Some(missing) = seen.iter().position(|&s| !s) {
-        return Err(ck_err(
-            &pl_path,
-            format!(
-                "no position for cell `{}`",
-                netlist.cell(CellId::new(missing)).name()
-            ),
-        ));
-    }
-
-    Ok(Some(ResumePoint {
-        stage_index,
+    Ok(ParsedManifest {
+        stage_index: parse_usize("stage_index")?,
         stage: field("stage")?.to_string(),
-        legal,
-        placement,
-    }))
+        stages: parse_usize("stages")?,
+        legal: field("legal")? == "true",
+        fingerprint: u64::from_str_radix(field("fingerprint")?, 16)
+            .map_err(|_| "fingerprint is not hex".to_string())?,
+        cells: parse_usize("cells")?,
+        pl_name: field("placement")?.to_string(),
+        pl_hash: match fields.get("placement_hash") {
+            None => None,
+            Some(v) => Some(
+                u64::from_str_radix(v, 16).map_err(|_| "placement_hash is not hex".to_string())?,
+            ),
+        },
+    })
 }
 
 #[cfg(test)]
@@ -260,6 +438,7 @@ mod tests {
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("tvp_ck_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -281,17 +460,41 @@ mod tests {
         (netlist, chip, config, placement)
     }
 
+    fn expect_resume(load: CheckpointLoad) -> ResumePoint {
+        match load {
+            CheckpointLoad::Resume(r) => r,
+            other => panic!("expected a resume, got {other:?}"),
+        }
+    }
+
+    fn expect_quarantine(load: CheckpointLoad) -> (Vec<String>, String) {
+        match load {
+            CheckpointLoad::Quarantined {
+                quarantined,
+                reason,
+            } => (quarantined, reason),
+            other => panic!("expected a quarantine, got {other:?}"),
+        }
+    }
+
     #[test]
     fn write_then_load_round_trips_bitwise() {
         let (netlist, chip, config, placement) = fixture();
         let dir = tmpdir("rt");
         let fp = fingerprint(&netlist, &config);
         write_checkpoint(&dir, 1, "coarse[0]", 3, false, &netlist, &placement, fp).unwrap();
-        let resume = load_latest(&dir, &netlist, fp, 3, &chip).unwrap().unwrap();
+        let resume = expect_resume(load_latest(&dir, &netlist, fp, 3, &chip).unwrap());
         assert_eq!(resume.stage_index, 1);
         assert_eq!(resume.stage, "coarse[0]");
         assert!(!resume.legal);
         assert_eq!(resume.placement, placement, "f64 positions must round-trip");
+        // Atomic writes leave no temp droppings behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -300,7 +503,10 @@ mod tests {
         let (netlist, chip, config, _) = fixture();
         let dir = tmpdir("fresh");
         let fp = fingerprint(&netlist, &config);
-        assert_eq!(load_latest(&dir, &netlist, fp, 3, &chip).unwrap(), None);
+        assert_eq!(
+            load_latest(&dir, &netlist, fp, 3, &chip).unwrap(),
+            CheckpointLoad::Fresh
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -313,6 +519,8 @@ mod tests {
         let err = load_latest(&dir, &netlist, fp ^ 1, 3, &chip).unwrap_err();
         assert!(matches!(err, PlaceError::Checkpoint { .. }), "{err}");
         assert!(err.to_string().contains("fingerprint"));
+        // Incompatibility must NOT quarantine: the files are intact.
+        assert!(dir.join(MANIFEST_NAME).exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -336,6 +544,91 @@ mod tests {
         write_checkpoint(&dir, 2, "detail[0]", 3, true, &netlist, &placement, fp).unwrap();
         let err = load_latest(&dir, &netlist, fp, 5, &chip).unwrap_err();
         assert!(err.to_string().contains("stage plan"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_manifest_is_quarantined() {
+        let (netlist, chip, config, placement) = fixture();
+        let dir = tmpdir("trunc_manifest");
+        let fp = fingerprint(&netlist, &config);
+        write_checkpoint(&dir, 1, "coarse[0]", 3, false, &netlist, &placement, fp).unwrap();
+        // Chop the manifest mid-file: a field goes missing.
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let text = std::fs::read_to_string(&manifest_path).unwrap();
+        std::fs::write(&manifest_path, &text[..text.len() / 3]).unwrap();
+
+        let (quarantined, reason) =
+            expect_quarantine(load_latest(&dir, &netlist, fp, 3, &chip).unwrap());
+        // Depending on where the cut lands, the damage reads as a
+        // half-line (`malformed line`) or a whole missing field.
+        assert!(
+            reason.contains("missing field") || reason.contains("malformed line"),
+            "{reason}"
+        );
+        assert_eq!(quarantined.len(), 1);
+        assert!(quarantined[0].ends_with("manifest.tvp.corrupt"));
+        assert!(!manifest_path.exists(), "damaged manifest moved aside");
+        // The directory now reads as a fresh run.
+        assert_eq!(
+            load_latest(&dir, &netlist, fp, 3, &chip).unwrap(),
+            CheckpointLoad::Fresh
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_placement_is_quarantined_via_hash() {
+        let (netlist, chip, config, placement) = fixture();
+        let dir = tmpdir("trunc_pl");
+        let fp = fingerprint(&netlist, &config);
+        let pl =
+            write_checkpoint(&dir, 1, "coarse[0]", 3, false, &netlist, &placement, fp).unwrap();
+        truncate_for_fault(Path::new(&pl)).unwrap();
+
+        let (quarantined, reason) =
+            expect_quarantine(load_latest(&dir, &netlist, fp, 3, &chip).unwrap());
+        assert!(reason.contains("hash mismatch"), "{reason}");
+        assert_eq!(quarantined.len(), 2, "manifest and pl: {quarantined:?}");
+        assert!(quarantined.iter().all(|p| p.ends_with(".corrupt")));
+        assert_eq!(
+            load_latest(&dir, &netlist, fp, 3, &chip).unwrap(),
+            CheckpointLoad::Fresh
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_placement_file_is_quarantined() {
+        let (netlist, chip, config, placement) = fixture();
+        let dir = tmpdir("missing_pl");
+        let fp = fingerprint(&netlist, &config);
+        let pl = write_checkpoint(&dir, 0, "global", 3, false, &netlist, &placement, fp).unwrap();
+        std::fs::remove_file(&pl).unwrap();
+        let (quarantined, reason) =
+            expect_quarantine(load_latest(&dir, &netlist, fp, 3, &chip).unwrap());
+        assert!(reason.contains("missing"), "{reason}");
+        assert_eq!(quarantined.len(), 1, "only the manifest existed to move");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_without_hash_still_resumes() {
+        // Back-compat: manifests from before the hash field.
+        let (netlist, chip, config, placement) = fixture();
+        let dir = tmpdir("nohash");
+        let fp = fingerprint(&netlist, &config);
+        write_checkpoint(&dir, 1, "coarse[0]", 3, false, &netlist, &placement, fp).unwrap();
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let stripped: String = std::fs::read_to_string(&manifest_path)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.starts_with("placement_hash"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&manifest_path, stripped).unwrap();
+        let resume = expect_resume(load_latest(&dir, &netlist, fp, 3, &chip).unwrap());
+        assert_eq!(resume.placement, placement);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -260,9 +260,11 @@ fn shift_row(
             };
             // New boundaries: cumulative sum of scaled widths, anchored at 0.
             let mut bounds = Vec::with_capacity(bins.len() + 1);
-            bounds.push(0.0);
+            let mut acc = 0.0;
+            bounds.push(acc);
             for &f in &factors {
-                bounds.push(bounds.last().unwrap() + f * old_width);
+                acc += f * old_width;
+                bounds.push(acc);
             }
             bounds
         }

@@ -208,7 +208,7 @@ pub fn detail_legalize_observed(
                             .partial_cmp(&used[l2][r2])
                             .unwrap_or(std::cmp::Ordering::Equal)
                     })
-                    .expect("at least one row");
+                    .unwrap_or((0, 0));
                 // Evict narrowest-first: each evicted cell is strictly
                 // narrower than the incoming one, so rescue chains shrink
                 // monotonically and terminate.
@@ -219,9 +219,13 @@ pub fn detail_legalize_observed(
                         .unwrap_or(std::cmp::Ordering::Equal)
                 });
                 while used[bl][br] + width > chip.width + 1e-12 {
-                    let evicted = residents
-                        .pop()
-                        .expect("cell wider than an entire row cannot be legalized");
+                    // An empty row that still can't take the cell means the
+                    // cell is wider than the row itself (preflight flags
+                    // this as an error); place it anyway and let the legal
+                    // check report the overlap.
+                    let Some(evicted) = residents.pop() else {
+                        break;
+                    };
                     used[bl][br] -= effective_width(evicted);
                     stats.placed -= 1;
                     queue.push_back(evicted);

@@ -98,7 +98,7 @@ impl RowPacker {
         );
         // Position of the new cell: last cluster's position + offset of the
         // new cell inside it (it is the last cell).
-        let last = clusters.last().expect("at least the new cluster");
+        let last = clusters.last()?;
         let pos = last.position(row_width);
         let x_left = pos + last.width - width;
         // Neighbor disruption: how far existing clusters moved.
@@ -218,8 +218,10 @@ fn append_and_collapse(
         // Merge `last` into `last - 1`: the merged optimal position
         // averages each cell's desired position minus its offset, which is
         // exactly q_prev + (q_last - count_last * width_prev) aggregated.
-        let tail = clusters.pop().expect("len >= 2");
-        let head = clusters.last_mut().expect("len >= 1");
+        let Some(tail) = clusters.pop() else { break };
+        let Some(head) = clusters.last_mut() else {
+            break;
+        };
         head.q += tail.q - tail.count as f64 * head.width;
         head.width += tail.width;
         head.count += tail.count;

@@ -15,19 +15,21 @@
 //! call sequence, so default-path placements are bitwise identical to the
 //! pre-engine pipeline.
 
-use crate::checkpoint;
+use crate::checkpoint::{self, CheckpointLoad};
 use crate::coarse::coarse_legalize_observed;
 use crate::control::StopCheck;
 use crate::detail::{
     check_legal, detail_legalize, detail_legalize_observed, refine_legal, refine_legal_observed,
     LegalizeStats,
 };
-use crate::metrics::{self};
+use crate::faults::{Degradation, FaultKind, FaultPlan};
+use crate::metrics::{self, ThermalGuard};
 use crate::objective::{IncrementalObjective, ObjectiveModel};
 use crate::observer::{NopObserver, PassEvent, PlacerEvent, PlacerObserver};
 use crate::placer::{PlaceOptions, PlacementResult, RoundTiming, StageTimings, ThermalSnapshot};
 use crate::{Chip, PlaceError, Placement, PlacerConfig};
 use std::ops::ControlFlow;
+use std::path::Path;
 use std::time::Instant;
 use tvp_netlist::{CellId, Netlist};
 use tvp_thermal::{ThermalSimulator, ThermalSolveContext};
@@ -81,6 +83,59 @@ pub struct PlacerContext<'a> {
     /// Whether the current placement is row-legal (true right after a
     /// detail stage).
     pub legal: bool,
+    /// The run's fault plan, if one was attached (consumed as it fires).
+    faults: Option<FaultPlan>,
+    /// Every graceful degradation recorded so far.
+    degradations: Vec<Degradation>,
+    /// Fault/degradation events awaiting delivery to the observer (the
+    /// driver flushes these at stage boundaries).
+    pending_events: Vec<PlacerEvent>,
+}
+
+impl PlacerContext<'_> {
+    /// Whether the attached [`FaultPlan`] wants fault `kind` injected at
+    /// `site` (always `false` without a plan). A firing fault is reported
+    /// to the observer as [`PlacerEvent::FaultInjected`].
+    pub fn fire_fault(&mut self, kind: FaultKind, site: &str) -> bool {
+        let fired = self
+            .faults
+            .as_mut()
+            .is_some_and(|plan| plan.should_fire(kind, site));
+        if fired {
+            self.pending_events.push(PlacerEvent::FaultInjected {
+                kind: kind.as_str().to_string(),
+                site: site.to_string(),
+            });
+        }
+        fired
+    }
+
+    /// Records one graceful degradation: it lands in
+    /// [`PlacementResult::degradations`](crate::PlacementResult) and is
+    /// reported to the observer as [`PlacerEvent::Degraded`].
+    pub fn record_degradation(&mut self, degradation: Degradation) {
+        self.pending_events.push(PlacerEvent::Degraded {
+            kind: degradation.kind().to_string(),
+            detail: degradation.detail(),
+        });
+        self.degradations.push(degradation);
+    }
+
+    /// Degradations recorded so far, in order.
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
+    }
+}
+
+/// Delivers any queued fault/degradation events to the observer.
+fn flush_events(ctx: &mut PlacerContext<'_>, observer: &mut dyn PlacerObserver) {
+    if observer.enabled() {
+        for event in ctx.pending_events.drain(..) {
+            observer.event(&event);
+        }
+    } else {
+        ctx.pending_events.clear();
+    }
 }
 
 /// The driver-provided handle a stage reports progress through. Each
@@ -152,13 +207,23 @@ impl Stage for GlobalStage {
         ctx: &mut PlacerContext<'_>,
         _monitor: &mut StageMonitor<'_>,
     ) -> Result<StageStatus, PlaceError> {
-        let placement = crate::global::global_place_with_fixed(
+        // The imbalance fault targets the root bisection only: level 0
+        // has exactly one region, so the injection is deterministic under
+        // any thread count.
+        let inject = ctx.fire_fault(FaultKind::PartitionImbalance, "global");
+        let (placement, stats) = crate::global::global_place_with_fixed_stats(
             ctx.netlist,
             ctx.chip,
             ctx.model,
             ctx.config,
             ctx.fixed_positions,
+            inject,
         );
+        if stats.partition_retries > 0 {
+            ctx.record_degradation(Degradation::PartitionRetried {
+                retries: stats.partition_retries,
+            });
+        }
         ctx.objective = IncrementalObjective::new(ctx.netlist, ctx.model, placement);
         ctx.legal = false;
         Ok(StageStatus::Completed)
@@ -285,14 +350,25 @@ pub(crate) fn run_pipeline(
     };
 
     // Resume from the newest checkpoint when a directory is configured.
+    // A damaged checkpoint is quarantined (renamed to `*.corrupt` by the
+    // loader) and the run restarts fresh instead of failing.
     let fp = checkpoint::fingerprint(netlist, config);
-    let resume = match &options.checkpoint_dir {
+    let load = match &options.checkpoint_dir {
         Some(dir) => checkpoint::load_latest(dir, netlist, fp, stages.len(), &chip)?,
-        None => None,
+        None => CheckpointLoad::Fresh,
     };
-    let (initial_placement, resumed_index, mut legal) = match resume {
-        Some(r) => (r.placement, Some(r.stage_index), r.legal),
-        None => (Placement::centered(netlist.num_cells(), &chip), None, false),
+    let fresh = || (Placement::centered(netlist.num_cells(), &chip), None, false);
+    let mut quarantined_note = None;
+    let (initial_placement, resumed_index, mut legal) = match load {
+        CheckpointLoad::Resume(r) => (r.placement, Some(r.stage_index), r.legal),
+        CheckpointLoad::Fresh => fresh(),
+        CheckpointLoad::Quarantined {
+            quarantined,
+            reason,
+        } => {
+            quarantined_note = Some((quarantined, reason));
+            fresh()
+        }
     };
     let resumed_from = resumed_index.map(|i| stage_names[i].clone());
 
@@ -305,6 +381,9 @@ pub(crate) fn run_pipeline(
         fixed_positions,
         legalize: LegalizeStats::default(),
         legal: false,
+        faults: options.faults.take(),
+        degradations: Vec::new(),
+        pending_events: Vec::new(),
     };
     ctx.legal = legal;
 
@@ -313,6 +392,21 @@ pub(crate) fn run_pipeline(
             stages: stage_names.clone(),
             resumed_from: resumed_index,
         });
+    }
+    if let Some((quarantined, reason)) = quarantined_note {
+        if observer.enabled() {
+            for path in &quarantined {
+                observer.event(&PlacerEvent::CheckpointQuarantined {
+                    path: path.clone(),
+                    reason: reason.clone(),
+                });
+            }
+        }
+        ctx.record_degradation(Degradation::CheckpointQuarantined {
+            path: quarantined.first().cloned().unwrap_or_default(),
+            reason,
+        });
+        flush_events(&mut ctx, observer);
     }
 
     let mut timings = StageTimings::default();
@@ -349,6 +443,7 @@ pub(crate) fn run_pipeline(
             };
             stage.run(&mut ctx, &mut monitor)?
         };
+        flush_events(&mut ctx, observer);
         let elapsed = t.elapsed();
         match stage.kind() {
             StageKind::Global => timings.global += elapsed,
@@ -381,12 +476,13 @@ pub(crate) fn run_pipeline(
         if let Some(label) = snapshot_label {
             snapshot(
                 label,
-                &ctx,
+                &mut ctx,
                 &sim,
                 &mut thermal_ctx,
                 &mut trajectory,
                 observer,
             )?;
+            flush_events(&mut ctx, observer);
         }
 
         if status == StageStatus::Interrupted {
@@ -407,6 +503,12 @@ pub(crate) fn run_pipeline(
                 ctx.objective.placement(),
                 fp,
             )?;
+            // Fault injection: damage the just-written checkpoint so a
+            // later resume exercises the quarantine path.
+            if ctx.fire_fault(FaultKind::CorruptCheckpoint, name) {
+                checkpoint::truncate_for_fault(Path::new(&path))?;
+            }
+            flush_events(&mut ctx, observer);
             if observer.enabled() {
                 observer.event(&PlacerEvent::CheckpointWritten {
                     index,
@@ -456,21 +558,32 @@ pub(crate) fn run_pipeline(
         return Err(PlaceError::LegalizationFailed { violation });
     }
 
-    let metrics = metrics::compute_with(
+    let guard = ThermalGuard {
+        inject_nan: ctx.fire_fault(FaultKind::NanPower, "final"),
+        inject_cg_failure: ctx.fire_fault(FaultKind::CgBreakdown, "final"),
+    };
+    let (metrics, outcome) = metrics::compute_with_guarded(
         netlist,
         &chip,
         &model,
         &ctx.objective,
         &sim,
         &mut thermal_ctx,
+        guard,
     )?;
-    let stats = thermal_ctx.last_stats().expect("metrics ran a solve");
+    if outcome.degraded() {
+        ctx.record_degradation(Degradation::ThermalDegraded {
+            stage: "final".to_string(),
+            detail: outcome.describe(),
+        });
+    }
+    flush_events(&mut ctx, observer);
     let final_snapshot = ThermalSnapshot {
         stage: "final",
         avg_temperature: metrics.avg_temperature,
         max_temperature: metrics.max_temperature,
-        cg_iterations: stats.iterations,
-        warm_started: stats.warm_started,
+        cg_iterations: outcome.iterations(),
+        warm_started: outcome.warm_started(),
     };
     trajectory.push(final_snapshot);
     if observer.enabled() {
@@ -484,15 +597,19 @@ pub(crate) fn run_pipeline(
     }
 
     timings.total = start.elapsed();
+    let placement = ctx.objective.into_placement();
+    let legalize = ctx.legalize;
+    let degradations = ctx.degradations;
     Ok(PlacementResult {
-        placement: ctx.objective.into_placement(),
+        placement,
         metrics,
-        legalize: ctx.legalize,
+        legalize,
         timings,
         thermal_trajectory: trajectory,
         chip,
         stopped_early,
         resumed_from,
+        degradations,
     })
 }
 
@@ -506,31 +623,42 @@ fn grow_rounds(rounds: &mut Vec<RoundTiming>, round: usize) -> &mut RoundTiming 
 }
 
 /// Solves the thermal field of the current placement through the shared
-/// warm-started context, appends the outcome to the trajectory, and
-/// reports it.
+/// warm-started context (hardened: NaN power is sanitized, a CG
+/// breakdown falls back to damped Jacobi), appends the outcome to the
+/// trajectory, and reports it.
 fn snapshot(
     stage: &'static str,
-    ctx: &PlacerContext<'_>,
+    ctx: &mut PlacerContext<'_>,
     sim: &ThermalSimulator,
     thermal_ctx: &mut ThermalSolveContext,
     trajectory: &mut Vec<ThermalSnapshot>,
     observer: &mut dyn PlacerObserver,
 ) -> Result<(), PlaceError> {
-    let (avg, max) = metrics::solve_temperatures(
+    let guard = ThermalGuard {
+        inject_nan: ctx.fire_fault(FaultKind::NanPower, stage),
+        inject_cg_failure: ctx.fire_fault(FaultKind::CgBreakdown, stage),
+    };
+    let (avg, max, outcome) = metrics::solve_temperatures(
         ctx.netlist,
         ctx.chip,
         ctx.model,
         &ctx.objective,
         sim,
         thermal_ctx,
+        guard,
     )?;
-    let stats = thermal_ctx.last_stats().expect("solve just ran");
+    if outcome.degraded() {
+        ctx.record_degradation(Degradation::ThermalDegraded {
+            stage: stage.to_string(),
+            detail: outcome.describe(),
+        });
+    }
     let snap = ThermalSnapshot {
         stage,
         avg_temperature: avg,
         max_temperature: max,
-        cg_iterations: stats.iterations,
-        warm_started: stats.warm_started,
+        cg_iterations: outcome.iterations(),
+        warm_started: outcome.warm_started(),
     };
     trajectory.push(snap);
     if observer.enabled() {

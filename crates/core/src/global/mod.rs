@@ -27,9 +27,22 @@ use crate::netweight::NetWeights;
 use crate::objective::{IncrementalObjective, ObjectiveModel};
 use crate::trr::TrrNets;
 use crate::{Chip, Placement, PlacerConfig};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use tvp_netlist::{CellId, NetId, Netlist};
 use tvp_parallel as parallel;
-use tvp_partition::{bisect_fixed, BisectConfig, FixedSide, Hypergraph};
+use tvp_partition::{bisect_fixed_checked, BisectConfig, FixedSide, Hypergraph};
+
+/// How often a bisection may be retried with a relaxed tolerance before
+/// its best-effort (out-of-tolerance) assignment is accepted.
+const MAX_PARTITION_RETRIES: usize = 3;
+
+/// Robustness record of one global placement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct GlobalStats {
+    /// Relaxed-tolerance bisection retries across all regions (0 for a
+    /// clean run).
+    pub partition_retries: usize,
+}
 
 /// Axis a region is cut along.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -91,6 +104,21 @@ pub fn global_place_with_fixed(
     config: &PlacerConfig,
     fixed_positions: &[(CellId, f64, f64, u16)],
 ) -> Placement {
+    global_place_with_fixed_stats(netlist, chip, model, config, fixed_positions, false).0
+}
+
+/// [`global_place_with_fixed`] that also reports robustness statistics.
+/// When `inject_imbalance` is set, the first (root) bisection is treated
+/// as having violated its balance tolerance, exercising the relaxed-retry
+/// path deterministically.
+pub fn global_place_with_fixed_stats(
+    netlist: &Netlist,
+    chip: &Chip,
+    model: &ObjectiveModel,
+    config: &PlacerConfig,
+    fixed_positions: &[(CellId, f64, f64, u16)],
+    inject_imbalance: bool,
+) -> (Placement, GlobalStats) {
     let mut placement = Placement::centered(netlist.num_cells(), chip);
     for &(cell, x, y, layer) in fixed_positions {
         let (x, y) = chip.clamp(x, y);
@@ -127,6 +155,8 @@ pub fn global_place_with_fixed(
         trr: TrrNets::none(),
         trr_weight_of: vec![0.0; netlist.num_cells()],
         level_seed: config.seed,
+        inject_imbalance: AtomicBool::new(inject_imbalance),
+        partition_retries: AtomicUsize::new(0),
     };
     let mut scratch = SplitScratch::new(netlist.num_cells(), netlist.num_nets());
 
@@ -183,7 +213,10 @@ pub fn global_place_with_fixed(
             placement.set(c, x, y, l);
         }
     }
-    placement
+    let stats = GlobalStats {
+        partition_retries: splitter.partition_retries.load(Ordering::Relaxed),
+    };
+    (placement, stats)
 }
 
 /// Scratch buffers for building one region's hypergraph. Stamps avoid an
@@ -225,6 +258,15 @@ struct Splitter<'a> {
     trr: TrrNets,
     trr_weight_of: Vec<f64>,
     level_seed: u64,
+    /// One-shot fault switch: the next bisection to consume it behaves as
+    /// if its first attempt violated the balance tolerance. Only armed at
+    /// the root level (a single region, processed serially), so injection
+    /// never perturbs thread-count determinism.
+    inject_imbalance: AtomicBool,
+    /// Total relaxed-tolerance retries across all regions. Atomics because
+    /// `process_level` shares `&self` across the worker pool; the sum is
+    /// order-independent, so the count stays deterministic.
+    partition_retries: AtomicUsize,
 }
 
 impl<'a> Splitter<'a> {
@@ -331,11 +373,11 @@ impl<'a> Splitter<'a> {
         });
         let mut writes = Vec::with_capacity(cells.len());
         for c in cells {
-            let (best, _) = fill
+            let best = fill
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .expect("at least one layer");
+                .map_or(0, |(i, _)| i);
             fill[best] += self.netlist.cell(c).area();
             writes.push((c, cx, cy, region.l0 + best as u16));
         }
@@ -433,7 +475,46 @@ impl<'a> Splitter<'a> {
             seed: self.level_seed.wrapping_add(region.cells[0].index() as u64),
             ..BisectConfig::default()
         };
-        let result = bisect_fixed(&hg, &fixed, &bisect_config);
+        // Balance-checked bisection with graceful degradation: a cut
+        // that misses the tolerance by more than one-cell granularity
+        // (moving any single cell cannot fix it) is retried with a
+        // doubled tolerance, and after `MAX_PARTITION_RETRIES` the
+        // best-effort assignment is accepted rather than failing the run.
+        let total_weight = hg.total_vertex_weight();
+        let granularity = if total_weight > 0.0 {
+            (0..hg.num_vertices())
+                .map(|v| hg.vertex_weight(v as u32))
+                .fold(0.0f64, f64::max)
+                / total_weight
+        } else {
+            0.0
+        };
+        let injected = self.inject_imbalance.swap(false, Ordering::Relaxed);
+        let mut attempt_config = bisect_config;
+        let mut retries = 0usize;
+        let result = loop {
+            if injected && retries == 0 {
+                retries += 1;
+                attempt_config = attempt_config.relaxed();
+                continue;
+            }
+            match bisect_fixed_checked(&hg, &fixed, &attempt_config) {
+                Ok(bisection) => break bisection,
+                Err(err) => {
+                    let miss = (err.fraction - err.target_fraction).abs();
+                    if miss <= err.tolerance + granularity || retries >= MAX_PARTITION_RETRIES {
+                        // Within discrete-area granularity (or out of
+                        // retries): accept the best-effort cut.
+                        break err.bisection;
+                    }
+                    retries += 1;
+                    attempt_config = attempt_config.relaxed();
+                }
+            }
+        };
+        if retries > 0 {
+            self.partition_retries.fetch_add(retries, Ordering::Relaxed);
+        }
 
         let mut side0: Vec<CellId> = Vec::new();
         let mut side1: Vec<CellId> = Vec::new();

@@ -46,6 +46,7 @@ mod control;
 pub mod detail;
 pub mod engine;
 mod error;
+pub mod faults;
 pub mod global;
 pub mod metrics;
 pub mod netweight;
@@ -55,12 +56,14 @@ pub mod placement;
 mod placer;
 pub mod power;
 pub mod trr;
+pub mod validate;
 
 pub use chip::Chip;
 pub use config::{PlacerConfig, ShiftStrategy, TechnologyParams};
 pub use control::CancelToken;
 pub use engine::{PlacerContext, Stage, StageKind, StageMonitor, StageStatus};
 pub use error::PlaceError;
+pub use faults::{Degradation, FaultKind, FaultPlan};
 pub use metrics::PlacementMetrics;
 pub use observer::{
     event_to_json, JsonlObserver, NopObserver, PassEvent, PlacerEvent, PlacerObserver,
@@ -69,4 +72,8 @@ pub use observer::{
 pub use placement::Placement;
 pub use placer::{
     PlaceOptions, PlacementResult, Placer, RoundTiming, StageTimings, ThermalSnapshot,
+};
+pub use validate::{
+    repair, validate, Diagnostic, DiagnosticCode, RepairAction, Severity, ValidateOptions,
+    ValidationReport,
 };

@@ -5,7 +5,9 @@ use crate::objective::{IncrementalObjective, ObjectiveModel};
 use crate::{Chip, PlaceError};
 use std::fmt;
 use tvp_netlist::Netlist;
-use tvp_thermal::{PowerMap, ThermalSimulator, ThermalSolveContext};
+use tvp_thermal::{
+    CgStats, FallbackStats, PowerMap, ThermalError, ThermalSimulator, ThermalSolveContext,
+};
 
 /// Quality metrics of one placement.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -80,6 +82,29 @@ pub fn compute_with(
     sim: &ThermalSimulator,
     context: &mut ThermalSolveContext,
 ) -> Result<PlacementMetrics, PlaceError> {
+    compute_with_guarded(
+        netlist,
+        chip,
+        model,
+        objective,
+        sim,
+        context,
+        ThermalGuard::default(),
+    )
+    .map(|(metrics, _)| metrics)
+}
+
+/// [`compute_with`] plus the [`ThermalOutcome`] of the solve, so the
+/// engine can record degradations (and inject faults).
+pub(crate) fn compute_with_guarded(
+    netlist: &Netlist,
+    chip: &Chip,
+    model: &ObjectiveModel,
+    objective: &IncrementalObjective<'_>,
+    sim: &ThermalSimulator,
+    context: &mut ThermalSolveContext,
+    guard: ThermalGuard,
+) -> Result<(PlacementMetrics, ThermalOutcome), PlaceError> {
     let wirelength = objective.total_wirelength();
     let ilv_count = objective.total_ilv();
     let total_power = objective.total_power();
@@ -91,23 +116,95 @@ pub fn compute_with(
         ilv_count / interlayers as f64 / chip.layer_area()
     };
 
-    let (avg_temperature, max_temperature) =
-        solve_temperatures(netlist, chip, model, objective, sim, context)?;
+    let (avg_temperature, max_temperature, outcome) =
+        solve_temperatures(netlist, chip, model, objective, sim, context, guard)?;
 
-    Ok(PlacementMetrics {
-        wirelength,
-        ilv_count,
-        ilv_density_per_interlayer,
-        total_power,
-        avg_temperature,
-        max_temperature,
-        objective: objective.total(),
-    })
+    Ok((
+        PlacementMetrics {
+            wirelength,
+            ilv_count,
+            ilv_density_per_interlayer,
+            total_power,
+            avg_temperature,
+            max_temperature,
+            objective: objective.total(),
+        },
+        outcome,
+    ))
+}
+
+/// Fault injections for one guarded thermal solve (all off in normal
+/// operation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub(crate) struct ThermalGuard {
+    /// Poison one power-map deposit with NaN before the solve.
+    pub inject_nan: bool,
+    /// Pretend CG reported non-convergence, forcing the fallback.
+    pub inject_cg_failure: bool,
+}
+
+/// What a guarded thermal solve actually did. Anything non-default means
+/// the result is approximate and the run should flag
+/// [`Degradation::ThermalDegraded`](crate::Degradation).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub(crate) struct ThermalOutcome {
+    /// Non-finite power deposits zeroed before the solve.
+    pub sanitized: usize,
+    /// CG convergence record when the normal path ran.
+    pub cg: Option<CgStats>,
+    /// Damped-Jacobi record when CG was bypassed or diverged.
+    pub fallback: Option<FallbackStats>,
+}
+
+impl ThermalOutcome {
+    /// Whether anything other than the normal clean CG solve happened.
+    pub fn degraded(&self) -> bool {
+        self.sanitized > 0 || self.fallback.is_some()
+    }
+
+    /// Iterations the solve (CG or fallback) consumed.
+    pub fn iterations(&self) -> usize {
+        match (self.cg, self.fallback) {
+            (Some(cg), _) => cg.iterations,
+            (None, Some(fb)) => fb.iterations,
+            (None, None) => 0,
+        }
+    }
+
+    /// Whether the solve warm-started (the fallback never does).
+    pub fn warm_started(&self) -> bool {
+        self.cg.is_some_and(|s| s.warm_started)
+    }
+
+    /// Human-readable summary of the degradations, for the event stream.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if self.sanitized > 0 {
+            parts.push(format!(
+                "{} non-finite power deposit(s) zeroed",
+                self.sanitized
+            ));
+        }
+        if let Some(fb) = self.fallback {
+            parts.push(format!(
+                "CG gave way to damped Jacobi ({} sweeps, residual {:.3e})",
+                fb.iterations, fb.residual
+            ));
+        }
+        parts.join("; ")
+    }
 }
 
 /// Solves the thermal field of the current placement through `context`
 /// (warm-starting from its previous solution, if any) and returns the
-/// `(cell-average, max)` temperatures.
+/// `(cell-average, max)` temperatures plus the solve's
+/// [`ThermalOutcome`].
+///
+/// This is the hardened path every stage boundary uses: non-finite power
+/// deposits (injected or genuine) are zeroed before the solve, and a CG
+/// breakdown (injected or a genuine [`ThermalError::SolverDiverged`])
+/// falls back to the unconditionally-convergent damped-Jacobi solver
+/// instead of failing the run.
 pub(crate) fn solve_temperatures(
     netlist: &Netlist,
     chip: &Chip,
@@ -115,7 +212,8 @@ pub(crate) fn solve_temperatures(
     objective: &IncrementalObjective<'_>,
     sim: &ThermalSimulator,
     context: &mut ThermalSolveContext,
-) -> Result<(f64, f64), PlaceError> {
+    guard: ThermalGuard,
+) -> Result<(f64, f64, ThermalOutcome), PlaceError> {
     let (nx, ny, _) = sim.grid_dims();
     let mut power_map = PowerMap::new(nx, ny, chip.num_layers);
     for (cell, x, y, layer) in objective.placement().iter() {
@@ -134,7 +232,39 @@ pub(crate) fn solve_temperatures(
             );
         }
     }
-    let field = sim.solve_with(&power_map, context)?;
+    if guard.inject_nan {
+        if let Some(v) = power_map.values_mut().first_mut() {
+            *v = f64::NAN;
+        }
+    }
+
+    let mut outcome = ThermalOutcome {
+        sanitized: power_map.sanitize(),
+        ..ThermalOutcome::default()
+    };
+
+    let field = if guard.inject_cg_failure {
+        let (field, stats) = sim.solve_fallback(&power_map)?;
+        // The fallback bypasses the context; drop the stale warm start so
+        // the next CG solve runs cold instead of from an unrelated field.
+        context.reset();
+        outcome.fallback = Some(stats);
+        field
+    } else {
+        match sim.solve_with(&power_map, context) {
+            Ok(field) => {
+                outcome.cg = context.last_stats();
+                field
+            }
+            Err(ThermalError::SolverDiverged { .. }) => {
+                let (field, stats) = sim.solve_fallback(&power_map)?;
+                context.reset();
+                outcome.fallback = Some(stats);
+                field
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
 
     let mut t_sum = 0.0;
     let mut n_cells = 0usize;
@@ -147,7 +277,7 @@ pub(crate) fn solve_temperatures(
     } else {
         t_sum / n_cells as f64
     };
-    Ok((avg_temperature, field.max_temperature()))
+    Ok((avg_temperature, field.max_temperature(), outcome))
 }
 
 #[cfg(test)]
@@ -206,6 +336,61 @@ mod tests {
         let metrics = compute(&netlist, &chip, &model, &objective, (4, 4)).unwrap();
         assert_eq!(metrics.ilv_count, 0.0);
         assert_eq!(metrics.ilv_density_per_interlayer, 0.0);
+    }
+
+    #[test]
+    fn guarded_solve_survives_injected_nan_and_cg_breakdown() {
+        let (netlist, chip, config) = fixture();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let objective = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(netlist.num_cells(), &chip),
+        );
+        let sim = ThermalSimulator::new(chip.stack, chip.width, chip.depth, 8, 8).unwrap();
+        let mut context = sim.context();
+        let clean = compute_with(&netlist, &chip, &model, &objective, &sim, &mut context).unwrap();
+
+        for guard in [
+            ThermalGuard {
+                inject_nan: true,
+                inject_cg_failure: false,
+            },
+            ThermalGuard {
+                inject_nan: false,
+                inject_cg_failure: true,
+            },
+            ThermalGuard {
+                inject_nan: true,
+                inject_cg_failure: true,
+            },
+        ] {
+            let mut context = sim.context();
+            let (metrics, outcome) = compute_with_guarded(
+                &netlist,
+                &chip,
+                &model,
+                &objective,
+                &sim,
+                &mut context,
+                guard,
+            )
+            .unwrap();
+            assert!(outcome.degraded(), "{guard:?}");
+            assert_eq!(outcome.sanitized > 0, guard.inject_nan);
+            assert_eq!(outcome.fallback.is_some(), guard.inject_cg_failure);
+            assert!(!outcome.describe().is_empty());
+            assert!(
+                metrics.avg_temperature.is_finite() && metrics.avg_temperature > 0.0,
+                "degraded solve still produces a usable field"
+            );
+            // The degraded answer is approximate (damped Jacobi stops on
+            // an iteration cap; a zeroed deposit removes some power) but
+            // must stay the same order of magnitude as the clean solve.
+            let rel =
+                (metrics.avg_temperature - clean.avg_temperature).abs() / clean.avg_temperature;
+            assert!(rel < 0.75, "guard {guard:?} drifted {rel}");
+        }
     }
 
     #[test]

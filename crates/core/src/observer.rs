@@ -125,6 +125,30 @@ pub enum PlacerEvent {
         /// Path of the written `.pl` file.
         path: String,
     },
+    /// A planned fault fired ([`FaultPlan`](crate::FaultPlan)).
+    FaultInjected {
+        /// The fault class (`nan-power`, `cg-breakdown`, ...).
+        kind: String,
+        /// The stage-boundary site it fired at.
+        site: String,
+    },
+    /// The pipeline recovered from a failure by degrading gracefully
+    /// (also recorded in
+    /// [`PlacementResult::degradations`](crate::PlacementResult)).
+    Degraded {
+        /// The degradation class (`thermal-degraded`, ...).
+        kind: String,
+        /// Human-readable description of what was given up.
+        detail: String,
+    },
+    /// A corrupted checkpoint was renamed to `*.corrupt`; the run starts
+    /// fresh instead of resuming.
+    CheckpointQuarantined {
+        /// New path of the quarantined file.
+        path: String,
+        /// Why the checkpoint was rejected.
+        reason: String,
+    },
     /// The run is over; the result is about to be returned.
     RunEnd {
         /// Total wall-clock seconds.
@@ -357,6 +381,21 @@ pub fn event_to_json(event: &PlacerEvent) -> String {
             json_escape(stage),
             json_escape(path)
         ),
+        PlacerEvent::FaultInjected { kind, site } => format!(
+            "{{\"event\":\"fault_injected\",\"kind\":\"{}\",\"site\":\"{}\"}}",
+            json_escape(kind),
+            json_escape(site)
+        ),
+        PlacerEvent::Degraded { kind, detail } => format!(
+            "{{\"event\":\"degraded\",\"kind\":\"{}\",\"detail\":\"{}\"}}",
+            json_escape(kind),
+            json_escape(detail)
+        ),
+        PlacerEvent::CheckpointQuarantined { path, reason } => format!(
+            "{{\"event\":\"checkpoint_quarantined\",\"path\":\"{}\",\"reason\":\"{}\"}}",
+            json_escape(path),
+            json_escape(reason)
+        ),
         PlacerEvent::RunEnd {
             seconds,
             stopped_early,
@@ -429,6 +468,31 @@ mod tests {
         }
         assert!(text.contains("\"resumed_from\":null"));
         assert!(text.contains("\"stopped_early\":true"));
+    }
+
+    #[test]
+    fn fault_and_degradation_events_render_as_json() {
+        let events = [
+            PlacerEvent::FaultInjected {
+                kind: "nan-power".into(),
+                site: "global".into(),
+            },
+            PlacerEvent::Degraded {
+                kind: "thermal-degraded".into(),
+                detail: "CG gave way to damped Jacobi".into(),
+            },
+            PlacerEvent::CheckpointQuarantined {
+                path: "/tmp/ck/manifest.tvp.corrupt".into(),
+                reason: "placement hash mismatch".into(),
+            },
+        ];
+        for e in &events {
+            let line = event_to_json(e);
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(event_to_json(&events[0]).contains("\"event\":\"fault_injected\""));
+        assert!(event_to_json(&events[1]).contains("\"kind\":\"thermal-degraded\""));
+        assert!(event_to_json(&events[2]).contains("\"event\":\"checkpoint_quarantined\""));
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl Placement {
         order.sort_by(|&a, &b| {
             (self.layer[a], left(a))
                 .partial_cmp(&(self.layer[b], left(b)))
-                .unwrap()
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut overlaps = 0;
         let mut active: Vec<usize> = Vec::new();

@@ -10,6 +10,7 @@
 use crate::control::CancelToken;
 use crate::detail::LegalizeStats;
 use crate::engine;
+use crate::faults::{Degradation, FaultPlan};
 use crate::metrics::PlacementMetrics;
 use crate::observer::PlacerObserver;
 use crate::{Chip, PlaceError, Placement, PlacerConfig};
@@ -86,6 +87,10 @@ pub struct PlacementResult {
     pub stopped_early: bool,
     /// Name of the checkpointed stage this run resumed from, if any.
     pub resumed_from: Option<String>,
+    /// Every graceful degradation the run performed instead of failing
+    /// (thermal fallback, partition retries, checkpoint quarantine).
+    /// Empty for a clean run; the placement is legal either way.
+    pub degradations: Vec<Degradation>,
 }
 
 /// Per-run options for [`Placer::place_with_options`]: everything that
@@ -107,6 +112,11 @@ pub struct PlaceOptions<'o> {
     /// compatible manifest, the run resumes from the newest checkpoint,
     /// skipping completed stages.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Deterministic fault plan for robustness testing: the listed faults
+    /// fire at their stage-boundary sites and the pipeline must degrade
+    /// gracefully instead of failing. `None` (the default) injects
+    /// nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for PlaceOptions<'_> {
@@ -116,6 +126,7 @@ impl std::fmt::Debug for PlaceOptions<'_> {
             .field("cancel", &self.cancel)
             .field("time_budget", &self.time_budget)
             .field("checkpoint_dir", &self.checkpoint_dir)
+            .field("faults", &self.faults)
             .finish()
     }
 }

@@ -169,6 +169,9 @@ pub struct NetlistBuilder {
     /// (cell, net) pairs already connected, to reject duplicates.
     seen: HashSet<(u32, u32)>,
     errors: Vec<BuildNetlistError>,
+    /// When set, degenerate cell dimensions pass `build` so the netlist
+    /// can be inspected and repaired instead of rejected outright.
+    permissive: bool,
 }
 
 impl NetlistBuilder {
@@ -186,7 +189,21 @@ impl NetlistBuilder {
             cell_pins: Vec::with_capacity(cells),
             seen: HashSet::with_capacity(pins),
             errors: Vec::new(),
+            permissive: false,
         }
+    }
+
+    /// Lets [`build`](Self::build) accept cells with zero, negative, or
+    /// non-finite dimensions instead of rejecting them.
+    ///
+    /// Intended for diagnostic and repair tooling (preflight validation
+    /// reports such cells; repair clamps them): the placer itself must
+    /// never be fed a permissively built netlist without validating it
+    /// first.
+    #[must_use]
+    pub fn permissive(mut self) -> Self {
+        self.permissive = true;
+        self
     }
 
     /// Number of cells added so far.
@@ -217,10 +234,11 @@ impl NetlistBuilder {
     ) -> CellId {
         let id = CellId::new(self.cells.len());
         let cell = Cell::with_kind(name, width, height, kind);
-        if !cell.width().is_finite()
-            || cell.width() <= 0.0
-            || !cell.height().is_finite()
-            || cell.height() <= 0.0
+        if !self.permissive
+            && (!cell.width().is_finite()
+                || cell.width() <= 0.0
+                || !cell.height().is_finite()
+                || cell.height() <= 0.0)
         {
             self.errors.push(BuildNetlistError::InvalidCellSize {
                 name: cell.name().to_string(),
@@ -480,6 +498,24 @@ mod tests {
         assert!(matches!(
             b.build(),
             Err(BuildNetlistError::InvalidCellSize { .. })
+        ));
+    }
+
+    #[test]
+    fn permissive_build_accepts_bad_dims_for_repair_tooling() {
+        let mut b = NetlistBuilder::new().permissive();
+        b.add_cell("flat", 0.0, 1.0);
+        b.add_cell("nan", f64::NAN, 1.0);
+        let netlist = b.build().expect("permissive build succeeds");
+        assert_eq!(netlist.num_cells(), 2);
+        // Other validation (connections, attributes) still applies.
+        let mut b = NetlistBuilder::new().permissive();
+        let c = b.add_cell("c", 0.0, 1.0);
+        let n = b.add_net("n");
+        b.connect(n, c, PinDirection::Input).unwrap();
+        assert!(matches!(
+            b.connect(n, c, PinDirection::Input),
+            Err(BuildNetlistError::DuplicateConnection { .. })
         ));
     }
 

@@ -47,7 +47,7 @@ use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// Hard ceiling on the worker pool, far above any sane `--threads`.
@@ -150,6 +150,14 @@ struct LatchState {
     panic: Option<Box<dyn Any + Send>>,
 }
 
+/// Locks a pool/latch mutex, recovering from poisoning. Task panics are
+/// caught by `run_tasks` and re-thrown on the caller, so a poisoned lock
+/// only means some thread died between guarded statements — the guarded
+/// state itself is never left mid-update.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Latch {
     fn new(count: usize) -> Self {
         Self {
@@ -162,7 +170,7 @@ impl Latch {
     }
 
     fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
-        let mut st = self.state.lock().expect("latch lock");
+        let mut st = lock(&self.state);
         if st.panic.is_none() {
             st.panic = panic;
         }
@@ -175,13 +183,19 @@ impl Latch {
 
 fn ensure_workers(wanted: usize) {
     let pool = pool();
-    let mut st = pool.state.lock().expect("pool lock");
+    let mut st = lock(&pool.state);
     while st.spawned < wanted.min(MAX_THREADS - 1) {
         st.spawned += 1;
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("tvp-worker-{}", st.spawned))
-            .spawn(worker_loop)
-            .expect("spawn pool worker");
+            .spawn(worker_loop);
+        if spawned.is_err() {
+            // Out of OS threads: run with however many workers exist.
+            // The help-while-waiting loop keeps every batch live even
+            // with zero workers, so this only costs parallelism.
+            st.spawned -= 1;
+            break;
+        }
     }
 }
 
@@ -189,12 +203,15 @@ fn worker_loop() {
     let pool = pool();
     loop {
         let job = {
-            let mut st = pool.state.lock().expect("pool lock");
+            let mut st = lock(&pool.state);
             loop {
                 if let Some(job) = st.queue.pop_front() {
                     break job;
                 }
-                st = pool.work_available.wait(st).expect("pool wait");
+                st = pool
+                    .work_available
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         job();
@@ -218,7 +235,7 @@ pub fn run_tasks<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     let latch = Arc::new(Latch::new(tasks.len()));
     {
         let pool = pool();
-        let mut st = pool.state.lock().expect("pool lock");
+        let mut st = lock(&pool.state);
         for task in tasks {
             let latch = Arc::clone(&latch);
             let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
@@ -240,12 +257,12 @@ pub fn run_tasks<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     // Help-while-waiting: run queued jobs (ours or anyone's) instead of
     // sleeping, so nested batches can always make progress.
     loop {
-        let job = pool().state.lock().expect("pool lock").queue.pop_front();
+        let job = lock(&pool().state).queue.pop_front();
         if let Some(job) = job {
             job();
             continue;
         }
-        let st = latch.state.lock().expect("latch lock");
+        let st = lock(&latch.state);
         if st.remaining == 0 {
             break;
         }
@@ -256,10 +273,10 @@ pub fn run_tasks<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
             latch
                 .done
                 .wait_timeout(st, Duration::from_micros(200))
-                .expect("latch wait"),
+                .unwrap_or_else(PoisonError::into_inner),
         );
     }
-    let panic = latch.state.lock().expect("latch lock").panic.take();
+    let panic = lock(&latch.state).panic.take();
     if let Some(panic) = panic {
         panic::resume_unwind(panic);
     }
@@ -304,9 +321,11 @@ where
         Box::new(|| ra = Some(a())),
         Box::new(|| rb = Some(b())),
     ]);
+    // run_tasks re-throws task panics, so reaching here means both
+    // closures ran to completion and filled their slot.
     (
-        ra.expect("join task a completed"),
-        rb.expect("join task b completed"),
+        ra.unwrap_or_else(|| unreachable!("join task a completed")),
+        rb.unwrap_or_else(|| unreachable!("join task b completed")),
     )
 }
 
@@ -334,7 +353,7 @@ pub fn map_chunks<R: Send>(
     run_tasks(tasks);
     slots
         .into_iter()
-        .map(|s| s.expect("chunk task completed"))
+        .map(|s| s.unwrap_or_else(|| unreachable!("chunk task completed")))
         .collect()
 }
 
@@ -428,7 +447,7 @@ pub fn map_indexed<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
     run_tasks(tasks);
     slots
         .into_iter()
-        .map(|s| s.expect("indexed task completed"))
+        .map(|s| s.unwrap_or_else(|| unreachable!("indexed task completed")))
         .collect()
 }
 

@@ -45,6 +45,15 @@ impl BisectConfig {
         self
     }
 
+    /// Returns the config with the balance tolerance doubled (capped at
+    /// 0.45): the retry step a caller takes after
+    /// [`bisect_fixed_checked`](crate::bisect_fixed_checked) reports an
+    /// imbalance failure.
+    pub fn relaxed(mut self) -> Self {
+        self.tolerance = (self.tolerance * 2.0).min(0.45);
+        self
+    }
+
     /// Maximum weight allowed on side 0 for `total` weight.
     pub(crate) fn max_side0(&self, total: f64) -> f64 {
         (self.target_fraction + self.tolerance).min(1.0) * total

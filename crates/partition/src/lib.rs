@@ -43,6 +43,8 @@ mod multilevel;
 pub use config::BisectConfig;
 pub use hypergraph::Hypergraph;
 pub use kway::{partition_kway, KwayPartition};
-pub use multilevel::{bisect, bisect_fixed, Bisection, FixedSide};
+pub use multilevel::{
+    bisect, bisect_fixed, bisect_fixed_checked, Bisection, FixedSide, ImbalanceError,
+};
 
 pub(crate) use fm::refine;

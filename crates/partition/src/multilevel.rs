@@ -106,7 +106,83 @@ pub fn bisect_fixed(hg: &Hypergraph, fixed: &[FixedSide], config: &BisectConfig)
             best = Some(candidate);
         }
     }
-    best.expect("at least one start runs")
+    // `num_starts.max(1)` guarantees at least one candidate; the empty
+    // fallback keeps this path panic-free regardless.
+    best.unwrap_or(Bisection {
+        sides: Vec::new(),
+        cut: 0.0,
+        side_weights: [0.0; 2],
+    })
+}
+
+/// A bisection whose side weights violate the configured balance
+/// tolerance (returned by [`bisect_fixed_checked`]). Carries the rejected
+/// assignment so a caller that exhausts its retries can still accept the
+/// best effort.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ImbalanceError {
+    /// The out-of-tolerance assignment.
+    pub bisection: Bisection,
+    /// Weight fraction side 0 actually received.
+    pub fraction: f64,
+    /// The target fraction the config asked for.
+    pub target_fraction: f64,
+    /// Allowed deviation from the target fraction.
+    pub tolerance: f64,
+}
+
+impl std::fmt::Display for ImbalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bisection imbalance: side 0 holds {:.3} of the weight, target {:.3} ± {:.3}",
+            self.fraction, self.target_fraction, self.tolerance
+        )
+    }
+}
+
+impl std::error::Error for ImbalanceError {}
+
+/// [`bisect_fixed`], but validates the result against the configured
+/// balance tolerance instead of silently accepting an out-of-tolerance
+/// split (which the FM refiner can produce on pathological weight
+/// distributions, e.g. one vertex dominating the total weight).
+///
+/// # Errors
+///
+/// Returns [`ImbalanceError`] (carrying the rejected assignment) when
+/// side 0's weight fraction deviates from `config.target_fraction` by
+/// more than `config.tolerance`. Typical recovery: retry with
+/// [`BisectConfig::relaxed`], and accept the carried best effort once
+/// retries are exhausted.
+///
+/// # Panics
+///
+/// Panics if `fixed.len() != hg.num_vertices()`.
+pub fn bisect_fixed_checked(
+    hg: &Hypergraph,
+    fixed: &[FixedSide],
+    config: &BisectConfig,
+) -> Result<Bisection, Box<ImbalanceError>> {
+    let bisection = bisect_fixed(hg, fixed, config);
+    let [w0, w1] = bisection.side_weights;
+    let total = w0 + w1;
+    if total == 0.0 {
+        return Ok(bisection);
+    }
+    let fraction = w0 / total;
+    // Small epsilon so float noise at the boundary never flips a pass
+    // into a retry.
+    if (fraction - config.target_fraction).abs() <= config.tolerance + 1e-9 {
+        Ok(bisection)
+    } else {
+        Err(Box::new(ImbalanceError {
+            fraction,
+            target_fraction: config.target_fraction,
+            tolerance: config.tolerance,
+            bisection,
+        }))
+    }
 }
 
 fn hg_is_ready(hg: &Hypergraph) -> bool {

@@ -86,7 +86,9 @@ pub mod rngs {
         fn from_seed(seed: Self::Seed) -> Self {
             let mut s = [0u64; 4];
             for (i, chunk) in seed.chunks_exact(8).enumerate() {
-                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(bytes);
             }
             // A xoshiro state must not be all zero.
             if s == [0; 4] {

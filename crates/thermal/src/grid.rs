@@ -414,6 +414,78 @@ impl ThermalSimulator {
         })
     }
 
+    /// Damped-Jacobi fallback solve for when conjugate gradients break
+    /// down (or are injected to break down by a fault plan).
+    ///
+    /// The iteration `x ← x + ω·D⁻¹·(b − G·x)` converges unconditionally
+    /// for the weakly diagonally dominant SPD conductance matrix, just
+    /// slowly — so this is a *degraded* path: it runs a bounded number of
+    /// sweeps and returns the best field it reached together with the
+    /// residual, instead of erroring on slow convergence. Callers should
+    /// flag the result as thermally degraded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::GridMismatch`] if the power map grid differs
+    /// from [`grid_dims`](Self::grid_dims). Non-convergence is *not* an
+    /// error here; inspect [`FallbackStats::residual`].
+    pub fn solve_fallback(
+        &self,
+        power: &PowerMap,
+    ) -> crate::Result<(TemperatureField, FallbackStats)> {
+        if power.dims() != self.grid_dims() {
+            return Err(ThermalError::GridMismatch {
+                expected: self.grid_dims(),
+                found: power.dims(),
+            });
+        }
+        let n = self.nx * self.ny * self.nz_total;
+        let dev_nodes = self.nx * self.ny;
+        let mut rhs = vec![0.0; n];
+        rhs[dev_nodes..].copy_from_slice(power.values());
+
+        let diag = self.diagonal();
+        let b_norm = dot(&rhs, &rhs).sqrt();
+        let ambient = self.stack.heat_sink.ambient;
+        let mut x = vec![0.0; n];
+        let mut stats = FallbackStats {
+            iterations: 0,
+            residual: 0.0,
+        };
+        if b_norm > 0.0 {
+            const OMEGA: f64 = 0.8;
+            const MAX_SWEEPS: usize = 20_000;
+            let tol = 1.0e-8 * b_norm;
+            let mut gx = vec![0.0; n];
+            for sweep in 1..=MAX_SWEEPS {
+                self.apply(&x, &mut gx);
+                let mut r_sq = 0.0;
+                for i in 0..n {
+                    let r = rhs[i] - gx[i];
+                    r_sq += r * r;
+                    x[i] += OMEGA * r / diag[i];
+                }
+                let r_norm = r_sq.sqrt();
+                stats.iterations = sweep;
+                stats.residual = r_norm / b_norm;
+                if r_norm <= tol {
+                    break;
+                }
+            }
+        }
+        let values: Vec<f64> = x[dev_nodes..].iter().map(|dt| ambient + dt).collect();
+        Ok((
+            TemperatureField {
+                nx: self.nx,
+                ny: self.ny,
+                nz: self.stack.num_layers,
+                ambient,
+                values,
+            },
+            stats,
+        ))
+    }
+
     /// Jacobi-preconditioned CG on `G·x = b`, starting from `x0` (or
     /// zero). The cold path (`x0 = None`, one thread) reproduces the
     /// historical serial solver bit for bit.
@@ -514,6 +586,17 @@ impl ThermalSimulator {
             })
         }
     }
+}
+
+/// Convergence record of one damped-Jacobi fallback solve
+/// ([`ThermalSimulator::solve_fallback`]).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct FallbackStats {
+    /// Damped-Jacobi sweeps executed.
+    pub iterations: usize,
+    /// Final residual norm relative to `‖b‖` (0 when the right-hand side
+    /// was all zero).
+    pub residual: f64,
 }
 
 /// Convergence record of one CG solve.

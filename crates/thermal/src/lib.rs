@@ -37,7 +37,7 @@ mod resistance;
 mod stack;
 
 pub use error::ThermalError;
-pub use grid::{CgStats, TemperatureField, ThermalSimulator, ThermalSolveContext};
+pub use grid::{CgStats, FallbackStats, TemperatureField, ThermalSimulator, ThermalSolveContext};
 pub use power_map::PowerMap;
 pub use resistance::{ResistanceModel, VerticalProfile};
 pub use stack::{HeatSink, LayerStack};

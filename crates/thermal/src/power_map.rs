@@ -82,6 +82,27 @@ impl PowerMap {
     pub fn values(&self) -> &[f64] {
         &self.values
     }
+
+    /// Mutable raw values in `(k, j, i)` row-major order, for callers that
+    /// need to post-process deposits (e.g. sanitizing non-finite entries
+    /// before a solve).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Zeroes every non-finite (NaN/∞) entry and returns how many were
+    /// replaced. A power map built from untrusted activities or injected
+    /// faults may carry NaN deposits that would poison the linear solve.
+    pub fn sanitize(&mut self) -> usize {
+        let mut replaced = 0;
+        for v in &mut self.values {
+            if !v.is_finite() {
+                *v = 0.0;
+                replaced += 1;
+            }
+        }
+        replaced
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,226 @@
+//! Fault-injection matrix: every injectable fault class must end in a
+//! legal placement with the degradation recorded in the result and
+//! reported through the observer — never a panic, never a silent wrong
+//! answer. The injection is deterministic (seeded [`FaultPlan`]), so a
+//! faulted run is as reproducible as a clean one.
+
+use tvp_bookshelf::synth::{generate, SynthConfig};
+use tvp_core::detail::check_legal;
+use tvp_core::{
+    Degradation, FaultKind, FaultPlan, PlaceOptions, PlacementResult, Placer, PlacerConfig,
+    PlacerEvent, RecordingObserver,
+};
+
+fn netlist(cells: usize) -> tvp_netlist::Netlist {
+    generate(&SynthConfig::named("fm", cells, cells as f64 * 5.0e-12)).unwrap()
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tvp_fault_matrix_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Runs the full pipeline with a fault plan attached. The run must
+/// *degrade*, not fail: any `Err` here is a test failure.
+fn run(
+    netlist: &tvp_netlist::Netlist,
+    faults: FaultPlan,
+    ckpt: Option<&std::path::Path>,
+) -> (PlacementResult, RecordingObserver) {
+    let mut rec = RecordingObserver::new();
+    let result = Placer::new(PlacerConfig::new(2))
+        .place_with_options(
+            netlist,
+            &[],
+            PlaceOptions {
+                observer: Some(&mut rec),
+                checkpoint_dir: ckpt.map(std::path::Path::to_path_buf),
+                faults: Some(faults),
+                ..PlaceOptions::default()
+            },
+        )
+        .expect("a faulted run must degrade gracefully, not fail");
+    (result, rec)
+}
+
+fn assert_legal(netlist: &tvp_netlist::Netlist, result: &PlacementResult) {
+    assert_eq!(
+        check_legal(netlist, &result.chip, &result.placement),
+        None,
+        "degraded runs must still produce a legal placement"
+    );
+}
+
+#[test]
+fn nan_power_is_sanitized_and_flagged() {
+    let nl = netlist(150);
+    let plan = FaultPlan::new(3).inject(FaultKind::NanPower, "final");
+    let (result, rec) = run(&nl, plan, None);
+    assert_legal(&nl, &result);
+    assert!(
+        result.metrics.max_temperature.is_finite() && result.metrics.avg_temperature.is_finite(),
+        "temperatures stay finite after NaN power deposits"
+    );
+    assert!(
+        result
+            .degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::ThermalDegraded { stage, .. } if stage == "final")),
+        "degradations: {:?}",
+        result.degradations
+    );
+    assert!(rec.events.iter().any(|e| matches!(
+        e,
+        PlacerEvent::FaultInjected { kind, site } if kind == "nan-power" && site == "final"
+    )));
+    assert!(rec
+        .events
+        .iter()
+        .any(|e| matches!(e, PlacerEvent::Degraded { kind, .. } if kind == "thermal-degraded")));
+}
+
+#[test]
+fn cg_breakdown_falls_back_to_jacobi_at_every_solve_site() {
+    let nl = netlist(150);
+    for site in ["global", "coarse", "final"] {
+        let plan = FaultPlan::new(4).inject(FaultKind::CgBreakdown, site);
+        let (result, rec) = run(&nl, plan, None);
+        assert_legal(&nl, &result);
+        assert!(
+            result
+                .degradations
+                .iter()
+                .any(|d| matches!(d, Degradation::ThermalDegraded { stage, .. } if stage == site)),
+            "site {site}: degradations {:?}",
+            result.degradations
+        );
+        assert!(
+            rec.events.iter().any(|e| matches!(
+                e,
+                PlacerEvent::FaultInjected { kind, site: s } if kind == "cg-breakdown" && s == site
+            )),
+            "site {site}: missing fault event"
+        );
+        // The degraded snapshot still lands in the trajectory with finite
+        // temperatures.
+        let snap = result
+            .thermal_trajectory
+            .iter()
+            .find(|s| s.stage == site)
+            .expect("degraded snapshot still recorded");
+        assert!(snap.avg_temperature.is_finite() && snap.max_temperature.is_finite());
+        assert!(!snap.warm_started, "fallback solves never warm-start");
+    }
+}
+
+#[test]
+fn partition_imbalance_retries_with_relaxed_tolerance() {
+    let nl = netlist(200);
+    let plan = FaultPlan::new(5).inject(FaultKind::PartitionImbalance, "global");
+    let (result, rec) = run(&nl, plan, None);
+    assert_legal(&nl, &result);
+    let retries = result
+        .degradations
+        .iter()
+        .find_map(|d| match d {
+            Degradation::PartitionRetried { retries } => Some(*retries),
+            _ => None,
+        })
+        .expect("imbalance injection must surface as PartitionRetried");
+    assert!(retries >= 1);
+    assert!(rec.events.iter().any(|e| matches!(
+        e,
+        PlacerEvent::FaultInjected { kind, .. } if kind == "partition-imbalance"
+    )));
+}
+
+#[test]
+fn corrupt_checkpoint_is_quarantined_and_the_rerun_recovers() {
+    let nl = netlist(150);
+    let dir = tmpdir("corrupt");
+
+    // Run 1 truncates its own final checkpoint after writing it.
+    let plan = FaultPlan::new(1).inject(FaultKind::CorruptCheckpoint, "detail[0]");
+    let (r1, _) = run(&nl, plan, Some(&dir));
+    assert_legal(&nl, &r1);
+
+    // Run 2 finds the damaged checkpoint: it must quarantine the files,
+    // restart fresh, and still finish legally.
+    let (r2, rec2) = run(&nl, FaultPlan::new(1), Some(&dir));
+    assert_legal(&nl, &r2);
+    assert_eq!(r2.resumed_from, None, "a damaged checkpoint never resumes");
+    assert!(
+        r2.degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::CheckpointQuarantined { .. })),
+        "degradations: {:?}",
+        r2.degradations
+    );
+    assert!(rec2
+        .events
+        .iter()
+        .any(|e| matches!(e, PlacerEvent::CheckpointQuarantined { .. })));
+    let corrupt_files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.path().to_string_lossy().ends_with(".corrupt"))
+        .collect();
+    assert!(
+        !corrupt_files.is_empty(),
+        "damaged files are renamed, not deleted"
+    );
+
+    // Run 2 wrote healthy checkpoints alongside the quarantined ones, so
+    // run 3 resumes normally.
+    let (r3, _) = run(&nl, FaultPlan::new(1), Some(&dir));
+    assert_eq!(r3.resumed_from.as_deref(), Some("detail[0]"));
+    assert!(r3.degradations.is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_fault_class_at_once_still_degrades_gracefully() {
+    let nl = netlist(150);
+    let dir = tmpdir("all");
+    // Probability 1.0: every queried (kind, site) fires.
+    let (result, rec) = run(&nl, FaultPlan::with_probability(11, 1.0), Some(&dir));
+    assert_legal(&nl, &result);
+    let kinds: Vec<&str> = result.degradations.iter().map(Degradation::kind).collect();
+    assert!(kinds.contains(&"thermal-degraded"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"partition-retried"), "kinds: {kinds:?}");
+    assert!(rec
+        .events
+        .iter()
+        .any(|e| matches!(e, PlacerEvent::FaultInjected { .. })));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn faulted_runs_are_deterministic() {
+    let nl = netlist(150);
+    let plan = || {
+        FaultPlan::new(7)
+            .inject(FaultKind::NanPower, "global")
+            .inject(FaultKind::CgBreakdown, "final")
+            .inject(FaultKind::PartitionImbalance, "global")
+    };
+    let (a, _) = run(&nl, plan(), None);
+    let (b, _) = run(&nl, plan(), None);
+    assert_eq!(a.placement, b.placement, "same plan, same placement");
+    assert_eq!(a.degradations, b.degradations);
+}
+
+#[test]
+fn an_empty_fault_plan_changes_nothing() {
+    let nl = netlist(150);
+    let clean = Placer::new(PlacerConfig::new(2)).place(&nl).unwrap();
+    let (planned, rec) = run(&nl, FaultPlan::new(0), None);
+    assert_eq!(clean.placement, planned.placement);
+    assert!(planned.degradations.is_empty());
+    assert!(!rec
+        .events
+        .iter()
+        .any(|e| matches!(e, PlacerEvent::FaultInjected { .. })));
+}

@@ -34,6 +34,9 @@ fn event_tag(e: &PlacerEvent) -> String {
         }
         PlacerEvent::ThermalSolved { snapshot } => format!("thermal({})", snapshot.stage),
         PlacerEvent::CheckpointWritten { stage, .. } => format!("checkpoint({stage})"),
+        PlacerEvent::FaultInjected { kind, site } => format!("fault({kind}@{site})"),
+        PlacerEvent::Degraded { kind, .. } => format!("degraded({kind})"),
+        PlacerEvent::CheckpointQuarantined { .. } => "quarantined".to_string(),
         PlacerEvent::RunEnd { stopped_early, .. } => format!("run_end({stopped_early})"),
     }
 }
