@@ -1,0 +1,137 @@
+//! Criterion benchmarks for the incremental objective's delta kernel:
+//! move/swap pricing (read-only probes), commit, and the full-rescan
+//! reference kernel the delta engine replaced (DESIGN.md §11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use tvp_bench::netlist_of;
+use tvp_bookshelf::synth::SynthConfig;
+use tvp_core::objective::{IncrementalObjective, ObjectiveModel};
+use tvp_core::{Chip, Placement, PlacerConfig};
+use tvp_netlist::{CellId, Netlist};
+
+struct Fixture {
+    netlist: Netlist,
+    chip: Chip,
+    scattered: Placement,
+    probes: Vec<(CellId, f64, f64, u16)>,
+    pairs: Vec<(CellId, CellId)>,
+}
+
+fn fixture(cells: usize) -> Fixture {
+    let netlist = netlist_of(&SynthConfig::named("d", cells, cells as f64 * 5.0e-12));
+    let config = PlacerConfig::new(4);
+    let chip = Chip::from_netlist(&netlist, &config).expect("chip fits");
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    let mut scattered = Placement::centered(netlist.num_cells(), &chip);
+    for i in 0..netlist.num_cells() {
+        scattered.set(
+            CellId::new(i),
+            rng.random_range(0.0..chip.width),
+            rng.random_range(0.0..chip.depth),
+            rng.random_range(0..chip.num_layers as u16),
+        );
+    }
+    let probes = (0..4096)
+        .map(|_| {
+            (
+                CellId::new(rng.random_range(0..netlist.num_cells())),
+                rng.random_range(0.0..chip.width),
+                rng.random_range(0.0..chip.depth),
+                rng.random_range(0..chip.num_layers as u16),
+            )
+        })
+        .collect();
+    let pairs = (0..1024)
+        .map(|_| {
+            let a = rng.random_range(0..netlist.num_cells());
+            let mut b = rng.random_range(0..netlist.num_cells());
+            if b == a {
+                b = (b + 1) % netlist.num_cells();
+            }
+            (CellId::new(a), CellId::new(b))
+        })
+        .collect();
+    Fixture {
+        netlist,
+        chip,
+        scattered,
+        probes,
+        pairs,
+    }
+}
+
+fn bench_move_pricing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_move_pricing");
+    for cells in [1_000usize, 4_000] {
+        let f = fixture(cells);
+        let config = PlacerConfig::new(4);
+        let model = ObjectiveModel::new(&f.netlist, &f.chip, &config).expect("model builds");
+        let obj = IncrementalObjective::new(&f.netlist, &model, f.scattered.clone());
+        group.bench_with_input(BenchmarkId::new("delta", cells), &f, |b, f| {
+            b.iter(|| {
+                f.probes
+                    .iter()
+                    .map(|&(cell, x, y, l)| obj.delta_move(cell, x, y, l))
+                    .sum::<f64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rescan_reference", cells), &f, |b, f| {
+            b.iter(|| {
+                f.probes
+                    .iter()
+                    .map(|&(cell, x, y, l)| obj.delta_move_rescan(cell, x, y, l))
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_swap_pricing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_swap_pricing");
+    let cells = 1_000usize;
+    let f = fixture(cells);
+    let config = PlacerConfig::new(4);
+    let model = ObjectiveModel::new(&f.netlist, &f.chip, &config).expect("model builds");
+    let obj = IncrementalObjective::new(&f.netlist, &model, f.scattered.clone());
+    group.bench_with_input(BenchmarkId::from_parameter(cells), &f, |b, f| {
+        b.iter(|| {
+            f.pairs
+                .iter()
+                .map(|&(a, bc)| obj.delta_swap(a, bc))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_commit");
+    group.sample_size(20);
+    let cells = 1_000usize;
+    let f = fixture(cells);
+    let config = PlacerConfig::new(4);
+    let model = ObjectiveModel::new(&f.netlist, &f.chip, &config).expect("model builds");
+    group.bench_with_input(BenchmarkId::from_parameter(cells), &f, |b, f| {
+        b.iter(|| {
+            let mut obj = IncrementalObjective::new(&f.netlist, &model, f.scattered.clone());
+            let mut acc = 0.0;
+            for &(cell, x, y, l) in &f.probes {
+                acc += obj.apply_move(cell, x, y, l);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_move_pricing,
+    bench_swap_pricing,
+    bench_commit
+);
+criterion_main!(benches);

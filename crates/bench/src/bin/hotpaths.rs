@@ -1,31 +1,39 @@
 //! Hot-path timing harness: measures the three parallelized engines
 //! (thermal CG solve, objective rebuild, recursive bisection) across a
-//! thread sweep plus the warm-start savings, and writes the results as
-//! machine-readable JSON (`BENCH_hotpaths.json` by default).
+//! thread sweep, the warm-start savings, and the incremental delta
+//! engine's move/swap pricing and commit kernels, and writes the results
+//! as machine-readable JSON (`BENCH_hotpaths.json` by default).
 //!
 //! The report includes the hardware thread count so the numbers can be
 //! read honestly: on a single-core host, extra workers can only add
 //! scheduling overhead, and the interesting columns are the warm-start
 //! iteration savings and the threads=1 ≡ threads=N result equality.
+//! The delta-pricing rows carry their own denominator: a live
+//! `delta_move_rescan` loop over the same probe pattern reproduces the
+//! pre-delta-engine full-bbox-rescan kernel, so the reported speedups
+//! hold on whatever machine ran the harness.
 //!
-//! Flags: `--out FILE`, `--cells N`, `--repeats N`, `--grid N`.
+//! Flags: `--out FILE`, `--cells N`, `--repeats N`, `--grid N`,
+//! `--smoke` (threads=[1], minimal repeats/probes — the CI smoke mode).
 
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
 use std::fmt::Write as _;
 use std::time::Instant;
 use tvp_bookshelf::synth::{generate, SynthConfig};
 use tvp_core::netweight::NetWeights;
 use tvp_core::objective::{IncrementalObjective, ObjectiveModel};
 use tvp_core::{Chip, Placement, Placer, PlacerConfig};
+use tvp_netlist::{CellId, Netlist, NetlistBuilder, PinDirection};
 use tvp_partition::{bisect, BisectConfig, Hypergraph};
 use tvp_thermal::{LayerStack, PowerMap, ThermalSimulator};
-
-const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 struct Options {
     out: String,
     cells: usize,
     repeats: usize,
     grid: usize,
+    smoke: bool,
 }
 
 fn parse_options() -> Options {
@@ -34,6 +42,7 @@ fn parse_options() -> Options {
         cells: 1_000,
         repeats: 5,
         grid: 32,
+        smoke: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -46,12 +55,16 @@ fn parse_options() -> Options {
             "--cells" => opts.cells = value().parse().expect("--cells expects an integer"),
             "--repeats" => opts.repeats = value().parse().expect("--repeats expects an integer"),
             "--grid" => opts.grid = value().parse().expect("--grid expects an integer"),
+            "--smoke" => opts.smoke = true,
             "--help" | "-h" => {
-                eprintln!("flags: --out FILE --cells N --repeats N --grid N");
+                eprintln!("flags: --out FILE --cells N --repeats N --grid N --smoke");
                 std::process::exit(0);
             }
             other => panic!("unknown flag `{other}` (try --help)"),
         }
+    }
+    if opts.smoke {
+        opts.repeats = opts.repeats.min(2);
     }
     opts
 }
@@ -80,6 +93,62 @@ fn dense_power(nx: usize, layers: usize, scale: f64) -> PowerMap {
     power
 }
 
+/// Best-of-`repeats` nanoseconds per operation for a kernel that runs
+/// `n` operations per invocation.
+fn time_ns_per_op(repeats: usize, n: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_nanos() as f64 / n as f64);
+    }
+    best
+}
+
+/// Uniformly scattered placement for the pricing kernels: the worst case
+/// for bbox maintenance (every net spans a large box, extremes retreat
+/// often), seeded for reproducibility.
+fn scattered_placement(netlist: &Netlist, chip: &Chip, rng: &mut SmallRng) -> Placement {
+    let mut placement = Placement::centered(netlist.num_cells(), chip);
+    for i in 0..netlist.num_cells() {
+        placement.set(
+            CellId::new(i),
+            rng.random_range(0.0..chip.width),
+            rng.random_range(0.0..chip.depth),
+            rng.random_range(0..chip.num_layers as u16),
+        );
+    }
+    placement
+}
+
+/// One driver fanning out to every other cell, plus a chain of 2-pin
+/// nets: the high-fanout stress case for per-net extreme maintenance.
+fn high_fanout_netlist(cells: usize) -> Netlist {
+    let mut b = NetlistBuilder::new();
+    let ids: Vec<CellId> = (0..cells)
+        .map(|i| b.add_cell(format!("c{i}"), 1.0e-6, 1.0e-6))
+        .collect();
+    let big = b.add_net("big");
+    b.connect(big, ids[0], PinDirection::Output)
+        .expect("driver connects");
+    for &c in &ids[1..] {
+        b.connect(big, c, PinDirection::Input)
+            .expect("sink connects");
+    }
+    for w in ids.windows(2) {
+        let n = b.add_net(format!("ch{}", w[0].index()));
+        b.connect(n, w[0], PinDirection::Output).expect("connects");
+        b.connect(n, w[1], PinDirection::Input).expect("connects");
+    }
+    b.build().expect("high-fanout netlist builds")
+}
+
+struct PricingRow {
+    name: &'static str,
+    ns_per_op: f64,
+    rescan_ns_per_op: Option<f64>,
+}
+
 fn json_threads_ms(entries: &[(usize, f64)]) -> String {
     let mut s = String::from("{");
     for (i, (threads, ms)) in entries.iter().enumerate() {
@@ -94,8 +163,9 @@ fn json_threads_ms(entries: &[(usize, f64)]) -> String {
 
 fn main() {
     let opts = parse_options();
+    let thread_counts: &[usize] = if opts.smoke { &[1] } else { &[1, 2, 4] };
     let hw = tvp_parallel::available_threads();
-    eprintln!("hotpaths: {hw} hardware thread(s), sweeping {THREAD_COUNTS:?}");
+    eprintln!("hotpaths: {hw} hardware thread(s), sweeping {thread_counts:?}");
 
     // --- Thermal solve: cold vs warm, per thread count -------------------
     let layers = 4usize;
@@ -111,7 +181,7 @@ fn main() {
     let drifted = dense_power(opts.grid, layers, 1.02);
 
     let mut thermal_cold = Vec::new();
-    for &threads in &THREAD_COUNTS {
+    for &threads in thread_counts {
         let ms = tvp_parallel::with_threads(threads, || {
             time_ms(opts.repeats, || sim.solve(&base).expect("converges"))
         });
@@ -140,7 +210,7 @@ fn main() {
 
     let mut rebuild = Vec::new();
     let mut netweight = Vec::new();
-    for &threads in &THREAD_COUNTS {
+    for &threads in thread_counts {
         tvp_parallel::with_threads(threads, || {
             rebuild.push((threads, time_ms(opts.repeats, || objective.rebuild())));
             netweight.push((
@@ -152,6 +222,140 @@ fn main() {
         });
     }
 
+    // --- Delta engine: move/swap pricing and commit kernels --------------
+    // WL + ILV model (the default pipeline configuration, where pricing
+    // takes the allocation-free probe fast path), scattered placement so
+    // every probe crosses real geometry. The rescan rows time the same
+    // probe pattern through `delta_move_rescan` — the pre-delta-engine
+    // full-bbox-rescan kernel — giving a live speedup denominator.
+    let pricing_config = PlacerConfig::new(layers);
+    let pricing_model =
+        ObjectiveModel::new(&netlist, &chip, &pricing_config).expect("pricing model");
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    let scattered = scattered_placement(&netlist, &chip, &mut rng);
+    let pricing_obj = IncrementalObjective::new(&netlist, &pricing_model, scattered.clone());
+
+    let num_probes = if opts.smoke { 10_000 } else { 100_000 };
+    let probes: Vec<(CellId, f64, f64, u16)> = (0..num_probes)
+        .map(|_| {
+            (
+                CellId::new(rng.random_range(0..netlist.num_cells())),
+                rng.random_range(0.0..chip.width),
+                rng.random_range(0.0..chip.depth),
+                rng.random_range(0..chip.num_layers as u16),
+            )
+        })
+        .collect();
+    let pairs: Vec<(CellId, CellId)> = (0..num_probes / 5)
+        .map(|_| {
+            let a = rng.random_range(0..netlist.num_cells());
+            let mut b = rng.random_range(0..netlist.num_cells());
+            if b == a {
+                b = (b + 1) % netlist.num_cells();
+            }
+            (CellId::new(a), CellId::new(b))
+        })
+        .collect();
+
+    let move_ns = time_ns_per_op(opts.repeats, probes.len(), || {
+        probes
+            .iter()
+            .map(|&(c, x, y, l)| pricing_obj.delta_move(c, x, y, l))
+            .sum()
+    });
+    let move_rescan_ns = time_ns_per_op(opts.repeats, probes.len(), || {
+        probes
+            .iter()
+            .map(|&(c, x, y, l)| pricing_obj.delta_move_rescan(c, x, y, l))
+            .sum()
+    });
+    let swap_ns = time_ns_per_op(opts.repeats, pairs.len(), || {
+        pairs
+            .iter()
+            .map(|&(a, b)| pricing_obj.delta_swap(a, b))
+            .sum()
+    });
+    // The mutate-and-revert swap this engine replaces did four commits
+    // (two to stage the swap, two to undo it), each costing at least one
+    // full-rescan probe; four rescan probes per pair is therefore a
+    // conservative lower bound on the replaced kernel.
+    let swap_rescan_ns = time_ns_per_op(opts.repeats, pairs.len(), || {
+        pairs
+            .iter()
+            .map(|&(a, b)| {
+                let (bx, by, bl) = pricing_obj.placement().position(b);
+                let (ax, ay, al) = pricing_obj.placement().position(a);
+                pricing_obj.delta_move_rescan(a, bx, by, bl)
+                    + pricing_obj.delta_move_rescan(b, ax, ay, al)
+                    + pricing_obj.delta_move_rescan(a, ax, ay, al)
+                    + pricing_obj.delta_move_rescan(b, bx, by, bl)
+            })
+            .sum()
+    });
+    let mut commit_ns = f64::INFINITY;
+    for _ in 0..opts.repeats.max(1) {
+        let mut o = IncrementalObjective::new(&netlist, &pricing_model, scattered.clone());
+        let t = Instant::now();
+        let mut acc = 0.0;
+        for &(c, x, y, l) in &probes {
+            acc += o.apply_move(c, x, y, l);
+        }
+        std::hint::black_box(acc);
+        commit_ns = commit_ns.min(t.elapsed().as_nanos() as f64 / probes.len() as f64);
+    }
+
+    let hf_cells = 256usize;
+    let hf = high_fanout_netlist(hf_cells);
+    let hf_chip = Chip::from_netlist(&hf, &pricing_config).expect("hf chip");
+    let hf_model = ObjectiveModel::new(&hf, &hf_chip, &pricing_config).expect("hf model");
+    let hf_scattered = scattered_placement(&hf, &hf_chip, &mut rng);
+    let hf_obj = IncrementalObjective::new(&hf, &hf_model, hf_scattered);
+    let hf_probes: Vec<(CellId, f64, f64, u16)> = (0..num_probes / 5)
+        .map(|_| {
+            (
+                CellId::new(1 + rng.random_range(0..hf.num_cells() - 1)),
+                rng.random_range(0.0..hf_chip.width),
+                rng.random_range(0.0..hf_chip.depth),
+                rng.random_range(0..hf_chip.num_layers as u16),
+            )
+        })
+        .collect();
+    let hf_ns = time_ns_per_op(opts.repeats, hf_probes.len(), || {
+        hf_probes
+            .iter()
+            .map(|&(c, x, y, l)| hf_obj.delta_move(c, x, y, l))
+            .sum()
+    });
+    let hf_rescan_ns = time_ns_per_op(opts.repeats, hf_probes.len(), || {
+        hf_probes
+            .iter()
+            .map(|&(c, x, y, l)| hf_obj.delta_move_rescan(c, x, y, l))
+            .sum()
+    });
+
+    let pricing_rows = [
+        PricingRow {
+            name: "move_pricing",
+            ns_per_op: move_ns,
+            rescan_ns_per_op: Some(move_rescan_ns),
+        },
+        PricingRow {
+            name: "swap_pricing",
+            ns_per_op: swap_ns,
+            rescan_ns_per_op: Some(swap_rescan_ns),
+        },
+        PricingRow {
+            name: "commit",
+            ns_per_op: commit_ns,
+            rescan_ns_per_op: None,
+        },
+        PricingRow {
+            name: "high_fanout_move_pricing",
+            ns_per_op: hf_ns,
+            rescan_ns_per_op: Some(hf_rescan_ns),
+        },
+    ];
+
     // --- Multi-start bisection, per thread count -------------------------
     let mut hg = Hypergraph::new(opts.cells);
     let n = opts.cells as u32;
@@ -162,7 +366,7 @@ fn main() {
     hg.finalize();
     let bisect_config = BisectConfig::default().with_starts(8);
     let mut bisection = Vec::new();
-    for &threads in &THREAD_COUNTS {
+    for &threads in thread_counts {
         let ms = tvp_parallel::with_threads(threads, || {
             time_ms(opts.repeats, || bisect(&hg, &bisect_config))
         });
@@ -172,7 +376,7 @@ fn main() {
     // --- Full pipeline, per thread count ---------------------------------
     let mut pipeline = Vec::new();
     let mut trajectory_iters: Vec<(usize, bool)> = Vec::new();
-    for &threads in &THREAD_COUNTS {
+    for &threads in thread_counts {
         let placer = Placer::new(
             PlacerConfig::new(layers)
                 .with_partition_starts(4)
@@ -204,7 +408,11 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"thread_counts\": [{}],",
-        THREAD_COUNTS.map(|t| t.to_string()).join(", ")
+        thread_counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let _ = writeln!(json, "  \"thermal_solve\": {{");
     let _ = writeln!(json, "    \"grid\": \"{0}x{0}x{1}\",", opts.grid, layers);
@@ -232,6 +440,37 @@ fn main() {
         "    \"ms_by_threads\": {}",
         json_threads_ms(&netweight)
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"delta_pricing\": {{");
+    let _ = writeln!(json, "    \"cells\": {},", opts.cells);
+    let _ = writeln!(json, "    \"probes\": {num_probes},");
+    let _ = writeln!(json, "    \"high_fanout_cells\": {hf_cells},");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"ns per op, WL+ILV model (default pipeline config); rescan rows run the same probe pattern through the pre-delta-engine full-bbox-rescan kernel (delta_move_rescan) as a live speedup denominator; the swap denominator is four rescan probes per pair, a lower bound on the mutate-and-revert swap (four commits) it replaces\","
+    );
+    for (i, row) in pricing_rows.iter().enumerate() {
+        let comma = if i + 1 < pricing_rows.len() { "," } else { "" };
+        match row.rescan_ns_per_op {
+            Some(rescan) => {
+                let _ = writeln!(
+                    json,
+                    "    \"{}\": {{\"ns_per_op\": {:.1}, \"rescan_ns_per_op\": {:.1}, \"speedup\": {:.1}}}{comma}",
+                    row.name,
+                    row.ns_per_op,
+                    rescan,
+                    rescan / row.ns_per_op
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    json,
+                    "    \"{}\": {{\"ns_per_op\": {:.1}}}{comma}",
+                    row.name, row.ns_per_op
+                );
+            }
+        }
+    }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"bisection\": {{");
     let _ = writeln!(json, "    \"vertices\": {},", opts.cells);

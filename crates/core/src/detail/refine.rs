@@ -12,7 +12,7 @@
 //! 3. **Gap hop** — move a cell into a free gap of a nearby row (same or
 //!    adjacent layer) when the gap fits it.
 
-use crate::objective::IncrementalObjective;
+use crate::objective::{CellMove, IncrementalObjective};
 use crate::observer::PassEvent;
 use crate::Chip;
 use std::ops::ControlFlow;
@@ -168,28 +168,35 @@ fn refine_round(
                 }
 
                 // 2. Adjacent swap with the right neighbor: re-pack the
-                //    pair inside its combined span, order exchanged.
+                //    pair inside its combined span, order exchanged. The
+                //    pair is priced read-only in one staged sequence and
+                //    committed only when it improves — no apply-and-revert
+                //    round trip perturbing `total`.
                 if i + 1 < rows.cells[layer][row].len() {
                     let (ax, aw, a) = rows.cells[layer][row][i];
-                    let (bx, bw, b) = rows.cells[layer][row][i + 1];
+                    let (_bx, bw, b) = rows.cells[layer][row][i + 1];
                     let span_left = ax;
-                    let _ = bx;
                     // After the swap: b sits at span_left, a right after b.
-                    let new_b_center = span_left + bw / 2.0;
-                    let new_a_center = span_left + bw + aw / 2.0;
-                    let d1 = objective.delta_move(b, new_b_center, yc, layer as u16);
-                    let d1_applied = objective.apply_move(b, new_b_center, yc, layer as u16);
-                    debug_assert!((d1 - d1_applied).abs() < 1e-12 * d1.abs().max(1e-15));
-                    let d2 = objective.apply_move(a, new_a_center, yc, layer as u16);
-                    if d1_applied + d2 < -EPS {
+                    let pair = [
+                        CellMove {
+                            cell: b,
+                            x: span_left + bw / 2.0,
+                            y: yc,
+                            layer: layer as u16,
+                        },
+                        CellMove {
+                            cell: a,
+                            x: span_left + bw + aw / 2.0,
+                            y: yc,
+                            layer: layer as u16,
+                        },
+                    ];
+                    if objective.delta_moves(&pair) < -EPS {
+                        objective.apply_moves(&pair);
                         rows.cells[layer][row][i] = (span_left, bw, b);
                         rows.cells[layer][row][i + 1] = (span_left + bw, aw, a);
                         stats.swaps += 1;
                         improved = true;
-                    } else {
-                        // Revert.
-                        objective.apply_move(a, ax + aw / 2.0, yc, layer as u16);
-                        objective.apply_move(b, bx + bw / 2.0, yc, layer as u16);
                     }
                 }
                 i += 1;

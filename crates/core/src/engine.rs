@@ -445,6 +445,11 @@ pub(crate) fn run_pipeline(
         };
         flush_events(&mut ctx, observer);
         let elapsed = t.elapsed();
+        // Stage boundary: pin the accumulated objective back to a
+        // from-scratch recomputation so float round-off from the stage's
+        // move sequence never compounds into the next stage (outside the
+        // timed region — this is bookkeeping, not stage work).
+        ctx.objective.resync_total();
         match stage.kind() {
             StageKind::Global => timings.global += elapsed,
             StageKind::Coarse { round } => {
@@ -542,6 +547,7 @@ pub(crate) fn run_pipeline(
         );
         ctx.legal = true;
         let elapsed = t.elapsed();
+        ctx.objective.resync_total();
         timings.detail += elapsed;
         if observer.enabled() {
             observer.event(&PlacerEvent::StageEnd {

@@ -1,0 +1,211 @@
+//! Incremental-vs-from-scratch equivalence properties for the delta
+//! engine (DESIGN.md §11).
+//!
+//! The contract: after an arbitrary sequence of moves and swaps, every
+//! incrementally maintained cache — per-net extremes/geometry and, when
+//! the thermal term is active, `cell_power` and `cell_resistance` — is
+//! *bitwise* equal to what a from-scratch `rebuild()` of the same
+//! placement produces, at every thread count. Pricing is read-only, and
+//! a probe's delta is bitwise equal to the delta its commit applies.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use tvp_bookshelf::synth::{generate, SynthConfig};
+use tvp_core::objective::{IncrementalObjective, ObjectiveModel};
+use tvp_core::{Chip, Placement, PlacerConfig};
+use tvp_netlist::{CellId, NetId, Netlist};
+
+fn random_design(cells: usize, seed: u64) -> Netlist {
+    generate(&SynthConfig::named("eq", cells, cells as f64 * 5.0e-12).with_seed(seed))
+        .expect("synthetic design generates")
+}
+
+/// Drives `ops` random moves/swaps (roughly 1 swap per 3 ops) and
+/// returns the final objective, placement untouched otherwise.
+fn drive(
+    obj: &mut IncrementalObjective<'_>,
+    netlist: &Netlist,
+    chip: &Chip,
+    seed: u64,
+    ops: usize,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..ops {
+        let c = CellId::new(rng.random_range(0..netlist.num_cells()));
+        if i % 3 == 0 {
+            let mut b = CellId::new(rng.random_range(0..netlist.num_cells()));
+            if b == c {
+                b = CellId::new((b.index() + 1) % netlist.num_cells());
+            }
+            let probe = obj.delta_swap(c, b);
+            let applied = obj.apply_swap(c, b);
+            assert_eq!(probe, applied, "swap probe == commit");
+        } else {
+            let x = rng.random_range(0.0..chip.width);
+            let y = rng.random_range(0.0..chip.depth);
+            let l = rng.random_range(0..chip.num_layers as u16);
+            let probe = obj.delta_move(c, x, y, l);
+            let applied = obj.apply_move(c, x, y, l);
+            assert_eq!(probe, applied, "move probe == commit");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// After randomized move/swap sequences the incremental caches are
+    /// bitwise equal to a from-scratch rebuild of the same placement —
+    /// at thread counts 1, 2, and 4.
+    #[test]
+    fn caches_match_rebuild_bitwise(
+        cells in 60usize..160,
+        seed in 0u64..1000,
+        thermal in any::<bool>(),
+    ) {
+        let netlist = random_design(cells, seed);
+        let alpha_temp = if thermal { 1.0e-4 } else { 0.0 };
+        let config = PlacerConfig::new(4)
+            .with_alpha_ilv(1.0e-5)
+            .with_alpha_temp(alpha_temp);
+        let chip = Chip::from_netlist(&netlist, &config).expect("chip fits");
+        let model = ObjectiveModel::new(&netlist, &chip, &config).expect("model builds");
+
+        for threads in [1usize, 2, 4] {
+            tvp_parallel::with_threads(threads, || {
+                let mut obj = IncrementalObjective::new(
+                    &netlist,
+                    &model,
+                    Placement::centered(netlist.num_cells(), &chip),
+                );
+                drive(&mut obj, &netlist, &chip, seed ^ 0xA5A5, 300);
+
+                // Rebuild a twin from the *final* placement and compare.
+                let mut fresh = IncrementalObjective::new(
+                    &netlist,
+                    &model,
+                    obj.placement().clone(),
+                );
+                fresh.rebuild();
+                for e in 0..netlist.num_nets() {
+                    let net = NetId::new(e);
+                    assert_eq!(
+                        obj.net_geometry(net),
+                        fresh.net_geometry(net),
+                        "net {e} geometry diverged at threads={threads}"
+                    );
+                }
+                if alpha_temp > 0.0 {
+                    for i in 0..netlist.num_cells() {
+                        let c = CellId::new(i);
+                        assert_eq!(
+                            obj.cell_power(c),
+                            fresh.cell_power(c),
+                            "cell {i} power diverged at threads={threads}"
+                        );
+                        assert_eq!(
+                            obj.cell_resistance(c),
+                            fresh.cell_resistance(c),
+                            "cell {i} resistance diverged at threads={threads}"
+                        );
+                    }
+                }
+            });
+        }
+    }
+
+    /// The same op sequence leaves bitwise-identical caches and placement
+    /// at every thread count (the caches never depend on the chunking).
+    #[test]
+    fn op_sequences_are_thread_count_invariant(
+        cells in 60usize..160,
+        seed in 0u64..1000,
+    ) {
+        let netlist = random_design(cells, seed);
+        let config = PlacerConfig::new(4)
+            .with_alpha_ilv(1.0e-5)
+            .with_alpha_temp(1.0e-4);
+        let chip = Chip::from_netlist(&netlist, &config).expect("chip fits");
+        let model = ObjectiveModel::new(&netlist, &chip, &config).expect("model builds");
+
+        let run = |threads: usize| {
+            tvp_parallel::with_threads(threads, || {
+                let mut obj = IncrementalObjective::new(
+                    &netlist,
+                    &model,
+                    Placement::centered(netlist.num_cells(), &chip),
+                );
+                drive(&mut obj, &netlist, &chip, seed ^ 0xC3C3, 300);
+                let geometry: Vec<_> = (0..netlist.num_nets())
+                    .map(|e| obj.net_geometry(NetId::new(e)))
+                    .collect();
+                let power: Vec<_> = (0..netlist.num_cells())
+                    .map(|i| obj.cell_power(CellId::new(i)))
+                    .collect();
+                (obj.into_placement(), geometry, power)
+            })
+        };
+        let (p1, g1, w1) = run(1);
+        for threads in [2usize, 4] {
+            let (p, g, w) = run(threads);
+            for i in 0..netlist.num_cells() {
+                let c = CellId::new(i);
+                prop_assert_eq!(p1.position(c), p.position(c));
+            }
+            prop_assert_eq!(&g1, &g);
+            prop_assert_eq!(&w1, &w);
+        }
+    }
+
+    /// Pricing never mutates: a burst of probes leaves the total, every
+    /// cache, and the placement bitwise unchanged.
+    #[test]
+    fn pricing_is_read_only(
+        cells in 60usize..160,
+        seed in 0u64..1000,
+    ) {
+        let netlist = random_design(cells, seed);
+        let config = PlacerConfig::new(4)
+            .with_alpha_ilv(1.0e-5)
+            .with_alpha_temp(1.0e-4);
+        let chip = Chip::from_netlist(&netlist, &config).expect("chip fits");
+        let model = ObjectiveModel::new(&netlist, &chip, &config).expect("model builds");
+        let mut obj = IncrementalObjective::new(
+            &netlist,
+            &model,
+            Placement::centered(netlist.num_cells(), &chip),
+        );
+        drive(&mut obj, &netlist, &chip, seed ^ 0x5A5A, 100);
+
+        let total = obj.total();
+        let geometry: Vec<_> = (0..netlist.num_nets())
+            .map(|e| obj.net_geometry(NetId::new(e)))
+            .collect();
+        let power: Vec<_> = (0..netlist.num_cells())
+            .map(|i| obj.cell_power(CellId::new(i)))
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let c = CellId::new(rng.random_range(0..netlist.num_cells()));
+            let mut b = CellId::new(rng.random_range(0..netlist.num_cells()));
+            if b == c {
+                b = CellId::new((b.index() + 1) % netlist.num_cells());
+            }
+            let _ = obj.delta_move(
+                c,
+                rng.random_range(0.0..chip.width),
+                rng.random_range(0.0..chip.depth),
+                rng.random_range(0..chip.num_layers as u16),
+            );
+            let _ = obj.delta_swap(c, b);
+        }
+        prop_assert_eq!(obj.total(), total);
+        for (e, expected) in geometry.iter().enumerate() {
+            prop_assert_eq!(&obj.net_geometry(NetId::new(e)), expected);
+        }
+        for (i, expected) in power.iter().enumerate() {
+            prop_assert_eq!(&obj.cell_power(CellId::new(i)), expected);
+        }
+    }
+}

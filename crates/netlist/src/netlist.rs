@@ -109,9 +109,11 @@ impl Netlist {
         &self.cell_pin_ids[lo..hi]
     }
 
-    /// Iterator over the nets incident to a cell (may repeat a net if the
-    /// cell has several pins on it — the builder forbids that, so in
-    /// practice each net appears once).
+    /// Iterator over the nets incident to a cell. A net repeats if the
+    /// cell connects to it through several pins — possible when the
+    /// netlist was built with
+    /// [`NetlistBuilder::allow_shared_net_pins`]; deduplicate when
+    /// counting distinct nets.
     pub fn cell_nets(&self, cell: CellId) -> impl Iterator<Item = NetId> + '_ {
         self.cell_pins(cell).iter().map(|&p| self.pin(p).net())
     }
@@ -172,6 +174,10 @@ pub struct NetlistBuilder {
     /// When set, degenerate cell dimensions pass `build` so the netlist
     /// can be inspected and repaired instead of rejected outright.
     permissive: bool,
+    /// When set, a cell may connect to the same net through several pins
+    /// (e.g. a folded standard cell with both ends of a feedthrough on
+    /// one signal). The single-driver-per-net check still applies.
+    shared_net_pins: bool,
 }
 
 impl NetlistBuilder {
@@ -190,6 +196,7 @@ impl NetlistBuilder {
             seen: HashSet::with_capacity(pins),
             errors: Vec::new(),
             permissive: false,
+            shared_net_pins: false,
         }
     }
 
@@ -203,6 +210,19 @@ impl NetlistBuilder {
     #[must_use]
     pub fn permissive(mut self) -> Self {
         self.permissive = true;
+        self
+    }
+
+    /// Lets a cell connect to the same net through more than one pin
+    /// (normally rejected as [`BuildNetlistError::DuplicateConnection`]).
+    ///
+    /// Real designs do this — a folded cell can touch one signal at two
+    /// physical pins — and the objective evaluator prices each distinct
+    /// (cell, net) incidence once regardless. The single-driver-per-net
+    /// check is unaffected.
+    #[must_use]
+    pub fn allow_shared_net_pins(mut self) -> Self {
+        self.shared_net_pins = true;
         self
     }
 
@@ -345,7 +365,7 @@ impl NetlistBuilder {
             .nets
             .get_mut(net.index())
             .ok_or(BuildNetlistError::UnknownNet(net))?;
-        if !self.seen.insert((cell.index() as u32, net.index() as u32)) {
+        if !self.seen.insert((cell.index() as u32, net.index() as u32)) && !self.shared_net_pins {
             return Err(BuildNetlistError::DuplicateConnection {
                 cell: self.cells[cell.index()].name().to_string(),
                 net: n.name().to_string(),
@@ -474,6 +494,26 @@ mod tests {
         b.connect(n, c, PinDirection::Input).unwrap();
         let err = b.connect(n, c, PinDirection::Input).unwrap_err();
         assert!(matches!(err, BuildNetlistError::DuplicateConnection { .. }));
+    }
+
+    #[test]
+    fn allow_shared_net_pins_accepts_multi_pin_same_net() {
+        let mut b = NetlistBuilder::new().allow_shared_net_pins();
+        let c = b.add_cell("a", 1.0, 1.0);
+        let d = b.add_cell("b", 1.0, 1.0);
+        let n = b.add_net("n");
+        b.connect_with_offset(n, c, PinDirection::Output, -0.2, 0.0)
+            .unwrap();
+        b.connect_with_offset(n, c, PinDirection::Input, 0.2, 0.0)
+            .unwrap();
+        b.connect(n, d, PinDirection::Input).unwrap();
+        // The single-driver check still fires even with sharing on.
+        let err = b.connect(n, d, PinDirection::Output).unwrap_err();
+        assert!(matches!(err, BuildNetlistError::MultipleDrivers { .. }));
+        let netlist = b.build().unwrap();
+        assert_eq!(netlist.cell_pins(c).len(), 2);
+        assert_eq!(netlist.cell_nets(c).count(), 2, "net repeats per pin");
+        assert_eq!(netlist.net(n).pins().len(), 3);
     }
 
     #[test]
