@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tvp_thermal::{LayerStack, PowerMap, ThermalSimulator};
+use tvp_thermal::{LayerStack, PowerMap, Preconditioner, ThermalSimulator};
 
 fn bench_solve(c: &mut Criterion) {
     let mut group = c.benchmark_group("thermal_solve");
@@ -93,6 +93,40 @@ fn bench_solve_threads(c: &mut Criterion) {
     group.finish();
 }
 
+/// One preconditioner application — the unit of work CG pays per
+/// iteration. A multigrid V-cycle costs several stencil sweeps where a
+/// Jacobi application costs one fused diagonal scale; this group prices
+/// that trade so the iteration counts in `thermal_scaling` (see
+/// `BENCH_hotpaths.json`) can be read as wall time.
+fn bench_precond_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_precond_apply");
+    group.sample_size(20);
+    for &(nx, layers) in &[(32usize, 4usize), (64, 8)] {
+        let sim = ThermalSimulator::new(LayerStack::mitll_0_18um(layers), 1e-3, 1e-3, nx, nx)
+            .expect("valid geometry");
+        let n = nx * nx * layers;
+        // A non-trivial residual-like input: alternating signs with a
+        // smooth ramp, so the V-cycle's smoother and coarse correction
+        // both have real work to do.
+        let r: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -0.5 } * (1.0 + i as f64 / n as f64))
+            .collect();
+        let mut z = vec![0.0; n];
+        for (name, precond) in [
+            ("jacobi", Preconditioner::Jacobi),
+            ("vcycle", Preconditioner::default()),
+        ] {
+            let mut ctx = sim.context_with(precond);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{nx}x{nx}x{layers}")),
+                &(),
+                |b, ()| b.iter(|| black_box(ctx.apply_preconditioner(&r, &mut z))),
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_resistance_model(c: &mut Criterion) {
     use tvp_thermal::ResistanceModel;
     let model = ResistanceModel::new(LayerStack::mitll_0_18um(4), 1e-3, 1e-3).expect("valid");
@@ -113,6 +147,7 @@ criterion_group!(
     bench_solve,
     bench_warm_start,
     bench_solve_threads,
+    bench_precond_apply,
     bench_resistance_model
 );
 criterion_main!(benches);

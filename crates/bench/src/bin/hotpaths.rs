@@ -14,7 +14,7 @@
 //! hold on whatever machine ran the harness.
 //!
 //! Flags: `--out FILE`, `--cells N`, `--repeats N`, `--grid N`,
-//! `--smoke` (threads=[1], minimal repeats/probes — the CI smoke mode).
+//! `--smoke` (threads=\[1\], minimal repeats/probes — the CI smoke mode).
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -26,7 +26,7 @@ use tvp_core::objective::{IncrementalObjective, ObjectiveModel};
 use tvp_core::{Chip, Placement, Placer, PlacerConfig};
 use tvp_netlist::{CellId, Netlist, NetlistBuilder, PinDirection};
 use tvp_partition::{bisect, BisectConfig, Hypergraph};
-use tvp_thermal::{LayerStack, PowerMap, ThermalSimulator};
+use tvp_thermal::{LayerStack, PowerMap, Preconditioner, ThermalSimulator};
 
 struct Options {
     out: String,
@@ -194,6 +194,53 @@ fn main() {
         sim.solve_with(&drifted, &mut ctx).expect("converges")
     });
     let warm_iterations = ctx.last_stats().expect("solved").iterations;
+
+    // --- Thermal grid scaling: multigrid vs Jacobi preconditioning -------
+    // Cold solves at growing grid sizes. The multigrid column is the
+    // headline: its iteration count should stay nearly flat as the grid
+    // grows while Jacobi's climbs with the mesh diameter.
+    struct ScalingRow {
+        nx: usize,
+        layers: usize,
+        mg_iterations: usize,
+        mg_cold_ms: f64,
+        mg_setup_ms: f64,
+        mg_levels: usize,
+        jacobi_iterations: usize,
+        jacobi_cold_ms: f64,
+    }
+    let scaling_grids: &[(usize, usize)] = if opts.smoke {
+        &[(32, 4), (64, 8)]
+    } else {
+        &[(32, 4), (64, 8), (96, 8), (128, 8), (192, 8)]
+    };
+    let mut scaling = Vec::new();
+    for &(nx, nl) in scaling_grids {
+        let sim = ThermalSimulator::new(LayerStack::mitll_0_18um(nl), 1e-3, 1e-3, nx, nx)
+            .expect("valid geometry");
+        let power = dense_power(nx, nl, 1.0);
+        let mut mg_ctx = sim.context_with(Preconditioner::default());
+        let mg_cold_ms = time_ms(opts.repeats.min(3), || {
+            mg_ctx.reset();
+            sim.solve_with(&power, &mut mg_ctx).expect("converges")
+        });
+        let mg_iterations = mg_ctx.last_stats().expect("solved").iterations;
+        let mut jac_ctx = sim.context_with(Preconditioner::Jacobi);
+        let jacobi_cold_ms = time_ms(opts.repeats.min(3), || {
+            jac_ctx.reset();
+            sim.solve_with(&power, &mut jac_ctx).expect("converges")
+        });
+        scaling.push(ScalingRow {
+            nx,
+            layers: nl,
+            mg_iterations,
+            mg_cold_ms,
+            mg_setup_ms: mg_ctx.setup_seconds() * 1e3,
+            mg_levels: mg_ctx.multigrid_levels().unwrap_or(0),
+            jacobi_iterations: jac_ctx.last_stats().expect("solved").iterations,
+            jacobi_cold_ms,
+        });
+    }
 
     // --- Objective rebuild + netweight, per thread count -----------------
     let netlist = generate(&SynthConfig::named(
@@ -427,6 +474,30 @@ fn main() {
         json,
         "    \"warm_2pct_drift_cg_iterations\": {warm_iterations}"
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"thermal_scaling\": {{");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"cold-solve comparison of the two CG preconditioners; multigrid iteration counts stay nearly flat as the grid grows while Jacobi's climb with the mesh diameter; setup_ms is the one-time hierarchy build, amortized across every warm solve of a placement run\","
+    );
+    let _ = writeln!(json, "    \"grids\": [");
+    for (i, row) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"grid\": \"{0}x{0}x{1}\", \"multigrid\": {{\"cg_iterations\": {2}, \"cold_ms\": {3:.3}, \"setup_ms\": {4:.3}, \"levels\": {5}}}, \"jacobi\": {{\"cg_iterations\": {6}, \"cold_ms\": {7:.3}}}, \"iteration_ratio\": {8:.1}}}{comma}",
+            row.nx,
+            row.layers,
+            row.mg_iterations,
+            row.mg_cold_ms,
+            row.mg_setup_ms,
+            row.mg_levels,
+            row.jacobi_iterations,
+            row.jacobi_cold_ms,
+            row.jacobi_iterations as f64 / row.mg_iterations as f64
+        );
+    }
+    let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"objective_rebuild\": {{");
     let _ = writeln!(json, "    \"cells\": {},", opts.cells);

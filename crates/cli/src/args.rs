@@ -10,6 +10,7 @@ tvp — thermal- and via-aware 3D-IC placement (DAC'07 reproduction)
 USAGE:
   tvp place <design.aux> [--layers N] [--alpha-ilv X] [--alpha-temp X]
             [--seed N] [--starts N] [--threads N] [--units METERS_PER_UNIT]
+            [--thermal-precond P] [--mg-levels N]
             [--out DIR] [--svg FILE.svg] [--trace-out FILE.jsonl]
             [--time-budget SECONDS] [--checkpoint-dir DIR]
             [--no-preflight] [--inject-fault KIND[:SITE]]...
@@ -18,12 +19,18 @@ USAGE:
   tvp synth <name> --cells N [--area-mm2 A] [--seed N] --out DIR
   tvp stats <design.aux> [--units METERS_PER_UNIT]
   tvp sweep <design.aux> [--layers N] [--points N] [--threads N] [--units M]
-            [--csv FILE] [--progress]
+            [--thermal-precond P] [--mg-levels N] [--csv FILE] [--progress]
   tvp help
 
   --threads N        worker threads for the parallel hot paths (0 = all
                      cores, the default; 1 = fully serial; same result
                      either way)
+  --thermal-precond P
+                     CG preconditioner for the evaluation thermal solver:
+                     multigrid (or mg; the default — near-grid-independent
+                     iteration counts) or jacobi (the flat baseline)
+  --mg-levels N      cap the multigrid hierarchy depth (default 0 = coarsen
+                     automatically until the lateral grid is trivial)
   --trace-out FILE   write the stage engine's structured events as JSON
                      Lines (one event object per line)
   --time-budget S    stop gracefully after S seconds of wall clock; the
@@ -97,6 +104,10 @@ pub struct SweepArgs {
     pub threads: usize,
     /// Meters per Bookshelf site unit.
     pub meters_per_unit: f64,
+    /// Thermal CG preconditioner (`"multigrid"` or `"jacobi"`).
+    pub thermal_precond: String,
+    /// Multigrid hierarchy depth cap (0 = automatic).
+    pub mg_levels: usize,
     /// Optional CSV output path.
     pub csv: Option<String>,
     /// Narrate per-stage progress on stderr.
@@ -122,6 +133,10 @@ pub struct PlaceArgs {
     pub threads: usize,
     /// Meters per Bookshelf site unit.
     pub meters_per_unit: f64,
+    /// Thermal CG preconditioner (`"multigrid"` or `"jacobi"`).
+    pub thermal_precond: String,
+    /// Multigrid hierarchy depth cap (0 = automatic).
+    pub mg_levels: usize,
     /// Output directory for the placed design (omitted = metrics only).
     pub out: Option<String>,
     /// Path for an SVG rendering of the placement (omitted = none).
@@ -220,6 +235,18 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ParseAr
         .map_err(|_| err(format!("flag {flag}: `{value}` is not a valid number")))
 }
 
+/// Normalizes a `--thermal-precond` value (`mg` is shorthand for
+/// `multigrid`).
+fn parse_precond(value: &str) -> Result<String, ParseArgsError> {
+    match value {
+        "multigrid" | "mg" => Ok("multigrid".to_string()),
+        "jacobi" => Ok("jacobi".to_string()),
+        other => Err(err(format!(
+            "flag --thermal-precond: `{other}` is not one of multigrid, mg, jacobi"
+        ))),
+    }
+}
+
 fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseArgsError> {
     let mut args = PlaceArgs {
         aux: String::new(),
@@ -230,6 +257,8 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
         starts: 1,
         threads: 0,
         meters_per_unit: 1.0e-6,
+        thermal_precond: "multigrid".to_string(),
+        mg_levels: 0,
         out: None,
         svg: None,
         trace_out: None,
@@ -247,6 +276,8 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
             "--starts" => args.starts = parse_num(token, take_value(token, it)?)?,
             "--threads" => args.threads = parse_num(token, take_value(token, it)?)?,
             "--units" => args.meters_per_unit = parse_num(token, take_value(token, it)?)?,
+            "--thermal-precond" => args.thermal_precond = parse_precond(take_value(token, it)?)?,
+            "--mg-levels" => args.mg_levels = parse_num(token, take_value(token, it)?)?,
             "--out" => args.out = Some(take_value(token, it)?.to_string()),
             "--svg" => args.svg = Some(take_value(token, it)?.to_string()),
             "--trace-out" => args.trace_out = Some(take_value(token, it)?.to_string()),
@@ -370,6 +401,8 @@ fn parse_sweep(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
         points: 7,
         threads: 0,
         meters_per_unit: 1.0e-6,
+        thermal_precond: "multigrid".to_string(),
+        mg_levels: 0,
         csv: None,
         progress: false,
     };
@@ -379,6 +412,8 @@ fn parse_sweep(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
             "--points" => args.points = parse_num(token, take_value(token, it)?)?,
             "--threads" => args.threads = parse_num(token, take_value(token, it)?)?,
             "--units" => args.meters_per_unit = parse_num(token, take_value(token, it)?)?,
+            "--thermal-precond" => args.thermal_precond = parse_precond(take_value(token, it)?)?,
+            "--mg-levels" => args.mg_levels = parse_num(token, take_value(token, it)?)?,
             "--csv" => args.csv = Some(take_value(token, it)?.to_string()),
             "--progress" => args.progress = true,
             flag if flag.starts_with("--") => {
@@ -434,10 +469,41 @@ mod tests {
         assert_eq!(d.layers, 4);
         assert_eq!(d.alpha_ilv, 1e-5);
         assert_eq!(d.threads, 0, "default = all hardware threads");
+        assert_eq!(d.thermal_precond, "multigrid", "multigrid is the default");
+        assert_eq!(d.mg_levels, 0, "default = automatic depth");
         assert_eq!(d.out, None);
         assert_eq!(d.trace_out, None);
         assert_eq!(d.time_budget, None);
         assert_eq!(d.checkpoint_dir, None);
+    }
+
+    #[test]
+    fn thermal_precond_flags_parse_and_validate() {
+        let Command::Place(a) = parse(&argv("place d.aux --thermal-precond jacobi")).unwrap()
+        else {
+            panic!("expected place")
+        };
+        assert_eq!(a.thermal_precond, "jacobi");
+
+        // `mg` is shorthand for multigrid; the depth cap rides along.
+        let Command::Place(a) =
+            parse(&argv("place d.aux --thermal-precond mg --mg-levels 3")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.thermal_precond, "multigrid");
+        assert_eq!(a.mg_levels, 3);
+
+        let Command::Sweep(s) =
+            parse(&argv("sweep d.aux --thermal-precond jacobi --mg-levels 2")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(s.thermal_precond, "jacobi");
+        assert_eq!(s.mg_levels, 2);
+
+        let e = parse(&argv("place d.aux --thermal-precond ilu")).unwrap_err();
+        assert!(e.to_string().contains("multigrid, mg, jacobi"));
     }
 
     #[test]

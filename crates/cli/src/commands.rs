@@ -7,9 +7,18 @@ use tvp_bookshelf::synth::SynthConfig;
 use tvp_bookshelf::{Design, DesignBuilderOptions};
 use tvp_core::{
     FaultKind, FaultPlan, JsonlObserver, PlaceOptions, Placer, PlacerConfig, PlacerObserver,
-    ValidateOptions,
+    Preconditioner, ValidateOptions,
 };
 use tvp_netlist::CellId;
+
+/// Maps the CLI's (already validated) preconditioner name + depth cap
+/// onto the solver enum.
+fn precond_from_args(name: &str, mg_levels: usize) -> Preconditioner {
+    match name {
+        "jacobi" => Preconditioner::Jacobi,
+        _ => Preconditioner::Multigrid { levels: mg_levels },
+    }
+}
 
 /// Parses one `--inject-fault` spec (`kind` or `kind:site`). Omitted
 /// sites default to the stage where the fault class naturally lands.
@@ -53,7 +62,8 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
         .with_alpha_temp(args.alpha_temp)
         .with_seed(args.seed)
         .with_partition_starts(args.starts)
-        .with_threads(args.threads);
+        .with_threads(args.threads)
+        .with_thermal_precond(precond_from_args(&args.thermal_precond, args.mg_levels));
 
     // Seed fixed cells (pads/macros) from the input `.pl` when present.
     let fixed: Vec<(CellId, f64, f64, u16)> = design
@@ -390,7 +400,8 @@ pub fn sweep(args: &SweepArgs) -> Result<String, String> {
         let alpha = lo * ratio.powi(i as i32);
         let config = PlacerConfig::new(args.layers)
             .with_alpha_ilv(alpha)
-            .with_threads(args.threads);
+            .with_threads(args.threads)
+            .with_thermal_precond(precond_from_args(&args.thermal_precond, args.mg_levels));
         let mut narrator = args.progress.then(|| {
             StderrProgress::stderr(format!("{}/{} alpha={alpha:.2e}", i + 1, args.points))
         });

@@ -68,11 +68,13 @@ impl<W: Write> PlacerObserver for StderrProgress<W> {
             ),
             PlacerEvent::ThermalSolved { snapshot } => writeln!(
                 self.out,
-                "[{label}]   thermal after {}: avg {:.1} C, max {:.1} C ({} CG iters{})",
+                "[{label}]   thermal after {}: avg {:.1} C, max {:.1} C \
+                 ({} CG iters, {}{})",
                 snapshot.stage,
                 snapshot.avg_temperature,
                 snapshot.max_temperature,
                 snapshot.cg_iterations,
+                snapshot.preconditioner,
                 if snapshot.warm_started {
                     ", warm"
                 } else {

@@ -2,7 +2,7 @@
 //! parameters.
 
 use crate::PlaceError;
-use tvp_thermal::LayerStack;
+use tvp_thermal::{LayerStack, Preconditioner};
 
 /// Electrical technology parameters (Table 2, derived from the MIT-LL
 /// 0.18 µm 3D FD-SOI process and capacitance data of \[19\]).
@@ -118,6 +118,12 @@ pub struct PlacerConfig {
     /// threads". `1` runs the legacy serial code paths; any value
     /// produces the same placement (DESIGN.md, threading model).
     pub threads: usize,
+    /// CG preconditioner for the evaluation thermal solver. Geometric
+    /// multigrid by default (near-grid-independent iteration counts);
+    /// Jacobi remains available as the comparison baseline and is the
+    /// automatic fallback when the hierarchy cannot be built
+    /// (DESIGN.md §12).
+    pub thermal_precond: Preconditioner,
 }
 
 /// Cell-shifting bin-boundary rule (§4.1 ablation).
@@ -163,6 +169,7 @@ impl PlacerConfig {
             weighted_depth_cut: true,
             shift_strategy: ShiftStrategy::WholeRow,
             threads: 0,
+            thermal_precond: Preconditioner::default(),
         }
     }
 
@@ -193,6 +200,12 @@ impl PlacerConfig {
     /// Sets the worker-thread count (`0` = all hardware threads).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the evaluation thermal solver's CG preconditioner.
+    pub fn with_thermal_precond(mut self, precond: Preconditioner) -> Self {
+        self.thermal_precond = precond;
         self
     }
 
@@ -280,13 +293,23 @@ mod tests {
             .with_alpha_temp(1.0e-6)
             .with_seed(3)
             .with_partition_starts(4)
-            .with_threads(2);
+            .with_threads(2)
+            .with_thermal_precond(Preconditioner::Jacobi);
         assert_eq!(c.alpha_ilv, 5.0e-7);
         assert_eq!(c.alpha_temp, 1.0e-6);
         assert_eq!(c.seed, 3);
         assert_eq!(c.partition_starts, 4);
         assert_eq!(c.threads, 2);
+        assert_eq!(c.thermal_precond, Preconditioner::Jacobi);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn thermal_preconditioner_defaults_to_multigrid() {
+        assert_eq!(
+            PlacerConfig::new(4).thermal_precond,
+            Preconditioner::Multigrid { levels: 0 }
+        );
     }
 
     #[test]

@@ -332,11 +332,12 @@ pub(crate) fn run_pipeline(
     let model = ObjectiveModel::new(netlist, &chip, config)?;
 
     // One simulator + CG context for every thermal evaluation of this
-    // run: the Jacobi preconditioner is built once, and each stage's
-    // solve warm-starts from the previous stage's field.
+    // run: the preconditioner (multigrid hierarchy by default) is built
+    // once, and each stage's solve warm-starts from the previous
+    // stage's field.
     let (nx, ny) = config.thermal_grid;
     let sim = ThermalSimulator::new(chip.stack, chip.width, chip.depth, nx, ny)?;
-    let mut thermal_ctx = sim.context();
+    let mut thermal_ctx = sim.context_with(config.thermal_precond);
     let mut trajectory: Vec<ThermalSnapshot> = Vec::new();
 
     let stages = default_stage_plan(config);
@@ -590,6 +591,8 @@ pub(crate) fn run_pipeline(
         max_temperature: metrics.max_temperature,
         cg_iterations: outcome.iterations(),
         warm_started: outcome.warm_started(),
+        preconditioner: outcome.preconditioner(),
+        initial_residual: outcome.initial_residual(),
     };
     trajectory.push(final_snapshot);
     if observer.enabled() {
@@ -665,6 +668,8 @@ fn snapshot(
         max_temperature: max,
         cg_iterations: outcome.iterations(),
         warm_started: outcome.warm_started(),
+        preconditioner: outcome.preconditioner(),
+        initial_residual: outcome.initial_residual(),
     };
     trajectory.push(snap);
     if observer.enabled() {

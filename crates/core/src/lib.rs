@@ -73,6 +73,7 @@ pub use placement::Placement;
 pub use placer::{
     PlaceOptions, PlacementResult, Placer, RoundTiming, StageTimings, ThermalSnapshot,
 };
+pub use tvp_thermal::{PrecondKind, Preconditioner};
 pub use validate::{
     repair, validate, Diagnostic, DiagnosticCode, RepairAction, Severity, ValidateOptions,
     ValidationReport,

@@ -176,6 +176,22 @@ impl ThermalOutcome {
         self.cg.is_some_and(|s| s.warm_started)
     }
 
+    /// Stable name of the preconditioner (or fallback solver) that
+    /// produced the field.
+    pub fn preconditioner(&self) -> &'static str {
+        match (self.cg, self.fallback) {
+            (Some(cg), _) => cg.preconditioner.as_str(),
+            (None, Some(_)) => "damped-jacobi",
+            (None, None) => "none",
+        }
+    }
+
+    /// Relative residual before the first iteration (1.0 when the solve
+    /// ran cold or through the fallback).
+    pub fn initial_residual(&self) -> f64 {
+        self.cg.map_or(1.0, |s| s.initial_residual)
+    }
+
     /// Human-readable summary of the degradations, for the event stream.
     pub fn describe(&self) -> String {
         let mut parts = Vec::new();

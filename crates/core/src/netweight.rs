@@ -22,6 +22,12 @@ use tvp_netlist::{NetId, Netlist};
 /// query; smaller batches are not worth scheduling).
 const NETWEIGHT_MIN_CHUNK: usize = 512;
 
+/// Below this many nets the whole weighting runs inline — pool dispatch
+/// costs more than it saves on small designs (BENCH_hotpaths.json showed
+/// threading *regressing* 0.021 → 0.040 ms). The inline path runs the
+/// identical chunks, so results stay bitwise equal.
+const NETWEIGHT_SERIAL_BELOW: usize = 4096;
+
 /// Per-net lateral and vertical weights.
 #[derive(Clone, PartialEq, Debug)]
 pub struct NetWeights {
@@ -53,10 +59,11 @@ impl NetWeights {
         // One weight pair per net, each a pure function of that net's
         // driver position: chunk-parallel and bitwise identical for any
         // thread count.
-        tvp_parallel::for_each_chunk_mut2(
+        tvp_parallel::for_each_chunk_mut2_cutoff(
             &mut lateral,
             &mut vertical,
             NETWEIGHT_MIN_CHUNK,
+            NETWEIGHT_SERIAL_BELOW,
             |start, lats, verts| {
                 for (off, (l, v)) in lats.iter_mut().zip(verts.iter_mut()).enumerate() {
                     let net_id = NetId::new(start + off);

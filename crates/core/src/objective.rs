@@ -15,7 +15,7 @@
 //!
 //! Instead of rescanning a net's full bounding box per probe, the evaluator
 //! tracks per-net, per-axis extremes with their multiplicities
-//! ([`NetExtremes`]): the min and max pin coordinate on each axis plus how
+//! (`NetExtremes`): the min and max pin coordinate on each axis plus how
 //! many pins sit exactly at each extreme. Moving a pin then prices in O(1)
 //! per incident net — a full rescan is needed only when the *unique* pin at
 //! an extreme retreats inward, which is amortized away over random move
@@ -23,7 +23,7 @@
 //!
 //! Pricing (`delta_move`, `delta_moves`, `delta_swap`) is read-only and
 //! allocation-free: candidate geometry, power, and resistance values are
-//! staged in a reusable epoch-stamped [`DeltaWorkspace`] owned by the
+//! staged in a reusable epoch-stamped `DeltaWorkspace` owned by the
 //! evaluator, never touching the committed caches. Commit (`apply_move`,
 //! `apply_moves`, `apply_swap`) prices through the same code path and then
 //! patches the staged values into the caches, so a probe and its commit
@@ -36,7 +36,7 @@
 //!
 //! Determinism contract (DESIGN.md §8, §11): every staged value is the
 //! result of the same pin-order scan or exact O(1) extreme update, so the
-//! incremental caches stay bitwise equal to a from-scratch [`rebuild`]
+//! incremental caches stay bitwise equal to a from-scratch `rebuild`
 //! (`IncrementalObjective::rebuild`) after arbitrary move/swap sequences,
 //! at every thread count.
 
@@ -51,6 +51,11 @@ use tvp_thermal::ResistanceModel;
 /// designs run single-chunk (serially) where threading overhead would
 /// dominate.
 const REBUILD_MIN_CHUNK: usize = 512;
+
+/// Below this many nets/cells the rebuild passes skip pool dispatch and
+/// run their chunks inline (bitwise identical): BENCH_hotpaths.json showed
+/// the dispatched path regressing 0.087 → 0.113 ms on small designs.
+const REBUILD_SERIAL_BELOW: usize = 4096;
 /// Minimum elements per chunk for the scalar reductions in
 /// `compute_total`.
 const SUM_MIN_CHUNK: usize = 4096;
@@ -596,11 +601,16 @@ impl<'a> IncrementalObjective<'a> {
         let mut nets = std::mem::take(&mut self.nets);
         {
             let placement = &self.placement;
-            parallel::for_each_chunk_mut(&mut nets, REBUILD_MIN_CHUNK, |start, chunk| {
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    *slot = scan_net_extremes(netlist, placement, NetId::new(start + off), &[]);
-                }
-            });
+            parallel::for_each_chunk_mut_cutoff(
+                &mut nets,
+                REBUILD_MIN_CHUNK,
+                REBUILD_SERIAL_BELOW,
+                |start, chunk| {
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        *slot = scan_net_extremes(netlist, placement, NetId::new(start + off), &[]);
+                    }
+                },
+            );
         }
         self.nets = nets;
 
@@ -610,10 +620,11 @@ impl<'a> IncrementalObjective<'a> {
             let model = self.model;
             let placement = &self.placement;
             let nets = &self.nets;
-            parallel::for_each_chunk_mut2(
+            parallel::for_each_chunk_mut2_cutoff(
                 &mut cell_power,
                 &mut cell_resistance,
                 REBUILD_MIN_CHUNK,
+                REBUILD_SERIAL_BELOW,
                 |start, powers, resistances| {
                     for (off, (p, r)) in powers.iter_mut().zip(resistances.iter_mut()).enumerate() {
                         let cell = CellId::new(start + off);

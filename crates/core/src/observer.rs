@@ -369,12 +369,15 @@ pub fn event_to_json(event: &PlacerEvent) -> String {
         ),
         PlacerEvent::ThermalSolved { snapshot } => format!(
             "{{\"event\":\"thermal\",\"stage\":\"{}\",\"avg_c\":{},\"max_c\":{},\
-             \"cg_iterations\":{},\"warm_started\":{}}}",
+             \"cg_iterations\":{},\"warm_started\":{},\"preconditioner\":\"{}\",\
+             \"initial_residual\":{}}}",
             json_escape(snapshot.stage),
             json_f64(snapshot.avg_temperature),
             json_f64(snapshot.max_temperature),
             snapshot.cg_iterations,
-            snapshot.warm_started
+            snapshot.warm_started,
+            json_escape(snapshot.preconditioner),
+            json_f64(snapshot.initial_residual)
         ),
         PlacerEvent::CheckpointWritten { index, stage, path } => format!(
             "{{\"event\":\"checkpoint\",\"index\":{index},\"stage\":\"{}\",\"path\":\"{}\"}}",

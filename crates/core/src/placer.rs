@@ -63,6 +63,12 @@ pub struct ThermalSnapshot {
     pub cg_iterations: usize,
     /// Whether the solve warm-started from the previous stage's field.
     pub warm_started: bool,
+    /// Preconditioner that drove the solve (`"multigrid"`, `"jacobi"`,
+    /// or `"damped-jacobi"` when CG gave way to the fallback).
+    pub preconditioner: &'static str,
+    /// Relative residual of the starting vector (1 for a cold start;
+    /// small values mean the warm start was already close).
+    pub initial_residual: f64,
 }
 
 /// Everything the pipeline produces.

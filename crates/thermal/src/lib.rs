@@ -32,12 +32,16 @@
 
 mod error;
 mod grid;
+mod multigrid;
 mod power_map;
 mod resistance;
 mod stack;
 
 pub use error::ThermalError;
-pub use grid::{CgStats, FallbackStats, TemperatureField, ThermalSimulator, ThermalSolveContext};
+pub use grid::{
+    CgStats, FallbackStats, PrecondKind, Preconditioner, TemperatureField, ThermalSimulator,
+    ThermalSolveContext,
+};
 pub use power_map::PowerMap;
 pub use resistance::{ResistanceModel, VerticalProfile};
 pub use stack::{HeatSink, LayerStack};

@@ -1,7 +1,9 @@
 //! Property-based tests for the thermal models.
 
 use proptest::prelude::*;
-use tvp_thermal::{LayerStack, PowerMap, ResistanceModel, ThermalSimulator};
+use tvp_thermal::{
+    LayerStack, PowerMap, PrecondKind, Preconditioner, ResistanceModel, ThermalSimulator,
+};
 
 fn stack_strategy() -> impl Strategy<Value = LayerStack> {
     (1usize..6, 1.0f64..200.0, 50.0f64..300.0).prop_map(|(layers, k, k_sub)| {
@@ -92,6 +94,51 @@ proptest! {
         let field = sim.solve(&power).unwrap();
         let at_source = field.at(i, j, layer);
         prop_assert!((at_source - field.max_temperature()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multigrid_and_jacobi_pcg_agree_on_random_inputs(
+        stack in stack_strategy(),
+        nx in 5usize..24,
+        ny in 5usize..24,
+        cells in prop::collection::vec(
+            (0usize..24, 0usize..24, 0usize..6, 1.0e-4f64..0.1),
+            1..16,
+        ),
+    ) {
+        // Both preconditioners drive the same CG iteration to the same
+        // tolerance, so the fields they return must agree within a safety
+        // factor (10×) of that tolerance — on arbitrary stacks, grid
+        // shapes (odd sizes exercise the clamped transfer stencils), and
+        // power maps.
+        let sim = ThermalSimulator::new(stack, 1e-3, 1e-3, nx, ny).unwrap();
+        let mut power = PowerMap::new(nx, ny, stack.num_layers);
+        for &(i, j, l, w) in &cells {
+            power.add(i % nx, j % ny, l % stack.num_layers, w);
+        }
+        let mut jac_ctx = sim.context_with(Preconditioner::Jacobi);
+        let jac = sim.solve_with(&power, &mut jac_ctx).unwrap();
+        let mut mg_ctx = sim.context_with(Preconditioner::Multigrid { levels: 0 });
+        let mg = sim.solve_with(&power, &mut mg_ctx).unwrap();
+        prop_assert_eq!(mg_ctx.preconditioner(), PrecondKind::Multigrid);
+
+        // CG tolerance is 1e-10·‖b‖ on the residual; through the SPD
+        // system that bounds the field error well below 1e-5 of the
+        // temperature scale. Allow 10× the solver tolerance headroom.
+        let scale = (jac.max_temperature() - jac.ambient()).abs().max(1e-9);
+        for l in 0..stack.num_layers {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let a = jac.at(i, j, l);
+                    let b = mg.at(i, j, l);
+                    prop_assert!(
+                        (a - b).abs() <= 1e-5 * scale,
+                        "({i},{j},{l}): jacobi {} vs multigrid {} (scale {})",
+                        a, b, scale
+                    );
+                }
+            }
+        }
     }
 
     #[test]
