@@ -11,9 +11,9 @@ fn hypergraph_from(cells: usize) -> Hypergraph {
     let netlist = netlist_of(&SynthConfig::named("b", cells, cells as f64 * 5.0e-12));
     let weights: Vec<f64> = netlist.cells().iter().map(|c| c.area()).collect();
     let mut hg = Hypergraph::with_vertex_weights(weights);
-    for net in netlist.nets() {
-        let pins: Vec<u32> = net
-            .pins()
+    for (nid, _) in netlist.iter_nets() {
+        let pins: Vec<u32> = netlist
+            .net_pins(nid)
             .iter()
             .map(|&p| netlist.pin(p).cell().index() as u32)
             .collect();

@@ -2,7 +2,11 @@
 //! (thermal CG solve, objective rebuild, recursive bisection) across a
 //! thread sweep, the warm-start savings, and the incremental delta
 //! engine's move/swap pricing and commit kernels, and writes the results
-//! as machine-readable JSON (`BENCH_hotpaths.json` by default).
+//! as machine-readable JSON (`BENCH_hotpaths.json` by default). A
+//! `scaling` sweep rounds out the report: per cell count (one fresh
+//! process each) it times synth, Bookshelf render, zero-copy parse,
+//! streaming netlist assembly, and — where practical — the full
+//! placement pipeline, alongside that size's peak RSS.
 //!
 //! The report includes the hardware thread count so the numbers can be
 //! read honestly: on a single-core host, extra workers can only add
@@ -13,14 +17,17 @@
 //! pre-delta-engine full-bbox-rescan kernel, so the reported speedups
 //! hold on whatever machine ran the harness.
 //!
-//! Flags: `--out FILE`, `--cells N`, `--repeats N`, `--grid N`,
-//! `--smoke` (threads=\[1\], minimal repeats/probes — the CI smoke mode).
+//! Flags: `--out FILE`, `--cells N[,N,...]` (first count feeds the kernel
+//! sections, the full list drives the `scaling` sweep), `--repeats N`,
+//! `--grid N`, `--smoke` (threads=\[1\], minimal repeats/probes — the CI
+//! smoke mode).
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::fmt::Write as _;
 use std::time::Instant;
 use tvp_bookshelf::synth::{generate, SynthConfig};
+use tvp_bookshelf::{stream, write_nets, write_nodes, write_wts, Design, DesignBuilderOptions};
 use tvp_core::netweight::NetWeights;
 use tvp_core::objective::{IncrementalObjective, ObjectiveModel};
 use tvp_core::{Chip, Placement, Placer, PlacerConfig};
@@ -30,19 +37,21 @@ use tvp_thermal::{LayerStack, PowerMap, Preconditioner, ThermalSimulator};
 
 struct Options {
     out: String,
-    cells: usize,
+    cells: Vec<usize>,
     repeats: usize,
     grid: usize,
     smoke: bool,
+    scale_one: Option<usize>,
 }
 
 fn parse_options() -> Options {
     let mut opts = Options {
         out: "BENCH_hotpaths.json".to_string(),
-        cells: 1_000,
+        cells: vec![1_000],
         repeats: 5,
         grid: 32,
         smoke: false,
+        scale_one: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -52,12 +61,28 @@ fn parse_options() -> Options {
         };
         match flag.as_str() {
             "--out" => opts.out = value(),
-            "--cells" => opts.cells = value().parse().expect("--cells expects an integer"),
+            "--cells" => {
+                opts.cells = value()
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .expect("--cells expects comma-separated integers")
+                    })
+                    .collect();
+                assert!(!opts.cells.is_empty(), "--cells expects at least one count");
+            }
             "--repeats" => opts.repeats = value().parse().expect("--repeats expects an integer"),
             "--grid" => opts.grid = value().parse().expect("--grid expects an integer"),
             "--smoke" => opts.smoke = true,
+            // Internal: run one scaling row in this (fresh) process and
+            // print its JSON object to stdout. The parent spawns this per
+            // cell count so peak-RSS readings don't contaminate each other.
+            "--scale-one" => {
+                opts.scale_one = Some(value().parse().expect("--scale-one expects an integer"));
+            }
             "--help" | "-h" => {
-                eprintln!("flags: --out FILE --cells N --repeats N --grid N --smoke");
+                eprintln!("flags: --out FILE --cells N[,N,...] --repeats N --grid N --smoke");
                 std::process::exit(0);
             }
             other => panic!("unknown flag `{other}` (try --help)"),
@@ -149,6 +174,105 @@ struct PricingRow {
     rescan_ns_per_op: Option<f64>,
 }
 
+/// Largest cell count at which the scaling sweep runs the full placement
+/// pipeline; above this only ingest (synth/write/parse/build) is timed.
+const SCALE_PLACE_MAX: usize = 100_000;
+
+/// Peak resident set size of this process in MB (Linux `VmHWM`), 0.0
+/// where `/proc` is unavailable.
+fn peak_rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse::<f64>().ok())
+        })
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// One scaling-sweep row: synthesize `cells`, render Bookshelf text,
+/// scan it with the zero-copy readers (pure parse cost), assemble the
+/// netlist through the streaming path, and — at sizes where it is
+/// practical — run the full placement pipeline. Returns the row as a
+/// JSON object string.
+///
+/// Meant to run in a fresh process (`--scale-one`) so the reported peak
+/// RSS belongs to this size alone.
+fn scale_row_json(cells: usize) -> String {
+    let t = Instant::now();
+    let netlist =
+        generate(&SynthConfig::named("scale", cells, cells as f64 * 5.0e-12)).expect("synth");
+    let synth_ms = t.elapsed().as_secs_f64() * 1e3;
+    let (num_nets, num_pins) = (netlist.num_nets(), netlist.num_pins());
+
+    let builder_opts = DesignBuilderOptions::default();
+    let t = Instant::now();
+    let design = Design::from_netlist("scale", netlist);
+    let (nodes, nets, wts, _) = design.to_files(builder_opts);
+    drop(design);
+    let nodes_text = write_nodes(&nodes);
+    let nets_text = write_nets(&nets);
+    let wts_text = write_wts(&wts);
+    drop((nodes, nets, wts));
+    let write_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Pure token scan: every record visited, nothing materialized.
+    let t = Instant::now();
+    let mut nr = stream::NodesReader::new(&nodes_text).expect("nodes header");
+    while nr.next_node().expect("node record").is_some() {}
+    let mut er = stream::NetsReader::new(&nets_text).expect("nets header");
+    while let Some(net) = er.next_net().expect("net record") {
+        for _ in 0..net.degree {
+            std::hint::black_box(er.next_pin().expect("pin record"));
+        }
+    }
+    let mut wr = stream::WtsReader::new(&wts_text);
+    while wr.next_record().expect("wts record").is_some() {}
+    let parse_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Fused streaming parse + netlist assembly (what `load` runs).
+    let t = Instant::now();
+    let assembled = Design::assemble_streaming(
+        "scale",
+        &nodes_text,
+        &nets_text,
+        Some(&wts_text),
+        None,
+        None,
+        builder_opts,
+    )
+    .expect("assemble");
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop((nodes_text, nets_text, wts_text));
+
+    let place = if cells <= SCALE_PLACE_MAX {
+        let threads = tvp_parallel::available_threads().max(1);
+        let placer = Placer::new(
+            PlacerConfig::new(4)
+                .with_partition_starts(4)
+                .with_threads(threads),
+        );
+        let t = Instant::now();
+        let result = placer.place(&assembled.netlist).expect("places");
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        format!(
+            "{{\"threads\": {threads}, \"wall_ms\": {wall_ms:.1}, \"global_ms\": {:.1}, \"coarse_ms\": {:.1}, \"detail_ms\": {:.1}}}",
+            result.timings.global.as_secs_f64() * 1e3,
+            result.timings.coarse.as_secs_f64() * 1e3,
+            result.timings.detail.as_secs_f64() * 1e3,
+        )
+    } else {
+        "null".to_string()
+    };
+
+    format!(
+        "{{\"cells\": {cells}, \"nets\": {num_nets}, \"pins\": {num_pins}, \"synth_ms\": {synth_ms:.1}, \"write_ms\": {write_ms:.1}, \"parse_ms\": {parse_ms:.1}, \"build_ms\": {build_ms:.1}, \"place\": {place}, \"peak_rss_mb\": {:.1}}}",
+        peak_rss_mb()
+    )
+}
+
 fn json_threads_ms(entries: &[(usize, f64)]) -> String {
     let mut s = String::from("{");
     for (i, (threads, ms)) in entries.iter().enumerate() {
@@ -163,6 +287,11 @@ fn json_threads_ms(entries: &[(usize, f64)]) -> String {
 
 fn main() {
     let opts = parse_options();
+    if let Some(cells) = opts.scale_one {
+        println!("{}", scale_row_json(cells));
+        return;
+    }
+    let kernel_cells = opts.cells[0];
     let thread_counts: &[usize] = if opts.smoke { &[1] } else { &[1, 2, 4] };
     let hw = tvp_parallel::available_threads();
     eprintln!("hotpaths: {hw} hardware thread(s), sweeping {thread_counts:?}");
@@ -245,8 +374,8 @@ fn main() {
     // --- Objective rebuild + netweight, per thread count -----------------
     let netlist = generate(&SynthConfig::named(
         "hot",
-        opts.cells,
-        opts.cells as f64 * 5.0e-12,
+        kernel_cells,
+        kernel_cells as f64 * 5.0e-12,
     ))
     .expect("synth");
     let config = PlacerConfig::new(layers).with_alpha_temp(1.0e-4);
@@ -404,8 +533,8 @@ fn main() {
     ];
 
     // --- Multi-start bisection, per thread count -------------------------
-    let mut hg = Hypergraph::new(opts.cells);
-    let n = opts.cells as u32;
+    let mut hg = Hypergraph::new(kernel_cells);
+    let n = kernel_cells as u32;
     for i in 0..n {
         hg.add_net(&[i, (i + 1) % n], 1.0);
         hg.add_net(&[i, (i * 7 + 13) % n], 1.0);
@@ -443,15 +572,46 @@ fn main() {
         pipeline.push((threads, ms));
     }
 
+    // --- Scaling sweep: one fresh child process per cell count -----------
+    let mut scale_rows: Vec<String> = Vec::new();
+    let exe = std::env::current_exe().expect("current exe");
+    for &cells in &opts.cells {
+        eprintln!("hotpaths: scaling sweep at {cells} cells...");
+        let child = std::process::Command::new(&exe)
+            .arg("--scale-one")
+            .arg(cells.to_string())
+            .output();
+        let row = match child {
+            Ok(out) if out.status.success() => {
+                String::from_utf8_lossy(&out.stdout).trim().to_string()
+            }
+            _ => {
+                // Sandboxes that forbid self-exec still get a row, but the
+                // RSS reading is then cumulative across sweep sizes.
+                eprintln!("hotpaths: child spawn failed, running {cells} in-process");
+                scale_row_json(cells)
+            }
+        };
+        scale_rows.push(row);
+    }
+
     // --- Report ----------------------------------------------------------
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"harness\": \"hotpaths\",");
     let _ = writeln!(json, "  \"hardware_threads\": {hw},");
-    let _ = writeln!(
-        json,
-        "  \"note\": \"wall times are best-of-{} ms; with hardware_threads = 1 a multi-worker run can only measure scheduling overhead, not speedup — results are verified identical across thread counts by the test suite\",",
-        opts.repeats
-    );
+    if hw > 1 {
+        let _ = writeln!(
+            json,
+            "  \"note\": \"wall times are best-of-{} ms; hardware_threads = {hw}, so ms_by_threads columns up to {hw} workers measure real parallel speedup (columns beyond that add only scheduling overhead); results are verified identical across thread counts by the test suite\",",
+            opts.repeats
+        );
+    } else {
+        let _ = writeln!(
+            json,
+            "  \"note\": \"wall times are best-of-{} ms; with hardware_threads = 1 a multi-worker run can only measure scheduling overhead, not speedup — results are verified identical across thread counts by the test suite\",",
+            opts.repeats
+        );
+    }
     let _ = writeln!(
         json,
         "  \"thread_counts\": [{}],",
@@ -500,7 +660,7 @@ fn main() {
     let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"objective_rebuild\": {{");
-    let _ = writeln!(json, "    \"cells\": {},", opts.cells);
+    let _ = writeln!(json, "    \"cells\": {},", kernel_cells);
     let _ = writeln!(json, "    \"nets\": {},", netlist.num_nets());
     let _ = writeln!(json, "    \"ms_by_threads\": {}", json_threads_ms(&rebuild));
     let _ = writeln!(json, "  }},");
@@ -513,7 +673,7 @@ fn main() {
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"delta_pricing\": {{");
-    let _ = writeln!(json, "    \"cells\": {},", opts.cells);
+    let _ = writeln!(json, "    \"cells\": {},", kernel_cells);
     let _ = writeln!(json, "    \"probes\": {num_probes},");
     let _ = writeln!(json, "    \"high_fanout_cells\": {hf_cells},");
     let _ = writeln!(
@@ -544,7 +704,7 @@ fn main() {
     }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"bisection\": {{");
-    let _ = writeln!(json, "    \"vertices\": {},", opts.cells);
+    let _ = writeln!(json, "    \"vertices\": {},", kernel_cells);
     let _ = writeln!(json, "    \"starts\": 8,");
     let _ = writeln!(
         json,
@@ -553,7 +713,7 @@ fn main() {
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"pipeline\": {{");
-    let _ = writeln!(json, "    \"cells\": {},", opts.cells);
+    let _ = writeln!(json, "    \"cells\": {},", kernel_cells);
     let _ = writeln!(json, "    \"partition_starts\": 4,");
     let _ = writeln!(
         json,
@@ -565,6 +725,18 @@ fn main() {
         .map(|(iters, warm)| format!("{{\"cg_iterations\": {iters}, \"warm_started\": {warm}}}"))
         .collect();
     let _ = writeln!(json, "    \"thermal_trajectory\": [{}]", traj.join(", "));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"scaling\": {{");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"each row runs in a fresh process so peak_rss_mb is that size's own high-water mark; parse_ms is a pure token scan through the zero-copy stream readers, build_ms the fused streaming parse+assemble (Design::assemble_streaming); place is null above {SCALE_PLACE_MAX} cells, where only ingest is practical to time\","
+    );
+    let _ = writeln!(json, "    \"rows\": [");
+    for (i, row) in scale_rows.iter().enumerate() {
+        let comma = if i + 1 < scale_rows.len() { "," } else { "" };
+        let _ = writeln!(json, "      {row}{comma}");
+    }
+    let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 

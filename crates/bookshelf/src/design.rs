@@ -231,6 +231,206 @@ impl Design {
             rows,
         })
     }
+
+    /// Assembles a design directly from Bookshelf file *text* in one
+    /// streaming pass per file, with no intermediate record structures.
+    ///
+    /// Node and net names are read as `&str` slices of the input and only
+    /// copied into the netlist arena, builders are pre-sized from the
+    /// declared header counts, and the name→cell map borrows from
+    /// `nodes_text` — at a million cells this path is several times faster
+    /// than `parse_*` followed by [`assemble`](Self::assemble) and peaks
+    /// at a fraction of the memory. [`load`](Self::load) uses it.
+    ///
+    /// Direction hints and `.wts`/`.pl` handling match
+    /// [`assemble`](Self::assemble) exactly; the two paths produce
+    /// identical designs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadDesignError::Parse`] for malformed file text and
+    /// [`LoadDesignError::Assemble`] for references to undeclared nodes or
+    /// invalid netlist structure.
+    pub fn assemble_streaming(
+        name: impl Into<String>,
+        nodes_text: &str,
+        nets_text: &str,
+        wts_text: Option<&str>,
+        pl_text: Option<&str>,
+        scl: Option<&SclFile>,
+        options: DesignBuilderOptions,
+    ) -> Result<Self, LoadDesignError> {
+        Self::assemble_streaming_with(
+            name, nodes_text, nets_text, wts_text, pl_text, scl, options, false,
+        )
+    }
+
+    /// [`assemble_streaming`](Self::assemble_streaming) with the netlist
+    /// builder in permissive mode (see
+    /// [`assemble_permissive`](Self::assemble_permissive)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`assemble_streaming`](Self::assemble_streaming), minus
+    /// dimension rejections.
+    pub fn assemble_streaming_permissive(
+        name: impl Into<String>,
+        nodes_text: &str,
+        nets_text: &str,
+        wts_text: Option<&str>,
+        pl_text: Option<&str>,
+        scl: Option<&SclFile>,
+        options: DesignBuilderOptions,
+    ) -> Result<Self, LoadDesignError> {
+        Self::assemble_streaming_with(
+            name, nodes_text, nets_text, wts_text, pl_text, scl, options, true,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_streaming_with(
+        name: impl Into<String>,
+        nodes_text: &str,
+        nets_text: &str,
+        wts_text: Option<&str>,
+        pl_text: Option<&str>,
+        scl: Option<&SclFile>,
+        options: DesignBuilderOptions,
+        permissive: bool,
+    ) -> Result<Self, LoadDesignError> {
+        use tvp_netlist::FxHashMap;
+        let build_err = |e: BuildNetlistError| LoadDesignError::from(AssembleDesignError::from(e));
+        let scale = options.meters_per_unit;
+        let mut nodes = crate::stream::NodesReader::new(nodes_text)?;
+        let mut nets = crate::stream::NetsReader::new(nets_text)?;
+        let nodes_header = nodes.header();
+        let nets_header = nets.header();
+        let mut builder = NetlistBuilder::with_capacity(
+            nodes_header.num_nodes,
+            nets_header.num_nets,
+            nets_header.num_pins,
+        );
+        if permissive {
+            builder = builder.permissive();
+        }
+        let mut by_name: FxHashMap<&str, CellId> =
+            FxHashMap::with_capacity_and_hasher(nodes_header.num_nodes, Default::default());
+        while let Some(record) = nodes.next_node()? {
+            let kind = if record.terminal {
+                CellKind::Fixed
+            } else {
+                CellKind::Movable
+            };
+            let id = builder.add_cell_with_kind(
+                record.name,
+                record.width * scale,
+                record.height * scale,
+                kind,
+            );
+            by_name.insert(record.name, id);
+        }
+
+        // Names borrowed from `nets_text` cover named records; generated
+        // default names (`net{i}`) for unnamed records go in a side map so
+        // `.wts` lookups behave identically to the record-based path.
+        let mut net_ids: FxHashMap<&str, tvp_netlist::NetId> =
+            FxHashMap::with_capacity_and_hasher(nets_header.num_nets, Default::default());
+        let mut generated_ids: FxHashMap<String, tvp_netlist::NetId> = FxHashMap::default();
+        while let Some(net) = nets.next_net()? {
+            let net_id = match net.name {
+                Some(n) => {
+                    let id = builder.add_net(n);
+                    net_ids.insert(n, id);
+                    id
+                }
+                None => {
+                    let n = format!("net{}", net.index);
+                    let id = builder.add_net(n.clone());
+                    generated_ids.insert(n, id);
+                    id
+                }
+            };
+            let mut has_driver = false;
+            for _ in 0..net.degree {
+                let pin = nets.next_pin()?;
+                let &cell = by_name.get(pin.node).ok_or_else(|| {
+                    LoadDesignError::from(AssembleDesignError::UnknownNode(pin.node.to_string()))
+                })?;
+                let direction = match pin.direction {
+                    Some(PinDirectionHint::Output) if !has_driver => {
+                        has_driver = true;
+                        PinDirection::Output
+                    }
+                    _ => PinDirection::Input,
+                };
+                builder
+                    .connect_with_offset(
+                        net_id,
+                        cell,
+                        direction,
+                        pin.offset_x * scale,
+                        pin.offset_y * scale,
+                    )
+                    .map_err(build_err)?;
+            }
+        }
+
+        if let Some(text) = wts_text {
+            let mut wts = crate::stream::WtsReader::new(text);
+            while let Some(record) = wts.next_record()? {
+                let id = net_ids
+                    .get(record.name)
+                    .or_else(|| generated_ids.get(record.name));
+                if let Some(&net_id) = id {
+                    builder
+                        .set_net_weight(net_id, record.weight)
+                        .map_err(build_err)?;
+                }
+                // Weights for nodes (some suites weight nodes) are ignored.
+            }
+        }
+
+        let netlist = builder.build().map_err(build_err)?;
+
+        let mut positions = Vec::new();
+        if let Some(text) = pl_text {
+            let mut pl = crate::stream::PlReader::new(text);
+            positions = vec![(0.0, 0.0, 0u32); netlist.num_cells()];
+            while let Some(record) = pl.next_record()? {
+                let &cell = by_name.get(record.name).ok_or_else(|| {
+                    LoadDesignError::from(AssembleDesignError::UnknownNode(record.name.to_string()))
+                })?;
+                positions[cell.index()] = (
+                    record.x * scale,
+                    record.y * scale,
+                    record.layer.unwrap_or(0),
+                );
+            }
+        }
+
+        let rows = scl
+            .map(|scl| {
+                scl.rows
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.coordinate * scale,
+                            r.height * scale,
+                            r.subrow_origin * scale,
+                            r.right_edge() * scale,
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        Ok(Design {
+            name: name.into(),
+            netlist,
+            positions,
+            rows,
+        })
+    }
 }
 
 /// Error loading a benchmark from disk: I/O, parse, or assembly.
@@ -335,24 +535,10 @@ impl Design {
         let nets_name = aux
             .file_with_extension("nets")
             .ok_or(LoadDesignError::MissingFile("nets"))?;
-        let nodes = crate::parse_nodes(&read(nodes_name)?)?;
-        let nets = crate::parse_nets(&read(nets_name)?)?;
-        let wts = aux
-            .file_with_extension("wts")
-            .map(|n| {
-                read(n)
-                    .map_err(LoadDesignError::from)
-                    .and_then(|t| crate::parse_wts(&t).map_err(LoadDesignError::from))
-            })
-            .transpose()?;
-        let pl = aux
-            .file_with_extension("pl")
-            .map(|n| {
-                read(n)
-                    .map_err(LoadDesignError::from)
-                    .and_then(|t| crate::parse_pl(&t).map_err(LoadDesignError::from))
-            })
-            .transpose()?;
+        let nodes_text = read(nodes_name)?;
+        let nets_text = read(nets_name)?;
+        let wts_text = aux.file_with_extension("wts").map(read).transpose()?;
+        let pl_text = aux.file_with_extension("pl").map(read).transpose()?;
         let scl = aux
             .file_with_extension("scl")
             .map(|n| {
@@ -366,16 +552,16 @@ impl Design {
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| "design".to_string());
-        Ok(Design::assemble_with(
+        Design::assemble_streaming_with(
             name,
-            &nodes,
-            &nets,
-            wts.as_ref(),
-            pl.as_ref(),
+            &nodes_text,
+            &nets_text,
+            wts_text.as_deref(),
+            pl_text.as_deref(),
             scl.as_ref(),
             options,
             permissive,
-        )?)
+        )
     }
 
     /// Writes the design to `dir` as `<name>.aux`, `.nodes`, `.nets`,
@@ -455,12 +641,12 @@ impl Design {
         let nets = crate::NetsFile {
             nets: self
                 .netlist
-                .nets()
-                .iter()
-                .map(|n| crate::NetRecord {
+                .iter_nets()
+                .map(|(nid, n)| crate::NetRecord {
                     name: n.name().to_string(),
-                    pins: n
-                        .pins()
+                    pins: self
+                        .netlist
+                        .net_pins(nid)
                         .iter()
                         .map(|&p| {
                             let pin = self.netlist.pin(p);

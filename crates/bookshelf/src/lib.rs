@@ -8,7 +8,8 @@
 //!   IBM-PLACE files can be dropped into the flow unchanged
 //!   ([`parse_nodes`], [`parse_nets`], [`parse_pl`], [`parse_scl`],
 //!   [`parse_wts`], [`parse_aux`], and the corresponding `write_*`
-//!   functions).
+//!   functions), plus **zero-copy streaming readers** ([`stream`]) that
+//!   parse million-cell files without per-record allocations.
 //! * A [`Design`] assembler that converts parsed files into the
 //!   [`tvp_netlist::Netlist`] hypergraph used by the placer, converting
 //!   Bookshelf site units to meters.
@@ -36,6 +37,7 @@ mod nets;
 mod nodes;
 mod pl;
 mod scl;
+pub mod stream;
 pub mod synth;
 mod wts;
 

@@ -1,7 +1,6 @@
 //! `.nets` files: hyperedges with per-pin direction hints and offsets.
 
 use crate::error::ParseBookshelfError;
-use crate::lexer::{parse_f64, split_key_value, Lines};
 use std::fmt::Write as _;
 
 /// Direction marker on a net pin, as written in IBM-PLACE `.nets` files.
@@ -17,7 +16,7 @@ pub enum PinDirectionHint {
 }
 
 impl PinDirectionHint {
-    fn from_token(t: &str) -> Option<Self> {
+    pub(crate) fn from_token(t: &str) -> Option<Self> {
         match t {
             "I" | "i" => Some(Self::Input),
             "O" | "o" => Some(Self::Output),
@@ -73,6 +72,9 @@ impl NetsFile {
 
 /// Parses the text of a `.nets` file.
 ///
+/// This materializes every record; large files are better consumed through
+/// the zero-copy [`crate::stream::NetsReader`] this wraps.
+///
 /// # Errors
 ///
 /// Returns [`ParseBookshelfError`] for missing/malformed counts, a
@@ -80,108 +82,26 @@ impl NetsFile {
 /// pin lines. Pin lines accept the common IBM-PLACE variants:
 /// `node`, `node I`, `node I : x y`.
 pub fn parse_nets(text: &str) -> Result<NetsFile, ParseBookshelfError> {
-    const KIND: &str = "nets";
-    let mut lines = Lines::new(KIND, text);
-    lines.skip_format_header();
-    let num_nets = lines.expect_count("NumNets")?;
-    let num_pins = lines.expect_count("NumPins")?;
-    let mut nets: Vec<NetRecord> = Vec::with_capacity(num_nets);
-    while let Some((no, line)) = lines.next_line() {
-        let (key, rest) = split_key_value(line).ok_or_else(|| {
-            lines.error(no, format!("expected `NetDegree : d name`, got `{line}`"))
-        })?;
-        if !key.eq_ignore_ascii_case("NetDegree") {
-            return Err(lines.error(no, format!("expected `NetDegree`, got `{key}`")));
-        }
-        let mut rest_tokens = rest.split_whitespace();
-        let degree: usize = rest_tokens
-            .next()
-            .ok_or_else(|| lines.error(no, "missing net degree"))?
-            .parse()
-            .map_err(|_| lines.error(no, "net degree is not an integer"))?;
-        let name = rest_tokens
-            .next()
+    let mut reader = crate::stream::NetsReader::new(text)?;
+    let mut nets: Vec<NetRecord> = Vec::with_capacity(reader.header().num_nets);
+    while let Some(net) = reader.next_net()? {
+        let name = net
+            .name
             .map(str::to_string)
-            .unwrap_or_else(|| format!("net{}", nets.len()));
-        let mut pins = Vec::with_capacity(degree);
-        for _ in 0..degree {
-            let (pno, pline) = lines.next_line().ok_or_else(|| {
-                lines.error(no, format!("net `{name}` ends before {degree} pins"))
-            })?;
-            pins.push(parse_pin_line(&lines, pno, pline)?);
+            .unwrap_or_else(|| format!("net{}", net.index));
+        let mut pins = Vec::with_capacity(net.degree);
+        for _ in 0..net.degree {
+            let p = reader.next_pin()?;
+            pins.push(NetPinRecord {
+                node: p.node.to_string(),
+                direction: p.direction,
+                offset_x: p.offset_x,
+                offset_y: p.offset_y,
+            });
         }
         nets.push(NetRecord { name, pins });
     }
-    if nets.len() != num_nets {
-        return Err(ParseBookshelfError::new(
-            KIND,
-            0,
-            format!("NumNets says {num_nets} but found {}", nets.len()),
-        ));
-    }
-    let pins: usize = nets.iter().map(|n| n.pins.len()).sum();
-    if pins != num_pins {
-        return Err(ParseBookshelfError::new(
-            KIND,
-            0,
-            format!("NumPins says {num_pins} but found {pins}"),
-        ));
-    }
     Ok(NetsFile { nets })
-}
-
-fn parse_pin_line(
-    lines: &Lines<'_>,
-    no: usize,
-    line: &str,
-) -> Result<NetPinRecord, ParseBookshelfError> {
-    // Forms: `node`, `node I`, `node I : x y`.
-    let (head, offsets) = match line.split_once(':') {
-        Some((h, o)) => (h.trim(), Some(o.trim())),
-        None => (line, None),
-    };
-    let mut tokens = head.split_whitespace();
-    let node = tokens
-        .next()
-        .ok_or_else(|| lines.error(no, "expected a node name on pin line"))?
-        .to_string();
-    let direction = match tokens.next() {
-        None => None,
-        Some(t) => Some(
-            PinDirectionHint::from_token(t)
-                .ok_or_else(|| lines.error(no, format!("unknown pin direction `{t}`")))?,
-        ),
-    };
-    if let Some(t) = tokens.next() {
-        return Err(lines.error(no, format!("unexpected token `{t}` on pin line")));
-    }
-    let (offset_x, offset_y) = match offsets {
-        None => (0.0, 0.0),
-        Some(o) => {
-            let mut toks = o.split_whitespace();
-            let x = parse_f64(
-                "nets",
-                no,
-                toks.next()
-                    .ok_or_else(|| lines.error(no, "missing pin x offset"))?,
-                "pin x offset",
-            )?;
-            let y = parse_f64(
-                "nets",
-                no,
-                toks.next()
-                    .ok_or_else(|| lines.error(no, "missing pin y offset"))?,
-                "pin y offset",
-            )?;
-            (x, y)
-        }
-    };
-    Ok(NetPinRecord {
-        node,
-        direction,
-        offset_x,
-        offset_y,
-    })
 }
 
 /// Renders a [`NetsFile`] back to Bookshelf text.

@@ -1,7 +1,6 @@
 //! `.nodes` files: cell names, dimensions, and terminal flags.
 
 use crate::error::ParseBookshelfError;
-use crate::lexer::{parse_f64, Lines};
 use std::fmt::Write as _;
 
 /// One record from a `.nodes` file.
@@ -33,70 +32,24 @@ impl NodesFile {
 
 /// Parses the text of a `.nodes` file.
 ///
+/// This materializes every record; large files are better consumed through
+/// the zero-copy [`crate::stream::NodesReader`] this wraps.
+///
 /// # Errors
 ///
 /// Returns [`ParseBookshelfError`] when counts are missing or malformed, a
 /// record has fewer than three fields, a dimension is not a number, or the
 /// declared `NumNodes`/`NumTerminals` disagree with the records present.
 pub fn parse_nodes(text: &str) -> Result<NodesFile, ParseBookshelfError> {
-    const KIND: &str = "nodes";
-    let mut lines = Lines::new(KIND, text);
-    lines.skip_format_header();
-    let num_nodes = lines.expect_count("NumNodes")?;
-    let num_terminals = lines.expect_count("NumTerminals")?;
-    let mut nodes = Vec::with_capacity(num_nodes);
-    while let Some((no, line)) = lines.next_line() {
-        let mut tokens = line.split_whitespace();
-        let name = tokens
-            .next()
-            .ok_or_else(|| lines.error(no, "expected a node name"))?
-            .to_string();
-        let width = parse_f64(
-            KIND,
-            no,
-            tokens
-                .next()
-                .ok_or_else(|| lines.error(no, "missing width"))?,
-            "width",
-        )?;
-        let height = parse_f64(
-            KIND,
-            no,
-            tokens
-                .next()
-                .ok_or_else(|| lines.error(no, "missing height"))?,
-            "height",
-        )?;
-        let terminal = match tokens.next() {
-            None => false,
-            Some(t) if t.eq_ignore_ascii_case("terminal") => true,
-            Some(t) if t.eq_ignore_ascii_case("terminal_NI") => true,
-            Some(t) => return Err(lines.error(no, format!("unexpected token `{t}`"))),
-        };
+    let mut reader = crate::stream::NodesReader::new(text)?;
+    let mut nodes = Vec::with_capacity(reader.header().num_nodes);
+    while let Some(entry) = reader.next_node()? {
         nodes.push(NodeRecord {
-            name,
-            width,
-            height,
-            terminal,
+            name: entry.name.to_string(),
+            width: entry.width,
+            height: entry.height,
+            terminal: entry.terminal,
         });
-    }
-    if nodes.len() != num_nodes {
-        return Err(ParseBookshelfError::new(
-            KIND,
-            0,
-            format!(
-                "NumNodes says {num_nodes} but found {} records",
-                nodes.len()
-            ),
-        ));
-    }
-    let terminals = nodes.iter().filter(|n| n.terminal).count();
-    if terminals != num_terminals {
-        return Err(ParseBookshelfError::new(
-            KIND,
-            0,
-            format!("NumTerminals says {num_terminals} but found {terminals}"),
-        ));
     }
     Ok(NodesFile { nodes })
 }

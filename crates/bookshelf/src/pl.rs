@@ -5,7 +5,6 @@
 //! coordinate — the layer index — before the colon: `name x y z : N`.
 
 use crate::error::ParseBookshelfError;
-use crate::lexer::{parse_f64, Lines};
 use std::fmt::Write as _;
 
 /// One record from a `.pl` file.
@@ -34,68 +33,24 @@ pub struct PlFile {
 
 /// Parses the text of a `.pl` file (2D or the 3D extension).
 ///
+/// This materializes every record; large files are better consumed through
+/// the zero-copy [`crate::stream::PlReader`] this wraps.
+///
 /// # Errors
 ///
 /// Returns [`ParseBookshelfError`] for records with missing or non-numeric
 /// coordinates or unknown trailing attributes.
 pub fn parse_pl(text: &str) -> Result<PlFile, ParseBookshelfError> {
-    const KIND: &str = "pl";
-    let mut lines = Lines::new(KIND, text);
-    lines.skip_format_header();
+    let mut reader = crate::stream::PlReader::new(text);
     let mut records = Vec::new();
-    while let Some((no, line)) = lines.next_line() {
-        let (head, tail) = match line.split_once(':') {
-            Some((h, t)) => (h.trim(), Some(t.trim())),
-            None => (line, None),
-        };
-        let mut tokens = head.split_whitespace();
-        let name = tokens
-            .next()
-            .ok_or_else(|| lines.error(no, "expected a node name"))?
-            .to_string();
-        let x = parse_f64(
-            KIND,
-            no,
-            tokens.next().ok_or_else(|| lines.error(no, "missing x"))?,
-            "x",
-        )?;
-        let y = parse_f64(
-            KIND,
-            no,
-            tokens.next().ok_or_else(|| lines.error(no, "missing y"))?,
-            "y",
-        )?;
-        let layer = match tokens.next() {
-            None => None,
-            Some(t) => Some(
-                t.parse::<u32>()
-                    .map_err(|_| lines.error(no, format!("layer `{t}` is not an integer")))?,
-            ),
-        };
-        if let Some(t) = tokens.next() {
-            return Err(lines.error(no, format!("unexpected token `{t}`")));
-        }
-        let (orient, fixed) = match tail {
-            None => ("N".to_string(), false),
-            Some(t) => {
-                let mut toks = t.split_whitespace();
-                let orient = toks.next().unwrap_or("N").to_string();
-                let fixed = match toks.next() {
-                    None => false,
-                    Some(a) if a.eq_ignore_ascii_case("/FIXED") => true,
-                    Some(a) if a.eq_ignore_ascii_case("/FIXED_NI") => true,
-                    Some(a) => return Err(lines.error(no, format!("unexpected attribute `{a}`"))),
-                };
-                (orient, fixed)
-            }
-        };
+    while let Some(e) = reader.next_record()? {
         records.push(PlRecord {
-            name,
-            x,
-            y,
-            layer,
-            orient,
-            fixed,
+            name: e.name.to_string(),
+            x: e.x,
+            y: e.y,
+            layer: e.layer,
+            orient: e.orient.to_string(),
+            fixed: e.fixed,
         });
     }
     Ok(PlFile { records })

@@ -251,11 +251,10 @@ mod tests {
         let n = 4000;
         let nl = generate(&SynthConfig::named("t", n, 1e-8)).unwrap();
         let mut spans: Vec<usize> = nl
-            .nets()
-            .iter()
-            .map(|net| {
-                let idx: Vec<usize> = net
-                    .pins()
+            .iter_nets()
+            .map(|(nid, _)| {
+                let idx: Vec<usize> = nl
+                    .net_pins(nid)
                     .iter()
                     .map(|&p| nl.pin(p).cell().index())
                     .collect();

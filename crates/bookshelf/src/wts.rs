@@ -1,7 +1,6 @@
 //! `.wts` files: net weights.
 
 use crate::error::ParseBookshelfError;
-use crate::lexer::{parse_f64, Lines};
 use std::fmt::Write as _;
 
 /// One record from a `.wts` file.
@@ -22,33 +21,21 @@ pub struct WtsFile {
 
 /// Parses the text of a `.wts` file.
 ///
+/// This materializes every record; large files are better consumed through
+/// the zero-copy [`crate::stream::WtsReader`] this wraps.
+///
 /// # Errors
 ///
 /// Returns [`ParseBookshelfError`] for records without exactly a name and a
 /// numeric weight.
 pub fn parse_wts(text: &str) -> Result<WtsFile, ParseBookshelfError> {
-    const KIND: &str = "wts";
-    let mut lines = Lines::new(KIND, text);
-    lines.skip_format_header();
+    let mut reader = crate::stream::WtsReader::new(text);
     let mut records = Vec::new();
-    while let Some((no, line)) = lines.next_line() {
-        let mut tokens = line.split_whitespace();
-        let name = tokens
-            .next()
-            .ok_or_else(|| lines.error(no, "expected a name"))?
-            .to_string();
-        let weight = parse_f64(
-            KIND,
-            no,
-            tokens
-                .next()
-                .ok_or_else(|| lines.error(no, "missing weight"))?,
-            "weight",
-        )?;
-        if let Some(t) = tokens.next() {
-            return Err(lines.error(no, format!("unexpected token `{t}`")));
-        }
-        records.push(WtsRecord { name, weight });
+    while let Some(e) = reader.next_record()? {
+        records.push(WtsRecord {
+            name: e.name.to_string(),
+            weight: e.weight,
+        });
     }
     Ok(WtsFile { records })
 }

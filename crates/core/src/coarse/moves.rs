@@ -138,7 +138,7 @@ fn optimal_point(
         let mut y0 = f64::INFINITY;
         let mut y1 = f64::NEG_INFINITY;
         let mut others = 0;
-        for &q in netlist.net(e).pins() {
+        for &q in netlist.net_pins(e) {
             let other = netlist.pin(q).cell();
             if other == cell {
                 continue;

@@ -84,7 +84,7 @@ pub fn force_directed_place(
             let mut wz = 0.0;
             let mut weight_sum = 0.0;
             for e in netlist.cell_nets(c) {
-                let pins = netlist.net(e).pins();
+                let pins = netlist.net_pins(e);
                 if pins.len() < 2 {
                     continue;
                 }

@@ -557,7 +557,7 @@ impl<'a> Splitter<'a> {
         pins.clear();
         let mut ext0 = false;
         let mut ext1 = false;
-        for &p in self.netlist.net(e).pins() {
+        for &p in self.netlist.net_pins(e) {
             let c = self.netlist.pin(p).cell();
             if scratch.vertex_stamp[c.index()] == stamp {
                 // A cell's stamp matches iff it belongs to this region,

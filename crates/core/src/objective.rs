@@ -287,7 +287,7 @@ fn scan_net_extremes(
     moved: &[(CellId, (f64, f64, u16))],
 ) -> NetExtremes {
     let mut ext = NetExtremes::default();
-    for &p in netlist.net(e).pins() {
+    for &p in netlist.net_pins(e) {
         let pin = netlist.pin(p);
         let cell = pin.cell();
         let mut pos = placement.position(cell);
@@ -315,7 +315,7 @@ fn scan_net_bbox(
     let mut first = true;
     let (mut x0, mut x1, mut y0, mut y1) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
     let (mut l0, mut l1) = (0u16, 0u16);
-    for &p in netlist.net(e).pins() {
+    for &p in netlist.net_pins(e) {
         let pin = netlist.pin(p);
         let cell = pin.cell();
         let (cx, cy, cl) = if cell == moved {
@@ -771,7 +771,7 @@ impl<'a> IncrementalObjective<'a> {
         pos: (f64, f64, u16),
     ) -> NetExtremes {
         let mut ext = NetExtremes::default();
-        for &p in self.netlist.net(e).pins() {
+        for &p in self.netlist.net_pins(e) {
             let pin = self.netlist.pin(p);
             let c = pin.cell();
             let cpos = if c == cell {
@@ -933,7 +933,7 @@ impl<'a> IncrementalObjective<'a> {
                 entry.dx = pin.offset_x();
                 entry.dy = pin.offset_y();
             }
-            for &p in self.netlist.net(e).pins() {
+            for &p in self.netlist.net_pins(e) {
                 let pin = self.netlist.pin(p);
                 let c = pin.cell();
                 if c == cell {

@@ -40,7 +40,7 @@ pub struct NetLowerBounds {
 /// * the optimal lateral span subtracts the cell's own extent, and
 /// * the optimal via count is the cube side divided by `α_ILV`, minus one.
 pub fn net_lower_bounds(netlist: &Netlist, net: NetId, alpha_ilv: f64) -> NetLowerBounds {
-    let pins = netlist.net(net).pins();
+    let pins = netlist.net_pins(net);
     let n = pins.len();
     if n < 2 {
         return NetLowerBounds {

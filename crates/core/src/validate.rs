@@ -395,7 +395,7 @@ pub fn repair(
         cell_map.push(builder.add_cell_with_kind(cell.name(), w, h, cell.kind()));
     }
 
-    for (_, net) in netlist.iter_nets() {
+    for (nid, net) in netlist.iter_nets() {
         if net.degree() < 2 {
             actions.push(RepairAction {
                 code: if net.degree() == 0 {
@@ -411,7 +411,7 @@ pub fn repair(
         let id = builder.add_net(net.name());
         builder.set_net_weight(id, net.weight())?;
         builder.set_switching_activity(id, net.switching_activity())?;
-        for &pin_id in net.pins() {
+        for &pin_id in netlist.net_pins(nid) {
             let pin = netlist.pin(pin_id);
             builder.connect_with_offset(
                 id,

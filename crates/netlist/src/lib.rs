@@ -32,6 +32,7 @@
 
 mod cell;
 mod error;
+pub mod hash;
 mod ids;
 mod net;
 mod netlist;
@@ -40,6 +41,7 @@ mod stats;
 
 pub use cell::{Cell, CellKind};
 pub use error::BuildNetlistError;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{CellId, NetId, PinId};
 pub use net::Net;
 pub use netlist::{Netlist, NetlistBuilder};

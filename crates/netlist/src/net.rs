@@ -7,11 +7,17 @@ use crate::PinId;
 /// Besides connectivity, a net carries the electrical attributes the DAC'07
 /// power model (Eq. 4) needs: a switching activity `a_i` and a structural
 /// `weight` that file formats such as Bookshelf `.wts` may specify.
+///
+/// A `Net` is a fixed-size record: the pin list itself lives in the
+/// [`Netlist`](crate::Netlist)'s flat net→pin CSR arena and is read with
+/// [`Netlist::net_pins`](crate::Netlist::net_pins). Keeping nets
+/// pointer-free makes the net arena one contiguous allocation that scales
+/// to millions of nets without per-net heap traffic.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Net {
     name: String,
-    pins: Vec<PinId>,
     driver: Option<PinId>,
+    num_pins: u32,
     num_input_pins: u32,
     weight: f64,
     switching_activity: f64,
@@ -27,16 +33,18 @@ impl Net {
     pub(crate) fn new(name: String) -> Self {
         Self {
             name,
-            pins: Vec::new(),
             driver: None,
+            num_pins: 0,
             num_input_pins: 0,
             weight: 1.0,
             switching_activity: DEFAULT_SWITCHING_ACTIVITY,
         }
     }
 
-    pub(crate) fn push_pin(&mut self, pin: PinId, is_driver: bool) {
-        self.pins.push(pin);
+    /// Records one more pin on the net; the pin itself is stored in the
+    /// netlist's pin arena and indexed by the net→pin CSR.
+    pub(crate) fn note_pin(&mut self, pin: PinId, is_driver: bool) {
+        self.num_pins += 1;
         if is_driver {
             self.driver = Some(pin);
         } else {
@@ -57,14 +65,9 @@ impl Net {
         &self.name
     }
 
-    /// All pins on this net, in insertion order.
-    pub fn pins(&self) -> &[PinId] {
-        &self.pins
-    }
-
     /// Number of pins on the net.
     pub fn degree(&self) -> usize {
-        self.pins.len()
+        self.num_pins as usize
     }
 
     /// The driving (output) pin, if the net has one.
@@ -98,9 +101,9 @@ mod tests {
     #[test]
     fn tracks_driver_and_inputs() {
         let mut n = Net::new("n".into());
-        n.push_pin(PinId::new(0), false);
-        n.push_pin(PinId::new(1), true);
-        n.push_pin(PinId::new(2), false);
+        n.note_pin(PinId::new(0), false);
+        n.note_pin(PinId::new(1), true);
+        n.note_pin(PinId::new(2), false);
         assert_eq!(n.degree(), 3);
         assert_eq!(n.driver(), Some(PinId::new(1)));
         assert_eq!(n.num_input_pins(), 2);
@@ -112,5 +115,6 @@ mod tests {
         assert_eq!(n.weight(), 1.0);
         assert_eq!(n.switching_activity(), DEFAULT_SWITCHING_ACTIVITY);
         assert!(n.driver().is_none());
+        assert_eq!(n.degree(), 0);
     }
 }

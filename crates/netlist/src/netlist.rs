@@ -1,16 +1,20 @@
 //! The immutable netlist arena and its builder.
 
 use crate::error::BuildNetlistError;
+use crate::hash::FxHashSet;
 use crate::net::Net;
 use crate::stats::NetlistStats;
 use crate::{Cell, CellId, CellKind, NetId, Pin, PinDirection, PinId};
-use std::collections::HashSet;
 
 /// An immutable standard-cell netlist.
 ///
-/// Stores cells, nets, and pins in flat arenas plus a compressed
-/// cell→pin incidence structure for O(1) "nets of this cell" queries,
-/// which the placer's incremental objective evaluation depends on.
+/// Stores cells, nets, and pins in flat arenas plus compressed (CSR)
+/// incidence structures in both directions — cell→pin and net→pin —
+/// so that "nets of this cell" and "pins of this net" queries walk
+/// contiguous `u32` slices with no per-cell or per-net heap objects.
+/// The placer's incremental objective evaluation and extreme tracking
+/// depend on this layout staying allocation-free and cache-friendly at
+/// million-cell scale.
 ///
 /// Build one with [`NetlistBuilder`].
 #[derive(Clone, PartialEq, Debug)]
@@ -22,6 +26,10 @@ pub struct Netlist {
     /// `cell_pin_ids[cell_pin_offsets[c] .. cell_pin_offsets[c + 1]]`.
     cell_pin_offsets: Vec<u32>,
     cell_pin_ids: Vec<PinId>,
+    /// CSR offsets into `net_pin_ids`: pins of net `n` are
+    /// `net_pin_ids[net_pin_offsets[n] .. net_pin_offsets[n + 1]]`.
+    net_pin_offsets: Vec<u32>,
+    net_pin_ids: Vec<PinId>,
 }
 
 impl Netlist {
@@ -109,6 +117,17 @@ impl Netlist {
         &self.cell_pin_ids[lo..hi]
     }
 
+    /// The pins attached to a net, in connection order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range for this netlist.
+    pub fn net_pins(&self, net: NetId) -> &[PinId] {
+        let lo = self.net_pin_offsets[net.index()] as usize;
+        let hi = self.net_pin_offsets[net.index() + 1] as usize;
+        &self.net_pin_ids[lo..hi]
+    }
+
     /// Iterator over the nets incident to a cell. A net repeats if the
     /// cell connects to it through several pins — possible when the
     /// netlist was built with
@@ -166,10 +185,11 @@ pub struct NetlistBuilder {
     cells: Vec<Cell>,
     nets: Vec<Net>,
     pins: Vec<Pin>,
-    /// Pins per cell, gathered during building; frozen to CSR in `build`.
-    cell_pins: Vec<Vec<PinId>>,
     /// (cell, net) pairs already connected, to reject duplicates.
-    seen: HashSet<(u32, u32)>,
+    /// Keyed `cell << 32 | net` with a fast non-cryptographic hasher:
+    /// at a million cells this set sees several million inserts, where
+    /// SipHash alone costs whole seconds.
+    seen: FxHashSet<u64>,
     errors: Vec<BuildNetlistError>,
     /// When set, degenerate cell dimensions pass `build` so the netlist
     /// can be inspected and repaired instead of rejected outright.
@@ -192,8 +212,7 @@ impl NetlistBuilder {
             cells: Vec::with_capacity(cells),
             nets: Vec::with_capacity(nets),
             pins: Vec::with_capacity(pins),
-            cell_pins: Vec::with_capacity(cells),
-            seen: HashSet::with_capacity(pins),
+            seen: FxHashSet::with_capacity_and_hasher(pins, Default::default()),
             errors: Vec::new(),
             permissive: false,
             shared_net_pins: false,
@@ -267,7 +286,6 @@ impl NetlistBuilder {
             });
         }
         self.cells.push(cell);
-        self.cell_pins.push(Vec::new());
         id
     }
 
@@ -365,7 +383,8 @@ impl NetlistBuilder {
             .nets
             .get_mut(net.index())
             .ok_or(BuildNetlistError::UnknownNet(net))?;
-        if !self.seen.insert((cell.index() as u32, net.index() as u32)) && !self.shared_net_pins {
+        let key = (cell.index() as u64) << 32 | net.index() as u64;
+        if !self.seen.insert(key) && !self.shared_net_pins {
             return Err(BuildNetlistError::DuplicateConnection {
                 cell: self.cells[cell.index()].name().to_string(),
                 net: n.name().to_string(),
@@ -380,8 +399,7 @@ impl NetlistBuilder {
         let pin_id = PinId::new(self.pins.len());
         self.pins
             .push(Pin::with_offset(cell, net, direction, offset_x, offset_y));
-        n.push_pin(pin_id, is_driver);
-        self.cell_pins[cell.index()].push(pin_id);
+        n.note_pin(pin_id, is_driver);
         Ok(pin_id)
     }
 
@@ -396,12 +414,37 @@ impl NetlistBuilder {
         if let Some(e) = self.errors.into_iter().next() {
             return Err(e);
         }
-        let mut cell_pin_offsets = Vec::with_capacity(self.cells.len() + 1);
-        let mut cell_pin_ids = Vec::with_capacity(self.pins.len());
-        cell_pin_offsets.push(0u32);
-        for pins in &self.cell_pins {
-            cell_pin_ids.extend_from_slice(pins);
-            cell_pin_offsets.push(cell_pin_ids.len() as u32);
+        // Both CSR directions come from one counting sort over the pin
+        // arena. Scattering in pin-ID order reproduces connection order
+        // within each cell and each net exactly, so iteration order — and
+        // therefore every downstream floating-point reduction — is bitwise
+        // identical to an insertion-ordered build.
+        let num_cells = self.cells.len();
+        let num_nets = self.nets.len();
+        let num_pins = self.pins.len();
+        let mut cell_pin_offsets = vec![0u32; num_cells + 1];
+        let mut net_pin_offsets = vec![0u32; num_nets + 1];
+        for pin in &self.pins {
+            cell_pin_offsets[pin.cell().index() + 1] += 1;
+            net_pin_offsets[pin.net().index() + 1] += 1;
+        }
+        for i in 0..num_cells {
+            cell_pin_offsets[i + 1] += cell_pin_offsets[i];
+        }
+        for i in 0..num_nets {
+            net_pin_offsets[i + 1] += net_pin_offsets[i];
+        }
+        let mut cell_cursor: Vec<u32> = cell_pin_offsets[..num_cells].to_vec();
+        let mut net_cursor: Vec<u32> = net_pin_offsets[..num_nets].to_vec();
+        let mut cell_pin_ids = vec![PinId::new(0); num_pins];
+        let mut net_pin_ids = vec![PinId::new(0); num_pins];
+        for (i, pin) in self.pins.iter().enumerate() {
+            let c = pin.cell().index();
+            cell_pin_ids[cell_cursor[c] as usize] = PinId::new(i);
+            cell_cursor[c] += 1;
+            let e = pin.net().index();
+            net_pin_ids[net_cursor[e] as usize] = PinId::new(i);
+            net_cursor[e] += 1;
         }
         Ok(Netlist {
             cells: self.cells,
@@ -409,6 +452,8 @@ impl NetlistBuilder {
             pins: self.pins,
             cell_pin_offsets,
             cell_pin_ids,
+            net_pin_offsets,
+            net_pin_ids,
         })
     }
 }
@@ -454,6 +499,24 @@ mod tests {
         }
         let total: usize = (0..nl.num_cells())
             .map(|i| nl.cell_pins(CellId::new(i)).len())
+            .sum();
+        assert_eq!(total, nl.num_pins());
+    }
+
+    #[test]
+    fn net_pin_csr_is_consistent() {
+        let nl = tiny();
+        for (nid, net) in nl.iter_nets() {
+            let pins = nl.net_pins(nid);
+            assert_eq!(pins.len(), net.degree());
+            for &pid in pins {
+                assert_eq!(nl.pin(pid).net(), nid);
+            }
+            // Connection order is preserved: pin IDs ascend within a net.
+            assert!(pins.windows(2).all(|w| w[0].index() < w[1].index()));
+        }
+        let total: usize = (0..nl.num_nets())
+            .map(|i| nl.net_pins(NetId::new(i)).len())
             .sum();
         assert_eq!(total, nl.num_pins());
     }
@@ -513,7 +576,7 @@ mod tests {
         let netlist = b.build().unwrap();
         assert_eq!(netlist.cell_pins(c).len(), 2);
         assert_eq!(netlist.cell_nets(c).count(), 2, "net repeats per pin");
-        assert_eq!(netlist.net(n).pins().len(), 3);
+        assert_eq!(netlist.net_pins(n).len(), 3);
     }
 
     #[test]

@@ -17,32 +17,60 @@ pub(crate) struct CoarseLevel {
 /// almost no locality signal and make scoring quadratic).
 const MAX_SCORING_NET: usize = 24;
 
+/// Scratch buffers reused across the coarsening levels of one V-cycle.
+///
+/// Matching needs several O(n) scratch vectors (visit order, mate array,
+/// neighbor scores, coarse-pin staging). A V-cycle calls [`coarsen_once`]
+/// once per level, so reusing one workspace turns per-level allocations
+/// into amortized-free `clear()` + `resize()` on already-sized buffers.
+#[derive(Default)]
+pub(crate) struct CoarsenWorkspace {
+    order: Vec<u32>,
+    mate: Vec<u32>,
+    score: Vec<f64>,
+    touched: Vec<u32>,
+    pins: Vec<u32>,
+}
+
 /// Performs one pass of first-choice matching and contracts the matches.
 ///
 /// Fixed vertices are never matched (they stay singleton coarse vertices so
 /// their side pins survive every level). Returns `None` when matching can
 /// no longer shrink the graph meaningfully (< 5% reduction), signalling the
-/// caller to stop coarsening.
+/// caller to stop coarsening. Scratch state lives in `ws` so repeated
+/// levels reuse the same buffers.
 pub(crate) fn coarsen_once(
     hg: &Hypergraph,
     fixed: &[FixedSide],
     rng: &mut SmallRng,
+    ws: &mut CoarsenWorkspace,
 ) -> Option<CoarseLevel> {
     let n = hg.num_vertices();
     let total = hg.total_vertex_weight();
     // Cap coarse vertex weight so balance remains achievable.
     let max_weight = (total / 16.0).max(total / n as f64 * 4.0);
 
-    let mut order: Vec<u32> = (0..n as u32).collect();
+    let CoarsenWorkspace {
+        order,
+        mate,
+        score,
+        touched,
+        pins,
+    } = ws;
+
+    order.clear();
+    order.extend(0..n as u32);
     order.shuffle(rng);
 
     const UNMATCHED: u32 = u32::MAX;
-    let mut mate = vec![UNMATCHED; n];
-    let mut score = vec![0.0f64; n];
-    let mut touched: Vec<u32> = Vec::new();
+    mate.clear();
+    mate.resize(n, UNMATCHED);
+    score.clear();
+    score.resize(n, 0.0);
+    touched.clear();
     let mut matched_pairs = 0usize;
 
-    for &v in &order {
+    for &v in order.iter() {
         if mate[v as usize] != UNMATCHED || fixed[v as usize] != FixedSide::Free {
             continue;
         }
@@ -65,7 +93,7 @@ pub(crate) fn coarsen_once(
         }
         let wv = hg.vertex_weight(v);
         let mut best: Option<(f64, u32)> = None;
-        for &u in &touched {
+        for &u in touched.iter() {
             let s = score[u as usize];
             score[u as usize] = 0.0;
             if wv + hg.vertex_weight(u) > max_weight {
@@ -108,14 +136,13 @@ pub(crate) fn coarsen_once(
     }
 
     let mut coarse = Hypergraph::with_vertex_weights(weights);
-    let mut pins: Vec<u32> = Vec::new();
     for e in 0..hg.num_nets() as u32 {
         pins.clear();
         pins.extend(hg.net(e).iter().map(|&v| map[v as usize]));
         pins.sort_unstable();
         pins.dedup();
         if pins.len() >= 2 {
-            coarse.add_net(&pins, hg.net_weight(e));
+            coarse.add_net(pins, hg.net_weight(e));
         }
     }
     coarse.finalize();
@@ -146,7 +173,8 @@ mod tests {
         let hg = chain(64);
         let fixed = vec![FixedSide::Free; 64];
         let mut rng = SmallRng::seed_from_u64(1);
-        let level = coarsen_once(&hg, &fixed, &mut rng).expect("chain coarsens");
+        let mut ws = CoarsenWorkspace::default();
+        let level = coarsen_once(&hg, &fixed, &mut rng, &mut ws).expect("chain coarsens");
         assert!(level.hg.num_vertices() < 64);
         assert!(level.hg.num_vertices() >= 32, "matching is pairwise");
         // Weight conservation.
@@ -167,7 +195,8 @@ mod tests {
         fixed[0] = FixedSide::Side0;
         fixed[15] = FixedSide::Side1;
         let mut rng = SmallRng::seed_from_u64(2);
-        let level = coarsen_once(&hg, &fixed, &mut rng).expect("coarsens");
+        let mut ws = CoarsenWorkspace::default();
+        let level = coarsen_once(&hg, &fixed, &mut rng, &mut ws).expect("coarsens");
         // The coarse vertices of the fixed fine vertices are fixed and
         // carry exactly the fine weight (no merging happened).
         let c0 = level.map[0] as usize;
@@ -183,7 +212,8 @@ mod tests {
         let hg = chain(32);
         let fixed = vec![FixedSide::Free; 32];
         let mut rng = SmallRng::seed_from_u64(3);
-        let level = coarsen_once(&hg, &fixed, &mut rng).unwrap();
+        let mut ws = CoarsenWorkspace::default();
+        let level = coarsen_once(&hg, &fixed, &mut rng, &mut ws).unwrap();
         // Any coarse assignment, projected to fine, must yield cut ≤ the
         // fine cut sum of surviving nets plus dropped internal nets... in
         // fact projected fine cut == coarse cut because dropped nets are
@@ -207,12 +237,13 @@ mod tests {
         hg.add_net(&all, 1.0);
         hg.finalize();
         let mut rng = SmallRng::seed_from_u64(4);
+        let mut ws = CoarsenWorkspace::default();
         let mut fixed = vec![FixedSide::Free; 8];
         let mut current = hg;
         for _ in 0..20 {
-            match coarsen_once(&current, &fixed, &mut rng) {
+            match coarsen_once(&current, &fixed, &mut rng, &mut ws) {
                 Some(level) => {
-                    fixed = level.fixed.clone();
+                    fixed = level.fixed;
                     current = level.hg;
                 }
                 None => return,

@@ -1,6 +1,6 @@
 //! The multilevel V-cycle driver and its public result types.
 
-use crate::coarsen::coarsen_once;
+use crate::coarsen::{coarsen_once, CoarseLevel, CoarsenWorkspace};
 use crate::initial::initial_partition;
 use crate::{refine, BisectConfig, Hypergraph};
 use rand::rngs::SmallRng;
@@ -202,28 +202,62 @@ fn summarize(hg: &Hypergraph, sides: Vec<u8>) -> Bisection {
     }
 }
 
-/// One V-cycle: coarsen recursively, partition the coarsest level, then
-/// project and refine on the way back up.
+/// One V-cycle: coarsen level by level onto a stack, partition the
+/// coarsest level, then project and refine on the way back up.
+///
+/// The finest level stays borrowed from the caller; only coarsened levels
+/// materialize vertices (each [`CoarseLevel`] owns its contracted graph,
+/// fine→coarse map, and fixed-side vector). One [`CoarsenWorkspace`] is
+/// shared by every level so scratch buffers are allocated once per
+/// V-cycle, not once per level. The down-sweep/up-sweep order replays the
+/// old recursion exactly — same RNG draws, same refine sequence — so
+/// results are bitwise identical to the recursive formulation.
 fn solve(
     hg: &Hypergraph,
     fixed: &[FixedSide],
     config: &BisectConfig,
     rng: &mut SmallRng,
 ) -> Vec<u8> {
-    if hg.num_vertices() > config.coarsen_until {
-        if let Some(level) = coarsen_once(hg, fixed, rng) {
-            let coarse_sides = solve(&level.hg, &level.fixed, config, rng);
-            let mut sides: Vec<u8> = level
-                .map
-                .iter()
-                .map(|&c| coarse_sides[c as usize])
-                .collect();
-            refine(hg, &mut sides, fixed, config);
-            return sides;
+    let mut ws = CoarsenWorkspace::default();
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+
+    // Down-sweep: contract until small enough or matching stalls.
+    loop {
+        let next = {
+            let (cur_hg, cur_fixed) = match levels.last() {
+                Some(l) => (&l.hg, l.fixed.as_slice()),
+                None => (hg, fixed),
+            };
+            if cur_hg.num_vertices() <= config.coarsen_until {
+                break;
+            }
+            coarsen_once(cur_hg, cur_fixed, rng, &mut ws)
+        };
+        match next {
+            Some(level) => levels.push(level),
+            None => break,
         }
     }
-    let mut sides = initial_partition(hg, fixed, config, rng);
-    refine(hg, &mut sides, fixed, config);
+
+    // Partition and refine the coarsest level.
+    let (coarsest_hg, coarsest_fixed) = match levels.last() {
+        Some(l) => (&l.hg, l.fixed.as_slice()),
+        None => (hg, fixed),
+    };
+    let mut sides = initial_partition(coarsest_hg, coarsest_fixed, config, rng);
+    refine(coarsest_hg, &mut sides, coarsest_fixed, config);
+
+    // Up-sweep: project through each level's map and refine on its fine
+    // graph (the next level down the stack, or the caller's graph).
+    for i in (0..levels.len()).rev() {
+        let projected: Vec<u8> = levels[i].map.iter().map(|&c| sides[c as usize]).collect();
+        sides = projected;
+        let (fine_hg, fine_fixed) = match i.checked_sub(1).map(|j| &levels[j]) {
+            Some(l) => (&l.hg, l.fixed.as_slice()),
+            None => (hg, fixed),
+        };
+        refine(fine_hg, &mut sides, fine_fixed, config);
+    }
     sides
 }
 
