@@ -2,7 +2,11 @@
 //! (thermal CG solve, objective rebuild, recursive bisection) across a
 //! thread sweep, the warm-start savings, and the incremental delta
 //! engine's move/swap pricing and commit kernels, and writes the results
-//! as machine-readable JSON (`BENCH_hotpaths.json` by default). A
+//! as machine-readable JSON (`BENCH_hotpaths.json` by default). The
+//! `thermal_oracle` section fits the compact superposition tier against
+//! the multigrid ground truth, gates the fit error (nonzero exit above
+//! the gate — the CI smoke job relies on this), and compares the
+//! compact per-move price against the coarse-grid warm solve. A
 //! `scaling` sweep rounds out the report: per cell count (one fresh
 //! process each) it times synth, Bookshelf render, zero-copy parse,
 //! streaming netlist assembly, and — where practical — the full
@@ -33,7 +37,9 @@ use tvp_core::objective::{IncrementalObjective, ObjectiveModel};
 use tvp_core::{Chip, Placement, Placer, PlacerConfig};
 use tvp_netlist::{CellId, Netlist, NetlistBuilder, PinDirection};
 use tvp_partition::{bisect, BisectConfig, Hypergraph};
-use tvp_thermal::{LayerStack, PowerMap, Preconditioner, ThermalSimulator};
+use tvp_thermal::{
+    compact_params, CompactModel, LayerStack, PowerMap, Preconditioner, ThermalSimulator,
+};
 
 struct Options {
     out: String,
@@ -532,6 +538,78 @@ fn main() {
         },
     ];
 
+    // --- Tiered thermal oracle: compact fit gate + pricing throughput ----
+    // Fit the compact superposition model in-tree against the multigrid
+    // ground truth (exactly what `CompactModel::fit` does inside the
+    // placer), gate the fit error, and time the compact per-move price —
+    // two frozen-field probes — against the coarse-grid warm multigrid
+    // solve it replaces in the legalization inner loop.
+    let (oracle_nx, oracle_ny) = compact_params::CANONICAL_GRID;
+    let oracle_sim = ThermalSimulator::new(
+        LayerStack::mitll_0_18um(layers),
+        1e-3,
+        1e-3,
+        oracle_nx,
+        oracle_ny,
+    )
+    .expect("valid geometry");
+    let (compact, fit) =
+        CompactModel::fit(&oracle_sim, Preconditioner::default()).expect("compact fit");
+    let fit_within_gate = fit.max_rel_error <= compact_params::CROSS_MODEL_GATE;
+
+    let frozen = compact
+        .evaluate(&dense_power(oracle_nx, layers, 1.0))
+        .expect("compact evaluate");
+    let oracle_probes: Vec<(f64, f64, usize, f64, f64, usize)> = (0..num_probes)
+        .map(|_| {
+            (
+                rng.random_range(0.0..1e-3),
+                rng.random_range(0.0..1e-3),
+                rng.random_range(0..layers),
+                rng.random_range(0.0..1e-3),
+                rng.random_range(0.0..1e-3),
+                rng.random_range(0..layers),
+            )
+        })
+        .collect();
+    let price_move_ns = time_ns_per_op(opts.repeats, oracle_probes.len(), || {
+        oracle_probes
+            .iter()
+            .map(|&(fx, fy, fl, tx, ty, tl)| {
+                frozen.sample(tx, ty, tl, 1e-3, 1e-3) - frozen.sample(fx, fy, fl, 1e-3, 1e-3)
+            })
+            .sum()
+    });
+
+    // Warm coarse-grid denominator: alternate two power maps 2% apart so
+    // every timed solve is a genuine drift solve, never a no-op repeat.
+    let coarse_nx = 8usize;
+    let coarse_sim = ThermalSimulator::new(
+        LayerStack::mitll_0_18um(layers),
+        1e-3,
+        1e-3,
+        coarse_nx,
+        coarse_nx,
+    )
+    .expect("valid geometry");
+    let coarse_maps = [
+        dense_power(coarse_nx, layers, 1.0),
+        dense_power(coarse_nx, layers, 1.02),
+    ];
+    let mut coarse_ctx = coarse_sim.context_with(Preconditioner::default());
+    coarse_sim
+        .solve_with(&coarse_maps[0], &mut coarse_ctx)
+        .expect("converges");
+    let mut coarse_warm_ns = f64::INFINITY;
+    for rep in 0..(2 * opts.repeats).max(2) {
+        let t = Instant::now();
+        coarse_sim
+            .solve_with(&coarse_maps[1 - rep % 2], &mut coarse_ctx)
+            .expect("converges");
+        coarse_warm_ns = coarse_warm_ns.min(t.elapsed().as_nanos() as f64);
+    }
+    let pricing_speedup = coarse_warm_ns / price_move_ns;
+
     // --- Multi-start bisection, per thread count -------------------------
     let mut hg = Hypergraph::new(kernel_cells);
     let n = kernel_cells as u32;
@@ -703,6 +781,24 @@ fn main() {
         }
     }
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"thermal_oracle\": {{");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"compact superposition tier fitted in-tree against the multigrid ground truth; fit errors are relative to the peak impulse-response rise and gated at {}; price_move_ns is two frozen-field probes (what the legalization loops pay per candidate with the compact tier), coarse_warm_solve_ns the {coarse_nx}x{coarse_nx}x{layers} warm multigrid solve it replaces\",",
+        compact_params::CROSS_MODEL_GATE
+    );
+    let _ = writeln!(
+        json,
+        "    \"fit_grid\": \"{oracle_nx}x{oracle_ny}x{layers}\","
+    );
+    let _ = writeln!(json, "    \"fit\": {{\"max_rel_error\": {:.4}, \"avg_rel_error\": {:.4}, \"solves\": {}, \"gate\": {}, \"within_gate\": {fit_within_gate}}},", fit.max_rel_error, fit.avg_rel_error, fit.solves, compact_params::CROSS_MODEL_GATE);
+    let _ = writeln!(json, "    \"price_move_ns\": {price_move_ns:.1},");
+    let _ = writeln!(json, "    \"coarse_warm_solve_ns\": {coarse_warm_ns:.0},");
+    let _ = writeln!(
+        json,
+        "    \"pricing_speedup_vs_coarse_warm_solve\": {pricing_speedup:.0}"
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"bisection\": {{");
     let _ = writeln!(json, "    \"vertices\": {},", kernel_cells);
     let _ = writeln!(json, "    \"starts\": 8,");
@@ -743,4 +839,22 @@ fn main() {
     std::fs::write(&opts.out, &json).expect("write report");
     println!("{json}");
     eprintln!("hotpaths: wrote {}", opts.out);
+
+    // CI gates (checked after the report is written so the artifact
+    // survives a failure for inspection).
+    if !fit_within_gate {
+        eprintln!(
+            "hotpaths: FAIL: compact fit max_rel_error {:.4} exceeds gate {}",
+            fit.max_rel_error,
+            compact_params::CROSS_MODEL_GATE
+        );
+        std::process::exit(1);
+    }
+    if pricing_speedup < 100.0 {
+        eprintln!(
+            "hotpaths: FAIL: compact pricing is only {pricing_speedup:.0}x the coarse-grid \
+             warm solve (acceptance floor is 100x)"
+        );
+        std::process::exit(1);
+    }
 }

@@ -11,15 +11,17 @@ USAGE:
   tvp place <design.aux> [--layers N] [--alpha-ilv X] [--alpha-temp X]
             [--seed N] [--starts N] [--threads N] [--units METERS_PER_UNIT]
             [--thermal-precond P] [--mg-levels N]
+            [--thermal-tier STAGE=TIER]...
             [--out DIR] [--svg FILE.svg] [--trace-out FILE.jsonl]
             [--time-budget SECONDS] [--checkpoint-dir DIR]
             [--no-preflight] [--inject-fault KIND[:SITE]]...
   tvp validate <design.aux> [--layers N] [--units METERS_PER_UNIT]
-            [--repair [--out DIR]]
+            [--alpha-temp X] [--repair [--out DIR]]
   tvp synth <name> --cells N [--area-mm2 A] [--seed N] --out DIR
   tvp stats <design.aux> [--units METERS_PER_UNIT]
-  tvp sweep <design.aux> [--layers N] [--points N] [--threads N] [--units M]
-            [--thermal-precond P] [--mg-levels N] [--csv FILE] [--progress]
+  tvp sweep <design.aux> [--scenario S] [--layers N] [--points N]
+            [--threads N] [--units M] [--thermal-precond P] [--mg-levels N]
+            [--csv FILE] [--progress]
   tvp help
 
   --threads N        worker threads for the parallel hot paths (0 = all
@@ -31,6 +33,19 @@ USAGE:
                      iteration counts) or jacobi (the flat baseline)
   --mg-levels N      cap the multigrid hierarchy depth (default 0 = coarsen
                      automatically until the lateral grid is trivial)
+  --thermal-tier STAGE=TIER
+                     (place) pick the thermal-oracle tier one pipeline
+                     site queries; STAGE is one of global, coarse,
+                     detail, final and TIER is full-grid (the default
+                     everywhere), coarse-grid, or compact (the fitted
+                     analytical model; with --alpha-temp > 0 the coarse/
+                     detail sites also price individual moves against
+                     it); may repeat. Non-full-grid stage solves record
+                     their error against the full-grid reference in the
+                     trace
+  --scenario S       (sweep) alpha-ilv (default: trace the wirelength/via
+                     tradeoff) or stacks (place onto named heterogeneous
+                     layer stacks and tabulate the thermal impact)
   --trace-out FILE   write the stage engine's structured events as JSON
                      Lines (one event object per line)
   --time-budget S    stop gracefully after S seconds of wall clock; the
@@ -85,6 +100,9 @@ pub struct ValidateArgs {
     pub layers: usize,
     /// Meters per Bookshelf site unit.
     pub meters_per_unit: f64,
+    /// Thermal coefficient the design would be placed with (enables the
+    /// inert-thermal-objective check; 0 = off).
+    pub alpha_temp: f64,
     /// Apply safe normalizations and report them.
     pub repair: bool,
     /// Output directory for the repaired design (requires `--repair`).
@@ -96,6 +114,8 @@ pub struct ValidateArgs {
 pub struct SweepArgs {
     /// Path to the `.aux` manifest.
     pub aux: String,
+    /// Sweep scenario (`"alpha-ilv"` or `"stacks"`).
+    pub scenario: String,
     /// Device layers.
     pub layers: usize,
     /// Number of sweep points.
@@ -137,6 +157,8 @@ pub struct PlaceArgs {
     pub thermal_precond: String,
     /// Multigrid hierarchy depth cap (0 = automatic).
     pub mg_levels: usize,
+    /// `STAGE=TIER` thermal-tier overrides (validated in the command).
+    pub thermal_tiers: Vec<String>,
     /// Output directory for the placed design (omitted = metrics only).
     pub out: Option<String>,
     /// Path for an SVG rendering of the placement (omitted = none).
@@ -259,6 +281,7 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
         meters_per_unit: 1.0e-6,
         thermal_precond: "multigrid".to_string(),
         mg_levels: 0,
+        thermal_tiers: Vec::new(),
         out: None,
         svg: None,
         trace_out: None,
@@ -278,6 +301,7 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
             "--units" => args.meters_per_unit = parse_num(token, take_value(token, it)?)?,
             "--thermal-precond" => args.thermal_precond = parse_precond(take_value(token, it)?)?,
             "--mg-levels" => args.mg_levels = parse_num(token, take_value(token, it)?)?,
+            "--thermal-tier" => args.thermal_tiers.push(take_value(token, it)?.to_string()),
             "--out" => args.out = Some(take_value(token, it)?.to_string()),
             "--svg" => args.svg = Some(take_value(token, it)?.to_string()),
             "--trace-out" => args.trace_out = Some(take_value(token, it)?.to_string()),
@@ -309,6 +333,7 @@ fn parse_validate(it: &mut std::slice::Iter<'_, String>) -> Result<Command, Pars
         aux: String::new(),
         layers: 4,
         meters_per_unit: 1.0e-6,
+        alpha_temp: 0.0,
         repair: false,
         out: None,
     };
@@ -316,6 +341,7 @@ fn parse_validate(it: &mut std::slice::Iter<'_, String>) -> Result<Command, Pars
         match token.as_str() {
             "--layers" => args.layers = parse_num(token, take_value(token, it)?)?,
             "--units" => args.meters_per_unit = parse_num(token, take_value(token, it)?)?,
+            "--alpha-temp" => args.alpha_temp = parse_num(token, take_value(token, it)?)?,
             "--repair" => args.repair = true,
             "--out" => args.out = Some(take_value(token, it)?.to_string()),
             flag if flag.starts_with("--") => {
@@ -397,6 +423,7 @@ fn parse_stats(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
 fn parse_sweep(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseArgsError> {
     let mut args = SweepArgs {
         aux: String::new(),
+        scenario: "alpha-ilv".to_string(),
         layers: 4,
         points: 7,
         threads: 0,
@@ -408,6 +435,17 @@ fn parse_sweep(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
     };
     while let Some(token) = it.next() {
         match token.as_str() {
+            "--scenario" => {
+                let value = take_value(token, it)?;
+                match value {
+                    "alpha-ilv" | "stacks" => args.scenario = value.to_string(),
+                    other => {
+                        return Err(err(format!(
+                            "flag --scenario: `{other}` is not one of alpha-ilv, stacks"
+                        )))
+                    }
+                }
+            }
             "--layers" => args.layers = parse_num(token, take_value(token, it)?)?,
             "--points" => args.points = parse_num(token, take_value(token, it)?)?,
             "--threads" => args.threads = parse_num(token, take_value(token, it)?)?,
@@ -504,6 +542,51 @@ mod tests {
 
         let e = parse(&argv("place d.aux --thermal-precond ilu")).unwrap_err();
         assert!(e.to_string().contains("multigrid, mg, jacobi"));
+    }
+
+    #[test]
+    fn thermal_tier_flags_accumulate() {
+        let Command::Place(a) = parse(&argv(
+            "place d.aux --thermal-tier coarse=compact --thermal-tier global=coarse-grid",
+        ))
+        .unwrap() else {
+            panic!("expected place")
+        };
+        assert_eq!(a.thermal_tiers, ["coarse=compact", "global=coarse-grid"]);
+
+        let Command::Place(d) = parse(&argv("place d.aux")).unwrap() else {
+            panic!()
+        };
+        assert!(
+            d.thermal_tiers.is_empty(),
+            "full-grid everywhere by default"
+        );
+    }
+
+    #[test]
+    fn validate_accepts_alpha_temp() {
+        let Command::Validate(a) = parse(&argv("validate d.aux --alpha-temp 1e-4")).unwrap() else {
+            panic!("expected validate")
+        };
+        assert_eq!(a.alpha_temp, 1e-4);
+        let Command::Validate(d) = parse(&argv("validate d.aux")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.alpha_temp, 0.0);
+    }
+
+    #[test]
+    fn sweep_scenario_parses_and_rejects_unknown() {
+        let Command::Sweep(a) = parse(&argv("sweep d.aux --scenario stacks")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.scenario, "stacks");
+        let Command::Sweep(d) = parse(&argv("sweep d.aux")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.scenario, "alpha-ilv");
+        let e = parse(&argv("sweep d.aux --scenario frob")).unwrap_err();
+        assert!(e.to_string().contains("alpha-ilv, stacks"));
     }
 
     #[test]

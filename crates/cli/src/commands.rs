@@ -6,8 +6,8 @@ use std::fmt::Write as _;
 use tvp_bookshelf::synth::SynthConfig;
 use tvp_bookshelf::{Design, DesignBuilderOptions};
 use tvp_core::{
-    FaultKind, FaultPlan, JsonlObserver, PlaceOptions, Placer, PlacerConfig, PlacerObserver,
-    Preconditioner, ValidateOptions,
+    FaultKind, FaultPlan, JsonlObserver, LayerSpec, PlaceOptions, Placer, PlacerConfig,
+    PlacerObserver, Preconditioner, ThermalTier, ValidateOptions,
 };
 use tvp_netlist::CellId;
 
@@ -46,6 +46,30 @@ fn parse_fault_spec(spec: &str) -> Result<(FaultKind, String), String> {
     Ok((kind, site))
 }
 
+/// Parses one `--thermal-tier` spec (`STAGE=TIER`, e.g.
+/// `coarse=compact`).
+fn parse_tier_spec(spec: &str) -> Result<(&str, ThermalTier), String> {
+    let Some((stage, tier_str)) = spec.split_once('=') else {
+        return Err(format!(
+            "--thermal-tier expects STAGE=TIER, got `{spec}` \
+             (e.g. coarse=compact)"
+        ));
+    };
+    if !matches!(stage, "global" | "coarse" | "detail" | "final") {
+        return Err(format!(
+            "unknown thermal-tier stage `{stage}` (expected global, coarse, \
+             detail, or final)"
+        ));
+    }
+    let tier = ThermalTier::parse(tier_str).ok_or_else(|| {
+        format!(
+            "unknown thermal tier `{tier_str}` (expected full-grid, \
+             coarse-grid, or compact)"
+        )
+    })?;
+    Ok((stage, tier))
+}
+
 /// `tvp place`: load, place, report, optionally write back.
 ///
 /// # Errors
@@ -57,13 +81,17 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
     };
     let design =
         Design::load(&args.aux, options).map_err(|e| format!("loading {}: {e}", args.aux))?;
-    let config = PlacerConfig::new(args.layers)
+    let mut config = PlacerConfig::new(args.layers)
         .with_alpha_ilv(args.alpha_ilv)
         .with_alpha_temp(args.alpha_temp)
         .with_seed(args.seed)
         .with_partition_starts(args.starts)
         .with_threads(args.threads)
         .with_thermal_precond(precond_from_args(&args.thermal_precond, args.mg_levels));
+    for spec in &args.thermal_tiers {
+        let (stage, tier) = parse_tier_spec(spec)?;
+        config = config.with_thermal_tier(stage, tier);
+    }
 
     // Seed fixed cells (pads/macros) from the input `.pl` when present.
     let fixed: Vec<(CellId, f64, f64, u16)> = design
@@ -89,6 +117,7 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
                 fixed_positions: &fixed,
                 rows: (!design.rows.is_empty()).then_some(design.rows.as_slice()),
                 num_layers: args.layers as u16,
+                alpha_temp: args.alpha_temp,
             },
         );
         for diag in report.warnings() {
@@ -252,6 +281,7 @@ pub fn validate(args: &ValidateArgs) -> Result<String, String> {
         fixed_positions: &fixed,
         rows: (!design.rows.is_empty()).then_some(design.rows.as_slice()),
         num_layers: args.layers as u16,
+        alpha_temp: args.alpha_temp,
     };
 
     let mut out = String::new();
@@ -368,7 +398,8 @@ pub fn stats(args: &StatsArgs) -> Result<String, String> {
     Ok(out)
 }
 
-/// `tvp sweep`: trace the wirelength/via tradeoff curve for one design.
+/// `tvp sweep`: trace the wirelength/via tradeoff curve for one design,
+/// or (with `--scenario stacks`) compare heterogeneous layer stacks.
 ///
 /// # Errors
 ///
@@ -381,6 +412,9 @@ pub fn sweep(args: &SweepArgs) -> Result<String, String> {
         },
     )
     .map_err(|e| format!("loading {}: {e}", args.aux))?;
+    if args.scenario == "stacks" {
+        return sweep_stacks(args, &design);
+    }
 
     let mut out = String::new();
     let _ = writeln!(
@@ -421,6 +455,113 @@ pub fn sweep(args: &SweepArgs) -> Result<String, String> {
             alpha,
             result.metrics.wirelength,
             result.metrics.ilv_count,
+        ]);
+    }
+    if let Some(path) = &args.csv {
+        std::fs::write(path, table.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        let _ = writeln!(out, "wrote:   {path}");
+    }
+    Ok(out)
+}
+
+/// Named per-layer stack profiles for `--scenario stacks`. All start
+/// from the MIT-LL 0.18 µm defaults (5.7 µm layers at 10.2 W/(m·K));
+/// the variants model common heterogeneous integrations.
+fn stack_profiles(layers: usize) -> Vec<(&'static str, Vec<LayerSpec>)> {
+    let n = layers;
+    let base = LayerSpec {
+        thickness: 5.7e-6,
+        conductivity: 10.2,
+    };
+    // A memory die on top: 4x thicker than the thinned logic tiers.
+    let mut thick_top = vec![base; n];
+    if let Some(top) = thick_top.last_mut() {
+        top.thickness = 4.0 * base.thickness;
+    }
+    // Polymer-bonded upper tiers conduct at half the oxide-bond value.
+    let low_k_upper = (0..n)
+        .map(|i| {
+            if i >= n.div_ceil(2) {
+                LayerSpec {
+                    conductivity: base.conductivity / 2.0,
+                    ..base
+                }
+            } else {
+                base
+            }
+        })
+        .collect();
+    vec![
+        ("uniform", vec![base; n]),
+        ("thick-top", thick_top),
+        ("low-k-upper", low_k_upper),
+        (
+            "high-k-bond",
+            vec![
+                LayerSpec {
+                    conductivity: 2.0 * base.conductivity,
+                    ..base
+                };
+                n
+            ],
+        ),
+    ]
+}
+
+/// `tvp sweep --scenario stacks`: place the design once per named layer
+/// profile and tabulate how the stack composition moves the thermal
+/// numbers at unchanged wirelength cost.
+fn sweep_stacks(args: &SweepArgs, design: &Design) -> Result<String, String> {
+    let profiles = stack_profiles(args.layers);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "layer-stack sweep on {} ({} cells, {} layers, {} profiles)",
+        design.name,
+        design.netlist.num_cells(),
+        args.layers,
+        profiles.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>12} {:>14} {:>10} {:>10} {:>10}",
+        "profile", "WL (m)", "ILVs", "T_avg(C)", "T_max(C)"
+    );
+
+    let mut table = tvp_report::csv::Table::new([
+        "profile_index",
+        "wirelength_m",
+        "ilv_count",
+        "avg_temp_c",
+        "max_temp_c",
+    ]);
+    for (i, (name, specs)) in profiles.iter().enumerate() {
+        let config = PlacerConfig::new(args.layers)
+            .with_threads(args.threads)
+            .with_thermal_precond(precond_from_args(&args.thermal_precond, args.mg_levels))
+            .with_stack_layers(specs.clone());
+        let mut narrator = args
+            .progress
+            .then(|| StderrProgress::stderr(format!("{}/{} {name}", i + 1, profiles.len())));
+        let options = PlaceOptions {
+            observer: narrator.as_mut().map(|n| n as &mut dyn PlacerObserver),
+            ..PlaceOptions::default()
+        };
+        let result = Placer::new(config)
+            .place_with_options(&design.netlist, &[], options)
+            .map_err(|e| format!("placement failed for profile {name}: {e}"))?;
+        let m = &result.metrics;
+        let _ = writeln!(
+            out,
+            "{name:>12} {:>14.5e} {:>10.0} {:>10.2} {:>10.2}",
+            m.wirelength, m.ilv_count, m.avg_temperature, m.max_temperature
+        );
+        table.push(vec![
+            i as f64,
+            m.wirelength,
+            m.ilv_count,
+            m.avg_temperature,
+            m.max_temperature,
         ]);
     }
     if let Some(path) = &args.csv {
@@ -583,6 +724,85 @@ mod tests {
         .unwrap();
         assert!(out.contains("quality: WL ="));
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn thermal_tier_flags_route_the_oracle_and_reject_bad_specs() {
+        let dir = tmp("tier");
+        run(&argv(&format!("synth t --cells 80 --out {dir}"))).unwrap();
+
+        let out = run(&argv(&format!(
+            "place {dir}/t.aux --layers 2 --alpha-temp 1e-4 \
+             --thermal-tier global=coarse-grid --thermal-tier coarse=compact \
+             --thermal-tier detail=compact"
+        )))
+        .unwrap();
+        assert!(out.contains("quality: WL ="), "{out}");
+
+        let err = run(&argv(&format!(
+            "place {dir}/t.aux --thermal-tier warmup=compact"
+        )))
+        .unwrap_err();
+        assert!(err.contains("unknown thermal-tier stage"), "{err}");
+
+        let err = run(&argv(&format!(
+            "place {dir}/t.aux --thermal-tier coarse=quantum"
+        )))
+        .unwrap_err();
+        assert!(err.contains("unknown thermal tier"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stacks_sweep_tabulates_layer_profiles() {
+        let dir = tmp("stacks");
+        run(&argv(&format!("synth k --cells 60 --out {dir}"))).unwrap();
+        let csv = format!("{dir}/stacks.csv");
+        let out = run(&argv(&format!(
+            "sweep {dir}/k.aux --layers 2 --scenario stacks --csv {csv}"
+        )))
+        .unwrap();
+        assert!(out.contains("layer-stack sweep"), "{out}");
+        for profile in ["uniform", "thick-top", "low-k-upper", "high-k-bond"] {
+            assert!(out.contains(profile), "{out}");
+        }
+        let body = std::fs::read_to_string(&csv).unwrap();
+        assert!(body.starts_with("profile_index,wirelength_m,ilv_count"));
+        assert_eq!(body.lines().count(), 5, "header + one row per profile");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_warns_when_thermal_objective_is_inert() {
+        use tvp_netlist::{NetlistBuilder, PinDirection};
+        // All-input nets have no driver to deposit power at: the Eq. 10
+        // power map is identically zero whatever the activities are.
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..8)
+            .map(|i| b.add_cell(format!("c{i}"), 1e-6, 1e-6))
+            .collect();
+        for (i, pair) in cells.windows(2).enumerate() {
+            let n = b.add_net(format!("n{i}"));
+            b.connect(n, pair[0], PinDirection::Input).unwrap();
+            b.connect(n, pair[1], PinDirection::Input).unwrap();
+        }
+        let dir = tmp("inert");
+        tvp_bookshelf::Design::from_netlist("z", b.build().unwrap())
+            .save(
+                &dir,
+                tvp_bookshelf::DesignBuilderOptions {
+                    meters_per_unit: 1.0e-6,
+                },
+            )
+            .unwrap();
+
+        let out = run(&argv(&format!("validate {dir}/z.aux --alpha-temp 1e-4"))).unwrap();
+        assert!(out.contains("[thermal-objective-inert]"), "{out}");
+        // Without the knob the same design validates silently.
+        let out = run(&argv(&format!("validate {dir}/z.aux"))).unwrap();
+        assert!(!out.contains("thermal-objective-inert"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

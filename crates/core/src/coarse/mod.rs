@@ -9,6 +9,7 @@ pub use mesh::DensityMesh;
 
 use crate::objective::IncrementalObjective;
 use crate::observer::PassEvent;
+use crate::thermal_pricer::ThermalMovePricer;
 use crate::{Chip, PlacerConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -49,6 +50,21 @@ pub fn coarse_legalize_observed(
     config: &PlacerConfig,
     probe: &mut dyn FnMut(PassEvent) -> ControlFlow<()>,
 ) -> (DensityMesh, bool) {
+    coarse_legalize_priced(objective, netlist, chip, config, None, probe)
+}
+
+/// [`coarse_legalize_observed`] with optional per-move thermal pricing:
+/// an armed pricer (compact tier + `alpha_temp > 0`) adds the
+/// frozen-field thermal term to every move/swap candidate's delta
+/// (DESIGN.md §14). `None` is bit-identical to the unpriced stage.
+pub(crate) fn coarse_legalize_priced(
+    objective: &mut IncrementalObjective<'_>,
+    netlist: &Netlist,
+    chip: &Chip,
+    config: &PlacerConfig,
+    mut pricer: Option<&mut ThermalMovePricer>,
+    probe: &mut dyn FnMut(PassEvent) -> ControlFlow<()>,
+) -> (DensityMesh, bool) {
     let mut mesh = DensityMesh::coarse(chip);
     let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xC0A5_E5EE);
 
@@ -60,15 +76,23 @@ pub fn coarse_legalize_observed(
     mesh.rebuild(netlist, objective.placement());
 
     for pass in 0..config.coarse_move_passes {
-        let mut improved = moves::global_pass(
+        let mut improved = moves::global_pass_priced(
             objective,
             &mut mesh,
             netlist,
             chip,
             config.coarse_target_region_bins,
             &mut rng,
+            pricer.as_deref_mut(),
         );
-        improved += moves::local_pass(objective, &mut mesh, netlist, chip, &mut rng);
+        improved += moves::local_pass_priced(
+            objective,
+            &mut mesh,
+            netlist,
+            chip,
+            &mut rng,
+            pricer.as_deref_mut(),
+        );
         if probe(PassEvent::CoarseMoves {
             pass,
             improved,
@@ -100,7 +124,7 @@ pub fn coarse_legalize_observed(
     }
 
     // One final local cleanup now that densities are even.
-    let improved = moves::local_pass(objective, &mut mesh, netlist, chip, &mut rng);
+    let improved = moves::local_pass_priced(objective, &mut mesh, netlist, chip, &mut rng, pricer);
     if probe(PassEvent::CoarseMoves {
         pass: config.coarse_move_passes,
         improved,

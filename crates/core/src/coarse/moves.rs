@@ -18,6 +18,7 @@
 
 use super::mesh::DensityMesh;
 use crate::objective::IncrementalObjective;
+use crate::thermal_pricer::ThermalMovePricer;
 use crate::Chip;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -34,6 +35,21 @@ pub fn local_pass(
     netlist: &Netlist,
     chip: &Chip,
     rng: &mut SmallRng,
+) -> usize {
+    local_pass_priced(objective, mesh, netlist, chip, rng, None)
+}
+
+/// [`local_pass`] with optional per-move thermal pricing: when a pricer
+/// is armed (compact tier + `alpha_temp > 0`), every candidate's
+/// objective delta additionally carries the frozen-field thermal term
+/// and committed actions re-superpose the moved power (DESIGN.md §14).
+pub(crate) fn local_pass_priced(
+    objective: &mut IncrementalObjective<'_>,
+    mesh: &mut DensityMesh,
+    netlist: &Netlist,
+    chip: &Chip,
+    rng: &mut SmallRng,
+    mut pricer: Option<&mut ThermalMovePricer>,
 ) -> usize {
     let mut order = movable_cells(netlist);
     order.shuffle(rng);
@@ -61,7 +77,15 @@ pub fn local_pass(
                 }
             }
         }
-        if try_best_action(objective, mesh, netlist, chip, cell, &candidates) {
+        if try_best_action(
+            objective,
+            mesh,
+            netlist,
+            chip,
+            cell,
+            &candidates,
+            pricer.as_deref_mut(),
+        ) {
             improved += 1;
         }
     }
@@ -77,6 +101,20 @@ pub fn global_pass(
     chip: &Chip,
     region_bins: usize,
     rng: &mut SmallRng,
+) -> usize {
+    global_pass_priced(objective, mesh, netlist, chip, region_bins, rng, None)
+}
+
+/// [`global_pass`] with optional per-move thermal pricing (see
+/// [`local_pass_priced`]).
+pub(crate) fn global_pass_priced(
+    objective: &mut IncrementalObjective<'_>,
+    mesh: &mut DensityMesh,
+    netlist: &Netlist,
+    chip: &Chip,
+    region_bins: usize,
+    rng: &mut SmallRng,
+    mut pricer: Option<&mut ThermalMovePricer>,
 ) -> usize {
     let mut order = movable_cells(netlist);
     order.shuffle(rng);
@@ -104,7 +142,15 @@ pub fn global_pass(
                 }
             }
         }
-        if try_best_action(objective, mesh, netlist, chip, cell, &candidates) {
+        if try_best_action(
+            objective,
+            mesh,
+            netlist,
+            chip,
+            cell,
+            &candidates,
+            pricer.as_deref_mut(),
+        ) {
             improved += 1;
         }
     }
@@ -174,6 +220,12 @@ fn median(values: &mut [f64]) -> f64 {
 /// Prices a move to each candidate bin's center and a swap with the
 /// closest-area resident of each candidate bin; executes the best
 /// improving action. Returns whether anything was executed.
+///
+/// With an armed pricer, each candidate's delta additionally carries the
+/// frozen-field thermal term, and the executed action commits the moved
+/// power back into the cached field. Cell powers come from the
+/// incremental `cell_power` cache, which is maintained exactly when
+/// `alpha_temp > 0` — the condition under which a pricer exists at all.
 fn try_best_action(
     objective: &mut IncrementalObjective<'_>,
     mesh: &mut DensityMesh,
@@ -181,10 +233,12 @@ fn try_best_action(
     chip: &Chip,
     cell: CellId,
     candidates: &[usize],
+    mut pricer: Option<&mut ThermalMovePricer>,
 ) -> bool {
     const EPS: f64 = 1e-18;
     let current_bin = mesh.bin_of(cell);
     let cell_area = netlist.cell(cell).area();
+    let current_pos = objective.placement().position(cell);
 
     enum Action {
         Move { x: f64, y: f64, layer: u16 },
@@ -199,7 +253,10 @@ fn try_best_action(
             if headroom >= 0.0 {
                 let (bx, by, layer) = mesh.bin_center(b);
                 let (bx, by) = chip.clamp(bx, by);
-                let delta = objective.delta_move(cell, bx, by, layer);
+                let mut delta = objective.delta_move(cell, bx, by, layer);
+                if let Some(p) = pricer.as_deref_mut() {
+                    delta += p.price(objective.cell_power(cell), current_pos, (bx, by, layer));
+                }
                 if delta < best.as_ref().map_or(-EPS, |(d, _)| *d) {
                     best = Some((
                         delta,
@@ -224,7 +281,15 @@ fn try_best_action(
                     da.partial_cmp(&dc).unwrap_or(std::cmp::Ordering::Equal)
                 });
             if let Some(partner) = partner {
-                let delta = objective.delta_swap(cell, partner);
+                let mut delta = objective.delta_swap(cell, partner);
+                if let Some(p) = pricer.as_deref_mut() {
+                    delta += p.price_swap(
+                        objective.cell_power(cell),
+                        current_pos,
+                        objective.cell_power(partner),
+                        objective.placement().position(partner),
+                    );
+                }
                 if delta < best.as_ref().map_or(-EPS, |(d, _)| *d) {
                     best = Some((delta, Action::Swap { with: partner }));
                 }
@@ -234,16 +299,24 @@ fn try_best_action(
 
     match best {
         Some((_, Action::Move { x, y, layer })) => {
+            let watts = objective.cell_power(cell);
             objective.apply_move(cell, x, y, layer);
             mesh.relocate(netlist, cell, x, y, layer);
+            if let Some(p) = pricer {
+                p.commit(watts, current_pos, (x, y, layer));
+            }
             true
         }
         Some((_, Action::Swap { with })) => {
             let pa = objective.placement().position(cell);
             let pb = objective.placement().position(with);
+            let (wa, wb) = (objective.cell_power(cell), objective.cell_power(with));
             objective.apply_swap(cell, with);
             mesh.relocate(netlist, cell, pb.0, pb.1, pb.2);
             mesh.relocate(netlist, with, pa.0, pa.1, pa.2);
+            if let Some(p) = pricer {
+                p.commit_swap(wa, pa, wb, pb);
+            }
             true
         }
         None => false,

@@ -18,6 +18,7 @@
 mod refine;
 mod row;
 
+pub(crate) use refine::refine_legal_priced;
 pub use refine::{refine_legal, refine_legal_observed, RefineStats};
 pub use row::{InsertionQuote, RowPacker};
 

@@ -14,6 +14,7 @@
 
 use crate::objective::{CellMove, IncrementalObjective};
 use crate::observer::PassEvent;
+use crate::thermal_pricer::ThermalMovePricer;
 use crate::Chip;
 use std::ops::ControlFlow;
 use tvp_netlist::{CellId, Netlist};
@@ -105,12 +106,33 @@ pub fn refine_legal_observed(
     passes: usize,
     probe: &mut dyn FnMut(PassEvent) -> ControlFlow<()>,
 ) -> (RefineStats, bool) {
+    refine_legal_priced(objective, netlist, chip, passes, None, probe)
+}
+
+/// [`refine_legal_observed`] with optional per-move thermal pricing: an
+/// armed pricer (compact tier + `alpha_temp > 0`) adds the frozen-field
+/// thermal term to every slide and swap candidate's delta
+/// (DESIGN.md §14). `None` is bit-identical to the unpriced refinement.
+pub(crate) fn refine_legal_priced(
+    objective: &mut IncrementalObjective<'_>,
+    netlist: &Netlist,
+    chip: &Chip,
+    passes: usize,
+    mut pricer: Option<&mut ThermalMovePricer>,
+    probe: &mut dyn FnMut(PassEvent) -> ControlFlow<()>,
+) -> (RefineStats, bool) {
     const EPS: f64 = 1e-18;
     let mut stats = RefineStats::default();
     for pass in 0..passes {
         let before_pass = objective.total();
         let mut rows = Rows::build(objective, netlist, chip);
-        let round_improved = refine_round(objective, chip, &mut rows, &mut stats);
+        let round_improved = refine_round(
+            objective,
+            chip,
+            &mut rows,
+            &mut stats,
+            pricer.as_deref_mut(),
+        );
         stats.improvement += before_pass - objective.total();
         let converged = !round_improved || stats.improvement < EPS;
         if probe(PassEvent::RefinePass {
@@ -135,6 +157,7 @@ fn refine_round(
     chip: &Chip,
     rows: &mut Rows,
     stats: &mut RefineStats,
+    mut pricer: Option<&mut ThermalMovePricer>,
 ) -> bool {
     const EPS: f64 = 1e-18;
     let mut improved = false;
@@ -151,17 +174,29 @@ fn refine_round(
                 //    linear in x, so an endpoint (or staying put) is
                 //    optimal.
                 let (lo, hi) = rows.slack(layer, row, i, chip);
+                let cur_pos = objective.placement().position(cell);
                 let mut best: Option<(f64, f64)> = None; // (delta, new_left)
                 for cand in [lo, hi] {
                     if (cand - x_left).abs() > 1e-15 && cand >= -1e-12 {
-                        let delta = objective.delta_move(cell, center(cand), yc, layer as u16);
+                        let mut delta = objective.delta_move(cell, center(cand), yc, layer as u16);
+                        if let Some(p) = pricer.as_deref_mut() {
+                            delta += p.price(
+                                objective.cell_power(cell),
+                                cur_pos,
+                                (center(cand), yc, layer as u16),
+                            );
+                        }
                         if delta < best.map_or(-EPS, |(d, _)| d) {
                             best = Some((delta, cand));
                         }
                     }
                 }
                 if let Some((_, new_left)) = best {
+                    let watts = objective.cell_power(cell);
                     objective.apply_move(cell, center(new_left), yc, layer as u16);
+                    if let Some(p) = pricer.as_deref_mut() {
+                        p.commit(watts, cur_pos, (center(new_left), yc, layer as u16));
+                    }
                     rows.cells[layer][row][i].0 = new_left;
                     stats.slides += 1;
                     improved = true;
@@ -191,8 +226,28 @@ fn refine_round(
                             layer: layer as u16,
                         },
                     ];
-                    if objective.delta_moves(&pair) < -EPS {
+                    let mut delta = objective.delta_moves(&pair);
+                    let pos_a = objective.placement().position(a);
+                    let pos_b = objective.placement().position(b);
+                    if let Some(p) = pricer.as_deref_mut() {
+                        delta += p.price(
+                            objective.cell_power(b),
+                            pos_b,
+                            (pair[0].x, pair[0].y, pair[0].layer),
+                        );
+                        delta += p.price(
+                            objective.cell_power(a),
+                            pos_a,
+                            (pair[1].x, pair[1].y, pair[1].layer),
+                        );
+                    }
+                    if delta < -EPS {
+                        let (wa, wb) = (objective.cell_power(a), objective.cell_power(b));
                         objective.apply_moves(&pair);
+                        if let Some(p) = pricer.as_deref_mut() {
+                            p.commit(wb, pos_b, (pair[0].x, pair[0].y, pair[0].layer));
+                            p.commit(wa, pos_a, (pair[1].x, pair[1].y, pair[1].layer));
+                        }
                         rows.cells[layer][row][i] = (span_left, bw, b);
                         rows.cells[layer][row][i + 1] = (span_left + bw, aw, a);
                         stats.swaps += 1;

@@ -16,10 +16,11 @@
 //! pre-engine pipeline.
 
 use crate::checkpoint::{self, CheckpointLoad};
-use crate::coarse::coarse_legalize_observed;
+use crate::coarse::coarse_legalize_priced;
+use crate::config::ThermalTierPolicy;
 use crate::control::StopCheck;
 use crate::detail::{
-    check_legal, detail_legalize, detail_legalize_observed, refine_legal, refine_legal_observed,
+    check_legal, detail_legalize, detail_legalize_observed, refine_legal, refine_legal_priced,
     LegalizeStats,
 };
 use crate::faults::{Degradation, FaultKind, FaultPlan};
@@ -27,12 +28,15 @@ use crate::metrics::{self, ThermalGuard};
 use crate::objective::{IncrementalObjective, ObjectiveModel};
 use crate::observer::{NopObserver, PassEvent, PlacerEvent, PlacerObserver};
 use crate::placer::{PlaceOptions, PlacementResult, RoundTiming, StageTimings, ThermalSnapshot};
+use crate::thermal_pricer::ThermalMovePricer;
 use crate::{Chip, PlaceError, Placement, PlacerConfig};
 use std::ops::ControlFlow;
 use std::path::Path;
 use std::time::Instant;
 use tvp_netlist::{CellId, Netlist};
-use tvp_thermal::{ThermalSimulator, ThermalSolveContext};
+use tvp_thermal::{
+    CompactModel, GridOracle, TemperatureField, ThermalOracle, ThermalSimulator, ThermalTier,
+};
 
 /// Which part of the §6 pipeline a stage implements. The driver uses the
 /// kind to route timings (totals + per-round) and thermal snapshots.
@@ -83,6 +87,9 @@ pub struct PlacerContext<'a> {
     /// Whether the current placement is row-legal (true right after a
     /// detail stage).
     pub legal: bool,
+    /// Per-move thermal pricer, present only when a stage's tier is
+    /// [`ThermalTier::Compact`] and `alpha_temp > 0` (DESIGN.md §14).
+    pricer: Option<ThermalMovePricer>,
     /// The run's fault plan, if one was attached (consumed as it fires).
     faults: Option<FaultPlan>,
     /// Every graceful degradation recorded so far.
@@ -250,11 +257,21 @@ impl Stage for CoarseStage {
         monitor: &mut StageMonitor<'_>,
     ) -> Result<StageStatus, PlaceError> {
         ctx.legal = false;
-        let (_, interrupted) = coarse_legalize_observed(
+        // Arm per-move thermal pricing for this stage when its tier is
+        // compact: the frozen field is re-grounded on the placement the
+        // stage starts from.
+        let priced = ctx.config.thermal_tiers.coarse == ThermalTier::Compact;
+        if priced {
+            if let Some(pricer) = ctx.pricer.as_mut() {
+                pricer.refresh(ctx.netlist, ctx.chip, ctx.model, &ctx.objective)?;
+            }
+        }
+        let (_, interrupted) = coarse_legalize_priced(
             &mut ctx.objective,
             ctx.netlist,
             ctx.chip,
             ctx.config,
+            if priced { ctx.pricer.as_mut() } else { None },
             &mut |p| monitor.pass(p),
         );
         Ok(if interrupted {
@@ -294,11 +311,21 @@ impl Stage for DetailStage {
             &mut |p| monitor.pass(p),
         );
         ctx.legal = true;
-        let (_, interrupted) = refine_legal_observed(
+        // Refinement prices moves thermally when the detail tier is
+        // compact; the field is refreshed *after* legalization because
+        // snapping moved every cell.
+        let priced = ctx.config.thermal_tiers.detail == ThermalTier::Compact;
+        if priced {
+            if let Some(pricer) = ctx.pricer.as_mut() {
+                pricer.refresh(ctx.netlist, ctx.chip, ctx.model, &ctx.objective)?;
+            }
+        }
+        let (_, interrupted) = refine_legal_priced(
             &mut ctx.objective,
             ctx.netlist,
             ctx.chip,
             ctx.config.legal_refine_passes,
+            if priced { ctx.pricer.as_mut() } else { None },
             &mut |p| monitor.pass(p),
         );
         Ok(if interrupted {
@@ -306,6 +333,91 @@ impl Stage for DetailStage {
         } else {
             StageStatus::Completed
         })
+    }
+}
+
+/// The run's thermal-oracle bank (DESIGN.md §14): one oracle per tier
+/// the configured [`ThermalTierPolicy`] actually uses. The full-grid
+/// oracle always exists — it is the default tier, the fallback for
+/// unbuilt tiers, and the reference every cross-model error is measured
+/// against. Coarse-grid and compact oracles are built only on demand, so
+/// the default (all-full-grid) policy constructs exactly the historical
+/// simulator + context pair and nothing else.
+struct ThermalOracles {
+    tiers: ThermalTierPolicy,
+    full: GridOracle,
+    coarse: Option<GridOracle>,
+    compact: Option<CompactModel>,
+}
+
+impl ThermalOracles {
+    fn build(config: &PlacerConfig, chip: &Chip) -> Result<Self, PlaceError> {
+        let tiers = config.thermal_tiers;
+        let (nx, ny) = config.thermal_grid;
+        let make_sim = |nx: usize, ny: usize| match &config.stack_layers {
+            Some(layers) => ThermalSimulator::with_layers(
+                chip.stack,
+                layers.clone(),
+                chip.width,
+                chip.depth,
+                nx,
+                ny,
+            ),
+            None => ThermalSimulator::new(chip.stack, chip.width, chip.depth, nx, ny),
+        };
+        let full = GridOracle::full_grid(make_sim(nx, ny)?, config.thermal_precond);
+        let coarse = if tiers.uses(ThermalTier::CoarseGrid) {
+            let sim = make_sim((nx / 2).max(2), (ny / 2).max(2))?;
+            Some(GridOracle::coarse_grid(sim, config.thermal_precond))
+        } else {
+            None
+        };
+        let compact = if tiers.uses(ThermalTier::Compact) {
+            // The compact model is fitted in-tree against the multigrid
+            // solver at a bounded resolution: kernel superposition is
+            // O(grid²) per evaluation, and 16×16 bins already resolve
+            // the lateral spreading the kernels model.
+            let sim = make_sim(nx.clamp(2, 16), ny.clamp(2, 16))?;
+            let (model, _report) = CompactModel::fit(&sim, config.thermal_precond)?;
+            Some(model)
+        } else {
+            None
+        };
+        Ok(Self {
+            tiers,
+            full,
+            coarse,
+            compact,
+        })
+    }
+
+    /// The tier the policy assigns to a snapshot site.
+    fn tier_for(&self, stage: &str) -> ThermalTier {
+        match stage {
+            "global" => self.tiers.global,
+            "coarse" => self.tiers.coarse,
+            _ => self.tiers.final_eval,
+        }
+    }
+
+    /// The oracle for `tier`, falling back to full-grid when the tier
+    /// was not built (the policy never requested it).
+    fn oracle(&mut self, tier: ThermalTier) -> &mut dyn ThermalOracle {
+        match tier {
+            ThermalTier::CoarseGrid => {
+                if let Some(coarse) = self.coarse.as_mut() {
+                    return coarse;
+                }
+                &mut self.full
+            }
+            ThermalTier::Compact => {
+                if let Some(compact) = self.compact.as_mut() {
+                    return compact;
+                }
+                &mut self.full
+            }
+            ThermalTier::FullGrid => &mut self.full,
+        }
     }
 }
 
@@ -331,13 +443,24 @@ pub(crate) fn run_pipeline(
     let chip = Chip::from_netlist(netlist, config)?;
     let model = ObjectiveModel::new(netlist, &chip, config)?;
 
-    // One simulator + CG context for every thermal evaluation of this
-    // run: the preconditioner (multigrid hierarchy by default) is built
-    // once, and each stage's solve warm-starts from the previous
-    // stage's field.
-    let (nx, ny) = config.thermal_grid;
-    let sim = ThermalSimulator::new(chip.stack, chip.width, chip.depth, nx, ny)?;
-    let mut thermal_ctx = sim.context_with(config.thermal_precond);
+    // One oracle bank for every thermal evaluation of this run: the
+    // full-grid oracle owns the historical simulator + warm-started CG
+    // context (the preconditioner hierarchy is built once, and each
+    // stage's solve warm-starts from the previous stage's field);
+    // coarse-grid and compact oracles exist only when the tier policy
+    // queries them.
+    let mut oracles = ThermalOracles::build(config, &chip)?;
+    let pricer = if config.alpha_temp > 0.0
+        && (config.thermal_tiers.coarse == ThermalTier::Compact
+            || config.thermal_tiers.detail == ThermalTier::Compact)
+    {
+        oracles
+            .compact
+            .clone()
+            .map(|model| ThermalMovePricer::new(model, config.alpha_temp))
+    } else {
+        None
+    };
     let mut trajectory: Vec<ThermalSnapshot> = Vec::new();
 
     let stages = default_stage_plan(config);
@@ -382,6 +505,7 @@ pub(crate) fn run_pipeline(
         fixed_positions,
         legalize: LegalizeStats::default(),
         legal: false,
+        pricer,
         faults: options.faults.take(),
         degradations: Vec::new(),
         pending_events: Vec::new(),
@@ -480,14 +604,7 @@ pub(crate) fn run_pipeline(
             _ => None,
         };
         if let Some(label) = snapshot_label {
-            snapshot(
-                label,
-                &mut ctx,
-                &sim,
-                &mut thermal_ctx,
-                &mut trajectory,
-                observer,
-            )?;
+            snapshot(label, &mut ctx, &mut oracles, &mut trajectory, observer)?;
             flush_events(&mut ctx, observer);
         }
 
@@ -569,13 +686,13 @@ pub(crate) fn run_pipeline(
         inject_nan: ctx.fire_fault(FaultKind::NanPower, "final"),
         inject_cg_failure: ctx.fire_fault(FaultKind::CgBreakdown, "final"),
     };
-    let (metrics, outcome) = metrics::compute_with_guarded(
+    let final_tier = oracles.tier_for("final");
+    let (metrics, outcome, field) = metrics::compute_with_guarded(
         netlist,
         &chip,
         &model,
         &ctx.objective,
-        &sim,
-        &mut thermal_ctx,
+        oracles.oracle(final_tier),
         guard,
     )?;
     if outcome.degraded() {
@@ -584,15 +701,19 @@ pub(crate) fn run_pipeline(
             detail: outcome.describe(),
         });
     }
+    let (cross_max, cross_avg) = cross_errors(&ctx, &mut oracles, final_tier, &field)?;
     flush_events(&mut ctx, observer);
     let final_snapshot = ThermalSnapshot {
         stage: "final",
+        tier: final_tier.as_str(),
         avg_temperature: metrics.avg_temperature,
         max_temperature: metrics.max_temperature,
         cg_iterations: outcome.iterations(),
         warm_started: outcome.warm_started(),
         preconditioner: outcome.preconditioner(),
         initial_residual: outcome.initial_residual(),
+        cross_model_max_error: cross_max,
+        cross_model_avg_error: cross_avg,
     };
     trajectory.push(final_snapshot);
     if observer.enabled() {
@@ -631,15 +752,15 @@ fn grow_rounds(rounds: &mut Vec<RoundTiming>, round: usize) -> &mut RoundTiming 
     &mut rounds[round]
 }
 
-/// Solves the thermal field of the current placement through the shared
-/// warm-started context (hardened: NaN power is sanitized, a CG
-/// breakdown falls back to damped Jacobi), appends the outcome to the
-/// trajectory, and reports it.
+/// Solves the thermal field of the current placement through the tier
+/// the policy assigns to this site (hardened: NaN power is sanitized, a
+/// CG breakdown falls back to damped Jacobi), appends the outcome —
+/// including the cross-model error against the full-grid reference when
+/// a cheaper tier answered — to the trajectory, and reports it.
 fn snapshot(
     stage: &'static str,
     ctx: &mut PlacerContext<'_>,
-    sim: &ThermalSimulator,
-    thermal_ctx: &mut ThermalSolveContext,
+    oracles: &mut ThermalOracles,
     trajectory: &mut Vec<ThermalSnapshot>,
     observer: &mut dyn PlacerObserver,
 ) -> Result<(), PlaceError> {
@@ -647,13 +768,13 @@ fn snapshot(
         inject_nan: ctx.fire_fault(FaultKind::NanPower, stage),
         inject_cg_failure: ctx.fire_fault(FaultKind::CgBreakdown, stage),
     };
-    let (avg, max, outcome) = metrics::solve_temperatures(
+    let tier = oracles.tier_for(stage);
+    let (field, outcome) = metrics::solve_field(
         ctx.netlist,
         ctx.chip,
         ctx.model,
         &ctx.objective,
-        sim,
-        thermal_ctx,
+        oracles.oracle(tier),
         guard,
     )?;
     if outcome.degraded() {
@@ -662,20 +783,56 @@ fn snapshot(
             detail: outcome.describe(),
         });
     }
+    let (avg, max) = metrics::sample_cells(ctx.chip, &ctx.objective, &field);
+    let (cross_max, cross_avg) = cross_errors(ctx, oracles, tier, &field)?;
     let snap = ThermalSnapshot {
         stage,
+        tier: tier.as_str(),
         avg_temperature: avg,
         max_temperature: max,
         cg_iterations: outcome.iterations(),
         warm_started: outcome.warm_started(),
         preconditioner: outcome.preconditioner(),
         initial_residual: outcome.initial_residual(),
+        cross_model_max_error: cross_max,
+        cross_model_avg_error: cross_avg,
     };
     trajectory.push(snap);
     if observer.enabled() {
         observer.event(&PlacerEvent::ThermalSolved { snapshot: snap });
     }
     Ok(())
+}
+
+/// The `(max, avg)` absolute cross-model temperature error of `field`
+/// against a fresh full-grid reference solve of the same placement.
+/// `(NaN, NaN)` when the full grid itself answered — there is nothing to
+/// compare, and `NaN` renders as `null` in trace events. The reference
+/// solve runs unguarded: it is never the quantity under test, and on the
+/// default (all-full-grid) policy this function never solves at all.
+fn cross_errors(
+    ctx: &PlacerContext<'_>,
+    oracles: &mut ThermalOracles,
+    tier: ThermalTier,
+    field: &TemperatureField,
+) -> Result<(f64, f64), PlaceError> {
+    if tier == ThermalTier::FullGrid {
+        return Ok((f64::NAN, f64::NAN));
+    }
+    let (reference, _) = metrics::solve_field(
+        ctx.netlist,
+        ctx.chip,
+        ctx.model,
+        &ctx.objective,
+        &mut oracles.full,
+        ThermalGuard::default(),
+    )?;
+    Ok(metrics::cross_model_error(
+        ctx.chip,
+        &ctx.objective,
+        field,
+        &reference,
+    ))
 }
 
 #[cfg(test)]

@@ -55,11 +55,12 @@ pub mod observer;
 pub mod placement;
 mod placer;
 pub mod power;
+mod thermal_pricer;
 pub mod trr;
 pub mod validate;
 
 pub use chip::Chip;
-pub use config::{PlacerConfig, ShiftStrategy, TechnologyParams};
+pub use config::{PlacerConfig, ShiftStrategy, TechnologyParams, ThermalTierPolicy};
 pub use control::CancelToken;
 pub use engine::{PlacerContext, Stage, StageKind, StageMonitor, StageStatus};
 pub use error::PlaceError;
@@ -73,7 +74,7 @@ pub use placement::Placement;
 pub use placer::{
     PlaceOptions, PlacementResult, Placer, RoundTiming, StageTimings, ThermalSnapshot,
 };
-pub use tvp_thermal::{PrecondKind, Preconditioner};
+pub use tvp_thermal::{LayerSpec, PrecondKind, Preconditioner, ThermalTier};
 pub use validate::{
     repair, validate, Diagnostic, DiagnosticCode, RepairAction, Severity, ValidateOptions,
     ValidationReport,

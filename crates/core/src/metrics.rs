@@ -6,7 +6,8 @@ use crate::{Chip, PlaceError};
 use std::fmt;
 use tvp_netlist::Netlist;
 use tvp_thermal::{
-    CgStats, FallbackStats, PowerMap, ThermalError, ThermalSimulator, ThermalSolveContext,
+    CgStats, FallbackStats, GridOracle, PowerMap, Preconditioner, TemperatureField, ThermalOracle,
+    ThermalSimulator,
 };
 
 /// Quality metrics of one placement.
@@ -63,13 +64,14 @@ pub fn compute(
 ) -> Result<PlacementMetrics, PlaceError> {
     let (nx, ny) = thermal_grid;
     let sim = ThermalSimulator::new(chip.stack, chip.width, chip.depth, nx, ny)?;
-    let mut context = sim.context();
-    compute_with(netlist, chip, model, objective, &sim, &mut context)
+    let mut oracle = GridOracle::full_grid(sim, Preconditioner::default());
+    compute_with(netlist, chip, model, objective, &mut oracle)
 }
 
-/// [`compute`] on a caller-owned simulator and solve context, so a
-/// placement loop that evaluates temperature repeatedly reuses the
-/// cached preconditioner and warm-starts CG from the previous field.
+/// [`compute`] through a caller-owned [`ThermalOracle`], so a placement
+/// loop that evaluates temperature repeatedly reuses the oracle's cached
+/// state (preconditioner setup and CG warm starts for the grid-backed
+/// tiers) and controls the accuracy/speed tier.
 ///
 /// # Errors
 ///
@@ -79,32 +81,30 @@ pub fn compute_with(
     chip: &Chip,
     model: &ObjectiveModel,
     objective: &IncrementalObjective<'_>,
-    sim: &ThermalSimulator,
-    context: &mut ThermalSolveContext,
+    oracle: &mut dyn ThermalOracle,
 ) -> Result<PlacementMetrics, PlaceError> {
     compute_with_guarded(
         netlist,
         chip,
         model,
         objective,
-        sim,
-        context,
+        oracle,
         ThermalGuard::default(),
     )
-    .map(|(metrics, _)| metrics)
+    .map(|(metrics, _, _)| metrics)
 }
 
-/// [`compute_with`] plus the [`ThermalOutcome`] of the solve, so the
-/// engine can record degradations (and inject faults).
+/// [`compute_with`] plus the [`ThermalOutcome`] and the solved field, so
+/// the engine can record degradations, inject faults, and compare the
+/// field against the full-grid reference.
 pub(crate) fn compute_with_guarded(
     netlist: &Netlist,
     chip: &Chip,
     model: &ObjectiveModel,
     objective: &IncrementalObjective<'_>,
-    sim: &ThermalSimulator,
-    context: &mut ThermalSolveContext,
+    oracle: &mut dyn ThermalOracle,
     guard: ThermalGuard,
-) -> Result<(PlacementMetrics, ThermalOutcome), PlaceError> {
+) -> Result<(PlacementMetrics, ThermalOutcome, TemperatureField), PlaceError> {
     let wirelength = objective.total_wirelength();
     let ilv_count = objective.total_ilv();
     let total_power = objective.total_power();
@@ -116,8 +116,8 @@ pub(crate) fn compute_with_guarded(
         ilv_count / interlayers as f64 / chip.layer_area()
     };
 
-    let (avg_temperature, max_temperature, outcome) =
-        solve_temperatures(netlist, chip, model, objective, sim, context, guard)?;
+    let (field, outcome) = solve_field(netlist, chip, model, objective, oracle, guard)?;
+    let (avg_temperature, max_temperature) = sample_cells(chip, objective, &field);
 
     Ok((
         PlacementMetrics {
@@ -130,6 +130,7 @@ pub(crate) fn compute_with_guarded(
             objective: objective.total(),
         },
         outcome,
+        field,
     ))
 }
 
@@ -211,26 +212,18 @@ impl ThermalOutcome {
     }
 }
 
-/// Solves the thermal field of the current placement through `context`
-/// (warm-starting from its previous solution, if any) and returns the
-/// `(cell-average, max)` temperatures plus the solve's
-/// [`ThermalOutcome`].
-///
-/// This is the hardened path every stage boundary uses: non-finite power
-/// deposits (injected or genuine) are zeroed before the solve, and a CG
-/// breakdown (injected or a genuine [`ThermalError::SolverDiverged`])
-/// falls back to the unconditionally-convergent damped-Jacobi solver
-/// instead of failing the run.
-pub(crate) fn solve_temperatures(
+/// Deposits each placed cell's Eq. 10 power into a power map matching
+/// `oracle`'s evaluation grid. Physical-coordinate addressing makes this
+/// resolution-agnostic: the same placement deposits consistently at full,
+/// coarse, or compact resolution.
+pub(crate) fn build_power_map(
     netlist: &Netlist,
     chip: &Chip,
     model: &ObjectiveModel,
     objective: &IncrementalObjective<'_>,
-    sim: &ThermalSimulator,
-    context: &mut ThermalSolveContext,
-    guard: ThermalGuard,
-) -> Result<(f64, f64, ThermalOutcome), PlaceError> {
-    let (nx, ny, _) = sim.grid_dims();
+    oracle: &dyn ThermalOracle,
+) -> PowerMap {
+    let (nx, ny, _) = oracle.grid_dims();
     let mut power_map = PowerMap::new(nx, ny, chip.num_layers);
     for (cell, x, y, layer) in objective.placement().iter() {
         let p = model.power().cell_power(netlist, cell, |e| {
@@ -248,40 +241,55 @@ pub(crate) fn solve_temperatures(
             );
         }
     }
+    power_map
+}
+
+/// Solves the thermal field of the current placement through `oracle`
+/// (warm-starting from its previous solution on grid-backed tiers) and
+/// returns the field plus the solve's [`ThermalOutcome`].
+///
+/// This is the hardened path every stage boundary uses: non-finite power
+/// deposits (injected or genuine) are zeroed before the solve, and a CG
+/// breakdown (injected via `guard.inject_cg_failure`, or a genuine
+/// divergence inside the oracle) falls back to the
+/// unconditionally-convergent damped-Jacobi solver instead of failing
+/// the run.
+pub(crate) fn solve_field(
+    netlist: &Netlist,
+    chip: &Chip,
+    model: &ObjectiveModel,
+    objective: &IncrementalObjective<'_>,
+    oracle: &mut dyn ThermalOracle,
+    guard: ThermalGuard,
+) -> Result<(TemperatureField, ThermalOutcome), PlaceError> {
+    let mut power_map = build_power_map(netlist, chip, model, objective, oracle);
     if guard.inject_nan {
         if let Some(v) = power_map.values_mut().first_mut() {
             *v = f64::NAN;
         }
     }
 
-    let mut outcome = ThermalOutcome {
-        sanitized: power_map.sanitize(),
-        ..ThermalOutcome::default()
-    };
+    let sanitized = power_map.sanitize();
+    let (field, stats) = oracle.solve(&power_map, guard.inject_cg_failure)?;
+    Ok((
+        field,
+        ThermalOutcome {
+            sanitized,
+            cg: stats.cg,
+            fallback: stats.fallback,
+        },
+    ))
+}
 
-    let field = if guard.inject_cg_failure {
-        let (field, stats) = sim.solve_fallback(&power_map)?;
-        // The fallback bypasses the context; drop the stale warm start so
-        // the next CG solve runs cold instead of from an unrelated field.
-        context.reset();
-        outcome.fallback = Some(stats);
-        field
-    } else {
-        match sim.solve_with(&power_map, context) {
-            Ok(field) => {
-                outcome.cg = context.last_stats();
-                field
-            }
-            Err(ThermalError::SolverDiverged { .. }) => {
-                let (field, stats) = sim.solve_fallback(&power_map)?;
-                context.reset();
-                outcome.fallback = Some(stats);
-                field
-            }
-            Err(e) => return Err(e.into()),
-        }
-    };
-
+/// Samples `field` at every placed cell and returns the
+/// `(cell-average, max)` temperatures: the average is over *cells* (cell
+/// temperatures are what the Eq. 1 objective weighs), the maximum over
+/// all device nodes.
+pub(crate) fn sample_cells(
+    chip: &Chip,
+    objective: &IncrementalObjective<'_>,
+    field: &TemperatureField,
+) -> (f64, f64) {
     let mut t_sum = 0.0;
     let mut n_cells = 0usize;
     for (_, x, y, layer) in objective.placement().iter() {
@@ -293,7 +301,36 @@ pub(crate) fn solve_temperatures(
     } else {
         t_sum / n_cells as f64
     };
-    Ok((avg_temperature, field.max_temperature(), outcome))
+    (avg_temperature, field.max_temperature())
+}
+
+/// Per-cell `(max, avg)` absolute temperature difference between a
+/// cheaper tier's field and the full-grid reference. The fields may live
+/// on different grids, so the comparison samples both at each placed
+/// cell's physical position (the temperatures the objective actually
+/// consumes).
+pub(crate) fn cross_model_error(
+    chip: &Chip,
+    objective: &IncrementalObjective<'_>,
+    field: &TemperatureField,
+    reference: &TemperatureField,
+) -> (f64, f64) {
+    let mut max_err = 0.0f64;
+    let mut sum_err = 0.0f64;
+    let mut n_cells = 0usize;
+    for (_, x, y, layer) in objective.placement().iter() {
+        let t = field.sample(x, y, layer as usize, chip.width, chip.depth);
+        let r = reference.sample(x, y, layer as usize, chip.width, chip.depth);
+        let err = (t - r).abs();
+        max_err = max_err.max(err);
+        sum_err += err;
+        n_cells += 1;
+    }
+    if n_cells == 0 {
+        (0.0, 0.0)
+    } else {
+        (max_err, sum_err / n_cells as f64)
+    }
 }
 
 #[cfg(test)]
@@ -364,8 +401,8 @@ mod tests {
             Placement::centered(netlist.num_cells(), &chip),
         );
         let sim = ThermalSimulator::new(chip.stack, chip.width, chip.depth, 8, 8).unwrap();
-        let mut context = sim.context();
-        let clean = compute_with(&netlist, &chip, &model, &objective, &sim, &mut context).unwrap();
+        let mut oracle = GridOracle::full_grid(sim.clone(), Preconditioner::default());
+        let clean = compute_with(&netlist, &chip, &model, &objective, &mut oracle).unwrap();
 
         for guard in [
             ThermalGuard {
@@ -381,17 +418,10 @@ mod tests {
                 inject_cg_failure: true,
             },
         ] {
-            let mut context = sim.context();
-            let (metrics, outcome) = compute_with_guarded(
-                &netlist,
-                &chip,
-                &model,
-                &objective,
-                &sim,
-                &mut context,
-                guard,
-            )
-            .unwrap();
+            let mut oracle = GridOracle::full_grid(sim.clone(), Preconditioner::default());
+            let (metrics, outcome, _field) =
+                compute_with_guarded(&netlist, &chip, &model, &objective, &mut oracle, guard)
+                    .unwrap();
             assert!(outcome.degraded(), "{guard:?}");
             assert_eq!(outcome.sanitized > 0, guard.inject_nan);
             assert_eq!(outcome.fallback.is_some(), guard.inject_cg_failure);
@@ -407,6 +437,63 @@ mod tests {
                 (metrics.avg_temperature - clean.avg_temperature).abs() / clean.avg_temperature;
             assert!(rel < 0.75, "guard {guard:?} drifted {rel}");
         }
+    }
+
+    #[test]
+    fn compact_oracle_tracks_full_grid_through_solve_field() {
+        let (netlist, chip, config) = fixture();
+        let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
+        let mut placement = Placement::centered(netlist.num_cells(), &chip);
+        for i in 0..netlist.num_cells() {
+            placement.set(
+                CellId::new(i),
+                (i as f64 / netlist.num_cells() as f64) * chip.width,
+                ((i * 7 % 13) as f64 / 13.0) * chip.depth,
+                (i % 4) as u16,
+            );
+        }
+        let objective = IncrementalObjective::new(&netlist, &model, placement);
+        let sim = ThermalSimulator::new(chip.stack, chip.width, chip.depth, 8, 8).unwrap();
+        let mut full = GridOracle::full_grid(sim.clone(), Preconditioner::default());
+        let (mut compact, report) =
+            tvp_thermal::CompactModel::fit(&sim, Preconditioner::default()).unwrap();
+        assert!(report.max_rel_error <= tvp_thermal::compact_params::CROSS_MODEL_GATE);
+
+        let (ref_field, _) = solve_field(
+            &netlist,
+            &chip,
+            &model,
+            &objective,
+            &mut full,
+            ThermalGuard::default(),
+        )
+        .unwrap();
+        let (field, outcome) = solve_field(
+            &netlist,
+            &chip,
+            &model,
+            &objective,
+            &mut compact,
+            ThermalGuard::default(),
+        )
+        .unwrap();
+        assert!(!outcome.degraded(), "compact tier has nothing to degrade");
+        assert_eq!(outcome.iterations(), 0);
+        assert_eq!(outcome.preconditioner(), "none");
+
+        let (max_err, avg_err) = cross_model_error(&chip, &objective, &field, &ref_field);
+        assert!(avg_err <= max_err);
+        let peak = (ref_field.max_temperature() - ref_field.ambient()).max(1e-30);
+        assert!(
+            max_err / peak < 0.35,
+            "compact field drifted {} of peak rise {peak}",
+            max_err / peak
+        );
+        // Self-comparison is exactly zero.
+        assert_eq!(
+            cross_model_error(&chip, &objective, &ref_field, &ref_field),
+            (0.0, 0.0)
+        );
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub enum DiagnosticCode {
     DisconnectedCell,
     /// The netlist has no movable cells at all.
     NoMovableCells,
+    /// The thermal objective is enabled (`alpha_temp > 0`) but no net
+    /// both switches and has a driver, so the dynamic power map is
+    /// all-zero and the thermal term cannot steer anything.
+    ThermalObjectiveInert,
 }
 
 impl DiagnosticCode {
@@ -75,6 +79,7 @@ impl DiagnosticCode {
             DiagnosticCode::AreaExceedsCapacity => "area-exceeds-capacity",
             DiagnosticCode::DisconnectedCell => "disconnected-cell",
             DiagnosticCode::NoMovableCells => "no-movable-cells",
+            DiagnosticCode::ThermalObjectiveInert => "thermal-objective-inert",
         }
     }
 }
@@ -171,6 +176,10 @@ pub struct ValidateOptions<'a> {
     /// Layer count the rows repeat across (ignored without `rows`;
     /// clamped to at least 1).
     pub num_layers: u16,
+    /// The `α_TEMP` the design would be placed with (0 = thermal term
+    /// off). Enables the inert-thermal-objective check: a positive
+    /// coefficient over an all-zero power map buys nothing.
+    pub alpha_temp: f64,
 }
 
 /// Validates a netlist for placement and reports every finding.
@@ -236,6 +245,30 @@ pub fn validate(netlist: &Netlist, options: &ValidateOptions<'_>) -> ValidationR
             Severity::Error,
             "",
             "netlist has no movable cells; there is nothing to place".into(),
+        );
+    }
+
+    // Thermal-objective sanity: with default technology parameters
+    // (zero per-cell leakage) the Eq. 10 power map deposits each net's
+    // dynamic power at its driver, so the map is identically zero when
+    // no net both switches and has a driver — a positive alpha_temp
+    // then multiplies zeros and the run pays for thermal solves that
+    // cannot steer the placement.
+    if options.alpha_temp > 0.0
+        && netlist
+            .nets()
+            .iter()
+            .all(|net| net.switching_activity() <= 0.0 || net.driver().is_none())
+    {
+        report.push(
+            DiagnosticCode::ThermalObjectiveInert,
+            Severity::Warning,
+            "",
+            format!(
+                "alpha_temp = {:e} but no net both switches and has a driver: \
+                 the power map is all-zero and the thermal objective term is inert",
+                options.alpha_temp
+            ),
         );
     }
 
@@ -575,6 +608,56 @@ mod tests {
         );
         assert!(codes(&report).contains(&DiagnosticCode::CellWiderThanRow));
         assert!(!codes(&report).contains(&DiagnosticCode::AreaExceedsCapacity));
+    }
+
+    #[test]
+    fn inert_thermal_objective_is_a_warning_only_with_alpha_temp() {
+        // A net that never switches deposits no power at its driver.
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 1e-6, 1e-6);
+        let z = b.add_cell("z", 1e-6, 1e-6);
+        let quiet = b.add_net("n");
+        b.connect(quiet, a, PinDirection::Output).unwrap();
+        b.connect(quiet, z, PinDirection::Input).unwrap();
+        b.set_switching_activity(quiet, 0.0).unwrap();
+        // A switching net with no driver has nowhere to deposit power.
+        let floating = b.add_net("f");
+        b.connect(floating, a, PinDirection::Input).unwrap();
+        b.connect(floating, z, PinDirection::Input).unwrap();
+        let silent = b.build().unwrap();
+
+        let report = validate(&silent, &ValidateOptions::default());
+        assert!(
+            !codes(&report).contains(&DiagnosticCode::ThermalObjectiveInert),
+            "alpha_temp = 0 never warns"
+        );
+        let report = validate(
+            &silent,
+            &ValidateOptions {
+                alpha_temp: 1.0e-4,
+                ..ValidateOptions::default()
+            },
+        );
+        assert!(codes(&report).contains(&DiagnosticCode::ThermalObjectiveInert));
+        assert!(report.is_placeable(), "warning, not an error");
+
+        // One switching net makes the power map non-zero: no warning.
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 1e-6, 1e-6);
+        let z = b.add_cell("z", 1e-6, 1e-6);
+        let n = b.add_net("n");
+        b.connect(n, a, PinDirection::Output).unwrap();
+        b.connect(n, z, PinDirection::Input).unwrap();
+        b.set_switching_activity(n, 0.2).unwrap();
+        let switching = b.build().unwrap();
+        let report = validate(
+            &switching,
+            &ValidateOptions {
+                alpha_temp: 1.0e-4,
+                ..ValidateOptions::default()
+            },
+        );
+        assert!(!codes(&report).contains(&DiagnosticCode::ThermalObjectiveInert));
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Checked-in compact-model parameters for the canonical fit geometry.
+//!
+//! [`CompactModel::fit`](crate::CompactModel::fit) runs in milliseconds,
+//! so production code fits against the actual chip geometry at startup;
+//! these serialized constants exist to (a) pin the fit as a regression
+//! reference — if the solver or the fit drift, the `canonical_params`
+//! test fails loudly — and (b) document the error contract the rest of
+//! the system (CI gate, bench `thermal_oracle` section, proptests) is
+//! built on.
+//!
+//! Canonical geometry: 1 mm × 1 mm chip, 16 × 16 lateral grid, 4-layer
+//! MIT-LL 0.18 µm stack ([`LayerStack::mitll_0_18um`]), the defaults the
+//! placer uses for its thermal evaluation grid.
+//!
+//! All `L × L` matrices are row-major `[source_layer * L + eval_layer]`
+//! with layer 0 closest to the heat sink.
+
+use crate::{CompactParams, LayerStack, ThermalSimulator};
+
+/// Maximum tolerated compact-vs-multigrid ΔT error, relative to the peak
+/// multigrid temperature rise, on the canonical fit impulses. The CI
+/// smoke job and the bench `thermal_oracle` section fail when a fresh fit
+/// exceeds this. The canonical fit currently achieves ≈ 0.052; the gate
+/// leaves ~3× headroom before failing the build.
+pub const CROSS_MODEL_GATE: f64 = 0.15;
+
+/// Canonical chip footprint, meters.
+pub const CANONICAL_FOOTPRINT: (f64, f64) = (1.0e-3, 1.0e-3);
+
+/// Canonical lateral evaluation grid.
+pub const CANONICAL_GRID: (usize, usize) = (16, 16);
+
+/// Canonical number of device layers.
+pub const CANONICAL_LAYERS: usize = 4;
+
+/// Fitted per-pair vertical-depth parameters on the canonical geometry.
+pub const CANONICAL_A: [f64; CANONICAL_LAYERS * CANONICAL_LAYERS] = [
+    0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05,
+];
+
+/// Fitted per-pair lateral spread lengths on the canonical geometry,
+/// meters.
+pub const CANONICAL_SPREAD: [f64; CANONICAL_LAYERS * CANONICAL_LAYERS] = [
+    1.5625e-5, 1.5625e-5, 1.5625e-5, 1.5625e-5, 1.5625e-5, 1.5625e-5, 1.5625e-5, 1.5625e-5,
+    1.5625e-5, 1.5625e-5, 1.5625e-5, 1.5625e-5, 1.5625e-5, 1.5625e-5, 1.5625e-5, 1.5625e-5,
+];
+
+/// Fitted per-pair smooth-kernel amplitudes (K/W) on the canonical
+/// geometry.
+pub const CANONICAL_AMPLITUDE: [f64; CANONICAL_LAYERS * CANONICAL_LAYERS] = [
+    4.095570945725884,
+    4.489449364380873,
+    4.739817920652027,
+    4.861404602167158,
+    4.489449818007202,
+    5.029264335313959,
+    5.372455207869503,
+    5.539140152000708,
+    4.739818677053109,
+    5.372455510645095,
+    5.828586415412031,
+    6.050155850961248,
+    4.861405510058266,
+    5.5391406062679724,
+    6.050156002453689,
+    6.339564001234201,
+];
+
+/// Fitted per-pair source-bin local self-heating terms (K/W) on the
+/// canonical geometry.
+pub const CANONICAL_LOCAL: [f64; CANONICAL_LAYERS * CANONICAL_LAYERS] = [
+    314.9882887213916,
+    276.52705351582074,
+    251.8274930849846,
+    239.75386028228743,
+    276.5270464565774,
+    385.0080476927299,
+    351.5246605018754,
+    335.15871435182083,
+    251.82748131399674,
+    351.5246557901137,
+    468.3392713132085,
+    446.92741397735415,
+    239.75384615383012,
+    335.1587072825618,
+    446.9274116198455,
+    580.105169053458,
+];
+
+/// The checked-in canonical parameters as a [`CompactParams`] value.
+pub fn canonical() -> CompactParams {
+    CompactParams {
+        num_layers: CANONICAL_LAYERS,
+        a: CANONICAL_A.to_vec(),
+        spread: CANONICAL_SPREAD.to_vec(),
+        amplitude: CANONICAL_AMPLITUDE.to_vec(),
+        local: CANONICAL_LOCAL.to_vec(),
+    }
+}
+
+/// The simulator the canonical parameters were fitted against.
+///
+/// # Errors
+///
+/// Fails only if the canonical constants themselves are invalid.
+pub fn canonical_simulator() -> crate::Result<ThermalSimulator> {
+    let (width, depth) = CANONICAL_FOOTPRINT;
+    let (nx, ny) = CANONICAL_GRID;
+    ThermalSimulator::new(
+        LayerStack::mitll_0_18um(CANONICAL_LAYERS),
+        width,
+        depth,
+        nx,
+        ny,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompactModel, Preconditioner};
+
+    /// A fresh fit on the canonical geometry must reproduce the
+    /// checked-in constants (the fit is deterministic) and stay under the
+    /// documented cross-model gate.
+    #[test]
+    fn canonical_params_match_fresh_fit() {
+        let sim = canonical_simulator().unwrap();
+        let (model, report) = CompactModel::fit(&sim, Preconditioner::default()).unwrap();
+        let fitted = model.params();
+        let pinned = canonical();
+        for (name, fit, pin) in [
+            ("a", &fitted.a, &pinned.a),
+            ("spread", &fitted.spread, &pinned.spread),
+            ("amplitude", &fitted.amplitude, &pinned.amplitude),
+            ("local", &fitted.local, &pinned.local),
+        ] {
+            for (idx, (&f, &p)) in fit.iter().zip(pin.iter()).enumerate() {
+                let tol = 1e-6 * p.abs().max(1e-300);
+                assert!(
+                    (f - p).abs() <= tol,
+                    "{name}[{idx}] drifted: fitted {f:e} vs pinned {p:e}"
+                );
+            }
+        }
+        assert!(
+            report.max_rel_error <= CROSS_MODEL_GATE,
+            "fit error {} exceeds gate {}",
+            report.max_rel_error,
+            CROSS_MODEL_GATE
+        );
+        pinned.validate().unwrap();
+    }
+}

@@ -40,6 +40,7 @@
 //! the multigrid hierarchy is built once per context, not per solve.
 
 use crate::multigrid::MgHierarchy;
+use crate::stack::LayerSpec;
 use crate::{LayerStack, PowerMap, ThermalError};
 use tvp_parallel as parallel;
 
@@ -116,6 +117,36 @@ impl TemperatureField {
         let j = ((y / depth * self.ny as f64).floor() as isize).clamp(0, self.ny as isize - 1);
         self.at(i as usize, j as usize, layer.min(self.nz - 1))
     }
+
+    /// Assembles a field from raw device-layer values (compact-model and
+    /// test construction inside this crate).
+    pub(crate) fn from_values(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        ambient: f64,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(values.len(), nx * ny * nz);
+        Self {
+            nx,
+            ny,
+            nz,
+            ambient,
+            values,
+        }
+    }
+
+    /// Raw device-layer values, `(k, j, i)` row-major (crate-internal:
+    /// the compact model patches fields incrementally).
+    pub(crate) fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Raw device-layer values, `(k, j, i)` row-major.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
 }
 
 /// The 7-point finite-volume conductance operator for one grid
@@ -149,8 +180,14 @@ impl StencilOp {
     /// scale with the cell areas of *this* resolution), so coarse
     /// multigrid operators built by rediscretization stay consistent
     /// with conservative (summing) residual restriction.
+    ///
+    /// `layers` optionally overrides the per-device-layer thickness and
+    /// conductivity (heterogeneous stacks); `None` reproduces the uniform
+    /// stack bit for bit. Layer data is resolution-independent, so the
+    /// same slice serves every multigrid level.
     pub(crate) fn discretize(
         stack: &LayerStack,
+        layers: Option<&[LayerSpec]>,
         width: f64,
         depth: f64,
         nx: usize,
@@ -164,15 +201,26 @@ impl StencilOp {
 
         // Node-layer thicknesses and conductivities: the bulk substrate
         // node (k = 0) conducts at silicon conductivity; device layers
-        // use the stack's effective conductivity.
+        // use the stack's effective conductivity, or their own when a
+        // heterogeneous override is given.
         let k_sub = stack.substrate_conductivity;
         let mut tz = Vec::with_capacity(nz);
         let mut kz = Vec::with_capacity(nz);
         tz.push(stack.substrate_thickness);
         kz.push(k_sub);
-        for _ in 0..stack.num_layers {
-            tz.push(stack.layer_thickness);
-            kz.push(k);
+        match layers {
+            Some(specs) => {
+                for spec in specs.iter().take(stack.num_layers) {
+                    tz.push(spec.thickness);
+                    kz.push(spec.conductivity);
+                }
+            }
+            None => {
+                for _ in 0..stack.num_layers {
+                    tz.push(stack.layer_thickness);
+                    kz.push(k);
+                }
+            }
         }
 
         let gx: Vec<f64> = tz
@@ -200,8 +248,9 @@ impl StencilOp {
         let mut gamb = vec![0.0; nz];
         // Bottom: half the substrate conduction in series with the sink film.
         gamb[0] = area_xy / (tz[0] / 2.0 / k_sub + 1.0 / h_sink);
-        // Top: half the top layer in series with the weak film.
-        gamb[nz - 1] += area_xy / (tz[nz - 1] / 2.0 / k + 1.0 / h_side);
+        // Top: half the top layer (at its own conductivity) in series
+        // with the weak film.
+        gamb[nz - 1] += area_xy / (tz[nz - 1] / 2.0 / kz[nz - 1] + 1.0 / h_side);
         // Side films per layer, applied along boundary columns.
         let gside: Vec<f64> = tz
             .iter()
@@ -355,6 +404,9 @@ impl StencilOp {
 #[derive(Clone, PartialEq, Debug)]
 pub struct ThermalSimulator {
     stack: LayerStack,
+    /// Per-device-layer thickness/conductivity overrides (heterogeneous
+    /// stacks); `None` = the uniform stack.
+    layers: Option<Vec<LayerSpec>>,
     width: f64,
     depth: f64,
     op: StencilOp,
@@ -375,6 +427,47 @@ impl ThermalSimulator {
         nx: usize,
         ny: usize,
     ) -> crate::Result<Self> {
+        Self::build(stack, None, width, depth, nx, ny)
+    }
+
+    /// [`new`](Self::new) with per-device-layer thickness/conductivity
+    /// overrides: `layers[l]` describes device layer `l` (0 = closest to
+    /// the heat sink). The scalar stack still supplies the substrate,
+    /// bonding dielectric, and boundary films.
+    ///
+    /// # Errors
+    ///
+    /// Additionally to [`new`](Self::new)'s contract, returns
+    /// [`ThermalError::InvalidParameter`] when the override count differs
+    /// from `stack.num_layers` or any spec is non-positive/non-finite.
+    pub fn with_layers(
+        stack: LayerStack,
+        layers: Vec<LayerSpec>,
+        width: f64,
+        depth: f64,
+        nx: usize,
+        ny: usize,
+    ) -> crate::Result<Self> {
+        if layers.len() != stack.num_layers {
+            return Err(ThermalError::InvalidParameter {
+                name: "layer_specs (count must equal num_layers)",
+                value: layers.len() as f64,
+            });
+        }
+        for spec in &layers {
+            spec.validate()?;
+        }
+        Self::build(stack, Some(layers), width, depth, nx, ny)
+    }
+
+    fn build(
+        stack: LayerStack,
+        layers: Option<Vec<LayerSpec>>,
+        width: f64,
+        depth: f64,
+        nx: usize,
+        ny: usize,
+    ) -> crate::Result<Self> {
         stack.validate()?;
         for (name, value) in [
             ("chip width", width),
@@ -386,9 +479,10 @@ impl ThermalSimulator {
                 return Err(ThermalError::InvalidParameter { name, value });
             }
         }
-        let op = StencilOp::discretize(&stack, width, depth, nx, ny);
+        let op = StencilOp::discretize(&stack, layers.as_deref(), width, depth, nx, ny);
         Ok(Self {
             stack,
+            layers,
             width,
             depth,
             op,
@@ -398,6 +492,12 @@ impl ThermalSimulator {
     /// The layer stack being simulated.
     pub fn stack(&self) -> &LayerStack {
         &self.stack
+    }
+
+    /// The per-layer overrides, when this simulator models a
+    /// heterogeneous stack.
+    pub fn layer_specs(&self) -> Option<&[LayerSpec]> {
+        self.layers.as_deref()
     }
 
     /// Chip footprint `(width, depth)`, meters.
@@ -430,9 +530,14 @@ impl ThermalSimulator {
         let inv_diag: Vec<f64> = self.op.diag.iter().map(|&d| 1.0 / d).collect();
         let mg = match precond {
             Preconditioner::Jacobi => None,
-            Preconditioner::Multigrid { levels } => {
-                MgHierarchy::build(&self.stack, self.width, self.depth, &self.op, levels)
-            }
+            Preconditioner::Multigrid { levels } => MgHierarchy::build(
+                &self.stack,
+                self.layers.as_deref(),
+                self.width,
+                self.depth,
+                &self.op,
+                levels,
+            ),
         };
         let kind = if mg.is_some() {
             PrecondKind::Multigrid

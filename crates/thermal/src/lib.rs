@@ -15,6 +15,12 @@
 //!    gradients. The paper evaluates final placements with FEA under the
 //!    same boundary conditions; both are consistent discretizations of the
 //!    same PDE (DESIGN.md §5, substitution 3).
+//! 3. **Tiered oracles** ([`ThermalOracle`]): the placer-facing dispatch
+//!    layer. The finite-volume solver backs the `full-grid` and
+//!    `coarse-grid` tiers ([`GridOracle`]); the `compact` tier
+//!    ([`CompactModel`]) is a closed-form superposition model fitted
+//!    against the solver, fast enough to price individual moves
+//!    (DESIGN.md §14).
 //!
 //! # Example
 //!
@@ -30,21 +36,26 @@
 //! # Ok::<(), tvp_thermal::ThermalError>(())
 //! ```
 
+mod compact;
+pub mod compact_params;
 mod error;
 mod grid;
 mod multigrid;
+mod oracle;
 mod power_map;
 mod resistance;
 mod stack;
 
+pub use compact::{f_kernel, CompactFitReport, CompactModel, CompactParams};
 pub use error::ThermalError;
 pub use grid::{
     CgStats, FallbackStats, PrecondKind, Preconditioner, TemperatureField, ThermalSimulator,
     ThermalSolveContext,
 };
+pub use oracle::{GridOracle, OracleStats, ThermalOracle, ThermalTier};
 pub use power_map::PowerMap;
 pub use resistance::{ResistanceModel, VerticalProfile};
-pub use stack::{HeatSink, LayerStack};
+pub use stack::{HeatSink, LayerSpec, LayerStack};
 
 /// Convenience alias used by solver entry points.
 pub type Result<T> = std::result::Result<T, ThermalError>;

@@ -143,6 +143,7 @@ impl MgHierarchy {
     /// Jacobi preconditioning.
     pub(crate) fn build(
         stack: &LayerStack,
+        layers: Option<&[crate::stack::LayerSpec]>,
         width: f64,
         depth: f64,
         fine: &StencilOp,
@@ -162,6 +163,7 @@ impl MgHierarchy {
             }
             let op = StencilOp::discretize(
                 stack,
+                layers,
                 width,
                 depth,
                 last.nx.div_ceil(2),
@@ -420,14 +422,14 @@ mod tests {
 
     fn op(layers: usize, nx: usize, ny: usize) -> StencilOp {
         let stack = LayerStack::mitll_0_18um(layers);
-        StencilOp::discretize(&stack, 1.0e-3, 1.0e-3, nx, ny)
+        StencilOp::discretize(&stack, None, 1.0e-3, 1.0e-3, nx, ny)
     }
 
     #[test]
     fn hierarchy_coarsens_to_the_lateral_floor() {
         let stack = LayerStack::mitll_0_18um(4);
         let fine = op(4, 64, 64);
-        let mg = MgHierarchy::build(&stack, 1.0e-3, 1.0e-3, &fine, 0).unwrap();
+        let mg = MgHierarchy::build(&stack, None, 1.0e-3, 1.0e-3, &fine, 0).unwrap();
         // 64 → 32 → 16 → 8 → 4.
         assert_eq!(mg.num_levels(), 5);
         let coarsest = &mg.levels[mg.num_levels() - 1].op;
@@ -439,9 +441,9 @@ mod tests {
     fn level_cap_limits_depth_and_zero_means_auto() {
         let stack = LayerStack::mitll_0_18um(2);
         let fine = op(2, 32, 32);
-        let capped = MgHierarchy::build(&stack, 1.0e-3, 1.0e-3, &fine, 2).unwrap();
+        let capped = MgHierarchy::build(&stack, None, 1.0e-3, 1.0e-3, &fine, 2).unwrap();
         assert_eq!(capped.num_levels(), 2);
-        let auto = MgHierarchy::build(&stack, 1.0e-3, 1.0e-3, &fine, 0).unwrap();
+        let auto = MgHierarchy::build(&stack, None, 1.0e-3, 1.0e-3, &fine, 0).unwrap();
         assert_eq!(auto.num_levels(), 4); // 32 → 16 → 8 → 4
     }
 
@@ -449,8 +451,8 @@ mod tests {
     fn too_many_layers_reports_unbuildable() {
         // MAX_NZ node layers means MAX_NZ device layers + substrate > MAX_NZ.
         let stack = LayerStack::mitll_0_18um(MAX_NZ);
-        let fine = StencilOp::discretize(&stack, 1.0e-3, 1.0e-3, 8, 8);
-        assert!(MgHierarchy::build(&stack, 1.0e-3, 1.0e-3, &fine, 0).is_none());
+        let fine = StencilOp::discretize(&stack, None, 1.0e-3, 1.0e-3, 8, 8);
+        assert!(MgHierarchy::build(&stack, None, 1.0e-3, 1.0e-3, &fine, 0).is_none());
     }
 
     #[test]
@@ -461,6 +463,7 @@ mod tests {
         let fine = op(2, 9, 7); // odd sizes exercise the clamped stencil
         let coarse_op = StencilOp::discretize(
             &stack,
+            None,
             1.0e-3,
             1.0e-3,
             fine.nx.div_ceil(2),
@@ -559,7 +562,7 @@ mod tests {
         let stack = LayerStack::mitll_0_18um(4);
         let fine = op(4, 32, 32);
         let n = fine.len();
-        let mut mg = MgHierarchy::build(&stack, 1.0e-3, 1.0e-3, &fine, 0).unwrap();
+        let mut mg = MgHierarchy::build(&stack, None, 1.0e-3, 1.0e-3, &fine, 0).unwrap();
         let b: Vec<f64> = (0..n).map(|i| 1.0e-3 * (1.0 + (i % 5) as f64)).collect();
         let b_norm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
 

@@ -55,6 +55,41 @@ pub struct LayerStack {
     pub heat_sink: HeatSink,
 }
 
+/// Per-device-layer override of the stack's uniform geometry/material:
+/// thickness and conductivity of one device layer. A `Vec<LayerSpec>` with
+/// one entry per device layer (index 0 closest to the heat sink) describes
+/// a *heterogeneous* stack — e.g. a thick low-κ memory layer bonded onto
+/// thin logic layers — which the finite-volume discretization honors
+/// exactly. The scalar [`LayerStack`] fields keep describing the uniform
+/// default; the O(1) resistance model continues to use those.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LayerSpec {
+    /// Thickness of this device layer, meters.
+    pub thickness: f64,
+    /// Thermal conductivity of this device layer, W/(m·K).
+    pub conductivity: f64,
+}
+
+impl LayerSpec {
+    /// Validates thickness and conductivity are positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] naming the offending
+    /// field.
+    pub fn validate(&self) -> crate::Result<()> {
+        for (name, value) in [
+            ("layer_spec.thickness", self.thickness),
+            ("layer_spec.conductivity", self.conductivity),
+        ] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ThermalError::InvalidParameter { name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
 impl LayerStack {
     /// Creates the Table 2 stack with the given number of device layers.
     pub fn mitll_0_18um(num_layers: usize) -> Self {

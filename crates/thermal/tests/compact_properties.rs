@@ -1,0 +1,153 @@
+//! Property-based tests for the compact analytical thermal tier: the
+//! documented error contract against the multigrid ground truth on
+//! random power maps, and the structural identities ([`f_kernel`]
+//! symmetries, exact superposition) the incremental pricing path relies
+//! on.
+
+use proptest::prelude::*;
+use tvp_thermal::compact_params::{
+    canonical, canonical_simulator, CANONICAL_FOOTPRINT, CANONICAL_GRID, CANONICAL_LAYERS,
+    CROSS_MODEL_GATE,
+};
+use tvp_thermal::{f_kernel, CompactModel, PowerMap};
+
+fn canonical_model() -> CompactModel {
+    let (width, depth) = CANONICAL_FOOTPRINT;
+    let (nx, ny) = CANONICAL_GRID;
+    let ambient = canonical_simulator().unwrap().stack().heat_sink.ambient;
+    CompactModel::new(canonical(), width, depth, nx, ny, ambient)
+        .expect("canonical parameters build")
+}
+
+/// A random sparse power map on the canonical grid: 1–10 sources, each
+/// up to 50 mW, scattered over all bins and layers.
+fn power_map_strategy() -> impl Strategy<Value = PowerMap> {
+    let (nx, ny) = CANONICAL_GRID;
+    prop::collection::vec(
+        (0..nx, 0..ny, 0..CANONICAL_LAYERS, 1.0e-4f64..5.0e-2),
+        1..10,
+    )
+    .prop_map(move |sources| {
+        let mut map = PowerMap::new(nx, ny, CANONICAL_LAYERS);
+        for (i, j, k, watts) in sources {
+            map.add(i, j, k, watts);
+        }
+        map
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The pinned canonical fit honors [`CROSS_MODEL_GATE`] not just on
+    /// the fit impulses but on arbitrary superposed power maps: the max
+    /// |compact − multigrid| ΔT stays under the gate relative to the
+    /// peak multigrid rise. This is the error contract the per-move
+    /// pricing tier is trusted under.
+    #[test]
+    fn compact_tracks_multigrid_on_random_power_maps(power in power_map_strategy()) {
+        let sim = canonical_simulator().unwrap();
+        let model = canonical_model();
+        let truth = sim.solve(&power).unwrap();
+        let compact = model.evaluate(&power).unwrap();
+
+        let (nx, ny) = CANONICAL_GRID;
+        let ambient = truth.ambient();
+        let mut peak_rise = 0.0_f64;
+        let mut max_err = 0.0_f64;
+        for l in 0..CANONICAL_LAYERS {
+            for j in 0..ny {
+                for i in 0..nx {
+                    peak_rise = peak_rise.max(truth.at(i, j, l) - ambient);
+                    max_err = max_err.max((compact.at(i, j, l) - truth.at(i, j, l)).abs());
+                }
+            }
+        }
+        prop_assert!(peak_rise > 0.0, "a powered map must heat something");
+        prop_assert!(
+            max_err <= CROSS_MODEL_GATE * peak_rise,
+            "compact error {max_err:.3e} K exceeds gate {:.3e} K ({} of peak rise {peak_rise:.3e} K)",
+            CROSS_MODEL_GATE * peak_rise,
+            max_err / peak_rise,
+        );
+    }
+
+    /// [`f_kernel`] is odd in each lateral argument and symmetric under
+    /// swapping them — the identities that make the four-corner kernel
+    /// sum decay to zero away from the source.
+    #[test]
+    fn f_kernel_is_odd_and_swap_symmetric(
+        a in 0.01f64..5.0,
+        b in -10.0f64..10.0,
+        c in -10.0f64..10.0,
+    ) {
+        let f = f_kernel(a, b, c);
+        prop_assert!(f.is_finite());
+        let tol = 1e-9 * f.abs().max(1e-12);
+        prop_assert!((f_kernel(a, -b, c) + f).abs() <= tol, "not odd in b");
+        prop_assert!((f_kernel(a, b, -c) + f).abs() <= tol, "not odd in c");
+        prop_assert!((f_kernel(a, c, b) - f).abs() <= tol, "not swap-symmetric");
+    }
+
+    /// The model is exactly linear in power (no bias term): evaluating a
+    /// sum of maps equals summing the individual rises, and
+    /// [`CompactModel::add_point_source`] reproduces a fresh evaluation
+    /// of the augmented map. Both identities are what lets the move
+    /// pricer maintain its frozen field incrementally.
+    #[test]
+    fn superposition_is_exact(
+        base in power_map_strategy(),
+        i in 0..CANONICAL_GRID.0,
+        j in 0..CANONICAL_GRID.1,
+        layer in 0..CANONICAL_LAYERS,
+        watts in 1.0e-4f64..5.0e-2,
+    ) {
+        let (nx, ny) = CANONICAL_GRID;
+        let (width, depth) = CANONICAL_FOOTPRINT;
+        let model = canonical_model();
+
+        let mut augmented = base.clone();
+        augmented.add(i, j, layer, watts);
+        let direct = model.evaluate(&augmented).unwrap();
+
+        // Field-level superposition: rise(base + impulse) = rise(base)
+        // + rise(impulse), bin by bin.
+        let base_field = model.evaluate(&base).unwrap();
+        let mut impulse = PowerMap::new(nx, ny, CANONICAL_LAYERS);
+        impulse.add(i, j, layer, watts);
+        let impulse_field = model.evaluate(&impulse).unwrap();
+        let ambient = base_field.ambient();
+        for l in 0..CANONICAL_LAYERS {
+            for jj in 0..ny {
+                for ii in 0..nx {
+                    let summed = (base_field.at(ii, jj, l) - ambient)
+                        + (impulse_field.at(ii, jj, l) - ambient);
+                    let want = direct.at(ii, jj, l) - ambient;
+                    prop_assert!(
+                        (summed - want).abs() <= 1e-9 * want.abs().max(1e-12),
+                        "superposition broke at ({ii},{jj},{l}): {summed} vs {want}"
+                    );
+                }
+            }
+        }
+
+        // Incremental update path: adding the source into the cached
+        // base field must agree with the direct evaluation.
+        let mut updated = model.evaluate(&base).unwrap();
+        let x = (i as f64 + 0.5) * width / nx as f64;
+        let y = (j as f64 + 0.5) * depth / ny as f64;
+        model.add_point_source(&mut updated, x, y, layer, watts);
+        for l in 0..CANONICAL_LAYERS {
+            for jj in 0..ny {
+                for ii in 0..nx {
+                    let got = updated.at(ii, jj, l);
+                    let want = direct.at(ii, jj, l);
+                    prop_assert!(
+                        (got - want).abs() <= 1e-9 * (want - ambient).abs().max(1e-12),
+                        "add_point_source diverged at ({ii},{jj},{l}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+}
