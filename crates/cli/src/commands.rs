@@ -1,6 +1,6 @@
 //! Command implementations for the `tvp` binary.
 
-use crate::args::{PlaceArgs, StatsArgs, SweepArgs, SynthArgs, ValidateArgs};
+use crate::args::{PlaceArgs, ServeArgs, StatsArgs, SweepArgs, SynthArgs, ValidateArgs};
 use crate::progress::StderrProgress;
 use std::fmt::Write as _;
 use tvp_bookshelf::synth::SynthConfig;
@@ -22,28 +22,21 @@ fn precond_from_args(name: &str, mg_levels: usize) -> Preconditioner {
 
 /// Parses one `--inject-fault` spec (`kind` or `kind:site`). Omitted
 /// sites default to the stage where the fault class naturally lands.
+/// The grammar (shared with the `tvp serve` job API) lives in
+/// `tvp_core::faults::parse_spec`.
 fn parse_fault_spec(spec: &str) -> Result<(FaultKind, String), String> {
-    let (kind_str, site) = match spec.split_once(':') {
-        Some((k, s)) => (k, Some(s)),
-        None => (spec, None),
-    };
-    let kind = match kind_str {
-        "nan-power" => FaultKind::NanPower,
-        "cg-breakdown" => FaultKind::CgBreakdown,
-        "partition-imbalance" => FaultKind::PartitionImbalance,
-        "corrupt-checkpoint" => FaultKind::CorruptCheckpoint,
-        other => {
-            return Err(format!(
-                "unknown fault kind `{other}` (expected nan-power, cg-breakdown, \
-                 partition-imbalance, or corrupt-checkpoint)"
-            ))
-        }
-    };
-    let site = site.map(str::to_string).unwrap_or_else(|| match kind {
-        FaultKind::NanPower | FaultKind::CgBreakdown => "final".to_string(),
-        FaultKind::PartitionImbalance | FaultKind::CorruptCheckpoint => "global".to_string(),
-    });
-    Ok((kind, site))
+    tvp_core::faults::parse_spec(spec)
+}
+
+/// Suffix appended to sweep table lines when a point only completed by
+/// degrading gracefully — silent fallbacks would otherwise make a
+/// degraded point indistinguishable from a clean one.
+fn degradation_suffix(result: &tvp_core::PlacementResult) -> String {
+    match result.degradations.len() {
+        0 => String::new(),
+        1 => "  [1 degradation]".to_string(),
+        n => format!("  [{n} degradations]"),
+    }
 }
 
 /// Parses one `--thermal-tier` spec (`STAGE=TIER`, e.g.
@@ -162,6 +155,7 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
         time_budget: args.time_budget.map(std::time::Duration::from_secs_f64),
         checkpoint_dir: args.checkpoint_dir.as_ref().map(std::path::PathBuf::from),
         faults,
+        thread_lease: None,
     };
     let result = Placer::new(config)
         .place_with_options(&design.netlist, &fixed, run_options)
@@ -448,8 +442,10 @@ pub fn sweep(args: &SweepArgs) -> Result<String, String> {
             .map_err(|e| format!("placement failed at alpha = {alpha:.2e}: {e}"))?;
         let _ = writeln!(
             out,
-            "{alpha:>12.2e} {:>14.5e} {:>10.0}",
-            result.metrics.wirelength, result.metrics.ilv_count
+            "{alpha:>12.2e} {:>14.5e} {:>10.0}{}",
+            result.metrics.wirelength,
+            result.metrics.ilv_count,
+            degradation_suffix(&result)
         );
         table.push(vec![
             alpha,
@@ -553,8 +549,12 @@ fn sweep_stacks(args: &SweepArgs, design: &Design) -> Result<String, String> {
         let m = &result.metrics;
         let _ = writeln!(
             out,
-            "{name:>12} {:>14.5e} {:>10.0} {:>10.2} {:>10.2}",
-            m.wirelength, m.ilv_count, m.avg_temperature, m.max_temperature
+            "{name:>12} {:>14.5e} {:>10.0} {:>10.2} {:>10.2}{}",
+            m.wirelength,
+            m.ilv_count,
+            m.avg_temperature,
+            m.max_temperature,
+            degradation_suffix(&result)
         );
         table.push(vec![
             i as f64,
@@ -571,12 +571,80 @@ fn sweep_stacks(args: &SweepArgs, design: &Design) -> Result<String, String> {
     Ok(out)
 }
 
+/// `tvp serve`: run the fault-tolerant placement daemon in the
+/// foreground until a client posts `/shutdown`. The bound address is
+/// printed to stderr and written to `<state-dir>/addr`; jobs, retries,
+/// degradations, and recoveries are narrated on stderr as they happen.
+/// (For SIGTERM handling under a process supervisor, use the
+/// standalone `tvp-served` binary, which is the same daemon.)
+///
+/// # Errors
+///
+/// Returns a message when the state directory cannot be created or the
+/// listen address cannot be bound.
+pub fn serve(args: &ServeArgs) -> Result<String, String> {
+    use std::time::Duration;
+    let config = tvp_serve::ServerConfig {
+        listen: args.listen.clone(),
+        state_dir: std::path::PathBuf::from(&args.state_dir),
+        workers: args.workers,
+        max_queue: args.max_queue,
+        thread_budget: args.thread_budget,
+        default_max_attempts: args.max_attempts.max(1),
+        retry_base: Duration::from_millis(args.retry_base_ms),
+        drain_budget: Duration::from_secs(args.drain_secs),
+        ..tvp_serve::ServerConfig::default()
+    };
+    let mut server = tvp_serve::Server::start(config)?;
+    let addr = server.addr();
+    eprintln!("[tvp-serve] listening on http://{addr}");
+    while !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("[tvp-serve] shutting down (draining)...");
+    server.shutdown();
+    Ok(format!("served on http://{addr}; shut down cleanly\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use crate::run;
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn fault_specs_parse_including_colon_kinds() {
+        use super::parse_fault_spec;
+        use tvp_core::FaultKind;
+        assert_eq!(
+            parse_fault_spec("nan-power:coarse[0]").unwrap(),
+            (FaultKind::NanPower, "coarse[0]".to_string())
+        );
+        // Kind names containing `:` must not be split at the first colon.
+        assert_eq!(
+            parse_fault_spec("io-error:checkpoint-write").unwrap(),
+            (FaultKind::CheckpointWriteIo, "global".to_string())
+        );
+        assert_eq!(
+            parse_fault_spec("io-error:checkpoint-write:detail[0]").unwrap(),
+            (FaultKind::CheckpointWriteIo, "detail[0]".to_string())
+        );
+        assert_eq!(
+            parse_fault_spec("slow-stage:detail[0]").unwrap(),
+            (FaultKind::SlowStage, "detail[0]".to_string())
+        );
+        assert_eq!(
+            parse_fault_spec("slow-stage").unwrap(),
+            (FaultKind::SlowStage, "coarse[0]".to_string())
+        );
+        assert!(parse_fault_spec("io-error")
+            .unwrap_err()
+            .contains("unknown fault kind"));
+        assert!(parse_fault_spec("io-error:")
+            .unwrap_err()
+            .contains("unknown fault kind"));
     }
 
     fn tmp(name: &str) -> String {

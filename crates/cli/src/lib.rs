@@ -14,6 +14,9 @@
 //! * `tvp stats <design.aux>` — print netlist statistics.
 //! * `tvp sweep <design.aux>` — trace the wirelength/via tradeoff curve,
 //!   optionally exporting CSV.
+//! * `tvp serve` — run the fault-tolerant placement daemon (HTTP job
+//!   API with admission control, deadlines, retry, and crash recovery;
+//!   see the `tvp-serve` crate).
 //!
 //! The library portion exists so argument parsing and command dispatch
 //! are unit-testable; [`main`](../src/main.rs) is a thin wrapper.
@@ -22,7 +25,9 @@ pub mod args;
 pub mod commands;
 pub mod progress;
 
-pub use args::{Command, ParseArgsError, PlaceArgs, StatsArgs, SweepArgs, SynthArgs, ValidateArgs};
+pub use args::{
+    Command, ParseArgsError, PlaceArgs, ServeArgs, StatsArgs, SweepArgs, SynthArgs, ValidateArgs,
+};
 pub use progress::StderrProgress;
 
 /// Entry point shared by the binary and the tests.
@@ -39,6 +44,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Synth(a) => commands::synth(&a),
         Command::Stats(a) => commands::stats(&a),
         Command::Sweep(a) => commands::sweep(&a),
+        Command::Serve(a) => commands::serve(&a),
         Command::Help => Ok(args::USAGE.to_string()),
     }
 }

@@ -81,6 +81,12 @@ impl<W: Write> PlacerObserver for StderrProgress<W> {
                     ", cold"
                 }
             ),
+            PlacerEvent::FaultInjected { kind, site } => {
+                writeln!(self.out, "[{label}]   fault injected: {kind} at {site}")
+            }
+            PlacerEvent::Degraded { kind, detail } => {
+                writeln!(self.out, "[{label}]   degraded: {kind} ({detail})")
+            }
             PlacerEvent::RunEnd {
                 seconds,
                 stopped_early,
@@ -130,6 +136,28 @@ mod tests {
         assert!(text.contains("[t] 2 stages"));
         assert!(text.contains("global: 0.25s"));
         assert!(text.contains("done in 1.00s"));
+    }
+
+    #[test]
+    fn narrates_faults_and_degradations() {
+        let mut p = StderrProgress::new("t", Vec::new());
+        p.event(&PlacerEvent::FaultInjected {
+            kind: "slow-stage".into(),
+            site: "coarse[0]".into(),
+        });
+        p.event(&PlacerEvent::Degraded {
+            kind: "thermal-degraded".into(),
+            detail: "CG breakdown, kept previous field".into(),
+        });
+        let text = String::from_utf8(p.into_inner()).unwrap();
+        assert!(
+            text.contains("fault injected: slow-stage at coarse[0]"),
+            "{text}"
+        );
+        assert!(
+            text.contains("degraded: thermal-degraded (CG breakdown"),
+            "{text}"
+        );
     }
 
     #[test]

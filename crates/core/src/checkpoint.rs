@@ -374,6 +374,156 @@ pub fn load_latest(
     }))
 }
 
+/// Policy for [`gc_store`]: what counts as garbage and how much disk the
+/// store may keep.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GcPolicy {
+    /// Anything quarantined (`*.corrupt`) or abandoned (a per-job
+    /// subdirectory the caller no longer claims) is deleted once its
+    /// newest content is at least this old.
+    pub max_age: std::time::Duration,
+    /// After age-based collection, abandoned subdirectories are deleted
+    /// oldest-first until the bytes they hold drop to this cap.
+    /// Directories the caller still claims never count against the cap
+    /// and are never deleted.
+    pub max_total_bytes: u64,
+}
+
+impl Default for GcPolicy {
+    fn default() -> Self {
+        Self {
+            max_age: std::time::Duration::from_secs(7 * 24 * 3600),
+            max_total_bytes: 256 << 20,
+        }
+    }
+}
+
+/// What one [`gc_store`] sweep removed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct GcReport {
+    /// Aged `*.corrupt` quarantine files deleted (store-wide).
+    pub corrupt_files_removed: usize,
+    /// Abandoned per-job checkpoint directories deleted.
+    pub dirs_removed: usize,
+    /// Total bytes reclaimed.
+    pub bytes_freed: u64,
+}
+
+impl GcReport {
+    /// Whether the sweep removed anything at all.
+    pub fn removed_anything(&self) -> bool {
+        self.corrupt_files_removed > 0 || self.dirs_removed > 0
+    }
+}
+
+/// Garbage-collects a checkpoint store rooted at `root`.
+///
+/// Two classes of garbage accumulate without this: `*.corrupt` files
+/// left behind by quarantine (by design — damaged files are moved aside,
+/// never destroyed, so they stay inspectable for a while) and whole
+/// per-job checkpoint directories whose job finished or was abandoned
+/// (e.g. a daemon was killed and the job never reclaimed). The sweep:
+///
+/// 1. deletes every `*.corrupt` file anywhere under `root` whose
+///    modification time is at least [`GcPolicy::max_age`] old;
+/// 2. treats each immediate subdirectory of `root` for which
+///    `in_use(name)` returns `false` as abandoned, deletes those whose
+///    newest content is at least `max_age` old, then — oldest first —
+///    deletes further abandoned directories until the bytes they hold
+///    fit under [`GcPolicy::max_total_bytes`].
+///
+/// Directories the caller claims via `in_use` are never touched, and
+/// neither are live (non-corrupt) files directly under `root` — a plain
+/// `--checkpoint-dir` used by a single run is only ever cleaned of its
+/// aged quarantine files. The sweep is best-effort: entries that cannot
+/// be read or removed are skipped, never an error — hygiene must not
+/// take down the caller.
+pub fn gc_store(root: &Path, policy: &GcPolicy, in_use: &dyn Fn(&str) -> bool) -> GcReport {
+    let mut report = GcReport::default();
+    let now = std::time::SystemTime::now();
+    let aged = |t: std::time::SystemTime| -> bool {
+        now.duration_since(t)
+            .map(|age| age >= policy.max_age)
+            .unwrap_or(false)
+    };
+
+    // Pass 1: aged quarantine files, anywhere in the store.
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let Ok(meta) = entry.metadata() else { continue };
+            let path = entry.path();
+            if meta.is_dir() {
+                stack.push(path);
+            } else if path.to_string_lossy().ends_with(".corrupt")
+                && meta.modified().map(&aged).unwrap_or(false)
+                && std::fs::remove_file(&path).is_ok()
+            {
+                report.corrupt_files_removed += 1;
+                report.bytes_freed += meta.len();
+            }
+        }
+    }
+
+    // Pass 2: abandoned per-job directories, oldest first.
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return report;
+    };
+    let mut abandoned: Vec<(PathBuf, std::time::SystemTime, u64)> = Vec::new();
+    for entry in entries.flatten() {
+        let Ok(meta) = entry.metadata() else { continue };
+        if !meta.is_dir() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if in_use(&name) {
+            continue;
+        }
+        let (bytes, newest) = dir_stats(&entry.path());
+        abandoned.push((entry.path(), newest, bytes));
+    }
+    abandoned.sort_by_key(|(_, newest, _)| *newest);
+    let mut held: u64 = abandoned.iter().map(|(_, _, b)| b).sum();
+    for (path, newest, bytes) in &abandoned {
+        if (aged(*newest) || held > policy.max_total_bytes) && std::fs::remove_dir_all(path).is_ok()
+        {
+            report.dirs_removed += 1;
+            report.bytes_freed += bytes;
+            held -= bytes;
+        }
+    }
+    report
+}
+
+/// Total file bytes under `dir` and the newest modification time found
+/// (the UNIX epoch for an empty directory, which therefore always reads
+/// as aged).
+fn dir_stats(dir: &Path) -> (u64, std::time::SystemTime) {
+    let mut bytes = 0u64;
+    let mut newest = std::time::SystemTime::UNIX_EPOCH;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let Ok(meta) = entry.metadata() else { continue };
+            if meta.is_dir() {
+                stack.push(entry.path());
+            } else {
+                bytes += meta.len();
+                if let Ok(m) = meta.modified() {
+                    newest = newest.max(m);
+                }
+            }
+        }
+    }
+    (bytes, newest)
+}
+
 struct ParsedManifest {
     stage_index: usize,
     stage: String,
@@ -610,6 +760,96 @@ mod tests {
         assert!(reason.contains("missing"), "{reason}");
         assert_eq!(quarantined.len(), 1, "only the manifest existed to move");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_removes_aged_corrupt_files_and_keeps_fresh_ones() {
+        let dir = tmpdir("gc_corrupt");
+        let nested = dir.join("job-1");
+        std::fs::create_dir_all(&nested).unwrap();
+        std::fs::write(dir.join("manifest.tvp.corrupt"), b"damaged").unwrap();
+        std::fs::write(nested.join("stage-000.pl.corrupt"), b"damaged").unwrap();
+        std::fs::write(nested.join("stage-001.pl"), b"healthy").unwrap();
+
+        // A generous age keeps everything.
+        let keep = GcPolicy {
+            max_age: std::time::Duration::from_secs(3600),
+            max_total_bytes: u64::MAX,
+        };
+        let report = gc_store(&dir, &keep, &|_| true);
+        assert_eq!(report, GcReport::default());
+        assert!(dir.join("manifest.tvp.corrupt").exists());
+
+        // Age zero: every quarantine file is garbage, healthy files stay.
+        let sweep = GcPolicy {
+            max_age: std::time::Duration::ZERO,
+            max_total_bytes: u64::MAX,
+        };
+        let report = gc_store(&dir, &sweep, &|_| true);
+        assert_eq!(report.corrupt_files_removed, 2);
+        assert!(report.bytes_freed >= 14);
+        assert!(!dir.join("manifest.tvp.corrupt").exists());
+        assert!(!nested.join("stage-000.pl.corrupt").exists());
+        assert!(nested.join("stage-001.pl").exists(), "live files untouched");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_removes_aged_abandoned_dirs_but_never_claimed_ones() {
+        let dir = tmpdir("gc_dirs");
+        for job in ["job-old", "job-live"] {
+            let d = dir.join(job);
+            std::fs::create_dir_all(&d).unwrap();
+            std::fs::write(d.join("stage-000.pl"), b"snapshot").unwrap();
+        }
+        let sweep = GcPolicy {
+            max_age: std::time::Duration::ZERO,
+            max_total_bytes: u64::MAX,
+        };
+        let report = gc_store(&dir, &sweep, &|name| name == "job-live");
+        assert_eq!(report.dirs_removed, 1);
+        assert!(!dir.join("job-old").exists());
+        assert!(
+            dir.join("job-live").join("stage-000.pl").exists(),
+            "claimed directories survive even at age zero"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_size_cap_evicts_oldest_abandoned_dirs_first() {
+        let dir = tmpdir("gc_size");
+        for (i, job) in ["job-a", "job-b", "job-c"].iter().enumerate() {
+            let d = dir.join(job);
+            std::fs::create_dir_all(&d).unwrap();
+            std::fs::write(d.join("stage-000.pl"), vec![b'x'; 100]).unwrap();
+            // Distinct mtimes so the eviction order is well-defined.
+            if i < 2 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+        // Nothing is old enough to age out, but three 100-byte dirs
+        // exceed the 150-byte cap: the two oldest must go.
+        let policy = GcPolicy {
+            max_age: std::time::Duration::from_secs(3600),
+            max_total_bytes: 150,
+        };
+        let report = gc_store(&dir, &policy, &|_| false);
+        assert_eq!(report.dirs_removed, 2, "{report:?}");
+        assert!(!dir.join("job-a").exists());
+        assert!(!dir.join("job-b").exists());
+        assert!(dir.join("job-c").exists(), "newest survivor fits the cap");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_of_a_missing_or_empty_store_is_a_quiet_no_op() {
+        let dir = tmpdir("gc_empty");
+        let report = gc_store(&dir, &GcPolicy::default(), &|_| false);
+        assert_eq!(report, GcReport::default());
+        std::fs::remove_dir_all(&dir).ok();
+        let report = gc_store(&dir.join("never-existed"), &GcPolicy::default(), &|_| false);
+        assert_eq!(report, GcReport::default());
     }
 
     #[test]

@@ -32,11 +32,17 @@ use crate::thermal_pricer::ThermalMovePricer;
 use crate::{Chip, PlaceError, Placement, PlacerConfig};
 use std::ops::ControlFlow;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tvp_netlist::{CellId, Netlist};
 use tvp_thermal::{
     CompactModel, GridOracle, TemperatureField, ThermalOracle, ThermalSimulator, ThermalTier,
 };
+
+/// Wall-clock stall injected by [`FaultKind::SlowStage`] at the keyed
+/// stage's begin. Long enough that supervisors can observe (and kill) a
+/// run inside the stage, short enough for test suites; placement bits
+/// are never affected.
+pub const SLOW_STAGE_DELAY: Duration = Duration::from_millis(250);
 
 /// Which part of the §6 pipeline a stage implements. The driver uses the
 /// kind to route timings (totals + per-round) and thermal snapshots.
@@ -558,6 +564,14 @@ pub(crate) fn run_pipeline(
                 stage: name.clone(),
             });
         }
+        // Injected stall at stage begin: stretches wall-clock only (for
+        // deadline/queue-latency testing); placement arithmetic and the
+        // stage's RNG stream are untouched. Deliberately outside the
+        // timed region so per-stage timings stay meaningful.
+        if ctx.fire_fault(FaultKind::SlowStage, name) {
+            flush_events(&mut ctx, observer);
+            std::thread::sleep(SLOW_STAGE_DELAY);
+        }
         let t = Instant::now();
         let status = {
             let mut monitor = StageMonitor {
@@ -616,6 +630,17 @@ pub(crate) fn run_pipeline(
         // Checkpoints cover only *completed* stages, so resuming always
         // restarts from a canonical stage boundary.
         if let Some(dir) = &options.checkpoint_dir {
+            // Injected write failure: surfaces as the typed, retryable
+            // checkpoint error a supervisor must handle. Fires *before*
+            // the write, so a retry resumes from the previous stage's
+            // (intact) checkpoint.
+            if ctx.fire_fault(FaultKind::CheckpointWriteIo, name) {
+                flush_events(&mut ctx, observer);
+                return Err(PlaceError::Checkpoint {
+                    path: dir.display().to_string(),
+                    reason: format!("injected I/O failure writing checkpoint after `{name}`"),
+                });
+            }
             let path = checkpoint::write_checkpoint(
                 dir,
                 index,

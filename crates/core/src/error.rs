@@ -35,6 +35,29 @@ pub enum PlaceError {
     },
 }
 
+impl PlaceError {
+    /// Whether a fresh attempt of the same run could plausibly succeed.
+    ///
+    /// Supervisors (the `tvp serve` daemon, batch drivers) use this to
+    /// split failures into *retry with backoff* versus *fail fast*:
+    ///
+    /// * [`LegalizationFailed`](Self::LegalizationFailed) and
+    ///   [`Checkpoint`](Self::Checkpoint) are environmental or
+    ///   state-dependent (internal invariant raced, disk hiccup, stale or
+    ///   quarantined checkpoint) — a retry, possibly resuming from the
+    ///   last good checkpoint, is worth attempting.
+    /// * [`InvalidConfig`](Self::InvalidConfig),
+    ///   [`EmptyNetlist`](Self::EmptyNetlist), and
+    ///   [`Thermal`](Self::Thermal) are deterministic properties of the
+    ///   input; retrying reproduces the same failure.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PlaceError::LegalizationFailed { .. } | PlaceError::Checkpoint { .. }
+        )
+    }
+}
+
 impl fmt::Display for PlaceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -97,6 +120,30 @@ mod tests {
         };
         assert!(e.to_string().contains("/tmp/ckpt"));
         assert!(e.to_string().contains("fingerprint"));
+    }
+
+    #[test]
+    fn retryability_splits_environmental_from_input_errors() {
+        assert!(PlaceError::LegalizationFailed {
+            violation: "overlap".into()
+        }
+        .is_retryable());
+        assert!(PlaceError::Checkpoint {
+            path: "/tmp/ckpt".into(),
+            reason: "io".into()
+        }
+        .is_retryable());
+        assert!(!PlaceError::EmptyNetlist.is_retryable());
+        assert!(!PlaceError::InvalidConfig {
+            name: "alpha_ilv",
+            value: -1.0
+        }
+        .is_retryable());
+        assert!(!PlaceError::Thermal(ThermalError::InvalidParameter {
+            name: "conductivity",
+            value: 0.0
+        })
+        .is_retryable());
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! * [`FaultKind::CorruptCheckpoint`] — truncates the checkpoint file
 //!   written after the keyed stage, so a later resume exercises the
 //!   quarantine path.
+//! * [`FaultKind::CheckpointWriteIo`] — makes the checkpoint write after
+//!   the keyed stage fail with a typed
+//!   [`PlaceError::Checkpoint`](crate::PlaceError), the retryable error
+//!   class a supervising daemon must handle (retry with backoff, then
+//!   dead-letter).
+//! * [`FaultKind::SlowStage`] — injects a fixed wall-clock stall at the
+//!   keyed stage's begin, without touching any placement arithmetic, so
+//!   deadline/time-budget and queue-latency paths are exercisable.
 //!
 //! Injection is deterministic: a site either is armed explicitly with
 //! [`FaultPlan::inject`], or arms itself when a seeded hash of
@@ -45,6 +53,12 @@ pub enum FaultKind {
     PartitionImbalance,
     /// Truncate the checkpoint `.pl` written after the keyed stage.
     CorruptCheckpoint,
+    /// Fail the checkpoint write after the keyed stage with a typed
+    /// I/O error ([`PlaceError::Checkpoint`](crate::PlaceError)).
+    CheckpointWriteIo,
+    /// Stall the keyed stage's begin by a fixed wall-clock delay
+    /// (placement bits are unaffected).
+    SlowStage,
 }
 
 impl FaultKind {
@@ -55,8 +69,70 @@ impl FaultKind {
             FaultKind::CgBreakdown => "cg-breakdown",
             FaultKind::PartitionImbalance => "partition-imbalance",
             FaultKind::CorruptCheckpoint => "corrupt-checkpoint",
+            FaultKind::CheckpointWriteIo => "io-error:checkpoint-write",
+            FaultKind::SlowStage => "slow-stage",
         }
     }
+
+    /// All injectable kinds, in declaration order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::NanPower,
+        FaultKind::CgBreakdown,
+        FaultKind::PartitionImbalance,
+        FaultKind::CorruptCheckpoint,
+        FaultKind::CheckpointWriteIo,
+        FaultKind::SlowStage,
+    ];
+
+    /// Parses a stable name back into a kind.
+    pub fn parse(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.as_str() == name)
+    }
+
+    /// The stage site a fault lands on when a spec names none.
+    pub fn default_site(self) -> &'static str {
+        match self {
+            FaultKind::NanPower | FaultKind::CgBreakdown => "final",
+            FaultKind::PartitionImbalance
+            | FaultKind::CorruptCheckpoint
+            | FaultKind::CheckpointWriteIo => "global",
+            FaultKind::SlowStage => "coarse[0]",
+        }
+    }
+}
+
+/// Parses one `KIND[:SITE]` fault spec (the `--inject-fault` syntax,
+/// shared by the CLI and the `tvp serve` job API). Kind names may
+/// themselves contain `:` (`io-error:checkpoint-write`), so the known
+/// names are matched longest-first before the remainder is read as a
+/// site; an omitted site defaults to [`FaultKind::default_site`].
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the valid kinds when `spec`
+/// matches none of them.
+pub fn parse_spec(spec: &str) -> Result<(FaultKind, String), String> {
+    let matched = FaultKind::ALL
+        .into_iter()
+        .filter(|k| {
+            spec == k.as_str()
+                || spec
+                    .strip_prefix(k.as_str())
+                    .is_some_and(|rest| rest.starts_with(':'))
+        })
+        .max_by_key(|k| k.as_str().len());
+    let Some(kind) = matched else {
+        return Err(format!(
+            "unknown fault kind in `{spec}` (expected one of: {})",
+            FaultKind::ALL.map(FaultKind::as_str).join(", ")
+        ));
+    };
+    let site = spec[kind.as_str().len()..]
+        .strip_prefix(':')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .unwrap_or_else(|| kind.default_site().to_string());
+    Ok((kind, site))
 }
 
 impl fmt::Display for FaultKind {
@@ -253,6 +329,20 @@ mod tests {
         let any_fired = (0..32).any(|s| decide(s).iter().any(|&b| b));
         let any_skipped = (0..32).any(|s| decide(s).iter().any(|&b| !b));
         assert!(any_fired && any_skipped);
+    }
+
+    #[test]
+    fn kind_names_round_trip_through_parse() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(
+            FaultKind::parse("io-error:checkpoint-write"),
+            Some(FaultKind::CheckpointWriteIo)
+        );
+        assert_eq!(FaultKind::parse("slow-stage"), Some(FaultKind::SlowStage));
+        assert_eq!(FaultKind::parse("io-error"), None);
+        assert_eq!(FaultKind::parse("no-such-fault"), None);
     }
 
     #[test]

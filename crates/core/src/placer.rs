@@ -139,6 +139,15 @@ pub struct PlaceOptions<'o> {
     /// gracefully instead of failing. `None` (the default) injects
     /// nothing.
     pub faults: Option<FaultPlan>,
+    /// Fair-share thread grant from a [`tvp_parallel::ThreadBudget`].
+    /// When set, the run's `with_threads` scope uses the granted count
+    /// instead of `config.threads`, so concurrent placements (e.g. jobs
+    /// in the `tvp serve` daemon) share the global pool fairly instead of
+    /// each claiming one-run ownership. The lease is held for the whole
+    /// run and released when placement returns. Checkpoint fingerprints
+    /// zero the thread count, so a job may resume under a different grant
+    /// and still reproduce bitwise.
+    pub thread_lease: Option<tvp_parallel::ThreadLease>,
 }
 
 impl std::fmt::Debug for PlaceOptions<'_> {
@@ -149,6 +158,7 @@ impl std::fmt::Debug for PlaceOptions<'_> {
             .field("time_budget", &self.time_budget)
             .field("checkpoint_dir", &self.checkpoint_dir)
             .field("faults", &self.faults)
+            .field("thread_lease", &self.thread_lease)
             .finish()
     }
 }
@@ -236,8 +246,16 @@ impl Placer {
     ) -> Result<PlacementResult, PlaceError> {
         // All parallel hot paths (thermal CG, objective rebuilds,
         // recursive bisection) read the effective thread count from this
-        // scope; `config.threads == 0` means all hardware threads.
-        tvp_parallel::with_threads(self.config.threads, || {
+        // scope; `config.threads == 0` means all hardware threads. A
+        // thread lease, when attached, overrides the configured count so
+        // concurrent runs share the pool fairly; it stays held (and its
+        // grant reserved) until the run returns.
+        let lease = options.thread_lease.take();
+        let threads = lease
+            .as_ref()
+            .map(tvp_parallel::ThreadLease::granted)
+            .unwrap_or(self.config.threads);
+        tvp_parallel::with_threads(threads, || {
             engine::run_pipeline(&self.config, netlist, fixed_positions, &mut options)
         })
     }
@@ -473,6 +491,34 @@ mod tests {
             None
         );
         assert!(result.metrics.avg_temperature > 0.0);
+    }
+
+    #[test]
+    fn thread_lease_scopes_the_run_and_is_released_on_return() {
+        let netlist = generate(&SynthConfig::named("t", 150, 7.5e-10)).unwrap();
+        let budget = tvp_parallel::ThreadBudget::new(2);
+        let placer = Placer::new(PlacerConfig::new(2).with_threads(4));
+        let leased = placer
+            .place_with_options(
+                &netlist,
+                &[],
+                PlaceOptions {
+                    thread_lease: Some(budget.lease(0)),
+                    ..PlaceOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            budget.active(),
+            0,
+            "lease must be released when the run ends"
+        );
+        assert_eq!(budget.leased(), 0);
+        // The grant only scopes execution; results stay thread-invariant.
+        let direct = Placer::new(PlacerConfig::new(2).with_threads(1))
+            .place(&netlist)
+            .unwrap();
+        assert_eq!(leased.placement, direct.placement);
     }
 
     #[test]

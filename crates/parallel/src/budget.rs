@@ -1,0 +1,236 @@
+//! Fair-share thread leases for concurrent placements.
+//!
+//! A single long-running process (the `tvp-serve` daemon) runs many
+//! placements at once, all over the one process-global worker pool. If
+//! every run simply scoped [`with_threads`](crate::with_threads) to the
+//! full machine, concurrent jobs would thrash the pool and a burst of
+//! cheap jobs could starve a big one. A [`ThreadBudget`] arbitrates
+//! instead: each job takes a [`ThreadLease`] before it starts, the budget
+//! grants it a fair share of the total (never less than 1), and the grant
+//! is returned automatically when the lease drops.
+//!
+//! Grants are *advisory concurrency scopes*, not reserved OS threads: the
+//! underlying pool is shared and cooperative (blocked callers help run
+//! queued jobs), so a momentary oversubscription — e.g. an early lease
+//! holding the whole budget when a second job arrives — degrades
+//! throughput gracefully rather than deadlocking. The fairness rule is
+//! deliberately simple and deterministic:
+//!
+//! ```text
+//! grant = clamp(requested, 1 ..= max(1, total / active_leases))
+//! ```
+//!
+//! so the first job alone gets the whole budget, two concurrent jobs get
+//! half each, and every job always gets at least one thread. Determinism
+//! of placement *results* never depends on the grant: thread counts only
+//! scope execution (see the crate-level determinism contract).
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Shared accounting for a [`ThreadBudget`].
+#[derive(Debug)]
+struct BudgetState {
+    /// Number of live leases (including their minimum-1 grants).
+    active: usize,
+    /// Sum of currently granted threads, for observability.
+    leased: usize,
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    total: usize,
+    state: Mutex<BudgetState>,
+}
+
+/// A pool-wide thread budget shared by concurrent placements.
+///
+/// Cloning is cheap and shares the same accounting. See the
+/// [module docs](self) for the fairness rule.
+#[derive(Clone, Debug)]
+pub struct ThreadBudget {
+    inner: Arc<BudgetInner>,
+}
+
+impl ThreadBudget {
+    /// Creates a budget of `total` threads. `0` resolves to the hardware
+    /// parallelism, and any value is clamped to at least 1.
+    pub fn new(total: usize) -> Self {
+        let total = if total == 0 {
+            crate::available_threads()
+        } else {
+            total
+        }
+        .max(1);
+        Self {
+            inner: Arc::new(BudgetInner {
+                total,
+                state: Mutex::new(BudgetState {
+                    active: 0,
+                    leased: 0,
+                }),
+            }),
+        }
+    }
+
+    /// The total thread count this budget arbitrates.
+    pub fn total(&self) -> usize {
+        self.inner.total
+    }
+
+    /// Number of live leases.
+    pub fn active(&self) -> usize {
+        self.lock().active
+    }
+
+    /// Sum of threads currently granted across live leases.
+    pub fn leased(&self) -> usize {
+        self.lock().leased
+    }
+
+    /// Takes a lease for one job. `requested == 0` asks for "as many as
+    /// is fair"; any request is clamped to the fair share
+    /// `max(1, total / active)` counting this lease itself, and never
+    /// below 1. The grant is released when the returned lease drops.
+    pub fn lease(&self, requested: usize) -> ThreadLease {
+        let granted = {
+            let mut st = self.lock();
+            st.active += 1;
+            let fair = (self.inner.total / st.active).max(1);
+            let want = if requested == 0 {
+                fair
+            } else {
+                requested.min(self.inner.total)
+            };
+            let granted = want.min(fair).max(1);
+            st.leased += granted;
+            granted
+        };
+        ThreadLease {
+            budget: Arc::clone(&self.inner),
+            granted,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BudgetState> {
+        // A panic while holding this lock leaves only plain counters
+        // behind; the accounting is still internally consistent enough to
+        // keep granting (worst case a slightly stale fair share).
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A granted share of a [`ThreadBudget`], released on drop.
+///
+/// Pass it to `PlaceOptions::thread_lease` (in `tvp-core`) so the run's
+/// `with_threads` scope uses the granted count, or call [`run`] to scope
+/// arbitrary work.
+///
+/// [`run`]: ThreadLease::run
+#[derive(Debug)]
+pub struct ThreadLease {
+    budget: Arc<BudgetInner>,
+    granted: usize,
+}
+
+impl ThreadLease {
+    /// The number of threads this lease was granted (always ≥ 1).
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+
+    /// Runs `f` inside a [`with_threads`](crate::with_threads) scope of
+    /// the granted count.
+    pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        crate::with_threads(self.granted, f)
+    }
+}
+
+impl Drop for ThreadLease {
+    fn drop(&mut self) {
+        let mut st = self
+            .budget
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        st.active = st.active.saturating_sub(1);
+        st.leased = st.leased.saturating_sub(self.granted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sole_lease_gets_the_whole_budget() {
+        let budget = ThreadBudget::new(8);
+        let lease = budget.lease(0);
+        assert_eq!(lease.granted(), 8);
+        assert_eq!(budget.active(), 1);
+        assert_eq!(budget.leased(), 8);
+        drop(lease);
+        assert_eq!(budget.active(), 0);
+        assert_eq!(budget.leased(), 0);
+    }
+
+    #[test]
+    fn concurrent_leases_split_fairly_and_never_starve() {
+        let budget = ThreadBudget::new(8);
+        let a = budget.lease(0);
+        let b = budget.lease(0);
+        let c = budget.lease(0);
+        let d = budget.lease(0);
+        assert_eq!(a.granted(), 8, "first job alone sees the full budget");
+        assert_eq!(b.granted(), 4, "second job gets half");
+        assert_eq!(c.granted(), 2, "third gets a third, rounded down");
+        assert_eq!(d.granted(), 2);
+        // A burst beyond the budget still grants at least one thread each.
+        let e = budget.lease(0);
+        let extra: Vec<_> = (0..8).map(|_| budget.lease(0)).collect();
+        assert_eq!(e.granted(), 1);
+        assert!(extra.iter().all(|l| l.granted() == 1));
+    }
+
+    #[test]
+    fn requests_are_clamped_to_the_fair_share() {
+        let budget = ThreadBudget::new(8);
+        let a = budget.lease(2);
+        assert_eq!(a.granted(), 2, "a modest request is honored as-is");
+        let b = budget.lease(100);
+        assert_eq!(b.granted(), 4, "an oversized request is capped at fair");
+        drop(a);
+        drop(b);
+        let c = budget.lease(100);
+        assert_eq!(c.granted(), 8, "after release the full budget returns");
+    }
+
+    #[test]
+    fn zero_total_resolves_to_hardware() {
+        let budget = ThreadBudget::new(0);
+        assert!(budget.total() >= 1);
+        assert_eq!(budget.lease(0).granted(), budget.total());
+    }
+
+    #[test]
+    fn lease_run_scopes_the_thread_count() {
+        let budget = ThreadBudget::new(3);
+        let lease = budget.lease(0);
+        let seen = lease.run(crate::threads);
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn drop_order_is_irrelevant_to_accounting() {
+        let budget = ThreadBudget::new(6);
+        let a = budget.lease(0);
+        let b = budget.lease(0);
+        drop(a);
+        assert_eq!(budget.active(), 1);
+        assert_eq!(budget.leased(), b.granted());
+        drop(b);
+        assert_eq!(budget.leased(), 0);
+    }
+}

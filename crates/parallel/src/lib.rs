@@ -41,6 +41,10 @@
 //! calling thread after the whole batch has drained, so a panicking task
 //! can never leave a borrowed-scope job alive behind the caller's back.
 
+mod budget;
+
+pub use budget::{ThreadBudget, ThreadLease};
+
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;

@@ -1,0 +1,294 @@
+//! A deliberately small HTTP/1.1 subset over `std::net`.
+//!
+//! The daemon speaks just enough HTTP for `curl` and the test client:
+//! one request per connection (`Connection: close`), `Content-Length`
+//! bodies only (no chunked encoding), capped header and body sizes, and
+//! read timeouts so a stalled peer cannot pin an acceptor thread.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Longest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Per-connection socket timeout for both reads and writes.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed inbound request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component only; query strings are not used by this API.
+    pub path: String,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request from the stream, enforcing head/body caps.
+///
+/// # Errors
+///
+/// Returns a message suitable for a `400 Bad Request` body on malformed
+/// input, oversized heads, bodies above `max_body`, or socket errors.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, String> {
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    stream
+        .set_write_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| format!("set_write_timeout: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    let mut line = String::new();
+
+    // Request line.
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or("empty request line")?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or("missing request target")?.to_string();
+    let path = target
+        .split_once('?')
+        .map_or(target.as_str(), |(p, _)| p)
+        .to_string();
+
+    // Headers: we only care about Content-Length.
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read header: {e}"))?;
+        head.push_str(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err("request head too large".to_string());
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| "malformed Content-Length".to_string())?;
+            }
+        }
+    }
+
+    if content_length > max_body {
+        return Err(format!(
+            "body of {content_length} bytes exceeds the {max_body}-byte limit"
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+
+    Ok(Request { method, path, body })
+}
+
+/// One outbound response.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers as `(name, value)` pairs, e.g. `Retry-After`.
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Adds an extra header, builder style.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: String) -> Response {
+        self.extra_headers.push((name.to_string(), value));
+        self
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes the response and flushes; the caller then drops the stream
+/// (`Connection: close` semantics).
+///
+/// # Errors
+///
+/// Propagates socket write errors as strings; the connection is dead
+/// either way, so callers typically just log these.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> Result<(), String> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    for (name, value) in &response.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(&response.body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write response: {e}"))
+}
+
+/// A reply as seen by [`request`].
+#[derive(Debug)]
+pub struct ClientReply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl ClientReply {
+    /// Case-insensitive response-header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A blocking one-shot HTTP client used by the integration tests and the
+/// CI smoke job; not part of the daemon's serving path.
+///
+/// # Errors
+///
+/// Returns a message on connection failures, timeouts, or a malformed
+/// status line.
+pub fn request(addr: &str, method: &str, path: &str, body: &str) -> Result<ClientReply, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| format!("send request: {e}"))?;
+
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read reply: {e}"))?;
+    let (head, payload) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("reply missing header terminator")?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or("empty reply")?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(ClientReply {
+        status,
+        headers,
+        body: payload.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_and_response_round_trip_over_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream, 1024).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/jobs");
+            assert_eq!(req.body, b"{\"x\":1}");
+            let resp = Response::json(202, "{\"ok\":true}".to_string())
+                .with_header("Retry-After", "2".to_string());
+            write_response(&mut stream, &resp).unwrap();
+        });
+
+        let reply = request(&addr, "POST", "/jobs?ignored=1", "{\"x\":1}").unwrap();
+        server.join().unwrap();
+        assert_eq!(reply.status, 202);
+        assert_eq!(reply.header("retry-after"), Some("2"));
+        assert_eq!(reply.body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_allocation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let err = read_request(&mut stream, 16).unwrap_err();
+            assert!(err.contains("exceeds"), "{err}");
+        });
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"POST /jobs HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+            .unwrap();
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,89 @@
+//! Daemon-wide counters for the `/metrics` endpoint.
+//!
+//! Plain atomics rendered in the Prometheus text exposition format —
+//! enough for the CI smoke job and for eyeballing a running daemon with
+//! `curl`, without pulling in a metrics crate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// All daemon counters. Monotonic except the two gauges.
+#[derive(Default, Debug)]
+pub struct Metrics {
+    /// Jobs admitted into the queue.
+    pub jobs_submitted: AtomicU64,
+    /// Submissions bounced with `429` by admission control.
+    pub jobs_rejected: AtomicU64,
+    /// Jobs that reached `done`.
+    pub jobs_done: AtomicU64,
+    /// Jobs that reached `degraded`.
+    pub jobs_degraded: AtomicU64,
+    /// Jobs that reached `dead-letter`.
+    pub jobs_dead_letter: AtomicU64,
+    /// Jobs cancelled by clients.
+    pub jobs_cancelled: AtomicU64,
+    /// Retry executions scheduled after retryable errors.
+    pub retries: AtomicU64,
+    /// In-flight jobs re-adopted during startup recovery.
+    pub recoveries: AtomicU64,
+    /// Graceful degradations recorded across all finished jobs.
+    pub degradations: AtomicU64,
+    /// Jobs stopped at their deadline with a best-so-far placement.
+    pub deadline_stops: AtomicU64,
+    /// Connections dropped because the concurrent-connection cap was hit.
+    pub connections_dropped: AtomicU64,
+    /// Gauge: jobs currently queued (pending).
+    pub queue_depth: AtomicU64,
+    /// Gauge: jobs currently executing.
+    pub running: AtomicU64,
+}
+
+impl Metrics {
+    /// Increments a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders every counter in Prometheus text format.
+    pub fn render(&self) -> String {
+        let pairs: [(&str, &AtomicU64); 13] = [
+            ("tvp_jobs_submitted_total", &self.jobs_submitted),
+            ("tvp_jobs_rejected_total", &self.jobs_rejected),
+            ("tvp_jobs_done_total", &self.jobs_done),
+            ("tvp_jobs_degraded_total", &self.jobs_degraded),
+            ("tvp_jobs_dead_letter_total", &self.jobs_dead_letter),
+            ("tvp_jobs_cancelled_total", &self.jobs_cancelled),
+            ("tvp_retries_total", &self.retries),
+            ("tvp_recoveries_total", &self.recoveries),
+            ("tvp_degradations_total", &self.degradations),
+            ("tvp_deadline_stops_total", &self.deadline_stops),
+            ("tvp_connections_dropped_total", &self.connections_dropped),
+            ("tvp_queue_depth", &self.queue_depth),
+            ("tvp_jobs_running", &self.running),
+        ];
+        let mut out = String::with_capacity(pairs.len() * 40);
+        for (name, counter) in pairs {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&counter.load(Ordering::Relaxed).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_lists_every_counter_with_its_value() {
+        let m = Metrics::default();
+        Metrics::bump(&m.jobs_submitted);
+        Metrics::bump(&m.jobs_submitted);
+        Metrics::bump(&m.retries);
+        let text = m.render();
+        assert!(text.contains("tvp_jobs_submitted_total 2\n"), "{text}");
+        assert!(text.contains("tvp_retries_total 1\n"), "{text}");
+        assert!(text.contains("tvp_queue_depth 0\n"), "{text}");
+    }
+}

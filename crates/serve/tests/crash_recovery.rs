@@ -1,0 +1,206 @@
+//! Kill-and-restart recovery: a daemon killed mid-placement (SIGKILL,
+//! no chance to clean up) must, on restart over the same state
+//! directory, re-adopt the in-flight job, resume it from its newest
+//! intact checkpoint, and finish with a placement bitwise identical to
+//! an uninterrupted run. Also covers the softer variant: graceful
+//! shutdown parking a running job, resumed by an in-process restart.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use tvp_serve::http::request;
+use tvp_serve::json::Value;
+use tvp_serve::{Server, ServerConfig};
+
+fn temp_state(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tvp-serve-crash-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A spawned daemon process, killed on drop so a failing test never
+/// leaks one.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(state_dir: &Path) -> Daemon {
+        // A previous (killed) daemon may have left its own addr file;
+        // remove it so we only ever read the new daemon's address.
+        let _ = std::fs::remove_file(state_dir.join("addr"));
+        let child = Command::new(env!("CARGO_BIN_EXE_tvp-served"))
+            .args([
+                "--listen",
+                "127.0.0.1:0",
+                "--state-dir",
+                &state_dir.display().to_string(),
+                "--workers",
+                "1",
+                "--retry-base-ms",
+                "10",
+                "--drain-secs",
+                "0",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn tvp-served");
+        // The daemon writes its bound address once the listener is up.
+        let addr_file = state_dir.join("addr");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon never wrote {}",
+                addr_file.display()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        Daemon { child, addr }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// The job under test: two slow-stage faults stretch the pipeline by
+/// ~500 ms after the first checkpoints land, giving the kill a wide,
+/// deterministic window — without perturbing a single placement bit.
+const SPEC: &str = r#"{"name":"crashy","cells":400,"seed":11,
+    "inject_faults":["slow-stage:coarse[0]","slow-stage:detail[0]"]}"#;
+
+fn submit(addr: &str) -> String {
+    let reply = request(addr, "POST", "/jobs", SPEC).expect("submit");
+    assert_eq!(reply.status, 202, "{}", reply.body);
+    Value::parse(&reply.body)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string()
+}
+
+fn wait_terminal(addr: &str, id: &str) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply = request(addr, "GET", &format!("/jobs/{id}"), "").expect("status");
+        let doc = Value::parse(&reply.body).unwrap();
+        let state = doc.get("state").unwrap().as_str().unwrap();
+        if !matches!(state, "pending" | "running") {
+            return doc;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in `{state}`");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn sigkill_mid_placement_recovers_bitwise_identically_on_restart() {
+    let state_dir = temp_state("sigkill");
+    let mut daemon = Daemon::spawn(&state_dir);
+    let id = submit(&daemon.addr);
+
+    // Wait for the first stage checkpoint to hit the disk, then kill
+    // the daemon while the injected slow stages hold the job mid-run.
+    let manifest = state_dir.join("checkpoints").join(&id).join("manifest.tvp");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !manifest.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint ever appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    daemon.kill();
+
+    // The killed daemon left the record in `running`; a restart over the
+    // same store re-adopts and resumes it.
+    let revived = Daemon::spawn(&state_dir);
+    let doc = wait_terminal(&revived.addr, &id);
+    assert_eq!(
+        doc.get("state").unwrap().as_str(),
+        Some("done"),
+        "{}",
+        doc.to_json()
+    );
+    assert_eq!(
+        doc.get("recoveries").unwrap().as_u64(),
+        Some(1),
+        "{}",
+        doc.to_json()
+    );
+    let recovered_digest = doc.get("digest").unwrap().as_str().unwrap().to_string();
+
+    // Reference: the identical spec, run uninterrupted on the same
+    // daemon. Bitwise-identical placement means identical digest.
+    let reference = submit(&revived.addr);
+    let reference_doc = wait_terminal(&revived.addr, &reference);
+    assert_eq!(reference_doc.get("state").unwrap().as_str(), Some("done"));
+    assert_eq!(
+        reference_doc.get("digest").unwrap().as_str().unwrap(),
+        recovered_digest,
+        "recovered placement diverged from the uninterrupted run"
+    );
+
+    drop(revived);
+    let _ = std::fs::remove_dir_all(state_dir);
+}
+
+#[test]
+fn graceful_shutdown_parks_running_jobs_and_a_restart_finishes_them() {
+    let state_dir = temp_state("park");
+    let config = ServerConfig {
+        state_dir: state_dir.clone(),
+        workers: 1,
+        drain_budget: Duration::ZERO,
+        ..ServerConfig::default()
+    };
+    let mut server = Server::start(config.clone()).expect("daemon starts");
+    let addr = server.addr().to_string();
+    let id = submit(&addr);
+
+    // Let the job actually start, then shut down with a zero drain
+    // budget: the job is cancelled at a stage boundary and parked.
+    let manifest = state_dir.join("checkpoints").join(&id).join("manifest.tvp");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !manifest.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint ever appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+    drop(server);
+
+    // Parked, not lost: the durable record is pending again and the
+    // checkpoints survived the shutdown.
+    let record =
+        std::fs::read_to_string(state_dir.join("jobs").join(&id).join("job.json")).unwrap();
+    assert!(record.contains("\"state\":\"pending\""), "{record}");
+    assert!(manifest.exists());
+
+    let mut server = Server::start(config).expect("daemon restarts");
+    let addr = server.addr().to_string();
+    let doc = wait_terminal(&addr, &id);
+    assert_eq!(
+        doc.get("state").unwrap().as_str(),
+        Some("done"),
+        "{}",
+        doc.to_json()
+    );
+    assert!(doc.get("digest").unwrap().as_str().unwrap().len() == 16);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(state_dir);
+}

@@ -7,8 +7,8 @@
 use tvp_bookshelf::synth::{generate, SynthConfig};
 use tvp_core::detail::check_legal;
 use tvp_core::{
-    Degradation, FaultKind, FaultPlan, PlaceOptions, PlacementResult, Placer, PlacerConfig,
-    PlacerEvent, RecordingObserver,
+    Degradation, FaultKind, FaultPlan, PlaceError, PlaceOptions, PlacementResult, Placer,
+    PlacerConfig, PlacerEvent, RecordingObserver,
 };
 
 fn netlist(cells: usize) -> tvp_netlist::Netlist {
@@ -183,9 +183,12 @@ fn corrupt_checkpoint_is_quarantined_and_the_rerun_recovers() {
 #[test]
 fn every_fault_class_at_once_still_degrades_gracefully() {
     let nl = netlist(150);
-    let dir = tmpdir("all");
-    // Probability 1.0: every queried (kind, site) fires.
-    let (result, rec) = run(&nl, FaultPlan::with_probability(11, 1.0), Some(&dir));
+    // Probability 1.0: every queried (kind, site) fires. No checkpoint
+    // dir is attached, so the checkpoint-write sites (whose injected
+    // failure is a *typed* error by design, not a degradation — see
+    // `all_faults_with_checkpoints_surface_the_typed_write_error`) are
+    // never queried; everything else must degrade gracefully at once.
+    let (result, rec) = run(&nl, FaultPlan::with_probability(11, 1.0), None);
     assert_legal(&nl, &result);
     let kinds: Vec<&str> = result.degradations.iter().map(Degradation::kind).collect();
     assert!(kinds.contains(&"thermal-degraded"), "kinds: {kinds:?}");
@@ -194,6 +197,87 @@ fn every_fault_class_at_once_still_degrades_gracefully() {
         .events
         .iter()
         .any(|e| matches!(e, PlacerEvent::FaultInjected { .. })));
+}
+
+#[test]
+fn all_faults_with_checkpoints_surface_the_typed_write_error() {
+    let nl = netlist(150);
+    let dir = tmpdir("all_ck");
+    // With checkpointing on, the probability-1.0 plan also fires
+    // io-error:checkpoint-write at the first boundary: the run must fail
+    // with the typed, retryable checkpoint error — not panic, not
+    // silently succeed.
+    let err = Placer::new(PlacerConfig::new(2))
+        .place_with_options(
+            &nl,
+            &[],
+            PlaceOptions {
+                checkpoint_dir: Some(dir.clone()),
+                faults: Some(FaultPlan::with_probability(11, 1.0)),
+                ..PlaceOptions::default()
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, PlaceError::Checkpoint { .. }), "{err:?}");
+    assert!(err.is_retryable());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn slow_stage_stalls_without_touching_placement_bits() {
+    let nl = netlist(150);
+    let clean = Placer::new(PlacerConfig::new(2)).place(&nl).unwrap();
+    let plan = FaultPlan::new(9).inject(FaultKind::SlowStage, "coarse[0]");
+    let (result, rec) = run(&nl, plan, None);
+    assert_legal(&nl, &result);
+    assert_eq!(
+        result.placement, clean.placement,
+        "an injected stall must never change placement arithmetic"
+    );
+    assert!(result.degradations.is_empty());
+    assert!(rec.events.iter().any(|e| matches!(
+        e,
+        PlacerEvent::FaultInjected { kind, site } if kind == "slow-stage" && site == "coarse[0]"
+    )));
+}
+
+#[test]
+fn checkpoint_write_io_error_is_typed_retryable_and_resumable() {
+    let nl = netlist(150);
+    let dir = tmpdir("io");
+    // Attempt 1 fails while writing the detail[0] checkpoint; the
+    // checkpoints for the completed earlier stages stay intact.
+    let err = Placer::new(PlacerConfig::new(2))
+        .place_with_options(
+            &nl,
+            &[],
+            PlaceOptions {
+                checkpoint_dir: Some(dir.clone()),
+                faults: Some(FaultPlan::new(2).inject(FaultKind::CheckpointWriteIo, "detail[0]")),
+                ..PlaceOptions::default()
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, PlaceError::Checkpoint { .. }), "{err:?}");
+    assert!(
+        err.is_retryable(),
+        "supervisors must classify this as retry"
+    );
+    // The retry (attempt 2, fault not re-injected) resumes from the last
+    // good checkpoint and reproduces an uninterrupted run bitwise.
+    let retry = Placer::new(PlacerConfig::new(2))
+        .place_with_options(
+            &nl,
+            &[],
+            PlaceOptions {
+                checkpoint_dir: Some(dir.clone()),
+                ..PlaceOptions::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(retry.resumed_from.as_deref(), Some("coarse[0]"));
+    let clean = Placer::new(PlacerConfig::new(2)).place(&nl).unwrap();
+    assert_eq!(retry.placement, clean.placement);
     std::fs::remove_dir_all(&dir).ok();
 }
 
