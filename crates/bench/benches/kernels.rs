@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the fused parallel kernels (DESIGN.md
+//! §16): one FM refinement in isolation — no coarsening, no restarts —
+//! and one batched coarse global pass (the propose/commit pricing
+//! engine), so kernel-level regressions show up without the noise of the
+//! surrounding V-cycle or stage loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tvp_bench::netlist_of;
+use tvp_bookshelf::synth::SynthConfig;
+use tvp_core::coarse::moves::global_pass;
+use tvp_core::coarse::DensityMesh;
+use tvp_core::global::global_place;
+use tvp_core::objective::{IncrementalObjective, ObjectiveModel};
+use tvp_core::{Chip, PlacerConfig};
+use tvp_partition::{bench_hooks, BisectConfig, Hypergraph};
+
+fn hypergraph_from(cells: usize) -> Hypergraph {
+    let netlist = netlist_of(&SynthConfig::named("k", cells, cells as f64 * 5.0e-12));
+    let weights: Vec<f64> = netlist.cells().iter().map(|c| c.area()).collect();
+    let mut hg = Hypergraph::with_vertex_weights(weights);
+    for (nid, _) in netlist.iter_nets() {
+        let pins: Vec<u32> = netlist
+            .net_pins(nid)
+            .iter()
+            .map(|&p| netlist.pin(p).cell().index() as u32)
+            .collect();
+        hg.add_net(&pins, 1.0);
+    }
+    hg.finalize();
+    hg
+}
+
+/// FM refinement on the flat (uncoarsened) graph, from an alternating
+/// starting assignment — the heaviest single refine call a V-cycle makes.
+fn bench_fm_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm_refine_flat");
+    group.sample_size(20);
+    for cells in [2_000usize, 8_000] {
+        let hg = hypergraph_from(cells);
+        let start: Vec<u8> = (0..hg.num_vertices()).map(|v| (v % 2) as u8).collect();
+        let config = BisectConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &hg, |b, hg| {
+            b.iter(|| {
+                let mut sides = start.clone();
+                black_box(bench_hooks::fm_refine(hg, &mut sides, &config))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One coarse global pass over a freshly global-placed design: batch
+/// candidate generation, parallel frozen-snapshot pricing, and the serial
+/// re-validate/commit phase.
+fn bench_coarse_batch_pricing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coarse_global_pass");
+    group.sample_size(10);
+    for cells in [1_000usize, 4_000] {
+        let netlist = netlist_of(&SynthConfig::named("k", cells, cells as f64 * 5.0e-12));
+        let config = PlacerConfig::new(4);
+        let chip = Chip::from_netlist(&netlist, &config).expect("valid");
+        let model = ObjectiveModel::new(&netlist, &chip, &config).expect("valid");
+        let placement = global_place(&netlist, &chip, &model, &config);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cells),
+            &placement,
+            |b, placement| {
+                b.iter(|| {
+                    let mut objective =
+                        IncrementalObjective::new(&netlist, &model, placement.clone());
+                    let mut mesh = DensityMesh::coarse(&chip);
+                    mesh.rebuild(&netlist, objective.placement());
+                    let mut rng = SmallRng::seed_from_u64(7);
+                    black_box(global_pass(
+                        &mut objective,
+                        &mut mesh,
+                        &netlist,
+                        &chip,
+                        config.coarse_target_region_bins,
+                        &mut rng,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fm_pass, bench_coarse_batch_pricing);
+criterion_main!(benches);

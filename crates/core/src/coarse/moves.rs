@@ -15,17 +15,42 @@
 //! delta; the best strictly-improving action is executed. Moves into a bin
 //! are only considered when the bin has room (its density stays below the
 //! allowance), so spreading from cell shifting is not undone.
+//!
+//! In WL+ILV mode both passes run as a **batched propose/commit engine**
+//! (DESIGN.md §16): cells are taken in the same shuffled order as the
+//! serial engine, in fixed-size batches. Phase A prices every cell's
+//! candidates in parallel against a [`FrozenPricer`] snapshot of the
+//! objective; phase B walks the winning proposals serially in batch
+//! order, re-prices each against the live objective, and commits only
+//! still-improving actions. Proposals depend only on the snapshot and
+//! the chunking is a pure function of the batch length, so results are
+//! bitwise identical at every thread count. With the thermal term or an
+//! armed thermal pricer the passes fall back to the exact serial loop.
 
 use super::mesh::DensityMesh;
-use crate::objective::IncrementalObjective;
+use crate::objective::{FrozenPricer, FrozenScratch, IncrementalObjective};
 use crate::thermal_pricer::ThermalMovePricer;
-use crate::Chip;
+use crate::{Chip, Placement};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use tvp_netlist::{CellId, Netlist};
+use tvp_parallel as parallel;
 
 /// Density a move target may reach before moves into it are rejected.
 const MOVE_DENSITY_ALLOWANCE: f64 = 1.0;
+
+/// Improvement threshold shared by proposal and commit pricing.
+const EPS: f64 = 1e-18;
+
+/// Cells per propose/commit batch. Bounds how stale phase-A snapshots
+/// can get (everything committed in earlier batches is visible) while
+/// leaving enough work per batch to parallelize.
+const BATCH: usize = 1024;
+
+/// Chunking floor for phase-A proposal generation: each cell prices on
+/// the order of a hundred candidates, so modest chunks already amortize
+/// pool dispatch.
+const PROPOSE_MIN_CHUNK: usize = 32;
 
 /// One pass of local moves/swaps over all movable cells (random order).
 /// Returns the number of improving actions executed.
@@ -53,30 +78,13 @@ pub(crate) fn local_pass_priced(
 ) -> usize {
     let mut order = movable_cells(netlist);
     order.shuffle(rng);
+    if pricer.is_none() && objective.frozen_pricer().is_some() {
+        return batched_pass(objective, mesh, netlist, chip, &order, PassMode::Local);
+    }
     let mut improved = 0;
+    let mut candidates = Vec::with_capacity(27);
     for cell in order {
-        let current = mesh.bin_of(cell);
-        let (ci, cj, ck) = mesh.coords(current);
-        let (nx, ny, nz) = mesh.dims();
-        let mut candidates = Vec::with_capacity(27);
-        for dk in -1i64..=1 {
-            for dj in -1i64..=1 {
-                for di in -1i64..=1 {
-                    let i = ci as i64 + di;
-                    let j = cj as i64 + dj;
-                    let k = ck as i64 + dk;
-                    if i >= 0
-                        && j >= 0
-                        && k >= 0
-                        && (i as usize) < nx
-                        && (j as usize) < ny
-                        && (k as usize) < nz
-                    {
-                        candidates.push(mesh.index(i as usize, j as usize, k as usize));
-                    }
-                }
-            }
-        }
+        local_candidates(mesh, cell, &mut candidates);
         if try_best_action(
             objective,
             mesh,
@@ -90,6 +98,32 @@ pub(crate) fn local_pass_priced(
         }
     }
     improved
+}
+
+/// Fills `out` with the 3×3×3 bin neighborhood of `cell`'s current bin.
+fn local_candidates(mesh: &DensityMesh, cell: CellId, out: &mut Vec<usize>) {
+    out.clear();
+    let current = mesh.bin_of(cell);
+    let (ci, cj, ck) = mesh.coords(current);
+    let (nx, ny, nz) = mesh.dims();
+    for dk in -1i64..=1 {
+        for dj in -1i64..=1 {
+            for di in -1i64..=1 {
+                let i = ci as i64 + di;
+                let j = cj as i64 + dj;
+                let k = ck as i64 + dk;
+                if i >= 0
+                    && j >= 0
+                    && k >= 0
+                    && (i as usize) < nx
+                    && (j as usize) < ny
+                    && (k as usize) < nz
+                {
+                    out.push(mesh.index(i as usize, j as usize, k as usize));
+                }
+            }
+        }
+    }
 }
 
 /// One pass of global moves/swaps toward each cell's optimal region.
@@ -118,30 +152,25 @@ pub(crate) fn global_pass_priced(
 ) -> usize {
     let mut order = movable_cells(netlist);
     order.shuffle(rng);
+    if pricer.is_none() && objective.frozen_pricer().is_some() {
+        return batched_pass(
+            objective,
+            mesh,
+            netlist,
+            chip,
+            &order,
+            PassMode::Global { region_bins },
+        );
+    }
     let mut improved = 0;
+    let mut opt = OptScratch::default();
+    let mut candidates = Vec::new();
     for cell in order {
-        let Some((ox, oy)) = optimal_point(objective, netlist, cell) else {
+        let Some((ox, oy)) = optimal_point(objective.placement(), netlist, cell, &mut opt) else {
             continue;
         };
         let (ox, oy) = chip.clamp(ox, oy);
-        let (nx, ny, nz) = mesh.dims();
-        let target = mesh.bin_at(ox, oy, 0);
-        let (ti, tj, _) = mesh.coords(target);
-        let half = (region_bins / 2) as i64;
-        let mut candidates = Vec::new();
-        // The target region spans a fixed number of bins laterally and all
-        // layers vertically.
-        for k in 0..nz {
-            for dj in -half..=half {
-                for di in -half..=half {
-                    let i = ti as i64 + di;
-                    let j = tj as i64 + dj;
-                    if i >= 0 && j >= 0 && (i as usize) < nx && (j as usize) < ny {
-                        candidates.push(mesh.index(i as usize, j as usize, k));
-                    }
-                }
-            }
-        }
+        global_candidates(mesh, ox, oy, region_bins, &mut candidates);
         if try_best_action(
             objective,
             mesh,
@@ -157,6 +186,291 @@ pub(crate) fn global_pass_priced(
     improved
 }
 
+/// Fills `out` with the global target region around `(ox, oy)`: a fixed
+/// number of bins laterally and every layer vertically.
+fn global_candidates(
+    mesh: &DensityMesh,
+    ox: f64,
+    oy: f64,
+    region_bins: usize,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    let (nx, ny, nz) = mesh.dims();
+    let target = mesh.bin_at(ox, oy, 0);
+    let (ti, tj, _) = mesh.coords(target);
+    let half = (region_bins / 2) as i64;
+    for k in 0..nz {
+        for dj in -half..=half {
+            for di in -half..=half {
+                let i = ti as i64 + di;
+                let j = tj as i64 + dj;
+                if i >= 0 && j >= 0 && (i as usize) < nx && (j as usize) < ny {
+                    out.push(mesh.index(i as usize, j as usize, k));
+                }
+            }
+        }
+    }
+}
+
+/// Candidate-generation mode of [`batched_pass`].
+#[derive(Clone, Copy)]
+enum PassMode {
+    Local,
+    Global { region_bins: usize },
+}
+
+/// Per-bin movable residents sorted by `(area, id)`, so the best-matched
+/// swap partner — the resident whose area is closest to the probing
+/// cell's — is a binary search instead of a full bin scan. The scan is
+/// O(residents) per candidate bin and the early passes run before
+/// spreading, when bins hold piles; this index is what keeps the
+/// batched passes linear in candidate count. Frozen during phase A
+/// (the mesh doesn't change there) and patched per dirty bin after each
+/// batch's commits.
+struct PartnerIndex {
+    by_bin: Vec<Vec<(f64, CellId)>>,
+}
+
+impl PartnerIndex {
+    fn build(mesh: &DensityMesh, netlist: &Netlist, movable: &[CellId]) -> Self {
+        let (nx, ny, nz) = mesh.dims();
+        let mut by_bin = vec![Vec::new(); nx * ny * nz];
+        for &cell in movable {
+            by_bin[mesh.bin_of(cell)].push((netlist.cell(cell).area(), cell));
+        }
+        for v in &mut by_bin {
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        Self { by_bin }
+    }
+
+    /// Re-derives one bin's sorted residents from the live mesh.
+    fn rebuild_bin(&mut self, mesh: &DensityMesh, netlist: &Netlist, bin: usize) {
+        let v = &mut self.by_bin[bin];
+        v.clear();
+        v.extend(
+            mesh.bin_cells(bin)
+                .iter()
+                .copied()
+                .filter(|&c| netlist.cell(c).is_movable())
+                .map(|c| (netlist.cell(c).area(), c)),
+        );
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    /// The movable resident of `bin` whose area is closest to `area`
+    /// (ties resolve to the earlier `(area, id)` entry — deterministic
+    /// for any build history).
+    fn nearest(&self, bin: usize, area: f64) -> Option<CellId> {
+        let v = &self.by_bin[bin];
+        let idx = v.partition_point(|&(a, _)| a < area);
+        let left = idx.checked_sub(1).and_then(|i| v.get(i).copied());
+        let right = v.get(idx).copied();
+        match (left, right) {
+            (Some((la, lc)), Some((ra, rc))) => {
+                if (la - area).abs() <= (ra - area).abs() {
+                    Some(lc)
+                } else {
+                    Some(rc)
+                }
+            }
+            (Some((_, c)), None) | (None, Some((_, c))) => Some(c),
+            (None, None) => None,
+        }
+    }
+}
+
+/// One phase-A winner: the cell's best snapshot-priced action. `bin` is
+/// the candidate bin whose headroom admitted the move (re-checked
+/// against the live mesh at commit).
+struct Proposal {
+    cell: CellId,
+    action: ProposedAction,
+}
+
+enum ProposedAction {
+    Move {
+        bin: usize,
+        x: f64,
+        y: f64,
+        layer: u16,
+    },
+    Swap {
+        with: CellId,
+    },
+}
+
+/// The batched propose/commit engine (see the module docs). Requires
+/// WL+ILV mode (`objective.frozen_pricer()` must be `Some`).
+fn batched_pass(
+    objective: &mut IncrementalObjective<'_>,
+    mesh: &mut DensityMesh,
+    netlist: &Netlist,
+    chip: &Chip,
+    order: &[CellId],
+    mode: PassMode,
+) -> usize {
+    let mut improved = 0;
+    let mut partners = PartnerIndex::build(mesh, netlist, order);
+    let mut dirty_bins: Vec<usize> = Vec::new();
+    for batch in order.chunks(BATCH) {
+        // Phase A: parallel snapshot pricing. The snapshot, the mesh, and
+        // the chunk boundaries are all independent of the thread count, so
+        // the proposal list is too.
+        let Some(frozen) = objective.frozen_pricer() else {
+            // Unreachable: callers route here only when the pricer exists,
+            // and committing moves never disarms it. Degrading to "no more
+            // improvements" keeps the pass total-correct regardless.
+            return improved;
+        };
+        let mesh_ref: &DensityMesh = mesh;
+        let partners_ref: &PartnerIndex = &partners;
+        let proposals: Vec<Vec<Proposal>> =
+            parallel::map_chunks(batch.len(), PROPOSE_MIN_CHUNK, |range| {
+                let mut cell_scratch = FrozenScratch::default();
+                let mut partner_scratch = FrozenScratch::default();
+                let mut opt = OptScratch::default();
+                let mut candidates = Vec::new();
+                let mut out = Vec::new();
+                for &cell in &batch[range] {
+                    match mode {
+                        PassMode::Local => local_candidates(mesh_ref, cell, &mut candidates),
+                        PassMode::Global { region_bins } => {
+                            // The frozen variant feeds the medians from
+                            // the same probe entries `propose_best` is
+                            // about to price with — one build serves
+                            // both, and no net is ever rescanned.
+                            let Some((ox, oy)) =
+                                optimal_point_frozen(&frozen, &mut cell_scratch, cell, &mut opt)
+                            else {
+                                continue;
+                            };
+                            let (ox, oy) = chip.clamp(ox, oy);
+                            global_candidates(mesh_ref, ox, oy, region_bins, &mut candidates);
+                        }
+                    }
+                    if let Some(p) = propose_best(
+                        &frozen,
+                        mesh_ref,
+                        partners_ref,
+                        netlist,
+                        chip,
+                        cell,
+                        &candidates,
+                        &mut cell_scratch,
+                        &mut partner_scratch,
+                    ) {
+                        out.push(p);
+                    }
+                }
+                out
+            });
+        // Phase B: serial commits in batch order. Every proposal is
+        // re-priced against the live objective (earlier commits in this
+        // batch may have changed its value) and its target's headroom is
+        // re-checked, so only genuinely improving, legal actions land.
+        dirty_bins.clear();
+        for p in proposals.iter().flat_map(|v| v.iter()) {
+            match p.action {
+                ProposedAction::Move { bin, x, y, layer } => {
+                    let old_bin = mesh.bin_of(p.cell);
+                    if bin == old_bin {
+                        continue;
+                    }
+                    let cell_area = netlist.cell(p.cell).area();
+                    let headroom =
+                        mesh.capacity() * MOVE_DENSITY_ALLOWANCE - mesh.bin_area(bin) - cell_area;
+                    if headroom < 0.0 {
+                        continue;
+                    }
+                    if objective.delta_move(p.cell, x, y, layer) < -EPS {
+                        objective.apply_move(p.cell, x, y, layer);
+                        mesh.relocate(netlist, p.cell, x, y, layer);
+                        dirty_bins.push(old_bin);
+                        dirty_bins.push(bin);
+                        improved += 1;
+                    }
+                }
+                ProposedAction::Swap { with } => {
+                    if objective.delta_swap(p.cell, with) < -EPS {
+                        let pa = objective.placement().position(p.cell);
+                        let pb = objective.placement().position(with);
+                        objective.apply_swap(p.cell, with);
+                        mesh.relocate(netlist, p.cell, pb.0, pb.1, pb.2);
+                        mesh.relocate(netlist, with, pa.0, pa.1, pa.2);
+                        dirty_bins.push(mesh.bin_of(p.cell));
+                        dirty_bins.push(mesh.bin_of(with));
+                        improved += 1;
+                    }
+                }
+            }
+        }
+        dirty_bins.sort_unstable();
+        dirty_bins.dedup();
+        for &bin in &dirty_bins {
+            partners.rebuild_bin(mesh, netlist, bin);
+        }
+    }
+    improved
+}
+
+/// Phase-A analogue of [`try_best_action`]: prices every candidate
+/// against the snapshot and returns the best improving action, without
+/// executing anything. Swaps are priced as two independent single-move
+/// deltas (exact unless the cells share a net — phase B's exact re-price
+/// settles those).
+#[allow(clippy::too_many_arguments)]
+fn propose_best(
+    frozen: &FrozenPricer<'_>,
+    mesh: &DensityMesh,
+    partners: &PartnerIndex,
+    netlist: &Netlist,
+    chip: &Chip,
+    cell: CellId,
+    candidates: &[usize],
+    cell_scratch: &mut FrozenScratch,
+    partner_scratch: &mut FrozenScratch,
+) -> Option<Proposal> {
+    let current_bin = mesh.bin_of(cell);
+    let cell_area = netlist.cell(cell).area();
+    let mut best: Option<(f64, ProposedAction)> = None;
+    for &b in candidates {
+        if b == current_bin {
+            continue;
+        }
+        let headroom = mesh.capacity() * MOVE_DENSITY_ALLOWANCE - mesh.bin_area(b) - cell_area;
+        if headroom >= 0.0 {
+            let (bx, by, layer) = mesh.bin_center(b);
+            let (bx, by) = chip.clamp(bx, by);
+            let delta = frozen.delta_move(cell_scratch, cell, bx, by, layer);
+            if delta < best.as_ref().map_or(-EPS, |(d, _)| *d) {
+                best = Some((
+                    delta,
+                    ProposedAction::Move {
+                        bin: b,
+                        x: bx,
+                        y: by,
+                        layer,
+                    },
+                ));
+            }
+        }
+        // `cell` never resides in a scanned bin (its own bin is skipped
+        // above), so the index lookup needs no self-exclusion.
+        if let Some(partner) = partners.nearest(b, cell_area) {
+            let pa = frozen.placement().position(cell);
+            let pb = frozen.placement().position(partner);
+            let mut delta = frozen.delta_move(cell_scratch, cell, pb.0, pb.1, pb.2);
+            delta += frozen.delta_move(partner_scratch, partner, pa.0, pa.1, pa.2);
+            if delta < best.as_ref().map_or(-EPS, |(d, _)| *d) {
+                best = Some((delta, ProposedAction::Swap { with: partner }));
+            }
+        }
+    }
+    best.map(|(_, action)| Proposal { cell, action })
+}
+
 fn movable_cells(netlist: &Netlist) -> Vec<CellId> {
     netlist
         .iter_cells()
@@ -165,18 +479,29 @@ fn movable_cells(netlist: &Netlist) -> Vec<CellId> {
         .collect()
 }
 
+/// Reusable buffers for [`optimal_point`]: the per-net bounding-box
+/// extremes a cell's median interval is computed from.
+#[derive(Default)]
+struct OptScratch {
+    xs_lo: Vec<f64>,
+    xs_hi: Vec<f64>,
+    ys_lo: Vec<f64>,
+    ys_hi: Vec<f64>,
+}
+
 /// The lateral objective-minimum point for a cell: the center of its
 /// optimal region (median interval of its nets' bounding boxes with the
 /// cell excluded). `None` for unconnected cells.
 fn optimal_point(
-    objective: &IncrementalObjective<'_>,
+    placement: &Placement,
     netlist: &Netlist,
     cell: CellId,
+    s: &mut OptScratch,
 ) -> Option<(f64, f64)> {
-    let mut xs_lo = Vec::new();
-    let mut xs_hi = Vec::new();
-    let mut ys_lo = Vec::new();
-    let mut ys_hi = Vec::new();
+    s.xs_lo.clear();
+    s.xs_hi.clear();
+    s.ys_lo.clear();
+    s.ys_hi.clear();
     for &p in netlist.cell_pins(cell) {
         let e = netlist.pin(p).net();
         let mut x0 = f64::INFINITY;
@@ -190,31 +515,69 @@ fn optimal_point(
                 continue;
             }
             others += 1;
-            let (x, y, _) = objective.placement().position(other);
+            let (x, y, _) = placement.position(other);
             x0 = x0.min(x + netlist.pin(q).offset_x());
             x1 = x1.max(x + netlist.pin(q).offset_x());
             y0 = y0.min(y + netlist.pin(q).offset_y());
             y1 = y1.max(y + netlist.pin(q).offset_y());
         }
         if others > 0 {
-            xs_lo.push(x0);
-            xs_hi.push(x1);
-            ys_lo.push(y0);
-            ys_hi.push(y1);
+            s.xs_lo.push(x0);
+            s.xs_hi.push(x1);
+            s.ys_lo.push(y0);
+            s.ys_hi.push(y1);
         }
     }
-    if xs_lo.is_empty() {
+    if s.xs_lo.is_empty() {
         return None;
     }
     Some((
-        (median(&mut xs_lo) + median(&mut xs_hi)) / 2.0,
-        (median(&mut ys_lo) + median(&mut ys_hi)) / 2.0,
+        (median(&mut s.xs_lo) + median(&mut s.xs_hi)) / 2.0,
+        (median(&mut s.ys_lo) + median(&mut s.ys_hi)) / 2.0,
     ))
 }
 
+/// [`optimal_point`] against a [`FrozenPricer`] snapshot: the per-net
+/// exclusion rectangles come from the snapshot's probe entries instead
+/// of a fresh scan of every incident net. The rectangle values (and so
+/// the medians) are bitwise identical — see
+/// [`FrozenPricer::exclusion_rects`] — and the entries stay in
+/// `scratch` for the candidate pricing that follows.
+fn optimal_point_frozen(
+    frozen: &FrozenPricer<'_>,
+    scratch: &mut FrozenScratch,
+    cell: CellId,
+    s: &mut OptScratch,
+) -> Option<(f64, f64)> {
+    s.xs_lo.clear();
+    s.xs_hi.clear();
+    s.ys_lo.clear();
+    s.ys_hi.clear();
+    frozen.exclusion_rects(scratch, cell, |x0, x1, y0, y1| {
+        s.xs_lo.push(x0);
+        s.xs_hi.push(x1);
+        s.ys_lo.push(y0);
+        s.ys_hi.push(y1);
+    });
+    if s.xs_lo.is_empty() {
+        return None;
+    }
+    Some((
+        (median(&mut s.xs_lo) + median(&mut s.xs_hi)) / 2.0,
+        (median(&mut s.ys_lo) + median(&mut s.ys_hi)) / 2.0,
+    ))
+}
+
+/// The element a full sort would leave at `len / 2` — selected in O(n)
+/// instead of O(n log n); the same comparator makes it value-identical
+/// to the historical sort-based median.
 fn median(values: &mut [f64]) -> f64 {
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    values[values.len() / 2]
+    let mid = values.len() / 2;
+    *values
+        .select_nth_unstable_by(mid, |a, b| {
+            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .1
 }
 
 /// Prices a move to each candidate bin's center and a swap with the
@@ -235,7 +598,6 @@ fn try_best_action(
     candidates: &[usize],
     mut pricer: Option<&mut ThermalMovePricer>,
 ) -> bool {
-    const EPS: f64 = 1e-18;
     let current_bin = mesh.bin_of(cell);
     let cell_area = netlist.cell(cell).area();
     let current_pos = objective.placement().position(cell);
@@ -411,7 +773,9 @@ mod tests {
             .map(CellId::new)
             .find(|&c| netlist.cell_nets(c).next().is_some())
             .unwrap();
-        let (ox, oy) = optimal_point(&objective, &netlist, connected).unwrap();
+        let mut scratch = OptScratch::default();
+        let (ox, oy) =
+            optimal_point(objective.placement(), &netlist, connected, &mut scratch).unwrap();
         assert!(ox >= 0.0 && ox <= chip.width);
         assert!(oy >= 0.0 && oy <= chip.depth);
         // Moving the cell to its optimal point must not hurt the lateral
@@ -432,6 +796,13 @@ mod tests {
         let chip = Chip::from_netlist(&netlist, &config).unwrap();
         let model = ObjectiveModel::new(&netlist, &chip, &config).unwrap();
         let objective = IncrementalObjective::new(&netlist, &model, Placement::centered(2, &chip));
-        assert!(optimal_point(&objective, &netlist, CellId::new(0)).is_none());
+        let mut scratch = OptScratch::default();
+        assert!(optimal_point(
+            objective.placement(),
+            &netlist,
+            CellId::new(0),
+            &mut scratch
+        )
+        .is_none());
     }
 }

@@ -64,6 +64,13 @@ impl StopCheck {
         }
     }
 
+    /// Whether any stop condition is attached at all. Unarmed runs hand
+    /// `None` down to the parallel kernels so their hot loops skip the
+    /// poll entirely.
+    pub(crate) fn is_armed(&self) -> bool {
+        self.cancel.is_some() || self.deadline.is_some()
+    }
+
     /// Whether the pipeline should stop at the next boundary.
     pub(crate) fn should_stop(&self) -> bool {
         if let Some(token) = &self.cancel {

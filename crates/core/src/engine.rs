@@ -178,6 +178,13 @@ impl StageMonitor<'_> {
             ControlFlow::Continue(())
         }
     }
+
+    /// A clone of the run's stop conditions for stages that hand
+    /// cancellation down into parallel kernels, or `None` when no stop
+    /// condition is armed (the kernels then skip polling entirely).
+    pub(crate) fn armed_stop(&self) -> Option<StopCheck> {
+        self.stop.is_armed().then(|| self.stop.clone())
+    }
 }
 
 /// One pipeline stage. Implementations transform `ctx.objective` and
@@ -218,20 +225,35 @@ impl Stage for GlobalStage {
     fn run(
         &self,
         ctx: &mut PlacerContext<'_>,
-        _monitor: &mut StageMonitor<'_>,
+        monitor: &mut StageMonitor<'_>,
     ) -> Result<StageStatus, PlaceError> {
         // The imbalance fault targets the root bisection only: level 0
         // has exactly one region, so the injection is deterministic under
         // any thread count.
         let inject = ctx.fire_fault(FaultKind::PartitionImbalance, "global");
-        let (placement, stats) = crate::global::global_place_with_fixed_stats(
-            ctx.netlist,
-            ctx.chip,
-            ctx.model,
-            ctx.config,
-            ctx.fixed_positions,
-            inject,
-        );
+        // Hand the run's stop conditions down into the bisection kernels:
+        // an expired time budget or a cancelled token is then noticed
+        // mid-FM-pass (every ~1k heap pops) instead of only at the stage
+        // boundary. Unarmed runs pass `None`, keeping the hot loops
+        // poll-free and the placement bitwise identical to history.
+        let armed = monitor.armed_stop();
+        let stop_fn = armed.map(|check| move || check.should_stop());
+        let interrupted;
+        let (placement, stats) = {
+            let stop: Option<&(dyn Fn() -> bool + Sync)> =
+                stop_fn.as_ref().map(|f| f as &(dyn Fn() -> bool + Sync));
+            let out = crate::global::global_place_with_fixed_stats_stop(
+                ctx.netlist,
+                ctx.chip,
+                ctx.model,
+                ctx.config,
+                ctx.fixed_positions,
+                inject,
+                stop,
+            );
+            interrupted = stop.is_some_and(|s| s());
+            out
+        };
         if stats.partition_retries > 0 {
             ctx.record_degradation(Degradation::PartitionRetried {
                 retries: stats.partition_retries,
@@ -239,7 +261,11 @@ impl Stage for GlobalStage {
         }
         ctx.objective = IncrementalObjective::new(ctx.netlist, ctx.model, placement);
         ctx.legal = false;
-        Ok(StageStatus::Completed)
+        Ok(if interrupted {
+            StageStatus::Interrupted
+        } else {
+            StageStatus::Completed
+        })
     }
 }
 

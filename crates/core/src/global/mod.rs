@@ -30,7 +30,7 @@ use crate::{Chip, Placement, PlacerConfig};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use tvp_netlist::{CellId, NetId, Netlist};
 use tvp_parallel as parallel;
-use tvp_partition::{bisect_fixed_checked, BisectConfig, FixedSide, Hypergraph};
+use tvp_partition::{bisect_fixed_checked_with_stop, BisectConfig, FixedSide, Hypergraph, StopFn};
 
 /// How often a bisection may be retried with a relaxed tolerance before
 /// its best-effort (out-of-tolerance) assignment is accepted.
@@ -119,6 +119,39 @@ pub fn global_place_with_fixed_stats(
     fixed_positions: &[(CellId, f64, f64, u16)],
     inject_imbalance: bool,
 ) -> (Placement, GlobalStats) {
+    global_place_with_fixed_stats_stop(
+        netlist,
+        chip,
+        model,
+        config,
+        fixed_positions,
+        inject_imbalance,
+        None,
+    )
+}
+
+/// [`global_place_with_fixed_stats`] with a cooperative stop signal.
+///
+/// `stop` is handed down into every region bisection, where the FM
+/// kernels poll it between coarsening levels and every ~1k heap pops
+/// *inside* a refinement pass (with best-prefix rollback, so a
+/// cancelled pass still yields its best legal assignment). It is also
+/// polled between bisection levels here: once it fires, all remaining
+/// regions are finalized as leaves at their current extents, so the
+/// caller always gets a full (if coarse) placement to legalize —
+/// best-so-far, never a partial write. Pass `None` when no stop
+/// condition is armed: the hot loops then skip the poll entirely and
+/// the result is bitwise identical to the historical entry points.
+#[allow(clippy::too_many_arguments)]
+pub fn global_place_with_fixed_stats_stop(
+    netlist: &Netlist,
+    chip: &Chip,
+    model: &ObjectiveModel,
+    config: &PlacerConfig,
+    fixed_positions: &[(CellId, f64, f64, u16)],
+    inject_imbalance: bool,
+    stop: Option<&StopFn>,
+) -> (Placement, GlobalStats) {
     let mut placement = Placement::centered(netlist.num_cells(), chip);
     for &(cell, x, y, layer) in fixed_positions {
         let (x, y) = chip.clamp(x, y);
@@ -157,6 +190,7 @@ pub fn global_place_with_fixed_stats(
         level_seed: config.seed,
         inject_imbalance: AtomicBool::new(inject_imbalance),
         partition_retries: AtomicUsize::new(0),
+        stop,
     };
     let mut scratch = SplitScratch::new(netlist.num_cells(), netlist.num_nets());
 
@@ -164,6 +198,12 @@ pub fn global_place_with_fixed_stats(
     let mut level = 0usize;
     const MAX_LEVELS: usize = 64;
     while !active.is_empty() && level < MAX_LEVELS {
+        // Cancelled: stop recursing and let the safety net below place
+        // every remaining region's cells at its current extents — a
+        // complete best-so-far placement, never a partial write.
+        if stop.is_some_and(|s| s()) {
+            break;
+        }
         splitter.refresh_thermal_state(&placement);
         splitter.level_seed = config
             .seed
@@ -267,6 +307,9 @@ struct Splitter<'a> {
     /// `process_level` shares `&self` across the worker pool; the sum is
     /// order-independent, so the count stays deterministic.
     partition_retries: AtomicUsize,
+    /// Cooperative stop signal, polled inside every region's FM kernels
+    /// (between passes and every ~1k heap pops). `None` for unarmed runs.
+    stop: Option<&'a StopFn>,
 }
 
 impl<'a> Splitter<'a> {
@@ -498,7 +541,7 @@ impl<'a> Splitter<'a> {
                 attempt_config = attempt_config.relaxed();
                 continue;
             }
-            match bisect_fixed_checked(&hg, &fixed, &attempt_config) {
+            match bisect_fixed_checked_with_stop(&hg, &fixed, &attempt_config, self.stop) {
                 Ok(bisection) => break bisection,
                 Err(err) => {
                     let miss = (err.fraction - err.target_fraction).abs();

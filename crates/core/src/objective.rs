@@ -447,6 +447,243 @@ impl Default for ProbeEntry {
     }
 }
 
+/// Builds the probe entry for distinct-net CSR slot `idx` of `cell`: the
+/// net's extremes with the cell's own pins excluded, plus the committed
+/// geometry. Shared by the probe cache and [`FrozenPricer`] so both
+/// price bitwise identically.
+fn probe_entry_at(
+    netlist: &Netlist,
+    placement: &Placement,
+    nets: &[NetExtremes],
+    cell_nets: &DistinctNets,
+    idx: usize,
+    cell: CellId,
+) -> ProbeEntry {
+    let (e, plo, phi) = cell_nets.entries[idx];
+    let mut entry = ProbeEntry {
+        own_pins: phi - plo,
+        ..ProbeEntry::default()
+    };
+    if entry.own_pins == 1 {
+        let pin = netlist.pin(cell_nets.pins[plo as usize]);
+        entry.dx = pin.offset_x();
+        entry.dy = pin.offset_y();
+    }
+    let ext = &nets[e.index()];
+    let og = ext.geometry();
+    entry.old_wl = og.wirelength();
+    entry.old_ilv = og.ilv;
+
+    // Fast path: the committed extremes carry multiplicity counts, so
+    // when every extreme keeps at least one non-cell holder the
+    // exclusion extremes ARE the committed ones — O(own pins) instead of
+    // a full net scan, and bitwise identical to it (the counts were
+    // accumulated from the very same `position + offset` arithmetic).
+    // An own pin that empties an extreme's holder count falls through to
+    // the scan, which recovers the unstored runner-up.
+    if ext.x_min_n != 0 && netlist.net_pins(e).len() as u32 > entry.own_pins {
+        let (cx, cy, cl) = placement.position(cell);
+        let mut nx0 = ext.x_min_n;
+        let mut nx1 = ext.x_max_n;
+        let mut ny0 = ext.y_min_n;
+        let mut ny1 = ext.y_max_n;
+        let mut nl0 = ext.l_min_n;
+        let mut nl1 = ext.l_max_n;
+        for &p in &cell_nets.pins[plo as usize..phi as usize] {
+            let pin = netlist.pin(p);
+            let px = cx + pin.offset_x();
+            let py = cy + pin.offset_y();
+            nx0 -= (px == ext.x_min) as u32;
+            nx1 -= (px == ext.x_max) as u32;
+            ny0 -= (py == ext.y_min) as u32;
+            ny1 -= (py == ext.y_max) as u32;
+            nl0 -= (cl == ext.l_min) as u32;
+            nl1 -= (cl == ext.l_max) as u32;
+        }
+        if nx0 > 0 && nx1 > 0 && ny0 > 0 && ny1 > 0 && nl0 > 0 && nl1 > 0 {
+            entry.rx0 = ext.x_min;
+            entry.rx1 = ext.x_max;
+            entry.ry0 = ext.y_min;
+            entry.ry1 = ext.y_max;
+            entry.rl0 = ext.l_min;
+            entry.rl1 = ext.l_max;
+            return entry;
+        }
+    }
+    for &p in netlist.net_pins(e) {
+        let pin = netlist.pin(p);
+        let c = pin.cell();
+        if c == cell {
+            continue;
+        }
+        let (cx, cy, cl) = placement.position(c);
+        let (px, py) = (cx + pin.offset_x(), cy + pin.offset_y());
+        entry.rx0 = entry.rx0.min(px);
+        entry.rx1 = entry.rx1.max(px);
+        entry.ry0 = entry.ry0.min(py);
+        entry.ry1 = entry.ry1.max(py);
+        entry.rl0 = entry.rl0.min(cl);
+        entry.rl1 = entry.rl1.max(cl);
+    }
+    entry
+}
+
+/// Prices one net of a probe: folds the cell's pins at `pos` into the
+/// entry's exclusion extremes and returns the WL + α_ILV·ILV change.
+#[inline]
+fn probe_entry_delta(
+    netlist: &Netlist,
+    cell_nets: &DistinctNets,
+    idx: usize,
+    entry: &ProbeEntry,
+    pos: (f64, f64, u16),
+    alpha_ilv: f64,
+) -> f64 {
+    let (mut x0, mut x1) = (entry.rx0, entry.rx1);
+    let (mut y0, mut y1) = (entry.ry0, entry.ry1);
+    let (mut l0, mut l1) = (entry.rl0, entry.rl1);
+    if entry.own_pins == 1 {
+        let (px, py) = (pos.0 + entry.dx, pos.1 + entry.dy);
+        x0 = x0.min(px);
+        x1 = x1.max(px);
+        y0 = y0.min(py);
+        y1 = y1.max(py);
+        l0 = l0.min(pos.2);
+        l1 = l1.max(pos.2);
+    } else {
+        let (_, plo, phi) = cell_nets.entries[idx];
+        for &p in &cell_nets.pins[plo as usize..phi as usize] {
+            let pin = netlist.pin(p);
+            let (px, py) = (pos.0 + pin.offset_x(), pos.1 + pin.offset_y());
+            x0 = x0.min(px);
+            x1 = x1.max(px);
+            y0 = y0.min(py);
+            y1 = y1.max(py);
+            l0 = l0.min(pos.2);
+            l1 = l1.max(pos.2);
+        }
+    }
+    let new_wl = (x1 - x0) + (y1 - y0);
+    let new_ilv = (l1 - l0) as f64;
+    (new_wl - entry.old_wl) + alpha_ilv * (new_ilv - entry.old_ilv)
+}
+
+/// Read-only pricing snapshot over the committed caches, for
+/// data-parallel proposal generation (DESIGN.md §16). It is `Sync` —
+/// unlike [`IncrementalObjective`], whose interior-mutable staging
+/// workspace pins it to one thread — because it borrows only the
+/// immutable caches. Only available in WL+ILV mode (`alpha_temp == 0`):
+/// the thermal term needs staged power bookkeeping a snapshot cannot
+/// provide.
+///
+/// Deltas are priced against the state at snapshot time. Callers that
+/// interleave commits must re-validate each proposal against the live
+/// objective before applying — the coarse batched passes do exactly
+/// that.
+pub struct FrozenPricer<'b> {
+    netlist: &'b Netlist,
+    placement: &'b Placement,
+    nets: &'b [NetExtremes],
+    cell_nets: &'b DistinctNets,
+    alpha_ilv: f64,
+}
+
+/// Per-worker scratch for [`FrozenPricer`]: the probe entries of the one
+/// cell currently being priced. Caller-owned so each worker thread
+/// prices without shared mutable state. Entries are only valid against
+/// the snapshot that built them — drop the scratch when taking a new
+/// [`FrozenPricer`].
+#[derive(Default)]
+pub struct FrozenScratch {
+    cell: Option<CellId>,
+    entries: Vec<ProbeEntry>,
+}
+
+impl FrozenPricer<'_> {
+    /// The snapshot's placement.
+    #[inline]
+    pub fn placement(&self) -> &Placement {
+        self.placement
+    }
+
+    /// Objective change if `cell` moved to `(x, y, layer)`, priced
+    /// against the snapshot. Bitwise equal to what
+    /// [`IncrementalObjective::delta_move`] returned at snapshot time —
+    /// both fold the same probe entries in the same CSR order. Repeated
+    /// probes of one cell reuse its entries; a new cell rebuilds the
+    /// scratch once.
+    pub fn delta_move(
+        &self,
+        scratch: &mut FrozenScratch,
+        cell: CellId,
+        x: f64,
+        y: f64,
+        layer: u16,
+    ) -> f64 {
+        self.ensure_entries(scratch, cell);
+        let mut delta = 0.0;
+        for (entry, idx) in scratch.entries.iter().zip(self.cell_nets.range(cell)) {
+            delta += probe_entry_delta(
+                self.netlist,
+                self.cell_nets,
+                idx,
+                entry,
+                (x, y, layer),
+                self.alpha_ilv,
+            );
+        }
+        delta
+    }
+
+    /// Calls `push` with one `(x0, x1, y0, y1)` exclusion rectangle per
+    /// own pin of `cell` whose net has at least one pin on another cell —
+    /// the inputs of the coarse global pass's optimal-region medians.
+    /// Reuses the very probe entries [`delta_move`](Self::delta_move)
+    /// prices with (building them on miss), so each rectangle is bitwise
+    /// identical to a fresh exclude-the-cell scan of the net, at
+    /// O(own pins) in the common case instead of O(net degree).
+    pub fn exclusion_rects(
+        &self,
+        scratch: &mut FrozenScratch,
+        cell: CellId,
+        mut push: impl FnMut(f64, f64, f64, f64),
+    ) {
+        self.ensure_entries(scratch, cell);
+        for entry in &scratch.entries {
+            // A finite min marks a non-empty exclusion (positions are
+            // always finite); nets the cell fully owns are skipped, like
+            // the historical scan's `others > 0` test. Multi-pin nets
+            // repeat their rectangle once per own pin, matching the
+            // per-pin iteration order's multiset of median inputs.
+            if entry.rx0 != f64::INFINITY {
+                for _ in 0..entry.own_pins {
+                    push(entry.rx0, entry.rx1, entry.ry0, entry.ry1);
+                }
+            }
+        }
+    }
+
+    /// Builds (or reuses) the scratch's probe entries for `cell`.
+    fn ensure_entries(&self, scratch: &mut FrozenScratch, cell: CellId) {
+        if scratch.cell != Some(cell) {
+            scratch.entries.clear();
+            scratch
+                .entries
+                .extend(self.cell_nets.range(cell).map(|idx| {
+                    probe_entry_at(
+                        self.netlist,
+                        self.placement,
+                        self.nets,
+                        self.cell_nets,
+                        idx,
+                        cell,
+                    )
+                }));
+            scratch.cell = Some(cell);
+        }
+    }
+}
+
 /// Reusable staging area for pricing: epoch-stamped sparse overlays over
 /// the committed net/power/resistance caches, plus the staged move list
 /// and per-move deltas. Pricing writes only here; commit patches the
@@ -923,35 +1160,14 @@ impl<'a> IncrementalObjective<'a> {
     /// exactly how the coarse and detail loops price.
     fn build_probe_cache(&self, ws: &mut DeltaWorkspace, cell: CellId) {
         for idx in self.cell_nets.range(cell) {
-            let (e, plo, phi) = self.cell_nets.entries[idx];
-            let mut entry = ProbeEntry {
-                own_pins: phi - plo,
-                ..ProbeEntry::default()
-            };
-            if entry.own_pins == 1 {
-                let pin = self.netlist.pin(self.cell_nets.pins[plo as usize]);
-                entry.dx = pin.offset_x();
-                entry.dy = pin.offset_y();
-            }
-            for &p in self.netlist.net_pins(e) {
-                let pin = self.netlist.pin(p);
-                let c = pin.cell();
-                if c == cell {
-                    continue;
-                }
-                let (cx, cy, cl) = self.placement.position(c);
-                let (px, py) = (cx + pin.offset_x(), cy + pin.offset_y());
-                entry.rx0 = entry.rx0.min(px);
-                entry.rx1 = entry.rx1.max(px);
-                entry.ry0 = entry.ry0.min(py);
-                entry.ry1 = entry.ry1.max(py);
-                entry.rl0 = entry.rl0.min(cl);
-                entry.rl1 = entry.rl1.max(cl);
-            }
-            let og = self.nets[e.index()].geometry();
-            entry.old_wl = og.wirelength();
-            entry.old_ilv = og.ilv;
-            ws.probe_entries[idx] = entry;
+            ws.probe_entries[idx] = probe_entry_at(
+                self.netlist,
+                &self.placement,
+                &self.nets,
+                &self.cell_nets,
+                idx,
+                cell,
+            );
         }
         ws.cell_probe_version[cell.index()] = ws.probe_version;
     }
@@ -964,34 +1180,14 @@ impl<'a> IncrementalObjective<'a> {
         let alpha_ilv = self.model.alpha_ilv;
         let mut delta = 0.0;
         for idx in self.cell_nets.range(cell) {
-            let entry = &ws.probe_entries[idx];
-            let (mut x0, mut x1) = (entry.rx0, entry.rx1);
-            let (mut y0, mut y1) = (entry.ry0, entry.ry1);
-            let (mut l0, mut l1) = (entry.rl0, entry.rl1);
-            if entry.own_pins == 1 {
-                let (px, py) = (pos.0 + entry.dx, pos.1 + entry.dy);
-                x0 = x0.min(px);
-                x1 = x1.max(px);
-                y0 = y0.min(py);
-                y1 = y1.max(py);
-                l0 = l0.min(pos.2);
-                l1 = l1.max(pos.2);
-            } else {
-                let (_, plo, phi) = self.cell_nets.entries[idx];
-                for &p in &self.cell_nets.pins[plo as usize..phi as usize] {
-                    let pin = self.netlist.pin(p);
-                    let (px, py) = (pos.0 + pin.offset_x(), pos.1 + pin.offset_y());
-                    x0 = x0.min(px);
-                    x1 = x1.max(px);
-                    y0 = y0.min(py);
-                    y1 = y1.max(py);
-                    l0 = l0.min(pos.2);
-                    l1 = l1.max(pos.2);
-                }
-            }
-            let new_wl = (x1 - x0) + (y1 - y0);
-            let new_ilv = (l1 - l0) as f64;
-            delta += (new_wl - entry.old_wl) + alpha_ilv * (new_ilv - entry.old_ilv);
+            delta += probe_entry_delta(
+                self.netlist,
+                &self.cell_nets,
+                idx,
+                &ws.probe_entries[idx],
+                pos,
+                alpha_ilv,
+            );
         }
         delta
     }
@@ -1001,6 +1197,19 @@ impl<'a> IncrementalObjective<'a> {
     #[inline]
     fn fast_probes(&self) -> bool {
         self.model.alpha_temp == 0.0
+    }
+
+    /// A [`FrozenPricer`] snapshot of the committed state, or `None`
+    /// when the thermal term is active (pricing then needs staged power
+    /// bookkeeping a read-only snapshot cannot provide).
+    pub fn frozen_pricer(&self) -> Option<FrozenPricer<'_>> {
+        self.fast_probes().then(|| FrozenPricer {
+            netlist: self.netlist,
+            placement: &self.placement,
+            nets: &self.nets,
+            cell_nets: &self.cell_nets,
+            alpha_ilv: self.model.alpha_ilv,
+        })
     }
 
     /// Fast-path single-move probe; builds the cell's cache on miss.

@@ -45,7 +45,7 @@ struct BudgetInner {
 /// A pool-wide thread budget shared by concurrent placements.
 ///
 /// Cloning is cheap and shares the same accounting. See the
-/// [module docs](self) for the fairness rule.
+/// [crate docs](crate) for the fairness rule.
 #[derive(Clone, Debug)]
 pub struct ThreadBudget {
     inner: Arc<BudgetInner>,

@@ -4,6 +4,7 @@ use crate::multilevel::FixedSide;
 use crate::Hypergraph;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
+use tvp_parallel as parallel;
 
 /// One coarsening level: the coarse hypergraph plus the fine→coarse map.
 pub(crate) struct CoarseLevel {
@@ -16,6 +17,14 @@ pub(crate) struct CoarseLevel {
 /// Nets larger than this are ignored while scoring matches (they carry
 /// almost no locality signal and make scoring quadratic).
 const MAX_SCORING_NET: usize = 24;
+
+/// Chunking floor for parallel coarse-net construction (each element is a
+/// map + small sort, so chunks must be sizeable to amortize dispatch).
+const NET_BUILD_MIN_CHUNK: usize = 1024;
+
+/// Below this many nets the coarse-net build runs inline: pool dispatch
+/// costs more than the whole loop at the deep, small levels of a V-cycle.
+const NET_BUILD_SERIAL_BELOW: usize = 8192;
 
 /// Scratch buffers reused across the coarsening levels of one V-cycle.
 ///
@@ -135,14 +144,42 @@ pub(crate) fn coarsen_once(
         coarse_fixed.push(fixed[v]);
     }
 
+    // Coarse-net construction: map every fine net through `map`, sort,
+    // dedup, and keep the survivors (≥ 2 distinct coarse pins). Each net
+    // is independent, so chunks build local staging buffers in parallel
+    // and a serial merge appends them **in chunk order** — the surviving
+    // nets land in exactly the order the old serial loop produced, so the
+    // coarse hypergraph is bitwise identical at every thread count.
     let mut coarse = Hypergraph::with_vertex_weights(weights);
-    for e in 0..hg.num_nets() as u32 {
-        pins.clear();
-        pins.extend(hg.net(e).iter().map(|&v| map[v as usize]));
-        pins.sort_unstable();
-        pins.dedup();
-        if pins.len() >= 2 {
-            coarse.add_net(pins, hg.net_weight(e));
+    let num_nets = hg.num_nets();
+    let build_chunk = |range: std::ops::Range<usize>, pins: &mut Vec<u32>| {
+        let mut flat: Vec<u32> = Vec::new();
+        let mut kept: Vec<(u32, f64)> = Vec::new();
+        for e in range {
+            pins.clear();
+            pins.extend(hg.net(e as u32).iter().map(|&v| map[v as usize]));
+            pins.sort_unstable();
+            pins.dedup();
+            if pins.len() >= 2 {
+                flat.extend_from_slice(pins);
+                kept.push((pins.len() as u32, hg.net_weight(e as u32)));
+            }
+        }
+        (flat, kept)
+    };
+    let staged = if num_nets < NET_BUILD_SERIAL_BELOW {
+        vec![build_chunk(0..num_nets, pins)]
+    } else {
+        parallel::map_chunks(num_nets, NET_BUILD_MIN_CHUNK, |range| {
+            let mut local_pins = Vec::new();
+            build_chunk(range, &mut local_pins)
+        })
+    };
+    for (flat, kept) in &staged {
+        let mut off = 0usize;
+        for &(len, weight) in kept {
+            coarse.add_net_sorted(&flat[off..off + len as usize], weight);
+            off += len as usize;
         }
     }
     coarse.finalize();

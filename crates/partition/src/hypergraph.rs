@@ -132,6 +132,33 @@ impl Hypergraph {
         (self.net_weights.len() - 1) as u32
     }
 
+    /// Adds a net whose pins are already strictly sorted (and therefore
+    /// deduplicated), skipping [`add_net`](Self::add_net)'s quadratic
+    /// duplicate scan. The fast path for bulk construction of coarse and
+    /// region hypergraphs whose callers sort-and-dedup pins anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex index is out of range or the pins are not
+    /// strictly increasing.
+    pub fn add_net_sorted(&mut self, vertices: &[u32], weight: f64) -> u32 {
+        assert!(
+            vertices.windows(2).all(|w| w[0] < w[1]),
+            "pins must be strictly increasing"
+        );
+        if let Some(&last) = vertices.last() {
+            assert!(
+                (last as usize) < self.vertex_weights.len(),
+                "net references out-of-range vertex"
+            );
+        }
+        self.net_vertices.extend_from_slice(vertices);
+        self.net_offsets.push(self.net_vertices.len() as u32);
+        self.net_weights.push(weight);
+        self.finalized = false;
+        (self.net_weights.len() - 1) as u32
+    }
+
     /// Builds the vertex→net incidence if nets changed since the last call.
     pub fn finalize(&mut self) {
         if self.finalized {
@@ -249,6 +276,26 @@ mod tests {
         let mut hg = Hypergraph::new(2);
         hg.add_net(&[0, 1, 0, 1], 1.0);
         assert_eq!(hg.net(0), &[0, 1]);
+    }
+
+    #[test]
+    fn sorted_fast_path_matches_add_net() {
+        let mut a = Hypergraph::new(5);
+        a.add_net(&[0, 2, 4], 2.5);
+        a.finalize();
+        let mut b = Hypergraph::new(5);
+        b.add_net_sorted(&[0, 2, 4], 2.5);
+        b.finalize();
+        assert_eq!(a.net(0), b.net(0));
+        assert_eq!(a.net_weight(0), b.net_weight(0));
+        assert_eq!(a.vertex_nets(2), b.vertex_nets(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn sorted_fast_path_rejects_unsorted_pins() {
+        let mut hg = Hypergraph::new(3);
+        hg.add_net_sorted(&[2, 1], 1.0);
     }
 
     #[test]

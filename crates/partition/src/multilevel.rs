@@ -1,8 +1,9 @@
 //! The multilevel V-cycle driver and its public result types.
 
 use crate::coarsen::{coarsen_once, CoarseLevel, CoarsenWorkspace};
+use crate::fm::FmWorkspace;
 use crate::initial::initial_partition;
-use crate::{refine, BisectConfig, Hypergraph};
+use crate::{refine, BisectConfig, Hypergraph, StopFn};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::borrow::Cow;
@@ -78,21 +79,105 @@ pub fn bisect(hg: &Hypergraph, config: &BisectConfig) -> Bisection {
 ///
 /// Panics if `fixed.len() != hg.num_vertices()`.
 pub fn bisect_fixed(hg: &Hypergraph, fixed: &[FixedSide], config: &BisectConfig) -> Bisection {
+    bisect_fixed_with_stop(hg, fixed, config, None)
+}
+
+/// [`bisect_fixed`] with a cooperative cancellation probe.
+///
+/// `stop` is polled between coarsening levels and every ~1k heap
+/// operations inside FM refinement. Once it returns `true`, each running
+/// start finishes by rolling back to the best legal assignment it has
+/// seen, so the returned [`Bisection`] is always consistent — just less
+/// refined than an uncancelled run's.
+///
+/// # Panics
+///
+/// Panics if `fixed.len() != hg.num_vertices()`.
+pub fn bisect_fixed_with_stop(
+    hg: &Hypergraph,
+    fixed: &[FixedSide],
+    config: &BisectConfig,
+    stop: Option<&StopFn>,
+) -> Bisection {
     assert_eq!(fixed.len(), hg.num_vertices());
-    let hg: Cow<'_, Hypergraph> = if hg_is_ready(hg) {
-        Cow::Borrowed(hg)
-    } else {
-        let mut owned = hg.clone();
-        owned.finalize();
-        Cow::Owned(owned)
-    };
+    let hg = prepared(hg);
     let hg = hg.as_ref();
 
     let candidates = parallel::map_indexed(config.num_starts.max(1), |start| {
         let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(start as u64));
-        let sides = solve(hg, fixed, config, &mut rng);
+        let sides = solve(hg, fixed, config, &mut rng, stop, None);
         summarize(hg, sides)
     });
+    fold_best(candidates)
+}
+
+/// Wall-time breakdown of a bisection's phases, reported by
+/// [`bisect_fixed_profiled`]. Times are summed across all starts, levels,
+/// and passes; `levels` is the deepest V-cycle's level count.
+#[derive(Clone, PartialEq, Default, Debug)]
+pub struct BisectProfile {
+    /// Total time contracting levels (matching + coarse-net build).
+    pub coarsen_ms: f64,
+    /// Total time in the coarsest-level greedy initial partition.
+    pub initial_ms: f64,
+    /// Total time in FM refinement, across every level of every start.
+    pub refine_ms: f64,
+    /// Coarsening depth of the deepest V-cycle.
+    pub levels: usize,
+    /// Per-depth breakdown: index 0 is the caller's (finest) graph, index
+    /// `d` the graph after `d` contractions. Each entry accumulates that
+    /// depth's coarsen and FM-refine time across every start; the
+    /// coarsest depth additionally absorbs the initial partition into its
+    /// refine window's sibling field [`BisectProfile::initial_ms`].
+    pub per_level: Vec<LevelProfile>,
+}
+
+/// One depth of the V-cycle in a [`BisectProfile`].
+#[derive(Clone, Copy, PartialEq, Default, Debug)]
+pub struct LevelProfile {
+    /// Vertex count of the graph at this depth.
+    pub vertices: usize,
+    /// Time contracting this depth's graph into the next (0 at the
+    /// coarsest depth, which is never contracted).
+    pub coarsen_ms: f64,
+    /// FM refinement time on this depth's graph.
+    pub refine_ms: f64,
+}
+
+/// [`bisect_fixed`] with a per-phase wall-time breakdown.
+///
+/// A diagnostic entry point for benchmarking harnesses: the starts run
+/// **serially** so the phase timings don't overlap, making this slower
+/// than [`bisect_fixed`] for `num_starts > 1` on multi-core hosts. The
+/// returned assignment is selected by the same fold as the production
+/// path.
+///
+/// # Panics
+///
+/// Panics if `fixed.len() != hg.num_vertices()`.
+pub fn bisect_fixed_profiled(
+    hg: &Hypergraph,
+    fixed: &[FixedSide],
+    config: &BisectConfig,
+) -> (Bisection, BisectProfile) {
+    assert_eq!(fixed.len(), hg.num_vertices());
+    let hg = prepared(hg);
+    let hg = hg.as_ref();
+    let mut profile = BisectProfile::default();
+    let candidates: Vec<Bisection> = (0..config.num_starts.max(1))
+        .map(|start| {
+            let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(start as u64));
+            let sides = solve(hg, fixed, config, &mut rng, None, Some(&mut profile));
+            summarize(hg, sides)
+        })
+        .collect();
+    (fold_best(candidates), profile)
+}
+
+/// Picks the best candidate **in start order** — the exact comparison
+/// sequence of the serial loop, so the winner is identical for every
+/// thread count.
+fn fold_best(candidates: Vec<Bisection>) -> Bisection {
     let mut best: Option<Bisection> = None;
     for candidate in candidates {
         let better = match &best {
@@ -106,13 +191,24 @@ pub fn bisect_fixed(hg: &Hypergraph, fixed: &[FixedSide], config: &BisectConfig)
             best = Some(candidate);
         }
     }
-    // `num_starts.max(1)` guarantees at least one candidate; the empty
-    // fallback keeps this path panic-free regardless.
+    // At least one candidate always exists; the empty fallback keeps this
+    // path panic-free regardless.
     best.unwrap_or(Bisection {
         sides: Vec::new(),
         cut: 0.0,
         side_weights: [0.0; 2],
     })
+}
+
+/// Returns `hg` finalized, borrowing when it already is.
+fn prepared(hg: &Hypergraph) -> Cow<'_, Hypergraph> {
+    if hg_is_ready(hg) {
+        Cow::Borrowed(hg)
+    } else {
+        let mut owned = hg.clone();
+        owned.finalize();
+        Cow::Owned(owned)
+    }
 }
 
 /// A bisection whose side weights violate the configured balance
@@ -164,7 +260,29 @@ pub fn bisect_fixed_checked(
     fixed: &[FixedSide],
     config: &BisectConfig,
 ) -> Result<Bisection, Box<ImbalanceError>> {
-    let bisection = bisect_fixed(hg, fixed, config);
+    bisect_fixed_checked_with_stop(hg, fixed, config, None)
+}
+
+/// [`bisect_fixed_checked`] with a cooperative cancellation probe (see
+/// [`bisect_fixed_with_stop`]).
+///
+/// # Errors
+///
+/// Returns [`ImbalanceError`] exactly like [`bisect_fixed_checked`]. A
+/// cancelled run can legitimately trip it (refinement stopped before
+/// rebalancing), so callers should treat the carried best effort as the
+/// answer once their budget is spent.
+///
+/// # Panics
+///
+/// Panics if `fixed.len() != hg.num_vertices()`.
+pub fn bisect_fixed_checked_with_stop(
+    hg: &Hypergraph,
+    fixed: &[FixedSide],
+    config: &BisectConfig,
+    stop: Option<&StopFn>,
+) -> Result<Bisection, Box<ImbalanceError>> {
+    let bisection = bisect_fixed_with_stop(hg, fixed, config, stop);
     let [w0, w1] = bisection.side_weights;
     let total = w0 + w1;
     if total == 0.0 {
@@ -207,22 +325,61 @@ fn summarize(hg: &Hypergraph, sides: Vec<u8>) -> Bisection {
 ///
 /// The finest level stays borrowed from the caller; only coarsened levels
 /// materialize vertices (each [`CoarseLevel`] owns its contracted graph,
-/// fine→coarse map, and fixed-side vector). One [`CoarsenWorkspace`] is
-/// shared by every level so scratch buffers are allocated once per
-/// V-cycle, not once per level. The down-sweep/up-sweep order replays the
-/// old recursion exactly — same RNG draws, same refine sequence — so
-/// results are bitwise identical to the recursive formulation.
+/// fine→coarse map, and fixed-side vector). One [`CoarsenWorkspace`] and
+/// one [`FmWorkspace`] are shared by every level so scratch buffers are
+/// allocated once per V-cycle, not once per level per pass. The
+/// down-sweep/up-sweep order replays the old recursion exactly — same RNG
+/// draws, same refine sequence — so results are bitwise identical to the
+/// recursive formulation.
 fn solve(
     hg: &Hypergraph,
     fixed: &[FixedSide],
     config: &BisectConfig,
     rng: &mut SmallRng,
+    stop: Option<&StopFn>,
+    mut prof: Option<&mut BisectProfile>,
 ) -> Vec<u8> {
     let mut ws = CoarsenWorkspace::default();
+    let mut fm_ws = FmWorkspace::default();
     let mut levels: Vec<CoarseLevel> = Vec::new();
 
-    // Down-sweep: contract until small enough or matching stalls.
+    // Phase timer: zero-cost when no profile is attached (the production
+    // path passes `None`, so the hot loop never reads the clock).
+    macro_rules! timed {
+        ($field:ident, $expr:expr) => {{
+            let t = prof.as_ref().map(|_| std::time::Instant::now());
+            let r = $expr;
+            if let (Some(p), Some(t)) = (prof.as_deref_mut(), t) {
+                p.$field += t.elapsed().as_secs_f64() * 1e3;
+            }
+            r
+        }};
+        // Variant that also charges the time to the per-depth entry.
+        ($field:ident, $depth:expr, $vertices:expr, $expr:expr) => {{
+            let t = prof.as_ref().map(|_| std::time::Instant::now());
+            let r = $expr;
+            if let (Some(p), Some(t)) = (prof.as_deref_mut(), t) {
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                p.$field += ms;
+                let (depth, vertices) = ($depth, $vertices);
+                if p.per_level.len() <= depth {
+                    p.per_level.resize(depth + 1, LevelProfile::default());
+                }
+                p.per_level[depth].vertices = vertices;
+                p.per_level[depth].$field += ms;
+            }
+            r
+        }};
+    }
+
+    // Down-sweep: contract until small enough or matching stalls. A
+    // cancelled run stops contracting and falls through to the initial
+    // partition + (immediately cancelled) refinement, so it still returns
+    // a legal assignment for the full graph.
     loop {
+        if stop.is_some_and(|s| s()) {
+            break;
+        }
         let next = {
             let (cur_hg, cur_fixed) = match levels.last() {
                 Some(l) => (&l.hg, l.fixed.as_slice()),
@@ -231,12 +388,20 @@ fn solve(
             if cur_hg.num_vertices() <= config.coarsen_until {
                 break;
             }
-            coarsen_once(cur_hg, cur_fixed, rng, &mut ws)
+            timed!(
+                coarsen_ms,
+                levels.len(),
+                cur_hg.num_vertices(),
+                coarsen_once(cur_hg, cur_fixed, rng, &mut ws)
+            )
         };
         match next {
             Some(level) => levels.push(level),
             None => break,
         }
+    }
+    if let Some(p) = prof.as_deref_mut() {
+        p.levels = p.levels.max(levels.len());
     }
 
     // Partition and refine the coarsest level.
@@ -244,8 +409,23 @@ fn solve(
         Some(l) => (&l.hg, l.fixed.as_slice()),
         None => (hg, fixed),
     };
-    let mut sides = initial_partition(coarsest_hg, coarsest_fixed, config, rng);
-    refine(coarsest_hg, &mut sides, coarsest_fixed, config);
+    let mut sides = timed!(
+        initial_ms,
+        initial_partition(coarsest_hg, coarsest_fixed, config, rng)
+    );
+    timed!(
+        refine_ms,
+        levels.len(),
+        coarsest_hg.num_vertices(),
+        refine(
+            coarsest_hg,
+            &mut sides,
+            coarsest_fixed,
+            config,
+            &mut fm_ws,
+            stop
+        )
+    );
 
     // Up-sweep: project through each level's map and refine on its fine
     // graph (the next level down the stack, or the caller's graph).
@@ -256,7 +436,12 @@ fn solve(
             Some(l) => (&l.hg, l.fixed.as_slice()),
             None => (hg, fixed),
         };
-        refine(fine_hg, &mut sides, fine_fixed, config);
+        timed!(
+            refine_ms,
+            i,
+            fine_hg.num_vertices(),
+            refine(fine_hg, &mut sides, fine_fixed, config, &mut fm_ws, stop)
+        );
     }
     sides
 }

@@ -93,6 +93,22 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// The deterministic-merge contract: the multilevel V-cycle fans its
+    /// starts across the worker pool, but the winner is folded in start
+    /// order, so the full bisection (sides, cut, side weights) must be
+    /// bitwise identical whether the pool has one worker or four.
+    #[test]
+    fn parallel_bisection_bitwise_equals_serial((weights, nets) in hypergraph_strategy()) {
+        let hg = build(&weights, &nets);
+        let config = BisectConfig::default().with_seed(11).with_starts(4);
+        let serial = tvp_parallel::with_threads(1, || bisect(&hg, &config));
+        for threads in [2usize, 4] {
+            let parallel = tvp_parallel::with_threads(threads, || bisect(&hg, &config));
+            prop_assert_eq!(&serial, &parallel,
+                "bisection diverged between 1 and {} threads", threads);
+        }
+    }
+
     #[test]
     fn cut_never_exceeds_total_net_weight((weights, nets) in hypergraph_strategy()) {
         let hg = build(&weights, &nets);

@@ -242,6 +242,64 @@ fn slow_stage_stalls_without_touching_placement_bits() {
 }
 
 #[test]
+fn time_budget_cancels_mid_global_and_returns_legal_best_so_far() {
+    use tvp_core::engine::SLOW_STAGE_DELAY;
+    let nl = netlist(400);
+    // Slow-stage-style row for cancellation: the injected stall at
+    // global's begin outlives the whole time budget, so the deadline has
+    // already passed when the bisection kernels start. The budget is
+    // noticed by their cooperative stop polls — between FM passes and
+    // every ~1k heap pops *inside* a pass, with best-prefix rollback —
+    // not at a stage boundary, proving the chunked kernels poll the
+    // stop signal mid-work and still hand back a legal best-so-far.
+    let budget = SLOW_STAGE_DELAY / 5;
+    let plan = FaultPlan::new(9).inject(FaultKind::SlowStage, "global");
+    let mut rec = RecordingObserver::new();
+    let result = Placer::new(PlacerConfig::new(2))
+        .place_with_options(
+            &nl,
+            &[],
+            PlaceOptions {
+                observer: Some(&mut rec),
+                faults: Some(plan),
+                time_budget: Some(budget),
+                ..PlaceOptions::default()
+            },
+        )
+        .expect("an exhausted budget degrades gracefully, never fails");
+    assert!(
+        result.stopped_early,
+        "a budget smaller than the injected stall must stop the run"
+    );
+    assert_legal(&nl, &result);
+    // The global stage itself reported the interruption (the in-kernel
+    // poll fired), and the run-end event carries the early stop.
+    assert!(
+        rec.events.iter().any(|e| matches!(
+            e,
+            PlacerEvent::StageEnd { stage, interrupted, .. }
+                if stage == "global" && *interrupted
+        )),
+        "the global stage must surface the mid-kernel interruption"
+    );
+    assert!(rec.events.iter().any(|e| matches!(
+        e,
+        PlacerEvent::RunEnd {
+            stopped_early: true,
+            ..
+        }
+    )));
+    // Sanity: an uncancelled run of the same design is unaffected by the
+    // wiring (stop stays None when no budget is armed).
+    let clean = Placer::new(PlacerConfig::new(2)).place(&nl).unwrap();
+    assert!(!clean.stopped_early);
+    assert_ne!(
+        result.placement, clean.placement,
+        "the cancelled run stopped before global placement finished"
+    );
+}
+
+#[test]
 fn checkpoint_write_io_error_is_typed_retryable_and_resumable() {
     let nl = netlist(150);
     let dir = tmpdir("io");
