@@ -89,5 +89,60 @@ fn bench_coarse_batch_pricing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fm_pass, bench_coarse_batch_pricing);
+/// The cell-shifting kernels (DESIGN.md §17): the Eq. 16 single-row
+/// boundary solve in isolation, and one full row-parallel shift pass
+/// (plan + commit) at 10k cells from a global-placed start.
+fn bench_shift_kernels(c: &mut Criterion) {
+    use tvp_core::coarse::shift::{bench_hooks as shift_hooks, shift_pass_stats};
+    use tvp_core::ShiftStrategy;
+
+    let mut group = c.benchmark_group("shift_kernels");
+    group.sample_size(20);
+
+    // Single-row boundary solve: a congested 64-bin density profile.
+    let densities: Vec<f64> = (0..64)
+        .map(|i| {
+            if i % 7 == 0 {
+                2.5
+            } else {
+                0.4 + 0.01 * i as f64
+            }
+        })
+        .collect();
+    group.bench_function("row_solve_64", |b| {
+        b.iter(|| black_box(shift_hooks::row_scale_factors(black_box(&densities), 1.10)))
+    });
+
+    // Full pass at 10k: every x row and y row planned and committed once.
+    let cells = 10_000usize;
+    let netlist = netlist_of(&SynthConfig::named("k", cells, cells as f64 * 5.0e-12));
+    let config = PlacerConfig::new(4);
+    let chip = Chip::from_netlist(&netlist, &config).expect("valid");
+    let model = ObjectiveModel::new(&netlist, &chip, &config).expect("valid");
+    let placement = global_place(&netlist, &chip, &model, &config);
+    group.sample_size(10);
+    group.bench_function("full_pass_10k", |b| {
+        b.iter(|| {
+            let mut objective = IncrementalObjective::new(&netlist, &model, placement.clone());
+            let mut mesh = DensityMesh::coarse(&chip);
+            mesh.rebuild(&netlist, objective.placement());
+            black_box(shift_pass_stats(
+                &mut objective,
+                &mut mesh,
+                &netlist,
+                &chip,
+                config.coarse_max_density,
+                ShiftStrategy::WholeRow,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fm_pass,
+    bench_coarse_batch_pricing,
+    bench_shift_kernels
+);
 criterion_main!(benches);

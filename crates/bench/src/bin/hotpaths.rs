@@ -34,7 +34,9 @@ use tvp_bookshelf::synth::{generate, SynthConfig};
 use tvp_bookshelf::{stream, write_nets, write_nodes, write_wts, Design, DesignBuilderOptions};
 use tvp_core::netweight::NetWeights;
 use tvp_core::objective::{IncrementalObjective, ObjectiveModel};
-use tvp_core::{Chip, Placement, Placer, PlacerConfig};
+use tvp_core::{
+    Chip, PassEvent, PlaceOptions, Placement, Placer, PlacerConfig, PlacerEvent, PlacerObserver,
+};
 use tvp_netlist::{CellId, Netlist, NetlistBuilder, PinDirection};
 use tvp_partition::{bisect, bisect_fixed_profiled, BisectConfig, FixedSide, Hypergraph};
 use tvp_thermal::{
@@ -334,11 +336,23 @@ fn scale_row_json(cells: usize, stages: Option<&[Stage]>) -> String {
             );
             if stages.contains(&Stage::Coarse) {
                 let mut objective = IncrementalObjective::new(netlist, &model, placement);
+                let mut shift_passes = 0usize;
                 let t = Instant::now();
-                tvp_core::coarse::coarse_legalize(&mut objective, netlist, &chip, &config);
+                tvp_core::coarse::coarse_legalize_observed(
+                    &mut objective,
+                    netlist,
+                    &chip,
+                    &config,
+                    &mut |p| {
+                        if matches!(p, PassEvent::ShiftPass { .. }) {
+                            shift_passes += 1;
+                        }
+                        std::ops::ControlFlow::Continue(())
+                    },
+                );
                 let _ = write!(
                     row,
-                    ", \"coarse_ms\": {:.1}",
+                    ", \"coarse_ms\": {:.1}, \"shift_passes\": {shift_passes}",
                     t.elapsed().as_secs_f64() * 1e3
                 );
             }
@@ -353,20 +367,48 @@ fn scale_row_json(cells: usize, stages: Option<&[Stage]>) -> String {
     };
 
     fn placer_row(netlist: &Netlist, threads: usize) -> String {
+        /// Counts cell-shifting passes from the event stream (the
+        /// convergence-adaptive spread makes the count a scaling signal).
+        #[derive(Default)]
+        struct ShiftPassCounter(usize);
+        impl PlacerObserver for ShiftPassCounter {
+            fn event(&mut self, event: &PlacerEvent) {
+                if matches!(
+                    event,
+                    PlacerEvent::Pass {
+                        pass: PassEvent::ShiftPass { .. },
+                        ..
+                    }
+                ) {
+                    self.0 += 1;
+                }
+            }
+        }
         {
             let placer = Placer::new(
                 PlacerConfig::new(4)
                     .with_partition_starts(4)
                     .with_threads(threads),
             );
+            let mut counter = ShiftPassCounter::default();
             let t = Instant::now();
-            let result = placer.place(netlist).expect("places");
+            let result = placer
+                .place_with_options(
+                    netlist,
+                    &[],
+                    PlaceOptions {
+                        observer: Some(&mut counter),
+                        ..PlaceOptions::default()
+                    },
+                )
+                .expect("places");
             let wall_ms = t.elapsed().as_secs_f64() * 1e3;
             format!(
-                "{{\"threads\": {threads}, \"wall_ms\": {wall_ms:.1}, \"global_ms\": {:.1}, \"coarse_ms\": {:.1}, \"detail_ms\": {:.1}}}",
+                "{{\"threads\": {threads}, \"wall_ms\": {wall_ms:.1}, \"global_ms\": {:.1}, \"coarse_ms\": {:.1}, \"detail_ms\": {:.1}, \"shift_passes\": {}}}",
                 result.timings.global.as_secs_f64() * 1e3,
                 result.timings.coarse.as_secs_f64() * 1e3,
                 result.timings.detail.as_secs_f64() * 1e3,
+                counter.0,
             )
         }
     }

@@ -10,6 +10,7 @@ tvp — thermal- and via-aware 3D-IC placement (DAC'07 reproduction)
 USAGE:
   tvp place <design.aux> [--layers N] [--alpha-ilv X] [--alpha-temp X]
             [--seed N] [--starts N] [--threads N] [--units METERS_PER_UNIT]
+            [--coarse-shift-iterations N]
             [--thermal-precond P] [--mg-levels N]
             [--thermal-tier STAGE=TIER]...
             [--out DIR] [--svg FILE.svg] [--trace-out FILE.jsonl]
@@ -30,6 +31,10 @@ USAGE:
   --threads N        worker threads for the parallel hot paths (0 = all
                      cores, the default; 1 = fully serial; same result
                      either way)
+  --coarse-shift-iterations N
+                     (place) hard cap on cell-shifting passes per
+                     spreading phase (default 50); spreading normally
+                     stops earlier, when the passes converge
   --thermal-precond P
                      CG preconditioner for the evaluation thermal solver:
                      multigrid (or mg; the default — near-grid-independent
@@ -200,6 +205,9 @@ pub struct PlaceArgs {
     pub threads: usize,
     /// Meters per Bookshelf site unit.
     pub meters_per_unit: f64,
+    /// Hard cap on cell-shifting passes per spreading phase (`None` =
+    /// the library default; spreading normally converges earlier).
+    pub coarse_shift_iterations: Option<usize>,
     /// Thermal CG preconditioner (`"multigrid"` or `"jacobi"`).
     pub thermal_precond: String,
     /// Multigrid hierarchy depth cap (0 = automatic).
@@ -327,6 +335,7 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
         starts: 1,
         threads: 0,
         meters_per_unit: 1.0e-6,
+        coarse_shift_iterations: None,
         thermal_precond: "multigrid".to_string(),
         mg_levels: 0,
         thermal_tiers: Vec::new(),
@@ -347,6 +356,15 @@ fn parse_place(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseAr
             "--starts" => args.starts = parse_num(token, take_value(token, it)?)?,
             "--threads" => args.threads = parse_num(token, take_value(token, it)?)?,
             "--units" => args.meters_per_unit = parse_num(token, take_value(token, it)?)?,
+            "--coarse-shift-iterations" => {
+                let cap: usize = parse_num(token, take_value(token, it)?)?;
+                if cap == 0 {
+                    return Err(err(
+                        "flag --coarse-shift-iterations expects a value of at least 1",
+                    ));
+                }
+                args.coarse_shift_iterations = Some(cap);
+            }
             "--thermal-precond" => args.thermal_precond = parse_precond(take_value(token, it)?)?,
             "--mg-levels" => args.mg_levels = parse_num(token, take_value(token, it)?)?,
             "--thermal-tier" => args.thermal_tiers.push(take_value(token, it)?.to_string()),
@@ -621,6 +639,7 @@ mod tests {
         assert_eq!(d.layers, 4);
         assert_eq!(d.alpha_ilv, 1e-5);
         assert_eq!(d.threads, 0, "default = all hardware threads");
+        assert_eq!(d.coarse_shift_iterations, None, "library default cap");
         assert_eq!(d.thermal_precond, "multigrid", "multigrid is the default");
         assert_eq!(d.mg_levels, 0, "default = automatic depth");
         assert_eq!(d.out, None);
@@ -719,6 +738,17 @@ mod tests {
         assert!(e.to_string().contains("non-negative"));
         let e = parse(&argv("place d.aux --time-budget nope")).unwrap_err();
         assert!(e.to_string().contains("not a valid number"));
+    }
+
+    #[test]
+    fn coarse_shift_iterations_is_a_validated_cap() {
+        let Command::Place(a) = parse(&argv("place d.aux --coarse-shift-iterations 80")).unwrap()
+        else {
+            panic!("expected place")
+        };
+        assert_eq!(a.coarse_shift_iterations, Some(80));
+        let e = parse(&argv("place d.aux --coarse-shift-iterations 0")).unwrap_err();
+        assert!(e.to_string().contains("at least 1"));
     }
 
     #[test]

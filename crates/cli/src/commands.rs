@@ -81,6 +81,9 @@ pub fn place(args: &PlaceArgs) -> Result<String, String> {
         .with_partition_starts(args.starts)
         .with_threads(args.threads)
         .with_thermal_precond(precond_from_args(&args.thermal_precond, args.mg_levels));
+    if let Some(cap) = args.coarse_shift_iterations {
+        config = config.with_coarse_shift_iterations(cap);
+    }
     for spec in &args.thermal_tiers {
         let (stage, tier) = parse_tier_spec(spec)?;
         config = config.with_thermal_tier(stage, tier);

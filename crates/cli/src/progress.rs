@@ -99,7 +99,29 @@ impl<W: Write> PlacerObserver for StderrProgress<W> {
                     ""
                 }
             ),
-            // Pass-level events are too chatty for a narration stream.
+            // Shifting passes are the one pass-level signal worth
+            // narrating: their count is now convergence-driven, so
+            // watching the peak density stall is how a user sees a
+            // spread converge (or hit the cap) live.
+            PlacerEvent::Pass {
+                stage,
+                pass:
+                    tvp_core::PassEvent::ShiftPass {
+                        pass,
+                        moved,
+                        max_boundary_delta,
+                        max_density,
+                        wall_ms,
+                    },
+                ..
+            } => writeln!(
+                self.out,
+                "[{label}]     {stage} shift pass {pass}: moved {moved}, \
+                 max Δbound {max_boundary_delta:.2e}, peak density \
+                 {max_density:.3}, {wall_ms:.1} ms"
+            ),
+            // Other pass-level events are too chatty for a narration
+            // stream.
             _ => Ok(()),
         };
     }
@@ -136,6 +158,36 @@ mod tests {
         assert!(text.contains("[t] 2 stages"));
         assert!(text.contains("global: 0.25s"));
         assert!(text.contains("done in 1.00s"));
+    }
+
+    #[test]
+    fn narrates_shift_passes_but_not_other_pass_events() {
+        let mut p = StderrProgress::new("t", Vec::new());
+        p.event(&PlacerEvent::Pass {
+            index: 1,
+            stage: "coarse[0]".into(),
+            pass: tvp_core::PassEvent::ShiftPass {
+                pass: 3,
+                moved: 421,
+                max_boundary_delta: 0.0125,
+                max_density: 1.875,
+                wall_ms: 7.25,
+            },
+        });
+        p.event(&PlacerEvent::Pass {
+            index: 1,
+            stage: "coarse[0]".into(),
+            pass: tvp_core::PassEvent::CoarseMoves {
+                pass: 0,
+                improved: 10,
+                objective: 1.0e-2,
+            },
+        });
+        let text = String::from_utf8(p.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 1, "only ShiftPass narrates:\n{text}");
+        assert!(text.contains("coarse[0] shift pass 3: moved 421"), "{text}");
+        assert!(text.contains("1.25e-2"), "{text}");
+        assert!(text.contains("peak density 1.875"), "{text}");
     }
 
     #[test]

@@ -85,6 +85,21 @@ impl DensityMesh {
         (i, j, k)
     }
 
+    /// Flat indices of the x row at fixed `(j, k)`. X rows are contiguous
+    /// in the flat bin order, so the whole row is one range — the shift
+    /// planner leans on this to form rows without per-bin arithmetic.
+    #[inline]
+    pub fn x_row_range(&self, j: usize, k: usize) -> std::ops::Range<usize> {
+        let start = self.index(0, j, k);
+        start..start + self.nx
+    }
+
+    /// Cell area currently on layer `k`, square meters.
+    pub fn layer_area(&self, k: usize) -> f64 {
+        let per_layer = self.nx * self.ny;
+        self.area[k * per_layer..(k + 1) * per_layer].iter().sum()
+    }
+
     /// Bin containing physical position `(x, y, layer)` (clamped).
     pub fn bin_at(&self, x: f64, y: f64, layer: u16) -> usize {
         let i = ((x / self.bin_w) as isize).clamp(0, self.nx as isize - 1) as usize;
@@ -268,6 +283,31 @@ mod tests {
             let (x, y, l) = mesh.bin_center(b);
             assert_eq!(mesh.bin_at(x, y, l), b);
         }
+    }
+
+    #[test]
+    fn x_rows_tile_the_mesh_and_layer_area_sums_bins() {
+        let (netlist, chip, placement) = fixture();
+        let mut mesh = DensityMesh::coarse(&chip);
+        mesh.rebuild(&netlist, &placement);
+        let (nx, ny, nz) = mesh.dims();
+        // Every x row is contiguous, rows cover every bin exactly once.
+        let mut seen = vec![false; nx * ny * nz];
+        for k in 0..nz {
+            for j in 0..ny {
+                let range = mesh.x_row_range(j, k);
+                assert_eq!(range.len(), nx);
+                for (i, b) in range.enumerate() {
+                    assert_eq!(b, mesh.index(i, j, k));
+                    assert!(!seen[b]);
+                    seen[b] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Layer areas partition the total cell area.
+        let total: f64 = (0..nz).map(|k| mesh.layer_area(k)).sum();
+        assert!((total - netlist.total_cell_area()).abs() < 1e-15);
     }
 
     #[test]

@@ -104,7 +104,7 @@ pub(crate) fn coarse_legalize_priced(
         }
     }
 
-    let iterations = shift::shift_until_spread(
+    let (iterations, interrupted) = shift::shift_until_spread_observed(
         objective,
         &mut mesh,
         netlist,
@@ -112,13 +112,15 @@ pub(crate) fn coarse_legalize_priced(
         config.coarse_max_density,
         config.coarse_shift_iterations,
         config.shift_strategy,
+        &mut |r| probe(shift_pass_event(r)),
     );
-    if probe(PassEvent::CoarseShift {
-        iterations,
-        max_density: mesh.max_density(),
-        objective: objective.total(),
-    })
-    .is_break()
+    if interrupted
+        || probe(PassEvent::CoarseShift {
+            iterations,
+            max_density: mesh.max_density(),
+            objective: objective.total(),
+        })
+        .is_break()
     {
         return (mesh, true);
     }
@@ -136,7 +138,7 @@ pub(crate) fn coarse_legalize_priced(
     }
     // Moves may have re-congested isolated bins; restore the density
     // guarantee detailed legalization relies on.
-    let iterations = shift::shift_until_spread(
+    let (iterations, interrupted) = shift::shift_until_spread_observed(
         objective,
         &mut mesh,
         netlist,
@@ -144,13 +146,28 @@ pub(crate) fn coarse_legalize_priced(
         config.coarse_max_density,
         config.coarse_shift_iterations,
         config.shift_strategy,
+        &mut |r| probe(shift_pass_event(r)),
     );
+    if interrupted {
+        return (mesh, true);
+    }
     let _ = probe(PassEvent::CoarseShift {
         iterations,
         max_density: mesh.max_density(),
         objective: objective.total(),
     });
     (mesh, false)
+}
+
+/// Maps a per-pass shifting report onto the observer event stream.
+fn shift_pass_event(r: shift::ShiftPassReport) -> PassEvent {
+    PassEvent::ShiftPass {
+        pass: r.pass,
+        moved: r.moved,
+        max_boundary_delta: r.max_boundary_delta,
+        max_density: r.max_density,
+        wall_ms: r.wall_ms,
+    }
 }
 
 /// Displaces every movable cell by a small random offset (within one bin)

@@ -26,9 +26,14 @@
 //! the chunking is a pure function of the batch length, so results are
 //! bitwise identical at every thread count. With the thermal term or an
 //! armed thermal pricer the passes fall back to the exact serial loop.
+//!
+//! Swap-partner pricing — the measured cost center of phase A — runs
+//! through a pass-lifetime [`FrozenSharedCache`]: each partner's probe
+//! entries build once and survive across batches until a commit touches
+//! one of the partner's nets (DESIGN.md §17).
 
 use super::mesh::DensityMesh;
-use crate::objective::{FrozenPricer, FrozenScratch, IncrementalObjective};
+use crate::objective::{FrozenPricer, FrozenScratch, FrozenSharedCache, IncrementalObjective};
 use crate::thermal_pricer::ThermalMovePricer;
 use crate::{Chip, Placement};
 use rand::rngs::SmallRng;
@@ -314,6 +319,16 @@ fn batched_pass(
     let mut improved = 0;
     let mut partners = PartnerIndex::build(mesh, netlist, order);
     let mut dirty_bins: Vec<usize> = Vec::new();
+    // Swap-partner probe entries, memoized across the whole pass:
+    // optimal regions cluster on the congested bins, so every batch
+    // prices the same hot-bin residents over and over, and the entry
+    // rebuild (net extremes + CSR + pin reads) is the measured cost
+    // center of the pass. Commits invalidate exactly the cells whose
+    // entries they may have changed (see `invalidate_moved`), so a hit
+    // is always bitwise identical to a fresh build against the current
+    // snapshot.
+    let mut partner_cache = FrozenSharedCache::new(netlist.num_cells());
+    let mut moved_cells: Vec<CellId> = Vec::new();
     for batch in order.chunks(BATCH) {
         // Phase A: parallel snapshot pricing. The snapshot, the mesh, and
         // the chunk boundaries are all independent of the thread count, so
@@ -326,10 +341,10 @@ fn batched_pass(
         };
         let mesh_ref: &DensityMesh = mesh;
         let partners_ref: &PartnerIndex = &partners;
+        let partner_cache_ref: &FrozenSharedCache = &partner_cache;
         let proposals: Vec<Vec<Proposal>> =
             parallel::map_chunks(batch.len(), PROPOSE_MIN_CHUNK, |range| {
                 let mut cell_scratch = FrozenScratch::default();
-                let mut partner_scratch = FrozenScratch::default();
                 let mut opt = OptScratch::default();
                 let mut candidates = Vec::new();
                 let mut out = Vec::new();
@@ -359,7 +374,7 @@ fn batched_pass(
                         cell,
                         &candidates,
                         &mut cell_scratch,
-                        &mut partner_scratch,
+                        partner_cache_ref,
                     ) {
                         out.push(p);
                     }
@@ -371,6 +386,7 @@ fn batched_pass(
         // batch may have changed its value) and its target's headroom is
         // re-checked, so only genuinely improving, legal actions land.
         dirty_bins.clear();
+        moved_cells.clear();
         for p in proposals.iter().flat_map(|v| v.iter()) {
             match p.action {
                 ProposedAction::Move { bin, x, y, layer } => {
@@ -389,6 +405,7 @@ fn batched_pass(
                         mesh.relocate(netlist, p.cell, x, y, layer);
                         dirty_bins.push(old_bin);
                         dirty_bins.push(bin);
+                        moved_cells.push(p.cell);
                         improved += 1;
                     }
                 }
@@ -401,11 +418,14 @@ fn batched_pass(
                         mesh.relocate(netlist, with, pa.0, pa.1, pa.2);
                         dirty_bins.push(mesh.bin_of(p.cell));
                         dirty_bins.push(mesh.bin_of(with));
+                        moved_cells.push(p.cell);
+                        moved_cells.push(with);
                         improved += 1;
                     }
                 }
             }
         }
+        partner_cache.invalidate_moved(netlist, &moved_cells);
         dirty_bins.sort_unstable();
         dirty_bins.dedup();
         for &bin in &dirty_bins {
@@ -430,10 +450,11 @@ fn propose_best(
     cell: CellId,
     candidates: &[usize],
     cell_scratch: &mut FrozenScratch,
-    partner_scratch: &mut FrozenScratch,
+    partner_cache: &FrozenSharedCache,
 ) -> Option<Proposal> {
     let current_bin = mesh.bin_of(cell);
     let cell_area = netlist.cell(cell).area();
+    let pa = frozen.placement().position(cell);
     let mut best: Option<(f64, ProposedAction)> = None;
     for &b in candidates {
         if b == current_bin {
@@ -459,10 +480,9 @@ fn propose_best(
         // `cell` never resides in a scanned bin (its own bin is skipped
         // above), so the index lookup needs no self-exclusion.
         if let Some(partner) = partners.nearest(b, cell_area) {
-            let pa = frozen.placement().position(cell);
             let pb = frozen.placement().position(partner);
             let mut delta = frozen.delta_move(cell_scratch, cell, pb.0, pb.1, pb.2);
-            delta += frozen.delta_move(partner_scratch, partner, pa.0, pa.1, pa.2);
+            delta += frozen.delta_move_memo(partner_cache, partner, pa.0, pa.1, pa.2);
             if delta < best.as_ref().map_or(-EPS, |(d, _)| *d) {
                 best = Some((delta, ProposedAction::Swap { with: partner }));
             }

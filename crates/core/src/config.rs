@@ -76,7 +76,11 @@ pub struct PlacerConfig {
     pub leaf_cells: usize,
     /// Cell shifting stops once the maximum bin density is below this.
     pub coarse_max_density: f64,
-    /// Maximum cell-shifting iterations.
+    /// Hard cap on cell-shifting passes per spreading phase. Spreads
+    /// normally stop earlier — when the density target is met, a pass
+    /// moves nothing, or the peak density stalls (no relative
+    /// improvement for a few consecutive passes); the cap only catches
+    /// pathological non-convergence.
     pub coarse_shift_iterations: usize,
     /// Passes of global+local moves/swaps during coarse legalization.
     pub coarse_move_passes: usize,
@@ -267,6 +271,13 @@ impl PlacerConfig {
     /// Sets the worker-thread count (`0` = all hardware threads).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the hard cap on cell-shifting passes per spreading phase
+    /// (spreads normally stop earlier, on convergence).
+    pub fn with_coarse_shift_iterations(mut self, cap: usize) -> Self {
+        self.coarse_shift_iterations = cap.max(1);
         self
     }
 

@@ -599,6 +599,54 @@ pub struct FrozenScratch {
     entries: Vec<ProbeEntry>,
 }
 
+/// Cross-worker probe-entry memo for one [`FrozenPricer`] snapshot:
+/// each cell's entries build once — by whichever worker probes the cell
+/// first — and are shared read-only afterwards. Built for the coarse
+/// passes' swap-partner pricing, where the candidate regions of a whole
+/// batch of cells revisit the same hot-bin residents and rebuilding a
+/// partner's entries is all cache-miss traffic (net extremes, CSR
+/// spans, pin arrays).
+///
+/// Thread-invariance: entry values are a pure function of the snapshot,
+/// so racing builders initialize identical values and every priced
+/// delta is bitwise equal to [`FrozenScratch`] pricing, at any thread
+/// count.
+///
+/// Entries are only valid against the snapshot that built them — take a
+/// fresh cache with every new [`FrozenPricer`].
+pub struct FrozenSharedCache {
+    slots: Vec<std::sync::OnceLock<Box<[ProbeEntry]>>>,
+}
+
+impl FrozenSharedCache {
+    /// An empty cache for a design of `num_cells` cells.
+    pub fn new(num_cells: usize) -> Self {
+        Self {
+            slots: (0..num_cells).map(|_| std::sync::OnceLock::new()).collect(),
+        }
+    }
+
+    /// Drops the memoized entries of every cell whose pricing inputs a
+    /// committed move may have changed: the moved cells themselves and
+    /// every cell sharing a net with one. Everything else's entries
+    /// stay valid against the *next* snapshot too — a net's extremes
+    /// (and the positions a probe build reads) only change when one of
+    /// that net's pin cells moves — which is what lets one cache
+    /// persist across an entire batched pass instead of being rebuilt
+    /// per snapshot.
+    pub fn invalidate_moved(&mut self, netlist: &Netlist, moved: &[CellId]) {
+        for &m in moved {
+            for &p in netlist.cell_pins(m) {
+                let e = netlist.pin(p).net();
+                for &q in netlist.net_pins(e) {
+                    self.slots[netlist.pin(q).cell().index()] = std::sync::OnceLock::new();
+                }
+            }
+            self.slots[m.index()] = std::sync::OnceLock::new();
+        }
+    }
+}
+
 impl FrozenPricer<'_> {
     /// The snapshot's placement.
     #[inline]
@@ -661,6 +709,49 @@ impl FrozenPricer<'_> {
                 }
             }
         }
+    }
+
+    /// [`delta_move`](Self::delta_move) through a [`FrozenSharedCache`]:
+    /// the first probe of a cell — on any worker — builds its entries
+    /// into the cache's slot; every later probe of the same cell, at
+    /// any position, reuses them. Bitwise identical to the
+    /// scratch-based path (the same entries fold in the same CSR
+    /// order).
+    pub fn delta_move_memo(
+        &self,
+        cache: &FrozenSharedCache,
+        cell: CellId,
+        x: f64,
+        y: f64,
+        layer: u16,
+    ) -> f64 {
+        let entries = cache.slots[cell.index()].get_or_init(|| {
+            self.cell_nets
+                .range(cell)
+                .map(|idx| {
+                    probe_entry_at(
+                        self.netlist,
+                        self.placement,
+                        self.nets,
+                        self.cell_nets,
+                        idx,
+                        cell,
+                    )
+                })
+                .collect()
+        });
+        let mut delta = 0.0;
+        for (entry, idx) in entries.iter().zip(self.cell_nets.range(cell)) {
+            delta += probe_entry_delta(
+                self.netlist,
+                self.cell_nets,
+                idx,
+                entry,
+                (x, y, layer),
+                self.alpha_ilv,
+            );
+        }
+        delta
     }
 
     /// Builds (or reuses) the scratch's probe entries for `cell`.
@@ -1363,6 +1454,23 @@ impl<'a> IncrementalObjective<'a> {
         self.commit(&ws);
         ws.invalidate_probes();
         *self.pricing.get_mut() = ws;
+        sum
+    }
+
+    /// Commits one planned row of shift moves. Every entry goes through
+    /// the single-move commit path in order, so the caches, `total`, and
+    /// the returned summed delta are bitwise identical to calling
+    /// [`apply_move`](Self::apply_move) per cell — the contract the
+    /// row-parallel shift engine's serial commit phase relies on. Unlike
+    /// [`apply_moves`](Self::apply_moves) this never stages: a row plan
+    /// touches each cell at most once, so there is no cross-move
+    /// dependence to stage for, and in WL+ILV mode every commit takes
+    /// the in-place fast path.
+    pub fn apply_row_moves(&mut self, moves: &[CellMove]) -> f64 {
+        let mut sum = 0.0;
+        for m in moves {
+            sum += self.apply_move(m.cell, m.x, m.y, m.layer);
+        }
         sum
     }
 

@@ -43,6 +43,22 @@ pub enum PassEvent {
         /// Objective value after shifting.
         objective: f64,
     },
+    /// One cell-shifting pass inside a [`CoarseShift`](Self::CoarseShift)
+    /// phase — the per-pass signal the convergence detector reads.
+    ShiftPass {
+        /// Pass index within the phase, from 0.
+        pass: usize,
+        /// Cells moved by the pass (x rows + y rows + z columns).
+        moved: usize,
+        /// Largest relative bin-boundary displacement any row solved for
+        /// (|new − old| / old bin width).
+        max_boundary_delta: f64,
+        /// Maximum bin density after the pass — the stall-detection
+        /// signal.
+        max_density: f64,
+        /// Wall-clock milliseconds the pass took.
+        wall_ms: f64,
+    },
     /// One layer fully packed by detailed legalization.
     DetailRows {
         /// Layer index.
@@ -341,6 +357,19 @@ pub fn event_to_json(event: &PlacerEvent) -> String {
                     json_f64(*max_density),
                     json_f64(*objective)
                 ),
+                PassEvent::ShiftPass {
+                    pass,
+                    moved,
+                    max_boundary_delta,
+                    max_density,
+                    wall_ms,
+                } => format!(
+                    "\"kind\":\"shift_pass\",\"pass\":{pass},\"moved\":{moved},\
+                     \"max_boundary_delta\":{},\"max_density\":{},\"wall_ms\":{}",
+                    json_f64(*max_boundary_delta),
+                    json_f64(*max_density),
+                    json_f64(*wall_ms)
+                ),
                 PassEvent::DetailRows { layer, rows, cells } => format!(
                     "\"kind\":\"detail_rows\",\"layer\":{layer},\"rows\":{rows},\"cells\":{cells}"
                 ),
@@ -474,6 +503,28 @@ mod tests {
         }
         assert!(text.contains("\"resumed_from\":null"));
         assert!(text.contains("\"stopped_early\":true"));
+    }
+
+    #[test]
+    fn shift_pass_events_render_as_json() {
+        let line = event_to_json(&PlacerEvent::Pass {
+            index: 1,
+            stage: "coarse[0]".into(),
+            pass: PassEvent::ShiftPass {
+                pass: 7,
+                moved: 1234,
+                max_boundary_delta: 0.025,
+                max_density: 1.875,
+                wall_ms: 12.5,
+            },
+        });
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"kind\":\"shift_pass\""));
+        assert!(line.contains("\"pass\":7"));
+        assert!(line.contains("\"moved\":1234"));
+        assert!(line.contains("\"max_boundary_delta\":0.025"));
+        assert!(line.contains("\"max_density\":1.875"));
+        assert!(line.contains("\"wall_ms\":12.5"));
     }
 
     #[test]

@@ -102,6 +102,72 @@ proptest! {
         }
     }
 
+    /// The row-parallel cell-shifting engine plans rows in chunks whose
+    /// boundaries depend only on the row count and commits them in fixed
+    /// row order, so spreading a random congested placement is bitwise
+    /// identical at any thread count.
+    #[test]
+    fn shift_passes_match_serial(
+        cells in 150usize..400,
+        seed in 0u64..1000,
+        spread in 0.05f64..0.4,
+    ) {
+        use tvp_core::coarse::shift::shift_until_spread;
+        use tvp_core::coarse::DensityMesh;
+        use tvp_core::ShiftStrategy;
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+
+        let netlist = random_design(cells, seed);
+        let config = PlacerConfig::new(2);
+        let chip = Chip::from_netlist(&netlist, &config).expect("chip fits");
+        let model = ObjectiveModel::new(&netlist, &chip, &config).expect("model builds");
+        // A random pile of tunable tightness around the chip center, so
+        // every case exercises a different mesh/congestion shape.
+        let mut prng = SmallRng::seed_from_u64(seed ^ 0x5417);
+        let mut placement = Placement::centered(netlist.num_cells(), &chip);
+        for i in 0..netlist.num_cells() {
+            placement.set(
+                tvp_netlist::CellId::new(i),
+                chip.width * prng.random_range(0.5 - spread..0.5 + spread),
+                chip.depth * prng.random_range(0.5 - spread..0.5 + spread),
+                (i % 2) as u16,
+            );
+        }
+        let run = |threads: usize| {
+            tvp_parallel::with_threads(threads, || {
+                let mut objective =
+                    IncrementalObjective::new(&netlist, &model, placement.clone());
+                let mut mesh = DensityMesh::coarse(&chip);
+                mesh.rebuild(&netlist, objective.placement());
+                let iters = shift_until_spread(
+                    &mut objective,
+                    &mut mesh,
+                    &netlist,
+                    &chip,
+                    1.10,
+                    50,
+                    ShiftStrategy::WholeRow,
+                );
+                (objective.placement().clone(), iters, objective.total())
+            })
+        };
+        let (serial, serial_iters, serial_total) = run(1);
+        for threads in [2usize, 4] {
+            let (parallel, iters, total) = run(threads);
+            prop_assert_eq!(serial_iters, iters, "pass count diverged at threads={}", threads);
+            prop_assert_eq!(serial_total.to_bits(), total.to_bits(), "objective diverged");
+            for i in 0..netlist.num_cells() {
+                let cell = tvp_netlist::CellId::new(i);
+                prop_assert_eq!(
+                    serial.position(cell),
+                    parallel.position(cell),
+                    "cell {} diverged at threads={}", i, threads
+                );
+            }
+        }
+    }
+
     /// Thermal net weights are computed per net from shared read-only
     /// state; every weight matches the serial value exactly.
     #[test]

@@ -15,9 +15,14 @@
 //! when the coarse global/local passes switched to the batched
 //! propose/commit engine — a documented transition with measured quality
 //! parity: objective 2.400667e-2 vs 2.340347e-2 (+2.6%, noise-scale at
-//! 1k) and at 10k objective 5.462374e-1 vs 5.460820e-1 (+0.03%) with
-//! ILV *improved* 8974 → 8837. The 10k value on the same box is
-//! `91c23d0deb32ba2f`.)
+//! 1k) and at 10k (`91c23d0deb32ba2f`) objective 5.462374e-1 vs
+//! 5.460820e-1 (+0.03%) with ILV *improved* 8974 → 8837. The digests
+//! moved a second time when cell shifting switched to the row-parallel
+//! frozen-pricing engine with stall-detected convergence-adaptive
+//! spreads (DESIGN.md §17): 1k `eb13799fa98c9973` → `f82aa0d01e436964`
+//! with objective 2.400667e-2 → 2.403208e-2 (+0.11%) and 10k
+//! `91c23d0deb32ba2f` → `c71075bc67d2a904` with objective 5.462374e-1 →
+//! 5.475507e-1 (+0.24%), ILV 8837 → 8846 — noise-scale both ways.)
 
 use tvp_bookshelf::synth::{generate, SynthConfig};
 use tvp_core::{Placer, PlacerConfig};
